@@ -1,0 +1,115 @@
+"""Ablations of the paper's design decisions (§4.2-§4.5 and future work).
+
+Each ablation removes one mechanism the paper argues for and measures the
+cost on the headline workload:
+
+- **MEI pre-calculation vs demand fetching** (§4.2): blocking round trips
+  and server-thread context switches vs pre-scheduled exchange.
+- **Zero-copy transport** (§4.4): GM's no-memcpy path vs a copying stack.
+- **ANID ack redirection** (§4.5): without it, unordered cross-sender
+  delivery breaks picture ordering / overruns the two posted buffers.
+- **Dynamic load balancing** (§6 future work): static vs cost-equalized
+  partition lines on a localized-detail stream.
+"""
+
+from conftest import print_table, run_once
+
+from repro.net.gm import NetworkParams
+from repro.parallel.loadbalance import balanced_layout, imbalance
+from repro.parallel.system import TimedSystem, run_system
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+S13 = stream_by_id(13)
+S16 = stream_by_id(16)
+
+
+def test_ablation_mei_precalculation(benchmark):
+    def experiment():
+        pre = run_system(S16, 4, 4, k=4, n_frames=24).fps
+        demand = run_system(S16, 4, 4, k=4, n_frames=24, demand_fetch=True).fps
+        return pre, demand
+
+    pre, demand = run_once(benchmark, experiment)
+    print_table(
+        "MEI pre-calculation ablation (stream 16, 1-4-(4,4))",
+        ["variant", "fps"],
+        [("pre-calculated exchange (paper)", f"{pre:.1f}"),
+         ("demand fetching", f"{demand:.1f}")],
+    )
+    assert pre > demand * 1.2
+
+
+def test_ablation_zero_copy(benchmark):
+    def experiment():
+        zero = run_system(S16, 4, 4, k=4, n_frames=24).fps
+        copying = run_system(
+            S16, 4, 4, k=4, n_frames=24,
+            net_params=NetworkParams(copy_cost_per_byte=4e-9),
+        ).fps
+        return zero, copying
+
+    zero, copying = run_once(benchmark, experiment)
+    print_table(
+        "Zero-copy transport ablation (stream 16, 1-4-(4,4))",
+        ["variant", "fps"],
+        [("zero-copy GM (paper)", f"{zero:.1f}"),
+         ("copying transport", f"{copying:.1f}")],
+    )
+    assert zero > copying
+
+
+def test_ablation_anid_ordering(benchmark):
+    def experiment():
+        layout = TileLayout(stream_by_id(8).width, stream_by_id(8).height, 2, 2)
+        sys_ = TimedSystem(
+            stream_by_id(8),
+            layout,
+            k=3,
+            n_frames=20,
+            disable_anid=True,
+            net_params=NetworkParams(strict=False),
+        )
+        try:
+            res = sys_.run()
+            return res.flow_control_violations, None
+        except RuntimeError as exc:
+            return sys_.net.flow_control_violations, str(exc)
+
+    violations, error = run_once(benchmark, experiment)
+    print("\nANID ablation (stream 8, 1-3-(2,2), no ack redirection):")
+    if error:
+        print(f"  protocol failure: {error}")
+    print(f"  flow-control violations observed: {violations}")
+    assert violations > 0 or error is not None
+
+
+def test_ablation_load_balancing(benchmark):
+    from repro.parallel.loadbalance import adaptive_balance
+
+    def experiment():
+        static = TileLayout(S13.width, S13.height, 4, 4)
+        balanced = balanced_layout(S13, 4, 4)
+        hist = adaptive_balance(S13, 4, 4, k=3, windows=4, frames_per_window=16)
+        return (
+            TimedSystem(S13, static, k=3, n_frames=24).run().fps,
+            TimedSystem(S13, balanced, k=3, n_frames=24).run().fps,
+            imbalance(S13, static),
+            imbalance(S13, balanced),
+            hist,
+        )
+
+    f_static, f_bal, i_static, i_bal, hist = run_once(benchmark, experiment)
+    print_table(
+        "Dynamic load balancing (stream 13, 4x4; paper future work)",
+        ["layout", "fps", "max/mean tile cost"],
+        [("static (paper's system)", f"{f_static:.1f}", f"{i_static:.2f}"),
+         ("model-balanced partitions", f"{f_bal:.1f}", f"{i_bal:.2f}")],
+    )
+    print("\nadaptive balancing from *measured* decode times:")
+    for h in hist:
+        print(f"  window {h.window}: {h.fps:6.1f} fps, measured "
+              f"imbalance {h.measured_imbalance:.2f}")
+    assert f_bal > f_static
+    assert i_bal < i_static
+    assert hist[-1].fps >= hist[0].fps

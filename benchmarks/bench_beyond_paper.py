@@ -1,0 +1,82 @@
+"""Beyond the paper's scale (§6: "we expect our system to perform well
+beyond the scales and resolutions reported in this paper").
+
+Two probes of that claim:
+
+1. the **full Princeton wall**: 6x4 projectors / 25 PCs (the paper only
+   drove up to 4x4 of it) on a 6144x3072 stream;
+2. a **network-generation sweep**: the same headline workload over Fast
+   Ethernet-, Myrinet-, and ~10G-class fabrics, showing where the low
+   bandwidth requirement starts and stops mattering.
+"""
+
+from dataclasses import replace
+
+from conftest import print_table, run_once
+
+from repro.net.gm import NetworkParams
+from repro.parallel.system import run_system
+from repro.workloads.streams import StreamSpec, stream_by_id
+
+
+def test_full_wall_six_by_four(benchmark):
+    # A hypothetical stream matching the full 6x4 wall (~18.9 Mpixels).
+    spec = StreamSpec(
+        sid=99,
+        name="wall6x4",
+        width=6144,
+        height=3072,
+        fps=30.0,
+        bpp=0.30,
+        motion_pixels=10.0,
+        detail=stream_by_id(16).detail,
+        content="detail",
+    )
+
+    def experiment():
+        rows = []
+        for k in (3, 4, 5, 6):
+            res = run_system(spec, 6, 4, k=k, n_frames=24)
+            rows.append((res.label, 1 + k + 24, res.fps, res.pixel_rate_mpps))
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Full 6x4 wall, 6144x3072 stream (beyond the paper's 4x4 runs)",
+        ["config", "nodes", "fps", "Mpixel/s"],
+        [(c, n, f"{f:.1f}", f"{p:.0f}") for c, n, f, p in rows],
+    )
+    best = max(f for _, _, f, _ in rows)
+    assert best > 24.0  # still interactive at 18.9 Mpixels/frame
+
+
+def test_network_generation_sweep(benchmark):
+    spec = stream_by_id(16)
+    fabrics = [
+        ("Fast Ethernet (~12 MB/s)", NetworkParams(bandwidth=12e6, latency=100e-6)),
+        ("Gigabit-class (~110 MB/s)", NetworkParams(bandwidth=110e6, latency=30e-6)),
+        ("Myrinet/GM (paper)", NetworkParams()),
+        ("10G-class (~1.1 GB/s)", NetworkParams(bandwidth=1.1e9, latency=5e-6)),
+    ]
+
+    def experiment():
+        return [
+            (name, run_system(spec, 4, 4, k=4, n_frames=24, net_params=p).fps)
+            for name, p in fabrics
+        ]
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Stream 16 on 1-4-(4,4) across network generations",
+        ["fabric", "fps"],
+        [(n, f"{f:.1f}") for n, f in rows],
+    )
+    by_name = dict(rows)
+    myrinet = by_name["Myrinet/GM (paper)"]
+    # the paper's claim: bandwidth needs are low, so a commodity fabric is
+    # enough — gigabit-class is already within a few percent of Myrinet,
+    # and 10x more bandwidth buys almost nothing
+    assert by_name["Gigabit-class (~110 MB/s)"] > 0.9 * myrinet
+    assert by_name["10G-class (~1.1 GB/s)"] < 1.15 * myrinet
+    # but a 1995-era Fast Ethernet cannot carry the picture stream
+    assert by_name["Fast Ethernet (~12 MB/s)"] < 0.8 * myrinet

@@ -1,0 +1,48 @@
+"""§4.6 — the configuration rule F = min(k/t_s, 1/t_d) against the DES.
+
+The paper derives the optimal splitter count k* = ceil(t_s/t_d); this bench
+sweeps k on the headline stream and shows (a) the formula tracks the
+simulated system and (b) fps stops improving at k*.
+"""
+
+from conftest import print_table, run_once
+
+from repro.parallel.config import optimal_k, predicted_frame_rate
+from repro.parallel.system import run_system
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+def test_config_model(benchmark):
+    spec = stream_by_id(16)
+    cost = CostModel()
+    layout = TileLayout(spec.width, spec.height, 4, 4)
+    t_s = cost.t_s(spec)
+    t_d = cost.t_d(spec, layout)
+    k_star = optimal_k(t_s, t_d)
+
+    def sweep():
+        return {
+            k: run_system(spec, 4, 4, k=k, n_frames=24, cost=cost).fps
+            for k in range(1, 7)
+        }
+
+    fps = run_once(benchmark, sweep)
+    print_table(
+        f"F = min(k/t_s, 1/t_d) with t_s={t_s * 1e3:.1f} ms, "
+        f"t_d={t_d * 1e3:.1f} ms, k* = {k_star}",
+        ["k", "model fps", "simulated fps"],
+        [
+            (k, f"{predicted_frame_rate(k, t_s, t_d):.1f}", f"{v:.1f}")
+            for k, v in fps.items()
+        ],
+    )
+    # The simulated system follows the model within protocol overheads.
+    for k, v in fps.items():
+        model = predicted_frame_rate(k, t_s, t_d)
+        assert v < model * 1.05
+        if k <= k_star:
+            assert v > model * 0.6
+    # fps stops improving past k*
+    assert fps[k_star + 2] < fps[k_star] * 1.1

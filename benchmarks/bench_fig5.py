@@ -1,0 +1,63 @@
+"""Figure 5 — flow of work units and messages in a two-level system (§4.5).
+
+The paper's Figure 5 is a timeline: the root copying/sending pictures to
+two alternating splitters, each splitter receiving/splitting/sending, and
+the decoders receiving/decoding — with phases of successive pictures
+overlapping (the pipeline the two-buffer ack protocol creates).  This
+bench regenerates it as an activity trace of the simulated k=2 system and
+asserts the pipelining properties the figure illustrates.
+"""
+
+from conftest import run_once
+
+from repro.parallel.system import TimedSystem
+from repro.perf.timeline import TimelineTrace, render_ascii
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+def test_figure5(benchmark):
+    spec = stream_by_id(8)
+    layout = TileLayout(spec.width, spec.height, 2, 2)
+
+    def experiment():
+        trace = TimelineTrace()
+        TimedSystem(spec, layout, k=2, n_frames=10, trace=trace).run()
+        return trace
+
+    trace = run_once(benchmark, experiment)
+    lo, hi = trace.window()
+    print("\nFigure 5 — flow of work units and messages, 1-2-(2,2), stream 8")
+    print(render_ascii(trace, width=110, t0=lo, t1=lo + (hi - lo) * 0.6))
+
+    # The figure's structural claims:
+    actors = trace.actors()
+    assert "root" in actors
+    assert "splitter0" in actors and "splitter1" in actors
+    assert any(a.startswith("decoder") for a in actors)
+
+    # 1. splitters alternate pictures (round-robin)
+    s0_pics = {s.picture for s in trace.spans_for("splitter0") if s.phase == "split"}
+    s1_pics = {s.picture for s in trace.spans_for("splitter1") if s.phase == "split"}
+    assert s0_pics == set(range(0, 10, 2))
+    assert s1_pics == set(range(1, 10, 2))
+
+    # 2. pipelining: splitter1 starts splitting picture 1 while splitter0
+    #    is still working on (or sending) picture 0's results
+    s0_done = max(s.end for s in trace.spans_for("splitter0") if s.picture == 0)
+    s1_start = min(s.start for s in trace.spans_for("splitter1") if s.picture == 1)
+    assert s1_start < s0_done
+
+    # 3. decoders decode picture i while picture i+1 is already in flight
+    dec = next(a for a in actors if a.startswith("decoder"))
+    d0 = next(s for s in trace.spans_for(dec) if s.phase == "decode" and s.picture == 0)
+    later_split = min(
+        s.start for s in trace.spans_for("splitter1") if s.picture == 1
+    )
+    assert later_split < d0.end
+
+    # 4. every picture decodes exactly once per decoder
+    for a in actors:
+        if a.startswith("decoder"):
+            pics = [s.picture for s in trace.spans_for(a) if s.phase == "decode"]
+            assert pics == sorted(pics) == list(range(10))

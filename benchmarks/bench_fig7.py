@@ -1,0 +1,49 @@
+"""Figure 7 — decoder runtime breakdown, stream 8 on 2x2 vs 4x4 (§5.4).
+
+Paper anchors: "about 80% of the runtime is spent in decoding in a
+1-2-(2,2) system, only about 40% ... in a 1-5-(4,4) system"; the share of
+serving remote decoders "increases significantly" as tiles shrink.
+"""
+
+from conftest import print_table, run_once
+
+from repro.perf.experiments import figure7
+from repro.perf.metrics import RuntimeBreakdown
+
+
+def test_figure7(benchmark):
+    out = run_once(benchmark, figure7, stream_id=8, n_frames=30)
+
+    for setup, data in out.items():
+        rows = []
+        for tid in sorted(data["per_decoder_ms"]):
+            ms = data["per_decoder_ms"][tid]
+            rows.append(
+                (tid, *(f"{ms[b]:.2f}" for b in RuntimeBreakdown.BUCKETS))
+            )
+        avg = data["average_ms"]
+        rows.append(("avg", *(f"{avg[b]:.2f}" for b in RuntimeBreakdown.BUCKETS)))
+        print_table(
+            f"Figure 7 — runtime breakdown (ms/frame), stream 8, "
+            f"{data['config']} @ {data['fps']} fps",
+            ("decoder",) + RuntimeBreakdown.BUCKETS,
+            rows,
+        )
+        frac = data["average_fractions"]
+        print(
+            "work share: {:.0%}   serve: {:.0%}   receive: {:.0%}   "
+            "wait_remote: {:.0%}   ack: {:.0%}".format(
+                frac["work"], frac["serve"], frac["receive"],
+                frac["wait_remote"], frac["ack"],
+            )
+        )
+
+    w22 = out["2x2"]["average_fractions"]["work"]
+    w44 = out["4x4"]["average_fractions"]["work"]
+    print(f"\npaper: ~80% work at 2x2 vs ~40% at 4x4; measured "
+          f"{w22:.0%} vs {w44:.0%}")
+    assert w22 > 0.6 and w44 < 0.6 and w22 - w44 > 0.15
+    assert (
+        out["4x4"]["average_fractions"]["serve"]
+        > out["2x2"]["average_fractions"]["serve"]
+    )

@@ -1,0 +1,33 @@
+"""Figure 9 — per-node send/receive bandwidth, 1-4-(4,4) on stream 16
+(§5.6).
+
+Paper anchors: "even for an ultra-high-resolution video with localized
+detail, the communication requirement is still low and balanced ... well
+within the range of current commodity network technologies"; "the SPH
+headers ... cause the send bandwidth of a splitter to be larger than its
+receive bandwidth ... the overhead is only about 20%".
+"""
+
+from conftest import print_table, run_once
+
+from repro.perf.experiments import figure9
+
+
+def test_figure9(benchmark):
+    out = run_once(benchmark, figure9, n_frames=30)
+    bw = out["bandwidth_mbps"]
+    print_table(
+        f"Figure 9 — per-node bandwidth, {out['config']} @ {out['fps']} fps "
+        "(MB/s)",
+        ["node", "send", "receive"],
+        [(name, s, r) for name, (s, r) in bw.items()],
+    )
+    ratio = out["splitter_send_over_recv"]
+    print(f"\nsplitter send/receive ratio: {ratio} (paper: ~1.2, SPH overhead)")
+
+    assert 1.05 < ratio < 1.45
+    for name, (s, r) in bw.items():
+        assert s < 40 and r < 40, f"{name} exceeds commodity-network budget"
+    # balanced: no decoder dominates by an order of magnitude
+    dec_recv = [r for n, (s, r) in bw.items() if n.startswith("decoder")]
+    assert max(dec_recv) < 10 * max(min(dec_recv), 0.1)

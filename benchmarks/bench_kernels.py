@@ -1,0 +1,73 @@
+"""Micro-benchmarks of the real codec kernels (not in the paper).
+
+These time the actual Python implementation — encode, sequential decode,
+macroblock split, and parallel pipeline decode — on a scaled clip, so
+regressions in the functional path are visible.  pytest-benchmark's normal
+multi-round timing applies here.
+"""
+
+import pytest
+
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.parallel.mb_splitter import MacroblockSplitter
+from repro.parallel.pipeline import ParallelDecoder
+from repro.wall.layout import TileLayout
+from repro.workloads.synthetic import moving_pattern_frames
+
+
+@pytest.fixture(scope="module")
+def clip():
+    frames = moving_pattern_frames(160, 96, 6, seed=0)
+    stream = Encoder(EncoderConfig(gop_size=6, b_frames=2)).encode(frames)
+    return frames, stream
+
+
+def test_encode_kernel(benchmark, clip):
+    frames, _ = clip
+
+    def encode():
+        return Encoder(EncoderConfig(gop_size=6, b_frames=2)).encode(frames)
+
+    data = benchmark(encode)
+    px = frames[0].n_pixels * len(frames)
+    print(f"\nencoded {px} pixels -> {len(data)} bytes")
+
+
+def test_sequential_decode_kernel(benchmark, clip):
+    _, stream = clip
+    out = benchmark(decode_stream, stream)
+    assert len(out) == 6
+
+
+def test_macroblock_split_kernel(benchmark, clip):
+    """The second-level splitter's VLC parse + sort, per picture."""
+    _, stream = clip
+    seq, pics = PictureScanner(stream).scan()
+    layout = TileLayout(seq.width, seq.height, 2, 2)
+    splitter = MacroblockSplitter(seq, layout)
+    result = benchmark(splitter.split, pics[0], 0)
+    assert len(result.subpictures) == 4
+
+
+def test_picture_scan_kernel(benchmark, clip):
+    """The root splitter's start-code scan over the whole stream."""
+    _, stream = clip
+
+    def scan():
+        return PictureScanner(stream).scan()
+
+    seq, pics = benchmark(scan)
+    assert len(pics) == 6
+
+
+def test_parallel_pipeline_kernel(benchmark, clip):
+    frames, stream = clip
+    layout = TileLayout(frames[0].width, frames[0].height, 2, 2)
+
+    def decode():
+        return ParallelDecoder(layout, k=2).decode(stream)
+
+    out = benchmark.pedantic(decode, rounds=2, iterations=1)
+    assert len(out) == 6

@@ -1,0 +1,54 @@
+"""Future work §6 #1: graphics cards that drive multiple displays.
+
+"First, each of our graphics card drives a single projector.  It would be
+useful to experiment with graphics cards that can drive multiple displays
+to further evaluate the performance."  This bench runs that experiment in
+the timed system: the 4x4 wall with 1, 2, and 4 tiles per decoder PC.
+"""
+
+from conftest import print_table, run_once
+
+from repro.parallel.system import TimedSystem
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+def test_multidisplay_tradeoff(benchmark):
+    spec = stream_by_id(16)
+    layout = TileLayout(spec.width, spec.height, 4, 4)
+
+    def experiment():
+        rows = []
+        for tpn in (1, 2, 4):
+            sys_ = TimedSystem(spec, layout, k=4, n_frames=24, tiles_per_node=tpn)
+            res = sys_.run()
+            n_dec = len(sys_.decoder_ids)
+            rows.append(
+                (
+                    tpn,
+                    n_dec,
+                    1 + 4 + n_dec,
+                    res.fps,
+                    res.fps * n_dec,  # fps per decoder-PC proxy
+                )
+            )
+        return rows
+
+    rows = run_once(benchmark, experiment)
+    print_table(
+        "Stream 16, 4x4 wall: tiles per decoder PC",
+        ["tiles/PC", "decoder PCs", "total nodes", "fps", "fps x PCs"],
+        [
+            (tpn, nd, total, f"{fps:.1f}", f"{eff:.0f}")
+            for tpn, nd, total, fps, eff in rows
+        ],
+    )
+    print(
+        "\n-> decode is CPU-bound, so consolidating projectors onto fewer "
+        "PCs trades frame rate for hardware; co-located tiles do save "
+        "their exchange traffic (fps stays above the 1/tiles-per-PC line)."
+    )
+    fps = {tpn: f for tpn, _, _, f, _ in rows}
+    assert fps[1] > fps[2] > fps[4]
+    assert fps[2] > fps[1] / 2
+    assert fps[4] > fps[1] / 4

@@ -1,0 +1,63 @@
+"""Table 1 — comparison of parallelization levels (paper §3).
+
+The paper's Table 1 is qualitative; this bench quantifies it per stream and
+also prints the derived baseline frame rates (the §3 argument that no
+coarse level suffices by itself).
+
+Paper anchors: macroblock level has high/moderate splitting cost, low
+inter-decoder communication, and NO pixel redistribution; every coarse
+level pays very-high redistribution.
+"""
+
+from conftest import print_table, run_once
+
+from repro.parallel.analysis import level_costs
+from repro.parallel.baselines import compare_all
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+def test_table1(benchmark):
+    spec = stream_by_id(16)
+    layout = TileLayout(spec.width, spec.height, 4, 4)
+
+    def experiment():
+        return level_costs(spec, layout), compare_all(spec, layout, k=4)
+
+    rows, baselines = run_once(benchmark, experiment)
+    print_table(
+        "Table 1 (quantified for stream 16, 4x4 wall)",
+        [
+            "level",
+            "split CPU/pic",
+            "inter-decoder/pic",
+            "redistribution/pic",
+            "paper labels (split/comm/redist)",
+        ],
+        [
+            (
+                r.level,
+                f"{r.split_cpu_s * 1e3:.2f} ms",
+                f"{r.interdecoder_bytes / 1e3:.0f} kB",
+                f"{r.redistribution_bytes / 1e6:.2f} MB",
+                f"{r.label_split} / {r.label_comm} / {r.label_redist}",
+            )
+            for r in rows
+        ],
+    )
+    print_table(
+        "Derived baseline frame rates (stream 16, Myrinet-class network)",
+        ["scheme", "fps", "bound", "memory/node"],
+        [
+            (
+                b.scheme,
+                f"{b.fps:.1f}" if b.feasible else "infeasible",
+                b.bound,
+                f"{b.memory_required_mb:.0f} MB",
+            )
+            for b in baselines
+        ],
+    )
+    mb = {r.level: r for r in rows}["macroblock"]
+    assert mb.redistribution_bytes == 0.0
+    assert {b.scheme: b for b in baselines}["hierarchical"].fps > 30

@@ -1,0 +1,37 @@
+"""Benchmark helpers: single-shot experiment runs with table printing.
+
+Every table/figure benchmark runs its experiment exactly once under
+pytest-benchmark timing (``benchmark.pedantic(rounds=1)``) — the point is
+regenerating the paper's numbers, not micro-timing them — and then prints
+the reproduced table alongside the paper's surviving anchors.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` once under the benchmark timer and return its result."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)
+
+
+def print_table(title: str, headers: Sequence[str], rows: Iterable[Sequence]) -> None:
+    rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in rows)) if rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for r in rows:
+        print("  ".join(c.ljust(w) for c, w in zip(r, widths)))
+
+
+def print_series(title: str, series: dict) -> None:
+    print(f"\n=== {title} ===")
+    for name, pts in series.items():
+        body = ", ".join(f"({x}, {y:.1f})" for x, y in pts)
+        print(f"{name}: {body}")

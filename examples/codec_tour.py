@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Tour of the MPEG-2 codec substrate: syntax, pictures, macroblocks.
+
+Shows the layers the parallel decoder is built from: bitstream scanning
+(what the root splitter does), macroblock parsing (what a second-level
+splitter does), and full reconstruction (what tile decoders do).
+
+    python examples/codec_tour.py
+"""
+
+from collections import Counter
+
+from repro.mpeg2 import Encoder, EncoderConfig, decode_stream, psnr
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.workloads import fish_tank_frames
+
+
+def main() -> None:
+    frames = fish_tank_frames(160, 96, 9, seed=2)
+    enc = Encoder(EncoderConfig(gop_size=9, b_frames=2, search_range=7))
+    stream = enc.encode(frames)
+    print(f"encoded {len(frames)} frames -> {len(stream)} bytes")
+    print("picture sizes by coded order:",
+          [f"{t.name}:{s}" for t, s in
+           zip(enc.stats.picture_types, enc.stats.picture_sizes)])
+
+    # Layer 1 — picture-level scan (the root splitter's whole job):
+    scanner = PictureScanner(stream)
+    sequence, pictures = scanner.scan()
+    print(f"\nsequence: {sequence.width}x{sequence.height} "
+          f"@ {sequence.frame_rate:.0f} fps, {len(pictures)} coded pictures")
+
+    # Layer 2 — macroblock-level parse (the second-level splitter's job):
+    parser = MacroblockParser(sequence)
+    for unit in pictures[:4]:
+        parsed = parser.parse_picture(unit.data)
+        modes = Counter(
+            "intra" if it.mb.intra
+            else "skipped" if it.mb.skipped
+            else "inter"
+            for it in parsed.items
+        )
+        mvs = [it.mb.mv_fwd for it in parsed.items if it.mb.mv_fwd]
+        max_mv = max((max(abs(v[0]), abs(v[1])) for v in mvs), default=0)
+        print(f"  picture {unit.coded_index} "
+              f"({parsed.header.picture_type.name}): "
+              f"{dict(modes)}, max |mv| = {max_mv / 2:.1f} px")
+
+    # Layer 3 — full reconstruction:
+    decoded = decode_stream(stream)
+    quality = [psnr(a, b) for a, b in zip(frames, decoded)]
+    print(f"\ndecoded {len(decoded)} frames, "
+          f"PSNR {min(quality):.1f}..{max(quality):.1f} dB")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""The paper's headline experiment: play the 3840x2800 Orion-nebula flyby
+on a 4x4 display wall driven by 21 PCs — a 1-4-(4,4) system.
+
+This uses the timed discrete-event simulation (the Princeton wall hardware
+retired two decades ago); costs are calibrated to the paper's 733 MHz
+Pentium III + Myrinet platform.  Expected output: ~38-39 fps, matching the
+paper's 38.9 fps.
+
+    python examples/display_wall_playback.py [stream_id]
+"""
+
+import sys
+
+from repro.parallel.system import run_system
+from repro.perf.metrics import RuntimeBreakdown
+from repro.workloads import stream_by_id
+
+
+def main(stream_id: int = 16) -> None:
+    spec = stream_by_id(stream_id)
+    print(f"stream {spec.sid} ({spec.name}): {spec.width}x{spec.height}, "
+          f"{spec.bpp} bpp, ~{spec.bit_rate_mbps:.0f} Mb/s at {spec.fps:.0f} fps")
+
+    result = run_system(spec, m=4, n=4, k=4, n_frames=60)
+    nodes = 1 + 4 + 16
+    print(f"\nconfiguration {result.label} ({nodes} PCs: 1 console, "
+          f"4 splitters, 16 decoders)")
+    print(f"frame rate: {result.fps:.1f} fps "
+          f"(paper: 38.9 fps for this setup)")
+    print(f"pixel rate: {result.pixel_rate_mpps:.0f} Mpixels/s")
+    eq_mbps = result.fps * spec.avg_frame_bytes * 8 / 1e6
+    print(f"equivalent bit rate: {eq_mbps:.0f} Mb/s (paper: ~130 Mb/s)")
+
+    mean = result.mean_breakdown()
+    fr = mean.fractions()
+    print("\naverage decoder runtime breakdown (figure 7 buckets):")
+    for bucket in RuntimeBreakdown.BUCKETS:
+        ms = 1e3 * getattr(mean, bucket) / result.n_frames
+        print(f"  {bucket:12s} {ms:6.2f} ms/frame  ({fr[bucket]:5.1%})")
+
+    print("\nper-node bandwidth (figure 9; MB/s) and CPU utilization:")
+    for name, (send, recv) in result.bandwidth.items():
+        util = result.utilization.get(name, 0.0)
+        print(f"  {name:12s} send {send:6.2f}   recv {recv:6.2f}   cpu {util:5.1%}")
+
+    print(f"\nflow-control violations: {result.flow_control_violations} "
+          "(the ack/ANID protocol keeps every arrival inside a posted buffer)")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 16)

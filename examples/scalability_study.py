@@ -1,0 +1,43 @@
+#!/usr/bin/env python
+"""Scalability study: reproduce the shape of figures 6 and 8.
+
+Sweeps screen configurations for a DVD and an HDTV stream, with and
+without second-level splitters (figure 6), then runs every Table 4 stream
+on its resolution-matched wall and reports the aggregate pixel decoding
+rate versus node count (figure 8).
+
+    python examples/scalability_study.py
+"""
+
+from repro.perf.experiments import figure8, table5, table6
+
+
+def main() -> None:
+    print("figure 6 — one-level vs two-level frame rate")
+    print(f"{'stream':>6} {'config':>12} {'nodes':>5} {'1-level fps':>12} "
+          f"{'2-level cfg':>12} {'2-level fps':>12}")
+    for r in table5(n_frames=30):
+        print(f"{r['stream']:>6} {r['one_level_config']:>12} "
+              f"{r['one_level_nodes']:>5} {r['one_level_fps']:>12.1f} "
+              f"{r['two_level_config']:>12} {r['two_level_fps']:>12.1f}")
+    print("\n-> the one-level splitter saturates beyond ~4 decoders; the")
+    print("   hierarchy keeps scaling (paper §5.3-§5.4).\n")
+
+    print("table 6 / figure 8 — resolution scalability")
+    rows = table6(n_frames=30)
+    print(f"{'stream':>6} {'resolution':>12} {'config':>12} {'nodes':>5} "
+          f"{'fps':>7} {'Mpps':>8}")
+    for r in rows:
+        print(f"{r['stream']:>6} {r['resolution']:>12} {r['config']:>12} "
+              f"{r['nodes']:>5} {r['fps']:>7.1f} {r['pixel_rate_mpps']:>8.1f}")
+
+    print("\npixel decoding rate vs number of nodes (figure 8):")
+    for nodes, rate in figure8(rows):
+        bar = "#" * int(rate / 8)
+        print(f"  {nodes:3d} nodes {rate:8.1f} Mpps  {bar}")
+    print("\n-> near-linear growth; the four Orion streams dip slightly")
+    print("   because their detail is localized in a few tiles (paper §5.5).")
+
+
+if __name__ == "__main__":
+    main()

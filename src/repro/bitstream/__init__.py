@@ -1,0 +1,13 @@
+"""Bit-level I/O substrate.
+
+MPEG-2 video is an MSB-first bitstream with byte-aligned 32-bit start codes
+(``00 00 01 xx``).  :class:`BitReader` and :class:`BitWriter` provide the
+primitive operations every layer above builds on: n-bit reads/writes, peeking
+(needed by the VLC decoder), byte alignment, and start-code scanning (the
+root splitter's entire job is a start-code scan).
+"""
+
+from repro.bitstream.reader import BitReader, BitstreamError, find_start_codes
+from repro.bitstream.writer import BitWriter
+
+__all__ = ["BitReader", "BitWriter", "BitstreamError", "find_start_codes"]

@@ -1,0 +1,173 @@
+"""MSB-first bit reader with start-code scanning.
+
+The reader keeps an explicit bit cursor into an immutable ``bytes`` buffer so
+that sub-picture construction can copy *whole bytes* containing a partial
+slice and record only a 0-7 bit skip count, exactly as the paper's State
+Propagation Header does (section 4.3, figure 4).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Tuple
+
+
+class BitstreamError(Exception):
+    """Raised on malformed bitstreams or reads past the end of the buffer."""
+
+
+class BitReader:
+    """Read an MSB-first bitstream from a ``bytes``-like buffer.
+
+    Parameters
+    ----------
+    data:
+        The underlying buffer.  It is never copied; positions are tracked as
+        a single absolute bit offset so slicing information (byte offset +
+        skip bits) can be exported for zero-copy sub-picture assembly.
+    start_bit:
+        Absolute bit position to start reading from (defaults to 0).
+    """
+
+    __slots__ = ("data", "pos", "nbits")
+
+    def __init__(self, data: bytes, start_bit: int = 0):
+        self.data = bytes(data)
+        self.pos = start_bit
+        self.nbits = 8 * len(self.data)
+        if start_bit > self.nbits:
+            raise BitstreamError("start_bit beyond end of buffer")
+
+    # ------------------------------------------------------------------ #
+    # position queries
+    # ------------------------------------------------------------------ #
+
+    @property
+    def byte_pos(self) -> int:
+        """Byte index of the current bit cursor (rounded down)."""
+        return self.pos >> 3
+
+    @property
+    def bit_in_byte(self) -> int:
+        """Offset (0-7) of the cursor within its current byte."""
+        return self.pos & 7
+
+    def bits_left(self) -> int:
+        return self.nbits - self.pos
+
+    def at_byte_boundary(self) -> bool:
+        return (self.pos & 7) == 0
+
+    # ------------------------------------------------------------------ #
+    # core reads
+    # ------------------------------------------------------------------ #
+
+    def read(self, n: int) -> int:
+        """Read ``n`` bits (0 <= n <= 32) and return them as an unsigned int."""
+        v = self.peek(n)
+        self.pos += n
+        return v
+
+    def peek(self, n: int) -> int:
+        """Return the next ``n`` bits without consuming them.
+
+        Peeking past the physical end of the buffer pads with zero bits; this
+        mirrors hardware VLC decoders which prefetch, and lets maximum-length
+        table lookups run near the end of a slice.  An actual *read* past the
+        end still raises, via the explicit check here on the consumed range.
+        """
+        if n == 0:
+            return 0
+        if n < 0 or n > 32:
+            raise ValueError(f"peek width out of range: {n}")
+        if self.pos + n > self.nbits + 32:
+            raise BitstreamError("peek far past end of bitstream")
+        first_byte = self.pos >> 3
+        # Gather enough bytes to cover n bits after the in-byte offset.
+        last_byte = (self.pos + n + 7) >> 3
+        chunk = self.data[first_byte:last_byte]
+        # Zero-pad if near the end of the buffer.
+        need = last_byte - first_byte
+        if len(chunk) < need:
+            chunk = chunk + b"\x00" * (need - len(chunk))
+        acc = int.from_bytes(chunk, "big")
+        total_bits = 8 * need
+        shift = total_bits - (self.pos & 7) - n
+        return (acc >> shift) & ((1 << n) - 1)
+
+    def read_bit(self) -> int:
+        return self.read(1)
+
+    def skip(self, n: int) -> None:
+        """Advance the cursor by ``n`` bits without decoding."""
+        if self.pos + n > self.nbits:
+            raise BitstreamError("skip past end of bitstream")
+        self.pos += n
+
+    def read_signed(self, n: int) -> int:
+        """Read an ``n``-bit two's-complement signed integer."""
+        v = self.read(n)
+        if v >= 1 << (n - 1):
+            v -= 1 << n
+        return v
+
+    # ------------------------------------------------------------------ #
+    # alignment and start codes
+    # ------------------------------------------------------------------ #
+
+    def align(self) -> None:
+        """Advance to the next byte boundary (no-op if already aligned)."""
+        self.pos = (self.pos + 7) & ~7
+
+    def next_start_code(self) -> int | None:
+        """Align and scan forward to the next ``00 00 01 xx`` start code.
+
+        Returns the start-code *value* ``xx`` with the cursor positioned just
+        after it, or ``None`` if the buffer is exhausted.  The cursor is left
+        at end-of-buffer when no code is found.
+        """
+        self.align()
+        i = self.data.find(b"\x00\x00\x01", self.byte_pos)
+        if i < 0 or i + 3 >= len(self.data):
+            self.pos = self.nbits
+            return None
+        self.pos = 8 * (i + 4)
+        return self.data[i + 3]
+
+    def peek_start_code(self) -> int | None:
+        """Like :meth:`next_start_code` but leaves the cursor untouched."""
+        save = self.pos
+        try:
+            return self.next_start_code()
+        finally:
+            self.pos = save
+
+
+def find_start_codes(data: bytes, start: int = 0) -> Iterator[Tuple[int, int]]:
+    """Yield ``(byte_offset, code_value)`` for every start code in ``data``.
+
+    ``byte_offset`` points at the first ``00`` of the prefix.  This is the
+    linear scan the root splitter performs: it is O(len) with no VLC work,
+    which is why picture-level splitting is cheap (Table 1, "very low").
+    """
+    i = start
+    n = len(data)
+    while True:
+        i = data.find(b"\x00\x00\x01", i)
+        if i < 0 or i + 3 >= n:
+            return
+        yield i, data[i + 3]
+        i += 3
+
+
+def split_at_codes(data: bytes, codes: List[int]) -> List[Tuple[int, int, int]]:
+    """Partition ``data`` into regions beginning at start codes in ``codes``.
+
+    Returns ``(code_value, begin, end)`` byte ranges where ``begin`` points at
+    the start-code prefix.  Regions run to the next listed code or EOF.
+    """
+    marks = [(off, val) for off, val in find_start_codes(data) if val in codes]
+    out: List[Tuple[int, int, int]] = []
+    for idx, (off, val) in enumerate(marks):
+        end = marks[idx + 1][0] if idx + 1 < len(marks) else len(data)
+        out.append((val, off, end))
+    return out

@@ -1,0 +1,74 @@
+"""MSB-first bit writer used by the encoder and the sub-picture builder."""
+
+from __future__ import annotations
+
+
+class BitWriter:
+    """Accumulate an MSB-first bitstream.
+
+    Bits are buffered in an integer accumulator and flushed to a
+    ``bytearray`` one byte at a time, keeping writes O(1) amortized even for
+    long streams.
+    """
+
+    __slots__ = ("_buf", "_acc", "_nacc")
+
+    def __init__(self) -> None:
+        self._buf = bytearray()
+        self._acc = 0  # pending bits, MSB-first, low _nacc bits valid
+        self._nacc = 0
+
+    def __len__(self) -> int:
+        """Total number of bits written so far."""
+        return 8 * len(self._buf) + self._nacc
+
+    @property
+    def bitpos(self) -> int:
+        return len(self)
+
+    def write(self, value: int, n: int) -> None:
+        """Append the low ``n`` bits of ``value`` (MSB first)."""
+        if n < 0:
+            raise ValueError("negative bit width")
+        if n == 0:
+            return
+        if value < 0 or value >= (1 << n):
+            raise ValueError(f"value {value} does not fit in {n} bits")
+        self._acc = (self._acc << n) | value
+        self._nacc += n
+        while self._nacc >= 8:
+            self._nacc -= 8
+            self._buf.append((self._acc >> self._nacc) & 0xFF)
+        self._acc &= (1 << self._nacc) - 1
+
+    def write_bit(self, bit: int) -> None:
+        self.write(bit & 1, 1)
+
+    def write_signed(self, value: int, n: int) -> None:
+        """Append an ``n``-bit two's-complement signed integer."""
+        if value < -(1 << (n - 1)) or value >= (1 << (n - 1)):
+            raise ValueError(f"signed value {value} does not fit in {n} bits")
+        self.write(value & ((1 << n) - 1), n)
+
+    def align(self, fill: int = 0) -> None:
+        """Pad with ``fill`` bits (0 or 1) to the next byte boundary."""
+        while self._nacc:
+            self.write_bit(fill)
+
+    def write_start_code(self, code: int) -> None:
+        """Byte-align then emit the 32-bit start code ``00 00 01 code``."""
+        self.align()
+        self._buf.extend((0x00, 0x00, 0x01, code & 0xFF))
+
+    def write_bytes(self, data: bytes) -> None:
+        """Append raw bytes; requires the writer to be byte aligned."""
+        if self._nacc:
+            raise ValueError("write_bytes requires byte alignment")
+        self._buf.extend(data)
+
+    def getvalue(self) -> bytes:
+        """Return the stream so far, zero-padding any final partial byte."""
+        if self._nacc == 0:
+            return bytes(self._buf)
+        tail = (self._acc << (8 - self._nacc)) & 0xFF
+        return bytes(self._buf) + bytes((tail,))

@@ -1,0 +1,274 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+encode    compress a .y4m clip (or a synthetic workload) to MPEG-2
+decode    decode an MPEG-2 stream to .y4m with the sequential decoder
+wall      decode in parallel on an m x n wall and verify bit-exactness
+simulate  run the timed 1-k-(m,n) cluster simulation on a Table 4 stream
+info      show stream structure (pictures, types, sizes)
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.mpeg2.decoder import Decoder, decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.parser import PictureScanner
+from repro.mpeg2.ratecontrol import RateControlConfig, RateControlledEncoder
+from repro.mpeg2.video_io import read_y4m, write_y4m
+from repro.parallel.pipeline import ParallelDecoder
+from repro.parallel.system import run_system
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import TABLE4_STREAMS, stream_by_id
+from repro.workloads.synthetic import GENERATORS
+
+
+def _load_frames(args) -> list:
+    if args.input:
+        return read_y4m(args.input)
+    gen = GENERATORS[args.synthetic]
+    return gen(args.width, args.height, args.frames, seed=args.seed)
+
+
+def _load_stream(path: str) -> bytes:
+    """Read an encoded stream; program streams are demuxed transparently."""
+    data = Path(path).read_bytes()
+    if data.startswith(b"\x00\x00\x01\xba"):
+        from repro.mpeg2.systems import demux_program_stream
+
+        data = demux_program_stream(data).video_es
+    return data
+
+
+def cmd_encode(args) -> int:
+    frames = _load_frames(args)
+    base = EncoderConfig(
+        gop_size=args.gop, b_frames=args.b_frames, search_range=args.search_range
+    )
+    if args.bpp:
+        enc = RateControlledEncoder(base, RateControlConfig(target_bpp=args.bpp))
+        data = enc.encode(frames)
+    else:
+        data = Encoder(base).encode(frames)
+    Path(args.output).write_bytes(data)
+    bpp = 8 * len(data) / (frames[0].n_pixels * len(frames))
+    print(
+        f"encoded {len(frames)} frames {frames[0].width}x{frames[0].height} "
+        f"-> {len(data)} bytes ({bpp:.3f} bpp) -> {args.output}"
+    )
+    return 0
+
+
+def cmd_decode(args) -> int:
+    stream = _load_stream(args.input)
+    frames = decode_stream(stream)
+    write_y4m(args.output, frames, fps=args.fps)
+    print(f"decoded {len(frames)} frames -> {args.output}")
+    return 0
+
+
+def cmd_wall(args) -> int:
+    stream = _load_stream(args.input)
+    sequence, _ = PictureScanner(stream).scan()
+    layout = TileLayout(
+        sequence.width, sequence.height, args.m, args.n, overlap=args.overlap
+    )
+    pdec = ParallelDecoder(layout, k=args.k, verify_overlaps=True)
+    wall_frames = pdec.decode(stream)
+    if args.verify:
+        reference = decode_stream(stream)
+        worst = max(
+            a.max_abs_diff(b) for a, b in zip(reference, wall_frames)
+        )
+        status = "bit-exact" if worst == 0 else f"MISMATCH (max diff {worst})"
+        print(f"verification vs sequential decoder: {status}")
+        if worst:
+            return 1
+    if args.output:
+        write_y4m(args.output, wall_frames, fps=args.fps)
+        print(f"wrote wall output -> {args.output}")
+    s = pdec.stats
+    print(
+        f"1-{args.k}-({args.m},{args.n}): {len(wall_frames)} frames, "
+        f"{s.exchange_count} block exchanges "
+        f"({s.exchange_bytes / 1e3:.1f} kB), "
+        f"SPH overhead {s.sph_overhead_fraction:.1%}"
+    )
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    from repro.parallel.system import TimedSystem
+
+    spec = stream_by_id(args.stream)
+    layout = TileLayout(
+        spec.width, spec.height, args.m, args.n, overlap=args.overlap
+    )
+    res = TimedSystem(
+        spec,
+        layout,
+        k=args.k,
+        n_frames=args.frames,
+        tiles_per_node=args.tiles_per_node,
+    ).run()
+    print(
+        f"{res.label} on stream {spec.sid} ({spec.width}x{spec.height}): "
+        f"{res.fps:.1f} fps, {res.pixel_rate_mpps:.0f} Mpixel/s"
+    )
+    fr = res.mean_breakdown().fractions()
+    print(
+        "decoder time: "
+        + "  ".join(f"{k_} {v:.0%}" for k_, v in fr.items())
+    )
+    if args.bandwidth:
+        for name, (s, r) in res.bandwidth.items():
+            print(f"  {name:12s} send {s:6.2f} MB/s   recv {r:6.2f} MB/s")
+    return 0
+
+
+def cmd_info(args) -> int:
+    stream = _load_stream(args.input)
+    dec = Decoder()
+    sequence, pictures = PictureScanner(stream).scan()
+    print(
+        f"{sequence.width}x{sequence.height} @ {sequence.frame_rate:g} fps, "
+        f"{len(pictures)} coded pictures, {len(stream)} bytes"
+    )
+    if args.pictures:
+        from repro.mpeg2.parser import MacroblockParser
+
+        parser = MacroblockParser(sequence)
+        for unit in pictures:
+            p = parser.parse_picture(unit.data)
+            print(
+                f"  #{unit.coded_index:3d} {p.header.picture_type.name} "
+                f"tref={p.header.temporal_reference:3d} "
+                f"{unit.size_bytes:6d} B  coded={p.n_coded:4d} "
+                f"skipped={p.n_skipped}"
+            )
+    return 0
+
+
+def cmd_report(args) -> int:
+    from repro.perf.report import generate_report
+
+    text = generate_report(n_frames=args.frames)
+    if args.output:
+        Path(args.output).write_text(text)
+        print(f"wrote report -> {args.output}")
+    else:
+        print(text)
+    return 0
+
+
+def cmd_validate(args) -> int:
+    from repro.mpeg2.validate import validate_stream
+
+    report = validate_stream(Path(args.input).read_bytes())
+    for f in report.findings:
+        print(f)
+    print(
+        f"{report.pictures} pictures, {report.macroblocks} macroblocks: "
+        + ("OK" if report.ok else f"{len(report.errors())} error(s)")
+    )
+    return 0 if report.ok else 1
+
+
+def cmd_streams(args) -> int:
+    from repro.workloads.streams import table4_rows
+
+    for r in table4_rows():
+        print(
+            f"{r['stream']:3d} {r['name']:8s} {r['resolution']:>10s} "
+            f"{r['avg_frame_bytes']:>8d} B/frame  {r['bpp']:.2f} bpp  "
+            f"{r['bit_rate_mbps']:6.1f} Mb/s"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro",
+        description="Hierarchical parallel MPEG-2 decoder for tiled display walls",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    e = sub.add_parser("encode", help="encode y4m or synthetic content")
+    e.add_argument("-i", "--input", help=".y4m input (default: synthetic)")
+    e.add_argument("-o", "--output", required=True, help="output .m2v path")
+    e.add_argument("--synthetic", choices=sorted(GENERATORS), default="pattern")
+    e.add_argument("--width", type=int, default=192)
+    e.add_argument("--height", type=int, default=128)
+    e.add_argument("--frames", type=int, default=24)
+    e.add_argument("--seed", type=int, default=0)
+    e.add_argument("--gop", type=int, default=9)
+    e.add_argument("--b-frames", type=int, default=2)
+    e.add_argument("--search-range", type=int, default=7)
+    e.add_argument("--bpp", type=float, help="rate-control target (bits/pixel)")
+    e.set_defaults(func=cmd_encode)
+
+    d = sub.add_parser("decode", help="sequential decode to .y4m")
+    d.add_argument("-i", "--input", required=True)
+    d.add_argument("-o", "--output", required=True)
+    d.add_argument("--fps", type=float, default=30.0)
+    d.set_defaults(func=cmd_decode)
+
+    w = sub.add_parser("wall", help="parallel decode on an m x n wall")
+    w.add_argument("-i", "--input", required=True)
+    w.add_argument("-o", "--output", help="optional .y4m of the wall image")
+    w.add_argument("-m", type=int, default=2)
+    w.add_argument("-n", type=int, default=2)
+    w.add_argument("-k", type=int, default=1, help="second-level splitters")
+    w.add_argument("--overlap", type=int, default=0)
+    w.add_argument("--fps", type=float, default=30.0)
+    w.add_argument("--verify", action="store_true", default=True)
+    w.add_argument("--no-verify", dest="verify", action="store_false")
+    w.set_defaults(func=cmd_wall)
+
+    s = sub.add_parser("simulate", help="timed cluster simulation")
+    s.add_argument("--stream", type=int, default=16, help="Table 4 stream id")
+    s.add_argument("-m", type=int, default=4)
+    s.add_argument("-n", type=int, default=4)
+    s.add_argument("-k", type=int, default=4)
+    s.add_argument("--overlap", type=int, default=0)
+    s.add_argument("--frames", type=int, default=60)
+    s.add_argument("--bandwidth", action="store_true")
+    s.add_argument(
+        "--tiles-per-node",
+        type=int,
+        default=1,
+        help="projectors per decoder PC (multi-display extension)",
+    )
+    s.set_defaults(func=cmd_simulate)
+
+    i = sub.add_parser("info", help="inspect an encoded stream")
+    i.add_argument("-i", "--input", required=True)
+    i.add_argument("--pictures", action="store_true")
+    i.set_defaults(func=cmd_info)
+
+    r = sub.add_parser("report", help="regenerate the full results report")
+    r.add_argument("-o", "--output", help="markdown output path (default stdout)")
+    r.add_argument("--frames", type=int, default=30)
+    r.set_defaults(func=cmd_report)
+
+    v = sub.add_parser("validate", help="conformance-check a stream")
+    v.add_argument("-i", "--input", required=True)
+    v.set_defaults(func=cmd_validate)
+
+    t = sub.add_parser("streams", help="list the Table 4 test streams")
+    t.set_defaults(func=cmd_streams)
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,5 @@
+"""Simulated PC-cluster node model."""
+
+from repro.cluster.node import Node, NodeSpec, ClusterSpec, PRINCETON_WALL
+
+__all__ = ["Node", "NodeSpec", "ClusterSpec", "PRINCETON_WALL"]

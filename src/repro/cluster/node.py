@@ -1,0 +1,76 @@
+"""Simulated cluster nodes (the PCs of the Princeton Display Wall).
+
+A :class:`Node` owns a CPU (a speed factor relative to the 733 MHz
+Pentium III decoder workstations) and a GM port.  ``compute()`` charges
+modeled CPU time, scaled by the node's speed; busy time is accumulated for
+utilization reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.net.gm import GMNetwork, GMPort
+from repro.net.simtime import Simulator, Timeout
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """Static description of one PC."""
+
+    name: str
+    cpu_mhz: float = 733.0
+    ram_mb: int = 256
+
+    @property
+    def speed(self) -> float:
+        """Speed relative to the 733 MHz reference decoder node."""
+        return self.cpu_mhz / 733.0
+
+
+@dataclass(frozen=True)
+class ClusterSpec:
+    """A cluster: console + workers, all on one Myrinet fabric."""
+
+    console: NodeSpec
+    worker: NodeSpec
+    n_workers: int
+
+    def node_spec(self, node_id: int) -> NodeSpec:
+        return self.console if node_id == 0 else self.worker
+
+
+#: The paper's test platform (§5.1): 550 MHz PIII console with 1 GB SDRAM,
+#: 733 MHz PIII / 256 MB RDRAM workstations, 25 PCs on Myrinet.
+PRINCETON_WALL = ClusterSpec(
+    console=NodeSpec("console", cpu_mhz=550.0, ram_mb=1024),
+    worker=NodeSpec("workstation", cpu_mhz=733.0, ram_mb=256),
+    n_workers=24,
+)
+
+
+class Node:
+    """One simulated PC: CPU + NIC port."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        net: GMNetwork,
+        node_id: int,
+        spec: Optional[NodeSpec] = None,
+    ):
+        self.sim = sim
+        self.node_id = node_id
+        self.spec = spec or NodeSpec(f"node{node_id}")
+        self.port: GMPort = net.port(node_id)
+        self.busy_time = 0.0
+
+    def compute(self, seconds: float):
+        """Process helper: charge ``seconds`` of reference-CPU work."""
+        dt = seconds / self.spec.speed
+        self.busy_time += dt
+        yield Timeout(dt)
+
+    def utilization(self, duration: float) -> float:
+        return self.busy_time / duration if duration > 0 else 0.0

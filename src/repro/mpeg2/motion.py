@@ -1,0 +1,234 @@
+"""Motion estimation, half-pel compensation, and reference-region analysis.
+
+The compensation path (§7.6) is exercised by every decoder; the estimation
+path only by the encoder.  `reference_rect` is the analysis the second-level
+splitter runs to pre-calculate remote macroblock exchanges (paper §4.2): it
+maps a macroblock + motion vector to the pixel rectangle the prediction
+reads in the reference frame, which the MEI builder intersects with tile
+rectangles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.mpeg2.constants import MB_SIZE
+from repro.mpeg2.frames import Frame
+
+
+@dataclass(frozen=True)
+class Rect:
+    """Half-open pixel rectangle [x0, x1) x [y0, y1) in luma coordinates."""
+
+    x0: int
+    y0: int
+    x1: int
+    y1: int
+
+    @property
+    def width(self) -> int:
+        return self.x1 - self.x0
+
+    @property
+    def height(self) -> int:
+        return self.y1 - self.y0
+
+    @property
+    def area(self) -> int:
+        return max(0, self.width) * max(0, self.height)
+
+    def intersect(self, other: "Rect") -> "Rect":
+        return Rect(
+            max(self.x0, other.x0),
+            max(self.y0, other.y0),
+            min(self.x1, other.x1),
+            min(self.y1, other.y1),
+        )
+
+    def is_empty(self) -> bool:
+        return self.x1 <= self.x0 or self.y1 <= self.y0
+
+    def contains(self, other: "Rect") -> bool:
+        return (
+            other.x0 >= self.x0
+            and other.y0 >= self.y0
+            and other.x1 <= self.x1
+            and other.y1 <= self.y1
+        )
+
+
+def mb_rect(mb_x: int, mb_y: int) -> Rect:
+    """The 16x16 luma rectangle of macroblock (mb_x, mb_y)."""
+    return Rect(mb_x * MB_SIZE, mb_y * MB_SIZE, (mb_x + 1) * MB_SIZE, (mb_y + 1) * MB_SIZE)
+
+
+def reference_rect(mb_x: int, mb_y: int, mv: Tuple[int, int]) -> Rect:
+    """Luma rectangle read by a 16x16 prediction with half-pel MV ``mv``.
+
+    A fractional component widens the read by one sample for interpolation.
+    The corresponding chroma read is always contained in this rectangle
+    mapped to chroma coordinates (chroma MV = luma MV / 2 with the same
+    rounding the compensator uses), so MEI exchanges sized from this
+    rectangle cover both planes.
+    """
+    mvx, mvy = mv
+    x0 = mb_x * MB_SIZE + (mvx >> 1)
+    y0 = mb_y * MB_SIZE + (mvy >> 1)
+    w = MB_SIZE + (1 if mvx & 1 else 0)
+    h = MB_SIZE + (1 if mvy & 1 else 0)
+    return Rect(x0, y0, x0 + w, y0 + h)
+
+
+def chroma_reference_rect(mb_x: int, mb_y: int, mv: Tuple[int, int]) -> Rect:
+    """Chroma-plane rectangle read by a macroblock prediction (4:2:0)."""
+    cmvx, cmvy = chroma_mv(mv)
+    x0 = mb_x * 8 + (cmvx >> 1)
+    y0 = mb_y * 8 + (cmvy >> 1)
+    w = 8 + (1 if cmvx & 1 else 0)
+    h = 8 + (1 if cmvy & 1 else 0)
+    return Rect(x0, y0, x0 + w, y0 + h)
+
+
+# ---------------------------------------------------------------------- #
+# half-pel prediction
+# ---------------------------------------------------------------------- #
+
+
+def predict_plane(
+    plane: np.ndarray, x: int, y: int, w: int, h: int, mvx: int, mvy: int
+) -> np.ndarray:
+    """Half-pel motion-compensated prediction from ``plane``.
+
+    ``(x, y, w, h)`` is the destination rectangle; ``(mvx, mvy)`` is the
+    motion vector in half-sample units of *this plane's* resolution.
+    Returns int32 samples.  The referenced region must lie inside the plane
+    (the encoder clamps vectors to guarantee this).
+    """
+    ix, iy = mvx >> 1, mvy >> 1
+    fx, fy = mvx & 1, mvy & 1
+    x0, y0 = x + ix, y + iy
+    ph, pw = plane.shape
+    if x0 < 0 or y0 < 0 or x0 + w + (1 if fx else 0) > pw or y0 + h + (1 if fy else 0) > ph:
+        raise ValueError(
+            f"motion vector ({mvx},{mvy}) reads outside plane at ({x},{y})"
+        )
+    region = plane[y0 : y0 + h + fy, x0 : x0 + w + fx].astype(np.int32)
+    if fx == 0 and fy == 0:
+        return region
+    if fx and not fy:
+        return (region[:, :-1] + region[:, 1:] + 1) >> 1
+    if fy and not fx:
+        return (region[:-1, :] + region[1:, :] + 1) >> 1
+    return (
+        region[:-1, :-1] + region[:-1, 1:] + region[1:, :-1] + region[1:, 1:] + 2
+    ) >> 2
+
+
+def chroma_mv(mv: Tuple[int, int]) -> Tuple[int, int]:
+    """Luma half-pel MV -> chroma half-pel MV (§7.6.3.7, 4:2:0 frame)."""
+    return (mv[0] // 2 if mv[0] >= 0 else -((-mv[0]) // 2),
+            mv[1] // 2 if mv[1] >= 0 else -((-mv[1]) // 2))
+
+
+def predict_macroblock(
+    fwd: Optional[Frame],
+    bwd: Optional[Frame],
+    mb_x: int,
+    mb_y: int,
+    mv_fwd: Optional[Tuple[int, int]],
+    mv_bwd: Optional[Tuple[int, int]],
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Form the full prediction for one macroblock (Y 16x16, Cb/Cr 8x8).
+
+    Bidirectional predictions are the rounded average of the two directions
+    (§7.6.7.1).  Returns int32 planes.
+    """
+
+    def one(frame: Frame, mv: Tuple[int, int]):
+        cmv = chroma_mv(mv)
+        py = predict_plane(frame.y, mb_x * 16, mb_y * 16, 16, 16, mv[0], mv[1])
+        pcb = predict_plane(frame.cb, mb_x * 8, mb_y * 8, 8, 8, cmv[0], cmv[1])
+        pcr = predict_plane(frame.cr, mb_x * 8, mb_y * 8, 8, 8, cmv[0], cmv[1])
+        return py, pcb, pcr
+
+    if mv_fwd is not None and mv_bwd is not None:
+        assert fwd is not None and bwd is not None
+        fy, fcb, fcr = one(fwd, mv_fwd)
+        by, bcb, bcr = one(bwd, mv_bwd)
+        return ((fy + by + 1) >> 1, (fcb + bcb + 1) >> 1, (fcr + bcr + 1) >> 1)
+    if mv_fwd is not None:
+        assert fwd is not None
+        return one(fwd, mv_fwd)
+    if mv_bwd is not None:
+        assert bwd is not None
+        return one(bwd, mv_bwd)
+    raise ValueError("prediction requested with no motion vectors")
+
+
+# ---------------------------------------------------------------------- #
+# motion estimation (encoder only)
+# ---------------------------------------------------------------------- #
+
+
+def estimate_mv(
+    current: np.ndarray,
+    reference: np.ndarray,
+    mb_x: int,
+    mb_y: int,
+    search_range: int,
+    half_pel: bool = True,
+) -> Tuple[int, int]:
+    """Estimate the best half-pel MV for macroblock (mb_x, mb_y).
+
+    Full-search SAD over +/-``search_range`` integer offsets (vectorized via
+    a sliding-window view), then one half-pel refinement step.  Candidates
+    whose reads would leave the reference are excluded, so the returned MV
+    is always legal for :func:`predict_plane`.
+    """
+    h, w = reference.shape
+    bx, by = mb_x * MB_SIZE, mb_y * MB_SIZE
+    block = current[by : by + MB_SIZE, bx : bx + MB_SIZE].astype(np.int32)
+
+    # Clip the integer search window to the reference bounds.
+    lo_x = max(-search_range, -bx)
+    hi_x = min(search_range, w - MB_SIZE - bx)
+    lo_y = max(-search_range, -by)
+    hi_y = min(search_range, h - MB_SIZE - by)
+    if lo_x > hi_x or lo_y > hi_y:
+        return (0, 0)
+
+    win = reference[
+        by + lo_y : by + hi_y + MB_SIZE,
+        bx + lo_x : bx + hi_x + MB_SIZE,
+    ].astype(np.int32)
+    view = np.lib.stride_tricks.sliding_window_view(win, (MB_SIZE, MB_SIZE))
+    sads = np.abs(view - block).sum(axis=(2, 3))
+    # Bias toward the zero vector on ties for cheaper coding.
+    iy, ix = np.unravel_index(np.argmin(sads), sads.shape)
+    best = (lo_x + int(ix), lo_y + int(iy))
+    if 0 >= lo_x and 0 <= hi_x and 0 >= lo_y and 0 <= hi_y:
+        if sads[-lo_y, -lo_x] <= sads[iy, ix]:
+            best = (0, 0)
+
+    mvx, mvy = best[0] * 2, best[1] * 2
+    if not half_pel:
+        return (mvx, mvy)
+
+    best_sad = None
+    best_mv = (mvx, mvy)
+    for dy in (-1, 0, 1):
+        for dx in (-1, 0, 1):
+            cand = (mvx + dx, mvy + dy)
+            try:
+                pred = predict_plane(
+                    reference, bx, by, MB_SIZE, MB_SIZE, cand[0], cand[1]
+                )
+            except ValueError:
+                continue
+            sad = int(np.abs(pred - block).sum())
+            if best_sad is None or sad < best_sad:
+                best_sad, best_mv = sad, cand
+    return best_mv

@@ -1,0 +1,256 @@
+"""Stream parsing at the two granularities the hierarchical decoder uses.
+
+:class:`PictureScanner` is the root splitter's engine: a linear start-code
+scan that carves the stream into self-contained coded pictures (plus the
+sequence/GOP headers they travel with).  It does **no** VLC work — that is
+exactly why picture-level splitting is cheap (paper Table 1).
+
+:class:`MacroblockParser` is the second-level splitter's engine: a full VLC
+parse of one coded picture into macroblocks with their bit extents and the
+predictor state at every macroblock boundary — everything the sub-picture
+builder needs to emit State Propagation Headers and the MEI builder needs to
+pre-calculate remote-block exchanges.  It does no pixel reconstruction
+("a splitter does not motion compensate").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bitstream import BitReader, BitstreamError
+from repro.mpeg2.constants import (
+    GROUP_START_CODE,
+    PICTURE_START_CODE,
+    SEQUENCE_END_CODE,
+    SEQUENCE_HEADER_CODE,
+    is_slice_start_code,
+)
+from repro.mpeg2 import vlc
+from repro.mpeg2.macroblock import (
+    CodingState,
+    Macroblock,
+    make_skipped,
+    parse_macroblock_body,
+)
+from repro.mpeg2.structures import GOPHeader, PictureHeader, SequenceHeader
+
+
+@dataclass
+class PictureUnit:
+    """One coded picture as shipped by the root splitter.
+
+    ``data`` spans from the picture start code to the byte before the next
+    picture/GOP/sequence start code, so it is self-contained for macroblock
+    parsing (given the sequence header, which the root distributes once).
+    """
+
+    coded_index: int
+    data: bytes
+    new_gop: bool = False
+    gop: Optional[GOPHeader] = None
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.data)
+
+
+class PictureScanner:
+    """Split a stream into its sequence header and coded pictures."""
+
+    def __init__(self, stream: bytes):
+        self.stream = bytes(stream)
+        self.sequence: Optional[SequenceHeader] = None
+        self._pictures: Optional[List[PictureUnit]] = None
+
+    def scan(self) -> Tuple[SequenceHeader, List[PictureUnit]]:
+        """Scan the whole stream once; results are cached."""
+        if self._pictures is not None:
+            assert self.sequence is not None
+            return self.sequence, self._pictures
+
+        br = BitReader(self.stream)
+        code = br.next_start_code()
+        if code != SEQUENCE_HEADER_CODE:
+            raise BitstreamError("stream does not begin with a sequence header")
+        self.sequence = SequenceHeader.parse(br)
+
+        pictures: List[PictureUnit] = []
+        pending_gop: Optional[GOPHeader] = None
+        new_gop = False
+        pic_start: Optional[int] = None
+
+        def close_picture(end_byte: int) -> None:
+            nonlocal pic_start, pending_gop, new_gop
+            if pic_start is None:
+                return
+            pictures.append(
+                PictureUnit(
+                    coded_index=len(pictures),
+                    data=self.stream[pic_start:end_byte],
+                    new_gop=new_gop,
+                    gop=pending_gop,
+                )
+            )
+            pic_start = None
+            pending_gop = None
+            new_gop = False
+
+        while True:
+            code = br.next_start_code()
+            if code is None:
+                close_picture(len(self.stream))
+                break
+            at = br.byte_pos - 4  # position of the 00 00 01 prefix
+            if code == GROUP_START_CODE:
+                close_picture(at)
+                pending_gop = GOPHeader.parse(br)
+                new_gop = True
+            elif code == PICTURE_START_CODE:
+                close_picture(at)
+                pic_start = at
+            elif code == SEQUENCE_END_CODE:
+                close_picture(at)
+                break
+            elif code == SEQUENCE_HEADER_CODE:
+                close_picture(at)
+                SequenceHeader.parse(br)  # repeated header; validated and dropped
+            elif is_slice_start_code(code):
+                continue  # interior of the current picture
+            # extension/user-data codes inside pictures are skipped by scan
+
+        self._pictures = pictures
+        return self.sequence, pictures
+
+
+# ---------------------------------------------------------------------- #
+# macroblock-level parsing
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class ParsedMB:
+    """A macroblock plus the splitter-relevant context around it."""
+
+    mb: Macroblock
+    state_before: dict  # CodingState.snapshot() before this macroblock
+    slice_row: int
+    # Monotone id of the slice this macroblock was coded in.  Runs must
+    # never fuse across slice boundaries even within one row (multiple
+    # slices per row are legal): the bits between them hold start codes
+    # and slice headers, not macroblock data.
+    slice_index: int = 0
+
+
+@dataclass
+class ParsedPicture:
+    """Full macroblock-level parse of one coded picture."""
+
+    header: PictureHeader
+    data: bytes
+    mb_width: int
+    mb_height: int
+    items: List[ParsedMB] = field(default_factory=list)  # stream order
+    n_skipped: int = 0
+
+    @property
+    def n_coded(self) -> int:
+        return len(self.items) - self.n_skipped
+
+    def coded_items(self) -> List[ParsedMB]:
+        return [it for it in self.items if not it.mb.skipped]
+
+
+# End-of-slice detection: a macroblock never starts with 23 zero bits, while
+# the zero padding + start-code prefix that ends a slice always provides them.
+_EOS_BITS = 23
+
+
+class MacroblockParser:
+    """VLC-parse coded pictures into macroblocks (no reconstruction)."""
+
+    def __init__(self, sequence: SequenceHeader):
+        self.sequence = sequence
+        self.mb_width = sequence.width // 16
+        self.mb_height = sequence.height // 16
+
+    def parse_picture(self, data: bytes) -> ParsedPicture:
+        br = BitReader(data)
+        code = br.next_start_code()
+        if code != PICTURE_START_CODE:
+            raise BitstreamError("picture unit does not start with picture code")
+        header = PictureHeader.parse(br)
+        parsed = ParsedPicture(
+            header=header,
+            data=data,
+            mb_width=self.mb_width,
+            mb_height=self.mb_height,
+        )
+        slice_index = 0
+        while True:
+            code = br.peek_start_code()
+            if code is None or not is_slice_start_code(code):
+                break
+            br.next_start_code()
+            self._parse_slice(br, code - 1, header, parsed, slice_index)
+            slice_index += 1
+        return parsed
+
+    def _parse_slice(
+        self,
+        br: BitReader,
+        row: int,
+        header: PictureHeader,
+        parsed: ParsedPicture,
+        slice_index: int = 0,
+    ) -> None:
+        if row >= self.mb_height:
+            raise BitstreamError(f"slice row {row} beyond picture height")
+        qcode = br.read(5)
+        if qcode == 0:
+            raise BitstreamError("slice quantiser_scale_code of zero")
+        if br.read(1):
+            raise BitstreamError("extra_information_slice unsupported")
+        state = CodingState(picture=header, qscale_code=qcode)
+        prev_addr = row * self.mb_width - 1
+        first_in_slice = True
+        while br.bits_left() > 0 and br.peek(_EOS_BITS) != 0:
+            bit_start = br.pos
+            increment = vlc.decode_address_increment(br)
+            address = prev_addr + increment
+            if address >= (row + 1) * self.mb_width:
+                raise BitstreamError("macroblock address beyond slice row")
+            # Skipped macroblocks covered by the increment mutate the
+            # predictor state *before* the coded macroblock's body parse
+            # (§7.6.3.4): P skips reset the motion-vector predictors, and
+            # every skip resets the DC predictors.  The FIRST macroblock of
+            # a slice is special: its increment only positions the slice in
+            # the row (earlier macroblocks belong to the previous slice),
+            # so it implies no skips (§6.3.16).
+            skip_from = address if first_in_slice else prev_addr + 1
+            first_in_slice = False
+            for skip_addr in range(skip_from, address):
+                skip_snap = state.snapshot()
+                smb = make_skipped(skip_addr, state)
+                parsed.items.append(
+                    ParsedMB(
+                        mb=smb,
+                        state_before=skip_snap,
+                        slice_row=row,
+                        slice_index=slice_index,
+                    )
+                )
+                parsed.n_skipped += 1
+            snap = state.snapshot()
+            mb = parse_macroblock_body(br, state)
+            mb.bit_start = bit_start
+            mb.address = address
+            parsed.items.append(
+                ParsedMB(
+                    mb=mb,
+                    state_before=snap,
+                    slice_row=row,
+                    slice_index=slice_index,
+                )
+            )
+            prev_addr = address

@@ -1,0 +1,234 @@
+"""MPEG-2 systems layer: program-stream multiplexing (ISO 13818-1 subset).
+
+The paper's overview (§2) notes MPEG-2 is a family: video, audio, and "a
+system layer standard for multiplexing".  Real capture pipelines hand the
+wall a *program stream*; this module packs/unpacks the video elementary
+stream so the root splitter can be fed either way:
+
+- :func:`mux_program_stream` wraps a video ES into packs of PES packets
+  with SCR timestamps and per-picture PTS;
+- :func:`demux_program_stream` recovers the elementary stream (and the
+  PTS list) from a program stream.
+
+Subset: one video elementary stream (stream_id 0xE0), no audio or padding
+streams, no system header rate enforcement.  The wire format of what *is*
+emitted follows 13818-1 (pack headers with 42-bit SCR, MPEG-2 PES headers
+with 33-bit PTS), so the parsing side is tolerant of real-world streams'
+framing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.bitstream import BitReader, BitstreamError, BitWriter, find_start_codes
+from repro.mpeg2.constants import PICTURE_START_CODE
+
+PACK_START_CODE = 0xBA
+SYSTEM_HEADER_CODE = 0xBB
+PROGRAM_END_CODE = 0xB9
+VIDEO_STREAM_ID = 0xE0
+
+#: 90 kHz system clock (PTS/SCR base units)
+SYSTEM_CLOCK = 90_000
+
+
+@dataclass
+class PESPacket:
+    stream_id: int
+    payload: bytes
+    pts: Optional[int] = None  # 33-bit, 90 kHz units
+
+
+@dataclass
+class ProgramStream:
+    """Demux result."""
+
+    video_es: bytes
+    packets: List[PESPacket] = field(default_factory=list)
+    scrs: List[int] = field(default_factory=list)
+
+    @property
+    def pts_list(self) -> List[int]:
+        return [p.pts for p in self.packets if p.pts is not None]
+
+
+# ---------------------------------------------------------------------- #
+# muxing
+# ---------------------------------------------------------------------- #
+
+
+def _write_scr(bw: BitWriter, scr_base: int, scr_ext: int = 0) -> None:
+    bw.write(0b01, 2)
+    bw.write((scr_base >> 30) & 0x7, 3)
+    bw.write(1, 1)
+    bw.write((scr_base >> 15) & 0x7FFF, 15)
+    bw.write(1, 1)
+    bw.write(scr_base & 0x7FFF, 15)
+    bw.write(1, 1)
+    bw.write(scr_ext & 0x1FF, 9)
+    bw.write(1, 1)
+
+
+def _write_pack_header(bw: BitWriter, scr_base: int, mux_rate: int) -> None:
+    bw.write_start_code(PACK_START_CODE)
+    _write_scr(bw, scr_base)
+    bw.write(mux_rate & 0x3FFFFF, 22)
+    bw.write(1, 1)
+    bw.write(1, 1)
+    bw.write(0x1F, 5)  # reserved
+    bw.write(0, 3)  # pack_stuffing_length
+
+
+def _write_pes(bw: BitWriter, packet: PESPacket) -> None:
+    header_data = BitWriter()
+    if packet.pts is not None:
+        header_data.write(0b0010, 4)
+        header_data.write((packet.pts >> 30) & 0x7, 3)
+        header_data.write(1, 1)
+        header_data.write((packet.pts >> 15) & 0x7FFF, 15)
+        header_data.write(1, 1)
+        header_data.write(packet.pts & 0x7FFF, 15)
+        header_data.write(1, 1)
+    hdata = header_data.getvalue()
+
+    pes_len = 3 + len(hdata) + len(packet.payload)
+    if pes_len > 0xFFFF:
+        raise ValueError("PES packet too large; reduce chunk size")
+    bw.write_start_code(packet.stream_id)
+    bw.write(pes_len, 16)
+    bw.write(0b10, 2)  # MPEG-2 marker
+    bw.write(0, 2)  # scrambling
+    bw.write(0, 1)  # priority
+    bw.write(1, 1)  # data_alignment (picture-aligned chunks)
+    bw.write(0, 1)  # copyright
+    bw.write(0, 1)  # original
+    bw.write(0b10 if packet.pts is not None else 0b00, 2)  # PTS_DTS_flags
+    bw.write(0, 6)  # ESCR..extension flags
+    bw.write(len(hdata), 8)
+    bw.align()
+    bw.write_bytes(hdata)
+    bw.write_bytes(packet.payload)
+
+
+def mux_program_stream(
+    video_es: bytes,
+    fps: float = 30.0,
+    chunk_size: int = 2048,
+    mux_rate: int = 2_000_000 // 400,
+) -> bytes:
+    """Pack a video elementary stream into a program stream.
+
+    Each coded picture starts a new PES packet carrying its PTS (decode
+    order index / fps); large pictures continue in PTS-less packets of
+    ``chunk_size`` bytes.  One pack per PES packet keeps the mux simple.
+    """
+    if not video_es:
+        raise ValueError("empty elementary stream")
+    # picture-aligned chunking
+    cuts = [off for off, code in find_start_codes(video_es) if code == PICTURE_START_CODE]
+    boundaries = sorted(set([0] + cuts + [len(video_es)]))
+    ticks_per_frame = int(round(SYSTEM_CLOCK / fps))
+
+    bw = BitWriter()
+    pic_index = 0
+    for b0, b1 in zip(boundaries, boundaries[1:]):
+        region = video_es[b0:b1]
+        is_picture = b0 in cuts
+        pts = pic_index * ticks_per_frame if is_picture else None
+        if is_picture:
+            pic_index += 1
+        for off in range(0, len(region), chunk_size):
+            chunk = region[off : off + chunk_size]
+            _write_pack_header(bw, scr_base=(pts or 0), mux_rate=mux_rate)
+            _write_pes(
+                bw,
+                PESPacket(
+                    stream_id=VIDEO_STREAM_ID,
+                    payload=chunk,
+                    pts=pts if off == 0 else None,
+                ),
+            )
+    bw.write_start_code(PROGRAM_END_CODE)
+    return bw.getvalue()
+
+
+# ---------------------------------------------------------------------- #
+# demuxing
+# ---------------------------------------------------------------------- #
+
+
+def _read_scr(br: BitReader) -> int:
+    if br.read(2) != 0b01:
+        raise BitstreamError("bad SCR marker bits")
+    base = br.read(3) << 30
+    br.read(1)
+    base |= br.read(15) << 15
+    br.read(1)
+    base |= br.read(15)
+    br.read(1)
+    br.read(9)  # extension
+    br.read(1)
+    return base
+
+
+def _read_pts(br: BitReader) -> int:
+    if br.read(4) != 0b0010:
+        raise BitstreamError("bad PTS prefix")
+    pts = br.read(3) << 30
+    br.read(1)
+    pts |= br.read(15) << 15
+    br.read(1)
+    pts |= br.read(15)
+    br.read(1)
+    return pts
+
+
+def demux_program_stream(data: bytes) -> ProgramStream:
+    """Recover the video elementary stream from a program stream."""
+    br = BitReader(data)
+    out = ProgramStream(video_es=b"")
+    chunks: List[bytes] = []
+    while True:
+        code = br.next_start_code()
+        if code is None or code == PROGRAM_END_CODE:
+            break
+        if code == PACK_START_CODE:
+            scr = _read_scr(br)
+            br.read(22)  # mux rate
+            br.read(2)
+            br.read(5)
+            stuffing = br.read(3)
+            br.skip(8 * stuffing)
+            out.scrs.append(scr)
+        elif code == SYSTEM_HEADER_CODE:
+            length = br.read(16)
+            br.skip(8 * length)
+        elif 0xC0 <= code <= 0xEF:  # audio/video PES stream ids
+            length = br.read(16)
+            end_bit = br.pos + 8 * length
+            if br.read(2) != 0b10:
+                raise BitstreamError("not an MPEG-2 PES header")
+            br.read(6)  # scrambling..original
+            pts_dts = br.read(2)
+            br.read(6)
+            hlen = br.read(8)
+            hdr_end = br.pos + 8 * hlen
+            pts = None
+            if pts_dts in (0b10, 0b11):
+                pts = _read_pts(br)
+            br.pos = hdr_end
+            payload_bytes = (end_bit - br.pos) // 8
+            payload = br.data[br.byte_pos : br.byte_pos + payload_bytes]
+            br.pos = end_bit
+            pkt = PESPacket(stream_id=code, payload=payload, pts=pts)
+            out.packets.append(pkt)
+            if code == VIDEO_STREAM_ID:
+                chunks.append(payload)
+        # other codes (e.g. stray video codes inside payloads are never
+        # seen: payloads are skipped as bytes above)
+    out.video_es = b"".join(chunks)
+    if not out.video_es:
+        raise BitstreamError("no video PES packets found")
+    return out

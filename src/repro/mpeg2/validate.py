@@ -1,0 +1,175 @@
+"""Stream conformance checking (within this codec's supported subset).
+
+:func:`validate_stream` walks an encoded stream and verifies the structural
+invariants every component downstream relies on.  It reports findings
+instead of raising, so tools can show all problems at once; ``ok`` is True
+when nothing above WARNING severity was found.
+
+Checked invariants:
+
+- stream framing: sequence header first, sequence end last;
+- every picture carries its coding extension with legal f_codes for its
+  type (P needs forward, B needs both);
+- temporal references cover each GOP without duplicates;
+- every slice row is inside the picture and rows appear in order;
+- every macroblock of every picture is accounted for exactly once
+  (coded or skipped) — the invariant the splitter depends on;
+- B pictures only appear when two anchors are available, and the first
+  picture of a closed GOP is an I picture.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import IntEnum
+from typing import List
+
+from repro.bitstream import BitstreamError
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+
+
+class Severity(IntEnum):
+    INFO = 0
+    WARNING = 1
+    ERROR = 2
+
+
+@dataclass(frozen=True)
+class Finding:
+    severity: Severity
+    picture: int  # -1 for stream-level findings
+    message: str
+
+    def __str__(self) -> str:
+        where = "stream" if self.picture < 0 else f"picture {self.picture}"
+        return f"[{self.severity.name}] {where}: {self.message}"
+
+
+@dataclass
+class ValidationReport:
+    findings: List[Finding] = field(default_factory=list)
+    pictures: int = 0
+    macroblocks: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return all(f.severity < Severity.ERROR for f in self.findings)
+
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == Severity.ERROR]
+
+    def add(self, severity: Severity, picture: int, message: str) -> None:
+        self.findings.append(Finding(severity, picture, message))
+
+
+def validate_stream(stream: bytes) -> ValidationReport:
+    report = ValidationReport()
+    if not stream.startswith(b"\x00\x00\x01\xb3"):
+        report.add(Severity.ERROR, -1, "does not start with a sequence header")
+        return report
+    if not stream.rstrip(b"\x00").endswith(b"\x00\x00\x01\xb7"):
+        report.add(Severity.WARNING, -1, "no sequence_end_code at end of stream")
+
+    try:
+        sequence, pictures = PictureScanner(stream).scan()
+    except (BitstreamError, ValueError) as exc:
+        report.add(Severity.ERROR, -1, f"scan failed: {exc}")
+        return report
+    if sequence.width % 16 or sequence.height % 16:
+        report.add(
+            Severity.ERROR,
+            -1,
+            f"raster {sequence.width}x{sequence.height} not macroblock aligned",
+        )
+        return report
+
+    parser = MacroblockParser(sequence)
+    n_mbs = (sequence.width // 16) * (sequence.height // 16)
+    anchors_seen = 0
+    gop_trefs: List[int] = []
+
+    for unit in pictures:
+        report.pictures += 1
+        i = unit.coded_index
+        if unit.new_gop:
+            if gop_trefs and len(set(gop_trefs)) != len(gop_trefs):
+                report.add(
+                    Severity.ERROR, i, "duplicate temporal references in GOP"
+                )
+            gop_trefs = []
+        try:
+            parsed = parser.parse_picture(unit.data)
+        except (BitstreamError, ValueError) as exc:
+            report.add(Severity.ERROR, i, f"parse failed: {exc}")
+            continue
+        hdr = parsed.header
+        gop_trefs.append(hdr.temporal_reference)
+
+        # f_code legality per picture type
+        if hdr.picture_type in (PictureType.P, PictureType.B):
+            for t in range(2):
+                if not 1 <= hdr.f_code[0][t] <= 9:
+                    report.add(
+                        Severity.ERROR, i, f"illegal forward f_code {hdr.f_code[0]}"
+                    )
+        if hdr.picture_type == PictureType.B:
+            for t in range(2):
+                if not 1 <= hdr.f_code[1][t] <= 9:
+                    report.add(
+                        Severity.ERROR, i, f"illegal backward f_code {hdr.f_code[1]}"
+                    )
+
+        # reference availability
+        if unit.new_gop and unit.gop is not None and unit.gop.closed_gop:
+            if hdr.picture_type != PictureType.I:
+                report.add(
+                    Severity.ERROR, i, "closed GOP does not start with an I picture"
+                )
+            anchors_seen = 0
+        if hdr.picture_type == PictureType.P and anchors_seen < 1:
+            report.add(Severity.ERROR, i, "P picture without a prior anchor")
+        if hdr.picture_type == PictureType.B and anchors_seen < 2:
+            report.add(Severity.ERROR, i, "B picture without two anchors")
+        if hdr.picture_type != PictureType.B:
+            anchors_seen += 1
+
+        # macroblock coverage
+        addresses = sorted(it.mb.address for it in parsed.items)
+        report.macroblocks += len(addresses)
+        if addresses != list(range(n_mbs)):
+            missing = n_mbs - len(set(addresses))
+            dupes = len(addresses) - len(set(addresses))
+            report.add(
+                Severity.ERROR,
+                i,
+                f"macroblock coverage broken ({missing} missing, {dupes} duplicated)",
+            )
+
+        # slice rows in order
+        rows = [it.slice_row for it in parsed.items]
+        if rows != sorted(rows):
+            report.add(Severity.ERROR, i, "slice rows out of order")
+
+        # motion vectors inside the picture
+        for it in parsed.items:
+            for mv in (it.mb.mv_fwd, it.mb.mv_bwd):
+                if mv is None:
+                    continue
+                mb_x = it.mb.address % parsed.mb_width
+                mb_y = it.mb.address // parsed.mb_width
+                from repro.mpeg2.motion import reference_rect
+
+                r = reference_rect(mb_x, mb_y, mv)
+                if r.x0 < 0 or r.y0 < 0 or r.x1 > sequence.width or r.y1 > sequence.height:
+                    report.add(
+                        Severity.ERROR,
+                        i,
+                        f"motion vector {mv} of macroblock {it.mb.address} "
+                        "reads outside the picture",
+                    )
+                    break
+
+    if report.pictures == 0:
+        report.add(Severity.ERROR, -1, "stream contains no pictures")
+    return report

@@ -1,0 +1,110 @@
+"""VBV (video buffering verifier) model (ISO 13818-2 Annex C subset).
+
+The VBV is MPEG's contract between encoder and decoder: bits arrive at the
+channel rate, one picture's bits leave instantaneously at each decode
+instant, and the buffer must neither underflow (decoder starves — a frame
+drop on the wall) nor overflow (encoder overruns the decoder's memory).
+
+:func:`simulate_vbv` replays that model over a stream's measured picture
+sizes; :func:`check_stream` runs it on an encoded stream.  The rate-control
+tests use it to show the feedback controller keeps streams inside a sane
+buffer at their nominal channel rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Sequence
+
+from repro.mpeg2.parser import PictureScanner
+
+
+@dataclass
+class VBVEvent:
+    picture: int
+    occupancy_before_bits: float  # buffer level right before removal
+    occupancy_after_bits: float  # right after the picture is pulled
+    underflow: bool
+    overflow: bool
+
+
+@dataclass
+class VBVResult:
+    buffer_bits: int
+    bit_rate: float
+    events: List[VBVEvent] = field(default_factory=list)
+
+    @property
+    def underflows(self) -> List[int]:
+        return [e.picture for e in self.events if e.underflow]
+
+    @property
+    def overflows(self) -> List[int]:
+        return [e.picture for e in self.events if e.overflow]
+
+    @property
+    def ok(self) -> bool:
+        return not self.underflows and not self.overflows
+
+    @property
+    def min_occupancy(self) -> float:
+        return min((e.occupancy_before_bits for e in self.events), default=0.0)
+
+    @property
+    def peak_occupancy(self) -> float:
+        return max((e.occupancy_before_bits for e in self.events), default=0.0)
+
+
+def simulate_vbv(
+    picture_bits: Sequence[int],
+    bit_rate: float,
+    fps: float,
+    buffer_bits: int = 1_835_008,  # MP@ML VBV: 112 * 16384 bits
+    initial_delay: float = 0.5,
+) -> VBVResult:
+    """Replay the VBV over per-picture sizes (decode order).
+
+    ``initial_delay`` seconds of fill happen before the first decode (the
+    startup buffering a player performs).  Occupancy is clamped at the
+    buffer size — the clamp instants are reported as overflows.
+    """
+    if bit_rate <= 0 or fps <= 0:
+        raise ValueError("bit_rate and fps must be positive")
+    result = VBVResult(buffer_bits=buffer_bits, bit_rate=bit_rate)
+    occupancy = min(buffer_bits, bit_rate * initial_delay)
+    per_tick = bit_rate / fps
+    for i, bits in enumerate(picture_bits):
+        overflow = False
+        if i > 0:
+            occupancy += per_tick
+            if occupancy > buffer_bits:
+                occupancy = buffer_bits
+                overflow = True
+        underflow = bits > occupancy
+        after = max(0.0, occupancy - bits)
+        result.events.append(
+            VBVEvent(
+                picture=i,
+                occupancy_before_bits=occupancy,
+                occupancy_after_bits=after,
+                underflow=underflow,
+                overflow=overflow,
+            )
+        )
+        occupancy = after
+    return result
+
+
+def check_stream(
+    stream: bytes,
+    bit_rate: float,
+    fps: float,
+    buffer_bits: int = 1_835_008,
+    initial_delay: float = 0.5,
+) -> VBVResult:
+    """Measure per-picture sizes from an encoded stream and run the VBV."""
+    _, pictures = PictureScanner(stream).scan()
+    sizes = [8 * unit.size_bytes for unit in pictures]
+    return simulate_vbv(
+        sizes, bit_rate, fps, buffer_bits=buffer_bits, initial_delay=initial_delay
+    )

@@ -1,0 +1,159 @@
+"""Uncompressed video I/O: YUV4MPEG2 (.y4m) clips and PPM stills.
+
+Gives the examples and downstream users a way to bring real content in and
+get decoded walls out without adding dependencies: ``mpv``/``ffplay`` play
+.y4m directly, and PPM opens anywhere.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+from pathlib import Path
+from typing import Iterable, List, Union
+
+import numpy as np
+
+from repro.mpeg2.frames import Frame, pad_to_macroblocks
+
+PathLike = Union[str, Path]
+
+
+# ---------------------------------------------------------------------- #
+# YUV4MPEG2
+# ---------------------------------------------------------------------- #
+
+
+def write_y4m(path: PathLike, frames: Iterable[Frame], fps: float = 30.0) -> None:
+    """Write frames as a YUV4MPEG2 4:2:0 stream."""
+    frames = list(frames)
+    if not frames:
+        raise ValueError("no frames to write")
+    w, h = frames[0].width, frames[0].height
+    num, den = _fps_to_ratio(fps)
+    with open(path, "wb") as fh:
+        fh.write(f"YUV4MPEG2 W{w} H{h} F{num}:{den} Ip A1:1 C420\n".encode())
+        for f in frames:
+            if (f.width, f.height) != (w, h):
+                raise ValueError("frame size changed mid-stream")
+            fh.write(b"FRAME\n")
+            fh.write(f.y.tobytes())
+            fh.write(f.cb.tobytes())
+            fh.write(f.cr.tobytes())
+
+
+def read_y4m(path: PathLike, pad: bool = True) -> List[Frame]:
+    """Read a YUV4MPEG2 4:2:0 stream.
+
+    ``pad=True`` edge-pads frames to macroblock alignment so the result
+    feeds the encoder directly.
+    """
+    data = Path(path).read_bytes()
+    nl = data.index(b"\n")
+    header = data[:nl].decode("ascii", "replace")
+    if not header.startswith("YUV4MPEG2"):
+        raise ValueError("not a YUV4MPEG2 file")
+    mw = re.search(r"\bW(\d+)", header)
+    mh = re.search(r"\bH(\d+)", header)
+    if not mw or not mh:
+        raise ValueError("missing W/H in y4m header")
+    mc = re.search(r"\bC(\S+)", header)
+    if mc and not mc.group(1).startswith("420"):
+        raise ValueError(f"unsupported chroma format C{mc.group(1)}")
+    w, h = int(mw.group(1)), int(mh.group(1))
+    ysz, csz = w * h, (w // 2) * (h // 2)
+    frames: List[Frame] = []
+    pos = nl + 1
+    while pos < len(data):
+        fnl = data.index(b"\n", pos)
+        if not data[pos:fnl].startswith(b"FRAME"):
+            raise ValueError("malformed frame marker")
+        pos = fnl + 1
+        if pos + ysz + 2 * csz > len(data):
+            raise ValueError("truncated y4m frame")
+        y = np.frombuffer(data, np.uint8, ysz, pos).reshape(h, w)
+        cb = np.frombuffer(data, np.uint8, csz, pos + ysz).reshape(h // 2, w // 2)
+        cr = np.frombuffer(data, np.uint8, csz, pos + ysz + csz).reshape(
+            h // 2, w // 2
+        )
+        pos += ysz + 2 * csz
+        if pad and (w % 16 or h % 16):
+            frames.append(pad_to_macroblocks(y, cb, cr))
+        else:
+            frames.append(Frame(y.copy(), cb.copy(), cr.copy()))
+    return frames
+
+
+def _fps_to_ratio(fps: float) -> tuple:
+    for num, den in ((24000, 1001), (30000, 1001), (60000, 1001)):
+        if abs(fps - num / den) < 1e-3:
+            return num, den
+    if abs(fps - round(fps)) < 1e-9:
+        return int(round(fps)), 1
+    return int(round(fps * 1000)), 1000
+
+
+# ---------------------------------------------------------------------- #
+# PPM stills (via BT.601 conversion)
+# ---------------------------------------------------------------------- #
+
+
+def frame_to_rgb(frame: Frame) -> np.ndarray:
+    """BT.601 full-range YCbCr -> RGB, (h, w, 3) uint8."""
+    y = frame.y.astype(np.float64)
+    cb = np.repeat(np.repeat(frame.cb, 2, axis=0), 2, axis=1).astype(np.float64)
+    cr = np.repeat(np.repeat(frame.cr, 2, axis=0), 2, axis=1).astype(np.float64)
+    cb -= 128.0
+    cr -= 128.0
+    r = y + 1.402 * cr
+    g = y - 0.344136 * cb - 0.714136 * cr
+    b = y + 1.772 * cb
+    rgb = np.stack([r, g, b], axis=-1)
+    return np.clip(np.rint(rgb), 0, 255).astype(np.uint8)
+
+
+def rgb_to_frame(rgb: np.ndarray) -> Frame:
+    """RGB (h, w, 3) -> 4:2:0 Frame (BT.601 full range), padded to MBs."""
+    arr = np.asarray(rgb, dtype=np.float64)
+    r, g, b = arr[..., 0], arr[..., 1], arr[..., 2]
+    y = 0.299 * r + 0.587 * g + 0.114 * b
+    cb = 128.0 + (b - y) / 1.772
+    cr = 128.0 + (r - y) / 1.402
+    y8 = np.clip(np.rint(y), 0, 255).astype(np.uint8)
+    # 2x2 box filter for chroma subsampling
+    h, w = y8.shape
+    h2, w2 = h - h % 2, w - w % 2
+    cb_s = cb[:h2, :w2].reshape(h2 // 2, 2, w2 // 2, 2).mean(axis=(1, 3))
+    cr_s = cr[:h2, :w2].reshape(h2 // 2, 2, w2 // 2, 2).mean(axis=(1, 3))
+    cb8 = np.clip(np.rint(cb_s), 0, 255).astype(np.uint8)
+    cr8 = np.clip(np.rint(cr_s), 0, 255).astype(np.uint8)
+    return pad_to_macroblocks(y8[:h2, :w2], cb8, cr8)
+
+
+def write_ppm(path: PathLike, frame: Frame) -> None:
+    rgb = frame_to_rgb(frame)
+    with open(path, "wb") as fh:
+        fh.write(f"P6\n{frame.width} {frame.height}\n255\n".encode())
+        fh.write(rgb.tobytes())
+
+
+def read_ppm(path: PathLike) -> Frame:
+    data = Path(path).read_bytes()
+    fh = io.BytesIO(data)
+    magic = fh.readline().strip()
+    if magic != b"P6":
+        raise ValueError("not a binary PPM")
+    fields: List[int] = []
+    while len(fields) < 3:
+        line = fh.readline()
+        if not line:
+            raise ValueError("truncated PPM header")
+        if line.startswith(b"#"):
+            continue
+        fields.extend(int(tok) for tok in line.split())
+    w, h, maxval = fields[:3]
+    if maxval != 255:
+        raise ValueError("only 8-bit PPM supported")
+    raw = fh.read(w * h * 3)
+    rgb = np.frombuffer(raw, np.uint8).reshape(h, w, 3)
+    return rgb_to_frame(rgb)

@@ -1,0 +1,259 @@
+"""Variable-length coding engines built from the Annex B tables.
+
+:class:`VLCTable` turns a ``symbol -> (bits, length)`` mapping into an
+encoder and a single-lookup decoder (a flat table indexed by the next
+``max_length`` bits, the classic software-VLC trick mpeg2dec uses).  On top
+of it sit the composite codecs the syntax layer needs: macroblock address
+increments with escapes, motion codes with residuals, and the run/level DCT
+coefficient codec with end-of-block, first-coefficient special case, and
+MPEG-2 escape coding.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Sequence, Tuple
+
+from repro.bitstream import BitReader, BitstreamError, BitWriter
+from repro.mpeg2 import tables as T
+
+
+class VLCError(BitstreamError):
+    """Raised when no code in the table matches the bitstream."""
+
+
+class VLCTable:
+    """Prefix-code encoder/decoder for one Annex B table."""
+
+    def __init__(self, name: str, mapping: Dict[Hashable, Tuple[int, int]]):
+        self.name = name
+        self.mapping = dict(mapping)
+        self.max_len = max(length for _, length in mapping.values())
+        self._check_prefix_free()
+        # Flat decode LUT: index by the next max_len bits, store (sym, len).
+        size = 1 << self.max_len
+        lut: List[Tuple[Hashable, int] | None] = [None] * size
+        for sym, (bits, length) in mapping.items():
+            shift = self.max_len - length
+            base = bits << shift
+            for i in range(1 << shift):
+                lut[base + i] = (sym, length)
+        self._lut = lut
+
+    def _check_prefix_free(self) -> None:
+        codes = sorted(
+            ((bits, length) for bits, length in self.mapping.values()),
+            key=lambda c: c[1],
+        )
+        for i, (bits_a, len_a) in enumerate(codes):
+            for bits_b, len_b in codes[i + 1 :]:
+                if bits_b >> (len_b - len_a) == bits_a:
+                    raise ValueError(
+                        f"table {self.name}: {bits_a:0{len_a}b} is a prefix "
+                        f"of {bits_b:0{len_b}b}"
+                    )
+
+    def encode(self, writer: BitWriter, symbol: Hashable) -> None:
+        bits, length = self.mapping[symbol]
+        writer.write(bits, length)
+
+    def code_length(self, symbol: Hashable) -> int:
+        return self.mapping[symbol][1]
+
+    def decode(self, reader: BitReader):
+        idx = reader.peek(self.max_len)
+        hit = self._lut[idx]
+        if hit is None:
+            raise VLCError(
+                f"table {self.name}: no code matches bits "
+                f"{idx:0{self.max_len}b} at bit {reader.pos}"
+            )
+        sym, length = hit
+        reader.skip(length)
+        return sym
+
+    def try_decode(self, reader: BitReader):
+        """Decode without raising; returns None and leaves the cursor put."""
+        idx = reader.peek(self.max_len)
+        hit = self._lut[idx]
+        if hit is None:
+            return None
+        sym, length = hit
+        reader.skip(length)
+        return sym
+
+
+# Table singletons -------------------------------------------------------- #
+
+MB_ADDR_INC = VLCTable("mb_address_increment", T.MB_ADDRESS_INCREMENT)
+MB_TYPE_I = VLCTable("mb_type_i", T.MB_TYPE_I)
+MB_TYPE_P = VLCTable("mb_type_p", T.MB_TYPE_P)
+MB_TYPE_B = VLCTable("mb_type_b", T.MB_TYPE_B)
+CBP = VLCTable("coded_block_pattern", T.CODED_BLOCK_PATTERN)
+MOTION = VLCTable("motion_code", T.MOTION_CODE)
+DC_SIZE_LUMA = VLCTable("dct_dc_size_luma", T.DCT_DC_SIZE_LUMA)
+DC_SIZE_CHROMA = VLCTable("dct_dc_size_chroma", T.DCT_DC_SIZE_CHROMA)
+DCT_COEFF = VLCTable("dct_coeff", T.DCT_COEFF)
+DCT_COEFF_T1 = VLCTable("dct_coeff_t1", T.DCT_COEFF_T1)
+
+
+def mb_type_table(picture_type: int) -> VLCTable:
+    from repro.mpeg2.constants import PictureType
+
+    return {
+        PictureType.I: MB_TYPE_I,
+        PictureType.P: MB_TYPE_P,
+        PictureType.B: MB_TYPE_B,
+    }[PictureType(picture_type)]
+
+
+# ------------------------------------------------------------------------ #
+# macroblock_address_increment with escapes (§6.3.16)
+# ------------------------------------------------------------------------ #
+
+
+def encode_address_increment(writer: BitWriter, increment: int) -> None:
+    """Emit ``macroblock_escape`` codes then the residual increment."""
+    if increment < 1:
+        raise ValueError(f"address increment must be >= 1, got {increment}")
+    esc_bits, esc_len = T.MB_ESCAPE_CODE
+    while increment > 33:
+        writer.write(esc_bits, esc_len)
+        increment -= 33
+    MB_ADDR_INC.encode(writer, increment)
+
+
+def decode_address_increment(reader: BitReader) -> int:
+    esc_bits, esc_len = T.MB_ESCAPE_CODE
+    total = 0
+    while reader.peek(esc_len) == esc_bits:
+        reader.skip(esc_len)
+        total += 33
+    return total + MB_ADDR_INC.decode(reader)
+
+
+# ------------------------------------------------------------------------ #
+# motion vectors (§6.3.17.3, §7.6.3.1)
+# ------------------------------------------------------------------------ #
+
+
+def encode_motion_delta(writer: BitWriter, delta: int, r_size: int) -> None:
+    """Encode one motion-vector component delta.
+
+    ``delta`` is the prediction residual in half-pel units, already folded
+    into the legal range ``[-16*f, 16*f - 1]`` where ``f = 1 << r_size``.
+    The code is ``motion_code`` (table B.10) plus an ``r_size``-bit residual.
+    """
+    f = 1 << r_size
+    if delta == 0:
+        MOTION.encode(writer, 0)
+        return
+    sign = 1 if delta > 0 else -1
+    a = abs(delta)
+    motion_code = (a + f - 1) // f
+    if motion_code > 16:
+        raise ValueError(f"motion delta {delta} out of range for r_size {r_size}")
+    MOTION.encode(writer, sign * motion_code)
+    if r_size:
+        residual = a - (motion_code - 1) * f - 1  # in [0, f-1]
+        writer.write(residual, r_size)
+
+
+def decode_motion_delta(reader: BitReader, r_size: int) -> int:
+    motion_code = MOTION.decode(reader)
+    if motion_code == 0:
+        return 0
+    f = 1 << r_size
+    residual = reader.read(r_size) if r_size else 0
+    a = (abs(motion_code) - 1) * f + residual + 1
+    return a if motion_code > 0 else -a
+
+
+# ------------------------------------------------------------------------ #
+# DCT coefficient run/level codec (§7.2.2, table B.14 + escape)
+# ------------------------------------------------------------------------ #
+
+
+def encode_coefficients(
+    writer: BitWriter,
+    run_levels: Sequence[Tuple[int, int]],
+    intra: bool,
+    table_one: bool = False,
+) -> None:
+    """Encode a block's (run, level) list and the end-of-block code.
+
+    For non-intra blocks the very first coefficient may use the 1-bit
+    ``(0, +/-1)`` short form.  Intra blocks start after the separately-coded
+    DC term, so the short form never applies to them here (we pass
+    ``intra=True`` for the AC coefficients of intra blocks).
+
+    ``table_one`` selects table B.15 with its own end-of-block code —
+    only legal for intra blocks (intra_vlc_format = 1, §7.2.2.1).
+    """
+    if table_one and not intra:
+        raise ValueError("table B.15 applies to intra blocks only")
+    table = DCT_COEFF_T1 if table_one else DCT_COEFF
+    mapping = T.DCT_COEFF_T1 if table_one else T.DCT_COEFF
+    first = not intra
+    for run, level in run_levels:
+        if level == 0:
+            raise ValueError("zero level in run/level list")
+        a = abs(level)
+        sign = 0 if level > 0 else 1
+        if first and run == 0 and a == 1:
+            bits, length = T.FIRST_COEFF_01_CODE
+            writer.write(bits, length)
+            writer.write(sign, 1)
+        elif (run, a) in mapping:
+            table.encode(writer, (run, a))
+            writer.write(sign, 1)
+        else:
+            if a > T.MAX_ESCAPE_LEVEL or run > 63:
+                raise ValueError(f"(run={run}, level={level}) not escapable")
+            bits, length = T.DCT_ESCAPE_CODE
+            writer.write(bits, length)
+            writer.write(run, T.ESCAPE_RUN_BITS)
+            writer.write(level & ((1 << T.ESCAPE_LEVEL_BITS) - 1), T.ESCAPE_LEVEL_BITS)
+        first = False
+    bits, length = T.EOB_CODE_T1 if table_one else T.EOB_CODE
+    writer.write(bits, length)
+
+
+def decode_coefficients(
+    reader: BitReader, intra: bool, table_one: bool = False
+) -> List[Tuple[int, int]]:
+    """Decode (run, level) pairs up to and including the end-of-block code."""
+    if table_one and not intra:
+        raise ValueError("table B.15 applies to intra blocks only")
+    table = DCT_COEFF_T1 if table_one else DCT_COEFF
+    out: List[Tuple[int, int]] = []
+    first = not intra
+    esc_bits, esc_len = T.DCT_ESCAPE_CODE
+    eob_bits, eob_len = (T.EOB_CODE_T1 if table_one else T.EOB_CODE)
+    while True:
+        if first:
+            # At the first coefficient of a non-intra block a leading '1'
+            # always means (0, +/-1); EOB cannot occur first.
+            if reader.peek(1) == 1:
+                reader.skip(1)
+                sign = reader.read(1)
+                out.append((0, -1 if sign else 1))
+                first = False
+                continue
+        else:
+            if reader.peek(eob_len) == eob_bits:
+                reader.skip(eob_len)
+                return out
+        if reader.peek(esc_len) == esc_bits:
+            reader.skip(esc_len)
+            run = reader.read(T.ESCAPE_RUN_BITS)
+            level = reader.read(T.ESCAPE_LEVEL_BITS)
+            if level >= 1 << (T.ESCAPE_LEVEL_BITS - 1):
+                level -= 1 << T.ESCAPE_LEVEL_BITS
+            if level == 0:
+                raise VLCError("escape-coded level of zero")
+            out.append((run, level))
+        else:
+            run, a = table.decode(reader)
+            sign = reader.read(1)
+            out.append((run, -a if sign else a))
+        first = False

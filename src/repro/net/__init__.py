@@ -1,0 +1,17 @@
+"""Cluster interconnect substrate: DES kernel and GM-like transport."""
+
+from repro.net.simtime import Simulator, Process, Timeout, Store, Resource, Event
+from repro.net.gm import GMNetwork, GMPort, Message, NetworkParams
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "Timeout",
+    "Store",
+    "Resource",
+    "Event",
+    "GMNetwork",
+    "GMPort",
+    "Message",
+    "NetworkParams",
+]

@@ -1,0 +1,188 @@
+"""GM-over-Myrinet-like transport model (paper §4.4).
+
+Properties modeled after the GM user-level message layer the paper uses:
+
+- **Posted receive buffers.** A message can only be consumed if the
+  receiver posted a buffer first.  The paper's protocol guarantees this
+  with two receive buffers and ack/go-ahead flow control; the transport
+  *checks* the guarantee: in ``strict`` mode an arrival that finds no
+  posted buffer raises (it would have been silently dropped or DMA'd over
+  live data on real hardware).
+- **Zero-copy.** Send and receive cost no per-byte CPU copy by default;
+  the ``copy_cost_per_byte`` knob adds the memcpy a non-zero-copy stack
+  would pay (used by the zero-copy ablation benchmark).
+- **No cross-sender ordering.** Messages from one sender to one receiver
+  arrive in order (per-NIC DMA serialization gives that for free), but
+  messages from *different* senders interleave arbitrarily — which is why
+  the ANID ack-redirection protocol exists.
+- **Per-NIC serialization + wire time.**  A transfer occupies the source
+  NIC for ``size/bandwidth``, travels ``latency`` seconds, then occupies
+  the destination NIC for ``size/bandwidth`` (store-and-forward at the
+  host interface; the switch itself is cut-through and unmodeled, which
+  matches Myrinet's microsecond-scale fabric).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from repro.net.simtime import Event, Resource, Simulator, Store, Timeout
+
+
+@dataclass
+class NetworkParams:
+    """Link/NIC parameters; defaults are Myrinet-class (c. 2001).
+
+    LANai-7 Myrinet with GM delivered ~1.28 Gb/s per link and ~11 us
+    short-message latency; we use slightly conservative host-side figures.
+    """
+
+    bandwidth: float = 140e6  # bytes/second sustained per NIC
+    latency: float = 11e-6  # seconds, one-way short-message latency
+    per_message_overhead: float = 6e-6  # host send/recv posting cost (CPU)
+    copy_cost_per_byte: float = 0.0  # 0 -> zero-copy (GM); ablation knob
+    strict: bool = True  # raise if no receive buffer is posted
+
+
+class FlowControlError(RuntimeError):
+    """An arrival found no posted receive buffer."""
+
+
+@dataclass
+class Message:
+    src: int
+    dst: int
+    payload: Any
+    size: int
+    tag: str = ""
+    send_time: float = 0.0
+    arrival_time: float = 0.0
+    control: bool = False  # small control message from a pre-posted pool
+
+
+@dataclass
+class PortStats:
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    send_busy_time: float = 0.0
+
+
+class GMPort:
+    """One node's network endpoint."""
+
+    def __init__(self, net: "GMNetwork", node_id: int):
+        self.net = net
+        self.node_id = node_id
+        self.inbox = Store(net.sim)
+        self.posted_buffers = 0
+        self.stats = PortStats()
+        self._nic_tx = Resource(net.sim, 1)
+        self._nic_rx = Resource(net.sim, 1)
+
+    # -- receive side ---------------------------------------------------- #
+
+    def post_receive_buffer(self, count: int = 1) -> None:
+        """Make ``count`` receive buffers available (paper: post two)."""
+        self.posted_buffers += count
+
+    def recv(self):
+        """Process helper: ``msg = yield from port.recv()``.
+
+        Host-side per-message receive costs are charged by the protocol
+        actors (they differ between control acks and bulk data); the
+        transport only accounts bytes.
+        """
+        ev = self.inbox.get()
+        msg = yield ev
+        self.stats.bytes_received += msg.size
+        self.stats.messages_received += 1
+        return msg
+
+    # -- send side ------------------------------------------------------- #
+
+    def send(self, dst: int, payload: Any, size: int, tag: str = "", control: bool = False):
+        """Process helper: ``yield from port.send(...)``.
+
+        Returns once the source NIC is free again (the message is in
+        flight); delivery happens asynchronously.
+        """
+        msg = Message(
+            src=self.node_id,
+            dst=dst,
+            payload=payload,
+            size=size,
+            tag=tag,
+            send_time=self.net.sim.now,
+            control=control,
+        )
+        params = self.net.params
+        if params.per_message_overhead:
+            yield Timeout(params.per_message_overhead)
+        if params.copy_cost_per_byte:
+            yield Timeout(params.copy_cost_per_byte * size)
+        yield self._nic_tx.request()
+        t0 = self.net.sim.now
+        try:
+            yield Timeout(size / params.bandwidth)
+        finally:
+            self._nic_tx.release()
+        self.stats.send_busy_time += self.net.sim.now - t0
+        self.stats.bytes_sent += size
+        self.stats.messages_sent += 1
+        self.net._launch_delivery(msg)
+
+
+class GMNetwork:
+    """The cluster fabric: a set of ports plus delivery processes."""
+
+    def __init__(self, sim: Simulator, params: Optional[NetworkParams] = None):
+        self.sim = sim
+        self.params = params or NetworkParams()
+        self.ports: Dict[int, GMPort] = {}
+        self.flow_control_violations = 0
+
+    def port(self, node_id: int) -> GMPort:
+        if node_id not in self.ports:
+            self.ports[node_id] = GMPort(self, node_id)
+        return self.ports[node_id]
+
+    def _launch_delivery(self, msg: Message) -> None:
+        self.sim.process(self._deliver(msg), name=f"deliver:{msg.tag}")
+
+    def _deliver(self, msg: Message):
+        params = self.params
+        yield Timeout(params.latency)
+        dst = self.port(msg.dst)
+        # Ejection DMA into host memory is serialized per NIC.
+        yield dst._nic_rx.request()
+        try:
+            yield Timeout(msg.size / params.bandwidth)
+        finally:
+            dst._nic_rx.release()
+        if not msg.control:
+            if dst.posted_buffers <= 0:
+                self.flow_control_violations += 1
+                if params.strict:
+                    raise FlowControlError(
+                        f"message {msg.tag!r} from {msg.src} arrived at {msg.dst} "
+                        "with no posted receive buffer"
+                    )
+            else:
+                dst.posted_buffers -= 1
+        msg.arrival_time = self.sim.now
+        dst.inbox.put(msg)
+
+    # -- reporting --------------------------------------------------------#
+
+    def bandwidth_report(self, duration: float) -> Dict[int, tuple]:
+        """Per-node (send MB/s, recv MB/s) over ``duration`` seconds."""
+        out = {}
+        for nid, port in sorted(self.ports.items()):
+            out[nid] = (
+                port.stats.bytes_sent / duration / 1e6,
+                port.stats.bytes_received / duration / 1e6,
+            )
+        return out

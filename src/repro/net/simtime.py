@@ -1,0 +1,207 @@
+"""A small discrete-event simulation kernel (generator processes).
+
+The kernel is the substrate under the timed 1-k-(m,n) system: protocol
+actors are Python generators that ``yield`` events — :class:`Timeout` for
+modeled compute time, :class:`Store` gets for message arrival, and
+:class:`Resource` requests for serialized hardware (a NIC's injection DMA).
+The style follows simpy's, implemented here from scratch so the repository
+is dependency-free.
+
+Determinism: events scheduled for the same instant fire in scheduling order
+(a monotonically increasing sequence number breaks ties), so simulations
+are exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import heapq
+from collections import deque
+from typing import Any, Callable, Deque, Generator, List, Optional
+
+
+class SimulationError(RuntimeError):
+    pass
+
+
+class Event:
+    """A one-shot event processes can wait on."""
+
+    __slots__ = ("sim", "_callbacks", "triggered", "value")
+
+    def __init__(self, sim: "Simulator"):
+        self.sim = sim
+        self._callbacks: List[Callable[[Any], None]] = []
+        self.triggered = False
+        self.value: Any = None
+
+    def succeed(self, value: Any = None) -> "Event":
+        if self.triggered:
+            raise SimulationError("event already triggered")
+        self.triggered = True
+        self.value = value
+        for cb in self._callbacks:
+            self.sim._schedule(0.0, cb, value)
+        self._callbacks.clear()
+        return self
+
+    def add_callback(self, cb: Callable[[Any], None]) -> None:
+        if self.triggered:
+            self.sim._schedule(0.0, cb, self.value)
+        else:
+            self._callbacks.append(cb)
+
+
+class Timeout:
+    """Wait for ``delay`` units of simulated time."""
+
+    __slots__ = ("delay",)
+
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise ValueError("negative timeout")
+        self.delay = delay
+
+
+class Process:
+    """A running generator coroutine."""
+
+    __slots__ = ("sim", "gen", "name", "finished", "result", "_waiters")
+
+    def __init__(self, sim: "Simulator", gen: Generator, name: str = "proc"):
+        self.sim = sim
+        self.gen = gen
+        self.name = name
+        self.finished = False
+        self.result: Any = None
+        self._waiters: List[Event] = []
+        sim._schedule(0.0, self._resume, None)
+
+    def _resume(self, value: Any) -> None:
+        try:
+            yielded = self.gen.send(value)
+        except StopIteration as stop:
+            self.finished = True
+            self.result = stop.value
+            for ev in self._waiters:
+                ev.succeed(stop.value)
+            self._waiters.clear()
+            return
+        self._wire(yielded)
+
+    def _wire(self, yielded: Any) -> None:
+        if isinstance(yielded, Timeout):
+            self.sim._schedule(yielded.delay, self._resume, None)
+        elif isinstance(yielded, Event):
+            yielded.add_callback(self._resume)
+        elif isinstance(yielded, Process):
+            yielded.completion().add_callback(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name} yielded unsupported {yielded!r}"
+            )
+
+    def completion(self) -> Event:
+        ev = Event(self.sim)
+        if self.finished:
+            ev.succeed(self.result)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+
+class Simulator:
+    """Event loop: a time-ordered heap of callbacks."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: List[tuple] = []
+        self._seq = 0
+
+    def _schedule(self, delay: float, cb: Callable[[Any], None], value: Any) -> None:
+        self._seq += 1
+        heapq.heappush(self._heap, (self.now + delay, self._seq, cb, value))
+
+    def process(self, gen: Generator, name: str = "proc") -> Process:
+        return Process(self, gen, name=name)
+
+    def event(self) -> Event:
+        return Event(self)
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Run until the event queue drains (or simulated time ``until``)."""
+        while self._heap:
+            t, _, cb, value = self._heap[0]
+            if until is not None and t > until:
+                self.now = until
+                return self.now
+            heapq.heappop(self._heap)
+            self.now = t
+            cb(value)
+        return self.now
+
+
+class Store:
+    """Unbounded FIFO message store (the mailbox primitive)."""
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+
+    def put(self, item: Any) -> None:
+        if self._getters:
+            self._getters.popleft().succeed(item)
+        else:
+            self.items.append(item)
+
+    def get(self) -> Event:
+        ev = Event(self.sim)
+        if self.items:
+            ev.succeed(self.items.popleft())
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class Resource:
+    """Counting resource with FIFO queuing (e.g. a NIC DMA engine)."""
+
+    def __init__(self, sim: Simulator, capacity: int = 1):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.sim = sim
+        self.capacity = capacity
+        self.in_use = 0
+        self._waiters: Deque[Event] = deque()
+
+    def request(self) -> Event:
+        ev = Event(self.sim)
+        if self.in_use < self.capacity:
+            self.in_use += 1
+            ev.succeed(None)
+        else:
+            self._waiters.append(ev)
+        return ev
+
+    def release(self) -> None:
+        if self._waiters:
+            self._waiters.popleft().succeed(None)
+        else:
+            if self.in_use <= 0:
+                raise SimulationError("release of an idle resource")
+            self.in_use -= 1
+
+
+def hold(resource: Resource, duration: float):
+    """Generator helper: acquire ``resource``, hold for ``duration``, release.
+
+    Usage inside a process: ``yield from hold(nic, xfer_time)``.
+    """
+    yield resource.request()
+    try:
+        yield Timeout(duration)
+    finally:
+        resource.release()

@@ -1,0 +1,125 @@
+"""Analytic cost model of the parallelization levels (paper Table 1, §3).
+
+For each splitting granularity — sequence, GOP, picture, slice,
+macroblock — we quantify the three cost axes the paper compares:
+
+- **splitting cost**: CPU time the splitter spends per picture.  Levels
+  with byte-aligned start codes only scan; macroblock level must VLC-parse
+  everything.
+- **inter-decoder communication**: reference data moved between decoders
+  per picture.
+- **pixel redistribution**: decoded pixels that must move to the node that
+  displays them.  At sequence/GOP/picture level a decoder produces whole
+  frames but displays only its tile, so ``(mn - 1) / mn`` of every decoded
+  picture crosses the network; at slice level ``(n - 1) / n`` of each slice
+  band leaves its decoder; at macroblock level work is split by screen
+  location, so nothing moves.
+
+These numbers quantify the paper's qualitative table and drive the
+baseline-comparison benchmark.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.mpeg2.constants import MB_SIZE, PictureType
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import StreamSpec
+
+# YCbCr 4:2:0 bytes per pixel
+_YUV_BPP = 1.5
+
+LEVELS = ("sequence", "gop", "picture", "slice", "macroblock")
+
+
+@dataclass
+class LevelCosts:
+    """Per-picture costs of one parallelization level for one workload."""
+
+    level: str
+    split_cpu_s: float  # splitter CPU time per picture
+    interdecoder_bytes: float  # reference pixels exchanged per picture
+    redistribution_bytes: float  # decoded pixels moved per picture
+    label_split: str
+    label_comm: str
+    label_redist: str
+
+    @property
+    def network_bytes(self) -> float:
+        return self.interdecoder_bytes + self.redistribution_bytes
+
+
+def _mean_reference_pictures(spec: StreamSpec) -> float:
+    """Average reference pictures fetched per picture (0 for I, 1 P, 2 B)."""
+    types = spec.picture_types()
+    score = {PictureType.I: 0, PictureType.P: 1, PictureType.B: 2}
+    return sum(score[t] for t in types) / len(types)
+
+
+def _boundary_exchange_bytes(spec: StreamSpec, layout: TileLayout) -> float:
+    """Macroblock-level inter-decoder traffic (same model the timed system
+    uses), averaged per picture."""
+    from repro.perf.costmodel import build_picture_work
+
+    works = build_picture_work(spec, layout, n_frames=min(spec.n_frames, 36))
+    total = sum(e.nbytes for w in works for e in w.exchanges)
+    return total / len(works)
+
+
+def level_costs(
+    spec: StreamSpec, layout: TileLayout, cost: CostModel | None = None
+) -> List[LevelCosts]:
+    """Quantified Table 1 for one stream on one wall layout."""
+    cost = cost or CostModel()
+    mn = layout.n_tiles
+    frame_pixels = spec.n_pixels * _YUV_BPP
+    pic_bytes = spec.avg_frame_bytes
+    scan_cost = cost.t_root_copy(pic_bytes) * cost.root_speed  # pure scan+copy
+    full_split = cost.t_split_picture(spec.mbs_per_frame, pic_bytes * 8)
+    refs = _mean_reference_pictures(spec)
+
+    redistribution_full = frame_pixels * (mn - 1) / mn if mn > 1 else 0.0
+    # Slice-level: bands of rows; each band displays across the m columns,
+    # so (m-1)/m of a band's pixels leave the decoder that made it.
+    redistribution_slice = frame_pixels * (layout.m - 1) / layout.m if layout.m > 1 else 0.0
+    # Picture-level communication only exists with multiple decoders.
+    picture_comm = refs * frame_pixels if mn > 1 else 0.0
+    # Slice-level communication: motion vectors reaching across each of the
+    # mn-1 band boundaries pull in strips of reference rows.
+    band_rows = max(1, spec.mb_height // mn)
+    slice_comm = (
+        refs
+        * spec.width
+        * min(spec.motion_pixels, band_rows * MB_SIZE)
+        * _YUV_BPP
+        * (mn - 1)
+        if mn > 1
+        else 0.0
+    )
+    mb_comm = _boundary_exchange_bytes(spec, layout) if mn > 1 else 0.0
+
+    return [
+        LevelCosts(
+            "sequence", scan_cost, 0.0, redistribution_full,
+            "very low", "none", "very high",
+        ),
+        LevelCosts(
+            "gop", scan_cost, 0.0, redistribution_full,
+            "very low", "none or low", "very high",
+        ),
+        LevelCosts(
+            "picture", scan_cost, picture_comm, redistribution_full,
+            "very low", "very high", "very high",
+        ),
+        LevelCosts(
+            "slice", scan_cost, slice_comm, redistribution_slice,
+            "very low", "moderate to high", "moderate to high",
+        ),
+        LevelCosts(
+            "macroblock", full_split, mb_comm, 0.0,
+            "high or moderate", "low", "none",
+        ),
+    ]

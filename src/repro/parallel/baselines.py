@@ -1,0 +1,208 @@
+"""Baseline parallel-decoding schemes the paper compares against (§3).
+
+These are throughput models of the coarse-granularity alternatives —
+GOP-level (Kwong et al.), picture-level, and slice-level (Bilas et al.)
+parallel decoders — mapped onto the *same* cluster/display-wall setting, so
+the hierarchical decoder's advantage (no pixel redistribution, no splitter
+bottleneck) is measured rather than asserted.
+
+Each baseline reports the sustainable frame rate as the minimum over its
+pipeline stages:
+
+- split stage (per-picture splitter CPU),
+- decode stage (per-node decode of its work share),
+- network stage (inter-decoder communication + pixel redistribution
+  through each node's NIC).
+
+The functional correctness of coarse schemes is not at issue (they decode
+whole pictures with a stock decoder), so a stage-throughput model is the
+appropriate level of detail; the hierarchical system is the one with novel
+protocol behaviour and gets the full DES treatment in
+:mod:`repro.parallel.system`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from repro.net.gm import NetworkParams
+from repro.parallel.analysis import LevelCosts, level_costs
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import StreamSpec
+
+
+# Pixel redistribution cannot be zero-copy: decoded pixels live in strided
+# frame buffers and must be gathered at the producer and scattered at the
+# consumer.  ~250 MB/s effective memcpy on the paper's PIII workstations,
+# paid once per end.
+COPY_PER_BYTE = 4e-9
+# Decoder workstation memory (§5.1: 256 MB RDRAM).
+NODE_RAM_MB = 256.0
+_YUV_BYTES = 1.5  # bytes per pixel, 4:2:0
+
+
+@dataclass
+class BaselineResult:
+    scheme: str
+    fps: float
+    bound: str  # which stage limits: "split" | "decode" | "network" | "memory"
+    split_fps: float
+    decode_fps: float
+    network_fps: float
+    memory_required_mb: float = 0.0
+    feasible: bool = True
+
+
+def _stage_result(
+    scheme: str,
+    split_fps: float,
+    decode_fps: float,
+    network_fps: float,
+    memory_required_mb: float = 0.0,
+) -> BaselineResult:
+    fps = min(split_fps, decode_fps, network_fps)
+    bound = {split_fps: "split", decode_fps: "decode", network_fps: "network"}[fps]
+    feasible = memory_required_mb <= NODE_RAM_MB
+    if not feasible:
+        fps, bound = 0.0, "memory"
+    return BaselineResult(
+        scheme=scheme,
+        fps=fps,
+        bound=bound,
+        split_fps=split_fps,
+        decode_fps=decode_fps,
+        network_fps=network_fps,
+        memory_required_mb=memory_required_mb,
+        feasible=feasible,
+    )
+
+
+def _decode_time_full_picture(spec: StreamSpec, cost: CostModel) -> float:
+    return cost.t_decode_mbs(spec.mbs_per_frame, spec.avg_frame_bytes * 8)
+
+
+def gop_level(
+    spec: StreamSpec,
+    layout: TileLayout,
+    cost: CostModel | None = None,
+    net: NetworkParams | None = None,
+) -> BaselineResult:
+    """GOP-level parallelism: each node decodes every (mn)-th GOP entirely,
+    then redistributes (mn-1)/mn of every picture's pixels for display.
+
+    Memory: decoding a whole GOP takes ``mn`` GOP-durations of wall time,
+    so a node buffers its decoded GOP while display drains it, plus its
+    tile's share of the other in-flight GOPs — this is what makes the
+    scheme physically impossible for ultra-high-resolution streams on the
+    paper's 256 MB workstations (§3: "it is impossible for an SMP to
+    display such videos even if it can decode them").
+    """
+    cost = cost or CostModel()
+    net = net or NetworkParams()
+    mn = layout.n_tiles
+    costs = {c.level: c for c in level_costs(spec, layout, cost)}["gop"]
+    split_fps = 1.0 / max(1e-12, costs.split_cpu_s / cost.root_speed)
+    copy_s = 2 * COPY_PER_BYTE * costs.redistribution_bytes
+    decode_fps = mn / (_decode_time_full_picture(spec, cost) + copy_s)
+    per_node_bytes = costs.redistribution_bytes
+    network_fps = (
+        mn * net.bandwidth / per_node_bytes if per_node_bytes else float("inf")
+    )
+    frame_mb = spec.n_pixels * _YUV_BYTES / 1e6
+    memory = (spec.gop_size + 3) * frame_mb + (
+        mn * spec.gop_size * frame_mb / mn if mn > 1 else 0.0
+    )
+    return _stage_result("gop", split_fps, decode_fps, network_fps, memory)
+
+
+def picture_level(
+    spec: StreamSpec,
+    layout: TileLayout,
+    cost: CostModel | None = None,
+    net: NetworkParams | None = None,
+) -> BaselineResult:
+    """Picture-level parallelism: pictures round-robin across nodes; every
+    P/B picture fetches whole reference pictures remotely, and decoded
+    pixels still redistribute for display."""
+    cost = cost or CostModel()
+    net = net or NetworkParams()
+    mn = layout.n_tiles
+    costs = {c.level: c for c in level_costs(spec, layout, cost)}["picture"]
+    split_fps = 1.0 / max(1e-12, costs.split_cpu_s / cost.root_speed)
+    traffic = costs.interdecoder_bytes + costs.redistribution_bytes
+    copy_s = 2 * COPY_PER_BYTE * traffic
+    decode_fps = mn / (_decode_time_full_picture(spec, cost) + copy_s)
+    network_fps = mn * net.bandwidth / traffic if traffic else float("inf")
+    frame_mb = spec.n_pixels * _YUV_BYTES / 1e6
+    memory = 6 * frame_mb  # current + 2 fetched refs + display pipeline
+    return _stage_result("picture", split_fps, decode_fps, network_fps, memory)
+
+
+def slice_level(
+    spec: StreamSpec,
+    layout: TileLayout,
+    cost: CostModel | None = None,
+    net: NetworkParams | None = None,
+) -> BaselineResult:
+    """Slice-level parallelism: each node decodes a band of slice rows;
+    boundary references cross bands and (m-1)/m of each band redistributes
+    to the tiles that display it.  Every node holds only its band, so
+    memory is never the constraint — communication is."""
+    cost = cost or CostModel()
+    net = net or NetworkParams()
+    mn = layout.n_tiles
+    costs = {c.level: c for c in level_costs(spec, layout, cost)}["slice"]
+    split_fps = 1.0 / max(1e-12, costs.split_cpu_s / cost.root_speed)
+    traffic = costs.interdecoder_bytes + costs.redistribution_bytes
+    # Per picture each node decodes 1/mn of the work and copies its share
+    # of the redistribution traffic.
+    per_node_s = _decode_time_full_picture(spec, cost) / mn + (
+        2 * COPY_PER_BYTE * traffic / mn
+    )
+    decode_fps = 1.0 / per_node_s
+    network_fps = mn * net.bandwidth / traffic if traffic else float("inf")
+    frame_mb = spec.n_pixels * _YUV_BYTES / 1e6
+    memory = 4 * frame_mb / mn + 2 * frame_mb / mn
+    return _stage_result("slice", split_fps, decode_fps, network_fps, memory)
+
+
+def hierarchical(
+    spec: StreamSpec,
+    layout: TileLayout,
+    k: int,
+    cost: CostModel | None = None,
+    net: NetworkParams | None = None,
+) -> BaselineResult:
+    """The paper's scheme through the same stage-throughput lens (the DES
+    gives the detailed number; this keeps the comparison apples-to-apples)."""
+    cost = cost or CostModel()
+    net = net or NetworkParams()
+    costs = {c.level: c for c in level_costs(spec, layout, cost)}["macroblock"]
+    split_fps = max(1, k) / max(1e-12, costs.split_cpu_s)
+    decode_fps = 1.0 / cost.t_d(spec, layout)
+    per_picture = costs.interdecoder_bytes
+    network_fps = (
+        layout.n_tiles * net.bandwidth / per_picture
+        if per_picture
+        else float("inf")
+    )
+    frame_mb = spec.n_pixels * _YUV_BYTES / 1e6
+    memory = 4 * frame_mb / layout.n_tiles
+    return _stage_result("hierarchical", split_fps, decode_fps, network_fps, memory)
+
+
+def compare_all(
+    spec: StreamSpec,
+    layout: TileLayout,
+    k: int = 4,
+    cost: CostModel | None = None,
+    net: NetworkParams | None = None,
+) -> List[BaselineResult]:
+    return [
+        gop_level(spec, layout, cost, net),
+        picture_level(spec, layout, cost, net),
+        slice_level(spec, layout, cost, net),
+        hierarchical(spec, layout, k, cost, net),
+    ]

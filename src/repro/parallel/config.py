@@ -1,0 +1,117 @@
+"""Configuration determination (paper §4.6 and future work §6).
+
+With ``t_s`` the time to macroblock-split one picture and ``t_d`` the time
+to decode and display one sub-picture, the overall frame rate of a
+1-k-(m,n) system is::
+
+    F = min(k / t_s, 1 / t_d)
+
+When ``t_s > k * t_d`` the splitters are the bottleneck; the optimal number
+of second-level splitters is ``k* = ceil(t_s / t_d)``.  If ``k* == 1`` the
+second level can be dropped entirely (a 1-(m,n) system).
+
+The paper chooses configurations empirically; §6 proposes choosing them
+automatically given a target frame rate — implemented here as
+:func:`auto_configure`.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+def predicted_frame_rate(k: int, t_s: float, t_d: float) -> float:
+    """F = min(k/t_s, 1/t_d) — the paper's §4.6 model."""
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if t_s <= 0 or t_d <= 0:
+        raise ValueError("times must be positive")
+    return min(k / t_s, 1.0 / t_d)
+
+
+def optimal_k(t_s: float, t_d: float) -> int:
+    """Smallest k keeping the decoders running at full speed.
+
+    ``t_s <= k * t_d``  ⇔  ``k >= t_s / t_d``; the optimum is the ceiling.
+    """
+    if t_s <= 0 or t_d <= 0:
+        raise ValueError("times must be positive")
+    return max(1, math.ceil(t_s / t_d))
+
+
+def splitter_bound(k: int, t_s: float) -> float:
+    """Frame rate the splitting stage can sustain."""
+    return k / t_s
+
+
+def decoder_bound(t_d: float) -> float:
+    """Frame rate the decoding stage can sustain."""
+    return 1.0 / t_d
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """A chosen 1-k-(m,n) configuration."""
+
+    k: int
+    m: int
+    n: int
+
+    @property
+    def n_decoders(self) -> int:
+        return self.m * self.n
+
+    @property
+    def n_nodes(self) -> int:
+        """Total PCs: 1 root + k splitters + m*n decoders.
+
+        The paper's one-level systems (k == 1 collapsed into the root) are
+        counted as 1 + m*n, matching its Figure 6 x-axis.
+        """
+        if self.k == 0:
+            return 1 + self.n_decoders
+        return 1 + self.k + self.n_decoders
+
+    def label(self) -> str:
+        if self.k == 0:
+            return f"1-({self.m},{self.n})"
+        return f"1-{self.k}-({self.m},{self.n})"
+
+
+def match_tiles_to_video(
+    video_w: int, video_h: int, tile_w: int = 1024, tile_h: int = 768,
+    max_m: int = 6, max_n: int = 4,
+) -> tuple[int, int]:
+    """Pick (m, n) so the tiled resolution matches the video (paper §4.6:
+    'We determine m and n by matching the video resolution with the
+    resolution of a tiled display wall')."""
+    m = min(max_m, max(1, math.ceil(video_w / tile_w)))
+    n = min(max_n, max(1, math.ceil(video_h / tile_h)))
+    return m, n
+
+
+def auto_configure(
+    t_s: float,
+    t_d_of: "callable",
+    video_w: int,
+    video_h: int,
+    target_fps: float,
+    max_k: int = 8,
+    tile_w: int = 1024,
+    tile_h: int = 768,
+) -> SystemConfig:
+    """Choose (k, m, n) for a target frame rate (paper future work §6).
+
+    ``t_d_of(m, n)`` maps a screen configuration to the per-sub-picture
+    decode time (the caller derives it from the cost model).  The search
+    fixes (m, n) from the resolution match, then takes the smallest k whose
+    predicted rate meets the target; if even ``optimal_k`` cannot reach the
+    target (decoders are the bound), it returns the decoder-optimal k.
+    """
+    m, n = match_tiles_to_video(video_w, video_h, tile_w, tile_h)
+    t_d = t_d_of(m, n)
+    for k in range(1, max_k + 1):
+        if predicted_frame_rate(k, t_s, t_d) >= target_fps:
+            return SystemConfig(k=k, m=m, n=n)
+    return SystemConfig(k=min(max_k, optimal_k(t_s, t_d)), m=m, n=n)

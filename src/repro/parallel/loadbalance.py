@@ -1,0 +1,178 @@
+"""Dynamic load balancing (paper future work, §6).
+
+The paper balances workloads statically: partition lines sit at equal
+pixel spacing, so for localized-detail streams (Orion flybys) the tile
+holding the busy region becomes the straggler and gates the synchronized
+frame rate (§5.5).  The proposed improvement is to "help the splitter
+distribute work more evenly".
+
+This module implements that extension: partition lines move (at macroblock
+granularity) so the predicted per-tile decode cost is equalized along each
+axis, using the same bit-distribution knowledge the splitter already has
+from parsing.  The timed ablation benchmark compares static vs balanced
+layouts on the Orion streams.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.mpeg2.constants import MB_SIZE
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import StreamSpec
+
+
+def _equalize_bounds(cum: np.ndarray, parts: int, total_cells: int) -> List[int]:
+    """Place ``parts - 1`` interior boundaries so each part holds ~equal
+    cumulative weight.  ``cum`` is the inclusive cumulative weight per cell
+    row/column; returns pixel boundaries (macroblock aligned)."""
+    bounds = [0]
+    total = cum[-1]
+    for i in range(1, parts):
+        target = total * i / parts
+        cell = int(np.searchsorted(cum, target) + 1)
+        cell = min(max(cell, bounds[-1] // MB_SIZE + 1), total_cells - (parts - i))
+        bounds.append(cell * MB_SIZE)
+    bounds.append(total_cells * MB_SIZE)
+    return bounds
+
+
+def balanced_layout(
+    spec: StreamSpec,
+    m: int,
+    n: int,
+    overlap: int = 0,
+    cost: Optional[CostModel] = None,
+) -> TileLayout:
+    """A layout whose partition lines equalize predicted per-tile cost.
+
+    The predicted cost of a macroblock is ``decode_mb_fixed + display_mb +
+    bits(mb) * decode_per_bit`` — the same model the timed system charges —
+    so minimizing the maximum tile cost means equalizing column sums along
+    x and row sums along y (a separable approximation of the 2-D balance
+    problem; exact 2-D balanced grid partitioning is NP-hard).
+    """
+    cost = cost or CostModel()
+    weights = spec.mb_bit_weights()
+    bits = spec.avg_frame_bytes * 8
+    per_mb_fixed = cost.decode_mb_fixed + cost.display_mb
+    cell_cost = per_mb_fixed + weights * bits * cost.decode_per_bit
+
+    col_cost = cell_cost.sum(axis=0)
+    row_cost = cell_cost.sum(axis=1)
+    x_bounds = _equalize_bounds(np.cumsum(col_cost), m, spec.mb_width)
+    y_bounds = _equalize_bounds(np.cumsum(row_cost), n, spec.mb_height)
+    return TileLayout(
+        spec.width,
+        spec.height,
+        m,
+        n,
+        overlap=overlap,
+        x_bounds=x_bounds,
+        y_bounds=y_bounds,
+    )
+
+
+@dataclass
+class AdaptiveWindow:
+    """One adaptation step of the dynamic balancer."""
+
+    window: int
+    fps: float
+    measured_imbalance: float  # max/mean per-tile decode time, observed
+    x_bounds: List[int]
+    y_bounds: List[int]
+
+
+def adaptive_balance(
+    spec: StreamSpec,
+    m: int,
+    n: int,
+    k: int,
+    windows: int = 4,
+    frames_per_window: int = 18,
+    cost: Optional[CostModel] = None,
+    gain: float = 1.0,
+) -> List[AdaptiveWindow]:
+    """Dynamic load balancing (paper §6): adapt partition lines from
+    *measured* per-tile decode times, window by window.
+
+    Unlike :func:`balanced_layout` (which uses the stream model's bit map),
+    this uses only what a real system observes — each decoder's work time
+    over the last window — spreading a tile's measured cost uniformly over
+    its macroblocks to build a cost field, then equalizing the column/row
+    sums.  ``gain`` < 1 damps the boundary moves.
+    """
+    from repro.parallel.system import TimedSystem
+
+    cost = cost or CostModel()
+    layout = TileLayout(spec.width, spec.height, m, n)
+    history: List[AdaptiveWindow] = []
+    for w in range(windows):
+        res = TimedSystem(
+            spec, layout, k=k, cost=cost, n_frames=frames_per_window
+        ).run()
+        work = {tid: bd.work for tid, bd in res.breakdowns.items()}
+        times = list(work.values())
+        measured = max(times) / (sum(times) / len(times))
+        history.append(
+            AdaptiveWindow(
+                window=w,
+                fps=res.fps,
+                measured_imbalance=measured,
+                x_bounds=list(layout.x_bounds),
+                y_bounds=list(layout.y_bounds),
+            )
+        )
+        if w == windows - 1:
+            break
+        # Build a per-macroblock cost field from the measured tile costs.
+        field_ = np.zeros((spec.mb_height, spec.mb_width))
+        for tile in layout:
+            p = tile.partition
+            mx0, my0 = p.x0 // MB_SIZE, p.y0 // MB_SIZE
+            mx1 = max(mx0 + 1, -(-p.x1 // MB_SIZE))
+            my1 = max(my0 + 1, -(-p.y1 // MB_SIZE))
+            cells = (my1 - my0) * (mx1 - mx0)
+            field_[my0:my1, mx0:mx1] += work[tile.tid] / cells
+        col = field_.sum(axis=0)
+        row = field_.sum(axis=1)
+        new_x = _equalize_bounds(np.cumsum(col), m, spec.mb_width)
+        new_y = _equalize_bounds(np.cumsum(row), n, spec.mb_height)
+        # damped move toward the equalized bounds, macroblock-aligned
+        def blend(old: List[int], new: List[int]) -> List[int]:
+            out = [old[0]]
+            for o, nw in zip(old[1:-1], new[1:-1]):
+                moved = o + gain * (nw - o)
+                cell = max(
+                    out[-1] // MB_SIZE + 1, int(round(moved / MB_SIZE))
+                )
+                out.append(cell * MB_SIZE)
+            out.append(old[-1])
+            return out
+
+        layout = TileLayout(
+            spec.width,
+            spec.height,
+            m,
+            n,
+            x_bounds=blend(layout.x_bounds, new_x),
+            y_bounds=blend(layout.y_bounds, new_y),
+        )
+    return history
+
+
+def imbalance(spec: StreamSpec, layout: TileLayout, cost: Optional[CostModel] = None) -> float:
+    """Max/mean ratio of predicted per-tile decode cost (1.0 = perfect)."""
+    cost = cost or CostModel()
+    bits = spec.avg_frame_bytes * 8
+    loads = spec.tile_workloads(layout)
+    times = [
+        cost.t_decode_mbs(w["mbs"], bits * w["bits_fraction"])
+        for w in loads.values()
+    ]
+    return max(times) / (sum(times) / len(times))

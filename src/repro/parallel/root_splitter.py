@@ -1,0 +1,56 @@
+"""Root (picture-level) splitter (paper §4.1, Table 2/3).
+
+The root splitter scans the bitstream for picture start codes — a linear
+byte scan, no VLC work — copies each coded picture into an output buffer,
+and ships it to the ``k`` second-level splitters round-robin.  With every
+picture it sends the **NSID** (next-splitter id): the identity of the
+splitter responsible for the following picture, which the second-level
+splitter forwards to decoders as the **ANID** (ack-node id).  Decoders ack
+the *next* splitter rather than the sender, which serializes picture
+delivery without any reorder queue (paper §4.5) while keeping the set of
+second-level splitters hidden from each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Tuple
+
+from repro.mpeg2.parser import PictureScanner, PictureUnit
+from repro.mpeg2.structures import SequenceHeader
+
+
+@dataclass(frozen=True)
+class RoutedPicture:
+    """One picture as dispatched by the root."""
+
+    picture_index: int
+    splitter: int  # second-level splitter receiving this picture
+    nsid: int  # splitter responsible for the next picture
+    unit: PictureUnit
+
+
+class RootSplitter:
+    """Picture-level splitting with round-robin dispatch."""
+
+    def __init__(self, stream: bytes, k: int):
+        if k < 1:
+            raise ValueError("need at least one second-level splitter")
+        self.k = k
+        self.scanner = PictureScanner(stream)
+        self.sequence, self.pictures = self.scanner.scan()
+
+    def __len__(self) -> int:
+        return len(self.pictures)
+
+    def route(self) -> Iterator[RoutedPicture]:
+        """Yield pictures with their splitter assignment and NSID."""
+        a = 0
+        for i, unit in enumerate(self.pictures):
+            nsid = (a + 1) % self.k
+            yield RoutedPicture(picture_index=i, splitter=a, nsid=nsid, unit=unit)
+            a = nsid
+
+    def schedule(self) -> List[Tuple[int, int]]:
+        """(picture_index, splitter) pairs — the round-robin schedule."""
+        return [(r.picture_index, r.splitter) for r in self.route()]

@@ -1,0 +1,490 @@
+"""The timed 1-k-(m,n) system: Table 3's refined protocol on the DES.
+
+Node ids: ``0`` is the console (root splitter); ``1..k`` are second-level
+splitters; ``k+1 .. k+m*n`` are decoders.  With ``k == 0`` the system is the
+paper's one-level 1-(m,n): the console does the macroblock splitting itself
+and ships sub-pictures directly — the configuration whose splitter
+saturates beyond ~4 decoders (§5.3).
+
+The protocol implemented is exactly the refined algorithm of Table 3:
+
+- the root copies each picture, waits for an ack from *any* splitter
+  (except before the first picture), and sends the picture round-robin
+  with the NSID of the next splitter;
+- a splitter acks the root on receive, splits, waits for the previous
+  picture's decoder acks (redirected to it via ANID), then sends each
+  decoder its MEI + sub-picture with the ANID it got from the root;
+- a decoder acks node ANID (not the sender!), executes its MEI SENDs,
+  waits for its MEI RECVs, then decodes and displays.
+
+Every decoder verifies in-order picture arrival, and the GM model verifies
+that a posted receive buffer exists for every bulk arrival — so a protocol
+bug fails the run instead of skewing the numbers.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpeg2.constants import PictureType
+from repro.net.gm import GMNetwork, GMPort, NetworkParams
+from repro.net.simtime import Simulator, Store, Timeout
+from repro.cluster.node import ClusterSpec, Node, PRINCETON_WALL
+from repro.parallel.mei import INSTRUCTION_BYTES
+from repro.perf.costmodel import CostModel, PictureWork, build_picture_work
+from repro.perf.metrics import RuntimeBreakdown, average_breakdown
+from repro.perf.timeline import TimelineTrace
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import StreamSpec
+
+ACK_SIZE = 8
+
+
+class _Mailbox:
+    """Tag-demultiplexed view of a GM port's inbox."""
+
+    def __init__(self, sim: Simulator, port: GMPort):
+        self.sim = sim
+        self.stores: Dict[str, Store] = defaultdict(lambda: Store(sim))
+        sim.process(self._pump(port), name=f"mailbox:{port.node_id}")
+
+    def _pump(self, port: GMPort):
+        while True:
+            msg = yield port.inbox.get()
+            port.stats.bytes_received += msg.size
+            port.stats.messages_received += 1
+            self.stores[msg.tag].put(msg)
+
+    def get(self, tag: str):
+        """Process helper: ``msg = yield mailbox.get(tag)`` (event)."""
+        return self.stores[tag].get()
+
+
+@dataclass
+class SystemResult:
+    """What one timed run produces."""
+
+    label: str
+    fps: float
+    pixel_rate_mpps: float
+    n_frames: int
+    duration: float
+    breakdowns: Dict[int, RuntimeBreakdown]  # tile id -> breakdown
+    bandwidth: Dict[str, Tuple[float, float]]  # node label -> (send, recv) MB/s
+    flow_control_violations: int
+    display_times: List[float]
+    utilization: Dict[str, float] = None  # node label -> CPU busy fraction
+
+    def mean_breakdown(self) -> RuntimeBreakdown:
+        return average_breakdown(list(self.breakdowns.values()))
+
+
+class TimedSystem:
+    """Build and run one timed 1-k-(m,n) simulation."""
+
+    def __init__(
+        self,
+        spec: StreamSpec,
+        layout: TileLayout,
+        k: int,
+        cost: Optional[CostModel] = None,
+        net_params: Optional[NetworkParams] = None,
+        cluster: ClusterSpec = PRINCETON_WALL,
+        n_frames: int = 60,
+        disable_anid: bool = False,
+        demand_fetch: bool = False,
+        works: Optional[List[PictureWork]] = None,
+        node_speeds: Optional[Dict[int, float]] = None,
+        tiles_per_node: int = 1,
+        trace: Optional[TimelineTrace] = None,
+    ):
+        self.spec = spec
+        self.layout = layout
+        self.k = k
+        self.cost = cost or CostModel()
+        self.net_params = net_params or NetworkParams()
+        self.cluster = cluster
+        self.disable_anid = disable_anid
+        self.demand_fetch = demand_fetch
+        # Workloads come from the analytic model by default; pass ``works``
+        # (e.g. from repro.perf.trace) to drive the system from a real
+        # stream's measured split results instead.
+        self.works = works if works is not None else build_picture_work(
+            spec, layout, n_frames
+        )
+        self.n_frames = len(self.works)
+
+        self.sim = Simulator()
+        self.net = GMNetwork(self.sim, self.net_params)
+        # Multi-display extension (paper §6): one decoder PC can drive
+        # ``tiles_per_node`` projectors.  Tiles are grouped row-major.
+        if tiles_per_node < 1:
+            raise ValueError("tiles_per_node must be >= 1")
+        self.tiles_per_node = tiles_per_node
+        n_tiles = layout.n_tiles
+        n_dec = -(-n_tiles // tiles_per_node)
+        self.tile_groups: List[List[int]] = [
+            list(range(g * tiles_per_node, min((g + 1) * tiles_per_node, n_tiles)))
+            for g in range(n_dec)
+        ]
+        self.node_of_tile: Dict[int, int] = {}
+        for g, tids in enumerate(self.tile_groups):
+            for tid in tids:
+                self.node_of_tile[tid] = k + 1 + g
+        self.decoder_ids = list(range(k + 1, k + 1 + n_dec))
+        self.splitter_ids = list(range(1, k + 1))
+        self.nodes: Dict[int, Node] = {}
+        from dataclasses import replace as _dc_replace
+
+        for nid in [0] + self.splitter_ids + self.decoder_ids:
+            spec_n = cluster.console if nid == 0 else cluster.worker
+            if node_speeds and nid in node_speeds:
+                # Heterogeneity/straggler injection: scale this node's CPU.
+                spec_n = _dc_replace(
+                    spec_n, cpu_mhz=spec_n.cpu_mhz * node_speeds[nid]
+                )
+            self.nodes[nid] = Node(self.sim, self.net, nid, spec_n)
+        self.mailboxes = {
+            nid: _Mailbox(self.sim, self.nodes[nid].port) for nid in self.nodes
+        }
+        self.breakdowns: Dict[int, RuntimeBreakdown] = {}
+        self.display_times: Dict[int, List[float]] = defaultdict(list)
+        self.trace = trace
+
+    def _rec(self, actor: str, phase: str, t0: float, picture: int = -1) -> None:
+        """Record a span ending now on the optional timeline trace."""
+        if self.trace is not None and self.sim.now > t0:
+            self.trace.record(actor, phase, t0, self.sim.now, picture)
+
+    # ------------------------------------------------------------------ #
+
+    def decoder_node_of_tile(self, tid: int) -> int:
+        return self.node_of_tile[tid]
+
+    def label(self) -> str:
+        if self.k == 0:
+            return f"1-({self.layout.m},{self.layout.n})"
+        return f"1-{self.k}-({self.layout.m},{self.layout.n})"
+
+    # ------------------------------------------------------------------ #
+    # actors
+    # ------------------------------------------------------------------ #
+
+    def _root_two_level(self):
+        node = self.nodes[0]
+        port = node.port
+        mbox = self.mailboxes[0]
+        for work in self.works:
+            a = work.index % self.k
+            nsid = (a + 1) % self.k
+            t0 = self.sim.now
+            yield from node.compute(self.cost.t_root_copy(work.nbytes))
+            self._rec("root", "copy", t0, work.index)
+            if work.index > 0:
+                t0 = self.sim.now
+                yield mbox.get("ackroot")  # ack from any splitter
+                self._rec("root", "wait", t0, work.index)
+            t0 = self.sim.now
+            yield from port.send(
+                1 + a,
+                {"work": work, "nsid": nsid},
+                size=work.nbytes + 16,
+                tag="pic",
+            )
+            self._rec("root", "send", t0, work.index)
+
+    def _splitter(self, sid: int):
+        """Second-level splitter ``sid`` (node id sid+1... here real id)."""
+        node = self.nodes[sid]
+        port = node.port
+        mbox = self.mailboxes[sid]
+        port.post_receive_buffer(2)
+        n_dec = len(self.decoder_ids)
+        sname = f"splitter{sid - 1}"
+        while True:
+            t0 = self.sim.now
+            msg = yield mbox.get("pic")
+            work: PictureWork = msg.payload["work"]
+            nsid = msg.payload["nsid"]
+            self._rec(sname, "receive", t0, work.index)
+            port.post_receive_buffer(1)  # recycle the consumed buffer
+            t0 = self.sim.now
+            yield from node.compute(self.cost.ack_cost)
+            yield from port.send(0, None, ACK_SIZE, tag="ackroot", control=True)
+            self._rec(sname, "ack", t0, work.index)
+            t0 = self.sim.now
+            yield from node.compute(
+                self.cost.t_split_picture(
+                    self.spec.mbs_per_frame, work.nbytes * 8
+                )
+            )
+            self._rec(sname, "split", t0, work.index)
+            if work.index > 0 and not self.disable_anid:
+                t0 = self.sim.now
+                for _ in range(n_dec):
+                    yield mbox.get(f"acksp:{work.index - 1}")
+                self._rec(sname, "wait", t0, work.index)
+            anid = nsid if not self.disable_anid else (sid - 1)
+            t_send = self.sim.now
+            for tid in range(self.layout.n_tiles):
+                tw = work.tiles[tid]
+                instr = sum(
+                    e.n_instructions
+                    for e in work.exchanges
+                    if e.src == tid or e.dst == tid
+                )
+                size = tw.sp_bytes + instr * INSTRUCTION_BYTES
+                yield from port.send(
+                    self.decoder_node_of_tile(tid),
+                    {"work": work, "anid": anid, "tile": tid},
+                    size=size,
+                    tag="sp",
+                )
+            self._rec(sname, "send", t_send, work.index)
+            if work.index + self.k >= self.n_frames:
+                return  # no more pictures routed to this splitter
+
+    def _decoder(self, tids: List[int]):
+        """One decoder PC driving the tiles in ``tids`` (usually one)."""
+        lead = tids[0]
+        my_tiles = set(tids)
+        node = self.nodes[self.decoder_node_of_tile(lead)]
+        port = node.port
+        mbox = self.mailboxes[node.node_id]
+        port.post_receive_buffer(2 * len(tids))
+        bd = RuntimeBreakdown()
+        self.breakdowns[lead] = bd
+        cost = self.cost
+        dname = f"decoder{lead}"
+        for i in range(self.n_frames):
+            t0 = self.sim.now
+            work: Optional[PictureWork] = None
+            anid = -1
+            for _ in tids:
+                msg = yield mbox.get("sp")
+                work = msg.payload["work"]
+                anid = msg.payload["anid"]
+                if work.index != i:
+                    raise RuntimeError(
+                        f"tile {lead}: picture {work.index} arrived, "
+                        f"expected {i} (ordering protocol violated)"
+                    )
+                port.post_receive_buffer(1)
+            assert work is not None
+            bd.add("receive", self.sim.now - t0)
+            self._rec(dname, "receive", t0, i)
+            # ack to the ANID node (the *next* splitter), not the sender
+            t0 = self.sim.now
+            yield from node.compute(cost.ack_cost)
+            anid_node = 1 + anid if self.k else 0
+            yield from port.send(
+                anid_node, None, ACK_SIZE, tag=f"acksp:{i}", control=True
+            )
+            bd.add("ack", self.sim.now - t0)
+            self._rec(dname, "ack", t0, i)
+            # Partition this picture's exchanges by locality: transfers
+            # between two tiles of this node never touch the network (the
+            # multi-display extension's main saving).
+            sends_remote = [
+                ex
+                for tid in tids
+                for ex in work.exchanges_from(tid)
+                if ex.dst not in my_tiles
+            ]
+            local = [
+                ex
+                for tid in tids
+                for ex in work.exchanges_from(tid)
+                if ex.dst in my_tiles
+            ]
+            expected_recv = sum(
+                1
+                for tid in tids
+                for ex in work.exchanges_to(tid)
+                if ex.src not in my_tiles
+            )
+            if not self.demand_fetch:
+                # MEI pre-calculation (the paper's §4.2 design): serve
+                # remote decoders first, then collect incoming blocks.
+                t0 = self.sim.now
+                for ex in sends_remote:
+                    yield from node.compute(
+                        cost.serve_per_byte * ex.nbytes
+                        + cost.mei_per_instruction * ex.n_instructions
+                    )
+                    yield from port.send(
+                        self.decoder_node_of_tile(ex.dst),
+                        ex,
+                        size=ex.nbytes + ex.n_instructions * INSTRUCTION_BYTES,
+                        tag=f"blk:{i}",
+                        control=True,
+                    )
+                for ex in local:
+                    # same-node tiles share memory: a copy, no messaging
+                    yield from node.compute(cost.apply_per_byte * ex.nbytes)
+                bd.add("serve", self.sim.now - t0)
+                self._rec(dname, "serve", t0, i)
+                t0 = self.sim.now
+                for _ in range(expected_recv):
+                    m = yield mbox.get(f"blk:{i}")
+                    yield from node.compute(
+                        cost.apply_per_byte * m.payload.nbytes
+                        + cost.mei_per_instruction * m.payload.n_instructions
+                    )
+                bd.add("wait_remote", self.sim.now - t0)
+                self._rec(dname, "fetch", t0, i)
+            else:
+                # Ablation: demand fetching (§4.2's rejected design).  Each
+                # remote reference is a blocking request/response round trip
+                # served by a server thread on the peer, adding two context
+                # switches per region; requests serialize with decoding.
+                ctx_switch = 30e-6
+                t0 = self.sim.now
+                for ex in sends_remote:
+                    # this node's server thread steals the same service time
+                    # plus wakeup/switch costs
+                    yield from node.compute(
+                        cost.serve_per_byte * ex.nbytes
+                        + (cost.mei_per_instruction + 2 * ctx_switch)
+                        * ex.n_instructions
+                    )
+                for ex in local:
+                    yield from node.compute(cost.apply_per_byte * ex.nbytes)
+                bd.add("serve", self.sim.now - t0)
+                t0 = self.sim.now
+                remote_recvs = [
+                    ex
+                    for t in tids
+                    for ex in work.exchanges_to(t)
+                    if ex.src not in my_tiles
+                ]
+                for ex in remote_recvs:
+                    per_region = ex.nbytes / max(1, ex.n_instructions)
+                    for _ in range(ex.n_instructions):
+                        # request latency + remote wakeup + response
+                        yield Timeout(
+                            2 * self.net_params.latency
+                            + 2 * ctx_switch
+                            + per_region / self.net_params.bandwidth
+                        )
+                        yield from node.compute(
+                            cost.apply_per_byte * per_region
+                        )
+                bd.add("wait_remote", self.sim.now - t0)
+            # decode + display (all tiles of this node, sequentially)
+            t0 = self.sim.now
+            for t in tids:
+                tw = work.tiles[t]
+                yield from node.compute(cost.t_decode_mbs(tw.n_mbs, tw.bits))
+            bd.add("work", self.sim.now - t0)
+            self._rec(dname, "decode", t0, i)
+            self.display_times[lead].append(self.sim.now)
+
+    def _root_one_level(self):
+        """One-level 1-(m,n): the console scans, splits, and ships SPs."""
+        node = self.nodes[0]
+        port = node.port
+        mbox = self.mailboxes[0]
+        n_dec = len(self.decoder_ids)
+        for work in self.works:
+            yield from node.compute(self.cost.t_root_copy(work.nbytes))
+            yield from node.compute(
+                self.cost.t_split_picture(self.spec.mbs_per_frame, work.nbytes * 8)
+            )
+            if work.index > 0:
+                for _ in range(n_dec):
+                    yield mbox.get(f"acksp:{work.index - 1}")
+            for tid in range(self.layout.n_tiles):
+                tw = work.tiles[tid]
+                instr = sum(
+                    e.n_instructions
+                    for e in work.exchanges
+                    if e.src == tid or e.dst == tid
+                )
+                size = tw.sp_bytes + instr * INSTRUCTION_BYTES
+                yield from port.send(
+                    self.decoder_node_of_tile(tid),
+                    {"work": work, "anid": -1, "tile": tid},
+                    size=size,
+                    tag="sp",
+                )
+
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> SystemResult:
+        if self.k == 0:
+            self.sim.process(self._root_one_level(), name="root")
+        else:
+            self.sim.process(self._root_two_level(), name="root")
+            for sid in self.splitter_ids:
+                self.sim.process(self._splitter(sid), name=f"splitter{sid}")
+        for group in self.tile_groups:
+            self.sim.process(self._decoder(group), name=f"decoder{group[0]}")
+        end = self.sim.run()
+
+        times = self.display_times[0]
+        warm = min(4, max(0, len(times) - 2))
+        if len(times) >= warm + 2:
+            fps = (len(times) - 1 - warm) / (times[-1] - times[warm])
+        else:
+            fps = len(times) / end if end > 0 else 0.0
+        duration = times[-1] - times[warm] if len(times) > warm + 1 else end
+
+        bandwidth: Dict[str, Tuple[float, float]] = {}
+        utilization: Dict[str, float] = {}
+        for nid in sorted(self.nodes):
+            node = self.nodes[nid]
+            port = node.port
+            if nid == 0:
+                name = "root"
+            elif nid in self.splitter_ids:
+                name = f"splitter{nid - 1}"
+            else:
+                name = f"decoder{nid - self.k - 1}"
+            bandwidth[name] = (
+                port.stats.bytes_sent / duration / 1e6,
+                port.stats.bytes_received / duration / 1e6,
+            )
+            utilization[name] = min(1.0, node.busy_time / end) if end > 0 else 0.0
+
+        return SystemResult(
+            label=self.label(),
+            fps=fps,
+            pixel_rate_mpps=fps * self.spec.n_pixels / 1e6,
+            n_frames=self.n_frames,
+            duration=duration,
+            breakdowns=dict(self.breakdowns),
+            bandwidth=bandwidth,
+            flow_control_violations=self.net.flow_control_violations,
+            display_times=list(times),
+            utilization=utilization,
+        )
+
+
+def run_system(
+    spec: StreamSpec,
+    m: int,
+    n: int,
+    k: int,
+    overlap: int = 0,
+    n_frames: int = 60,
+    cost: Optional[CostModel] = None,
+    net_params: Optional[NetworkParams] = None,
+    disable_anid: bool = False,
+    demand_fetch: bool = False,
+) -> SystemResult:
+    """Convenience wrapper: build layout + system and run it."""
+    layout = TileLayout(spec.width, spec.height, m, n, overlap=overlap)
+    sys_ = TimedSystem(
+        spec,
+        layout,
+        k,
+        cost=cost,
+        net_params=net_params,
+        n_frames=n_frames,
+        disable_anid=disable_anid,
+        demand_fetch=demand_fetch,
+    )
+    return sys_.run()

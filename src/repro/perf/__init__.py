@@ -1,0 +1,6 @@
+"""Performance layer: cost model, DES experiment runners, and metrics."""
+
+from repro.perf.costmodel import CostModel, PictureWork, build_picture_work
+from repro.perf.metrics import RuntimeBreakdown
+
+__all__ = ["CostModel", "PictureWork", "build_picture_work", "RuntimeBreakdown"]

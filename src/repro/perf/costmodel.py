@@ -1,0 +1,224 @@
+"""Calibrated cost model for the timed 1-k-(m,n) system.
+
+The paper's numbers are wall-clock measurements on 733 MHz Pentium III
+decoders over Myrinet.  The DES reproduces the *pipeline*, and this module
+supplies the per-operation costs.  Constants are calibrated against the
+paper's surviving quantitative anchors:
+
+1. a one-level splitter saturates beyond ~4 decoders (§5.3) — so one
+   macroblock split costs ~1/4 .. 1/5 of one full decode;
+2. 1-4-(4,4) plays the 3840x2800 Orion stream at 38.9 fps (§5.5);
+3. decoder work share falls from ~80 % (stream 8, 2x2) to ~40 % (4x4)
+   as remote-reference serving grows (§5.4, figure 7);
+4. splitter send bandwidth exceeds its receive bandwidth by ~20 % — the
+   SPH overhead (§5.6, figure 9).
+
+Costs scale with both macroblock count (IDCT/MC work) and coded bits (VLC
+work), which is what makes DVD (high bpp) and the 0.3 bpp family behave
+differently, and what makes the localized-detail Orion tiles imbalanced.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.mpeg2.constants import MB_SIZE, PictureType
+from repro.parallel.subpicture import SPH
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import StreamSpec
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """Per-operation costs in seconds on a reference 733 MHz decoder node."""
+
+    # decoding: fixed per-macroblock (IDCT, MC, write-out) + per coded bit
+    decode_mb_fixed: float = 3.2e-6
+    decode_per_bit: float = 22e-9
+    # display: color conversion + blit, per macroblock
+    display_mb: float = 0.8e-6
+    # macroblock splitting: VLC parse + sort, no pixel work
+    split_mb_fixed: float = 0.35e-6
+    split_per_bit: float = 7e-9
+    # root splitter: start-code scan + copy to output buffer, per byte
+    root_per_byte: float = 2.0e-9
+    # remote-block service: extract + pack one reference region, per byte
+    serve_per_byte: float = 20e-9
+    # applying received blocks into local reference copies, per byte
+    apply_per_byte: float = 15e-9
+    # executing one MEI instruction: bounds-check, extract a ~17x17
+    # region, pack, and post the send (the dominant per-exchange cost)
+    mei_per_instruction: float = 25e-6
+    # building/sending one ack
+    ack_cost: float = 5e-6
+    # console (root) node speed relative to decoder nodes (550 vs 733 MHz)
+    root_speed: float = 550.0 / 733.0
+
+    # ------------------------------------------------------------------ #
+
+    def t_decode_mbs(self, n_mbs: float, bits: float) -> float:
+        """Decode+display time for ``n_mbs`` macroblocks holding ``bits``."""
+        return n_mbs * (self.decode_mb_fixed + self.display_mb) + bits * self.decode_per_bit
+
+    def t_split_picture(self, n_mbs: float, bits: float) -> float:
+        """Macroblock-split time for one whole picture."""
+        return n_mbs * self.split_mb_fixed + bits * self.split_per_bit
+
+    def t_root_copy(self, nbytes: float) -> float:
+        return nbytes * self.root_per_byte / self.root_speed
+
+    # Convenience estimates used by the §4.6 configuration rule ---------- #
+
+    def t_s(self, spec: StreamSpec) -> float:
+        """Average per-picture split time for a stream."""
+        return self.t_split_picture(spec.mbs_per_frame, spec.avg_frame_bytes * 8)
+
+    def t_d(self, spec: StreamSpec, layout: TileLayout) -> float:
+        """Average per-picture decode time of the *slowest* tile."""
+        loads = spec.tile_workloads(layout)
+        bits = spec.avg_frame_bytes * 8
+        return max(
+            self.t_decode_mbs(w["mbs"], bits * w["bits_fraction"])
+            for w in loads.values()
+        )
+
+
+# -------------------------------------------------------------------------- #
+# per-picture workload derivation
+# -------------------------------------------------------------------------- #
+
+
+@dataclass
+class Exchange:
+    """One modeled MEI transfer between two tiles for one picture."""
+
+    src: int
+    dst: int
+    nbytes: int
+    n_instructions: int
+
+
+@dataclass
+class TileWork:
+    """What one tile decoder must do for one picture."""
+
+    n_mbs: int
+    bits: float
+    sp_bytes: int  # sub-picture message size (payload + SPH overhead)
+    n_runs: int  # partial slices -> SPH count
+
+
+@dataclass
+class PictureWork:
+    """The timed system's unit of work: one coded picture."""
+
+    index: int
+    ptype: PictureType
+    nbytes: int  # coded picture size (root -> splitter message)
+    tiles: Dict[int, TileWork]
+    exchanges: List[Exchange]
+
+    def exchanges_from(self, tile: int) -> List[Exchange]:
+        return [e for e in self.exchanges if e.src == tile]
+
+    def exchanges_to(self, tile: int) -> List[Exchange]:
+        return [e for e in self.exchanges if e.dst == tile]
+
+
+# Bytes of one exchanged reference region: a 17x17 luma patch plus 4:2:0
+# chroma (~1.5x), the unit a single MEI instruction moves.
+_REGION_BYTES = 434
+
+
+def _neighbor_pairs(layout: TileLayout) -> List[Tuple[int, int, int]]:
+    """Directed (src, dst, shared_edge_px) pairs for edge-adjacent tiles."""
+    out = []
+    for a in layout:
+        for b in layout:
+            if a.tid == b.tid:
+                continue
+            # shared vertical edge
+            if abs(a.col - b.col) == 1 and a.row == b.row:
+                edge = min(a.rect.y1, b.rect.y1) - max(a.rect.y0, b.rect.y0)
+                if edge > 0:
+                    out.append((a.tid, b.tid, edge))
+            elif abs(a.row - b.row) == 1 and a.col == b.col:
+                edge = min(a.rect.x1, b.rect.x1) - max(a.rect.x0, b.rect.x0)
+                if edge > 0:
+                    out.append((a.tid, b.tid, edge))
+    return out
+
+
+def _directions_factor(ptype: PictureType) -> int:
+    if ptype == PictureType.I:
+        return 0
+    if ptype == PictureType.P:
+        return 1
+    return 2  # B: forward + backward references
+
+
+def build_picture_work(
+    spec: StreamSpec,
+    layout: TileLayout,
+    n_frames: Optional[int] = None,
+) -> List[PictureWork]:
+    """Derive the per-picture workloads (decode order ~ display order here;
+    the reorder does not change any of the modeled costs)."""
+    n = n_frames or spec.n_frames
+    types = spec.picture_types(n)
+    tile_loads = spec.tile_workloads(layout)
+    weights = spec.mb_bit_weights()
+    neighbor = _neighbor_pairs(layout)
+    sph_size = SPH.packed_size() + 13  # + run-record framing
+    # Probability that a boundary macroblock's motion vector crosses into
+    # the neighbouring tile: vectors are roughly symmetric around zero, so
+    # only ~half point toward the edge, reaching ~|mv| past it on average.
+    cross_prob = min(1.0, spec.motion_pixels / (2.0 * MB_SIZE))
+
+    works: List[PictureWork] = []
+    for i, ptype in enumerate(types):
+        pic_bytes = spec.picture_bytes(ptype, n)
+        tiles: Dict[int, TileWork] = {}
+        for tid, load in tile_loads.items():
+            bits = pic_bytes * 8 * load["bits_fraction"]
+            n_runs = load["mb_rows"]
+            tiles[tid] = TileWork(
+                n_mbs=load["mbs"],
+                bits=bits,
+                sp_bytes=int(bits / 8 + n_runs * sph_size + 32),
+                n_runs=n_runs,
+            )
+        exchanges: List[Exchange] = []
+        dirs = _directions_factor(ptype)
+        if dirs:
+            for src, dst, edge_px in neighbor:
+                # Weight the boundary traffic by the local bit density so
+                # detailed regions (which also move most) exchange more.
+                t_src = layout.tile(src)
+                mx = min(spec.mb_width - 1, max(0, (t_src.rect.x0 + t_src.rect.x1) // 2 // MB_SIZE))
+                my = min(spec.mb_height - 1, max(0, (t_src.rect.y0 + t_src.rect.y1) // 2 // MB_SIZE))
+                local_w = float(weights[my, mx]) * weights.size
+                edge_mbs = edge_px / MB_SIZE
+                n_instr = edge_mbs * cross_prob * dirs * local_w
+                # A boundary macroblock can request at most one region per
+                # reference direction.
+                n_instr = max(1, round(min(n_instr, edge_mbs * dirs)))
+                exchanges.append(
+                    Exchange(
+                        src=src,
+                        dst=dst,
+                        nbytes=int(n_instr * _REGION_BYTES),
+                        n_instructions=n_instr,
+                    )
+                )
+        works.append(
+            PictureWork(
+                index=i,
+                ptype=ptype,
+                nbytes=int(pic_bytes),
+                tiles=tiles,
+                exchanges=exchanges,
+            )
+        )
+    return works

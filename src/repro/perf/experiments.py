@@ -1,0 +1,229 @@
+"""Experiment runners: one function per table/figure of the paper's §5.
+
+Every runner returns plain data structures (lists of dicts) so tests can
+assert the paper's qualitative claims on them and benchmarks can print
+them as the paper's tables.  The ``n_frames`` defaults trade simulated
+length against runtime; results are steady-state frame rates, so 30-60
+simulated pictures suffice.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.net.gm import NetworkParams
+from repro.parallel.config import SystemConfig, optimal_k
+from repro.parallel.system import SystemResult, TimedSystem, run_system
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import TABLE4_STREAMS, StreamSpec, stream_by_id
+
+#: Screen configurations used throughout §5 (m columns x n rows).
+SCREEN_CONFIGS: List[Tuple[int, int]] = [
+    (1, 1),
+    (2, 1),
+    (2, 2),
+    (3, 2),
+    (3, 3),
+    (4, 3),
+    (4, 4),
+]
+
+#: Resolution-matched configuration per stream (§5.5): m, n chosen so the
+#: video resolution matches the tiled wall resolution.
+TABLE6_CONFIGS: Dict[int, Tuple[int, int]] = {
+    1: (1, 1),
+    2: (1, 1),
+    3: (1, 1),
+    4: (1, 1),
+    5: (2, 1),
+    6: (2, 1),
+    7: (2, 1),
+    8: (2, 1),
+    9: (2, 1),
+    10: (2, 2),
+    11: (2, 2),
+    12: (2, 2),
+    13: (3, 2),
+    14: (3, 3),
+    15: (4, 3),
+    16: (4, 4),
+}
+
+
+def choose_k_empirically(
+    spec: StreamSpec,
+    m: int,
+    n: int,
+    max_k: int = 6,
+    n_frames: int = 24,
+    cost: Optional[CostModel] = None,
+    improvement: float = 1.03,
+) -> int:
+    """The paper's method (§5.4): "We determine k by increasing it until
+    the overall frame rate stops increasing"."""
+    best_fps, best_k = 0.0, 1
+    for k in range(1, max_k + 1):
+        fps = run_system(spec, m, n, k=k, n_frames=n_frames, cost=cost).fps
+        if fps > best_fps * improvement:
+            best_fps, best_k = fps, k
+        else:
+            break
+    return best_k
+
+
+# -------------------------------------------------------------------------- #
+# Table 5 / Figure 6 — one-level vs two-level frame rates
+# -------------------------------------------------------------------------- #
+
+
+def table5(
+    stream_ids: Sequence[int] = (1, 8),
+    n_frames: int = 36,
+    cost: Optional[CostModel] = None,
+) -> List[dict]:
+    """Frame rate of one-level and two-level systems for streams 1 and 8
+    over all screen configurations."""
+    rows = []
+    for sid in stream_ids:
+        spec = stream_by_id(sid)
+        for m, n in SCREEN_CONFIGS:
+            one = run_system(spec, m, n, k=0, n_frames=n_frames, cost=cost)
+            k = choose_k_empirically(spec, m, n, cost=cost)
+            two = run_system(spec, m, n, k=k, n_frames=n_frames, cost=cost)
+            rows.append(
+                {
+                    "stream": sid,
+                    "m": m,
+                    "n": n,
+                    "one_level_config": one.label,
+                    "one_level_nodes": 1 + m * n,
+                    "one_level_fps": round(one.fps, 1),
+                    "two_level_config": two.label,
+                    "two_level_nodes": 1 + k + m * n,
+                    "two_level_fps": round(two.fps, 1),
+                }
+            )
+    return rows
+
+
+def figure6(rows: Optional[List[dict]] = None, **kw) -> Dict[str, List[Tuple[int, float]]]:
+    """Figure 6 series: fps vs total nodes, four curves."""
+    rows = rows or table5(**kw)
+    series: Dict[str, List[Tuple[int, float]]] = {}
+    for r in rows:
+        series.setdefault(f"stream{r['stream']}-one-level", []).append(
+            (r["one_level_nodes"], r["one_level_fps"])
+        )
+        series.setdefault(f"stream{r['stream']}-two-level", []).append(
+            (r["two_level_nodes"], r["two_level_fps"])
+        )
+    return series
+
+
+# -------------------------------------------------------------------------- #
+# Figure 7 — decoder runtime breakdown
+# -------------------------------------------------------------------------- #
+
+
+def figure7(
+    stream_id: int = 8,
+    n_frames: int = 36,
+    cost: Optional[CostModel] = None,
+) -> Dict[str, dict]:
+    """Runtime breakdown of each decoder for 2x2 and 4x4 setups."""
+    spec = stream_by_id(stream_id)
+    out: Dict[str, dict] = {}
+    for m, n in ((2, 2), (4, 4)):
+        k = choose_k_empirically(spec, m, n, cost=cost)
+        res = run_system(spec, m, n, k=k, n_frames=n_frames, cost=cost)
+        per_dec = {
+            tid: bd.per_frame_ms(n_frames) for tid, bd in res.breakdowns.items()
+        }
+        mean = res.mean_breakdown()
+        out[f"{m}x{n}"] = {
+            "config": res.label,
+            "fps": round(res.fps, 1),
+            "per_decoder_ms": per_dec,
+            "average_ms": mean.per_frame_ms(n_frames),
+            "average_fractions": mean.fractions(),
+        }
+    return out
+
+
+# -------------------------------------------------------------------------- #
+# Table 6 / Figure 8 — resolution scalability
+# -------------------------------------------------------------------------- #
+
+
+def table6(
+    n_frames: int = 36,
+    cost: Optional[CostModel] = None,
+    stream_ids: Optional[Sequence[int]] = None,
+) -> List[dict]:
+    """All 16 streams on resolution-matched configurations."""
+    rows = []
+    for spec in TABLE4_STREAMS:
+        if stream_ids is not None and spec.sid not in stream_ids:
+            continue
+        m, n = TABLE6_CONFIGS[spec.sid]
+        if m * n == 1:
+            k = 1
+            res = run_system(spec, m, n, k=1, n_frames=n_frames, cost=cost)
+        else:
+            k = choose_k_empirically(spec, m, n, cost=cost)
+            res = run_system(spec, m, n, k=k, n_frames=n_frames, cost=cost)
+        rows.append(
+            {
+                "stream": spec.sid,
+                "name": spec.name,
+                "resolution": f"{spec.width}x{spec.height}",
+                "config": res.label,
+                "nodes": 1 + k + m * n,
+                "fps": round(res.fps, 1),
+                "pixel_rate_mpps": round(res.pixel_rate_mpps, 1),
+            }
+        )
+    return rows
+
+
+def figure8(rows: Optional[List[dict]] = None, **kw) -> List[Tuple[int, float]]:
+    """Figure 8 series: pixel decoding rate vs number of nodes (averaging
+    streams that share a configuration, as the paper does)."""
+    rows = rows or table6(**kw)
+    by_nodes: Dict[int, List[float]] = {}
+    for r in rows:
+        by_nodes.setdefault(r["nodes"], []).append(r["pixel_rate_mpps"])
+    return sorted((nodes, sum(v) / len(v)) for nodes, v in by_nodes.items())
+
+
+# -------------------------------------------------------------------------- #
+# Figure 9 — per-node bandwidth
+# -------------------------------------------------------------------------- #
+
+
+def figure9(
+    stream_id: int = 16,
+    m: int = 4,
+    n: int = 4,
+    k: int = 4,
+    n_frames: int = 36,
+    cost: Optional[CostModel] = None,
+) -> dict:
+    """Send/receive bandwidth of every node, 1-4-(4,4) on stream 16."""
+    spec = stream_by_id(stream_id)
+    res = run_system(spec, m, n, k=k, n_frames=n_frames, cost=cost)
+    splitters = {
+        name: bw for name, bw in res.bandwidth.items() if name.startswith("splitter")
+    }
+    send = sum(b[0] for b in splitters.values())
+    recv = sum(b[1] for b in splitters.values())
+    return {
+        "config": res.label,
+        "fps": round(res.fps, 1),
+        "bandwidth_mbps": {
+            name: (round(s, 2), round(r, 2)) for name, (s, r) in res.bandwidth.items()
+        },
+        "splitter_send_over_recv": round(send / recv, 3) if recv else float("nan"),
+    }

@@ -1,0 +1,65 @@
+"""Timing/bandwidth metrics collected by the timed system.
+
+:class:`RuntimeBreakdown` reproduces Figure 7's five buckets exactly as the
+paper defines them (§5.4):
+
+- **work** — the time to decode and display a picture;
+- **serve** — the time to prepare data for remote decoders;
+- **receive** — the time waiting for sub-pictures from splitters;
+- **wait_remote** — the time waiting for remote blocks;
+- **ack** — the time to send acks to splitters.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List
+
+
+@dataclass
+class RuntimeBreakdown:
+    work: float = 0.0
+    serve: float = 0.0
+    receive: float = 0.0
+    wait_remote: float = 0.0
+    ack: float = 0.0
+
+    BUCKETS = ("work", "serve", "receive", "wait_remote", "ack")
+
+    @property
+    def total(self) -> float:
+        return self.work + self.serve + self.receive + self.wait_remote + self.ack
+
+    def fractions(self) -> Dict[str, float]:
+        t = self.total
+        if t <= 0:
+            return {b: 0.0 for b in self.BUCKETS}
+        return {b: getattr(self, b) / t for b in self.BUCKETS}
+
+    def per_frame_ms(self, n_frames: int) -> Dict[str, float]:
+        return {b: 1e3 * getattr(self, b) / max(1, n_frames) for b in self.BUCKETS}
+
+    def add(self, bucket: str, dt: float) -> None:
+        if bucket not in self.BUCKETS:
+            raise KeyError(bucket)
+        setattr(self, bucket, getattr(self, bucket) + dt)
+
+
+@dataclass
+class NodeBandwidth:
+    """Send/receive byte counts for one node over a run."""
+
+    sent: int = 0
+    received: int = 0
+
+    def mbps(self, duration: float) -> tuple:
+        return (self.sent / duration / 1e6, self.received / duration / 1e6)
+
+
+def average_breakdown(parts: List[RuntimeBreakdown]) -> RuntimeBreakdown:
+    out = RuntimeBreakdown()
+    if not parts:
+        return out
+    for b in RuntimeBreakdown.BUCKETS:
+        out.add(b, sum(getattr(p, b) for p in parts) / len(parts))
+    return out

@@ -1,0 +1,120 @@
+"""Activity timelines from the timed system — reproduces Figure 5.
+
+The paper's Figure 5 shows the flow of work units and messages in a
+two-level system: the root copying/sending pictures, splitters receiving,
+splitting and sending, decoders receiving and decoding, with the phases of
+successive pictures overlapping (the pipeline the ack protocol creates).
+
+:class:`TimelineTrace` collects (actor, phase, start, end, picture) spans
+from a :class:`~repro.parallel.system.TimedSystem` run;
+:func:`render_ascii` draws them as a text gantt chart, one row per node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Single-character glyph per phase in the ASCII rendering.
+PHASE_GLYPHS = {
+    "copy": "c",
+    "send": ">",
+    "split": "S",
+    "wait": ".",
+    "receive": "r",
+    "serve": "s",
+    "fetch": "f",
+    "decode": "D",
+    "ack": "a",
+}
+
+
+@dataclass(frozen=True)
+class Span:
+    actor: str
+    phase: str
+    start: float
+    end: float
+    picture: int = -1
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+@dataclass
+class TimelineTrace:
+    spans: List[Span] = field(default_factory=list)
+
+    def record(
+        self, actor: str, phase: str, start: float, end: float, picture: int = -1
+    ) -> None:
+        if end < start:
+            raise ValueError("span ends before it starts")
+        if phase not in PHASE_GLYPHS:
+            raise ValueError(f"unknown phase {phase!r}")
+        self.spans.append(Span(actor, phase, start, end, picture))
+
+    def actors(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.actor, None)
+        return list(seen)
+
+    def window(self) -> Tuple[float, float]:
+        if not self.spans:
+            return (0.0, 0.0)
+        return (
+            min(s.start for s in self.spans),
+            max(s.end for s in self.spans),
+        )
+
+    def spans_for(self, actor: str) -> List[Span]:
+        return [s for s in self.spans if s.actor == actor]
+
+    def phase_totals(self, actor: str) -> Dict[str, float]:
+        out: Dict[str, float] = {}
+        for s in self.spans_for(actor):
+            out[s.phase] = out.get(s.phase, 0.0) + s.duration
+        return out
+
+
+def render_ascii(
+    trace: TimelineTrace,
+    width: int = 100,
+    t0: Optional[float] = None,
+    t1: Optional[float] = None,
+) -> str:
+    """Draw the trace as one text row per actor.
+
+    Each column is a time bucket; the glyph shows the phase that occupied
+    most of that bucket for the actor (idle = space).
+    """
+    lo, hi = trace.window()
+    t0 = lo if t0 is None else t0
+    t1 = hi if t1 is None else t1
+    if t1 <= t0:
+        return "(empty trace)"
+    dt = (t1 - t0) / width
+    rows = []
+    label_w = max((len(a) for a in trace.actors()), default=4) + 1
+    header = " " * label_w + f"|{'-' * (width - 2)}|  {1e3 * (t1 - t0):.1f} ms"
+    rows.append(header)
+    for actor in trace.actors():
+        buckets = [" "] * width
+        occupancy = [0.0] * width
+        for s in trace.spans_for(actor):
+            if s.end <= t0 or s.start >= t1:
+                continue
+            b0 = max(0, int((s.start - t0) / dt))
+            b1 = min(width - 1, int((s.end - t0) / dt))
+            glyph = PHASE_GLYPHS[s.phase]
+            for b in range(b0, b1 + 1):
+                cover = min(s.end, t0 + (b + 1) * dt) - max(s.start, t0 + b * dt)
+                if cover > occupancy[b]:
+                    occupancy[b] = cover
+                    buckets[b] = glyph
+        rows.append(actor.ljust(label_w) + "".join(buckets))
+    legend = "  ".join(f"{g}={p}" for p, g in PHASE_GLYPHS.items())
+    rows.append("legend: " + legend)
+    return "\n".join(rows)

@@ -1,0 +1,6 @@
+"""Tiled display-wall substrate: geometry, assembly, and edge blending."""
+
+from repro.wall.layout import TileLayout, Tile
+from repro.wall.display import assemble_wall, edge_blend_weights
+
+__all__ = ["TileLayout", "Tile", "assemble_wall", "edge_blend_weights"]

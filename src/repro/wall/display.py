@@ -1,0 +1,96 @@
+"""Wall-image assembly and projector edge blending.
+
+Correctness assembly (:func:`assemble_wall`) is exact: every wall pixel is
+taken from its partition owner, so the parallel==sequential tests compare
+bit-exact images.  :func:`edge_blend_weights` models the optical blending a
+real wall applies across projector overlaps (a linear ramp), used by the
+display example — blending happens in light, not in the decoded data, so it
+never participates in correctness checks.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.mpeg2.frames import Frame
+from repro.wall.layout import TileLayout
+
+
+def assemble_wall(layout: TileLayout, tile_frames: Dict[int, Frame]) -> Frame:
+    """Assemble the wall image from per-tile decoded frames.
+
+    ``tile_frames[tid]`` is tile ``tid``'s full-raster frame, valid on at
+    least the tile's coverage rect.  Each output pixel comes from its
+    partition owner.
+    """
+    out = Frame.blank(layout.width, layout.height)
+    for tile in layout:
+        f = tile_frames[tile.tid]
+        p = tile.partition
+        out.y[p.y0 : p.y1, p.x0 : p.x1] = f.y[p.y0 : p.y1, p.x0 : p.x1]
+        cx0, cy0, cx1, cy1 = p.x0 // 2, p.y0 // 2, p.x1 // 2, p.y1 // 2
+        out.cb[cy0:cy1, cx0:cx1] = f.cb[cy0:cy1, cx0:cx1]
+        out.cr[cy0:cy1, cx0:cx1] = f.cr[cy0:cy1, cx0:cx1]
+    return out
+
+
+def check_overlap_consistency(
+    layout: TileLayout, tile_frames: Dict[int, Frame]
+) -> int:
+    """Count luma samples on which overlapping tiles disagree.
+
+    Zero by construction when the parallel decoder is correct: overlapping
+    tiles decode the same macroblocks from the same bits.
+    """
+    disagreements = 0
+    for a in layout:
+        for b in layout:
+            if b.tid <= a.tid:
+                continue
+            inter = a.rect.intersect(b.rect)
+            if inter.is_empty():
+                continue
+            ya = tile_frames[a.tid].y[inter.y0 : inter.y1, inter.x0 : inter.x1]
+            yb = tile_frames[b.tid].y[inter.y0 : inter.y1, inter.x0 : inter.x1]
+            disagreements += int(np.count_nonzero(ya != yb))
+    return disagreements
+
+
+def edge_blend_weights(layout: TileLayout, tid: int) -> np.ndarray:
+    """Per-pixel light contribution of tile ``tid`` over its display rect.
+
+    Linear ramps across the overlap bands; interior weight 1.0.  Adjacent
+    tiles' ramps sum to 1.0 across a shared band, which is the property the
+    display test asserts.
+    """
+    tile = layout.tile(tid)
+    r = tile.rect
+    w = np.ones((r.height, r.width), dtype=np.float64)
+    ov = layout.overlap
+    if ov > 0:
+        ramp = (np.arange(ov) + 0.5) / ov
+        if tile.col > 0:
+            w[:, :ov] *= ramp[None, :]
+        if tile.col < layout.m - 1:
+            w[:, -ov:] *= ramp[::-1][None, :]
+        if tile.row > 0:
+            w[:ov, :] *= ramp[:, None]
+        if tile.row < layout.n - 1:
+            w[-ov:, :] *= ramp[::-1][:, None]
+    return w
+
+
+def projected_wall_luma(
+    layout: TileLayout, tile_frames: Dict[int, Frame]
+) -> np.ndarray:
+    """Simulate the optically blended wall (luma only), as an audience sees
+    it: each tile contributes its decoded pixels scaled by its blend ramp."""
+    acc = np.zeros((layout.height, layout.width), dtype=np.float64)
+    for tile in layout:
+        r = tile.rect
+        w = edge_blend_weights(layout, tile.tid)
+        patch = tile_frames[tile.tid].y[r.y0 : r.y1, r.x0 : r.x1].astype(np.float64)
+        acc[r.y0 : r.y1, r.x0 : r.x1] += patch * w
+    return np.clip(np.rint(acc), 0, 255).astype(np.uint8)

@@ -1,0 +1,172 @@
+"""Tile geometry for an m x n projector wall.
+
+The paper's wall (Princeton Scalable Display Wall) has a ~40-pixel overlap
+between adjacent projectors for edge blending; macroblocks under an overlap
+are sent to *every* tile that displays them, which is the duplication
+overhead §5.1 notes for low-resolution streams.
+
+Two rectangle families matter:
+
+- ``tile.rect`` — what tile t *displays* (overlapping its neighbours).
+  A macroblock is assigned to every tile whose rect it intersects.
+- ``tile.partition`` — a non-overlapping ownership partition of the wall
+  used for deterministic pixel assembly and for choosing which decoder
+  *serves* a remote reference rectangle.
+- ``tile.coverage`` — ``rect`` expanded outward to macroblock alignment;
+  this is exactly the region tile t reconstructs, hence the region its
+  stored reference frames are valid on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+from repro.mpeg2.constants import MB_SIZE
+from repro.mpeg2.motion import Rect, mb_rect
+
+
+@dataclass(frozen=True)
+class Tile:
+    """One projector/decoder tile."""
+
+    tid: int
+    col: int
+    row: int
+    rect: Rect  # displayed region (overlaps neighbours)
+    partition: Rect  # exclusive ownership region
+    coverage: Rect  # rect expanded to macroblock alignment
+
+
+class TileLayout:
+    """Geometry of an m x n tiled wall mapped onto a video raster.
+
+    ``m`` is the number of tile columns, ``n`` the number of rows (the
+    paper's 1-k-(m,n) notation).  ``overlap`` is the projector overlap in
+    pixels along each interior edge.
+    """
+
+    def __init__(
+        self,
+        width: int,
+        height: int,
+        m: int,
+        n: int,
+        overlap: int = 0,
+        x_bounds: list | None = None,
+        y_bounds: list | None = None,
+    ):
+        if m < 1 or n < 1:
+            raise ValueError("layout needs at least one tile")
+        if width % MB_SIZE or height % MB_SIZE:
+            raise ValueError("video raster must be macroblock aligned")
+        if overlap < 0:
+            raise ValueError("negative overlap")
+        if m > 1 and overlap >= width // m:
+            raise ValueError("overlap exceeds tile width")
+        if n > 1 and overlap >= height // n:
+            raise ValueError("overlap exceeds tile height")
+        self.width = width
+        self.height = height
+        self.m = m
+        self.n = n
+        self.overlap = overlap
+
+        # Non-overlapping partition boundaries, then expand interior edges
+        # by half the overlap to obtain the displayed rects.  Custom bounds
+        # (strictly increasing, spanning the raster) support the dynamic
+        # load-balancing extension, which shifts partition lines toward
+        # equal per-tile work.
+        xs = x_bounds or [round(i * width / m) for i in range(m + 1)]
+        ys = y_bounds or [round(j * height / n) for j in range(n + 1)]
+        for bounds, count, end in ((xs, m, width), (ys, n, height)):
+            if len(bounds) != count + 1 or bounds[0] != 0 or bounds[-1] != end:
+                raise ValueError("boundary list must span the raster")
+            if any(b1 <= b0 for b0, b1 in zip(bounds, bounds[1:])):
+                raise ValueError("boundaries must be strictly increasing")
+        self.x_bounds = list(xs)
+        self.y_bounds = list(ys)
+        half = overlap // 2
+        self.tiles: List[Tile] = []
+        for row in range(n):
+            for col in range(m):
+                part = Rect(xs[col], ys[row], xs[col + 1], ys[row + 1])
+                rect = Rect(
+                    part.x0 - (half if col > 0 else 0),
+                    part.y0 - (half if row > 0 else 0),
+                    part.x1 + (overlap - half if col < m - 1 else 0),
+                    part.y1 + (overlap - half if row < n - 1 else 0),
+                )
+                cov = Rect(
+                    (rect.x0 // MB_SIZE) * MB_SIZE,
+                    (rect.y0 // MB_SIZE) * MB_SIZE,
+                    -(-rect.x1 // MB_SIZE) * MB_SIZE,
+                    -(-rect.y1 // MB_SIZE) * MB_SIZE,
+                )
+                self.tiles.append(
+                    Tile(
+                        tid=row * m + col,
+                        col=col,
+                        row=row,
+                        rect=rect,
+                        partition=part,
+                        coverage=cov,
+                    )
+                )
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_tiles(self) -> int:
+        return self.m * self.n
+
+    def __iter__(self) -> Iterator[Tile]:
+        return iter(self.tiles)
+
+    def tile(self, tid: int) -> Tile:
+        return self.tiles[tid]
+
+    def tiles_for_mb(self, mb_x: int, mb_y: int) -> List[int]:
+        """Tiles that display macroblock (mb_x, mb_y) — possibly several
+        under a projector overlap."""
+        r = mb_rect(mb_x, mb_y)
+        return [t.tid for t in self.tiles if not t.rect.intersect(r).is_empty()]
+
+    def owner_of_mb(self, mb_x: int, mb_y: int) -> int:
+        """The unique partition owner of a macroblock's top-left pixel."""
+        x, y = mb_x * MB_SIZE, mb_y * MB_SIZE
+        for t in self.tiles:
+            p = t.partition
+            if p.x0 <= x < p.x1 and p.y0 <= y < p.y1:
+                return t.tid
+        raise ValueError(f"macroblock ({mb_x},{mb_y}) outside the wall")
+
+    def split_rect_by_partition(self, rect: Rect) -> List[tuple[int, Rect]]:
+        """Intersect ``rect`` with every tile partition; drop empty pieces.
+
+        The pieces tile ``rect`` exactly (partitions are a grid), which is
+        what the MEI builder uses to source remote reference pixels.
+        """
+        out: List[tuple[int, Rect]] = []
+        for t in self.tiles:
+            piece = t.partition.intersect(rect)
+            if not piece.is_empty():
+                out.append((t.tid, piece))
+        return out
+
+    def duplication_factor(self) -> float:
+        """Average number of tiles a macroblock is sent to (>= 1; above 1
+        only when projector overlap duplicates work)."""
+        mbw, mbh = self.width // MB_SIZE, self.height // MB_SIZE
+        total = sum(
+            len(self.tiles_for_mb(mx, my))
+            for my in range(mbh)
+            for mx in range(mbw)
+        )
+        return total / (mbw * mbh)
+
+    def __repr__(self) -> str:
+        return (
+            f"TileLayout({self.width}x{self.height}, {self.m}x{self.n}, "
+            f"overlap={self.overlap})"
+        )

@@ -1,0 +1,31 @@
+"""Workloads: synthetic video content and the paper's 16 test streams.
+
+The paper's streams (Table 4) are copyrighted movie clips, HDTV camera
+shots, and telescope-flyby renderings we cannot redistribute, so this
+package provides both:
+
+- :mod:`repro.workloads.synthetic` — pixel-level generators that produce
+  actual :class:`~repro.mpeg2.frames.Frame` sequences with the properties
+  that matter to the parallel decoder (global motion, localized detail,
+  scene-complexity gradients), used by the functional/correctness path at
+  scaled resolutions; and
+- :mod:`repro.workloads.streams` — statistical models of the 16 streams
+  (resolution, bit-per-pixel, GOP structure, motion magnitude, spatial
+  detail distribution), used by the timed DES system at full resolution.
+"""
+
+from repro.workloads.streams import StreamSpec, TABLE4_STREAMS, stream_by_id
+from repro.workloads.synthetic import (
+    moving_pattern_frames,
+    localized_detail_frames,
+    fish_tank_frames,
+)
+
+__all__ = [
+    "StreamSpec",
+    "TABLE4_STREAMS",
+    "stream_by_id",
+    "moving_pattern_frames",
+    "localized_detail_frames",
+    "fish_tank_frames",
+]

@@ -1,0 +1,259 @@
+"""Statistical models of the paper's 16 test streams (Table 4).
+
+Each :class:`StreamSpec` captures what the experiments depend on:
+resolution, bits-per-pixel (all non-DVD streams are ~0.3 bpp per §5.2; the
+DVD clips are compressed at a higher rate), GOP structure, typical motion
+magnitude, and — for the animation/Orion streams — the *localized detail*
+distribution that §5.5 identifies as the cause of tile load imbalance.
+
+The OCR of the paper available to this reproduction lost most numeric
+table cells; resolutions below are reconstructed from the prose anchors
+(720x480 DVD; fish-tank/FOX 720p HDTV; NBC/CBS 1080i; stream 12 = stream 4
+at quadrupled resolution; Orion flybys up to the 3840x2800 / 38.9 fps /
+~130 Mb/s-equivalent headline figure) and flagged in EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.mpeg2.constants import MB_SIZE, PictureType
+from repro.wall.layout import TileLayout
+
+
+@dataclass(frozen=True)
+class DetailProfile:
+    """Spatial bit-allocation profile.
+
+    ``concentration`` in [0, 1): fraction of bits drawn toward a Gaussian
+    bump at ``center`` (fractions of frame size) with ``sigma_frac`` width.
+    0 means uniform allocation.
+    """
+
+    center: Tuple[float, float] = (0.5, 0.5)
+    sigma_frac: float = 0.2
+    concentration: float = 0.0
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """One test stream of Table 4."""
+
+    sid: int
+    name: str
+    width: int
+    height: int
+    fps: float
+    bpp: float
+    motion_pixels: float  # mean motion-vector magnitude, luma pixels
+    detail: DetailProfile = field(default_factory=DetailProfile)
+    n_frames: int = 240  # "Each sequence is trimmed to contain 240 frames"
+    gop_size: int = 12
+    b_frames: int = 2
+    content: str = "pattern"  # synthetic generator family for scaled runs
+
+    # ------------------------------------------------------------------ #
+    # Table 4 columns
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_pixels(self) -> int:
+        return self.width * self.height
+
+    @property
+    def mb_width(self) -> int:
+        return self.width // MB_SIZE
+
+    @property
+    def mb_height(self) -> int:
+        return self.height // MB_SIZE
+
+    @property
+    def mbs_per_frame(self) -> int:
+        return self.mb_width * self.mb_height
+
+    @property
+    def avg_frame_bytes(self) -> float:
+        return self.n_pixels * self.bpp / 8.0
+
+    @property
+    def bit_rate_mbps(self) -> float:
+        """Nominal bitstream rate at the native frame rate."""
+        return self.n_pixels * self.bpp * self.fps / 1e6
+
+    # ------------------------------------------------------------------ #
+    # picture-type sequence and per-type sizes
+    # ------------------------------------------------------------------ #
+
+    # Relative coded sizes of I/P/B pictures, normalized below so the
+    # average matches ``avg_frame_bytes``; ratios typical of MPEG-2 at
+    # moderate quantization.
+    _TYPE_WEIGHT = {PictureType.I: 3.0, PictureType.P: 1.4, PictureType.B: 0.55}
+
+    def picture_types(self, n: Optional[int] = None) -> List[PictureType]:
+        """Display-order picture types for ``n`` frames (default: all)."""
+        n = n or self.n_frames
+        m = self.b_frames + 1
+        out = []
+        for i in range(n):
+            in_gop = i % self.gop_size
+            if in_gop == 0:
+                out.append(PictureType.I)
+            elif in_gop % m == 0:
+                out.append(PictureType.P)
+            else:
+                out.append(PictureType.B)
+        return out
+
+    def picture_bytes(self, ptype: PictureType, n: Optional[int] = None) -> float:
+        types = self.picture_types(n)
+        mean_w = sum(self._TYPE_WEIGHT[t] for t in types) / len(types)
+        return self.avg_frame_bytes * self._TYPE_WEIGHT[ptype] / mean_w
+
+    # ------------------------------------------------------------------ #
+    # spatial bit distribution
+    # ------------------------------------------------------------------ #
+
+    def mb_bit_weights(self) -> np.ndarray:
+        """(mb_height, mb_width) weights summing to 1: each macroblock's
+        share of the picture's bits."""
+        h, w = self.mb_height, self.mb_width
+        uniform = np.full((h, w), 1.0 / (h * w))
+        c = self.detail.concentration
+        if c <= 0:
+            return uniform
+        ys = (np.arange(h) + 0.5) / h
+        xs = (np.arange(w) + 0.5) / w
+        cx, cy = self.detail.center
+        s = self.detail.sigma_frac
+        g = np.exp(
+            -(((xs[None, :] - cx) ** 2) + ((ys[:, None] - cy) ** 2)) / (2 * s * s)
+        )
+        g /= g.sum()
+        return (1 - c) * uniform + c * g
+
+    def tile_workloads(self, layout: TileLayout) -> Dict[int, dict]:
+        """Per-tile macroblock count and bits fraction (with overlap
+        duplication — a macroblock under a projector overlap is counted for
+        every tile that displays it, as in the real system)."""
+        weights = self.mb_bit_weights()
+        out: Dict[int, dict] = {}
+        for tile in layout:
+            r = tile.rect
+            mx0 = r.x0 // MB_SIZE
+            my0 = r.y0 // MB_SIZE
+            mx1 = -(-r.x1 // MB_SIZE)
+            my1 = -(-r.y1 // MB_SIZE)
+            mx1 = min(mx1, self.mb_width)
+            my1 = min(my1, self.mb_height)
+            block = weights[my0:my1, mx0:mx1]
+            out[tile.tid] = {
+                "mbs": block.size,
+                "mb_rows": my1 - my0,
+                "bits_fraction": float(block.sum()),
+            }
+        return out
+
+    # ------------------------------------------------------------------ #
+    # scaling for functional runs
+    # ------------------------------------------------------------------ #
+
+    def scaled(self, max_width: int = 192) -> "StreamSpec":
+        """A macroblock-aligned scaled-down spec for pixel-exact runs."""
+        if self.width <= max_width:
+            return self
+        factor = self.width / max_width
+        w = max(MB_SIZE, round(self.width / factor / MB_SIZE) * MB_SIZE)
+        h = max(MB_SIZE, round(self.height / factor / MB_SIZE) * MB_SIZE)
+        return StreamSpec(
+            sid=self.sid,
+            name=f"{self.name}@{w}x{h}",
+            width=w,
+            height=h,
+            fps=self.fps,
+            bpp=self.bpp,
+            motion_pixels=max(1.0, self.motion_pixels * w / self.width),
+            detail=self.detail,
+            n_frames=self.n_frames,
+            gop_size=self.gop_size,
+            b_frames=self.b_frames,
+            content=self.content,
+        )
+
+    def synthetic_frames(self, n_frames: int, max_width: int = 192):
+        """Generate actual frames (scaled) matching this stream's profile."""
+        from repro.workloads import synthetic
+
+        spec = self.scaled(max_width)
+        gen = synthetic.GENERATORS[spec.content]
+        if spec.content == "detail":
+            return gen(
+                spec.width,
+                spec.height,
+                n_frames,
+                center=self.detail.center,
+                seed=self.sid,
+            )
+        return gen(spec.width, spec.height, n_frames, seed=self.sid)
+
+
+# -------------------------------------------------------------------------- #
+# Table 4 — the sixteen test streams
+# -------------------------------------------------------------------------- #
+
+_ORION_DETAIL = DetailProfile(center=(0.35, 0.45), sigma_frac=0.22, concentration=0.2)
+_ANIM_DETAIL = DetailProfile(center=(0.5, 0.55), sigma_frac=0.3, concentration=0.3)
+
+TABLE4_STREAMS: List[StreamSpec] = [
+    # 1-3: DVD movie clips — higher bit rate than the 0.3 bpp family.
+    StreamSpec(1, "spr", 720, 480, 24.0, 0.60, 9.0, content="pattern"),
+    StreamSpec(2, "matrix", 720, 480, 24.0, 0.55, 11.0, content="pattern"),
+    StreamSpec(3, "t2", 720, 480, 24.0, 0.58, 12.0, content="pattern"),
+    # 4: short animation by Adam Finkelstein ("anim 1k").
+    StreamSpec(4, "anim", 960, 704, 30.0, 0.30, 6.0, detail=_ANIM_DETAIL, content="detail"),
+    # 5-8: Intel MRL fish-tank HDTV camera shots (720p family).
+    StreamSpec(5, "fish1", 1280, 720, 30.0, 0.30, 5.0, content="fish"),
+    StreamSpec(6, "fish2", 1280, 720, 30.0, 0.30, 6.0, content="fish"),
+    StreamSpec(7, "fish3", 1280, 720, 30.0, 0.30, 7.0, content="fish"),
+    StreamSpec(8, "fish4", 1280, 720, 60.0, 0.30, 6.0, content="fish"),
+    # 9: FOX5 HDTV broadcast, 720p.
+    StreamSpec(9, "fox", 1280, 720, 60.0, 0.30, 8.0, content="broadcast"),
+    # 10-11: NBC4 / CBS3 1080i broadcasts (decoded as progressive frames).
+    StreamSpec(10, "nbc", 1920, 1072, 30.0, 0.30, 8.0, content="broadcast"),
+    StreamSpec(11, "cbs", 1920, 1072, 30.0, 0.30, 9.0, content="broadcast"),
+    # 12: stream 4 rendered at quadrupled resolution.
+    StreamSpec(12, "anim4", 1920, 1408, 30.0, 0.30, 8.0, detail=_ANIM_DETAIL, content="detail"),
+    # 13-16: Orion Nebula fly-through (UCSD), up to near-IMAX.
+    StreamSpec(13, "orion1", 2048, 1536, 30.0, 0.30, 9.0, detail=_ORION_DETAIL, content="detail"),
+    StreamSpec(14, "orion2", 2560, 1920, 30.0, 0.30, 9.0, detail=_ORION_DETAIL, content="detail"),
+    StreamSpec(15, "orion3", 3200, 2400, 30.0, 0.30, 10.0, detail=_ORION_DETAIL, content="detail"),
+    StreamSpec(16, "orion4", 3840, 2800, 30.0, 0.30, 10.0, detail=_ORION_DETAIL, content="detail"),
+]
+
+
+def stream_by_id(sid: int) -> StreamSpec:
+    for s in TABLE4_STREAMS:
+        if s.sid == sid:
+            return s
+    raise KeyError(f"no stream {sid}")
+
+
+def table4_rows() -> List[dict]:
+    """The Table 4 report: resolution, average frame size, bits/pixel."""
+    rows = []
+    for s in TABLE4_STREAMS:
+        rows.append(
+            {
+                "stream": s.sid,
+                "name": s.name,
+                "resolution": f"{s.width}x{s.height}",
+                "avg_frame_bytes": round(s.avg_frame_bytes),
+                "bpp": s.bpp,
+                "bit_rate_mbps": round(s.bit_rate_mbps, 1),
+            }
+        )
+    return rows

@@ -1,0 +1,165 @@
+"""Synthetic video generators for the functional (pixel-exact) path.
+
+Each generator returns macroblock-aligned 4:2:0 frames.  They are designed
+to exercise the parallel decoder's interesting paths:
+
+- global panning motion -> motion vectors crossing tile boundaries (MEI);
+- flat regions -> skipped macroblocks, including runs crossing tiles;
+- sharp moving objects -> intra refresh inside P/B pictures;
+- localized detail -> the §5.5 bit-allocation imbalance between tiles.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.mpeg2.frames import Frame
+
+
+def _chroma_of(y: np.ndarray, base_cb: int = 118, base_cr: int = 138) -> tuple:
+    """Derive mildly varying chroma planes from a luma plane."""
+    sub = y[::2, ::2].astype(np.int32)
+    cb = np.clip(base_cb + (sub - 128) // 6, 0, 255).astype(np.uint8)
+    cr = np.clip(base_cr - (sub - 128) // 8, 0, 255).astype(np.uint8)
+    return cb, cr
+
+
+def moving_pattern_frames(
+    width: int, height: int, n_frames: int, speed: int = 3, seed: int = 0
+) -> List[Frame]:
+    """A textured background panning at ``speed`` px/frame plus a bouncing
+    bright block — the generic motion workload."""
+    rng = np.random.default_rng(seed)
+    # Periodic texture so panning wraps cleanly.
+    base = (
+        120
+        + 60 * np.sin(2 * np.pi * np.arange(width * 2) / 37.0)[None, :]
+        + 40 * np.cos(2 * np.pi * np.arange(height)[:, None] / 23.0)
+    )
+    base = np.clip(base + rng.normal(0, 4, (height, width * 2)), 16, 235)
+    frames = []
+    bx, by, vx, vy = width // 4, height // 3, 5, 3
+    for t in range(n_frames):
+        off = (t * speed) % width
+        y = base[:, off : off + width].astype(np.uint8).copy()
+        y[by : by + 16, bx : bx + 24] = 225
+        bx += vx
+        by += vy
+        if bx < 0 or bx + 24 >= width:
+            vx = -vx
+            bx += 2 * vx
+        if by < 0 or by + 16 >= height:
+            vy = -vy
+            by += 2 * vy
+        cb, cr = _chroma_of(y)
+        frames.append(Frame(y, cb, cr))
+    return frames
+
+
+def localized_detail_frames(
+    width: int,
+    height: int,
+    n_frames: int,
+    center: tuple = (0.3, 0.4),
+    radius_frac: float = 0.22,
+    seed: int = 0,
+) -> List[Frame]:
+    """Mostly flat frames with a busy, moving region — the Orion-flyby
+    profile (paper §5.5): the encoder allocates most bits to one part of
+    the screen, so one tile's decoder becomes the straggler."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    cx0, cy0 = center[0] * width, center[1] * height
+    r = radius_frac * min(width, height)
+    noise = rng.normal(0, 1, (height, width))
+    frames = []
+    for t in range(n_frames):
+        cx = cx0 + 2.0 * t
+        cy = cy0 + 1.0 * np.sin(t / 3.0) * r
+        d2 = ((xx - cx) ** 2 + (yy - cy) ** 2) / (r * r)
+        mask = np.exp(-d2)
+        detail = 70 * np.sin(xx / 2.3 + t) * np.cos(yy / 2.9 - t / 2.0) + 25 * noise
+        y = np.clip(40 + 10 * np.sin(yy / 40.0) + mask * (120 + detail), 16, 235)
+        y = y.astype(np.uint8)
+        cb, cr = _chroma_of(y)
+        frames.append(Frame(y, cb, cr))
+    return frames
+
+
+def fish_tank_frames(
+    width: int, height: int, n_frames: int, n_fish: int = 6, seed: int = 1
+) -> List[Frame]:
+    """Several bright objects drifting over a slowly waving background —
+    the Intel MRL fish-tank profile (streams 5-8)."""
+    rng = np.random.default_rng(seed)
+    yy, xx = np.mgrid[0:height, 0:width]
+    pos = rng.uniform(0, 1, (n_fish, 2)) * [width - 24, height - 12]
+    vel = rng.uniform(-4, 4, (n_fish, 2))
+    frames = []
+    for t in range(n_frames):
+        y = (90 + 25 * np.sin(xx / 31.0 + t / 5.0) * np.cos(yy / 19.0)).astype(
+            np.float64
+        )
+        for i in range(n_fish):
+            px, py = int(pos[i, 0]), int(pos[i, 1])
+            y[py : py + 10, px : px + 20] = 200 + 10 * np.sin(t + i)
+            pos[i] += vel[i]
+            for axis, limit in ((0, width - 24), (1, height - 12)):
+                if pos[i, axis] < 0 or pos[i, axis] > limit:
+                    vel[i, axis] = -vel[i, axis]
+                    pos[i, axis] = np.clip(pos[i, axis], 0, limit)
+        y = np.clip(y, 16, 235).astype(np.uint8)
+        cb, cr = _chroma_of(y)
+        frames.append(Frame(y, cb, cr))
+    return frames
+
+
+def broadcast_frames(
+    width: int, height: int, n_frames: int, ticker_rows: int = 0, seed: int = 2
+) -> List[Frame]:
+    """A broadcast-style frame: mostly static studio background, a
+    talking-head region with small motion, and a scrolling lower-third
+    ticker — the FOX/NBC/CBS profile (streams 9-11).
+
+    The ticker band's constant horizontal motion produces a steady stripe
+    of tile-boundary-crossing motion vectors across the bottom row of
+    tiles; the static background produces long skipped-macroblock runs.
+    """
+    rng = np.random.default_rng(seed)
+    ticker_rows = ticker_rows or max(16, height // 8)
+    yy, xx = np.mgrid[0:height, 0:width]
+    studio = (70 + 30 * np.sin(xx / 53.0) + 15 * np.cos(yy / 37.0)).astype(
+        np.float64
+    )
+    # "text": a periodic high-contrast strip that scrolls
+    strip = (
+        128
+        + 100 * np.sign(np.sin(2 * np.pi * np.arange(width * 2) / 24.0))
+    ).astype(np.float64)
+    hx, hy = width // 3, height // 4  # talking head box
+    frames = []
+    for t in range(n_frames):
+        y = studio.copy()
+        # talking head: slight bobbing motion
+        oy = int(2 * np.sin(t / 2.0))
+        y[hy + oy : hy + oy + height // 3, hx : hx + width // 4] = (
+            150 + 20 * np.sin(yy[: height // 3, : width // 4] / 5.0 + t)
+        )
+        # scrolling ticker
+        off = (4 * t) % width
+        band = strip[off : off + width]
+        y[-ticker_rows:, :] = band[None, :]
+        y = np.clip(y + rng.normal(0, 1.5, y.shape), 16, 235).astype(np.uint8)
+        cb, cr = _chroma_of(y)
+        frames.append(Frame(y, cb, cr))
+    return frames
+
+
+GENERATORS = {
+    "pattern": moving_pattern_frames,
+    "detail": localized_detail_frames,
+    "fish": fish_tank_frames,
+    "broadcast": broadcast_frames,
+}

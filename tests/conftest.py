@@ -1,0 +1,80 @@
+"""Shared fixtures: small synthetic clips and encoded streams.
+
+Encoding is the slow part of the functional tests, so streams are encoded
+once per session and shared; tests must treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.frames import Frame
+from repro.workloads.synthetic import (
+    fish_tank_frames,
+    localized_detail_frames,
+    moving_pattern_frames,
+)
+
+
+def make_frames(width=96, height=64, n=8, kind="pattern", seed=0):
+    gen = {
+        "pattern": moving_pattern_frames,
+        "detail": localized_detail_frames,
+        "fish": fish_tank_frames,
+    }[kind]
+    return gen(width, height, n, seed=seed) if kind != "detail" else gen(
+        width, height, n, seed=seed
+    )
+
+
+@pytest.fixture(scope="session")
+def small_frames():
+    """8 frames of 96x64 panning content."""
+    return make_frames()
+
+
+@pytest.fixture(scope="session")
+def small_stream(small_frames):
+    """Encoded IBBP stream of the small clip."""
+    enc = Encoder(EncoderConfig(gop_size=6, b_frames=2, search_range=7))
+    return enc.encode(small_frames)
+
+
+@pytest.fixture(scope="session")
+def ip_stream(small_frames):
+    """I/P-only stream (no B pictures)."""
+    enc = Encoder(EncoderConfig(gop_size=4, b_frames=0, search_range=7))
+    return enc.encode(small_frames)
+
+
+@pytest.fixture(scope="session")
+def i_only_stream(small_frames):
+    """All-intra stream."""
+    enc = Encoder(EncoderConfig(gop_size=1, b_frames=0))
+    return enc.encode(small_frames[:4])
+
+
+@pytest.fixture(scope="session")
+def detail_frames():
+    """Localized-detail content (Orion-like), 128x96."""
+    return make_frames(128, 96, 7, kind="detail", seed=3)
+
+
+@pytest.fixture(scope="session")
+def detail_stream(detail_frames):
+    enc = Encoder(EncoderConfig(gop_size=7, b_frames=2, search_range=7))
+    return enc.encode(detail_frames)
+
+
+@pytest.fixture(scope="session")
+def flat_frame():
+    return Frame.blank(64, 48, y=100, c=128)
+
+
+def assert_frames_equal(a, b, context=""):
+    __tracebackhide__ = True
+    assert a.y.shape == b.y.shape, f"{context}: luma shapes differ"
+    diff = a.max_abs_diff(b)
+    assert diff == 0, f"{context}: frames differ by up to {diff}"

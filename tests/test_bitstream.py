@@ -1,0 +1,172 @@
+"""Bit-level I/O: readers, writers, alignment, start codes."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.bitstream import BitReader, BitstreamError, BitWriter, find_start_codes
+from repro.bitstream.reader import split_at_codes
+
+
+class TestBitWriter:
+    def test_empty(self):
+        assert BitWriter().getvalue() == b""
+
+    def test_single_byte(self):
+        bw = BitWriter()
+        bw.write(0xA5, 8)
+        assert bw.getvalue() == b"\xa5"
+
+    def test_cross_byte_writes(self):
+        bw = BitWriter()
+        bw.write(0b101, 3)
+        bw.write(0b00110, 5)
+        bw.write(0xFF, 8)
+        assert bw.getvalue() == bytes([0b10100110, 0xFF])
+
+    def test_partial_byte_zero_padded(self):
+        bw = BitWriter()
+        bw.write(0b11, 2)
+        assert bw.getvalue() == bytes([0b11000000])
+
+    def test_len_counts_bits(self):
+        bw = BitWriter()
+        bw.write(0, 5)
+        assert len(bw) == 5
+        bw.write(0, 8)
+        assert len(bw) == 13
+
+    def test_value_out_of_range(self):
+        bw = BitWriter()
+        with pytest.raises(ValueError):
+            bw.write(4, 2)
+        with pytest.raises(ValueError):
+            bw.write(-1, 4)
+
+    def test_align_fill_ones(self):
+        bw = BitWriter()
+        bw.write(0, 1)
+        bw.align(fill=1)
+        assert bw.getvalue() == bytes([0b01111111])
+
+    def test_start_code(self):
+        bw = BitWriter()
+        bw.write(1, 3)  # non-aligned on purpose
+        bw.write_start_code(0xB3)
+        data = bw.getvalue()
+        assert data[1:4] == b"\x00\x00\x01"
+        assert data[4] == 0xB3
+
+    def test_write_bytes_requires_alignment(self):
+        bw = BitWriter()
+        bw.write(1, 1)
+        with pytest.raises(ValueError):
+            bw.write_bytes(b"ab")
+
+    def test_signed_roundtrip_bounds(self):
+        bw = BitWriter()
+        bw.write_signed(-8, 4)
+        bw.write_signed(7, 4)
+        br = BitReader(bw.getvalue())
+        assert br.read_signed(4) == -8
+        assert br.read_signed(4) == 7
+
+    def test_signed_out_of_range(self):
+        bw = BitWriter()
+        with pytest.raises(ValueError):
+            bw.write_signed(8, 4)
+
+
+class TestBitReader:
+    def test_read_bits(self):
+        br = BitReader(bytes([0b10110010]))
+        assert br.read(1) == 1
+        assert br.read(3) == 0b011
+        assert br.read(4) == 0b0010
+
+    def test_peek_does_not_advance(self):
+        br = BitReader(b"\xf0")
+        assert br.peek(4) == 0xF
+        assert br.peek(4) == 0xF
+        assert br.read(4) == 0xF
+
+    def test_peek_past_end_pads_zero(self):
+        br = BitReader(b"\xff")
+        assert br.peek(16) == 0xFF00
+
+    def test_read_past_end_raises(self):
+        br = BitReader(b"\xff")
+        br.read(8)
+        with pytest.raises(BitstreamError):
+            br.skip(1)
+
+    def test_align(self):
+        br = BitReader(b"\xff\x0f")
+        br.read(3)
+        br.align()
+        assert br.pos == 8
+        br.align()
+        assert br.pos == 8
+
+    def test_next_start_code(self):
+        data = b"\xab\x00\x00\x01\xb3\x11\x22"
+        br = BitReader(data)
+        assert br.next_start_code() == 0xB3
+        assert br.byte_pos == 5
+        assert br.next_start_code() is None
+
+    def test_peek_start_code_preserves_position(self):
+        data = b"\x00\x00\x01\x42\x00"
+        br = BitReader(data)
+        assert br.peek_start_code() == 0x42
+        assert br.pos == 0
+
+    def test_bit_in_byte(self):
+        br = BitReader(b"\x00\x00")
+        br.read(11)
+        assert br.byte_pos == 1
+        assert br.bit_in_byte == 3
+
+
+class TestStartCodeScan:
+    def test_find_all(self):
+        data = b"\x00\x00\x01\x00junk\x00\x00\x01\xb8more"
+        found = list(find_start_codes(data))
+        assert found == [(0, 0x00), (8, 0xB8)]
+
+    def test_truncated_code_ignored(self):
+        assert list(find_start_codes(b"\x00\x00\x01")) == []
+
+    def test_split_at_codes(self):
+        # regions run to the next LISTED code, so the 0x01 slice region
+        # stays inside the first picture's region
+        data = b"\x00\x00\x01\x00aa\x00\x00\x01\x01bb\x00\x00\x01\x00cc"
+        regions = split_at_codes(data, [0x00])
+        assert regions == [(0, 0, 12), (0, 12, 18)]
+
+    def test_overlapping_zeros(self):
+        # 00 00 00 01 xx: the start code begins at offset 1
+        data = b"\x00\x00\x00\x01\x42"
+        assert list(find_start_codes(data)) == [(1, 0x42)]
+
+
+@given(st.lists(st.tuples(st.integers(0, 31), st.integers(1, 16)), min_size=1, max_size=64))
+def test_writer_reader_roundtrip(chunks):
+    """Any sequence of (value, width) writes reads back identically."""
+    chunks = [(v & ((1 << w) - 1), w) for v, w in chunks]
+    bw = BitWriter()
+    for v, w in chunks:
+        bw.write(v, w)
+    br = BitReader(bw.getvalue())
+    for v, w in chunks:
+        assert br.read(w) == v
+
+
+@given(st.binary(max_size=64), st.integers(0, 7))
+def test_skip_bits_view(data, skip):
+    """Reading after a bit skip equals reading the shifted stream."""
+    if len(data) * 8 <= skip + 8:
+        return
+    br = BitReader(data, start_bit=skip)
+    direct = BitReader(data)
+    direct.skip(skip)
+    assert br.read(8) == direct.read(8)

@@ -1,0 +1,134 @@
+"""Command-line interface: every subcommand end to end."""
+
+import pytest
+
+from repro.cli import main
+from repro.mpeg2.video_io import read_y4m
+
+
+@pytest.fixture()
+def encoded(tmp_path):
+    out = tmp_path / "clip.m2v"
+    rc = main(
+        [
+            "encode",
+            "-o",
+            str(out),
+            "--frames",
+            "8",
+            "--width",
+            "96",
+            "--height",
+            "64",
+            "--gop",
+            "4",
+            "--b-frames",
+            "1",
+        ]
+    )
+    assert rc == 0
+    return out
+
+
+class TestEncode:
+    def test_produces_stream(self, encoded):
+        data = encoded.read_bytes()
+        assert data.startswith(b"\x00\x00\x01\xb3")
+
+    def test_rate_controlled(self, tmp_path):
+        out = tmp_path / "rc.m2v"
+        rc = main(
+            [
+                "encode",
+                "-o",
+                str(out),
+                "--frames",
+                "12",
+                "--width",
+                "128",
+                "--height",
+                "96",
+                "--bpp",
+                "0.3",
+                "--synthetic",
+                "fish",
+            ]
+        )
+        assert rc == 0
+        bpp = 8 * len(out.read_bytes()) / (128 * 96 * 12)
+        assert 0.1 < bpp < 0.7
+
+    def test_from_y4m_input(self, tmp_path, encoded):
+        y4m = tmp_path / "in.y4m"
+        assert main(["decode", "-i", str(encoded), "-o", str(y4m)]) == 0
+        out = tmp_path / "re.m2v"
+        assert main(["encode", "-i", str(y4m), "-o", str(out)]) == 0
+        assert out.read_bytes().startswith(b"\x00\x00\x01\xb3")
+
+
+class TestDecode:
+    def test_decode_to_y4m(self, tmp_path, encoded):
+        out = tmp_path / "out.y4m"
+        assert main(["decode", "-i", str(encoded), "-o", str(out)]) == 0
+        assert len(read_y4m(out)) == 8
+
+
+class TestWall:
+    def test_wall_verifies_bit_exact(self, tmp_path, encoded, capsys):
+        rc = main(
+            ["wall", "-i", str(encoded), "-m", "2", "-n", "2", "-k", "2",
+             "--overlap", "8"]
+        )
+        assert rc == 0
+        assert "bit-exact" in capsys.readouterr().out
+
+    def test_wall_writes_output(self, tmp_path, encoded):
+        out = tmp_path / "wall.y4m"
+        rc = main(
+            ["wall", "-i", str(encoded), "-m", "2", "-n", "1", "-o", str(out)]
+        )
+        assert rc == 0
+        assert len(read_y4m(out)) == 8
+
+
+class TestSimulate:
+    def test_simulate_stream(self, capsys):
+        rc = main(
+            ["simulate", "--stream", "8", "-m", "2", "-n", "2", "-k", "1",
+             "--frames", "12", "--bandwidth"]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "fps" in out and "decoder0" in out
+
+
+class TestProgramStreamInput:
+    def test_cli_demuxes_transparently(self, tmp_path, encoded):
+        from repro.mpeg2.systems import mux_program_stream
+
+        ps = tmp_path / "clip.mpg"
+        ps.write_bytes(mux_program_stream(encoded.read_bytes()))
+        out = tmp_path / "out.y4m"
+        assert main(["decode", "-i", str(ps), "-o", str(out)]) == 0
+        assert len(read_y4m(out)) == 8
+
+    def test_wall_accepts_program_stream(self, tmp_path, encoded, capsys):
+        from repro.mpeg2.systems import mux_program_stream
+
+        ps = tmp_path / "clip.mpg"
+        ps.write_bytes(mux_program_stream(encoded.read_bytes()))
+        assert main(["wall", "-i", str(ps), "-m", "2", "-n", "1"]) == 0
+        assert "bit-exact" in capsys.readouterr().out
+
+
+class TestInfoAndStreams:
+    def test_info(self, encoded, capsys):
+        assert main(["info", "-i", str(encoded), "--pictures"]) == 0
+        out = capsys.readouterr().out
+        assert "8 coded pictures" in out
+        assert " I " in out
+
+    def test_streams_listing(self, capsys):
+        assert main(["streams"]) == 0
+        out = capsys.readouterr().out
+        assert "orion4" in out and "3840x2800" in out

@@ -1,0 +1,72 @@
+"""Cluster node model: specs, speed scaling, busy accounting."""
+
+import pytest
+
+from repro.cluster.node import PRINCETON_WALL, ClusterSpec, Node, NodeSpec
+from repro.net.gm import GMNetwork
+from repro.net.simtime import Simulator
+
+
+class TestNodeSpec:
+    def test_speed_relative_to_reference(self):
+        assert NodeSpec("ref", cpu_mhz=733.0).speed == pytest.approx(1.0)
+        assert NodeSpec("console", cpu_mhz=550.0).speed == pytest.approx(
+            550 / 733
+        )
+
+    def test_princeton_wall_matches_paper(self):
+        """§5.1: 550 MHz console with 1 GB; 733 MHz workstations, 256 MB;
+        24 projectors -> 24 workers."""
+        assert PRINCETON_WALL.console.cpu_mhz == 550.0
+        assert PRINCETON_WALL.console.ram_mb == 1024
+        assert PRINCETON_WALL.worker.cpu_mhz == 733.0
+        assert PRINCETON_WALL.worker.ram_mb == 256
+        assert PRINCETON_WALL.n_workers == 24
+
+    def test_cluster_spec_lookup(self):
+        spec = ClusterSpec(
+            console=NodeSpec("c", 550), worker=NodeSpec("w", 733), n_workers=4
+        )
+        assert spec.node_spec(0).name == "c"
+        assert spec.node_spec(3).name == "w"
+
+
+class TestNodeCompute:
+    def _node(self, mhz):
+        sim = Simulator()
+        net = GMNetwork(sim)
+        return sim, Node(sim, net, 1, NodeSpec("n", cpu_mhz=mhz))
+
+    def test_reference_speed_wall_time(self):
+        sim, node = self._node(733.0)
+
+        def proc():
+            yield from node.compute(2.0)
+
+        sim.process(proc())
+        assert sim.run() == pytest.approx(2.0)
+
+    def test_slow_node_takes_longer(self):
+        sim, node = self._node(366.5)  # half speed
+
+        def proc():
+            yield from node.compute(1.0)
+
+        sim.process(proc())
+        assert sim.run() == pytest.approx(2.0)
+
+    def test_busy_time_accumulates(self):
+        sim, node = self._node(733.0)
+
+        def proc():
+            yield from node.compute(0.5)
+            yield from node.compute(0.25)
+
+        sim.process(proc())
+        sim.run()
+        assert node.busy_time == pytest.approx(0.75)
+        assert node.utilization(1.5) == pytest.approx(0.5)
+
+    def test_utilization_zero_duration(self):
+        _, node = self._node(733.0)
+        assert node.utilization(0.0) == 0.0

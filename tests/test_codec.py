@@ -1,0 +1,203 @@
+"""Encoder + reference decoder: GOP planning, round-trips, quality."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg2 import psnr
+from repro.mpeg2.constants import PictureType, SEQUENCE_END_CODE
+from repro.mpeg2.decoder import Decoder, decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig, plan_gop_structure
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.parser import PictureScanner
+
+
+class TestGOPPlanning:
+    def test_ibbp_structure(self):
+        plans = plan_gop_structure(7, EncoderConfig(gop_size=7, b_frames=2))
+        order = [(p.display_index, p.picture_type.name) for p in plans]
+        assert order == [
+            (0, "I"), (3, "P"), (1, "B"), (2, "B"),
+            (6, "P"), (4, "B"), (5, "B"),
+        ]
+
+    def test_every_frame_planned_once(self):
+        for n in (1, 2, 5, 9, 17):
+            plans = plan_gop_structure(n, EncoderConfig(gop_size=6, b_frames=2))
+            assert sorted(p.display_index for p in plans) == list(range(n))
+
+    def test_b_pictures_have_both_refs(self):
+        plans = plan_gop_structure(20, EncoderConfig(gop_size=9, b_frames=2))
+        for p in plans:
+            if p.picture_type == PictureType.B:
+                assert p.fwd_ref is not None and p.bwd_ref is not None
+                assert p.fwd_ref < p.display_index < p.bwd_ref
+
+    def test_anchors_coded_before_their_b_pictures(self):
+        plans = plan_gop_structure(12, EncoderConfig(gop_size=12, b_frames=2))
+        coded_at = {p.display_index: i for i, p in enumerate(plans)}
+        for p in plans:
+            if p.picture_type == PictureType.B:
+                assert coded_at[p.bwd_ref] < coded_at[p.display_index]
+
+    def test_no_b_frames(self):
+        plans = plan_gop_structure(6, EncoderConfig(gop_size=3, b_frames=0))
+        assert all(p.picture_type != PictureType.B for p in plans)
+
+    def test_temporal_reference_is_gop_relative(self):
+        plans = plan_gop_structure(12, EncoderConfig(gop_size=6, b_frames=2))
+        for p in plans:
+            assert p.temporal_reference == p.display_index % 6
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(b_frames=-1)
+        with pytest.raises(ValueError):
+            EncoderConfig(gop_size=0)
+        with pytest.raises(ValueError):
+            EncoderConfig(search_range=20, f_code=1)
+        with pytest.raises(ValueError):
+            EncoderConfig(qscale_code_intra=32)
+
+
+class TestEncodeDecode:
+    def test_stream_structure(self, small_stream):
+        assert small_stream.startswith(b"\x00\x00\x01\xb3")
+        assert small_stream.endswith(bytes([0, 0, 1, SEQUENCE_END_CODE]))
+
+    def test_roundtrip_frame_count(self, small_frames, small_stream):
+        out = decode_stream(small_stream)
+        assert len(out) == len(small_frames)
+
+    def test_roundtrip_quality(self, small_frames, small_stream):
+        out = decode_stream(small_stream)
+        for i, (a, b) in enumerate(zip(small_frames, out)):
+            q = psnr(a, b)
+            assert q > 30, f"frame {i} PSNR {q:.1f} too low"
+
+    def test_display_order_tracks_motion(self, small_frames, small_stream):
+        """Decoded frames must match the source order, not coded order:
+        each decoded frame must be closest to its own source frame."""
+        out = decode_stream(small_stream)
+        for i, dec in enumerate(out):
+            errs = [
+                np.mean(np.abs(dec.y.astype(int) - src.y.astype(int)))
+                for src in small_frames
+            ]
+            assert int(np.argmin(errs)) == i
+
+    def test_i_only_stream(self, small_frames, i_only_stream):
+        out = decode_stream(i_only_stream)
+        assert len(out) == 4
+        for a, b in zip(small_frames, out):
+            assert psnr(a, b) > 30
+
+    def test_ip_stream(self, small_frames, ip_stream):
+        out = decode_stream(ip_stream)
+        assert len(out) == len(small_frames)
+        for a, b in zip(small_frames, out):
+            assert psnr(a, b) > 30
+
+    def test_single_frame(self):
+        f = Frame.blank(32, 32, y=120)
+        out = decode_stream(Encoder(EncoderConfig(gop_size=1)).encode([f]))
+        assert len(out) == 1
+        assert out[0].max_abs_diff(f) <= 2
+
+    def test_stats_track_sizes(self, small_frames):
+        enc = Encoder(EncoderConfig(gop_size=6, b_frames=2))
+        data = enc.encode(small_frames)
+        assert len(enc.stats.picture_sizes) == len(small_frames)
+        assert sum(enc.stats.picture_sizes) <= len(data)
+        # I pictures cost more than B pictures on average
+        sizes = {}
+        for t, s in zip(enc.stats.picture_types, enc.stats.picture_sizes):
+            sizes.setdefault(t, []).append(s)
+        assert np.mean(sizes[PictureType.I]) > np.mean(sizes[PictureType.B])
+
+    def test_mixed_resolution_rejected(self):
+        with pytest.raises(ValueError):
+            Encoder().encode([Frame.blank(32, 32), Frame.blank(64, 32)])
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            Encoder().encode([])
+
+    def test_oversized_height_rejected(self):
+        f = Frame.blank(16, 2816)
+        with pytest.raises(ValueError):
+            Encoder().encode([f])
+
+    def test_adaptive_quant_changes_bits(self, detail_frames):
+        flat = Encoder(EncoderConfig(gop_size=7, b_frames=0))
+        flat_bytes = len(flat.encode(detail_frames[:3]))
+
+        def modulator(mx, my, activity):
+            return 3 if activity > 200 else 12
+
+        adaptive = Encoder(
+            EncoderConfig(gop_size=7, b_frames=0, quant_modulator=modulator)
+        )
+        adaptive_bytes = len(adaptive.encode(detail_frames[:3]))
+        assert adaptive_bytes != flat_bytes
+
+    def test_skips_emitted_for_static_content(self):
+        """A static clip's P pictures should contain skipped macroblocks."""
+        frames = [Frame.blank(96, 48, y=100) for _ in range(4)]
+        # add a small moving square so not everything is skipped
+        for t, f in enumerate(frames):
+            f.y[8 : 16, 8 + 4 * t : 20 + 4 * t] = 200
+        enc = Encoder(EncoderConfig(gop_size=4, b_frames=0))
+        data = enc.encode(frames)
+        dec = Decoder()
+        dec.decode(data)
+        assert sum(dec.stats.skipped_macroblocks) > 0
+
+
+class TestDecoderStats:
+    def test_macroblock_accounting(self, small_frames, small_stream):
+        dec = Decoder()
+        dec.decode(small_stream)
+        n_mbs = small_frames[0].n_macroblocks
+        for coded, skipped in zip(
+            dec.stats.coded_macroblocks, dec.stats.skipped_macroblocks
+        ):
+            assert coded + skipped == n_mbs
+
+    def test_picture_types_recorded(self, small_stream):
+        dec = Decoder()
+        dec.decode(small_stream)
+        assert dec.stats.picture_types[0] == PictureType.I
+
+    def test_iter_decode_is_lazy_equivalent(self, small_stream):
+        eager = decode_stream(small_stream)
+        lazy = list(Decoder().iter_decode(small_stream))
+        assert len(eager) == len(lazy)
+        for a, b in zip(eager, lazy):
+            assert a.max_abs_diff(b) == 0
+
+
+class TestPictureScanner:
+    def test_picture_count(self, small_frames, small_stream):
+        seq, pics = PictureScanner(small_stream).scan()
+        assert len(pics) == len(small_frames)
+        assert (seq.width, seq.height) == (96, 64)
+
+    def test_pictures_carry_gop_flags(self, small_stream):
+        _, pics = PictureScanner(small_stream).scan()
+        assert pics[0].new_gop and pics[0].gop is not None
+        assert not pics[1].new_gop
+
+    def test_picture_units_self_contained(self, small_stream):
+        _, pics = PictureScanner(small_stream).scan()
+        for unit in pics:
+            assert unit.data.startswith(b"\x00\x00\x01\x00")
+
+    def test_scan_cached(self, small_stream):
+        sc = PictureScanner(small_stream)
+        a = sc.scan()
+        b = sc.scan()
+        assert a[1] is b[1]
+
+    def test_rejects_non_sequence_start(self):
+        with pytest.raises(Exception):
+            PictureScanner(b"\x00\x00\x01\x00garbage").scan()

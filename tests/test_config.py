@@ -1,0 +1,112 @@
+"""Configuration determination: F = min(k/t_s, 1/t_d) and auto-config."""
+
+import pytest
+
+from repro.parallel.config import (
+    SystemConfig,
+    auto_configure,
+    decoder_bound,
+    match_tiles_to_video,
+    optimal_k,
+    predicted_frame_rate,
+    splitter_bound,
+)
+
+
+class TestFrameRateModel:
+    def test_splitter_bound_dominates_small_k(self):
+        # t_s = 40 ms, t_d = 5 ms: one splitter caps at 25 fps
+        assert predicted_frame_rate(1, 0.040, 0.005) == pytest.approx(25.0)
+
+    def test_decoder_bound_dominates_large_k(self):
+        assert predicted_frame_rate(10, 0.040, 0.005) == pytest.approx(200.0)
+
+    def test_monotone_in_k_until_decoder_bound(self):
+        rates = [predicted_frame_rate(k, 0.040, 0.005) for k in range(1, 12)]
+        assert rates == sorted(rates)
+        assert rates[-1] == rates[-2] == decoder_bound(0.005)
+
+    def test_bounds_helpers(self):
+        assert splitter_bound(4, 0.040) == pytest.approx(100.0)
+        assert decoder_bound(0.010) == pytest.approx(100.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            predicted_frame_rate(0, 1.0, 1.0)
+        with pytest.raises(ValueError):
+            predicted_frame_rate(1, -1.0, 1.0)
+        with pytest.raises(ValueError):
+            optimal_k(0.0, 1.0)
+
+
+class TestOptimalK:
+    def test_exact_ratio(self):
+        assert optimal_k(0.040, 0.010) == 4
+
+    def test_ceiling(self):
+        assert optimal_k(0.041, 0.010) == 5
+
+    def test_fast_splitter_needs_one(self):
+        assert optimal_k(0.004, 0.010) == 1
+
+    def test_k_star_achieves_decoder_bound(self):
+        for t_s, t_d in [(0.05, 0.007), (0.02, 0.02), (0.1, 0.013)]:
+            k = optimal_k(t_s, t_d)
+            assert predicted_frame_rate(k, t_s, t_d) == pytest.approx(
+                decoder_bound(t_d)
+            )
+            if k > 1:
+                assert predicted_frame_rate(k - 1, t_s, t_d) < decoder_bound(t_d)
+
+
+class TestSystemConfig:
+    def test_node_counts(self):
+        assert SystemConfig(k=4, m=4, n=4).n_nodes == 21  # the paper's headline
+        assert SystemConfig(k=0, m=2, n=2).n_nodes == 5
+
+    def test_labels(self):
+        assert SystemConfig(k=0, m=3, n=2).label() == "1-(3,2)"
+        assert SystemConfig(k=4, m=4, n=4).label() == "1-4-(4,4)"
+
+
+class TestMatching:
+    def test_resolution_match(self):
+        assert match_tiles_to_video(3840, 2800) == (4, 4)
+        assert match_tiles_to_video(720, 480) == (1, 1)
+        assert match_tiles_to_video(1920, 1080) == (2, 2)
+
+    def test_caps_at_wall_size(self):
+        assert match_tiles_to_video(100000, 100000, max_m=6, max_n=4) == (6, 4)
+
+
+class TestAutoConfigure:
+    def test_meets_reachable_target(self):
+        cfg = auto_configure(
+            t_s=0.050,
+            t_d_of=lambda m, n: 0.010,
+            video_w=3840,
+            video_h=2800,
+            target_fps=60.0,
+        )
+        assert cfg.m == 4 and cfg.n == 4
+        assert predicted_frame_rate(cfg.k, 0.050, 0.010) >= 60.0
+
+    def test_unreachable_target_returns_decoder_optimal(self):
+        cfg = auto_configure(
+            t_s=0.050,
+            t_d_of=lambda m, n: 0.020,  # decoders cap at 50 fps
+            video_w=3840,
+            video_h=2800,
+            target_fps=200.0,
+        )
+        assert cfg.k == optimal_k(0.050, 0.020)
+
+    def test_easy_target_uses_one_splitter(self):
+        cfg = auto_configure(
+            t_s=0.010,
+            t_d_of=lambda m, n: 0.010,
+            video_w=1280,
+            video_h=720,
+            target_fps=30.0,
+        )
+        assert cfg.k == 1

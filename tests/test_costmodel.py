@@ -1,0 +1,124 @@
+"""Cost model and per-picture workload derivation."""
+
+import pytest
+
+from repro.mpeg2.constants import PictureType
+from repro.perf.costmodel import CostModel, build_picture_work
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+S8 = stream_by_id(8)
+S16 = stream_by_id(16)
+
+
+class TestCostModel:
+    def test_decode_scales_with_mbs_and_bits(self):
+        c = CostModel()
+        assert c.t_decode_mbs(200, 0) == pytest.approx(
+            2 * c.t_decode_mbs(100, 0)
+        )
+        assert c.t_decode_mbs(100, 1000) > c.t_decode_mbs(100, 0)
+
+    def test_split_cheaper_than_decode(self):
+        """The calibration anchor behind §5.3: splitting one picture costs
+        a fraction (~1/4) of decoding it."""
+        c = CostModel()
+        bits = S8.avg_frame_bytes * 8
+        ratio = c.t_split_picture(S8.mbs_per_frame, bits) / c.t_decode_mbs(
+            S8.mbs_per_frame, bits
+        )
+        assert 0.15 < ratio < 0.45
+
+    def test_root_slower_console(self):
+        c = CostModel()
+        assert c.t_root_copy(1000) > 1000 * c.root_per_byte
+
+    def test_t_d_is_slowest_tile(self):
+        c = CostModel()
+        layout = TileLayout(S16.width, S16.height, 4, 4)
+        loads = S16.tile_workloads(layout)
+        bits = S16.avg_frame_bytes * 8
+        times = [
+            c.t_decode_mbs(w["mbs"], bits * w["bits_fraction"])
+            for w in loads.values()
+        ]
+        assert c.t_d(S16, layout) == pytest.approx(max(times))
+
+
+class TestPictureWork:
+    def test_sequence_length_and_types(self):
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        works = build_picture_work(S8, layout, n_frames=24)
+        assert len(works) == 24
+        assert works[0].ptype == PictureType.I
+        assert {w.ptype for w in works} == {
+            PictureType.I,
+            PictureType.P,
+            PictureType.B,
+        }
+
+    def test_average_picture_bytes_match_spec(self):
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        works = build_picture_work(S8, layout, n_frames=S8.n_frames)
+        avg = sum(w.nbytes for w in works) / len(works)
+        assert avg == pytest.approx(S8.avg_frame_bytes, rel=0.02)
+
+    def test_i_pictures_largest(self):
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        works = build_picture_work(S8, layout, n_frames=24)
+        sizes = {t: [] for t in PictureType}
+        for w in works:
+            sizes[w.ptype].append(w.nbytes)
+        assert min(sizes[PictureType.I]) > max(sizes[PictureType.P])
+        assert min(sizes[PictureType.P]) > max(sizes[PictureType.B])
+
+    def test_tile_work_covers_all_tiles(self):
+        layout = TileLayout(S8.width, S8.height, 4, 4)
+        works = build_picture_work(S8, layout, n_frames=6)
+        for w in works:
+            assert set(w.tiles) == {t.tid for t in layout}
+            for tw in w.tiles.values():
+                assert tw.n_mbs > 0
+                assert tw.sp_bytes > 0
+
+    def test_i_pictures_have_no_exchanges(self):
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        for w in build_picture_work(S8, layout, n_frames=24):
+            if w.ptype == PictureType.I:
+                assert w.exchanges == []
+            else:
+                assert w.exchanges
+
+    def test_b_exchanges_exceed_p(self):
+        """B pictures reference two anchors, so they exchange more."""
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        works = build_picture_work(S8, layout, n_frames=24)
+        p = [sum(e.nbytes for e in w.exchanges) for w in works if w.ptype == PictureType.P]
+        b = [sum(e.nbytes for e in w.exchanges) for w in works if w.ptype == PictureType.B]
+        assert min(b) > max(p) * 1.2
+
+    def test_exchanges_only_between_neighbours(self):
+        layout = TileLayout(S8.width, S8.height, 4, 4)
+        for w in build_picture_work(S8, layout, n_frames=12):
+            for e in w.exchanges:
+                a, b = layout.tile(e.src), layout.tile(e.dst)
+                assert abs(a.col - b.col) + abs(a.row - b.row) == 1
+
+    def test_exchange_helpers(self):
+        layout = TileLayout(S8.width, S8.height, 2, 1)
+        works = build_picture_work(S8, layout, n_frames=12)
+        w = next(w for w in works if w.exchanges)
+        assert all(e.src == 0 for e in w.exchanges_from(0))
+        assert all(e.dst == 0 for e in w.exchanges_to(0))
+
+    def test_localized_detail_imbalances_tiles(self):
+        layout = TileLayout(S16.width, S16.height, 4, 4)
+        works = build_picture_work(S16, layout, n_frames=4)
+        fracs = [tw.bits for tw in works[0].tiles.values()]
+        assert max(fracs) > 1.5 * min(fracs)
+
+    def test_single_tile_no_exchanges(self):
+        layout = TileLayout(S8.width, S8.height, 1, 1)
+        for w in build_picture_work(S8, layout, n_frames=12):
+            assert w.exchanges == []

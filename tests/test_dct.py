@@ -1,0 +1,155 @@
+"""Transform layer: DCT/IDCT, quantization, scan ordering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+from hypothesis.extra import numpy as hnp
+
+from repro.mpeg2 import dct
+from repro.mpeg2.tables import DEFAULT_INTRA_QUANT_MATRIX
+
+
+class TestTransform:
+    def test_idct_inverts_fdct(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 256, (10, 8, 8)).astype(np.float64)
+        back = dct.idct(dct.fdct(blocks))
+        assert np.allclose(back, blocks, atol=1e-9)
+
+    def test_mpeg_dc_scaling(self):
+        """The DC of a constant block c is 8c, so 8-bit video fits the
+        12-bit coefficient range."""
+        block = np.full((1, 8, 8), 255.0)
+        co = dct.fdct(block)
+        assert co[0, 0, 0] == pytest.approx(255 * 8)
+        assert abs(co[0, 0, 0]) <= dct.COEFF_MAX + 1
+
+    def test_fdct_linear(self):
+        rng = np.random.default_rng(1)
+        a = rng.normal(size=(3, 8, 8))
+        b = rng.normal(size=(3, 8, 8))
+        assert np.allclose(dct.fdct(a + b), dct.fdct(a) + dct.fdct(b))
+
+    def test_batch_matches_single(self):
+        rng = np.random.default_rng(2)
+        blocks = rng.integers(0, 256, (5, 8, 8)).astype(np.float64)
+        batch = dct.fdct(blocks)
+        for i in range(5):
+            assert np.allclose(batch[i], dct.fdct(blocks[i]))
+
+
+class TestQuantization:
+    def test_intra_roundtrip_bounded_error(self):
+        rng = np.random.default_rng(0)
+        blocks = rng.integers(0, 256, (20, 8, 8)).astype(np.float64)
+        co = dct.fdct(blocks)
+        q = dct.quantize_intra(co, 4)
+        rec = dct.idct(dct.dequantize_intra(q, 4))
+        # Error bounded by ~half the largest quantizer step.
+        assert np.max(np.abs(rec - blocks)) < 12
+
+    def test_intra_dc_rule(self):
+        """Intra DC quantizes by /8 regardless of qscale."""
+        block = np.full((1, 8, 8), 200.0)
+        co = dct.fdct(block)
+        q = dct.quantize_intra(co, 62)
+        assert q[0, 0, 0] == 200  # 1600 / 8
+        deq = dct.dequantize_intra(q, 62)
+        assert deq[0, 0, 0] == 1600
+
+    def test_non_intra_dead_zone(self):
+        """Small coefficients truncate to zero (dead zone)."""
+        co = np.zeros((1, 8, 8))
+        co[0, 1, 1] = 15.0  # below one step at qscale 16 (step = 16)
+        q = dct.quantize_non_intra(co, 16)
+        assert q[0, 1, 1] == 0
+
+    def test_non_intra_roundtrip(self):
+        rng = np.random.default_rng(1)
+        resid = rng.integers(-100, 100, (20, 8, 8)).astype(np.float64)
+        co = dct.fdct(resid)
+        q = dct.quantize_non_intra(co, 8)
+        rec = dct.idct(dct.dequantize_non_intra(q, 8))
+        # effective step is 8 per coefficient; spatial error accumulates
+        # across 64 coefficients but stays near one step
+        assert np.max(np.abs(rec - resid)) < 12
+
+    def test_levels_fit_escape_range(self):
+        """Extreme inputs must still produce escapable levels."""
+        block = np.zeros((1, 8, 8))
+        block[0] = 255.0
+        block[0, ::2, ::2] = -255.0 + 255  # harsh checkerboard-ish
+        co = dct.fdct(block * 8)  # exaggerate
+        q = dct.quantize_non_intra(co, 2)
+        assert np.abs(q).max() <= 2047
+
+    def test_dequantize_saturates(self):
+        q = np.zeros((1, 8, 8), dtype=np.int32)
+        q[0, 0, 0] = 2047
+        deq = dct.dequantize_intra(q, 62)
+        assert deq.max() <= dct.COEFF_MAX
+
+    def test_sign_symmetry_non_intra(self):
+        co = np.zeros((1, 8, 8))
+        co[0, 2, 3] = 100.0
+        qp = dct.quantize_non_intra(co, 8)
+        qn = dct.quantize_non_intra(-co, 8)
+        assert (qp == -qn).all()
+        assert (dct.dequantize_non_intra(qp, 8) == -dct.dequantize_non_intra(qn, 8)).all()
+
+
+class TestScanOrder:
+    def test_scan_block_roundtrip(self):
+        rng = np.random.default_rng(0)
+        block = rng.integers(-100, 100, (4, 8, 8))
+        assert (dct.scan_to_block(dct.block_to_scan(block)) == block).all()
+
+    def test_dc_first_in_scan(self):
+        block = np.zeros((8, 8), dtype=np.int32)
+        block[0, 0] = 42
+        scan = dct.block_to_scan(block)
+        assert scan[0] == 42
+        assert (scan[1:] == 0).all()
+
+    def test_low_frequencies_early(self):
+        """Zigzag puts (0,1) and (1,0) right after DC."""
+        block = np.zeros((8, 8), dtype=np.int32)
+        block[0, 1] = 7
+        block[1, 0] = 9
+        scan = dct.block_to_scan(block)
+        assert set(scan[1:3].tolist()) == {7, 9}
+
+
+class TestRunLevels:
+    def test_empty_block(self):
+        assert dct.run_levels_from_scan(np.zeros(64, dtype=np.int32), False) == []
+
+    def test_skip_dc(self):
+        scan = np.zeros(64, dtype=np.int32)
+        scan[0] = 99
+        scan[3] = -5
+        assert dct.run_levels_from_scan(scan, skip_dc=True) == [(2, -5)]
+        assert dct.run_levels_from_scan(scan, skip_dc=False) == [(0, 99), (2, -5)]
+
+    def test_roundtrip_with_dc(self):
+        rng = np.random.default_rng(3)
+        scan = np.zeros(64, dtype=np.int32)
+        idx = rng.choice(np.arange(1, 64), size=10, replace=False)
+        scan[idx] = rng.integers(1, 50, size=10)
+        rl = dct.run_levels_from_scan(scan, skip_dc=True)
+        back = dct.scan_from_run_levels(rl, dc=0)
+        assert (back == scan).all()
+
+    def test_overrun_rejected(self):
+        with pytest.raises(ValueError):
+            dct.scan_from_run_levels([(63, 1), (0, 1)], dc=None)
+
+
+@given(
+    hnp.arrays(np.int32, (64,), elements=st.integers(-40, 40)),
+)
+@settings(max_examples=100)
+def test_run_level_roundtrip_property(scan):
+    rl = dct.run_levels_from_scan(scan, skip_dc=False)
+    back = dct.scan_from_run_levels(rl, dc=None)
+    assert (back == scan).all()

@@ -1,0 +1,82 @@
+"""Boundary-size streams: the smallest and oddest rasters must work."""
+
+import pytest
+
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.frames import Frame
+from repro.parallel.pipeline import ParallelDecoder
+from repro.wall.layout import TileLayout
+from repro.workloads.synthetic import broadcast_frames, moving_pattern_frames
+
+
+class TestTinyRasters:
+    def test_single_macroblock_frame(self):
+        """16x16: one macroblock, one slice, one tile."""
+        frames = [Frame.blank(16, 16, y=100 + 10 * t) for t in range(4)]
+        stream = Encoder(EncoderConfig(gop_size=4, b_frames=1)).encode(frames)
+        out = decode_stream(stream)
+        assert len(out) == 4
+        layout = TileLayout(16, 16, 1, 1)
+        wall = ParallelDecoder(layout, k=1).decode(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(out, wall))
+
+    def test_one_row_raster(self):
+        """Wide and short: 128x16 split into 4 columns."""
+        frames = moving_pattern_frames(128, 16, 5, seed=16)
+        stream = Encoder(EncoderConfig(gop_size=5, b_frames=1, search_range=4)).encode(frames)
+        ref = decode_stream(stream)
+        out = ParallelDecoder(TileLayout(128, 16, 4, 1), k=2).decode(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
+    def test_one_column_raster(self):
+        """Tall and thin: 16x128 split into 4 rows."""
+        frames = moving_pattern_frames(16, 128, 5, seed=17)
+        stream = Encoder(EncoderConfig(gop_size=5, b_frames=1, search_range=4)).encode(frames)
+        ref = decode_stream(stream)
+        out = ParallelDecoder(TileLayout(16, 128, 1, 4), k=2).decode(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
+    def test_more_tiles_than_macroblock_columns_rejected(self):
+        # 32px wide = 2 MB columns; a 4-column layout has sub-MB tiles but
+        # layout construction itself remains valid — partitions are pixel
+        # based; the split still covers every MB (possibly duplicated).
+        frames = [Frame.blank(32, 32, y=90 + t) for t in range(3)]
+        stream = Encoder(EncoderConfig(gop_size=3, b_frames=0)).encode(frames)
+        ref = decode_stream(stream)
+        out = ParallelDecoder(TileLayout(32, 32, 4, 1), k=1).decode(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
+
+class TestBroadcastContent:
+    def test_generator_properties(self):
+        frames = broadcast_frames(160, 96, 6)
+        assert len(frames) == 6
+        # ticker moves every frame
+        band_a = frames[0].y[-12:, :]
+        band_b = frames[1].y[-12:, :]
+        assert (band_a != band_b).any()
+        # studio background is static (top-left corner)
+        import numpy as np
+
+        assert (
+            np.abs(
+                frames[0].y[:16, :16].astype(int) - frames[3].y[:16, :16].astype(int)
+            ).mean()
+            < 6
+        )
+
+    def test_broadcast_stream_through_wall(self):
+        frames = broadcast_frames(128, 96, 7, seed=5)
+        stream = Encoder(EncoderConfig(gop_size=7, b_frames=2)).encode(frames)
+        ref = decode_stream(stream)
+        out = ParallelDecoder(TileLayout(128, 96, 2, 2), k=2).decode(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
+    def test_ticker_generates_boundary_exchanges(self):
+        """The scrolling lower third crosses vertical tile boundaries."""
+        frames = broadcast_frames(128, 96, 6, seed=5)
+        stream = Encoder(EncoderConfig(gop_size=6, b_frames=1)).encode(frames)
+        pd = ParallelDecoder(TileLayout(128, 96, 2, 1), k=1)
+        pd.decode(stream)
+        assert pd.stats.exchange_count > 0

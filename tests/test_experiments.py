@@ -1,0 +1,157 @@
+"""Experiment runners reproduce the paper's qualitative results."""
+
+import pytest
+
+from repro.perf import experiments as E
+from repro.perf.metrics import RuntimeBreakdown, average_breakdown
+
+
+@pytest.fixture(scope="module")
+def t5_rows():
+    return E.table5(n_frames=24)
+
+
+@pytest.fixture(scope="module")
+def t6_rows():
+    return E.table6(n_frames=24)
+
+
+class TestTable5Figure6:
+    def test_all_configs_present(self, t5_rows):
+        assert len(t5_rows) == 2 * len(E.SCREEN_CONFIGS)
+
+    def test_one_level_saturates(self, t5_rows):
+        """§5.3: beyond ~4 decoders the single splitter cannot keep up."""
+        for sid in (1, 8):
+            fps = {
+                (r["m"], r["n"]): r["one_level_fps"]
+                for r in t5_rows
+                if r["stream"] == sid
+            }
+            assert fps[(2, 2)] > 1.7 * fps[(1, 1)]
+            assert fps[(4, 4)] < fps[(3, 3)] * 1.05  # flat or drooping
+
+    def test_two_level_keeps_scaling(self, t5_rows):
+        for sid in (1, 8):
+            rows = [r for r in t5_rows if r["stream"] == sid]
+            assert rows[-1]["two_level_fps"] > rows[-1]["one_level_fps"] * 1.3
+            fps_series = [r["two_level_fps"] for r in rows]
+            assert fps_series == sorted(fps_series)
+
+    def test_figure6_series_shape(self, t5_rows):
+        series = E.figure6(t5_rows)
+        assert set(series) == {
+            "stream1-one-level",
+            "stream1-two-level",
+            "stream8-one-level",
+            "stream8-two-level",
+        }
+        for pts in series.values():
+            assert len(pts) == len(E.SCREEN_CONFIGS)
+
+
+class TestFigure7:
+    def test_work_share_falls(self):
+        out = E.figure7(n_frames=24)
+        w22 = out["2x2"]["average_fractions"]["work"]
+        w44 = out["4x4"]["average_fractions"]["work"]
+        assert w22 > 0.6
+        assert w44 < 0.6
+        assert w22 - w44 > 0.15
+
+    def test_serve_share_rises(self):
+        out = E.figure7(n_frames=24)
+        s22 = out["2x2"]["average_fractions"]["serve"]
+        s44 = out["4x4"]["average_fractions"]["serve"]
+        assert s44 > s22
+
+    def test_per_decoder_data_complete(self):
+        out = E.figure7(n_frames=24)
+        assert len(out["2x2"]["per_decoder_ms"]) == 4
+        assert len(out["4x4"]["per_decoder_ms"]) == 16
+
+
+class TestTable6Figure8:
+    def test_all_streams(self, t6_rows):
+        assert [r["stream"] for r in t6_rows] == list(range(1, 17))
+
+    def test_headline_anchor(self, t6_rows):
+        s16 = t6_rows[-1]
+        assert s16["config"].endswith("(4,4)")
+        assert s16["fps"] == pytest.approx(38.9, rel=0.15)
+
+    def test_realtime_for_all_streams(self, t6_rows):
+        """§6: 'can achieve real time frame rate for ultra high resolution
+        video streams'."""
+        for r in t6_rows:
+            assert r["fps"] >= 24.0, r
+
+    def test_pixel_rate_grows_with_nodes(self, t6_rows):
+        pts = E.figure8(t6_rows)
+        nodes = [p[0] for p in pts]
+        rates = [p[1] for p in pts]
+        assert nodes == sorted(nodes)
+        # near-linear overall: biggest config achieves a large multiple
+        assert rates[-1] > 6 * rates[0]
+
+    def test_orion_streams_show_detail_droop(self, t6_rows):
+        """§5.5: localized detail makes the largest streams fall slightly
+        below linear — pixel rate per node dips for streams 13-16."""
+        by_sid = {r["stream"]: r for r in t6_rows}
+        eff_uniform = by_sid[10]["pixel_rate_mpps"] / by_sid[10]["nodes"]
+        eff_orion = by_sid[16]["pixel_rate_mpps"] / by_sid[16]["nodes"]
+        assert eff_orion < eff_uniform * 1.05
+
+
+class TestFigure9:
+    def test_bandwidth_report(self):
+        out = E.figure9(n_frames=24)
+        bw = out["bandwidth_mbps"]
+        assert len([n for n in bw if n.startswith("decoder")]) == 16
+        assert len([n for n in bw if n.startswith("splitter")]) == 4
+        # low and within commodity network reach
+        for name, (s, r) in bw.items():
+            assert s < 40 and r < 40
+
+    def test_sph_overhead_in_splitter_send(self):
+        out = E.figure9(n_frames=24)
+        assert 1.05 < out["splitter_send_over_recv"] < 1.45
+
+
+class TestChooseK:
+    def test_small_stream_needs_one(self):
+        from repro.workloads.streams import stream_by_id
+
+        assert E.choose_k_empirically(stream_by_id(1), 1, 1) == 1
+
+    def test_large_wall_needs_more(self):
+        from repro.workloads.streams import stream_by_id
+
+        k = E.choose_k_empirically(stream_by_id(8), 4, 4)
+        assert k >= 2
+
+
+class TestMetricsHelpers:
+    def test_breakdown_fractions(self):
+        bd = RuntimeBreakdown(work=3, serve=1, receive=0, wait_remote=0, ack=0)
+        fr = bd.fractions()
+        assert fr["work"] == pytest.approx(0.75)
+        assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_breakdown_add_validates(self):
+        bd = RuntimeBreakdown()
+        with pytest.raises(KeyError):
+            bd.add("nonsense", 1.0)
+
+    def test_average(self):
+        a = RuntimeBreakdown(work=2.0)
+        b = RuntimeBreakdown(work=4.0, serve=2.0)
+        avg = average_breakdown([a, b])
+        assert avg.work == 3.0 and avg.serve == 1.0
+
+    def test_empty_average(self):
+        assert average_breakdown([]).total == 0.0
+
+    def test_per_frame_ms(self):
+        bd = RuntimeBreakdown(work=0.12)
+        assert bd.per_frame_ms(12)["work"] == pytest.approx(10.0)

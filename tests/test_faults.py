@@ -1,0 +1,133 @@
+"""Failure injection: corrupted streams, stragglers, degraded networks."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import BitstreamError
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.net.gm import NetworkParams
+from repro.parallel.system import TimedSystem
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+S8 = stream_by_id(8)
+
+
+class TestCorruptedStreams:
+    def test_truncated_stream_raises(self, small_stream):
+        with pytest.raises(Exception):
+            decode_stream(small_stream[: len(small_stream) // 3])
+
+    def test_garbage_rejected(self):
+        with pytest.raises(Exception):
+            decode_stream(b"\xde\xad\xbe\xef" * 100)
+
+    def test_empty_stream_rejected(self):
+        with pytest.raises(Exception):
+            decode_stream(b"")
+
+    def test_flipped_bits_detected_or_harmless(self, small_stream):
+        """Corrupting slice payload either raises a parse error or yields
+        a stream that still parses structurally — it must never hang or
+        crash with a non-codec exception."""
+        rng = np.random.default_rng(0)
+        for trial in range(12):
+            data = bytearray(small_stream)
+            # corrupt a byte inside the second half (slice data, not headers)
+            pos = int(rng.integers(len(data) // 2, len(data) - 5))
+            data[pos] ^= 1 << int(rng.integers(0, 8))
+            try:
+                decode_stream(bytes(data))
+            except (BitstreamError, ValueError):
+                pass  # detected — acceptable
+
+    def test_missing_sequence_end_still_decodes(self, small_stream):
+        assert small_stream.endswith(b"\x00\x00\x01\xb7")
+        frames_full = decode_stream(small_stream)
+        frames_cut = decode_stream(small_stream[:-4])
+        assert len(frames_cut) == len(frames_full)
+        for a, b in zip(frames_full, frames_cut):
+            assert a.max_abs_diff(b) == 0
+
+    def test_scanner_tolerates_trailing_garbage(self, small_stream):
+        _, pics = PictureScanner(small_stream + b"\x00" * 64).scan()
+        _, ref = PictureScanner(small_stream).scan()
+        assert len(pics) == len(ref)
+
+
+class TestStragglerInjection:
+    def test_slow_decoder_gates_frame_rate(self):
+        """Decoders synchronize through the MEI exchange, so one slow node
+        drags the whole wall — the §5.5 observation, injected directly."""
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        base = TimedSystem(S8, layout, k=2, n_frames=20).run().fps
+        # decoder of tile 0 is node k+1 = 3; halve its CPU speed
+        slow = TimedSystem(
+            S8, layout, k=2, n_frames=20, node_speeds={3: 0.5}
+        ).run().fps
+        assert slow < base * 0.85
+
+    def test_slow_splitter_hurts_less_with_more_splitters(self):
+        layout = TileLayout(S8.width, S8.height, 4, 4)
+        k = 3
+        base = TimedSystem(S8, layout, k=k, n_frames=20).run().fps
+        slow1 = TimedSystem(
+            S8, layout, k=k, n_frames=20, node_speeds={1: 0.4}
+        ).run().fps
+        # a slow splitter slows its share of pictures but the pipeline
+        # still makes progress
+        assert 0.3 * base < slow1 < base
+
+    def test_slow_console_caps_everything(self):
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        base = TimedSystem(S8, layout, k=2, n_frames=20).run().fps
+        # the root only copies pictures, so it takes an extreme slowdown
+        # before the picture-copy stage caps the pipeline
+        slow = TimedSystem(
+            S8, layout, k=2, n_frames=20, node_speeds={0: 0.002}
+        ).run().fps
+        assert slow < base * 0.6
+
+
+class TestNetworkDegradation:
+    def test_low_bandwidth_limits_fps(self):
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        base = TimedSystem(S8, layout, k=2, n_frames=20).run().fps
+        # 2 MB/s links: sub-picture delivery dominates
+        starved = TimedSystem(
+            S8,
+            layout,
+            k=2,
+            n_frames=20,
+            net_params=NetworkParams(bandwidth=2e6),
+        ).run().fps
+        assert starved < base * 0.6
+
+    def test_high_latency_hurts_exchange(self):
+        layout = TileLayout(S8.width, S8.height, 4, 4)
+        base = TimedSystem(S8, layout, k=3, n_frames=20).run().fps
+        lagged = TimedSystem(
+            S8,
+            layout,
+            k=3,
+            n_frames=20,
+            net_params=NetworkParams(latency=3e-3),
+        ).run().fps
+        assert lagged < base
+
+    def test_protocol_survives_degradation(self):
+        """Slow networks change timing, never correctness: no flow-control
+        violations, frames still in order."""
+        layout = TileLayout(S8.width, S8.height, 2, 2)
+        res = TimedSystem(
+            S8,
+            layout,
+            k=2,
+            n_frames=16,
+            net_params=NetworkParams(bandwidth=1e6, latency=5e-3),
+        ).run()
+        assert res.flow_control_violations == 0
+        assert res.display_times == sorted(res.display_times)
+        assert len(res.display_times) == 16

@@ -1,0 +1,101 @@
+"""Frame container invariants and pixel utilities."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.frames import Frame, pad_to_macroblocks, psnr
+
+
+class TestFrameValidation:
+    def test_requires_mb_alignment(self):
+        with pytest.raises(ValueError):
+            Frame(
+                np.zeros((50, 64), np.uint8),
+                np.zeros((25, 32), np.uint8),
+                np.zeros((25, 32), np.uint8),
+            )
+
+    def test_requires_420_chroma(self):
+        with pytest.raises(ValueError):
+            Frame(
+                np.zeros((48, 64), np.uint8),
+                np.zeros((48, 64), np.uint8),
+                np.zeros((24, 32), np.uint8),
+            )
+
+    def test_requires_uint8(self):
+        with pytest.raises(ValueError):
+            Frame(
+                np.zeros((48, 64), np.int16),
+                np.zeros((24, 32), np.uint8),
+                np.zeros((24, 32), np.uint8),
+            )
+
+
+class TestFrameProperties:
+    def test_geometry(self):
+        f = Frame.blank(96, 64)
+        assert (f.width, f.height) == (96, 64)
+        assert (f.mb_width, f.mb_height) == (6, 4)
+        assert f.n_macroblocks == 24
+        assert f.n_pixels == 96 * 64
+
+    def test_blank_values(self):
+        f = Frame.blank(32, 32, y=77, c=99)
+        assert (f.y == 77).all() and (f.cb == 99).all() and (f.cr == 99).all()
+
+    def test_equality_and_copy(self):
+        a = Frame.blank(32, 32)
+        b = a.copy()
+        assert a == b
+        b.y[0, 0] = 200
+        assert a != b
+        assert a.max_abs_diff(b) == 200 - 16
+
+    def test_mb_views_are_views(self):
+        f = Frame.blank(32, 32)
+        f.mb_luma(1, 0)[:] = 50
+        assert (f.y[0:16, 16:32] == 50).all()
+        cb, cr = f.mb_chroma(0, 1)
+        cb[:] = 60
+        assert (f.cb[8:16, 0:8] == 60).all()
+
+
+class TestPSNR:
+    def test_identical_is_inf(self):
+        f = Frame.blank(32, 32)
+        assert psnr(f, f) == float("inf")
+
+    def test_known_value(self):
+        a = Frame.blank(32, 32, y=100)
+        b = Frame.blank(32, 32, y=110)
+        # MSE = 100 -> PSNR = 10 log10(255^2/100)
+        assert psnr(a, b) == pytest.approx(10 * np.log10(255**2 / 100))
+
+    def test_symmetry(self):
+        rng = np.random.default_rng(0)
+        a = Frame(
+            rng.integers(0, 255, (32, 32), dtype=np.uint8).astype(np.uint8),
+            np.zeros((16, 16), np.uint8),
+            np.zeros((16, 16), np.uint8),
+        )
+        b = Frame.blank(32, 32)
+        assert psnr(a, b) == pytest.approx(psnr(b, a))
+
+
+class TestPadding:
+    def test_pads_to_alignment(self):
+        y = np.arange(50 * 70, dtype=np.uint8).reshape(50, 70)
+        cb = np.zeros((25, 35), np.uint8)
+        cr = np.zeros((25, 35), np.uint8)
+        f = pad_to_macroblocks(y, cb, cr)
+        assert f.width == 80 and f.height == 64
+        # original content preserved
+        assert (f.y[:50, :70] == y).all()
+        # edge padding replicates the border
+        assert (f.y[:50, 70:] == y[:, -1:]).all()
+
+    def test_aligned_input_untouched(self):
+        y = np.zeros((48, 64), np.uint8)
+        f = pad_to_macroblocks(y, np.zeros((24, 32), np.uint8), np.zeros((24, 32), np.uint8))
+        assert (f.width, f.height) == (64, 48)

@@ -1,0 +1,119 @@
+"""Functional baselines: bit-exact decode + measured communication."""
+
+import pytest
+
+from repro.mpeg2.decoder import decode_stream
+from repro.parallel.functional_baselines import (
+    GopParallelDecoder,
+    PictureParallelDecoder,
+    SliceParallelDecoder,
+)
+from repro.parallel.pipeline import ParallelDecoder
+from repro.wall.layout import TileLayout
+
+
+@pytest.fixture(scope="module")
+def reference(small_stream):
+    return decode_stream(small_stream)
+
+
+def _layout(ref):
+    return TileLayout(ref[0].width, ref[0].height, 2, 2)
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("nodes", [1, 2, 3])
+    def test_gop_level(self, small_stream, reference, nodes):
+        dec = GopParallelDecoder(nodes, _layout(reference))
+        out = dec.decode(small_stream)
+        assert len(out) == len(reference)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(reference, out))
+
+    @pytest.mark.parametrize("nodes", [1, 2, 4])
+    def test_picture_level(self, small_stream, reference, nodes):
+        dec = PictureParallelDecoder(nodes, _layout(reference))
+        out = dec.decode(small_stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(reference, out))
+
+    @pytest.mark.parametrize("bands", [1, 2, 4])
+    def test_slice_level(self, small_stream, reference, bands):
+        dec = SliceParallelDecoder(bands, _layout(reference))
+        out = dec.decode(small_stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(reference, out))
+
+
+class TestAccounting:
+    def test_gop_redistribution_scale(self, small_stream, reference):
+        dec = GopParallelDecoder(4, _layout(reference))
+        out = dec.decode(small_stream)
+        frame_bytes = out[0].n_pixels * 1.5
+        inter, redist = dec.accounting.per_frame()
+        assert inter == 0  # closed GOPs: no reference traffic
+        assert redist == pytest.approx(frame_bytes * 3 / 4, rel=0.01)
+
+    def test_picture_level_fetches_references(self, small_stream, reference):
+        dec = PictureParallelDecoder(4, _layout(reference))
+        dec.decode(small_stream)
+        inter, redist = dec.accounting.per_frame()
+        frame_bytes = reference[0].n_pixels * 1.5
+        assert inter > frame_bytes * 0.5  # P fetch one, B fetch two refs
+        assert redist > 0
+
+    def test_single_node_picture_level_no_fetch(self, small_stream, reference):
+        dec = PictureParallelDecoder(1)
+        dec.decode(small_stream)
+        inter, redist = dec.accounting.per_frame()
+        assert inter == 0 and redist == 0
+
+    def test_slice_level_moderate_traffic(self, small_stream, reference):
+        dec = SliceParallelDecoder(4, _layout(reference))
+        dec.decode(small_stream)
+        inter, redist = dec.accounting.per_frame()
+        frame_bytes = reference[0].n_pixels * 1.5
+        assert 0 < inter < frame_bytes  # strips, not whole pictures
+        assert 0 < redist < frame_bytes
+
+    def test_work_balanced_across_nodes(self, small_stream, reference):
+        dec = PictureParallelDecoder(3)
+        dec.decode(small_stream)
+        counts = list(dec.accounting.per_node_frames.values())
+        assert max(counts) - min(counts) <= 1
+
+
+class TestMeasuredTable1Ordering:
+    def test_total_traffic_ordering(self, small_stream, reference):
+        """Measured per-frame network traffic: picture > gop > slice >
+        hierarchical (macroblock) — the quantified Table 1, from real
+        decodes of the same stream."""
+        layout = _layout(reference)
+        gop = GopParallelDecoder(4, layout)
+        gop.decode(small_stream)
+        pic = PictureParallelDecoder(4, layout)
+        pic.decode(small_stream)
+        slc = SliceParallelDecoder(4, layout)
+        slc.decode(small_stream)
+        mb = ParallelDecoder(layout, k=1)
+        mb.decode(small_stream)
+
+        def total(acct):
+            i, r = acct.per_frame()
+            return i + r
+
+        mb_traffic = mb.stats.exchange_bytes / mb.stats.pictures
+        assert total(pic.accounting) > total(gop.accounting)
+        assert total(gop.accounting) > total(slc.accounting)
+        assert total(slc.accounting) > mb_traffic  # redistribution-free
+
+
+class TestValidation:
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            GopParallelDecoder(0)
+        with pytest.raises(ValueError):
+            PictureParallelDecoder(0)
+        with pytest.raises(ValueError):
+            SliceParallelDecoder(0)
+
+    def test_too_many_bands_rejected(self, small_stream):
+        with pytest.raises(ValueError):
+            SliceParallelDecoder(1000).decode(small_stream)

@@ -1,0 +1,209 @@
+"""GM transport model: timing, flow control, ordering, accounting."""
+
+import pytest
+
+from repro.net.gm import FlowControlError, GMNetwork, NetworkParams
+from repro.net.simtime import Simulator, Timeout
+
+
+def _net(**kw):
+    sim = Simulator()
+    return sim, GMNetwork(sim, NetworkParams(**kw))
+
+
+class TestTransferTiming:
+    def test_wire_time_model(self):
+        """Delivery = send overhead + tx hold + latency + rx hold."""
+        sim, net = _net(bandwidth=1e6, latency=1e-3, per_message_overhead=1e-4)
+        src, dst = net.port(0), net.port(1)
+        dst.post_receive_buffer(1)
+        arrivals = []
+
+        def sender():
+            yield from src.send(1, "x", size=1000, tag="t")
+
+        def receiver():
+            msg = yield from dst.recv()
+            arrivals.append((sim.now, msg.payload))
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        expected = 1e-4 + 1000 / 1e6 + 1e-3 + 1000 / 1e6
+        assert arrivals[0][0] == pytest.approx(expected)
+
+    def test_copy_cost_ablation_knob(self):
+        sim0, net0 = _net(copy_cost_per_byte=0.0)
+        sim1, net1 = _net(copy_cost_per_byte=1e-6)
+
+        def run(sim, net):
+            dst = net.port(1)
+            dst.post_receive_buffer(1)
+            src = net.port(0)
+            done = []
+
+            def sender():
+                yield from src.send(1, None, size=10000, tag="t")
+                done.append(sim.now)
+
+            sim.process(sender())
+            sim.run()
+            return done[0]
+
+        assert run(sim1, net1) > run(sim0, net0)
+
+    def test_nic_serializes_concurrent_sends(self):
+        sim, net = _net(bandwidth=1e6, latency=0.0, per_message_overhead=0.0)
+        src = net.port(0)
+        for nid in (1, 2):
+            net.port(nid).post_receive_buffer(1)
+        ends = []
+
+        def sender(dst):
+            yield from src.send(dst, None, size=1000, tag="t")
+            ends.append(sim.now)
+
+        sim.process(sender(1))
+        sim.process(sender(2))
+        sim.run()
+        assert ends == [pytest.approx(1e-3), pytest.approx(2e-3)]
+
+
+class TestFlowControl:
+    def test_no_buffer_strict_raises(self):
+        sim, net = _net(strict=True)
+        src = net.port(0)
+        net.port(1)  # never posts
+
+        def sender():
+            yield from src.send(1, None, size=10, tag="t")
+
+        sim.process(sender())
+        with pytest.raises(FlowControlError):
+            sim.run()
+
+    def test_no_buffer_lenient_counts(self):
+        sim, net = _net(strict=False)
+        src = net.port(0)
+        net.port(1)
+
+        def sender():
+            yield from src.send(1, None, size=10, tag="t")
+
+        sim.process(sender())
+        sim.run()
+        assert net.flow_control_violations == 1
+
+    def test_control_messages_bypass_buffers(self):
+        sim, net = _net(strict=True)
+        src = net.port(0)
+        net.port(1)
+
+        def sender():
+            yield from src.send(1, None, size=8, tag="ack", control=True)
+
+        sim.process(sender())
+        sim.run()
+        assert net.flow_control_violations == 0
+
+    def test_posted_buffers_consumed(self):
+        sim, net = _net(strict=True)
+        src, dst = net.port(0), net.port(1)
+        dst.post_receive_buffer(2)
+
+        def sender():
+            for _ in range(2):
+                yield from src.send(1, None, size=10, tag="t")
+
+        sim.process(sender())
+        sim.run()
+        assert dst.posted_buffers == 0
+
+
+class TestOrdering:
+    def test_per_sender_pair_fifo(self):
+        sim, net = _net()
+        src, dst = net.port(0), net.port(1)
+        dst.post_receive_buffer(10)
+        got = []
+
+        def sender():
+            for i in range(5):
+                yield from src.send(1, i, size=100, tag="t")
+
+        def receiver():
+            for _ in range(5):
+                msg = yield from dst.recv()
+                got.append(msg.payload)
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert got == [0, 1, 2, 3, 4]
+
+    def test_cross_sender_interleaving_possible(self):
+        """A later small message from a fast sender can overtake an earlier
+        large one from a busy sender — the GM property the ANID protocol
+        exists to handle."""
+        sim, net = _net(bandwidth=1e6, latency=0.0, per_message_overhead=0.0)
+        a, b, dst = net.port(0), net.port(1), net.port(2)
+        dst.post_receive_buffer(2)
+        got = []
+
+        def slow():
+            yield from a.send(2, "big", size=100000, tag="t")
+
+        def fast():
+            yield Timeout(1e-6)
+            yield from b.send(2, "small", size=10, tag="t")
+
+        def receiver():
+            for _ in range(2):
+                msg = yield from dst.recv()
+                got.append(msg.payload)
+
+        sim.process(slow())
+        sim.process(fast())
+        sim.process(receiver())
+        sim.run()
+        assert got == ["small", "big"]
+
+
+class TestAccounting:
+    def test_byte_counters(self):
+        sim, net = _net()
+        src, dst = net.port(0), net.port(1)
+        dst.post_receive_buffer(3)
+
+        def sender():
+            for size in (100, 200, 300):
+                yield from src.send(1, None, size=size, tag="t")
+
+        def receiver():
+            for _ in range(3):
+                yield from dst.recv()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        assert src.stats.bytes_sent == 600
+        assert src.stats.messages_sent == 3
+        assert dst.stats.bytes_received == 600
+
+    def test_bandwidth_report(self):
+        sim, net = _net()
+        src, dst = net.port(0), net.port(1)
+        dst.post_receive_buffer(1)
+
+        def sender():
+            yield from src.send(1, None, size=5_000_000, tag="t")
+
+        def receiver():
+            yield from dst.recv()
+
+        sim.process(sender())
+        sim.process(receiver())
+        sim.run()
+        report = net.bandwidth_report(duration=1.0)
+        assert report[0][0] == pytest.approx(5.0)
+        assert report[1][1] == pytest.approx(5.0)

@@ -1,0 +1,244 @@
+"""Macroblock-layer syntax: encode/parse round-trips and state semantics."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.macroblock import (
+    CodingState,
+    Macroblock,
+    encode_macroblock,
+    make_skipped,
+    parse_macroblock,
+    parse_macroblock_body,
+)
+from repro.mpeg2.structures import PictureHeader
+
+
+def _header(ptype: PictureType, fc: int = 3) -> PictureHeader:
+    f_code = {
+        PictureType.I: ((15, 15), (15, 15)),
+        PictureType.P: ((fc, fc), (15, 15)),
+        PictureType.B: ((fc, fc), (fc, fc)),
+    }[ptype]
+    return PictureHeader(0, ptype, f_code=f_code)
+
+
+def _intra_mb(rng, qscale=5) -> Macroblock:
+    mb = Macroblock(address=-1, intra=True, cbp=0x3F, qscale_code=qscale)
+    blocks = []
+    for b in range(6):
+        scan = np.zeros(64, dtype=np.int32)
+        scan[0] = int(rng.integers(1, 255))
+        nz = rng.choice(np.arange(1, 64), size=int(rng.integers(0, 8)), replace=False)
+        scan[nz] = rng.integers(-30, 31, size=len(nz))
+        blocks.append(scan)
+    mb.blocks = blocks
+    return mb
+
+
+def _inter_mb(rng, ptype, qscale=5) -> Macroblock:
+    mb = Macroblock(address=-1, qscale_code=qscale)
+    mb.motion_forward = True
+    mb.mv_fwd = (int(rng.integers(-20, 21)), int(rng.integers(-20, 21)))
+    if ptype == PictureType.B and rng.random() < 0.5:
+        mb.motion_backward = True
+        mb.mv_bwd = (int(rng.integers(-20, 21)), int(rng.integers(-20, 21)))
+    cbp = 0
+    blocks = [None] * 6
+    for b in range(6):
+        if rng.random() < 0.5:
+            scan = np.zeros(64, dtype=np.int32)
+            pos = int(rng.integers(0, 64))
+            scan[pos] = int(rng.integers(1, 40)) * (1 if rng.random() < 0.5 else -1)
+            blocks[b] = scan
+            cbp |= 1 << (5 - b)
+    mb.cbp = cbp
+    mb.pattern = cbp != 0
+    mb.blocks = blocks
+    return mb
+
+
+def _assert_mb_equal(a: Macroblock, b: Macroblock):
+    assert a.type_flags() == b.type_flags()
+    assert a.qscale_code == b.qscale_code
+    assert a.mv_fwd == b.mv_fwd
+    assert a.mv_bwd == b.mv_bwd
+    assert a.cbp == b.cbp
+    for x, y in zip(a.blocks, b.blocks):
+        if x is None or y is None:
+            assert x is None and y is None
+        else:
+            assert (np.asarray(x) == np.asarray(y)).all()
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_intra_chain(self, seed):
+        """A chain of intra macroblocks exercises the DC predictors."""
+        rng = np.random.default_rng(seed)
+        hdr = _header(PictureType.I)
+        enc_state = CodingState(hdr, qscale_code=5)
+        mbs = [_intra_mb(rng) for _ in range(8)]
+        bw = BitWriter()
+        for mb in mbs:
+            encode_macroblock(bw, mb, 1, enc_state)
+        dec_state = CodingState(hdr, qscale_code=5)
+        br = BitReader(bw.getvalue())
+        for mb in mbs:
+            inc, out = parse_macroblock(br, dec_state)
+            assert inc == 1
+            _assert_mb_equal(mb, out)
+
+    @pytest.mark.parametrize("ptype", [PictureType.P, PictureType.B])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_inter_chain(self, ptype, seed):
+        """Inter macroblocks exercise the MV predictors."""
+        rng = np.random.default_rng(seed)
+        hdr = _header(ptype)
+        enc_state = CodingState(hdr, qscale_code=5)
+        mbs = [_inter_mb(rng, ptype) for _ in range(10)]
+        bw = BitWriter()
+        for mb in mbs:
+            encode_macroblock(bw, mb, 1, enc_state)
+        dec_state = CodingState(hdr, qscale_code=5)
+        br = BitReader(bw.getvalue())
+        for mb in mbs:
+            _, out = parse_macroblock(br, dec_state)
+            _assert_mb_equal(mb, out)
+
+    def test_quant_change_propagates(self):
+        rng = np.random.default_rng(0)
+        hdr = _header(PictureType.I)
+        enc_state = CodingState(hdr, qscale_code=5)
+        a = _intra_mb(rng, qscale=5)
+        b = _intra_mb(rng, qscale=9)
+        b.quant = True
+        c = _intra_mb(rng, qscale=9)  # inherits 9, no quant flag
+        bw = BitWriter()
+        for mb, inc in ((a, 1), (b, 1), (c, 1)):
+            encode_macroblock(bw, mb, inc, enc_state)
+        dec_state = CodingState(hdr, qscale_code=5)
+        br = BitReader(bw.getvalue())
+        outs = [parse_macroblock(br, dec_state)[1] for _ in range(3)]
+        assert [o.qscale_code for o in outs] == [5, 9, 9]
+
+    def test_address_increment_preserved(self):
+        rng = np.random.default_rng(1)
+        hdr = _header(PictureType.I)
+        enc_state = CodingState(hdr, qscale_code=5)
+        bw = BitWriter()
+        encode_macroblock(bw, _intra_mb(rng), 7, enc_state)
+        dec_state = CodingState(hdr, qscale_code=5)
+        inc, _ = parse_macroblock(BitReader(bw.getvalue()), dec_state)
+        assert inc == 7
+
+    def test_bit_extents_recorded(self):
+        rng = np.random.default_rng(2)
+        hdr = _header(PictureType.I)
+        enc_state = CodingState(hdr, qscale_code=5)
+        bw = BitWriter()
+        encode_macroblock(bw, _intra_mb(rng), 1, enc_state)
+        total_bits = len(bw)
+        dec_state = CodingState(hdr, qscale_code=5)
+        _, out = parse_macroblock(BitReader(bw.getvalue()), dec_state)
+        assert out.bit_start == 0
+        assert out.body_start == 1  # increment '1' is a single bit
+        assert out.bit_end == total_bits
+
+
+class TestStateSemantics:
+    def test_non_intra_resets_dc(self):
+        hdr = _header(PictureType.P)
+        state = CodingState(hdr, qscale_code=5)
+        state.dc_pred = [7, 8, 9]
+        rng = np.random.default_rng(0)
+        bw = BitWriter()
+        encode_macroblock(bw, _inter_mb(rng, PictureType.P), 1, state)
+        assert state.dc_pred == [128, 128, 128]
+
+    def test_intra_resets_mv(self):
+        hdr = _header(PictureType.P)
+        state = CodingState(hdr, qscale_code=5)
+        state.pmv = [[10, 12], [0, 0]]
+        rng = np.random.default_rng(0)
+        bw = BitWriter()
+        encode_macroblock(bw, _intra_mb(rng), 1, state)
+        assert state.pmv == [[0, 0], [0, 0]]
+
+    def test_p_no_mc_resets_mv(self):
+        hdr = _header(PictureType.P)
+        state = CodingState(hdr, qscale_code=5)
+        state.pmv = [[4, 4], [0, 0]]
+        mb = Macroblock(address=-1, pattern=True, cbp=0x20, qscale_code=5)
+        scan = np.zeros(64, dtype=np.int32)
+        scan[1] = 3
+        mb.blocks = [scan] + [None] * 5
+        bw = BitWriter()
+        encode_macroblock(bw, mb, 1, state)
+        assert state.pmv[0] == [0, 0]
+
+    def test_skipped_p_semantics(self):
+        hdr = _header(PictureType.P)
+        state = CodingState(hdr, qscale_code=5)
+        state.pmv = [[6, 6], [0, 0]]
+        state.dc_pred = [1, 2, 3]
+        smb = make_skipped(17, state)
+        assert smb.skipped and smb.motion_forward and smb.mv_fwd == (0, 0)
+        assert state.pmv[0] == [0, 0]
+        assert state.dc_pred == [128, 128, 128]
+
+    def test_skipped_b_semantics(self):
+        hdr = _header(PictureType.B)
+        state = CodingState(hdr, qscale_code=5)
+        state.pmv = [[6, 2], [4, 8]]
+        state.prev_forward = True
+        state.prev_backward = True
+        smb = make_skipped(3, state)
+        assert smb.mv_fwd == (6, 2) and smb.mv_bwd == (4, 8)
+        assert state.pmv == [[6, 2], [4, 8]]  # unchanged in B
+
+    def test_snapshot_restore_is_deep(self):
+        hdr = _header(PictureType.B)
+        state = CodingState(hdr, qscale_code=7)
+        state.pmv = [[1, 2], [3, 4]]
+        snap = state.snapshot()
+        state.pmv[0][0] = 99
+        state.dc_pred[0] = 99
+        state.restore(snap)
+        assert state.pmv == [[1, 2], [3, 4]]
+        assert state.dc_pred == [128, 128, 128]
+
+    def test_skipped_cannot_be_encoded(self):
+        hdr = _header(PictureType.P)
+        state = CodingState(hdr)
+        smb = make_skipped(0, state)
+        with pytest.raises(ValueError):
+            encode_macroblock(BitWriter(), smb, 1, state)
+
+
+@given(st.integers(1, 31), st.lists(st.integers(0, 254), min_size=1, max_size=12))
+@settings(max_examples=40, deadline=None)
+def test_dc_chain_roundtrip_property(qscale, dcs):
+    """Arbitrary DC sequences survive the differential chain."""
+    hdr = _header(PictureType.I)
+    enc_state = CodingState(hdr, qscale_code=qscale)
+    bw = BitWriter()
+    mbs = []
+    for dc in dcs:
+        mb = Macroblock(address=-1, intra=True, cbp=0x3F, qscale_code=qscale)
+        mb.blocks = []
+        for _ in range(6):
+            scan = np.zeros(64, dtype=np.int32)
+            scan[0] = dc
+            mb.blocks.append(scan)
+        mbs.append(mb)
+        encode_macroblock(bw, mb, 1, enc_state)
+    dec_state = CodingState(hdr, qscale_code=qscale)
+    br = BitReader(bw.getvalue())
+    for mb in mbs:
+        _, out = parse_macroblock(br, dec_state)
+        for b in range(6):
+            assert out.blocks[b][0] == mb.blocks[b][0]

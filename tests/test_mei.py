@@ -1,0 +1,80 @@
+"""MEI programs: dedup, duality, size accounting."""
+
+import pytest
+
+from repro.mpeg2.motion import Rect
+from repro.parallel.mei import (
+    BWD,
+    FWD,
+    INSTRUCTION_BYTES,
+    BlockXfer,
+    MEIBatch,
+    MEIProgram,
+)
+
+
+def _xfer(x0=0, y0=0, w=17, h=17, direction=FWD):
+    return BlockXfer(
+        luma=Rect(x0, y0, x0 + w, y0 + h),
+        chroma=Rect(x0 // 2, y0 // 2, x0 // 2 + w // 2, y0 // 2 + h // 2),
+        direction=direction,
+    )
+
+
+class TestBlockXfer:
+    def test_payload_bytes(self):
+        x = _xfer(w=16, h=16)
+        assert x.payload_bytes == 16 * 16 + 2 * 8 * 8
+
+    def test_hashable_for_dedup(self):
+        assert _xfer() == _xfer()
+        assert len({_xfer(), _xfer()}) == 1
+
+
+class TestMEIBatch:
+    def test_send_recv_duality(self):
+        batch = MEIBatch(0, 4)
+        batch.add_exchange(0, 1, _xfer())
+        batch.add_exchange(2, 3, _xfer(32, 0))
+        sends = [
+            (src, dst, x)
+            for src in range(4)
+            for x, dst in batch.program(src).sends
+        ]
+        recvs = [
+            (src, dst, x)
+            for dst in range(4)
+            for x, src in batch.program(dst).recvs
+        ]
+        assert sorted(sends, key=repr) == sorted(recvs, key=repr)
+
+    def test_duplicates_collapse(self):
+        batch = MEIBatch(0, 2)
+        batch.add_exchange(0, 1, _xfer())
+        batch.add_exchange(0, 1, _xfer())
+        assert batch.total_exchanges() == 1
+        assert len(batch.program(0).sends) == 1
+
+    def test_distinct_directions_kept(self):
+        batch = MEIBatch(0, 2)
+        batch.add_exchange(0, 1, _xfer(direction=FWD))
+        batch.add_exchange(0, 1, _xfer(direction=BWD))
+        assert batch.total_exchanges() == 2
+
+    def test_self_exchange_rejected(self):
+        with pytest.raises(ValueError):
+            MEIBatch(0, 2).add_exchange(1, 1, _xfer())
+
+    def test_instruction_byte_accounting(self):
+        batch = MEIBatch(0, 2)
+        batch.add_exchange(0, 1, _xfer())
+        assert batch.program(0).instruction_bytes == INSTRUCTION_BYTES
+        assert batch.program(1).instruction_bytes == INSTRUCTION_BYTES
+
+    def test_payload_byte_sums(self):
+        batch = MEIBatch(0, 3)
+        batch.add_exchange(0, 1, _xfer())
+        batch.add_exchange(2, 1, _xfer(48, 0))
+        p1 = batch.program(1)
+        assert p1.recv_payload_bytes == 2 * _xfer().payload_bytes
+        assert p1.send_payload_bytes == 0

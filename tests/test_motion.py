@@ -1,0 +1,171 @@
+"""Motion compensation, estimation, and reference-region analysis."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.motion import (
+    Rect,
+    chroma_mv,
+    chroma_reference_rect,
+    estimate_mv,
+    mb_rect,
+    predict_macroblock,
+    predict_plane,
+    reference_rect,
+)
+
+
+class TestRect:
+    def test_basic_geometry(self):
+        r = Rect(2, 3, 10, 7)
+        assert r.width == 8 and r.height == 4 and r.area == 32
+
+    def test_intersection(self):
+        a, b = Rect(0, 0, 10, 10), Rect(5, 5, 15, 15)
+        assert a.intersect(b) == Rect(5, 5, 10, 10)
+
+    def test_empty_intersection(self):
+        assert Rect(0, 0, 4, 4).intersect(Rect(8, 8, 12, 12)).is_empty()
+        assert Rect(0, 0, 4, 4).intersect(Rect(4, 0, 8, 4)).is_empty()
+
+    def test_contains(self):
+        assert Rect(0, 0, 10, 10).contains(Rect(2, 2, 8, 8))
+        assert not Rect(0, 0, 10, 10).contains(Rect(2, 2, 12, 8))
+
+    def test_mb_rect(self):
+        assert mb_rect(2, 3) == Rect(32, 48, 48, 64)
+
+
+class TestReferenceRect:
+    def test_zero_mv_is_own_square(self):
+        assert reference_rect(1, 1, (0, 0)) == Rect(16, 16, 32, 32)
+
+    def test_integer_mv_shifts(self):
+        assert reference_rect(1, 1, (4, -6)) == Rect(18, 13, 34, 29)
+
+    def test_half_pel_widens(self):
+        r = reference_rect(0, 0, (1, 0))
+        assert (r.width, r.height) == (17, 16)
+        r = reference_rect(0, 0, (1, 3))
+        assert (r.width, r.height) == (17, 17)
+
+    def test_negative_half_pel_floor(self):
+        # mv -1 half-pel: integer part -1 (floor), fractional part set
+        r = reference_rect(1, 0, (-1, 0))
+        assert r.x0 == 15 and r.width == 17
+
+    def test_chroma_rect_tracks_mv(self):
+        r = chroma_reference_rect(1, 1, (0, 0))
+        assert r == Rect(8, 8, 16, 16)
+        r = chroma_reference_rect(0, 0, (5, 0))  # chroma mv = 2 (half-pel)
+        assert r.x0 == 1 and r.width == 8
+
+
+class TestChromaMV:
+    @pytest.mark.parametrize(
+        "luma,expected",
+        [((0, 0), (0, 0)), ((4, 6), (2, 3)), ((5, 7), (2, 3)),
+         ((-4, -6), (-2, -3)), ((-5, -7), (-2, -3)), ((3, -3), (1, -1))],
+    )
+    def test_truncates_toward_zero(self, luma, expected):
+        assert chroma_mv(luma) == expected
+
+
+class TestPredictPlane:
+    def _plane(self, w=64, h=48, seed=0):
+        return np.random.default_rng(seed).integers(0, 256, (h, w)).astype(np.uint8)
+
+    def test_integer_mv_is_copy(self):
+        p = self._plane()
+        pred = predict_plane(p, 16, 16, 16, 16, 8, -4)  # +4,-2 px
+        assert (pred == p[14:30, 20:36]).all()
+
+    def test_horizontal_half_pel_average(self):
+        p = self._plane()
+        pred = predict_plane(p, 16, 16, 16, 16, 1, 0)
+        a = p[16:32, 16:32].astype(int)
+        b = p[16:32, 17:33].astype(int)
+        assert (pred == (a + b + 1) // 2).all()
+
+    def test_vertical_half_pel_average(self):
+        p = self._plane()
+        pred = predict_plane(p, 16, 16, 16, 16, 0, 1)
+        a = p[16:32, 16:32].astype(int)
+        b = p[17:33, 16:32].astype(int)
+        assert (pred == (a + b + 1) // 2).all()
+
+    def test_diagonal_half_pel_bilinear(self):
+        p = self._plane()
+        pred = predict_plane(p, 16, 16, 8, 8, 1, 1)
+        r = p[16:25, 16:25].astype(int)
+        expect = (r[:-1, :-1] + r[:-1, 1:] + r[1:, :-1] + r[1:, 1:] + 2) >> 2
+        assert (pred == expect).all()
+
+    def test_out_of_bounds_raises(self):
+        p = self._plane()
+        with pytest.raises(ValueError):
+            predict_plane(p, 0, 0, 16, 16, -1, 0)
+        with pytest.raises(ValueError):
+            predict_plane(p, 48, 32, 16, 16, 1, 0)  # half-pel needs one extra
+
+
+class TestPredictMacroblock:
+    def _frame(self, seed=0):
+        rng = np.random.default_rng(seed)
+        return Frame(
+            rng.integers(0, 256, (48, 64), dtype=np.uint8).astype(np.uint8),
+            rng.integers(0, 256, (24, 32), dtype=np.uint8).astype(np.uint8),
+            rng.integers(0, 256, (24, 32), dtype=np.uint8).astype(np.uint8),
+        )
+
+    def test_forward_only(self):
+        f = self._frame()
+        y, cb, cr = predict_macroblock(f, None, 1, 1, (0, 0), None)
+        assert (y == f.y[16:32, 16:32]).all()
+        assert (cb == f.cb[8:16, 8:16]).all()
+
+    def test_bidirectional_average(self):
+        a, b = self._frame(1), self._frame(2)
+        y, _, _ = predict_macroblock(a, b, 1, 1, (0, 0), (0, 0))
+        expect = (a.y[16:32, 16:32].astype(int) + b.y[16:32, 16:32] + 1) >> 1
+        assert (y == expect).all()
+
+    def test_no_mv_raises(self):
+        with pytest.raises(ValueError):
+            predict_macroblock(self._frame(), None, 0, 0, None, None)
+
+
+class TestEstimateMV:
+    def test_finds_known_translation(self):
+        rng = np.random.default_rng(0)
+        ref = rng.integers(0, 256, (96, 128)).astype(np.uint8)
+        cur = np.roll(np.roll(ref, 3, axis=0), -5, axis=1)  # moved by (-5, +3)
+        mv = estimate_mv(cur, ref, 3, 2, search_range=7)
+        assert mv == (10, -6)  # half-pel units: +5 px right in ref, -3 down
+
+    def test_zero_motion_preferred_on_static(self):
+        rng = np.random.default_rng(1)
+        ref = rng.integers(0, 256, (64, 64)).astype(np.uint8)
+        assert estimate_mv(ref, ref, 1, 1, search_range=7) == (0, 0)
+
+    def test_result_always_legal(self):
+        """MVs returned near frame edges must be usable by predict_plane."""
+        rng = np.random.default_rng(2)
+        ref = rng.integers(0, 256, (48, 48)).astype(np.uint8)
+        cur = rng.integers(0, 256, (48, 48)).astype(np.uint8)
+        for mbx in range(3):
+            for mby in range(3):
+                mv = estimate_mv(cur, ref, mbx, mby, search_range=10)
+                predict_plane(ref, mbx * 16, mby * 16, 16, 16, mv[0], mv[1])
+
+    def test_half_pel_refinement(self):
+        """A half-pel shifted pattern estimates a fractional vector."""
+        x = np.arange(128, dtype=np.float64)
+        row = 100 + 50 * np.sin(x / 5.0)
+        ref = np.tile(row, (48, 1)).astype(np.uint8)
+        row_half = 100 + 50 * np.sin((x + 0.5) / 5.0)
+        cur = np.tile(row_half, (48, 1)).astype(np.uint8)
+        mv = estimate_mv(cur, ref, 3, 1, search_range=4)
+        # vertically constant pattern: any vertical half-pel ties
+        assert mv[0] == 1 and abs(mv[1]) <= 1

@@ -1,0 +1,65 @@
+"""Multi-display decoder nodes (paper future work §6, first item)."""
+
+import pytest
+
+from repro.parallel.system import TimedSystem
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+S8 = stream_by_id(8)
+S16 = stream_by_id(16)
+
+
+def _run(spec, m, n, k, tpn, n_frames=16):
+    layout = TileLayout(spec.width, spec.height, m, n)
+    return TimedSystem(spec, layout, k=k, n_frames=n_frames, tiles_per_node=tpn)
+
+
+class TestGrouping:
+    def test_node_count_shrinks(self):
+        sys1 = _run(S8, 4, 4, 2, 1)
+        sys2 = _run(S8, 4, 4, 2, 2)
+        sys4 = _run(S8, 4, 4, 2, 4)
+        assert len(sys1.decoder_ids) == 16
+        assert len(sys2.decoder_ids) == 8
+        assert len(sys4.decoder_ids) == 4
+
+    def test_uneven_grouping(self):
+        sys3 = _run(S8, 3, 2, 1, 4)  # 6 tiles over groups of 4 -> 2 nodes
+        assert len(sys3.decoder_ids) == 2
+        assert sys3.tile_groups == [[0, 1, 2, 3], [4, 5]]
+
+    def test_every_tile_mapped(self):
+        sys2 = _run(S8, 4, 4, 2, 3)
+        assert sorted(sys2.node_of_tile) == list(range(16))
+        assert set(sys2.node_of_tile.values()) == set(sys2.decoder_ids)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(ValueError):
+            _run(S8, 2, 2, 1, 0)
+
+
+class TestBehaviour:
+    def test_runs_and_stays_ordered(self):
+        res = _run(S16, 4, 4, 3, 2).run()
+        assert res.flow_control_violations == 0
+        assert len(res.display_times) == 16
+        assert res.display_times == sorted(res.display_times)
+
+    def test_fewer_nodes_lower_fps(self):
+        """Decode is CPU-bound, so consolidating tiles trades nodes for
+        frame rate — quantifying the paper's open question."""
+        f1 = _run(S16, 4, 4, 4, 1).run().fps
+        f2 = _run(S16, 4, 4, 4, 2).run().fps
+        assert f2 < f1
+        # ...but better than half: intra-node exchanges leave the network
+        assert f2 > 0.45 * f1
+
+    def test_single_node_wall(self):
+        """Degenerate case: one PC drives the whole 2x2 wall."""
+        res = _run(S8, 2, 2, 1, 4).run()
+        assert len(res.breakdowns) == 1
+        assert res.fps > 0
+        # nothing to exchange over the network between co-located tiles
+        bd = next(iter(res.breakdowns.values()))
+        assert bd.wait_remote == 0.0

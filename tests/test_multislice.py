@@ -1,0 +1,105 @@
+"""Multiple slices per macroblock row — resync points within rows.
+
+MPEG-2 Main Profile lets an encoder restart slices within a row.  The
+splitter must never fuse runs across a slice boundary (the bits in between
+are start codes, not macroblock data), and the first macroblock of a slice
+positions the slice without implying skipped macroblocks.
+"""
+
+import pytest
+
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.mpeg2.validate import validate_stream
+from repro.parallel.mb_splitter import MacroblockSplitter
+from repro.parallel.pipeline import ParallelDecoder
+from repro.parallel.subpicture import RunRecord
+from repro.wall.layout import TileLayout
+from repro.workloads.synthetic import moving_pattern_frames
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return moving_pattern_frames(128, 64, 7, seed=13)
+
+
+def _stream(clip, spr):
+    return Encoder(
+        EncoderConfig(gop_size=7, b_frames=2, slices_per_row=spr)
+    ).encode(clip)
+
+
+class TestEncoding:
+    def test_slice_count(self, clip):
+        for spr in (1, 2, 4):
+            stream = _stream(clip, spr)
+            seq, pics = PictureScanner(stream).scan()
+            parser = MacroblockParser(seq)
+            parsed = parser.parse_picture(pics[0].data)
+            n_slices = len({it.slice_index for it in parsed.items})
+            assert n_slices == spr * (seq.height // 16)
+
+    def test_validates(self, clip):
+        report = validate_stream(_stream(clip, 3))
+        assert report.ok, [str(f) for f in report.findings]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            EncoderConfig(slices_per_row=0)
+
+    def test_more_slices_cost_bits(self, clip):
+        assert len(_stream(clip, 4)) > len(_stream(clip, 1))
+
+
+class TestDecoding:
+    @pytest.mark.parametrize("spr", [2, 3, 4])
+    def test_sequential_equals_single_slice(self, clip, spr):
+        """Slice structure changes bits, never pixels."""
+        a = decode_stream(_stream(clip, 1))
+        b = decode_stream(_stream(clip, spr))
+        assert all(x.max_abs_diff(y) == 0 for x, y in zip(a, b))
+
+    def test_predictors_reset_per_slice(self, clip):
+        stream = _stream(clip, 2)
+        seq, pics = PictureScanner(stream).scan()
+        parsed = MacroblockParser(seq).parse_picture(pics[0].data)
+        mb_w = seq.width // 16
+        for it in parsed.items:
+            col = it.mb.address % mb_w
+            if col in (0, mb_w // 2) and not it.mb.skipped:
+                assert it.state_before["dc_pred"] == [128, 128, 128]
+
+
+class TestSplitter:
+    @pytest.mark.parametrize("spr", [2, 4])
+    def test_runs_never_cross_slices(self, clip, spr):
+        stream = _stream(clip, spr)
+        seq, pics = PictureScanner(stream).scan()
+        layout = TileLayout(seq.width, seq.height, 2, 1)
+        splitter = MacroblockSplitter(seq, layout)
+        parser = MacroblockParser(seq)
+        for i, unit in enumerate(pics):
+            parsed = parser.parse_picture(unit.data)
+            slice_of = {it.mb.address: it.slice_index for it in parsed.items}
+            result = splitter.split(unit, i)
+            for sp in result.subpictures.values():
+                for rec in sp.records:
+                    if isinstance(rec, RunRecord):
+                        slices = {
+                            slice_of[a]
+                            for a in range(
+                                rec.sph.address, rec.sph.address + rec.n_total
+                            )
+                        }
+                        assert len(slices) == 1
+
+    @pytest.mark.parametrize("spr", [2, 3])
+    @pytest.mark.parametrize("m,n,k", [(2, 1, 1), (2, 2, 2), (4, 2, 2)])
+    def test_parallel_bit_exact(self, clip, spr, m, n, k):
+        """The headline invariant holds for multi-slice streams too."""
+        stream = _stream(clip, spr)
+        ref = decode_stream(stream)
+        layout = TileLayout(128, 64, m, n)
+        out = ParallelDecoder(layout, k=k).decode(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))

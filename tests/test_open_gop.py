@@ -1,0 +1,106 @@
+"""Open GOPs (§6.3.8): leading B pictures referencing across GOPs."""
+
+import pytest
+
+from repro.mpeg2 import psnr
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.decoder import Decoder, decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig, plan_gop_structure
+from repro.mpeg2.validate import validate_stream
+from repro.parallel.functional_baselines import GopParallelDecoder
+from repro.parallel.pipeline import ParallelDecoder
+from repro.wall.layout import TileLayout
+from repro.workloads.synthetic import moving_pattern_frames
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return moving_pattern_frames(96, 64, 14, seed=14)
+
+
+@pytest.fixture(scope="module")
+def open_stream(clip):
+    return Encoder(
+        EncoderConfig(gop_size=6, b_frames=2, closed_gop=False)
+    ).encode(clip)
+
+
+class TestPlanning:
+    def test_leading_bs_cross_reference(self):
+        plans = plan_gop_structure(
+            14, EncoderConfig(gop_size=6, b_frames=2, closed_gop=False)
+        )
+        by_display = {p.display_index: p for p in plans}
+        # B4/B5 display before I6 but reference back to P3
+        assert by_display[6].picture_type == PictureType.I
+        for b in (4, 5):
+            p = by_display[b]
+            assert p.picture_type == PictureType.B
+            assert p.fwd_ref == 3 and p.bwd_ref == 6
+
+    def test_every_frame_covered(self):
+        for n in (7, 12, 14, 20):
+            plans = plan_gop_structure(
+                n, EncoderConfig(gop_size=6, b_frames=2, closed_gop=False)
+            )
+            assert sorted(p.display_index for p in plans) == list(range(n))
+
+    def test_temporal_references_unique_per_gop(self):
+        plans = plan_gop_structure(
+            18, EncoderConfig(gop_size=6, b_frames=2, closed_gop=False)
+        )
+        gops, cur = [], []
+        for p in plans:
+            if p.new_gop and cur:
+                gops.append(cur)
+                cur = []
+            cur.append(p.temporal_reference)
+        gops.append(cur)
+        for trefs in gops:
+            assert len(set(trefs)) == len(trefs)
+
+
+class TestDecoding:
+    def test_validates_and_decodes(self, clip, open_stream):
+        assert validate_stream(open_stream).ok
+        out = decode_stream(open_stream)
+        assert len(out) == len(clip)
+        assert min(psnr(a, b) for a, b in zip(clip, out)) > 30
+
+    def test_display_order_correct(self, clip, open_stream):
+        """Every decoded frame is closest to its own source frame."""
+        import numpy as np
+
+        out = decode_stream(open_stream)
+        for i, dec in enumerate(out):
+            errs = [
+                np.mean(np.abs(dec.y.astype(int) - src.y.astype(int)))
+                for src in clip
+            ]
+            assert int(np.argmin(errs)) == i
+
+    def test_parallel_bit_exact(self, open_stream):
+        ref = decode_stream(open_stream)
+        layout = TileLayout(96, 64, 2, 2)
+        out = ParallelDecoder(layout, k=2).decode(open_stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
+    def test_gop_parallel_baseline_rejects_open(self, open_stream):
+        """GOP-level parallelism requires closed GOPs — the baseline must
+        refuse rather than decode garbage."""
+        with pytest.raises(ValueError):
+            GopParallelDecoder(2).decode(open_stream)
+
+    def test_seek_into_open_gop_rejected(self, open_stream):
+        with pytest.raises(ValueError):
+            Decoder().decode_from_gop(open_stream, 1)
+
+    def test_open_gop_saves_bits(self, clip):
+        """Open GOPs replace a forced tail P per GOP with cheap B's."""
+        open_ = Encoder(
+            EncoderConfig(gop_size=6, b_frames=2, closed_gop=False)
+        ).encode(clip)
+        closed = Encoder(
+            EncoderConfig(gop_size=6, b_frames=2, closed_gop=True)
+        ).encode(clip)
+        assert len(open_) < len(closed)

@@ -1,0 +1,114 @@
+"""Macroblock-level parsing: coverage, bit extents, state snapshots."""
+
+import numpy as np
+import pytest
+
+from repro.bitstream import BitReader
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+
+
+@pytest.fixture(scope="module")
+def parsed_pictures(small_stream_module):
+    seq, pics = PictureScanner(small_stream_module).scan()
+    parser = MacroblockParser(seq)
+    return seq, [parser.parse_picture(u.data) for u in pics]
+
+
+@pytest.fixture(scope="session")
+def small_stream_module(small_stream):
+    return small_stream
+
+
+class TestCoverage:
+    def test_every_macroblock_appears_once(self, parsed_pictures):
+        seq, parsed = parsed_pictures
+        n_mbs = (seq.width // 16) * (seq.height // 16)
+        for pic in parsed:
+            addresses = [it.mb.address for it in pic.items]
+            assert sorted(addresses) == list(range(n_mbs))
+
+    def test_counts_consistent(self, parsed_pictures):
+        _, parsed = parsed_pictures
+        for pic in parsed:
+            skipped = sum(1 for it in pic.items if it.mb.skipped)
+            assert skipped == pic.n_skipped
+            assert pic.n_coded == len(pic.items) - skipped
+            assert len(pic.coded_items()) == pic.n_coded
+
+    def test_slice_rows_match_addresses(self, parsed_pictures):
+        seq, parsed = parsed_pictures
+        mb_w = seq.width // 16
+        for pic in parsed:
+            for it in pic.items:
+                assert it.mb.address // mb_w == it.slice_row
+
+
+class TestBitExtents:
+    def test_extents_ordered_and_disjoint(self, parsed_pictures):
+        _, parsed = parsed_pictures
+        for pic in parsed:
+            prev_end = 0
+            for it in pic.items:
+                if it.mb.skipped:
+                    continue
+                mb = it.mb
+                assert mb.bit_start < mb.body_start <= mb.bit_end
+                assert mb.bit_start >= prev_end
+                prev_end = mb.bit_end
+
+    def test_body_parses_same_as_original(self, parsed_pictures):
+        """Re-parsing a coded macroblock's body bits from its snapshot
+        reproduces the same macroblock — the property the sub-picture
+        decoder relies on."""
+        from repro.mpeg2.macroblock import CodingState, parse_macroblock_body
+
+        _, parsed = parsed_pictures
+        pic = parsed[0]
+        for it in pic.coded_items()[:20]:
+            state = CodingState(picture=pic.header)
+            state.restore(it.state_before)
+            br = BitReader(pic.data, start_bit=it.mb.body_start)
+            mb = parse_macroblock_body(br, state)
+            assert mb.type_flags() == it.mb.type_flags()
+            assert mb.mv_fwd == it.mb.mv_fwd
+            assert br.pos == it.mb.bit_end
+
+
+class TestStateSnapshots:
+    def test_snapshot_fields_complete(self, parsed_pictures):
+        _, parsed = parsed_pictures
+        snap = parsed[0].items[0].state_before
+        assert set(snap) == {
+            "qscale_code",
+            "dc_pred",
+            "pmv",
+            "prev_forward",
+            "prev_backward",
+        }
+
+    def test_slice_start_state_is_reset(self, parsed_pictures):
+        seq, parsed = parsed_pictures
+        mb_w = seq.width // 16
+        for pic in parsed:
+            for it in pic.items:
+                if it.mb.address % mb_w == 0 and not it.mb.skipped:
+                    assert it.state_before["dc_pred"] == [128, 128, 128]
+                    assert it.state_before["pmv"] == [[0, 0], [0, 0]]
+
+
+class TestPictureTypes:
+    def test_types_match_encoder_plan(self, parsed_pictures):
+        _, parsed = parsed_pictures
+        # coded order for gop_size=6, b_frames=2, 8 frames:
+        # GOP0: I0 P3 B1 B2 P5 B4 ; GOP1: I6 P7
+        got = [p.header.picture_type.name for p in parsed]
+        assert got == ["I", "P", "B", "B", "P", "B", "I", "P"]
+
+    def test_b_pictures_contain_backward_vectors(self, parsed_pictures):
+        _, parsed = parsed_pictures
+        b_pics = [p for p in parsed if p.header.picture_type == PictureType.B]
+        assert b_pics
+        assert any(
+            it.mb.motion_backward for p in b_pics for it in p.items
+        )

@@ -1,0 +1,86 @@
+"""Odds and ends of the perf layer: config tables, helpers, invariants."""
+
+import pytest
+
+from repro.perf import experiments as E
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import TABLE4_STREAMS, stream_by_id
+
+
+class TestExperimentConfigTables:
+    def test_table6_covers_all_streams(self):
+        assert sorted(E.TABLE6_CONFIGS) == [s.sid for s in TABLE4_STREAMS]
+
+    def test_configs_fit_the_wall(self):
+        for sid, (m, n) in E.TABLE6_CONFIGS.items():
+            assert 1 <= m <= 6 and 1 <= n <= 4  # the 6x4 Princeton wall
+
+    def test_configs_scale_with_resolution(self):
+        """Bigger streams get at least as many tiles."""
+        tiles = {
+            sid: m * n for sid, (m, n) in E.TABLE6_CONFIGS.items()
+        }
+        assert tiles[16] == 16
+        assert tiles[1] == 1
+        assert tiles[16] >= tiles[13] >= tiles[10] >= tiles[8]
+
+    def test_screen_configs_ordered_by_size(self):
+        sizes = [m * n for m, n in E.SCREEN_CONFIGS]
+        assert sizes == sorted(sizes)
+        assert sizes[0] == 1 and sizes[-1] == 16
+
+
+class TestLayoutsMatchStreams:
+    @pytest.mark.parametrize("sid", [s.sid for s in TABLE4_STREAMS])
+    def test_every_stream_layout_constructible(self, sid):
+        spec = stream_by_id(sid)
+        m, n = E.TABLE6_CONFIGS[sid]
+        layout = TileLayout(spec.width, spec.height, m, n)
+        assert layout.n_tiles == m * n
+        loads = spec.tile_workloads(layout)
+        assert sum(w["mbs"] for w in loads.values()) >= spec.mbs_per_frame
+
+
+class TestCostModelSanity:
+    def test_costs_positive(self):
+        c = CostModel()
+        for name in (
+            "decode_mb_fixed",
+            "decode_per_bit",
+            "display_mb",
+            "split_mb_fixed",
+            "split_per_bit",
+            "serve_per_byte",
+            "mei_per_instruction",
+            "ack_cost",
+        ):
+            assert getattr(c, name) > 0, name
+
+    def test_console_slower_than_workers(self):
+        assert CostModel().root_speed < 1.0
+
+    def test_t_s_monotone_in_resolution(self):
+        c = CostModel()
+        assert c.t_s(stream_by_id(16)) > c.t_s(stream_by_id(8)) > c.t_s(
+            stream_by_id(1)
+        )
+
+    def test_t_d_decreases_with_tiles(self):
+        c = CostModel()
+        spec = stream_by_id(16)
+        t1 = c.t_d(spec, TileLayout(spec.width, spec.height, 1, 1))
+        t4 = c.t_d(spec, TileLayout(spec.width, spec.height, 2, 2))
+        t16 = c.t_d(spec, TileLayout(spec.width, spec.height, 4, 4))
+        assert t1 > t4 > t16
+
+    def test_paper_anchor_ratio(self):
+        """The §5.3 calibration anchor: splitting a picture costs roughly
+        a quarter of decoding it (saturation beyond ~4 decoders)."""
+        c = CostModel()
+        spec = stream_by_id(1)
+        bits = spec.avg_frame_bytes * 8
+        ratio = c.t_split_picture(spec.mbs_per_frame, bits) / c.t_decode_mbs(
+            spec.mbs_per_frame, bits
+        )
+        assert 0.15 < ratio < 0.4

@@ -1,0 +1,107 @@
+"""THE integration tests: parallel 1-k-(m,n) decode == sequential decode,
+bit-exact, across tile configurations, splitter counts, projector overlaps,
+GOP structures, and content types."""
+
+import pytest
+
+from repro.mpeg2.decoder import decode_stream
+from repro.parallel.pipeline import ParallelDecoder
+from repro.parallel.root_splitter import RootSplitter
+from repro.wall.layout import TileLayout
+
+from tests.conftest import assert_frames_equal
+
+
+def _run(stream, m, n, k=1, overlap=0, verify_overlaps=True):
+    ref = decode_stream(stream)
+    seq_w = ref[0].width
+    seq_h = ref[0].height
+    layout = TileLayout(seq_w, seq_h, m, n, overlap=overlap)
+    pd = ParallelDecoder(layout, k=k, verify_overlaps=verify_overlaps)
+    out = pd.decode(stream)
+    assert len(out) == len(ref)
+    for i, (a, b) in enumerate(zip(ref, out)):
+        assert_frames_equal(a, b, f"{m}x{n} k={k} ov={overlap} frame {i}")
+    return pd
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize("m,n", [(1, 1), (2, 1), (1, 2), (2, 2), (3, 2)])
+    def test_configs_match_sequential(self, small_stream, m, n):
+        _run(small_stream, m, n, k=1)
+
+    @pytest.mark.parametrize("k", [1, 2, 3, 5])
+    def test_splitter_count_is_transparent(self, small_stream, k):
+        _run(small_stream, 2, 2, k=k)
+
+    @pytest.mark.parametrize("overlap", [2, 8, 16])
+    def test_projector_overlap(self, small_stream, overlap):
+        _run(small_stream, 2, 2, k=2, overlap=overlap)
+
+    def test_i_only_stream(self, i_only_stream):
+        _run(i_only_stream, 2, 2, k=2)
+
+    def test_ip_stream(self, ip_stream):
+        _run(ip_stream, 3, 2, k=2)
+
+    def test_localized_detail_content(self, detail_stream):
+        _run(detail_stream, 2, 2, k=2, overlap=8)
+
+    def test_uneven_tiling(self, detail_stream):
+        # 128x96: 3 columns of ~42px -> partition lines not MB aligned
+        _run(detail_stream, 3, 3, k=2)
+
+
+class TestPipelineStats:
+    def test_exchanges_happen_with_multiple_tiles(self, small_stream):
+        pd = _run(small_stream, 2, 2, k=1)
+        assert pd.stats.exchange_count > 0
+        assert pd.stats.exchange_bytes > 0
+
+    def test_no_exchanges_single_tile(self, small_stream):
+        pd = _run(small_stream, 1, 1, k=1)
+        assert pd.stats.exchange_count == 0
+
+    def test_round_robin_balances_splitters(self, small_stream):
+        pd = _run(small_stream, 2, 1, k=3)
+        counts = pd.stats.splitter_pictures
+        assert max(counts) - min(counts) <= 1
+        assert sum(counts) == pd.stats.pictures
+
+    def test_sph_overhead_positive_but_bounded(self, small_stream):
+        pd = _run(small_stream, 2, 2, k=1)
+        assert 0.0 < pd.stats.sph_overhead_fraction < 2.0
+
+    def test_decoder_stats_collected(self, small_stream):
+        pd = _run(small_stream, 2, 2, k=1)
+        assert set(pd.stats.decoder_stats) == {0, 1, 2, 3}
+        total_served = sum(
+            s.serve_bytes for s in pd.stats.decoder_stats.values()
+        )
+        total_fetched = sum(
+            s.fetch_bytes for s in pd.stats.decoder_stats.values()
+        )
+        assert total_served == total_fetched == pd.stats.exchange_bytes
+
+
+class TestRootSplitter:
+    def test_round_robin_with_nsid(self, small_stream):
+        root = RootSplitter(small_stream, k=3)
+        routed = list(root.route())
+        for i, r in enumerate(routed):
+            assert r.splitter == i % 3
+            assert r.nsid == (i + 1) % 3
+            assert r.picture_index == i
+
+    def test_single_splitter_nsid_self(self, small_stream):
+        for r in RootSplitter(small_stream, k=1).route():
+            assert r.splitter == 0 and r.nsid == 0
+
+    def test_rejects_zero_splitters(self, small_stream):
+        with pytest.raises(ValueError):
+            RootSplitter(small_stream, k=0)
+
+    def test_schedule_covers_all_pictures(self, small_stream):
+        root = RootSplitter(small_stream, k=2)
+        sched = root.schedule()
+        assert [i for i, _ in sched] == list(range(len(root)))

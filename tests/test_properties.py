@@ -1,0 +1,137 @@
+"""Cross-cutting property-based tests (hypothesis).
+
+These complement the per-module property tests with whole-subsystem
+invariants over randomized inputs: arbitrary clips survive the
+encode→parallel-decode path, arbitrary layouts keep their geometric
+invariants, and the sub-picture machinery covers every macroblock exactly
+once whatever the tiling.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.parallel.mb_splitter import MacroblockSplitter
+from repro.parallel.pipeline import ParallelDecoder
+from repro.parallel.subpicture import RunRecord, SkipRecord
+from repro.wall.layout import TileLayout
+
+
+def _random_clip(rng: np.random.Generator, w: int, h: int, n: int):
+    """Random-ish frames with temporal coherence (so P/B pictures bite)."""
+    base = rng.integers(16, 235, (h, w), dtype=np.uint8).astype(np.uint8)
+    frames = []
+    for t in range(n):
+        y = np.roll(base, shift=3 * t, axis=1).copy()
+        y[: h // 4, : w // 4] = rng.integers(16, 235)
+        cb = np.full((h // 2, w // 2), 120, np.uint8)
+        cr = np.full((h // 2, w // 2), 130, np.uint8)
+        frames.append(Frame(y, cb, cr))
+    return frames
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    mbw=st.integers(2, 5),
+    mbh=st.integers(2, 4),
+    gop=st.integers(1, 5),
+    b_frames=st.integers(0, 2),
+)
+@settings(
+    max_examples=12,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_clip_roundtrips_through_parallel_wall(
+    seed, mbw, mbh, gop, b_frames
+):
+    """For arbitrary clip content, GOP structure, and tiling, the parallel
+    decode equals the sequential decode bit for bit."""
+    rng = np.random.default_rng(seed)
+    w, h = 16 * mbw, 16 * mbh
+    frames = _random_clip(rng, w, h, n=max(gop, b_frames + 2))
+    stream = Encoder(
+        EncoderConfig(gop_size=gop, b_frames=b_frames, search_range=4)
+    ).encode(frames)
+    ref = decode_stream(stream)
+    m = int(rng.integers(1, min(3, mbw) + 1))
+    n = int(rng.integers(1, min(3, mbh) + 1))
+    k = int(rng.integers(1, 4))
+    layout = TileLayout(w, h, m, n)
+    out = ParallelDecoder(layout, k=k).decode(stream)
+    assert len(out) == len(ref)
+    for a, b in zip(ref, out):
+        assert a.max_abs_diff(b) == 0
+
+
+@given(
+    mbw=st.integers(2, 12),
+    mbh=st.integers(2, 10),
+    m=st.integers(1, 4),
+    n=st.integers(1, 4),
+    overlap=st.integers(0, 12),
+)
+@settings(max_examples=60, deadline=None)
+def test_layout_invariants(mbw, mbh, m, n, overlap):
+    w, h = 16 * mbw, 16 * mbh
+    if m > 1 and overlap >= w // m:
+        return
+    if n > 1 and overlap >= h // n:
+        return
+    layout = TileLayout(w, h, m, n, overlap=overlap)
+    # partitions tile the raster
+    area = sum(t.partition.area for t in layout)
+    assert area == w * h
+    for t in layout:
+        # rect within the raster and containing its partition
+        assert 0 <= t.rect.x0 and t.rect.x1 <= w
+        assert 0 <= t.rect.y0 and t.rect.y1 <= h
+        assert t.rect.x0 <= t.partition.x0 and t.rect.x1 >= t.partition.x1
+        # coverage is the MB-aligned closure of rect
+        assert t.coverage.contains(t.rect)
+        assert t.coverage.x1 - t.rect.x1 < 16 and t.rect.x0 - t.coverage.x0 < 16
+    # every macroblock is displayed somewhere
+    for my in range(mbh):
+        for mx in range(mbw):
+            assert layout.tiles_for_mb(mx, my)
+
+
+@given(
+    m=st.integers(1, 3),
+    n=st.integers(1, 3),
+    overlap=st.sampled_from([0, 4, 16]),
+)
+@settings(max_examples=15, deadline=None, suppress_health_check=[HealthCheck.function_scoped_fixture])
+def test_subpicture_coverage_property(small_stream, m, n, overlap):
+    """For every tiling of a real stream, each tile's sub-picture contains
+    exactly the macroblocks that intersect the tile's rect."""
+    seq, pics = PictureScanner(small_stream).scan()
+    if m > 1 and overlap >= seq.width // m:
+        return
+    if n > 1 and overlap >= seq.height // n:
+        return
+    layout = TileLayout(seq.width, seq.height, m, n, overlap=overlap)
+    splitter = MacroblockSplitter(seq, layout)
+    parser = MacroblockParser(seq)
+    unit = pics[1]  # a P picture (has skips and motion)
+    parsed = parser.parse_picture(unit.data)
+    result = splitter.split(unit, 1)
+    mbw = seq.width // 16
+    for tile in layout:
+        expected = {
+            it.mb.address
+            for it in parsed.items
+            if tile.tid
+            in layout.tiles_for_mb(it.mb.address % mbw, it.mb.address // mbw)
+        }
+        got = set()
+        for rec in result.subpictures[tile.tid].records:
+            if isinstance(rec, RunRecord):
+                got.update(range(rec.sph.address, rec.sph.address + rec.n_total))
+            elif isinstance(rec, SkipRecord):
+                got.update(range(rec.address, rec.address + rec.count))
+        assert got == expected

@@ -1,0 +1,119 @@
+"""Rate control: feedback convergence and stream validity."""
+
+import pytest
+
+from repro.mpeg2 import psnr
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import EncoderConfig
+from repro.mpeg2.ratecontrol import (
+    RateControlConfig,
+    RateControlledEncoder,
+    RateController,
+)
+from repro.workloads.synthetic import fish_tank_frames
+
+
+@pytest.fixture(scope="module")
+def clip():
+    return fish_tank_frames(160, 96, 18, seed=4)
+
+
+class TestController:
+    def test_no_debt_keeps_base(self):
+        ctrl = RateController(RateControlConfig(), pixels_per_frame=10000)
+        code = ctrl.quantiser_code(PictureType.P)
+        assert code == RateControlConfig().initial_code
+
+    def test_type_ordering(self):
+        cfg = RateControlConfig()
+        ctrl = RateController(cfg, 10000)
+        ci = ctrl.quantiser_code(PictureType.I)
+        cp = ctrl.quantiser_code(PictureType.P)
+        cb = ctrl.quantiser_code(PictureType.B)
+        assert ci < cp < cb  # finer quantizer for I, coarser for B
+
+    def test_debt_raises_code(self):
+        cfg = RateControlConfig()
+        ctrl = RateController(cfg, 10000)
+        base = ctrl.quantiser_code(PictureType.P)
+        ctrl.account(int(2 * ctrl.target_frame_bits))  # 100 % over budget
+        assert ctrl.quantiser_code(PictureType.P) > base
+
+    def test_surplus_lowers_code(self):
+        cfg = RateControlConfig()
+        ctrl = RateController(cfg, 10000)
+        base = ctrl.quantiser_code(PictureType.P)
+        ctrl.account(int(0.3 * ctrl.target_frame_bits))
+        assert ctrl.quantiser_code(PictureType.P) < base
+
+    def test_code_clamped(self):
+        cfg = RateControlConfig(min_code=2, max_code=31)
+        ctrl = RateController(cfg, 10000)
+        for _ in range(10):
+            ctrl.account(int(10 * ctrl.target_frame_bits))
+        assert ctrl.quantiser_code(PictureType.B) == 31
+        ctrl2 = RateController(cfg, 10000)
+        for _ in range(20):
+            ctrl2.account(1)
+        assert ctrl2.quantiser_code(PictureType.I) == 2
+
+
+class TestRateControlledEncoder:
+    def test_hits_moderate_target(self, clip):
+        enc = RateControlledEncoder(
+            EncoderConfig(gop_size=6, b_frames=2),
+            RateControlConfig(target_bpp=0.30),
+        )
+        data = enc.encode(clip)
+        bpp = enc.achieved_bpp(data, clip)
+        assert bpp == pytest.approx(0.30, rel=0.25)
+
+    def test_stream_remains_decodable(self, clip):
+        enc = RateControlledEncoder(
+            EncoderConfig(gop_size=6, b_frames=2),
+            RateControlConfig(target_bpp=0.25),
+        )
+        data = enc.encode(clip)
+        out = decode_stream(data)
+        assert len(out) == len(clip)
+        assert min(psnr(a, b) for a, b in zip(clip, out)) > 28
+
+    def test_lower_target_means_fewer_bits(self, clip):
+        def encode_at(bpp):
+            enc = RateControlledEncoder(
+                EncoderConfig(gop_size=6, b_frames=2),
+                RateControlConfig(target_bpp=bpp),
+            )
+            return len(enc.encode(clip))
+
+        assert encode_at(0.2) < encode_at(0.5)
+
+    def test_quantizer_history_recorded(self, clip):
+        enc = RateControlledEncoder(
+            EncoderConfig(gop_size=6, b_frames=2),
+            RateControlConfig(target_bpp=0.3),
+        )
+        enc.encode(clip[:9])
+        assert enc.controller is not None
+        assert len(enc.controller.history) == 9
+
+    def test_empty_input_rejected(self):
+        with pytest.raises(ValueError):
+            RateControlledEncoder().encode([])
+
+    def test_parallel_decode_of_rate_controlled_stream(self, clip):
+        """Rate-controlled streams (per-MB quantizer updates) must still
+        decode bit-exactly in parallel."""
+        from repro.parallel.pipeline import ParallelDecoder
+        from repro.wall.layout import TileLayout
+
+        enc = RateControlledEncoder(
+            EncoderConfig(gop_size=6, b_frames=2),
+            RateControlConfig(target_bpp=0.3),
+        )
+        data = enc.encode(clip[:9])
+        ref = decode_stream(data)
+        layout = TileLayout(clip[0].width, clip[0].height, 2, 2, overlap=8)
+        out = ParallelDecoder(layout, k=2, verify_overlaps=True).decode(data)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))

@@ -1,0 +1,48 @@
+"""Report generator: structure and content sanity."""
+
+import pytest
+
+from repro.perf.report import PAPER_ANCHORS, generate_report
+
+
+@pytest.fixture(scope="module")
+def report():
+    return generate_report(n_frames=16)
+
+
+class TestReport:
+    def test_all_sections_present(self, report):
+        for section in (
+            "## Table 4",
+            "## Table 5 / Figure 6",
+            "## Figure 7",
+            "## Table 6 / Figure 8",
+            "## Figure 9",
+            "## Table 1",
+        ):
+            assert section in report
+
+    def test_headline_mentions_paper_anchor(self, report):
+        assert str(PAPER_ANCHORS["headline_fps"]) in report
+
+    def test_all_streams_listed(self, report):
+        for name in ("spr", "fish4", "orion4"):
+            assert name in report
+
+    def test_markdown_tables_well_formed(self, report):
+        lines = report.splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("|") and set(line.strip("|").strip()) <= {"-", "|", " "}:
+                header = lines[i - 1]
+                assert header.count("|") == line.count("|"), header
+
+    def test_baselines_included(self, report):
+        assert "infeasible" in report  # GOP level at stream 16
+        assert "hierarchical" in report
+
+    def test_cli_report_writes_file(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "r.md"
+        assert main(["report", "-o", str(out), "--frames", "12"]) == 0
+        assert out.read_text().startswith("# Reproduction report")

@@ -1,0 +1,216 @@
+"""DES kernel: scheduling, processes, stores, resources, determinism."""
+
+import pytest
+
+from repro.net.simtime import (
+    Event,
+    Process,
+    Resource,
+    SimulationError,
+    Simulator,
+    Store,
+    Timeout,
+    hold,
+)
+
+
+class TestScheduling:
+    def test_timeouts_advance_clock(self):
+        sim = Simulator()
+        log = []
+
+        def proc():
+            yield Timeout(1.5)
+            log.append(sim.now)
+            yield Timeout(2.5)
+            log.append(sim.now)
+
+        sim.process(proc())
+        sim.run()
+        assert log == [1.5, 4.0]
+
+    def test_same_instant_fifo(self):
+        sim = Simulator()
+        log = []
+
+        def proc(name):
+            yield Timeout(1.0)
+            log.append(name)
+
+        for name in "abc":
+            sim.process(proc(name))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_run_until(self):
+        sim = Simulator()
+
+        def proc():
+            while True:
+                yield Timeout(1.0)
+
+        sim.process(proc())
+        assert sim.run(until=5.5) == 5.5
+
+    def test_negative_timeout_rejected(self):
+        with pytest.raises(ValueError):
+            Timeout(-1)
+
+    def test_process_completion_value(self):
+        sim = Simulator()
+        results = []
+
+        def child():
+            yield Timeout(2.0)
+            return 42
+
+        def parent():
+            value = yield sim.process(child())
+            results.append((sim.now, value))
+
+        sim.process(parent())
+        sim.run()
+        assert results == [(2.0, 42)]
+
+    def test_yield_unsupported_raises(self):
+        sim = Simulator()
+
+        def proc():
+            yield "nope"
+
+        sim.process(proc())
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestEvents:
+    def test_double_trigger_rejected(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed(1)
+        with pytest.raises(SimulationError):
+            ev.succeed(2)
+
+    def test_callback_after_trigger_fires(self):
+        sim = Simulator()
+        ev = sim.event()
+        ev.succeed("v")
+        got = []
+        ev.add_callback(got.append)
+        sim.run()
+        assert got == ["v"]
+
+
+class TestStore:
+    def test_fifo_order(self):
+        sim = Simulator()
+        store = Store(sim)
+        got = []
+
+        def consumer():
+            for _ in range(3):
+                item = yield store.get()
+                got.append(item)
+
+        def producer():
+            yield Timeout(1.0)
+            for i in range(3):
+                store.put(i)
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert got == [0, 1, 2]
+
+    def test_getter_blocks_until_put(self):
+        sim = Simulator()
+        store = Store(sim)
+        times = []
+
+        def consumer():
+            yield store.get()
+            times.append(sim.now)
+
+        def producer():
+            yield Timeout(3.0)
+            store.put("x")
+
+        sim.process(consumer())
+        sim.process(producer())
+        sim.run()
+        assert times == [3.0]
+
+    def test_len_counts_buffered(self):
+        sim = Simulator()
+        store = Store(sim)
+        store.put(1)
+        store.put(2)
+        assert len(store) == 2
+
+
+class TestResource:
+    def test_serializes_holders(self):
+        sim = Simulator()
+        nic = Resource(sim, 1)
+        spans = []
+
+        def user(delay):
+            yield Timeout(delay)
+            t0 = sim.now
+            yield from hold(nic, 2.0)
+            spans.append((t0, sim.now))
+
+        sim.process(user(0.0))
+        sim.process(user(0.5))
+        sim.run()
+        # second user queued behind the first
+        assert spans == [(0.0, 2.0), (0.5, 4.0)]
+
+    def test_capacity_two(self):
+        sim = Simulator()
+        res = Resource(sim, 2)
+        done = []
+
+        def user(i):
+            yield from hold(res, 1.0)
+            done.append((i, sim.now))
+
+        for i in range(3):
+            sim.process(user(i))
+        sim.run()
+        assert [t for _, t in done] == [1.0, 1.0, 2.0]
+
+    def test_release_idle_raises(self):
+        sim = Simulator()
+        res = Resource(sim, 1)
+        with pytest.raises(SimulationError):
+            res.release()
+
+    def test_bad_capacity(self):
+        with pytest.raises(ValueError):
+            Resource(Simulator(), 0)
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build():
+            sim = Simulator()
+            store = Store(sim)
+            trace = []
+
+            def producer(i):
+                yield Timeout(0.1 * i)
+                store.put(i)
+
+            def consumer():
+                for _ in range(5):
+                    v = yield store.get()
+                    trace.append((sim.now, v))
+
+            for i in range(5):
+                sim.process(producer(i))
+            sim.process(consumer())
+            sim.run()
+            return trace
+
+        assert build() == build()

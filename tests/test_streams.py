@@ -1,0 +1,145 @@
+"""Stream models (Table 4) and synthetic content generators."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.constants import PictureType
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import (
+    TABLE4_STREAMS,
+    DetailProfile,
+    StreamSpec,
+    stream_by_id,
+    table4_rows,
+)
+from repro.workloads.synthetic import (
+    fish_tank_frames,
+    localized_detail_frames,
+    moving_pattern_frames,
+)
+
+
+class TestTable4:
+    def test_sixteen_streams(self):
+        assert len(TABLE4_STREAMS) == 16
+        assert [s.sid for s in TABLE4_STREAMS] == list(range(1, 17))
+
+    def test_paper_prose_anchors(self):
+        """Resolutions the paper states in prose."""
+        assert (stream_by_id(1).width, stream_by_id(1).height) == (720, 480)
+        assert stream_by_id(8).width == 1280  # 720p fish tank
+        assert stream_by_id(10).width == 1920  # 1080i broadcast
+        s16 = stream_by_id(16)
+        assert (s16.width, s16.height) == (3840, 2800)
+        # "about 100 Mbps for the highest resolution Orion flyby at 30 fps"
+        assert 80 < s16.bit_rate_mbps < 130
+
+    def test_dvd_streams_higher_bpp(self):
+        for sid in (1, 2, 3):
+            assert stream_by_id(sid).bpp > 0.4
+        for sid in range(4, 17):
+            assert stream_by_id(sid).bpp == pytest.approx(0.30)
+
+    def test_240_frames(self):
+        assert all(s.n_frames == 240 for s in TABLE4_STREAMS)
+
+    def test_mb_alignment(self):
+        for s in TABLE4_STREAMS:
+            assert s.width % 16 == 0 and s.height % 16 == 0
+
+    def test_table_rows(self):
+        rows = table4_rows()
+        assert len(rows) == 16
+        assert rows[15]["resolution"] == "3840x2800"
+        assert rows[0]["bpp"] > rows[4]["bpp"]
+
+    def test_stream_by_id_unknown(self):
+        with pytest.raises(KeyError):
+            stream_by_id(17)
+
+
+class TestPictureModel:
+    def test_gop_pattern(self):
+        s = stream_by_id(8)
+        types = s.picture_types(13)
+        assert types[0] == PictureType.I
+        assert types[12] == PictureType.I  # gop_size 12
+        assert types[3] == PictureType.P
+        assert types[1] == types[2] == PictureType.B
+
+    def test_picture_bytes_average_out(self):
+        s = stream_by_id(8)
+        types = s.picture_types()
+        total = sum(s.picture_bytes(t) for t in types)
+        assert total / len(types) == pytest.approx(s.avg_frame_bytes)
+
+    def test_weights_sum_to_one(self):
+        for s in TABLE4_STREAMS:
+            assert s.mb_bit_weights().sum() == pytest.approx(1.0)
+
+    def test_detail_concentrates_bits(self):
+        uniform = StreamSpec(99, "u", 640, 480, 30, 0.3, 5.0)
+        hot = StreamSpec(
+            98, "h", 640, 480, 30, 0.3, 5.0,
+            detail=DetailProfile(center=(0.25, 0.25), concentration=0.6),
+        )
+        wu, wh = uniform.mb_bit_weights(), hot.mb_bit_weights()
+        assert wu.std() < 1e-12
+        assert wh.max() > 3 * wh.min()
+
+    def test_tile_workloads_account_overlap(self):
+        s = stream_by_id(10)
+        flat = TileLayout(s.width, s.height, 2, 2, overlap=0)
+        ov = TileLayout(s.width, s.height, 2, 2, overlap=32)
+        mbs_flat = sum(w["mbs"] for w in s.tile_workloads(flat).values())
+        mbs_ov = sum(w["mbs"] for w in s.tile_workloads(ov).values())
+        assert mbs_ov > mbs_flat >= s.mbs_per_frame
+
+
+class TestScaling:
+    def test_scaled_preserves_shape(self):
+        s = stream_by_id(16).scaled(192)
+        assert s.width <= 192
+        assert s.width % 16 == 0 and s.height % 16 == 0
+        # aspect ratio roughly preserved
+        orig = stream_by_id(16)
+        assert s.height / s.width == pytest.approx(orig.height / orig.width, rel=0.2)
+
+    def test_small_stream_not_scaled(self):
+        s = stream_by_id(1)
+        assert s.scaled(720) is s
+
+    def test_synthetic_frames_generated(self):
+        frames = stream_by_id(13).synthetic_frames(3, max_width=96)
+        assert len(frames) == 3
+        assert frames[0].width <= 96
+
+
+class TestSyntheticGenerators:
+    @pytest.mark.parametrize(
+        "gen", [moving_pattern_frames, localized_detail_frames, fish_tank_frames]
+    )
+    def test_valid_frames(self, gen):
+        frames = gen(96, 64, 4)
+        assert len(frames) == 4
+        for f in frames:
+            assert (f.width, f.height) == (96, 64)
+            assert f.y.dtype == np.uint8
+
+    def test_motion_present(self):
+        frames = moving_pattern_frames(96, 64, 3)
+        assert frames[0].max_abs_diff(frames[1]) > 10
+
+    def test_detail_is_localized(self):
+        frames = localized_detail_frames(128, 96, 2, center=(0.25, 0.25))
+        y = frames[0].y.astype(float)
+        # variance in the detail quadrant dwarfs the far quadrant
+        hot = y[:48, :64].var()
+        cold = y[48:, 64:].var()
+        assert hot > 5 * cold
+
+    def test_deterministic_by_seed(self):
+        a = fish_tank_frames(96, 64, 3, seed=7)
+        b = fish_tank_frames(96, 64, 3, seed=7)
+        for x, y in zip(a, b):
+            assert x.max_abs_diff(y) == 0

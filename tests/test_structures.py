@@ -1,0 +1,110 @@
+"""Header syntax round-trips (sequence, GOP, picture)."""
+
+import pytest
+
+from repro.bitstream import BitReader, BitstreamError, BitWriter
+from repro.mpeg2.constants import (
+    EXTENSION_START_CODE,
+    GROUP_START_CODE,
+    PICTURE_START_CODE,
+    SEQUENCE_HEADER_CODE,
+    PictureType,
+)
+from repro.mpeg2.structures import GOPHeader, PictureHeader, SequenceHeader
+
+
+def _roundtrip_sequence(seq: SequenceHeader) -> SequenceHeader:
+    bw = BitWriter()
+    seq.write(bw)
+    br = BitReader(bw.getvalue())
+    assert br.next_start_code() == SEQUENCE_HEADER_CODE
+    return SequenceHeader.parse(br)
+
+
+class TestSequenceHeader:
+    def test_roundtrip_basic(self):
+        seq = SequenceHeader(width=1280, height=720, frame_rate_code=8)
+        out = _roundtrip_sequence(seq)
+        assert (out.width, out.height) == (1280, 720)
+        assert out.frame_rate_code == 8
+        assert out.frame_rate == 60.0
+
+    def test_roundtrip_large_dimensions(self):
+        """3840x2800 needs the sequence-extension size bits (>12 bits)."""
+        seq = SequenceHeader(width=3840, height=2800)
+        out = _roundtrip_sequence(seq)
+        assert (out.width, out.height) == (3840, 2800)
+
+    def test_oversized_rejected(self):
+        with pytest.raises(ValueError):
+            _roundtrip_sequence(SequenceHeader(width=1 << 14, height=16))
+
+    def test_for_video_picks_nearest_rate(self):
+        assert SequenceHeader.for_video(64, 48, fps=30.0).frame_rate_code == 5
+        assert SequenceHeader.for_video(64, 48, fps=24.0).frame_rate_code == 2
+        assert SequenceHeader.for_video(64, 48, fps=59.0).frame_rate_code in (7, 8)
+
+    def test_bit_rate_and_vbv_roundtrip(self):
+        seq = SequenceHeader(width=64, height=48, bit_rate=123456, vbv_buffer_size=777)
+        out = _roundtrip_sequence(seq)
+        assert out.bit_rate == 123456
+        assert out.vbv_buffer_size == 777
+
+
+class TestGOPHeader:
+    @pytest.mark.parametrize("closed,broken", [(True, False), (False, True)])
+    def test_roundtrip(self, closed, broken):
+        bw = BitWriter()
+        GOPHeader(closed_gop=closed, broken_link=broken, time_code=12345).write(bw)
+        br = BitReader(bw.getvalue())
+        assert br.next_start_code() == GROUP_START_CODE
+        out = GOPHeader.parse(br)
+        assert out.closed_gop == closed
+        assert out.broken_link == broken
+        assert out.time_code == 12345
+
+
+class TestPictureHeader:
+    def _roundtrip(self, hdr: PictureHeader) -> PictureHeader:
+        bw = BitWriter()
+        hdr.write(bw)
+        br = BitReader(bw.getvalue())
+        assert br.next_start_code() == PICTURE_START_CODE
+        return PictureHeader.parse(br)
+
+    def test_i_picture(self):
+        out = self._roundtrip(PictureHeader(5, PictureType.I))
+        assert out.picture_type == PictureType.I
+        assert out.temporal_reference == 5
+        assert out.f_code == ((15, 15), (15, 15))
+
+    def test_p_picture_f_codes(self):
+        hdr = PictureHeader(9, PictureType.P, f_code=((3, 2), (15, 15)))
+        out = self._roundtrip(hdr)
+        assert out.picture_type == PictureType.P
+        assert out.f_code == ((3, 2), (15, 15))
+        assert out.f_code_for(0, 0) == 3
+        assert out.f_code_for(0, 1) == 2
+
+    def test_b_picture_f_codes(self):
+        hdr = PictureHeader(2, PictureType.B, f_code=((2, 2), (3, 3)))
+        out = self._roundtrip(hdr)
+        assert out.picture_type == PictureType.B
+        assert out.f_code == ((2, 2), (3, 3))
+
+    def test_temporal_reference_wraps_at_10_bits(self):
+        out = self._roundtrip(PictureHeader(1023, PictureType.I))
+        assert out.temporal_reference == 1023
+
+    def test_missing_extension_rejected(self):
+        bw = BitWriter()
+        bw.write_start_code(PICTURE_START_CODE)
+        bw.write(0, 10)
+        bw.write(int(PictureType.I), 3)
+        bw.write(0xFFFF, 16)
+        bw.write(0, 1)  # extra_bit_picture
+        bw.write_start_code(GROUP_START_CODE)  # wrong: not an extension
+        br = BitReader(bw.getvalue())
+        br.next_start_code()
+        with pytest.raises(BitstreamError):
+            PictureHeader.parse(br)

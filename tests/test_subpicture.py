@@ -1,0 +1,147 @@
+"""Sub-picture wire format: SPH, run/skip records, serialization."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.mpeg2.constants import PictureType
+from repro.parallel.subpicture import SPH, RunRecord, SkipRecord, SubPicture
+
+
+def _sph(**kw):
+    base = dict(
+        address=1234,
+        qscale_code=7,
+        dc_pred=(128, 130, 126),
+        pmv=((4, -6), (0, 2)),
+        prev_forward=True,
+        prev_backward=False,
+        skip_bits=5,
+    )
+    base.update(kw)
+    return SPH(**base)
+
+
+class TestSPH:
+    def test_pack_unpack_roundtrip(self):
+        sph = _sph()
+        out, off = SPH.unpack(sph.pack(), 0)
+        assert out == sph
+        assert off == SPH.packed_size()
+
+    def test_negative_predictors(self):
+        sph = _sph(pmv=((-100, -1), (-32, 17)), dc_pred=(0, 2047, 55))
+        out, _ = SPH.unpack(sph.pack(), 0)
+        assert out == sph
+
+    def test_state_snapshot_conversion(self):
+        snap = _sph().to_state_snapshot()
+        assert snap["qscale_code"] == 7
+        assert snap["pmv"] == [[4, -6], [0, 2]]
+        assert snap["prev_forward"] is True
+
+    @given(
+        st.integers(0, 1 << 20),
+        st.integers(1, 31),
+        st.tuples(*[st.integers(-2047, 2047)] * 3),
+        st.tuples(*[st.integers(-2000, 2000)] * 4),
+        st.booleans(),
+        st.booleans(),
+        st.integers(0, 7),
+    )
+    @settings(max_examples=60)
+    def test_roundtrip_property(self, addr, q, dc, pmv, pf, pb, skip):
+        sph = SPH(
+            address=addr,
+            qscale_code=q,
+            dc_pred=dc,
+            pmv=((pmv[0], pmv[1]), (pmv[2], pmv[3])),
+            prev_forward=pf,
+            prev_backward=pb,
+            skip_bits=skip,
+        )
+        out, _ = SPH.unpack(sph.pack(), 0)
+        assert out == sph
+
+
+class TestRecords:
+    def test_run_record_roundtrip(self):
+        rec = RunRecord(sph=_sph(), n_coded=5, n_total=7, nbits=1234, payload=b"abc123")
+        packed = rec.pack()
+        assert packed[0] == 1
+        out, off = RunRecord.unpack(packed, 1)
+        assert out.sph == rec.sph
+        assert (out.n_coded, out.n_total, out.nbits) == (5, 7, 1234)
+        assert out.payload == b"abc123"
+        assert off == len(packed)
+
+    def test_skip_record_roundtrip(self):
+        rec = SkipRecord(
+            address=99, count=4, forward=True, backward=True,
+            mv_fwd=(3, -5), mv_bwd=(-2, 7),
+        )
+        packed = rec.pack()
+        assert packed[0] == 2
+        out, off = SkipRecord.unpack(packed, 1)
+        assert out == rec
+        assert off == len(packed)
+
+
+class TestSubPicture:
+    def _subpicture(self):
+        sp = SubPicture(
+            picture_index=12,
+            tile=3,
+            picture_type=PictureType.B,
+            temporal_reference=4,
+            f_code=((2, 2), (3, 3)),
+            mb_width=8,
+            mb_height=6,
+        )
+        sp.records.append(
+            RunRecord(sph=_sph(), n_coded=3, n_total=4, nbits=100, payload=b"payload")
+        )
+        sp.records.append(SkipRecord(address=40, count=2, forward=True, backward=False))
+        return sp
+
+    def test_serialize_roundtrip(self):
+        sp = self._subpicture()
+        out = SubPicture.deserialize(sp.serialize())
+        assert out.picture_index == 12 and out.tile == 3
+        assert out.picture_type == PictureType.B
+        assert out.f_code == ((2, 2), (3, 3))
+        assert len(out.records) == 2
+        assert isinstance(out.records[0], RunRecord)
+        assert isinstance(out.records[1], SkipRecord)
+        assert out.records[0].payload == b"payload"
+
+    def test_picture_header_reconstruction(self):
+        hdr = self._subpicture().picture_header()
+        assert hdr.picture_type == PictureType.B
+        assert hdr.temporal_reference == 4
+        assert hdr.f_code == ((2, 2), (3, 3))
+
+    def test_macroblock_count(self):
+        assert self._subpicture().n_macroblocks == 4 + 2
+
+    def test_byte_accounting(self):
+        sp = self._subpicture()
+        assert sp.payload_bytes == len(b"payload")
+        assert sp.overhead_bytes == len(sp.serialize()) - len(b"payload")
+
+    def test_bad_magic_rejected(self):
+        with pytest.raises(ValueError):
+            SubPicture.deserialize(b"\x00" * 64)
+
+    def test_empty_subpicture(self):
+        sp = SubPicture(
+            picture_index=0,
+            tile=0,
+            picture_type=PictureType.I,
+            temporal_reference=0,
+            f_code=((15, 15), (15, 15)),
+            mb_width=4,
+            mb_height=4,
+        )
+        out = SubPicture.deserialize(sp.serialize())
+        assert out.records == []
+        assert out.n_macroblocks == 0

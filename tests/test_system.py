@@ -1,0 +1,124 @@
+"""Timed 1-k-(m,n) system: protocol safety and performance shape."""
+
+import pytest
+
+from repro.net.gm import NetworkParams
+from repro.parallel.config import predicted_frame_rate
+from repro.parallel.system import TimedSystem, run_system
+from repro.perf.costmodel import CostModel
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+S1 = stream_by_id(1)
+S8 = stream_by_id(8)
+S16 = stream_by_id(16)
+
+
+class TestProtocolSafety:
+    def test_no_flow_control_violations(self):
+        for k in (0, 1, 3):
+            res = run_system(S8, 2, 2, k=k, n_frames=16)
+            assert res.flow_control_violations == 0
+
+    def test_all_frames_displayed_in_order(self):
+        res = run_system(S8, 2, 2, k=2, n_frames=16)
+        assert len(res.display_times) == 16
+        assert res.display_times == sorted(res.display_times)
+
+    def test_disabling_anid_breaks_the_protocol(self):
+        """Without ack redirection, splitters race and either flood the
+        decoders' two receive buffers or deliver pictures out of order."""
+        lenient = NetworkParams(strict=False)
+        spec = S8
+        layout = TileLayout(spec.width, spec.height, 2, 2)
+        sys_ = TimedSystem(
+            spec, layout, k=3, net_params=lenient, n_frames=16, disable_anid=True
+        )
+        try:
+            res = sys_.run()
+            broken = res.flow_control_violations > 0
+        except RuntimeError as exc:
+            broken = "ordering" in str(exc)
+        assert broken
+
+    def test_breakdown_buckets_cover_decoder_time(self):
+        res = run_system(S8, 2, 2, k=2, n_frames=16)
+        for bd in res.breakdowns.values():
+            assert bd.work > 0
+            assert bd.total > 0
+            fr = bd.fractions()
+            assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+
+class TestPerformanceShape:
+    def test_one_level_splitter_saturates(self):
+        """§5.3: with more than ~4 decoders a single splitter cannot keep
+        up — frame rate flattens, then droops slightly."""
+        fps = {
+            (m, n): run_system(S1, m, n, k=0, n_frames=24).fps
+            for m, n in [(1, 1), (2, 2), (3, 3), (4, 4)]
+        }
+        assert fps[(2, 2)] > 1.8 * fps[(1, 1)]
+        # saturation: 16 decoders no better than 9
+        assert fps[(4, 4)] <= fps[(3, 3)] * 1.02
+
+    def test_two_level_removes_bottleneck(self):
+        one = run_system(S8, 4, 4, k=0, n_frames=24).fps
+        two = run_system(S8, 4, 4, k=3, n_frames=24).fps
+        assert two > one * 1.3
+
+    def test_headline_anchor_stream16(self):
+        """§5.5: 1-4-(4,4) plays the 3840x2800 Orion stream at 38.9 fps."""
+        res = run_system(S16, 4, 4, k=4, n_frames=24)
+        assert res.fps == pytest.approx(38.9, rel=0.12)
+
+    def test_work_share_falls_with_tiles(self):
+        """Figure 7: ~80 % work at 2x2 vs ~40 % at 4x4 for stream 8."""
+        w22 = run_system(S8, 2, 2, k=2, n_frames=24).mean_breakdown().fractions()["work"]
+        w44 = run_system(S8, 4, 4, k=5, n_frames=24).mean_breakdown().fractions()["work"]
+        assert 0.6 < w22 < 0.92
+        assert 0.3 < w44 < 0.6
+        assert w22 - w44 > 0.2
+
+    def test_splitter_send_exceeds_receive_by_sph_overhead(self):
+        """Figure 9: splitter send bandwidth ~20 % above receive."""
+        res = run_system(S16, 4, 4, k=4, n_frames=24)
+        send = sum(res.bandwidth[f"splitter{i}"][0] for i in range(4))
+        recv = sum(res.bandwidth[f"splitter{i}"][1] for i in range(4))
+        assert 1.05 < send / recv < 1.45
+
+    def test_bandwidth_low_and_balanced(self):
+        """Figure 9: every node's bandwidth fits easily in a commodity
+        network (Myrinet-class: >100 MB/s)."""
+        res = run_system(S16, 4, 4, k=4, n_frames=24)
+        for name, (s, r) in res.bandwidth.items():
+            assert s < 30 and r < 30, name
+
+    def test_matches_configuration_model_when_splitter_bound(self):
+        """F = min(k/t_s, 1/t_d): with k=1 on a big stream the splitter
+        bound dominates and the DES agrees with the formula."""
+        cost = CostModel()
+        layout = TileLayout(S16.width, S16.height, 4, 4)
+        t_s = cost.t_s(S16)  # on a worker-speed node
+        res = run_system(S16, 4, 4, k=1, n_frames=24)
+        model = predicted_frame_rate(1, t_s, cost.t_d(S16, layout))
+        assert res.fps == pytest.approx(model, rel=0.25)
+
+    def test_pixel_rate_scales_with_nodes(self):
+        """Figure 8: pixel decoding rate grows near-linearly."""
+        small = run_system(stream_by_id(10), 2, 2, k=1, n_frames=24)
+        large = run_system(S16, 4, 4, k=4, n_frames=24)
+        assert large.pixel_rate_mpps > 2.0 * small.pixel_rate_mpps
+
+    def test_labels(self):
+        assert run_system(S1, 2, 1, k=0, n_frames=4).label == "1-(2,1)"
+        assert run_system(S1, 2, 1, k=2, n_frames=4).label == "1-2-(2,1)"
+
+
+class TestDeterminism:
+    def test_repeated_runs_identical(self):
+        a = run_system(S8, 2, 2, k=2, n_frames=12)
+        b = run_system(S8, 2, 2, k=2, n_frames=12)
+        assert a.fps == b.fps
+        assert a.display_times == b.display_times

@@ -1,0 +1,90 @@
+"""Systems layer: program-stream mux/demux."""
+
+import pytest
+
+from repro.bitstream import BitstreamError
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.systems import (
+    SYSTEM_CLOCK,
+    VIDEO_STREAM_ID,
+    demux_program_stream,
+    mux_program_stream,
+)
+from repro.parallel.pipeline import ParallelDecoder
+from repro.wall.layout import TileLayout
+
+
+class TestRoundTrip:
+    def test_es_recovered_exactly(self, small_stream):
+        ps = mux_program_stream(small_stream, fps=30.0)
+        out = demux_program_stream(ps)
+        assert out.video_es == small_stream
+
+    def test_decoding_after_demux(self, small_stream):
+        ps = mux_program_stream(small_stream)
+        frames = decode_stream(demux_program_stream(ps).video_es)
+        ref = decode_stream(small_stream)
+        assert len(frames) == len(ref)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, frames))
+
+    def test_parallel_decode_of_demuxed_stream(self, small_stream):
+        """End-to-end: program stream -> demux -> 1-2-(2,2) wall."""
+        ps = mux_program_stream(small_stream)
+        es = demux_program_stream(ps).video_es
+        ref = decode_stream(small_stream)
+        layout = TileLayout(ref[0].width, ref[0].height, 2, 2)
+        out = ParallelDecoder(layout, k=2).decode(es)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
+    @pytest.mark.parametrize("chunk", [512, 2048, 65000])
+    def test_chunk_sizes(self, small_stream, chunk):
+        ps = mux_program_stream(small_stream, chunk_size=chunk)
+        assert demux_program_stream(ps).video_es == small_stream
+
+
+class TestTimestamps:
+    def test_one_pts_per_picture(self, small_stream):
+        from repro.mpeg2.parser import PictureScanner
+
+        _, pictures = PictureScanner(small_stream).scan()
+        ps = mux_program_stream(small_stream, fps=30.0)
+        out = demux_program_stream(ps)
+        assert len(out.pts_list) == len(pictures)
+
+    def test_pts_spacing_matches_fps(self, small_stream):
+        ps = mux_program_stream(small_stream, fps=25.0)
+        pts = demux_program_stream(ps).pts_list
+        deltas = {b - a for a, b in zip(pts, pts[1:])}
+        assert deltas == {SYSTEM_CLOCK // 25}
+
+    def test_scrs_monotonic(self, small_stream):
+        ps = mux_program_stream(small_stream)
+        scrs = demux_program_stream(ps).scrs
+        assert scrs == sorted(scrs)
+
+    def test_packet_stream_ids(self, small_stream):
+        ps = mux_program_stream(small_stream)
+        out = demux_program_stream(ps)
+        assert {p.stream_id for p in out.packets} == {VIDEO_STREAM_ID}
+
+
+class TestFraming:
+    def test_starts_with_pack_header(self, small_stream):
+        ps = mux_program_stream(small_stream)
+        assert ps.startswith(b"\x00\x00\x01\xba")
+
+    def test_ends_with_program_end(self, small_stream):
+        ps = mux_program_stream(small_stream)
+        assert ps.endswith(b"\x00\x00\x01\xb9")
+
+    def test_empty_es_rejected(self):
+        with pytest.raises(ValueError):
+            mux_program_stream(b"")
+
+    def test_demux_garbage_rejected(self):
+        with pytest.raises(BitstreamError):
+            demux_program_stream(b"\x00\x00\x01\xba" + b"\xff" * 4)
+
+    def test_demux_no_video_rejected(self):
+        with pytest.raises(BitstreamError):
+            demux_program_stream(b"\x00\x00\x01\xb9")

@@ -1,0 +1,90 @@
+"""Timeline tracing of the timed system (the Figure 5 machinery)."""
+
+import pytest
+
+from repro.parallel.system import TimedSystem
+from repro.perf.timeline import PHASE_GLYPHS, Span, TimelineTrace, render_ascii
+from repro.wall.layout import TileLayout
+from repro.workloads.streams import stream_by_id
+
+
+class TestTraceCollection:
+    def test_record_validates(self):
+        tr = TimelineTrace()
+        with pytest.raises(ValueError):
+            tr.record("a", "decode", 2.0, 1.0)
+        with pytest.raises(ValueError):
+            tr.record("a", "nonsense", 0.0, 1.0)
+
+    def test_actors_in_first_seen_order(self):
+        tr = TimelineTrace()
+        tr.record("b", "decode", 0, 1)
+        tr.record("a", "decode", 1, 2)
+        tr.record("b", "serve", 2, 3)
+        assert tr.actors() == ["b", "a"]
+
+    def test_window_and_totals(self):
+        tr = TimelineTrace()
+        tr.record("x", "decode", 1.0, 3.0)
+        tr.record("x", "serve", 3.0, 3.5)
+        assert tr.window() == (1.0, 3.5)
+        totals = tr.phase_totals("x")
+        assert totals["decode"] == pytest.approx(2.0)
+        assert totals["serve"] == pytest.approx(0.5)
+
+
+class TestRendering:
+    def test_empty(self):
+        assert render_ascii(TimelineTrace()) == "(empty trace)"
+
+    def test_glyphs_appear(self):
+        tr = TimelineTrace()
+        tr.record("node", "decode", 0.0, 0.6)
+        tr.record("node", "serve", 0.6, 1.0)
+        art = render_ascii(tr, width=20)
+        row = [l for l in art.splitlines() if l.startswith("node")][0]
+        assert "D" in row and "s" in row
+        assert row.index("D") < row.index("s")
+
+    def test_legend_present(self):
+        tr = TimelineTrace()
+        tr.record("n", "copy", 0, 1)
+        assert "legend:" in render_ascii(tr)
+
+
+class TestSystemIntegration:
+    @pytest.fixture(scope="class")
+    def trace(self):
+        spec = stream_by_id(8)
+        layout = TileLayout(spec.width, spec.height, 2, 1)
+        tr = TimelineTrace()
+        TimedSystem(spec, layout, k=2, n_frames=8, trace=tr).run()
+        return tr
+
+    def test_all_actor_kinds_traced(self, trace):
+        actors = trace.actors()
+        assert "root" in actors
+        assert "splitter0" in actors and "splitter1" in actors
+        assert "decoder0" in actors and "decoder1" in actors
+
+    def test_spans_non_overlapping_per_actor(self, trace):
+        """An actor is a single CPU: its spans never overlap."""
+        for actor in trace.actors():
+            spans = sorted(trace.spans_for(actor), key=lambda s: s.start)
+            for a, b in zip(spans, spans[1:]):
+                assert b.start >= a.end - 1e-12
+
+    def test_decode_totals_match_breakdown(self):
+        spec = stream_by_id(8)
+        layout = TileLayout(spec.width, spec.height, 2, 1)
+        tr = TimelineTrace()
+        res = TimedSystem(spec, layout, k=1, n_frames=8, trace=tr).run()
+        for tid, bd in res.breakdowns.items():
+            traced = tr.phase_totals(f"decoder{tid}").get("decode", 0.0)
+            assert traced == pytest.approx(bd.work, rel=1e-9)
+
+    def test_round_robin_visible(self, trace):
+        s0 = {s.picture for s in trace.spans_for("splitter0") if s.phase == "split"}
+        s1 = {s.picture for s in trace.spans_for("splitter1") if s.phase == "split"}
+        assert s0 == {0, 2, 4, 6}
+        assert s1 == {1, 3, 5, 7}

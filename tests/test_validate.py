@@ -1,0 +1,81 @@
+"""Stream conformance checker."""
+
+import pytest
+
+from repro.bitstream import BitWriter
+from repro.cli import main
+from repro.mpeg2.constants import SEQUENCE_END_CODE
+from repro.mpeg2.structures import SequenceHeader
+from repro.mpeg2.validate import Severity, validate_stream
+
+
+class TestValidStreams:
+    def test_encoder_output_is_clean(self, small_stream):
+        report = validate_stream(small_stream)
+        assert report.ok, [str(f) for f in report.findings]
+        assert report.pictures == 8
+        assert report.macroblocks == 8 * (96 // 16) * (64 // 16)
+
+    def test_ip_and_intra_streams(self, ip_stream, i_only_stream):
+        assert validate_stream(ip_stream).ok
+        assert validate_stream(i_only_stream).ok
+
+    def test_rate_controlled_stream(self):
+        from repro.mpeg2.encoder import EncoderConfig
+        from repro.mpeg2.ratecontrol import RateControlledEncoder
+        from repro.workloads.synthetic import fish_tank_frames
+
+        data = RateControlledEncoder(
+            EncoderConfig(gop_size=6, b_frames=2)
+        ).encode(fish_tank_frames(96, 64, 8))
+        assert validate_stream(data).ok
+
+
+class TestBrokenStreams:
+    def test_not_a_stream(self):
+        report = validate_stream(b"hello world")
+        assert not report.ok
+        assert "sequence header" in str(report.errors()[0])
+
+    def test_empty_sequence(self):
+        bw = BitWriter()
+        SequenceHeader(width=64, height=48).write(bw)
+        bw.write_start_code(SEQUENCE_END_CODE)
+        report = validate_stream(bw.getvalue())
+        assert not report.ok
+        assert any("no pictures" in str(f) for f in report.errors())
+
+    def test_missing_end_code_warns(self, small_stream):
+        report = validate_stream(small_stream[:-4])
+        assert any(
+            f.severity == Severity.WARNING and "sequence_end_code" in f.message
+            for f in report.findings
+        )
+
+    def test_truncated_picture_detected(self, small_stream):
+        report = validate_stream(small_stream[: len(small_stream) * 2 // 3])
+        assert not report.ok or report.pictures < 8
+
+    def test_corrupted_macroblock_coverage(self, small_stream):
+        """Blanking a slice's payload breaks coverage or parsing — the
+        validator must flag it, not pass it."""
+        data = bytearray(small_stream)
+        # find the 3rd slice start code of the first picture and zero 8 bytes
+        idx = data.find(b"\x00\x00\x01\x03")
+        assert idx > 0
+        data[idx + 5 : idx + 13] = b"\x55" * 8
+        report = validate_stream(bytes(data))
+        assert not report.ok
+
+
+class TestCLI:
+    def test_validate_command_ok(self, tmp_path, small_stream, capsys):
+        p = tmp_path / "ok.m2v"
+        p.write_bytes(small_stream)
+        assert main(["validate", "-i", str(p)]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_validate_command_error(self, tmp_path, capsys):
+        p = tmp_path / "bad.m2v"
+        p.write_bytes(b"\x00" * 100)
+        assert main(["validate", "-i", str(p)]) == 1

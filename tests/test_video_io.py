@@ -1,0 +1,124 @@
+"""Uncompressed video I/O: y4m and PPM round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.video_io import (
+    frame_to_rgb,
+    read_ppm,
+    read_y4m,
+    rgb_to_frame,
+    write_ppm,
+    write_y4m,
+)
+from repro.workloads.synthetic import moving_pattern_frames
+
+
+@pytest.fixture()
+def clip():
+    return moving_pattern_frames(96, 64, 5, seed=0)
+
+
+class TestY4M:
+    def test_roundtrip_lossless(self, tmp_path, clip):
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, clip, fps=30.0)
+        back = read_y4m(path)
+        assert len(back) == len(clip)
+        for a, b in zip(clip, back):
+            assert a.max_abs_diff(b) == 0
+
+    def test_header_format(self, tmp_path, clip):
+        path = tmp_path / "clip.y4m"
+        write_y4m(path, clip, fps=29.97)
+        head = path.read_bytes()[:64].split(b"\n")[0].decode()
+        assert head.startswith("YUV4MPEG2 W96 H64 F30000:1001")
+        assert "C420" in head
+
+    def test_non_aligned_input_padded(self, tmp_path):
+        # hand-write a 70x50 y4m, reader should pad to 80x64
+        w, h = 70, 50
+        y = np.arange(w * h, dtype=np.uint8).reshape(h, w)
+        cb = np.full((25, 35), 100, np.uint8)
+        cr = np.full((25, 35), 150, np.uint8)
+        path = tmp_path / "odd.y4m"
+        with open(path, "wb") as fh:
+            fh.write(b"YUV4MPEG2 W70 H50 F30:1 Ip A1:1 C420\nFRAME\n")
+            fh.write(y.tobytes() + cb.tobytes() + cr.tobytes())
+        frames = read_y4m(path)
+        assert frames[0].width == 80 and frames[0].height == 64
+        assert (frames[0].y[:50, :70] == y).all()
+
+    def test_rejects_wrong_magic(self, tmp_path):
+        path = tmp_path / "bad.y4m"
+        path.write_bytes(b"NOTAY4M W2 H2\n")
+        with pytest.raises(ValueError):
+            read_y4m(path)
+
+    def test_rejects_422(self, tmp_path):
+        path = tmp_path / "bad.y4m"
+        path.write_bytes(b"YUV4MPEG2 W16 H16 F30:1 C422\n")
+        with pytest.raises(ValueError):
+            read_y4m(path)
+
+    def test_truncated_frame(self, tmp_path):
+        path = tmp_path / "trunc.y4m"
+        path.write_bytes(b"YUV4MPEG2 W16 H16 F30:1 C420\nFRAME\n\x00\x00")
+        with pytest.raises(ValueError):
+            read_y4m(path)
+
+    def test_empty_clip_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_y4m(tmp_path / "e.y4m", [])
+
+
+class TestColorConversion:
+    def test_gray_frame_maps_to_gray_rgb(self):
+        f = Frame.blank(32, 32, y=120, c=128)
+        rgb = frame_to_rgb(f)
+        assert (np.abs(rgb.astype(int) - 120) <= 1).all()
+
+    def test_rgb_frame_roundtrip_close(self):
+        rng = np.random.default_rng(0)
+        # smooth content survives 4:2:0 chroma subsampling well
+        yy, xx = np.mgrid[0:64, 0:64]
+        rgb = np.stack(
+            [
+                128 + 80 * np.sin(xx / 13.0),
+                128 + 60 * np.cos(yy / 11.0),
+                128 + 40 * np.sin((xx + yy) / 17.0),
+            ],
+            axis=-1,
+        ).astype(np.uint8)
+        back = frame_to_rgb(rgb_to_frame(rgb))
+        err = np.abs(back.astype(int) - rgb.astype(int))
+        assert err.mean() < 4
+
+    def test_rgb_to_frame_pads(self):
+        rgb = np.zeros((50, 70, 3), np.uint8)
+        f = rgb_to_frame(rgb)
+        assert f.width % 16 == 0 and f.height % 16 == 0
+
+
+class TestPPM:
+    def test_roundtrip(self, tmp_path, clip):
+        path = tmp_path / "f.ppm"
+        write_ppm(path, clip[0])
+        back = read_ppm(path)
+        assert back.width >= clip[0].width
+        # luma approximately preserved through RGB
+        a = clip[0].y.astype(int)
+        b = back.y[: clip[0].height, : clip[0].width].astype(int)
+        assert np.abs(a - b).mean() < 3
+
+    def test_header(self, tmp_path, clip):
+        path = tmp_path / "f.ppm"
+        write_ppm(path, clip[0])
+        assert path.read_bytes().startswith(b"P6\n96 64\n255\n")
+
+    def test_rejects_non_p6(self, tmp_path):
+        path = tmp_path / "bad.ppm"
+        path.write_bytes(b"P3\n1 1\n255\n0 0 0\n")
+        with pytest.raises(ValueError):
+            read_ppm(path)

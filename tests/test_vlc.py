@@ -1,0 +1,168 @@
+"""Entropy layer: table hygiene and codec round-trips."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2 import tables as T
+from repro.mpeg2 import vlc
+
+
+class TestTableHygiene:
+    @pytest.mark.parametrize("name,table", sorted(T.all_vlc_tables().items()))
+    def test_prefix_free(self, name, table):
+        """Every table must be a prefix-free code (constructing the
+        VLCTable runs the check)."""
+        vlc.VLCTable(name, table)
+
+    def test_dct_table_disjoint_from_specials(self):
+        """EOB ('10'), escape ('000001') and the first-coefficient short
+        form are not in the run/level table, so check them explicitly."""
+        specials = [T.EOB_CODE, T.DCT_ESCAPE_CODE]
+        for bits, length in T.DCT_COEFF.values():
+            for sbits, slength in specials:
+                shorter = min(length, slength)
+                assert bits >> (length - shorter) != sbits >> (slength - shorter)
+
+    def test_mb_escape_disjoint_from_increments(self):
+        ebits, elen = T.MB_ESCAPE_CODE
+        for bits, length in T.MB_ADDRESS_INCREMENT.values():
+            shorter = min(length, elen)
+            assert bits >> (length - shorter) != ebits >> (elen - shorter)
+
+    def test_address_increment_complete(self):
+        assert sorted(T.MB_ADDRESS_INCREMENT) == list(range(1, 34))
+
+    def test_motion_codes_complete(self):
+        assert sorted(T.MOTION_CODE) == list(range(-16, 17))
+
+    def test_cbp_complete(self):
+        assert sorted(T.CODED_BLOCK_PATTERN) == list(range(64))
+
+    def test_dc_size_tables_complete(self):
+        assert sorted(T.DCT_DC_SIZE_LUMA) == list(range(12))
+        assert sorted(T.DCT_DC_SIZE_CHROMA) == list(range(12))
+
+    def test_zigzag_is_permutation(self):
+        assert sorted(T.ZIGZAG.reshape(-1).tolist()) == list(range(64))
+        assert (T.RASTER_OF_SCAN[T.SCAN_OF_RASTER] == range(64)).all()
+
+    def test_quantiser_scale_code_range(self):
+        assert T.quantiser_scale_from_code(1) == 2
+        assert T.quantiser_scale_from_code(31) == 62
+        with pytest.raises(ValueError):
+            T.quantiser_scale_from_code(0)
+        with pytest.raises(ValueError):
+            T.quantiser_scale_from_code(32)
+
+
+class TestVLCTable:
+    def test_decode_unknown_bits_raises(self):
+        table = vlc.VLCTable("toy", {0: (0b10, 2), 1: (0b11, 2)})
+        br = BitReader(bytes([0b00000000]))
+        with pytest.raises(vlc.VLCError):
+            table.decode(br)
+
+    def test_try_decode_returns_none(self):
+        table = vlc.VLCTable("toy", {0: (0b10, 2)})
+        br = BitReader(bytes([0b00000000]))
+        assert table.try_decode(br) is None
+        assert br.pos == 0
+
+    def test_prefix_violation_detected(self):
+        with pytest.raises(ValueError):
+            vlc.VLCTable("bad", {0: (0b1, 1), 1: (0b10, 2)})
+
+    def test_code_length(self):
+        assert vlc.MB_ADDR_INC.code_length(1) == 1
+        assert vlc.MB_ADDR_INC.code_length(33) == 11
+
+
+class TestAddressIncrement:
+    @pytest.mark.parametrize("inc", [1, 2, 33, 34, 66, 67, 100, 300])
+    def test_roundtrip(self, inc):
+        bw = BitWriter()
+        vlc.encode_address_increment(bw, inc)
+        assert vlc.decode_address_increment(BitReader(bw.getvalue())) == inc
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            vlc.encode_address_increment(BitWriter(), 0)
+
+
+class TestMotionDelta:
+    @pytest.mark.parametrize("r_size", range(0, 8))
+    def test_full_range_roundtrip(self, r_size):
+        f = 1 << r_size
+        bw = BitWriter()
+        deltas = list(range(-16 * f, 16 * f))
+        for d in deltas:
+            vlc.encode_motion_delta(bw, d, r_size)
+        br = BitReader(bw.getvalue())
+        for d in deltas:
+            assert vlc.decode_motion_delta(br, r_size) == d
+
+    def test_out_of_range_raises(self):
+        # motion_code is capped at 16; delta 17 with r_size 0 needs 17
+        with pytest.raises(ValueError):
+            vlc.encode_motion_delta(BitWriter(), 17, 0)
+
+
+def _run_levels(draw_escape_levels):
+    level = st.integers(1, 1500 if draw_escape_levels else 30)
+    return st.lists(
+        st.tuples(st.integers(0, 10), level, st.booleans()), min_size=1, max_size=20
+    )
+
+
+@given(_run_levels(False), st.booleans())
+def test_coefficients_roundtrip(pairs, intra):
+    rl, total = [], 0
+    for run, mag, neg in pairs:
+        if total + run + 1 > 64:
+            break
+        total += run + 1
+        rl.append((run, -mag if neg else mag))
+    if not rl:
+        return
+    bw = BitWriter()
+    vlc.encode_coefficients(bw, rl, intra=intra)
+    out = vlc.decode_coefficients(BitReader(bw.getvalue()), intra=intra)
+    assert out == rl
+
+
+@given(_run_levels(True), st.booleans())
+@settings(max_examples=60)
+def test_coefficients_roundtrip_escape_levels(pairs, intra):
+    rl, total = [], 0
+    for run, mag, neg in pairs:
+        if total + run + 1 > 64:
+            break
+        total += run + 1
+        rl.append((run, -mag if neg else mag))
+    if not rl:
+        return
+    bw = BitWriter()
+    vlc.encode_coefficients(bw, rl, intra=intra)
+    assert vlc.decode_coefficients(BitReader(bw.getvalue()), intra=intra) == rl
+
+
+def test_coefficient_zero_level_rejected():
+    with pytest.raises(ValueError):
+        vlc.encode_coefficients(BitWriter(), [(0, 0)], intra=False)
+
+
+def test_first_coefficient_short_form_used():
+    """Non-intra (0, 1) first coefficient takes the 1-bit form + sign."""
+    bw = BitWriter()
+    vlc.encode_coefficients(bw, [(0, 1)], intra=False)
+    # '1' + sign 0 + EOB '10' = 4 bits
+    assert len(bw) == 4
+
+
+def test_escape_level_bounds():
+    bw = BitWriter()
+    vlc.encode_coefficients(bw, [(5, -2047)], intra=True)
+    assert vlc.decode_coefficients(BitReader(bw.getvalue()), intra=True) == [(5, -2047)]
+    with pytest.raises(ValueError):
+        vlc.encode_coefficients(BitWriter(), [(0, 2048)], intra=True)

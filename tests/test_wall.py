@@ -1,0 +1,163 @@
+"""Wall geometry and assembly: partitions, overlap, coverage, blending."""
+
+import numpy as np
+import pytest
+
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.motion import Rect
+from repro.wall.display import (
+    assemble_wall,
+    check_overlap_consistency,
+    edge_blend_weights,
+    projected_wall_luma,
+)
+from repro.wall.layout import TileLayout
+
+
+class TestLayoutGeometry:
+    def test_partitions_tile_exactly(self):
+        layout = TileLayout(128, 96, 4, 3, overlap=8)
+        covered = np.zeros((96, 128), dtype=int)
+        for t in layout:
+            p = t.partition
+            covered[p.y0 : p.y1, p.x0 : p.x1] += 1
+        assert (covered == 1).all()
+
+    def test_rect_contains_partition(self):
+        layout = TileLayout(128, 96, 4, 3, overlap=8)
+        for t in layout:
+            assert t.rect.contains(t.partition) or t.rect == t.partition
+            assert t.rect.x0 <= t.partition.x0 and t.rect.x1 >= t.partition.x1
+
+    def test_coverage_is_mb_aligned_superset(self):
+        layout = TileLayout(128, 96, 3, 2, overlap=10)
+        for t in layout:
+            c = t.coverage
+            assert c.x0 % 16 == 0 and c.y0 % 16 == 0
+            assert c.x1 % 16 == 0 and c.y1 % 16 == 0
+            assert c.contains(t.rect)
+
+    def test_no_overlap_rects_equal_partitions(self):
+        layout = TileLayout(128, 96, 4, 3, overlap=0)
+        for t in layout:
+            assert t.rect == t.partition
+
+    def test_adjacent_rects_overlap_by_parameter(self):
+        layout = TileLayout(128, 64, 2, 1, overlap=16)
+        a, b = layout.tile(0), layout.tile(1)
+        inter = a.rect.intersect(b.rect)
+        assert inter.width == 16
+
+    def test_single_tile(self):
+        layout = TileLayout(64, 48, 1, 1, overlap=0)
+        assert layout.n_tiles == 1
+        assert layout.tile(0).rect == Rect(0, 0, 64, 48)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TileLayout(100, 48, 2, 1)  # not MB aligned
+        with pytest.raises(ValueError):
+            TileLayout(64, 48, 0, 1)
+        with pytest.raises(ValueError):
+            TileLayout(64, 48, 2, 1, overlap=-1)
+        with pytest.raises(ValueError):
+            TileLayout(64, 48, 2, 1, overlap=40)
+
+    def test_custom_bounds(self):
+        layout = TileLayout(128, 64, 2, 1, x_bounds=[0, 48, 128])
+        assert layout.tile(0).partition.x1 == 48
+        assert layout.tile(1).partition.x0 == 48
+
+    def test_custom_bounds_validation(self):
+        with pytest.raises(ValueError):
+            TileLayout(128, 64, 2, 1, x_bounds=[0, 128])  # wrong count
+        with pytest.raises(ValueError):
+            TileLayout(128, 64, 2, 1, x_bounds=[0, 0, 128])  # not increasing
+        with pytest.raises(ValueError):
+            TileLayout(128, 64, 2, 1, x_bounds=[0, 64, 120])  # wrong span
+
+
+class TestMacroblockAssignment:
+    def test_every_mb_assigned(self):
+        layout = TileLayout(128, 96, 4, 3, overlap=8)
+        for my in range(96 // 16):
+            for mx in range(128 // 16):
+                assert layout.tiles_for_mb(mx, my)
+
+    def test_no_overlap_unique_assignment(self):
+        layout = TileLayout(128, 96, 4, 3, overlap=0)
+        for my in range(6):
+            for mx in range(8):
+                tiles = layout.tiles_for_mb(mx, my)
+                # a macroblock may straddle a partition line (boundaries are
+                # not MB-aligned with 3 rows over 96px), but its owner is
+                # unique
+                assert layout.owner_of_mb(mx, my) in tiles
+
+    def test_overlap_duplicates_boundary_mbs(self):
+        layout = TileLayout(128, 64, 2, 1, overlap=16)
+        dup = layout.duplication_factor()
+        assert dup > 1.0
+        no_ov = TileLayout(128, 64, 2, 1, overlap=0)
+        assert no_ov.duplication_factor() >= 1.0
+        assert dup > no_ov.duplication_factor()
+
+    def test_split_rect_by_partition_tiles_input(self):
+        layout = TileLayout(128, 96, 4, 3, overlap=8)
+        rect = Rect(10, 10, 100, 90)
+        pieces = layout.split_rect_by_partition(rect)
+        area = sum(r.area for _, r in pieces)
+        assert area == rect.area
+
+
+class TestAssembly:
+    def _tile_frames(self, layout, value_of):
+        frames = {}
+        for t in layout:
+            f = Frame.blank(layout.width, layout.height, y=0)
+            c = t.coverage
+            f.y[c.y0 : c.y1, c.x0 : c.x1] = value_of(t.tid)
+            frames[t.tid] = f
+        return frames
+
+    def test_each_pixel_from_owner(self):
+        layout = TileLayout(64, 64, 2, 2, overlap=0)
+        frames = self._tile_frames(layout, lambda tid: 50 + tid)
+        wall = assemble_wall(layout, frames)
+        for t in layout:
+            p = t.partition
+            assert (wall.y[p.y0 : p.y1, p.x0 : p.x1] == 50 + t.tid).all()
+
+    def test_overlap_consistency_detects_mismatch(self):
+        layout = TileLayout(64, 64, 2, 1, overlap=16)
+        frames = self._tile_frames(layout, lambda tid: 50 + tid)
+        assert check_overlap_consistency(layout, frames) > 0
+        same = self._tile_frames(layout, lambda tid: 99)
+        assert check_overlap_consistency(layout, same) == 0
+
+
+class TestEdgeBlending:
+    def test_weights_shape(self):
+        layout = TileLayout(128, 64, 2, 1, overlap=16)
+        w = edge_blend_weights(layout, 0)
+        r = layout.tile(0).rect
+        assert w.shape == (r.height, r.width)
+
+    def test_interior_weight_one(self):
+        layout = TileLayout(128, 64, 2, 1, overlap=16)
+        w = edge_blend_weights(layout, 0)
+        assert (w[:, :8] == 1.0).all()  # left edge of left tile: no ramp
+
+    def test_ramps_sum_to_one(self):
+        layout = TileLayout(128, 64, 2, 1, overlap=16)
+        w0 = edge_blend_weights(layout, 0)
+        w1 = edge_blend_weights(layout, 1)
+        band0 = w0[:, -16:]
+        band1 = w1[:, :16]
+        assert np.allclose(band0 + band1, 1.0)
+
+    def test_projection_of_uniform_content_is_uniform(self):
+        layout = TileLayout(64, 64, 2, 2, overlap=8)
+        frames = {t.tid: Frame.blank(64, 64, y=120) for t in layout}
+        img = projected_wall_luma(layout, frames)
+        assert (np.abs(img.astype(int) - 120) <= 1).all()
