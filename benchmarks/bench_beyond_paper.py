@@ -10,7 +10,6 @@ Two probes of that claim:
    bandwidth requirement starts and stops mattering.
 """
 
-from dataclasses import replace
 
 from conftest import print_table, run_once
 

@@ -1,0 +1,114 @@
+"""Fast path — per-macroblock reference vs. two-phase batched reconstruction.
+
+Decodes the same 1080p-class synthetic stream through both reconstruction
+engines of the sequential decoder and records the stage split (parse vs.
+plan vs. execute), throughput in macroblocks/s and frames/s, and the
+reconstruction-phase speedup to ``BENCH_fastpath.json`` at the repo root.
+
+The batched engine must be *bit-identical* to the reference path — this
+bench asserts it on every run, so the committed baseline numbers always
+correspond to an output-equivalent configuration.
+
+Run either under pytest-benchmark with the other tables/figures or
+directly: ``PYTHONPATH=src python benchmarks/bench_fastpath.py``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro.mpeg2.decoder import Decoder
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.workloads.synthetic import GENERATORS
+
+WIDTH, HEIGHT, N_FRAMES = 1920, 1088, 4
+GOP_SIZE, B_FRAMES = 4, 1
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fastpath.json"
+
+
+def run_fastpath() -> dict:
+    frames = GENERATORS["pattern"](WIDTH, HEIGHT, N_FRAMES, seed=0)
+    stream = Encoder(
+        EncoderConfig(gop_size=GOP_SIZE, b_frames=B_FRAMES, search_range=3)
+    ).encode(frames)
+    n_mb = (WIDTH // 16) * (HEIGHT // 16) * N_FRAMES
+
+    report = {
+        "stream": {
+            "width": WIDTH,
+            "height": HEIGHT,
+            "frames": N_FRAMES,
+            "gop_size": GOP_SIZE,
+            "b_frames": B_FRAMES,
+            "bytes": len(stream),
+            "macroblocks": n_mb,
+        },
+        "modes": {},
+    }
+    outputs = {}
+    for flag, name in ((False, "per_macroblock"), (True, "batched")):
+        dec = Decoder(batch_reconstruct=flag)
+        t0 = time.perf_counter()
+        outputs[name] = dec.decode(stream)
+        wall = time.perf_counter() - t0
+        st = dec.stage_times
+        report["modes"][name] = {
+            "parse_s": round(st.parse, 4),
+            "plan_s": round(st.plan, 4),
+            "execute_s": round(st.execute, 4),
+            "reconstruct_s": round(st.reconstruct, 4),
+            "wall_s": round(wall, 4),
+            "reconstruct_mb_per_s": round(n_mb / st.reconstruct, 1),
+            "frames_per_s": round(N_FRAMES / wall, 2),
+        }
+
+    ref, bat = outputs["per_macroblock"], outputs["batched"]
+    bit_identical = len(ref) == len(bat) and all(
+        a == b for a, b in zip(ref, bat)
+    )
+    report["bit_identical"] = bit_identical
+    report["reconstruct_speedup"] = round(
+        report["modes"]["per_macroblock"]["reconstruct_s"]
+        / report["modes"]["batched"]["reconstruct_s"],
+        2,
+    )
+    return report
+
+
+def _check(report: dict) -> None:
+    assert report["bit_identical"], "batched output diverged from reference"
+    # Regression guard only — the committed baseline documents the real
+    # margin (>= 3x on this stream); a loaded CI box still must beat 1x.
+    assert report["reconstruct_speedup"] > 1.0
+
+
+def test_fastpath(benchmark):
+    from conftest import print_table, run_once
+
+    report = run_once(benchmark, run_fastpath)
+    _check(report)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(
+        f"Fast path ({WIDTH}x{HEIGHT}, {N_FRAMES} frames)",
+        ["mode", "parse", "plan", "execute", "reconstruct", "MB/s", "fps"],
+        [
+            (
+                name,
+                f"{m['parse_s']:.2f} s",
+                f"{m['plan_s']:.2f} s",
+                f"{m['execute_s']:.2f} s",
+                f"{m['reconstruct_s']:.2f} s",
+                f"{m['reconstruct_mb_per_s']:.0f}",
+                f"{m['frames_per_s']:.2f}",
+            )
+            for name, m in report["modes"].items()
+        ],
+    )
+    print(f"reconstruct speedup: {report['reconstruct_speedup']}x")
+
+
+if __name__ == "__main__":
+    result = run_fastpath()
+    _check(result)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

@@ -10,7 +10,7 @@ import pytest
 
 from repro.mpeg2.decoder import decode_stream
 from repro.mpeg2.encoder import Encoder, EncoderConfig
-from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.mpeg2.parser import PictureScanner
 from repro.parallel.mb_splitter import MacroblockSplitter
 from repro.parallel.pipeline import ParallelDecoder
 from repro.wall.layout import TileLayout

@@ -13,7 +13,7 @@ highest resolution Orion flyby"); every sequence holds 240 frames.
 from conftest import print_table, run_once
 
 from repro.mpeg2.encoder import Encoder, EncoderConfig
-from repro.workloads.streams import TABLE4_STREAMS, stream_by_id, table4_rows
+from repro.workloads.streams import stream_by_id, table4_rows
 
 
 def test_table4(benchmark):

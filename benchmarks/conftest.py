@@ -8,7 +8,7 @@ the reproduced table alongside the paper's surviving anchors.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import Iterable, Sequence
 
 
 def run_once(benchmark, fn, *args, **kwargs):

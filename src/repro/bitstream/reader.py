@@ -31,7 +31,9 @@ class BitReader:
     __slots__ = ("data", "pos", "nbits")
 
     def __init__(self, data: bytes, start_bit: int = 0):
-        self.data = bytes(data)
+        # bytes input is immutable already — don't copy it (this runs once
+        # per partial-slice record on the tile decoders' hot path).
+        self.data = data if type(data) is bytes else bytes(data)
         self.pos = start_bit
         self.nbits = 8 * len(self.data)
         if start_bit > self.nbits:

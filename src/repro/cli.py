@@ -22,9 +22,8 @@ from repro.mpeg2.parser import PictureScanner
 from repro.mpeg2.ratecontrol import RateControlConfig, RateControlledEncoder
 from repro.mpeg2.video_io import read_y4m, write_y4m
 from repro.parallel.pipeline import ParallelDecoder
-from repro.parallel.system import run_system
 from repro.wall.layout import TileLayout
-from repro.workloads.streams import TABLE4_STREAMS, stream_by_id
+from repro.workloads.streams import stream_by_id
 from repro.workloads.synthetic import GENERATORS
 
 

@@ -8,7 +8,7 @@ utilization reporting.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Optional
 
 from repro.net.gm import GMNetwork, GMPort

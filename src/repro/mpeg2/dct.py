@@ -65,18 +65,39 @@ def quantize_intra(
     return q.astype(np.int32)
 
 
+def _qscale_factor(qscale, ndim_levels: int) -> np.ndarray:
+    """Broadcast a scalar or per-block quantiser scale over ``(..., 8, 8)``.
+
+    A 1-D array of per-block scales lets the batched reconstruction engine
+    dequantize a whole picture's ``(N, 8, 8)`` coefficient stack in one call
+    even though the quantiser scale varies macroblock to macroblock.
+    """
+    qs = np.asarray(qscale, dtype=np.int64)
+    if qs.ndim == 0:
+        return qs
+    if qs.ndim != 1:
+        raise ValueError(f"qscale must be scalar or 1-D, got shape {qs.shape}")
+    return qs.reshape(qs.shape + (1,) * (ndim_levels - 1))
+
+
 def dequantize_intra(
     levels: np.ndarray,
-    qscale: int,
+    qscale,
     matrix: np.ndarray = T.DEFAULT_INTRA_QUANT_MATRIX,
     dc_scaler: int = 8,
 ) -> np.ndarray:
-    """Reconstruct intra coefficients (§7.4.2.1), saturated to 12 bits."""
+    """Reconstruct intra coefficients (§7.4.2.1), saturated to 12 bits.
+
+    ``qscale`` may be a scalar or a 1-D array of per-block scales matching
+    the leading axis of a ``(N, 8, 8)`` stack.
+    """
     q = np.asarray(levels, dtype=np.int64)
     w = matrix.astype(np.int64)
-    f = (q * w * int(qscale)) // 16
+    f = q * w
+    f *= _qscale_factor(qscale, q.ndim)
+    f //= 16
     f[..., 0, 0] = q[..., 0, 0] * dc_scaler
-    return np.clip(f, COEFF_MIN, COEFF_MAX)
+    return np.clip(f, COEFF_MIN, COEFF_MAX, out=f)
 
 
 def quantize_non_intra(
@@ -94,14 +115,22 @@ def quantize_non_intra(
 
 def dequantize_non_intra(
     levels: np.ndarray,
-    qscale: int,
+    qscale,
     matrix: np.ndarray = T.DEFAULT_NON_INTRA_QUANT_MATRIX,
 ) -> np.ndarray:
-    """Reconstruct non-intra coefficients (§7.4.2.2) with oddification."""
+    """Reconstruct non-intra coefficients (§7.4.2.2) with oddification.
+
+    ``qscale`` may be a scalar or a 1-D array of per-block scales matching
+    the leading axis of a ``(N, 8, 8)`` stack.
+    """
     q = np.asarray(levels, dtype=np.int64)
     w = matrix.astype(np.int64)
-    f = ((2 * q + np.sign(q)) * w * int(qscale)) // 32
-    return np.clip(f, COEFF_MIN, COEFF_MAX)
+    f = 2 * q
+    f += np.sign(q)
+    f *= w
+    f *= _qscale_factor(qscale, q.ndim)
+    f //= 32
+    return np.clip(f, COEFF_MIN, COEFF_MAX, out=f)
 
 
 # ---------------------------------------------------------------------- #
@@ -118,8 +147,8 @@ def block_to_scan(block: np.ndarray) -> np.ndarray:
 def scan_to_block(scan: np.ndarray) -> np.ndarray:
     """Inverse of :func:`block_to_scan`."""
     scan = np.asarray(scan)
-    flat = np.empty_like(scan)
-    flat[..., T.RASTER_OF_SCAN] = scan
+    # Gather through the inverse permutation (faster than a fancy scatter).
+    flat = scan[..., T.SCAN_OF_RASTER]
     return flat.reshape(*scan.shape[:-1], 8, 8)
 
 

@@ -13,11 +13,13 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Iterator, List, Optional
 
+from repro.mpeg2.batch_reconstruct import PlanBuilder, execute_plan
 from repro.mpeg2.constants import PictureType
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import MacroblockParser, ParsedPicture, PictureScanner
 from repro.mpeg2.reconstruct import QuantMatrices, reconstruct_macroblock
 from repro.mpeg2.structures import SequenceHeader
+from repro.perf.metrics import StageTimes
 
 
 @dataclass
@@ -31,11 +33,19 @@ class DecodeStats:
 
 
 class Decoder:
-    """Decode a full stream; frames come out in display order."""
+    """Decode a full stream; frames come out in display order.
 
-    def __init__(self) -> None:
+    ``batch_reconstruct`` selects the two-phase batched reconstruction
+    engine (the default); ``False`` keeps the per-macroblock reference
+    path.  Both are bit-identical — the flag exists so the reference
+    implementation stays runnable for golden comparisons and debugging.
+    """
+
+    def __init__(self, batch_reconstruct: bool = True) -> None:
         self.sequence: Optional[SequenceHeader] = None
         self.stats = DecodeStats()
+        self.batch_reconstruct = batch_reconstruct
+        self.stage_times = StageTimes()
 
     def decode(self, stream: bytes) -> List[Frame]:
         return list(self.iter_decode(stream))
@@ -72,18 +82,25 @@ class Decoder:
             pictures = pictures[starts[start_gop] :]
         parser = MacroblockParser(sequence)
         self.stats = DecodeStats()
+        self.stage_times = StageTimes()
+        timers = self.stage_times
 
         held: Optional[Frame] = None  # most recent anchor, not yet displayed
         prev_anchor: Optional[Frame] = None
         for unit in pictures:
-            parsed = parser.parse_picture(unit.data)
+            with timers.stage("parse"):
+                parsed = parser.parse_picture(unit.data)
+            timers.pictures += 1
             self.stats.picture_types.append(parsed.header.picture_type)
             self.stats.coded_macroblocks.append(parsed.n_coded)
             self.stats.skipped_macroblocks.append(parsed.n_skipped)
             self.stats.picture_bytes.append(len(unit.data))
 
             if parsed.header.picture_type == PictureType.B:
-                frame = reconstruct_picture(parsed, sequence, prev_anchor, held)
+                frame = reconstruct_picture(
+                    parsed, sequence, prev_anchor, held,
+                    batch=self.batch_reconstruct, timers=timers,
+                )
                 yield frame
             else:
                 fwd = held  # anchor available when this picture was coded
@@ -92,6 +109,8 @@ class Decoder:
                     sequence,
                     fwd if parsed.header.picture_type == PictureType.P else None,
                     None,
+                    batch=self.batch_reconstruct,
+                    timers=timers,
                 )
                 if held is not None:
                     yield held
@@ -106,8 +125,15 @@ def reconstruct_picture(
     sequence: SequenceHeader,
     fwd: Optional[Frame],
     bwd: Optional[Frame],
+    batch: bool = True,
+    timers: Optional[StageTimes] = None,
 ) -> Frame:
-    """Reconstruct every macroblock of a parsed picture into a new frame."""
+    """Reconstruct every macroblock of a parsed picture into a new frame.
+
+    ``batch=True`` runs the two-phase batched engine
+    (:mod:`repro.mpeg2.batch_reconstruct`); ``batch=False`` runs the
+    per-macroblock reference path.  Both produce bit-identical frames.
+    """
     ptype = parsed.header.picture_type
     if ptype == PictureType.P and fwd is None:
         raise ValueError("P-picture without forward reference")
@@ -115,13 +141,32 @@ def reconstruct_picture(
         raise ValueError("B-picture without two references")
     out = Frame.blank(sequence.width, sequence.height)
     matrices = QuantMatrices.from_sequence(sequence)
+    timers = timers if timers is not None else StageTimes()
     seen = set()
-    for item in parsed.items:
-        seen.add(item.mb.address)
-        reconstruct_macroblock(
-            item.mb, ptype, out, fwd, bwd, parsed.mb_width, matrices,
-            parsed.header.dc_scaler,
-        )
+    if batch:
+        with timers.stage("plan"):
+            builder = PlanBuilder(
+                ptype,
+                parsed.mb_width,
+                sequence.width,
+                sequence.height,
+                matrices,
+                parsed.header.dc_scaler,
+            )
+            for item in parsed.items:
+                seen.add(item.mb.address)
+                builder.add(item.mb)
+            plan = builder.build()
+        with timers.stage("execute"):
+            execute_plan(plan, out, fwd, bwd)
+    else:
+        with timers.stage("execute"):
+            for item in parsed.items:
+                seen.add(item.mb.address)
+                reconstruct_macroblock(
+                    item.mb, ptype, out, fwd, bwd, parsed.mb_width, matrices,
+                    parsed.header.dc_scaler,
+                )
     expected = parsed.mb_width * parsed.mb_height
     if len(seen) != expected:
         missing = expected - len(seen)

@@ -20,7 +20,7 @@ framing.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from repro.bitstream import BitReader, BitstreamError, BitWriter, find_start_codes
 from repro.mpeg2.constants import PICTURE_START_CODE

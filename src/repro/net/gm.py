@@ -24,10 +24,10 @@ Properties modeled after the GM user-level message layer the paper uses:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, Optional
 
-from repro.net.simtime import Event, Resource, Simulator, Store, Timeout
+from repro.net.simtime import Resource, Simulator, Store, Timeout
 
 
 @dataclass

@@ -27,7 +27,7 @@ from dataclasses import dataclass
 from typing import List
 
 from repro.net.gm import NetworkParams
-from repro.parallel.analysis import LevelCosts, level_costs
+from repro.parallel.analysis import level_costs
 from repro.perf.costmodel import CostModel
 from repro.wall.layout import TileLayout
 from repro.workloads.streams import StreamSpec

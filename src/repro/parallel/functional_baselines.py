@@ -57,12 +57,18 @@ class BaselineAccounting:
 class GopParallelDecoder:
     """GOP-level parallel decoding, functionally."""
 
-    def __init__(self, n_nodes: int, layout: Optional[TileLayout] = None):
+    def __init__(
+        self,
+        n_nodes: int,
+        layout: Optional[TileLayout] = None,
+        batch_reconstruct: bool = True,
+    ):
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.n_nodes = n_nodes
         self.layout = layout
         self.accounting = BaselineAccounting()
+        self.batch_reconstruct = batch_reconstruct
 
     def decode(self, stream: bytes) -> List[Frame]:
         sequence, pictures = PictureScanner(stream).scan()
@@ -90,11 +96,15 @@ class GopParallelDecoder:
                 parsed = parser.parse_picture(unit.data)
                 ptype = parsed.header.picture_type
                 if ptype == PictureType.B:
-                    frame = reconstruct_picture(parsed, sequence, prev, held)
+                    frame = reconstruct_picture(
+                        parsed, sequence, prev, held, batch=self.batch_reconstruct
+                    )
                     out.append(frame)
                 else:
                     fwd = held if ptype == PictureType.P else None
-                    frame = reconstruct_picture(parsed, sequence, fwd, None)
+                    frame = reconstruct_picture(
+                        parsed, sequence, fwd, None, batch=self.batch_reconstruct
+                    )
                     if held is not None:
                         out.append(held)
                     prev, held = held, frame
@@ -115,12 +125,18 @@ class GopParallelDecoder:
 class PictureParallelDecoder:
     """Picture-level parallel decoding, functionally."""
 
-    def __init__(self, n_nodes: int, layout: Optional[TileLayout] = None):
+    def __init__(
+        self,
+        n_nodes: int,
+        layout: Optional[TileLayout] = None,
+        batch_reconstruct: bool = True,
+    ):
         if n_nodes < 1:
             raise ValueError("need at least one node")
         self.n_nodes = n_nodes
         self.layout = layout
         self.accounting = BaselineAccounting()
+        self.batch_reconstruct = batch_reconstruct
 
     def decode(self, stream: bytes) -> List[Frame]:
         sequence, pictures = PictureScanner(stream).scan()
@@ -149,10 +165,14 @@ class PictureParallelDecoder:
                     if rnode is not None and rnode != node:
                         acct.interdecoder_bytes += frame_bytes
             if ptype == PictureType.B:
-                out.append(reconstruct_picture(parsed, sequence, prev, held))
+                out.append(reconstruct_picture(
+                    parsed, sequence, prev, held, batch=self.batch_reconstruct
+                ))
             else:
                 fwd = held if ptype == PictureType.P else None
-                frame = reconstruct_picture(parsed, sequence, fwd, None)
+                frame = reconstruct_picture(
+                    parsed, sequence, fwd, None, batch=self.batch_reconstruct
+                )
                 if held is not None:
                     out.append(held)
                 prev, prev_node = held, held_node
@@ -177,12 +197,18 @@ class SliceParallelDecoder:
     pixels shown by other columns of the wall redistribute.
     """
 
-    def __init__(self, n_bands: int, layout: Optional[TileLayout] = None):
+    def __init__(
+        self,
+        n_bands: int,
+        layout: Optional[TileLayout] = None,
+        batch_reconstruct: bool = True,
+    ):
         if n_bands < 1:
             raise ValueError("need at least one band")
         self.n_bands = n_bands
         self.layout = layout
         self.accounting = BaselineAccounting()
+        self.batch_reconstruct = batch_reconstruct
 
     def decode(self, stream: bytes) -> List[Frame]:
         sequence, pictures = PictureScanner(stream).scan()
@@ -234,7 +260,9 @@ class SliceParallelDecoder:
                     acct.interdecoder_bytes += above + below + 2 * (c_above + c_below)
             for b in range(self.n_bands):
                 acct.per_node_frames[b] += 1
-            frame = reconstruct_picture(parsed, sequence, fwd, bwd)
+            frame = reconstruct_picture(
+                parsed, sequence, fwd, bwd, batch=self.batch_reconstruct
+            )
             if ptype == PictureType.B:
                 out.append(frame)
             else:

@@ -12,13 +12,14 @@ No server thread and no blocking demand-fetch exist anywhere in this class
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
 from repro.bitstream import BitReader, BitstreamError
 from repro.mpeg2 import vlc
+from repro.mpeg2.batch_reconstruct import PlanBuilder, execute_plan
 from repro.mpeg2.constants import PictureType
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.macroblock import (
@@ -29,6 +30,7 @@ from repro.mpeg2.macroblock import (
 )
 from repro.mpeg2.reconstruct import QuantMatrices, reconstruct_macroblock
 from repro.mpeg2.structures import SequenceHeader
+from repro.perf.metrics import StageTimes
 from repro.parallel.mei import BWD, FWD, BlockXfer, MEIProgram
 from repro.parallel.subpicture import RunRecord, SkipRecord, SubPicture
 from repro.wall.layout import Tile, TileLayout
@@ -80,15 +82,18 @@ class TileDecoder:
         layout: TileLayout,
         sequence: SequenceHeader,
         conceal_errors: bool = False,
+        batch_reconstruct: bool = True,
     ):
         self.tile = tile
         self.layout = layout
         self.sequence = sequence
         self.conceal_errors = conceal_errors
+        self.batch_reconstruct = batch_reconstruct
         self.matrices = QuantMatrices.from_sequence(sequence)
         self.held: Optional[Frame] = None  # newest decoded anchor
         self.prev_anchor: Optional[Frame] = None
         self.stats = TileDecoderStats()
+        self.stage_times = StageTimes()
         self._expected_picture = 0
 
     # ------------------------------------------------------------------ #
@@ -177,25 +182,28 @@ class TileDecoder:
 
         frame = Frame.blank(self.sequence.width, self.sequence.height)
         mb_width = sp.mb_width
-        for rec in sp.records:
-            try:
-                if isinstance(rec, RunRecord):
-                    self._decode_run(rec, header, frame, fwd, bwd, mb_width)
-                elif isinstance(rec, SkipRecord):
-                    self._decode_skip(rec, ptype, frame, fwd, bwd, mb_width)
-                else:  # pragma: no cover - defensive
-                    raise TypeError(f"unknown record {type(rec)!r}")
-            except (BitstreamError, ValueError) as exc:
-                if not self.conceal_errors:
-                    raise
-                self.stats.records_failed += 1
-                if isinstance(rec, RunRecord):
-                    addresses = range(
-                        rec.sph.address, rec.sph.address + rec.n_total
-                    )
-                else:
-                    addresses = range(rec.address, rec.address + rec.count)
-                self._conceal(addresses, frame, fwd, mb_width)
+        if self.batch_reconstruct:
+            self._decode_records_batched(sp, header, frame, fwd, bwd, mb_width)
+        else:
+            for rec in sp.records:
+                try:
+                    if isinstance(rec, RunRecord):
+                        self._decode_run(rec, header, frame, fwd, bwd, mb_width)
+                    elif isinstance(rec, SkipRecord):
+                        self._decode_skip(rec, ptype, frame, fwd, bwd, mb_width)
+                    else:  # pragma: no cover - defensive
+                        raise TypeError(f"unknown record {type(rec)!r}")
+                except (BitstreamError, ValueError):
+                    if not self.conceal_errors:
+                        raise
+                    self.stats.records_failed += 1
+                    if isinstance(rec, RunRecord):
+                        addresses = range(
+                            rec.sph.address, rec.sph.address + rec.n_total
+                        )
+                    else:
+                        addresses = range(rec.address, rec.address + rec.count)
+                    self._conceal(addresses, frame, fwd, mb_width)
         self.stats.pictures_decoded += 1
 
         if ptype == PictureType.B:
@@ -226,6 +234,104 @@ class TileDecoder:
                 frame.cr[cys, cxs] = fwd.cr[cys, cxs]
             self.stats.macroblocks_concealed += 1
 
+    # ------------------------------------------------------------------ #
+    # two-phase batched path (parse -> plan -> execute)
+    # ------------------------------------------------------------------ #
+
+    def _decode_records_batched(
+        self,
+        sp: SubPicture,
+        header,
+        frame: Frame,
+        fwd: Optional[Frame],
+        bwd: Optional[Frame],
+        mb_width: int,
+    ) -> None:
+        """Phase 1: entropy-parse every record into the reconstruction plan
+        (per-record, so concealment keeps its failure granularity);
+        phase 2: one batched execute for the whole sub-picture."""
+        ptype = header.picture_type
+        timers = self.stage_times
+        builder = PlanBuilder(
+            ptype,
+            mb_width,
+            self.sequence.width,
+            self.sequence.height,
+            self.matrices,
+            header.dc_scaler,
+        )
+        for rec in sp.records:
+            try:
+                if isinstance(rec, RunRecord):
+                    with timers.stage("parse"):
+                        mbs, n_skipped = self._parse_run(rec, header)
+                elif isinstance(rec, SkipRecord):
+                    mbs, n_skipped = self._expand_skip(rec), rec.count
+                else:  # pragma: no cover - defensive
+                    raise TypeError(f"unknown record {type(rec)!r}")
+                with timers.stage("plan"):
+                    builder.add_all(mbs)
+            except (BitstreamError, ValueError):
+                if not self.conceal_errors:
+                    raise
+                self.stats.records_failed += 1
+                if isinstance(rec, RunRecord):
+                    addresses = range(rec.sph.address, rec.sph.address + rec.n_total)
+                else:
+                    addresses = range(rec.address, rec.address + rec.count)
+                self._conceal(addresses, frame, fwd, mb_width)
+                continue
+            self.stats.macroblocks_decoded += len(mbs) - n_skipped
+            self.stats.macroblocks_skipped += n_skipped
+        with timers.stage("execute"):
+            execute_plan(builder.build(), frame, fwd, bwd)
+
+    def _parse_run(self, rec: RunRecord, header) -> Tuple[List[Macroblock], int]:
+        """Entropy-parse a partial slice into macroblocks (no pixels)."""
+        br = BitReader(rec.payload, start_bit=rec.sph.skip_bits)
+        state = CodingState(picture=header)
+        state.restore(rec.sph.to_state_snapshot())
+
+        mbs: List[Macroblock] = []
+        n_skipped = 0
+        mb = parse_macroblock_body(br, state)
+        mb.address = rec.sph.address
+        mbs.append(mb)
+        coded = 1
+        cur = rec.sph.address
+        while coded < rec.n_coded:
+            inc = vlc.decode_address_increment(br)
+            for skip_addr in range(cur + 1, cur + inc):
+                mbs.append(make_skipped(skip_addr, state))
+                n_skipped += 1
+            mb = parse_macroblock_body(br, state)
+            mb.address = cur + inc
+            mbs.append(mb)
+            coded += 1
+            cur = mb.address
+        used = br.pos - rec.sph.skip_bits
+        if used != rec.nbits:
+            raise BitstreamError(
+                f"partial slice consumed {used} bits, header said {rec.nbits}"
+            )
+        return mbs, n_skipped
+
+    def _expand_skip(self, rec: SkipRecord) -> List[Macroblock]:
+        """Materialize a boundary-crossing skip run as macroblocks."""
+        mbs: List[Macroblock] = []
+        for i in range(rec.count):
+            mb = Macroblock(address=rec.address + i, skipped=True)
+            mb.motion_forward = rec.forward
+            mb.motion_backward = rec.backward
+            if rec.forward:
+                mb.mv_fwd = rec.mv_fwd
+            if rec.backward:
+                mb.mv_bwd = rec.mv_bwd
+            mbs.append(mb)
+        return mbs
+
+    # ------------------------------------------------------------------ #
+    # per-macroblock reference path
     # ------------------------------------------------------------------ #
 
     def _decode_run(

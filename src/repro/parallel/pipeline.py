@@ -13,7 +13,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.mpeg2.constants import PictureType
 from repro.mpeg2.frames import Frame
 from repro.parallel.mb_splitter import MacroblockSplitter, SplitResult
 from repro.parallel.pdecoder import TileDecoder, TileDecoderStats
@@ -59,11 +58,13 @@ class ParallelDecoder:
         k: int = 1,
         verify_overlaps: bool = False,
         conceal_errors: bool = False,
+        batch_reconstruct: bool = True,
     ):
         self.layout = layout
         self.k = k
         self.verify_overlaps = verify_overlaps
         self.conceal_errors = conceal_errors
+        self.batch_reconstruct = batch_reconstruct
         self.stats = PipelineStats()
 
     def decode(self, stream: bytes) -> List[Frame]:
@@ -73,7 +74,11 @@ class ParallelDecoder:
         splitters = [MacroblockSplitter(sequence, self.layout) for _ in range(self.k)]
         decoders = {
             tile.tid: TileDecoder(
-                tile, self.layout, sequence, conceal_errors=self.conceal_errors
+                tile,
+                self.layout,
+                sequence,
+                conceal_errors=self.conceal_errors,
+                batch_reconstruct=self.batch_reconstruct,
             )
             for tile in self.layout
         }

@@ -17,7 +17,6 @@ from dataclasses import dataclass
 from typing import Iterator, List, Tuple
 
 from repro.mpeg2.parser import PictureScanner, PictureUnit
-from repro.mpeg2.structures import SequenceHeader
 
 
 @dataclass(frozen=True)

@@ -25,10 +25,9 @@ bug fails the run instead of skewing the numbers.
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.mpeg2.constants import PictureType
 from repro.net.gm import GMNetwork, GMPort, NetworkParams
 from repro.net.simtime import Simulator, Store, Timeout
 from repro.cluster.node import ClusterSpec, Node, PRINCETON_WALL

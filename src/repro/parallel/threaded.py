@@ -23,8 +23,8 @@ from __future__ import annotations
 
 import queue
 import threading
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from dataclasses import dataclass
+from typing import Dict, List
 
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import PictureScanner
@@ -47,12 +47,19 @@ class _SPMessage:
 class ThreadedParallelDecoder:
     """Run the hierarchical decoder on ``1 + k + m*n`` threads."""
 
-    def __init__(self, layout: TileLayout, k: int = 1, queue_depth: int = 2):
+    def __init__(
+        self,
+        layout: TileLayout,
+        k: int = 1,
+        queue_depth: int = 2,
+        batch_reconstruct: bool = True,
+    ):
         if k < 1:
             raise ValueError("need at least one second-level splitter")
         self.layout = layout
         self.k = k
         self.queue_depth = queue_depth
+        self.batch_reconstruct = batch_reconstruct
         self.errors: List[BaseException] = []
 
     def decode(self, stream: bytes, timeout: float = 60.0) -> List[Frame]:
@@ -123,7 +130,12 @@ class ThreadedParallelDecoder:
 
         # decoders -------------------------------------------------------- #
         def decoder(tid: int):
-            dec = TileDecoder(self.layout.tile(tid), self.layout, sequence)
+            dec = TileDecoder(
+                self.layout.tile(tid),
+                self.layout,
+                sequence,
+                batch_reconstruct=self.batch_reconstruct,
+            )
             held_back: Dict[int, List] = {}
             for i in range(n_pics):
                 msg: _SPMessage = sp_q[tid].get(timeout=timeout)

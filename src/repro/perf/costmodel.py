@@ -20,7 +20,7 @@ differently, and what makes the localized-detail Orion tiles imbalanced.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.mpeg2.constants import MB_SIZE, PictureType

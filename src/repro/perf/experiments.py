@@ -9,14 +9,10 @@ simulated pictures suffice.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.net.gm import NetworkParams
-from repro.parallel.config import SystemConfig, optimal_k
-from repro.parallel.system import SystemResult, TimedSystem, run_system
+from repro.parallel.system import run_system
 from repro.perf.costmodel import CostModel
-from repro.wall.layout import TileLayout
 from repro.workloads.streams import TABLE4_STREAMS, StreamSpec, stream_by_id
 
 #: Screen configurations used throughout §5 (m columns x n rows).

@@ -12,8 +12,10 @@ paper defines them (§5.4):
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Dict, Iterator, List
 
 
 @dataclass
@@ -43,6 +45,52 @@ class RuntimeBreakdown:
         if bucket not in self.BUCKETS:
             raise KeyError(bucket)
         setattr(self, bucket, getattr(self, bucket) + dt)
+
+
+@dataclass
+class StageTimes:
+    """Wall-clock split of the two-phase decode (entropy vs. pixels).
+
+    - **parse** — VLC/entropy decoding (inherently serial);
+    - **plan** — assembling the flat reconstruction plan;
+    - **execute** — the batched dequant/IDCT/MC/scatter phase (or the whole
+      per-macroblock reconstruction when the reference path runs).
+    """
+
+    parse: float = 0.0
+    plan: float = 0.0
+    execute: float = 0.0
+    pictures: int = 0
+
+    STAGES = ("parse", "plan", "execute")
+
+    @property
+    def total(self) -> float:
+        return self.parse + self.plan + self.execute
+
+    @property
+    def reconstruct(self) -> float:
+        """Everything that is not entropy decoding."""
+        return self.plan + self.execute
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        if name not in self.STAGES:
+            raise KeyError(name)
+        t0 = time.perf_counter()
+        try:
+            yield
+        finally:
+            setattr(self, name, getattr(self, name) + time.perf_counter() - t0)
+
+    def per_picture_ms(self) -> Dict[str, float]:
+        n = max(1, self.pictures)
+        return {s: 1e3 * getattr(self, s) / n for s in self.STAGES}
+
+    def merge(self, other: "StageTimes") -> None:
+        for s in self.STAGES:
+            setattr(self, s, getattr(self, s) + getattr(other, s))
+        self.pictures += other.pictures
 
 
 @dataclass

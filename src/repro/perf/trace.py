@@ -21,7 +21,6 @@ from typing import Dict, List, Optional
 
 from repro.mpeg2.parser import PictureScanner
 from repro.parallel.mb_splitter import MacroblockSplitter
-from repro.parallel.mei import INSTRUCTION_BYTES
 from repro.perf.costmodel import Exchange, PictureWork, TileWork
 from repro.parallel.subpicture import RunRecord
 from repro.wall.layout import TileLayout

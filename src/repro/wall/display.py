@@ -10,7 +10,7 @@ never participates in correctness checks.
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Dict
 
 import numpy as np
 

@@ -15,7 +15,6 @@ at quadrupled resolution; Orion flybys up to the 3840x2800 / 38.9 fps /
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 

@@ -6,7 +6,6 @@ once per session and shared; tests must treat them as immutable.
 
 from __future__ import annotations
 
-import numpy as np
 import pytest
 
 from repro.mpeg2.encoder import Encoder, EncoderConfig

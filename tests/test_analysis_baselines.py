@@ -1,6 +1,5 @@
 """Table 1 analysis and the coarse-granularity baselines."""
 
-import pytest
 
 from repro.net.gm import NetworkParams
 from repro.parallel.analysis import LEVELS, level_costs
@@ -11,7 +10,6 @@ from repro.parallel.baselines import (
     picture_level,
     slice_level,
 )
-from repro.perf.costmodel import CostModel
 from repro.wall.layout import TileLayout
 from repro.workloads.streams import stream_by_id
 

@@ -1,0 +1,161 @@
+"""Batched two-phase reconstruction must be bit-identical to the reference.
+
+The batched engine (:mod:`repro.mpeg2.batch_reconstruct`) replays exactly
+the arithmetic of the per-macroblock path over whole-picture stacks, so the
+only acceptable difference is speed.  Golden tests pin the session streams;
+the hypothesis test sweeps random GOP structures (I/P/B mixes, skipped
+macroblocks from frozen content, partial slices wherever a 2x2 tiling cuts
+a slice mid-row) through both the sequential decoder and the tiled wall.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.mpeg2.batch_reconstruct import PlanBuilder, execute_plan
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.decoder import Decoder
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.macroblock import Macroblock
+from repro.parallel.pipeline import ParallelDecoder
+from repro.wall.layout import TileLayout
+
+
+def assert_frames_equal(a, b, context=""):
+    __tracebackhide__ = True
+    assert a.y.shape == b.y.shape, f"{context}: luma shapes differ"
+    diff = a.max_abs_diff(b)
+    assert diff == 0, f"{context}: frames differ by up to {diff}"
+
+
+def _decode_both(stream):
+    ref = Decoder(batch_reconstruct=False).decode(stream)
+    bat = Decoder(batch_reconstruct=True).decode(stream)
+    assert len(ref) == len(bat)
+    return ref, bat
+
+
+# ---------------------------------------------------------------------- #
+# golden streams
+# ---------------------------------------------------------------------- #
+
+
+def test_batched_matches_reference_ibbp(small_stream):
+    ref, bat = _decode_both(small_stream)
+    for i, (a, b) in enumerate(zip(ref, bat)):
+        assert_frames_equal(a, b, f"IBBP frame {i}")
+
+
+def test_batched_matches_reference_ip_only(ip_stream):
+    ref, bat = _decode_both(ip_stream)
+    for i, (a, b) in enumerate(zip(ref, bat)):
+        assert_frames_equal(a, b, f"IP frame {i}")
+
+
+def test_batched_matches_reference_all_intra(i_only_stream):
+    ref, bat = _decode_both(i_only_stream)
+    for i, (a, b) in enumerate(zip(ref, bat)):
+        assert_frames_equal(a, b, f"intra frame {i}")
+
+
+def test_batched_tiled_matches_sequential_reference(small_stream):
+    ref = Decoder(batch_reconstruct=False).decode(small_stream)
+    layout = TileLayout(96, 64, 2, 2)
+    for flag in (False, True):
+        out = ParallelDecoder(layout, k=2, batch_reconstruct=flag).decode(
+            small_stream
+        )
+        assert len(out) == len(ref)
+        for i, (a, b) in enumerate(zip(out, ref)):
+            assert_frames_equal(a, b, f"tiled batch={flag} frame {i}")
+
+
+# ---------------------------------------------------------------------- #
+# randomized GOPs
+# ---------------------------------------------------------------------- #
+
+
+def _gop_clip(rng: np.random.Generator, w: int, h: int, n: int):
+    """Temporally coherent frames with frozen stretches (-> skipped MBs)."""
+    base = rng.integers(16, 235, (h, w), dtype=np.uint8).astype(np.uint8)
+    frames = []
+    prev = None
+    for t in range(n):
+        if prev is not None and t % 3 == 1:
+            # an identical frame makes P/B macroblocks skip
+            frames.append(prev)
+            continue
+        y = np.roll(base, shift=2 * t, axis=1).copy()
+        y[: h // 4, : w // 4] = rng.integers(16, 235)
+        cb = np.full((h // 2, w // 2), 120, np.uint8)
+        cr = np.full((h // 2, w // 2), 130, np.uint8)
+        prev = Frame(y, cb, cr)
+        frames.append(prev)
+    return frames
+
+
+@given(
+    seed=st.integers(0, 2**31),
+    mbw=st.integers(2, 5),
+    mbh=st.integers(2, 4),
+    gop=st.integers(1, 5),
+    b_frames=st.integers(0, 2),
+)
+@settings(
+    max_examples=10,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+def test_random_gop_batched_identical(seed, mbw, mbh, gop, b_frames):
+    rng = np.random.default_rng(seed)
+    w, h = 16 * mbw, 16 * mbh
+    frames = _gop_clip(rng, w, h, 6)
+    stream = Encoder(
+        EncoderConfig(gop_size=gop, b_frames=b_frames, search_range=3)
+    ).encode(frames)
+
+    ref, bat = _decode_both(stream)
+    for i, (a, b) in enumerate(zip(ref, bat)):
+        assert_frames_equal(a, b, f"sequential frame {i}")
+
+    # a 2x2 wall cuts every slice into partial-slice records
+    layout = TileLayout(w, h, 2, 2)
+    tiled = ParallelDecoder(layout, k=2, batch_reconstruct=True).decode(stream)
+    assert len(tiled) == len(ref)
+    for i, (a, b) in enumerate(zip(tiled, ref)):
+        assert_frames_equal(a, b, f"tiled frame {i}")
+
+
+# ---------------------------------------------------------------------- #
+# plan builder contracts
+# ---------------------------------------------------------------------- #
+
+
+def test_plan_rejects_out_of_bounds_vector():
+    builder = PlanBuilder(PictureType.P, mb_width=4, frame_width=64, frame_height=48)
+    mb = Macroblock(
+        address=0, intra=False, motion_forward=True, mv_fwd=(-9, 0), qscale_code=8
+    )
+    with pytest.raises(ValueError, match="outside plane"):
+        builder.add(mb)
+
+
+def test_plan_add_all_is_transactional():
+    builder = PlanBuilder(PictureType.P, mb_width=4, frame_width=64, frame_height=48)
+    good = Macroblock(
+        address=0, intra=False, motion_forward=True, mv_fwd=(2, 2), qscale_code=8
+    )
+    bad = Macroblock(
+        address=1, intra=False, motion_forward=True, mv_fwd=(0, 99), qscale_code=8
+    )
+    with pytest.raises(ValueError):
+        builder.add_all([good, bad])
+    assert builder.build().n_macroblocks == 0
+
+
+def test_empty_plan_executes_as_noop():
+    builder = PlanBuilder(PictureType.I, mb_width=4, frame_width=64, frame_height=48)
+    out = Frame.blank(64, 48, y=77, c=128)
+    execute_plan(builder.build(), out, None, None)
+    assert int(out.y.min()) == int(out.y.max()) == 77

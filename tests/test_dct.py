@@ -6,7 +6,6 @@ from hypothesis import given, settings, strategies as st
 from hypothesis.extra import numpy as hnp
 
 from repro.mpeg2 import dct
-from repro.mpeg2.tables import DEFAULT_INTRA_QUANT_MATRIX
 
 
 class TestTransform:

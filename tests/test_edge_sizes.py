@@ -1,6 +1,5 @@
 """Boundary-size streams: the smallest and oddest rasters must work."""
 
-import pytest
 
 from repro.mpeg2.decoder import decode_stream
 from repro.mpeg2.encoder import Encoder, EncoderConfig

@@ -1,5 +1,6 @@
 """Every example script must run clean end to end (they are the docs)."""
 
+import os
 import subprocess
 import sys
 from pathlib import Path
@@ -14,12 +15,18 @@ EXAMPLES = sorted(
 @pytest.mark.parametrize("script", EXAMPLES)
 def test_example_runs(script, tmp_path):
     path = Path(__file__).parent.parent / "examples" / script
+    # The subprocess does not inherit the repo layout implicitly: put src/
+    # on PYTHONPATH so the examples import `repro` the way the docs say to.
+    src = str(Path(__file__).parent.parent / "src")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
     proc = subprocess.run(
         [sys.executable, str(path)],
         cwd=tmp_path,  # scripts that write files do so in a scratch dir
         capture_output=True,
         text=True,
         timeout=300,
+        env=env,
     )
     assert proc.returncode == 0, f"{script} failed:\n{proc.stderr[-2000:]}"
     assert proc.stdout.strip(), f"{script} produced no output"

@@ -5,7 +5,7 @@ import pytest
 
 from repro.bitstream import BitstreamError
 from repro.mpeg2.decoder import decode_stream
-from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.mpeg2.parser import PictureScanner
 from repro.net.gm import NetworkParams
 from repro.parallel.system import TimedSystem
 from repro.wall.layout import TileLayout

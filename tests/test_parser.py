@@ -1,6 +1,5 @@
 """Macroblock-level parsing: coverage, bit extents, state snapshots."""
 
-import numpy as np
 import pytest
 
 from repro.bitstream import BitReader

@@ -8,7 +8,6 @@ once whatever the tiling.
 """
 
 import numpy as np
-import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.mpeg2.decoder import decode_stream

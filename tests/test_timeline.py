@@ -3,7 +3,7 @@
 import pytest
 
 from repro.parallel.system import TimedSystem
-from repro.perf.timeline import PHASE_GLYPHS, Span, TimelineTrace, render_ascii
+from repro.perf.timeline import TimelineTrace, render_ascii
 from repro.wall.layout import TileLayout
 from repro.workloads.streams import stream_by_id
 

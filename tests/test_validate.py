@@ -1,6 +1,5 @@
 """Stream conformance checker."""
 
-import pytest
 
 from repro.bitstream import BitWriter
 from repro.cli import main
