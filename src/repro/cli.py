@@ -5,6 +5,7 @@ Commands
 encode    compress a .y4m clip (or a synthetic workload) to MPEG-2
 decode    decode an MPEG-2 stream to .y4m with the sequential decoder
 wall      decode in parallel on an m x n wall and verify bit-exactness
+run-cluster  decode on real OS processes over the socket transport
 simulate  run the timed 1-k-(m,n) cluster simulation on a Table 4 stream
 info      show stream structure (pictures, types, sizes)
 """
@@ -98,6 +99,44 @@ def cmd_wall(args) -> int:
         f"({s.exchange_bytes / 1e3:.1f} kB), "
         f"SPH overhead {s.sph_overhead_fraction:.1%}"
     )
+    return 0
+
+
+def cmd_run_cluster(args) -> int:
+    from repro.cluster.runtime import ClusterError, ClusterSupervisor, WallConfig
+
+    stream = _load_stream(args.input)
+    cfg = WallConfig(
+        m=args.m,
+        n=args.n,
+        k=args.k,
+        overlap=args.overlap,
+        transport=args.transport,
+    )
+    sup = ClusterSupervisor(cfg, trace_dir=args.trace_dir)
+    try:
+        frames = sup.decode(stream, timeout=args.timeout)
+    except ClusterError as exc:
+        print(f"cluster failed: {exc}", file=sys.stderr)
+        return 1
+    if args.verify:
+        reference = decode_stream(stream)
+        worst = max(a.max_abs_diff(b) for a, b in zip(reference, frames))
+        status = "bit-exact" if worst == 0 else f"MISMATCH (max diff {worst})"
+        print(f"verification vs sequential decoder: {status}")
+        if worst:
+            return 1
+    if args.output:
+        write_y4m(args.output, frames, fps=args.fps)
+        print(f"wrote wall output -> {args.output}")
+    st = sup.stage_times
+    print(
+        f"1-{cfg.k}-({cfg.m},{cfg.n}) on {1 + cfg.k + cfg.n_tiles} processes "
+        f"({cfg.transport}): {len(frames)} frames, "
+        f"decoder stage time {st.total:.2f}s across {st.pictures} tile-pictures"
+    )
+    if sup.merged_trace_path is not None:
+        print(f"merged trace -> {sup.merged_trace_path}")
     return 0
 
 
@@ -228,6 +267,31 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("--verify", action="store_true", default=True)
     w.add_argument("--no-verify", dest="verify", action="store_false")
     w.set_defaults(func=cmd_wall)
+
+    c = sub.add_parser(
+        "run-cluster", help="decode on real OS processes over sockets"
+    )
+    c.add_argument("-i", "--input", required=True)
+    c.add_argument("-o", "--output", help="optional .y4m of the wall image")
+    c.add_argument("-m", type=int, default=2)
+    c.add_argument("-n", type=int, default=2)
+    c.add_argument("-k", type=int, default=1, help="second-level splitters")
+    c.add_argument("--overlap", type=int, default=0)
+    c.add_argument(
+        "--transport",
+        choices=["unix", "tcp"],
+        default="unix",
+        help="socket flavor for every channel",
+    )
+    c.add_argument(
+        "--trace-dir",
+        help="keep the run directory (traces, logs) here instead of a tempdir",
+    )
+    c.add_argument("--timeout", type=float, default=120.0)
+    c.add_argument("--fps", type=float, default=30.0)
+    c.add_argument("--verify", action="store_true", default=True)
+    c.add_argument("--no-verify", dest="verify", action="store_false")
+    c.set_defaults(func=cmd_run_cluster)
 
     s = sub.add_parser("simulate", help="timed cluster simulation")
     s.add_argument("--stream", type=int, default=16, help="Table 4 stream id")

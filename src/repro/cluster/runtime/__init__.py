@@ -1,0 +1,15 @@
+"""Real multi-process cluster runtime for the 1-k-(m,n) pipeline.
+
+The deterministic simulator (:mod:`repro.parallel.system`) and the
+threaded runner (:mod:`repro.parallel.threaded`) execute the paper's
+protocol inside one interpreter.  This package runs it as *actual OS
+processes* — one root splitter, ``k`` second-level splitters, and
+``m*n`` tile decoders — exchanging framed binary messages over the
+socket transport in :mod:`repro.net.channel`, supervised from the
+calling process by :class:`ClusterSupervisor`.
+"""
+
+from repro.cluster.runtime.config import WallConfig
+from repro.cluster.runtime.supervisor import ClusterError, ClusterSupervisor
+
+__all__ = ["WallConfig", "ClusterSupervisor", "ClusterError"]

@@ -1,0 +1,79 @@
+"""Cluster runtime configuration: the shape of one 1-k-(m,n) deployment.
+
+A :class:`WallConfig` is everything a worker process needs to take its
+place in the process tree — wall geometry, splitter count, transport
+choice, and the timeout/flow-control knobs.  It is JSON-round-trippable
+because the supervisor ships it to workers through the run directory.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import asdict, dataclass
+from typing import Optional, Tuple
+
+
+@dataclass
+class WallConfig:
+    """Static description of one cluster run.
+
+    ``queue_depth`` is the paper's posted-receive-buffer count per
+    splitter (two); the root holds that many send credits per splitter.
+    ``fail_at`` is a fault-injection hook for teardown tests: a spec like
+    ``"dec1@2"`` makes that worker kill itself (SIGKILL) when it is about
+    to handle picture 2.
+    """
+
+    m: int = 2
+    n: int = 2
+    k: int = 1
+    overlap: int = 0
+    transport: str = "unix"  # "unix" | "tcp"
+    queue_depth: int = 2
+    batch_reconstruct: bool = True
+    connect_timeout: float = 15.0
+    recv_timeout: float = 60.0
+    heartbeat_interval: float = 0.25
+    dead_after: float = 10.0
+    fail_at: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.m < 1 or self.n < 1:
+            raise ValueError("wall needs at least one tile")
+        if self.k < 1:
+            raise ValueError("need at least one second-level splitter")
+        if self.transport not in ("unix", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.queue_depth < 1:
+            raise ValueError("need at least one receive buffer per splitter")
+
+    # ------------------------------------------------------------------ #
+
+    @property
+    def n_tiles(self) -> int:
+        return self.m * self.n
+
+    @property
+    def process_names(self) -> list:
+        """Every worker process, in spawn order."""
+        return (
+            ["root"]
+            + [f"split{s}" for s in range(self.k)]
+            + [f"dec{t}" for t in range(self.n_tiles)]
+        )
+
+    def parsed_fail_at(self) -> Optional[Tuple[str, int]]:
+        """``("dec1", 2)`` for ``fail_at="dec1@2"``; None when unset."""
+        if not self.fail_at:
+            return None
+        m = re.fullmatch(r"(root|split\d+|dec\d+)@(\d+)", self.fail_at)
+        if not m:
+            raise ValueError(f"bad fail_at spec {self.fail_at!r}")
+        return m.group(1), int(m.group(2))
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "WallConfig":
+        return cls(**data)

@@ -1,0 +1,197 @@
+"""Application message types and payload codecs for the cluster runtime.
+
+The channel layer (:mod:`repro.net.channel`) frames every message with a
+type + picture-index header; this module defines the types and how each
+payload is encoded.  The two high-volume payloads — reference-pixel
+blocks and decoded tile frames — use hand-rolled struct + raw-plane
+encodings so the runtime moves pixels, not pickles.  Low-volume control
+payloads (picture units, sequence headers, MEI programs) use pickle:
+every peer is a worker this package spawned itself, so the usual pickle
+trust caveat does not bite.
+"""
+
+from __future__ import annotations
+
+import json
+import pickle
+import struct
+from typing import Tuple
+
+import numpy as np
+
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.motion import Rect
+from repro.mpeg2.parser import PictureUnit
+from repro.mpeg2.structures import SequenceHeader
+from repro.parallel.mei import BlockXfer, MEIProgram
+from repro.parallel.pdecoder import PixelBlock
+
+# ---------------------------- message types ----------------------------- #
+# (repro.net.channel.HEARTBEAT is 0; application types start at 1.)
+
+MSG_HELLO = 1  # dialer -> accepter: who is calling           (json)
+MSG_SEQ = 2  # root -> splitters -> decoders: SequenceHeader  (pickle)
+MSG_PICTURE = 3  # root -> splitter: one coded picture        (pickle)
+MSG_SUBPICTURE = 4  # splitter -> decoder: SP + MEI program   (struct+pickle)
+MSG_ACK = 5  # decoder -> ANID splitter: picture received     (empty)
+MSG_BLOCK = 6  # decoder -> decoder: reference pixels         (struct+planes)
+MSG_FRAME = 7  # decoder -> collector: displayed tile crop    (struct+planes)
+MSG_CREDIT = 8  # splitter -> root: receive buffer freed      (empty)
+MSG_EOS = 9  # end of stream, cascaded down the tree          (empty)
+MSG_ERROR = 10  # any worker -> collector: fatal diagnostic   (json)
+
+
+# ------------------------------ hello ----------------------------------- #
+
+
+def encode_hello(name: str) -> bytes:
+    return json.dumps({"name": name}).encode()
+
+
+def decode_hello(payload: bytes) -> str:
+    return json.loads(payload.decode())["name"]
+
+
+# --------------------------- control payloads --------------------------- #
+
+
+def encode_sequence(seq: SequenceHeader) -> bytes:
+    return pickle.dumps(seq, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_sequence(payload: bytes) -> SequenceHeader:
+    return pickle.loads(payload)
+
+
+def encode_picture(nsid: int, unit: PictureUnit) -> bytes:
+    return pickle.dumps((nsid, unit), protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_picture(payload: bytes) -> Tuple[int, PictureUnit]:
+    return pickle.loads(payload)
+
+
+_SP_HEAD = "<HHI"  # anid, expected_recvs, len(sp_bytes)
+
+
+def encode_subpicture(anid: int, sp_bytes: bytes, program: MEIProgram) -> bytes:
+    head = struct.pack(_SP_HEAD, anid, len(program.recvs), len(sp_bytes))
+    return head + sp_bytes + pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def decode_subpicture(payload: bytes) -> Tuple[int, int, bytes, MEIProgram]:
+    """Return ``(anid, expected_recvs, sp_bytes, program)``."""
+    anid, expected, sp_len = struct.unpack_from(_SP_HEAD, payload)
+    off = struct.calcsize(_SP_HEAD)
+    sp_bytes = payload[off : off + sp_len]
+    program = pickle.loads(payload[off + sp_len :])
+    return anid, expected, sp_bytes, program
+
+
+def encode_error(proc: str, error: str) -> bytes:
+    return json.dumps({"proc": proc, "error": error}).encode()
+
+
+def decode_error(payload: bytes) -> Tuple[str, str]:
+    rec = json.loads(payload.decode())
+    return rec["proc"], rec["error"]
+
+
+# ------------------------- pixel-block payload -------------------------- #
+
+_BLOCK_FMT = "<HHB8HB"  # src, dest, direction, luma rect, chroma rect, flags
+
+
+def _rect_shape(r: Rect) -> Tuple[int, int]:
+    return (r.y1 - r.y0, r.x1 - r.x0)
+
+
+def encode_block(block: PixelBlock) -> bytes:
+    lr, cr_ = block.xfer.luma, block.xfer.chroma
+    flags = (
+        (1 if block.y is not None else 0)
+        | (2 if block.cb is not None else 0)
+        | (4 if block.cr is not None else 0)
+    )
+    head = struct.pack(
+        _BLOCK_FMT,
+        block.src,
+        block.dest,
+        block.xfer.direction,
+        lr.x0, lr.y0, lr.x1, lr.y1,
+        cr_.x0, cr_.y0, cr_.x1, cr_.y1,
+        flags,
+    )
+    planes = [
+        np.ascontiguousarray(p).tobytes()
+        for p in (block.y, block.cb, block.cr)
+        if p is not None
+    ]
+    return head + b"".join(planes)
+
+
+def decode_block(payload: bytes) -> PixelBlock:
+    vals = struct.unpack_from(_BLOCK_FMT, payload)
+    src, dest, direction = vals[0], vals[1], vals[2]
+    luma = Rect(vals[3], vals[4], vals[5], vals[6])
+    chroma = Rect(vals[7], vals[8], vals[9], vals[10])
+    flags = vals[11]
+    off = struct.calcsize(_BLOCK_FMT)
+
+    def take(rect: Rect, present: bool):
+        nonlocal off
+        if not present:
+            return None
+        h, w = _rect_shape(rect)
+        plane = np.frombuffer(payload, dtype=np.uint8, count=h * w, offset=off)
+        off += h * w
+        return plane.reshape(h, w)
+
+    y = take(luma, bool(flags & 1))
+    cb = take(chroma, bool(flags & 2))
+    cr = take(chroma, bool(flags & 4))
+    return PixelBlock(
+        xfer=BlockXfer(luma=luma, chroma=chroma, direction=direction),
+        src=src,
+        dest=dest,
+        y=y,
+        cb=cb,
+        cr=cr,
+    )
+
+
+# ------------------------- tile-frame payload --------------------------- #
+#
+# A decoder's frame is only authoritative on its partition rectangle, so
+# only that crop travels to the collector — a 2x2 wall ships one full
+# frame's worth of pixels per picture instead of four.
+
+_FRAME_FMT = "<H4H"  # tile id, partition rect
+
+
+def encode_tile_frame(tid: int, partition: Rect, frame: Frame) -> bytes:
+    p = partition
+    head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1)
+    y = np.ascontiguousarray(frame.y[p.y0 : p.y1, p.x0 : p.x1])
+    cb = np.ascontiguousarray(frame.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2])
+    cr = np.ascontiguousarray(frame.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2])
+    return head + y.tobytes() + cb.tobytes() + cr.tobytes()
+
+
+def decode_tile_frame(payload: bytes) -> Tuple[int, Rect, np.ndarray, np.ndarray, np.ndarray]:
+    tid, x0, y0, x1, y1 = struct.unpack_from(_FRAME_FMT, payload)
+    rect = Rect(x0, y0, x1, y1)
+    off = struct.calcsize(_FRAME_FMT)
+    h, w = y1 - y0, x1 - x0
+    ch, cw = h // 2, w // 2
+
+    def take(n, shape):
+        nonlocal off
+        plane = np.frombuffer(payload, dtype=np.uint8, count=n, offset=off)
+        off += n
+        return plane.reshape(shape)
+
+    y = take(h * w, (h, w))
+    cb = take(ch * cw, (ch, cw))
+    cr = take(ch * cw, (ch, cw))
+    return tid, rect, y, cb, cr

@@ -1,0 +1,550 @@
+"""Process roles of the 1-k-(m,n) cluster: root, splitter, tile decoder.
+
+Each role function is the body of one OS process (spawned by the
+supervisor via :mod:`repro.cluster.runtime.worker`).  The control flow is
+the same deadlock-free protocol the threaded runner demonstrates —
+ack-credit flow control between root and splitters, ANID ack redirection
+serializing sub-picture delivery, pre-calculated MEI block exchange
+between decoders — but every queue is now a socket channel and every
+actor a process, so decoding runs on real cores with no shared GIL.
+
+Connection topology (arrows point from dialer to listener)::
+
+    root ──► split[s]                 pictures down, credits back
+    split[s] ──► dec[t]               sub-pictures down, ANID acks back
+    dec[t] ──► dec[u<t]               reference blocks, both directions
+    dec[t] ──► collector              tile frame crops, EOS, errors
+
+Every process creates its listener first, then dials with bounded
+retry-and-backoff, then labels inbound connections by their HELLO
+message — so the supervisor can start the whole tree at once without an
+ordered handshake.  All channels run heartbeats; a peer that dies is
+detected as :class:`~repro.net.channel.ChannelClosed` (socket reset) or
+:class:`~repro.net.channel.PeerDeadError` (hung: silent past
+``dead_after``) instead of hanging the protocol.
+"""
+
+from __future__ import annotations
+
+import os
+import queue
+import signal
+import threading
+import time
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from repro.cluster.runtime.config import WallConfig
+from repro.cluster.runtime.messages import (
+    MSG_ACK,
+    MSG_BLOCK,
+    MSG_CREDIT,
+    MSG_EOS,
+    MSG_ERROR,
+    MSG_FRAME,
+    MSG_HELLO,
+    MSG_PICTURE,
+    MSG_SEQ,
+    MSG_SUBPICTURE,
+    decode_block,
+    decode_hello,
+    decode_picture,
+    decode_sequence,
+    decode_subpicture,
+    encode_block,
+    encode_error,
+    encode_hello,
+    encode_picture,
+    encode_sequence,
+    encode_subpicture,
+    encode_tile_frame,
+)
+from repro.mpeg2.parser import PictureScanner
+from repro.net.channel import (
+    Address,
+    Channel,
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    CreditGate,
+    Listener,
+    connect,
+)
+from repro.parallel.mb_splitter import MacroblockSplitter
+from repro.parallel.pdecoder import TileDecoder
+from repro.parallel.subpicture import SubPicture
+from repro.perf.trace import TraceWriter
+from repro.wall.layout import TileLayout
+
+STREAM_FILE = "stream.m2v"
+CONFIG_FILE = "cluster.json"
+
+
+class ProtocolError(RuntimeError):
+    """The peer violated the 1-k-(m,n) protocol (ordering, routing)."""
+
+
+# --------------------------------------------------------------------- #
+# rendezvous: name -> address, rooted at the run directory
+# --------------------------------------------------------------------- #
+
+
+class Rendezvous:
+    """Address book for the process tree.
+
+    Unix transport: socket paths are derived from process names, so a
+    dialer just retries until the listener has bound.  TCP transport:
+    listeners bind an ephemeral port and publish ``{name}.addr``; dialers
+    poll for the file.
+    """
+
+    def __init__(self, rundir: Path, transport: str, connect_timeout: float):
+        self.rundir = Path(rundir)
+        self.transport = transport
+        self.connect_timeout = connect_timeout
+
+    def listen(self, name: str) -> Listener:
+        if self.transport == "unix":
+            lst = Listener(("unix", str(self.rundir / f"{name}.sock")))
+        else:
+            lst = Listener(("tcp", "127.0.0.1", 0))
+            host, port = lst.address[1], lst.address[2]
+            tmp = self.rundir / f"{name}.addr.tmp"
+            tmp.write_text(f"{host} {port}")
+            tmp.rename(self.rundir / f"{name}.addr")  # atomic publish
+        return lst
+
+    def resolve(self, name: str) -> Address:
+        if self.transport == "unix":
+            return ("unix", str(self.rundir / f"{name}.sock"))
+        path = self.rundir / f"{name}.addr"
+        deadline = time.monotonic() + self.connect_timeout
+        while not path.exists():
+            if time.monotonic() >= deadline:
+                raise ChannelTimeout(f"no address published for {name!r}")
+            time.sleep(0.02)
+        host, port = path.read_text().split()
+        return ("tcp", host, int(port))
+
+    def dial(self, peer: str, me: str, cfg: WallConfig) -> Channel:
+        ch = connect(
+            self.resolve(peer),
+            timeout=self.connect_timeout,
+            name=f"{me}->{peer}",
+            dead_after=cfg.dead_after,
+        )
+        ch.send(MSG_HELLO, encode_hello(me))
+        ch.start_heartbeat(cfg.heartbeat_interval)
+        return ch
+
+
+def accept_labeled(
+    lst: Listener, me: str, cfg: WallConfig, timeout: float
+) -> Tuple[str, Channel]:
+    """Accept one connection and read its HELLO to learn who dialed."""
+    ch = lst.accept(timeout=timeout, dead_after=cfg.dead_after)
+    hello = ch.recv(timeout=timeout)
+    if hello.type != MSG_HELLO:
+        ch.close()
+        raise ProtocolError(f"{me}: first message was {hello.type}, not HELLO")
+    peer = decode_hello(hello.payload)
+    ch.name = f"{me}<-{peer}"
+    ch.start_heartbeat(cfg.heartbeat_interval)
+    return peer, ch
+
+
+def _maybe_fail(cfg: WallConfig, name: str, picture: int) -> None:
+    """Fault injection: die abruptly (SIGKILL) at the configured picture."""
+    spec = cfg.parsed_fail_at()
+    if spec is not None and spec == (name, picture):
+        os.kill(os.getpid(), signal.SIGKILL)
+
+
+def _pump(ch: Channel, out_q: "queue.Queue", label: str) -> threading.Thread:
+    """Reader thread: forward every inbound message (and the terminal
+    condition) into a queue the role's main loop consumes."""
+
+    def run() -> None:
+        try:
+            while True:
+                out_q.put(("msg", label, ch.recv()))
+        except ChannelClosed:
+            out_q.put(("closed", label, None))
+        except ChannelError as exc:
+            out_q.put(("error", label, exc))
+
+    t = threading.Thread(target=run, name=f"pump:{ch.name}", daemon=True)
+    t.start()
+    return t
+
+
+def _get(q: "queue.Queue", timeout: float, what: str):
+    try:
+        return q.get(timeout=timeout)
+    except queue.Empty:
+        raise ChannelTimeout(f"timed out after {timeout:.1f}s waiting for {what}")
+
+
+# --------------------------------------------------------------------- #
+# root splitter
+# --------------------------------------------------------------------- #
+
+
+def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
+    """Scan the stream, round-robin pictures to splitters under credits."""
+    rv = Rendezvous(rundir, cfg.transport, cfg.connect_timeout)
+    stream = (rundir / STREAM_FILE).read_bytes()
+    sequence, pictures = PictureScanner(stream).scan()
+
+    channels: Dict[int, Channel] = {}
+    gates: Dict[int, CreditGate] = {}
+    for s in range(cfg.k):
+        channels[s] = rv.dial(f"split{s}", "root", cfg)
+        gates[s] = CreditGate(cfg.queue_depth)
+        tracer.emit("connect", peer=f"split{s}")
+    for s in range(cfg.k):
+        channels[s].send(MSG_SEQ, encode_sequence(sequence))
+
+    def credit_pump(s: int) -> threading.Thread:
+        def run() -> None:
+            ch = channels[s]
+            try:
+                while True:
+                    msg = ch.recv()
+                    if msg.type == MSG_CREDIT:
+                        gates[s].release()
+            except ChannelError as exc:
+                gates[s].poison(exc)
+
+        t = threading.Thread(target=run, name=f"credits:split{s}", daemon=True)
+        t.start()
+        return t
+
+    pumps = [credit_pump(s) for s in range(cfg.k)]
+
+    for i, unit in enumerate(pictures):
+        _maybe_fail(cfg, "root", i)
+        a = i % cfg.k
+        nsid = (a + 1) % cfg.k
+        t0 = time.perf_counter()
+        gates[a].acquire(cfg.recv_timeout)
+        waited = time.perf_counter() - t0
+        channels[a].send(MSG_PICTURE, encode_picture(nsid, unit), picture=i)
+        tracer.emit(
+            "picture_sent",
+            picture=i,
+            splitter=a,
+            bytes=unit.size_bytes,
+            credit_wait_s=round(waited, 6),
+        )
+    for s in range(cfg.k):
+        channels[s].send(MSG_EOS)
+    tracer.emit("eos_sent", pictures=len(pictures))
+
+    # Graceful drain: wait for every splitter to finish and close, so the
+    # tail of the credit backchannel is consumed rather than reset.
+    deadline = time.monotonic() + cfg.recv_timeout
+    for t in pumps:
+        t.join(timeout=max(0.1, deadline - time.monotonic()))
+    for ch in channels.values():
+        ch.close()
+
+
+# --------------------------------------------------------------------- #
+# second-level splitter
+# --------------------------------------------------------------------- #
+
+
+def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -> None:
+    """Split pictures into sub-pictures + MEI programs; serialize delivery
+    by waiting for the previous picture's ANID-redirected acks."""
+    rv = Rendezvous(rundir, cfg.transport, cfg.connect_timeout)
+    lst = rv.listen(f"split{sid}")
+    me = f"split{sid}"
+    try:
+        peer, root_ch = accept_labeled(lst, me, cfg, cfg.connect_timeout)
+        if peer != "root":
+            raise ProtocolError(f"{me}: unexpected dialer {peer!r}")
+    finally:
+        lst.close()
+
+    n_tiles = cfg.n_tiles
+    dec_ch: Dict[int, Channel] = {}
+    for t in range(n_tiles):
+        dec_ch[t] = rv.dial(f"dec{t}", me, cfg)
+        tracer.emit("connect", peer=f"dec{t}")
+
+    ack_q: "queue.Queue" = queue.Queue()
+    pumps = [_pump(dec_ch[t], ack_q, f"dec{t}") for t in range(n_tiles)]
+
+    seq_msg = root_ch.recv(cfg.connect_timeout)
+    if seq_msg.type != MSG_SEQ:
+        raise ProtocolError(f"{me}: expected SEQ, got {seq_msg.type}")
+    sequence = decode_sequence(seq_msg.payload)
+    layout = TileLayout(sequence.width, sequence.height, cfg.m, cfg.n, cfg.overlap)
+    msplit = MacroblockSplitter(sequence, layout)
+    for t in range(n_tiles):
+        dec_ch[t].send(MSG_SEQ, seq_msg.payload)
+
+    def wait_acks(expect_picture: int) -> float:
+        t0 = time.perf_counter()
+        for _ in range(n_tiles):
+            kind, label, msg = _get(
+                ack_q, cfg.recv_timeout, f"acks of picture {expect_picture}"
+            )
+            if kind == "closed":
+                raise ChannelClosed(f"{me}: {label} disconnected during ack wait")
+            if kind == "error":
+                raise msg
+            if msg.type != MSG_ACK:
+                raise ProtocolError(f"{me}: unexpected {msg.type} from {label}")
+            if msg.picture != expect_picture:
+                raise ProtocolError(
+                    f"{me}: ack for picture {msg.picture}, expected {expect_picture}"
+                )
+        return time.perf_counter() - t0
+
+    while True:
+        msg = root_ch.recv(cfg.recv_timeout)
+        if msg.type == MSG_EOS:
+            break
+        if msg.type != MSG_PICTURE:
+            raise ProtocolError(f"{me}: unexpected {msg.type} from root")
+        i = msg.picture
+        root_ch.send(MSG_CREDIT)  # receive buffer freed: root may send again
+        _maybe_fail(cfg, me, i)
+        nsid, unit = decode_picture(msg.payload)
+        t0 = time.perf_counter()
+        result = msplit.split(unit, i)
+        split_s = time.perf_counter() - t0
+        # Sub-picture delivery is serialized by the previous picture's acks,
+        # redirected here via ANID — the reorder-free ordering guarantee.
+        ack_wait_s = wait_acks(i - 1) if i > 0 else 0.0
+        sent = 0
+        for t in range(n_tiles):
+            payload = encode_subpicture(
+                nsid, result.subpictures[t].serialize(), result.mei.program(t)
+            )
+            dec_ch[t].send(MSG_SUBPICTURE, payload, picture=i)
+            sent += len(payload)
+        tracer.emit(
+            "split",
+            picture=i,
+            split_s=round(split_s, 6),
+            ack_wait_s=round(ack_wait_s, 6),
+            bytes=sent,
+        )
+    for t in range(n_tiles):
+        dec_ch[t].send(MSG_EOS)
+    tracer.emit("eos_sent")
+    root_ch.close()
+
+    deadline = time.monotonic() + cfg.recv_timeout
+    for t in pumps:
+        t.join(timeout=max(0.1, deadline - time.monotonic()))
+    for ch in dec_ch.values():
+        ch.close()
+
+
+# --------------------------------------------------------------------- #
+# tile decoder
+# --------------------------------------------------------------------- #
+
+
+def run_decoder(cfg: WallConfig, rundir: Path, tid: int, tracer: TraceWriter) -> None:
+    """Execute MEI sends, apply received blocks, decode sub-pictures, and
+    stream displayed tile crops to the collector."""
+    rv = Rendezvous(rundir, cfg.transport, cfg.connect_timeout)
+    me = f"dec{tid}"
+    lst = rv.listen(me)
+
+    collector = rv.dial("collector", me, cfg)
+    try:
+        _decoder_body(cfg, rv, lst, collector, tid, tracer)
+    except Exception as exc:
+        # Best-effort rich diagnostic to the supervisor before dying; the
+        # nonzero exit code is the authoritative failure signal.
+        try:
+            collector.send(MSG_ERROR, encode_error(me, repr(exc)))
+        except ChannelError:
+            pass
+        raise
+    finally:
+        collector.close()
+
+
+def _decoder_body(
+    cfg: WallConfig,
+    rv: Rendezvous,
+    lst: Listener,
+    collector: Channel,
+    tid: int,
+    tracer: TraceWriter,
+) -> None:
+    me = f"dec{tid}"
+    n_tiles = cfg.n_tiles
+    peers: Dict[str, Channel] = {}
+    for u in range(tid):
+        peers[f"dec{u}"] = rv.dial(f"dec{u}", me, cfg)
+        tracer.emit("connect", peer=f"dec{u}")
+
+    split_ch: Dict[int, Channel] = {}
+    try:
+        expected = cfg.k + (n_tiles - 1 - tid)
+        for _ in range(expected):
+            peer, ch = accept_labeled(lst, me, cfg, cfg.connect_timeout)
+            if peer.startswith("split"):
+                split_ch[int(peer[5:])] = ch
+            elif peer.startswith("dec"):
+                peers[peer] = ch
+            else:
+                raise ProtocolError(f"{me}: unexpected dialer {peer!r}")
+            tracer.emit("accept", peer=peer)
+    finally:
+        lst.close()
+
+    ctrl_q: "queue.Queue" = queue.Queue()
+    blk_q: "queue.Queue" = queue.Queue()
+    pumps = [_pump(ch, ctrl_q, f"split{s}") for s, ch in split_ch.items()]
+    pumps += [_pump(ch, blk_q, name) for name, ch in peers.items()]
+
+    # The sequence header cascades root -> splitters -> decoders; every
+    # splitter forwards one copy and the first to arrive wins.
+    sequence = None
+    pre_eos: List[tuple] = []
+    while sequence is None:
+        kind, label, msg = _get(ctrl_q, cfg.connect_timeout, "sequence header")
+        if kind == "error":
+            raise msg
+        if kind == "closed":
+            raise ChannelClosed(f"{me}: {label} disconnected before SEQ")
+        if msg.type == MSG_SEQ:
+            sequence = decode_sequence(msg.payload)
+        else:
+            pre_eos.append((kind, label, msg))
+    for item in pre_eos:  # anything that raced ahead of the first SEQ
+        ctrl_q.put(item)
+
+    layout = TileLayout(sequence.width, sequence.height, cfg.m, cfg.n, cfg.overlap)
+    dec = TileDecoder(
+        layout.tile(tid),
+        layout,
+        sequence,
+        batch_reconstruct=cfg.batch_reconstruct,
+    )
+    partition = layout.tile(tid).partition
+    display_idx = 0
+
+    def ship(frame) -> None:
+        nonlocal display_idx
+        payload = encode_tile_frame(tid, partition, frame)
+        collector.send(MSG_FRAME, payload, picture=display_idx, sender=tid)
+        tracer.emit("frame_sent", picture=display_idx, bytes=len(payload))
+        display_idx += 1
+
+    held_back: Dict[int, List] = {}
+    eos_from: set = set()
+    closed: set = set()
+    i = 0
+    while len(eos_from) < cfg.k:
+        kind, label, msg = _get(ctrl_q, cfg.recv_timeout, f"sub-picture {i}")
+        if kind == "error":
+            raise msg
+        if kind == "closed":
+            if label in eos_from:
+                closed.add(label)  # orderly: EOS then close
+                continue
+            raise ChannelClosed(f"{me}: {label} disconnected mid-stream")
+        if msg.type == MSG_SEQ:
+            continue  # duplicate copies from the other splitters
+        if msg.type == MSG_EOS:
+            eos_from.add(label)
+            continue
+        if msg.type != MSG_SUBPICTURE:
+            raise ProtocolError(f"{me}: unexpected {msg.type} from {label}")
+
+        _maybe_fail(cfg, me, msg.picture)
+        if msg.picture != i:
+            raise ProtocolError(
+                f"{me}: picture {msg.picture} arrived, expected {i} "
+                "(ordering broken)"
+            )
+        anid, expected_recvs, sp_bytes, program = decode_subpicture(msg.payload)
+        sp = SubPicture.deserialize(sp_bytes)
+        ptype = sp.picture_type
+        # Ack to the *next* splitter (ANID), releasing picture i+1.
+        split_ch[anid].send(MSG_ACK, picture=i, sender=tid)
+
+        t0 = time.perf_counter()
+        served = 0
+        for block in dec.execute_sends(program, ptype):
+            peers[f"dec{block.dest}"].send(
+                MSG_BLOCK, encode_block(block), picture=i, sender=tid
+            )
+            served += block.nbytes
+        serve_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # Per-source debt ledger: a closed peer that still owes this picture
+        # blocks is a death, not an orderly EOF — fail fast instead of
+        # sitting out the full receive timeout.
+        owed = Counter(f"dec{src}" for _, src in program.recvs)
+        pending = held_back.pop(i, [])
+        for block in pending:
+            dec.apply_recv(block, ptype)
+            owed[f"dec{block.src}"] -= 1
+        got = len(pending)
+        for name in closed:
+            if owed.get(name, 0) > 0:
+                raise ChannelClosed(f"{me}: {name} died owing blocks of picture {i}")
+        while got < expected_recvs:
+            bkind, blabel, bmsg = _get(blk_q, cfg.recv_timeout, f"blocks of picture {i}")
+            if bkind == "error":
+                raise bmsg
+            if bkind == "closed":
+                closed.add(blabel)
+                if owed.get(blabel, 0) > 0:
+                    raise ChannelClosed(
+                        f"{me}: {blabel} died owing blocks of picture {i}"
+                    )
+                continue
+            block = decode_block(bmsg.payload)
+            if bmsg.picture == i:
+                dec.apply_recv(block, ptype)
+                owed[f"dec{block.src}"] -= 1
+                got += 1
+            else:
+                held_back.setdefault(bmsg.picture, []).append(block)
+        wait_remote_s = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        ready = dec.decode_subpicture(sp)
+        decode_s = time.perf_counter() - t0
+        tracer.emit(
+            "decode",
+            picture=i,
+            ptype=ptype.name,
+            serve_s=round(serve_s, 6),
+            wait_remote_s=round(wait_remote_s, 6),
+            decode_s=round(decode_s, 6),
+            served_bytes=served,
+        )
+        if ready is not None:
+            ship(ready)
+        i += 1
+
+    tail = dec.flush()
+    if tail is not None:
+        ship(tail)
+    dec.stage_times.pictures = dec.stats.pictures_decoded
+    tracer.emit("stage_times", **dec.stage_times.as_dict())
+    collector.send(MSG_EOS, sender=tid)
+
+    for ch in split_ch.values():
+        ch.close()
+    for ch in peers.values():
+        ch.close()
+    deadline = time.monotonic() + 1.0
+    for t in pumps:
+        t.join(timeout=max(0.05, deadline - time.monotonic()))

@@ -1,0 +1,313 @@
+"""Cluster supervisor: spawn the process tree, collect frames, tear down.
+
+:class:`ClusterSupervisor` is the driver-side half of the runtime.  For
+one decode it:
+
+1. materializes a *run directory* (the rendezvous root): the encoded
+   stream, ``cluster.json``, per-process trace/log files, and — for the
+   Unix transport — the socket files themselves;
+2. binds the collector listener, then spawns ``1 + k + m*n`` worker
+   processes (``python -m repro.cluster.runtime.worker``);
+3. accepts one channel per tile decoder and collects displayed tile
+   crops until every picture is assembled, polling child liveness the
+   whole time — a crashed worker becomes a :class:`ClusterError` with a
+   per-process diagnostic report, never a hang;
+4. drains EOS, waits for children to exit (escalating terminate → kill
+   past the deadline), and merges every per-process trace into one
+   wall-clock timeline (``merged.trace.jsonl``).
+
+The output is bit-identical to the sequential decoder — the same golden
+assertion the threaded runner carries, now across process boundaries.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.cluster.runtime.config import WallConfig
+from repro.cluster.runtime.messages import (
+    MSG_EOS,
+    MSG_ERROR,
+    MSG_FRAME,
+    decode_error,
+    decode_tile_frame,
+)
+from repro.cluster.runtime.roles import (
+    CONFIG_FILE,
+    STREAM_FILE,
+    Rendezvous,
+    accept_labeled,
+    _pump,
+)
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.parser import PictureScanner
+from repro.net.channel import Channel, ChannelTimeout, Listener
+from repro.perf.metrics import StageTimes
+from repro.perf.trace import TRACE_SUFFIX, TraceWriter, merge_traces
+from repro.wall.layout import TileLayout
+
+MERGED_TRACE = "merged.trace.jsonl"
+
+
+class ClusterError(RuntimeError):
+    """A worker failed (or timed out); carries the diagnostic report."""
+
+    def __init__(self, message: str, report: str = ""):
+        super().__init__(message + (f"\n{report}" if report else ""))
+        self.report = report
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH that lets a bare interpreter import this package."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    return src_root + (os.pathsep + existing if existing else "")
+
+
+class ClusterSupervisor:
+    """Run the 1-k-(m,n) pipeline as real OS processes and supervise it."""
+
+    def __init__(self, config: WallConfig, trace_dir: Optional[str] = None):
+        self.config = config
+        self.trace_dir = trace_dir
+        self.rundir: Optional[Path] = None
+        self.processes: Dict[str, subprocess.Popen] = {}
+        self.stage_times = StageTimes()  # aggregated from decoder traces
+        self.merged_trace_path: Optional[Path] = None
+
+    # ------------------------------------------------------------------ #
+
+    def decode(self, stream: bytes, timeout: float = 120.0) -> List[Frame]:
+        cfg = self.config
+        sequence, pictures = PictureScanner(stream).scan()
+        layout = TileLayout(sequence.width, sequence.height, cfg.m, cfg.n, cfg.overlap)
+        n_pics, n_tiles = len(pictures), layout.n_tiles
+
+        if self.trace_dir is not None:
+            # Absolute: workers run with cwd *inside* the run directory and
+            # receive this path on their command line.
+            rundir = Path(self.trace_dir).resolve()
+            rundir.mkdir(parents=True, exist_ok=True)
+        else:
+            rundir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
+        self.rundir = rundir
+        (rundir / STREAM_FILE).write_bytes(stream)
+        (rundir / CONFIG_FILE).write_text(json.dumps({"config": cfg.to_dict()}))
+        tracer = TraceWriter(rundir / f"supervisor{TRACE_SUFFIX}", "supervisor")
+
+        rv = Rendezvous(rundir, cfg.transport, cfg.connect_timeout)
+        collector = rv.listen("collector")
+        channels: Dict[int, Channel] = {}
+        try:
+            self._spawn(rundir, tracer)
+            frames = self._collect(
+                collector, channels, layout, n_pics, n_tiles, timeout, tracer
+            )
+            self._shutdown(timeout, tracer)
+            return frames
+        except Exception:
+            self._teardown(tracer)
+            raise
+        finally:
+            for ch in channels.values():
+                ch.close()
+            collector.close()
+            tracer.close()
+            self.merged_trace_path = rundir / MERGED_TRACE
+            merge_traces(rundir, self.merged_trace_path)
+
+    # ------------------------------------------------------------------ #
+
+    def _spawn(self, rundir: Path, tracer: TraceWriter) -> None:
+        env = os.environ.copy()
+        env["PYTHONPATH"] = _repro_pythonpath()
+        for name in self.config.process_names:
+            log = open(rundir / f"{name}.log", "wb")
+            proc = subprocess.Popen(
+                [
+                    sys.executable,
+                    "-m",
+                    "repro.cluster.runtime.worker",
+                    "--dir",
+                    str(rundir),
+                    "--name",
+                    name,
+                ],
+                stdout=log,
+                stderr=subprocess.STDOUT,
+                env=env,
+                cwd=str(rundir),
+            )
+            log.close()  # the child holds its own descriptor
+            self.processes[name] = proc
+            tracer.emit("spawn", proc_name=name, pid=proc.pid)
+
+    def _poll_children(self) -> Optional[str]:
+        """Name of the first child that exited with a nonzero status."""
+        for name, proc in self.processes.items():
+            rc = proc.poll()
+            if rc is not None and rc != 0:
+                return name
+        return None
+
+    def _collect(
+        self,
+        collector: Listener,
+        channels: Dict[int, Channel],
+        layout: TileLayout,
+        n_pics: int,
+        n_tiles: int,
+        timeout: float,
+        tracer: TraceWriter,
+    ) -> List[Frame]:
+        cfg = self.config
+        deadline = time.monotonic() + timeout
+
+        def check(what: str) -> None:
+            dead = self._poll_children()
+            if dead is not None:
+                raise ClusterError(
+                    f"worker {dead!r} exited with status "
+                    f"{self.processes[dead].returncode} while {what}",
+                    self._diagnostics(),
+                )
+            if time.monotonic() >= deadline:
+                raise ClusterError(
+                    f"cluster timed out after {timeout:.0f}s while {what}",
+                    self._diagnostics(),
+                )
+
+        # Accept one channel per tile decoder, polling liveness throughout.
+        while len(channels) < n_tiles:
+            check("waiting for decoders to connect")
+            try:
+                peer, ch = accept_labeled(collector, "supervisor", cfg, 0.25)
+            except ChannelTimeout:
+                continue
+            if not peer.startswith("dec"):
+                raise ClusterError(f"unexpected connection from {peer!r}")
+            channels[int(peer[3:])] = ch
+            tracer.emit("accept", peer=peer)
+
+        frame_q: "queue.Queue" = queue.Queue()
+        for tid, ch in channels.items():
+            _pump(ch, frame_q, f"dec{tid}")
+
+        buckets: Dict[int, Dict[int, tuple]] = {}
+        frames: Dict[int, Frame] = {}
+        collected = 0
+        eos_from: set = set()
+        while collected < n_pics * n_tiles:
+            check("collecting frames")
+            try:
+                kind, label, msg = frame_q.get(timeout=0.25)
+            except queue.Empty:
+                continue
+            if kind == "closed":
+                if label in eos_from:
+                    continue
+                raise ClusterError(
+                    f"{label} disconnected mid-stream", self._diagnostics()
+                )
+            if kind == "error":
+                raise ClusterError(f"{label}: {msg}", self._diagnostics())
+            if msg.type == MSG_ERROR:
+                proc_name, err = decode_error(msg.payload)
+                raise ClusterError(
+                    f"worker {proc_name!r} reported: {err}", self._diagnostics()
+                )
+            if msg.type == MSG_EOS:
+                eos_from.add(label)
+                continue
+            if msg.type != MSG_FRAME:
+                raise ClusterError(f"unexpected message {msg.type} from {label}")
+            tid, rect, y, cb, cr = decode_tile_frame(msg.payload)
+            buckets.setdefault(msg.picture, {})[tid] = (rect, y, cb, cr)
+            collected += 1
+            if len(buckets[msg.picture]) == n_tiles:
+                frames[msg.picture] = self._assemble(layout, buckets.pop(msg.picture))
+                tracer.emit("frame_assembled", picture=msg.picture)
+        return [frames[i] for i in sorted(frames)]
+
+    @staticmethod
+    def _assemble(layout: TileLayout, crops: Dict[int, tuple]) -> Frame:
+        """Paste each tile's partition crop — the multi-process equivalent
+        of :func:`repro.wall.display.assemble_wall`."""
+        out = Frame.blank(layout.width, layout.height)
+        for _tid, (p, y, cb, cr) in crops.items():
+            out.y[p.y0 : p.y1, p.x0 : p.x1] = y
+            out.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = cb
+            out.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = cr
+        return out
+
+    # ------------------------------------------------------------------ #
+
+    def _shutdown(self, timeout: float, tracer: TraceWriter) -> None:
+        """Graceful drain: all frames are in, so children exit on their own
+        EOS cascade; escalate only past the deadline."""
+        deadline = time.monotonic() + min(timeout, 10.0)
+        for name, proc in self.processes.items():
+            remaining = max(0.1, deadline - time.monotonic())
+            try:
+                rc = proc.wait(timeout=remaining)
+            except subprocess.TimeoutExpired:
+                proc.terminate()
+                try:
+                    rc = proc.wait(timeout=2.0)
+                except subprocess.TimeoutExpired:
+                    proc.kill()
+                    rc = proc.wait()
+            tracer.emit("child_exit", proc_name=name, returncode=rc)
+        self._harvest_stage_times()
+        tracer.emit("shutdown")
+
+    def _teardown(self, tracer: TraceWriter) -> None:
+        """Failure path: kill every child so nothing outlives the error."""
+        for name, proc in self.processes.items():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + 3.0
+        for name, proc in self.processes.items():
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            tracer.emit("child_killed", proc_name=name, returncode=proc.returncode)
+        tracer.emit("teardown")
+
+    def _harvest_stage_times(self) -> None:
+        """Aggregate decoder stage timers out of the trace streams."""
+        from repro.perf.trace import read_trace_file
+
+        assert self.rundir is not None
+        for t in range(self.config.n_tiles):
+            path = self.rundir / f"dec{t}{TRACE_SUFFIX}"
+            if not path.exists():
+                continue
+            for ev in read_trace_file(path):
+                if ev.event == "stage_times":
+                    self.stage_times.merge(StageTimes.from_dict(ev.data))
+
+    def _diagnostics(self) -> str:
+        """Per-process post-mortem: exit codes plus log tails."""
+        lines = []
+        for name, proc in self.processes.items():
+            rc = proc.poll()
+            state = "running" if rc is None else f"exit {rc}"
+            lines.append(f"--- {name} ({state}) ---")
+            log = (self.rundir / f"{name}.log") if self.rundir else None
+            if log and log.exists():
+                tail = log.read_text(errors="replace").splitlines()[-12:]
+                lines.extend(f"    {ln}" for ln in tail)
+        return "\n".join(lines)

@@ -1,0 +1,63 @@
+"""Worker process entrypoint: ``python -m repro.cluster.runtime.worker``.
+
+The supervisor spawns one of these per cluster role.  The worker reads
+the run directory's ``cluster.json``, opens its own JSONL trace stream,
+and runs its role; any uncaught exception is traced, printed to stderr
+(which the supervisor captures to ``{name}.log``), and converted to a
+nonzero exit code — the supervisor's authoritative failure signal.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import traceback
+from pathlib import Path
+from typing import List, Optional
+
+from repro.cluster.runtime.config import WallConfig
+from repro.cluster.runtime.roles import (
+    CONFIG_FILE,
+    run_decoder,
+    run_root,
+    run_splitter,
+)
+from repro.perf.trace import TRACE_SUFFIX, TraceWriter
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    ap = argparse.ArgumentParser(prog="repro-cluster-worker")
+    ap.add_argument("--dir", required=True, help="run directory (rendezvous root)")
+    ap.add_argument("--name", required=True, help="process name, e.g. dec3")
+    args = ap.parse_args(argv)
+
+    rundir = Path(args.dir)
+    name = args.name
+    cfg = WallConfig.from_dict(
+        json.loads((rundir / CONFIG_FILE).read_text())["config"]
+    )
+    tracer = TraceWriter(rundir / f"{name}{TRACE_SUFFIX}", name)
+    tracer.emit("start", pid=os.getpid(), role=name.rstrip("0123456789"))
+    try:
+        if name == "root":
+            run_root(cfg, rundir, tracer)
+        elif name.startswith("split"):
+            run_splitter(cfg, rundir, int(name[5:]), tracer)
+        elif name.startswith("dec"):
+            run_decoder(cfg, rundir, int(name[3:]), tracer)
+        else:
+            raise ValueError(f"unknown worker name {name!r}")
+        tracer.emit("exit")
+    except Exception as exc:
+        tracer.emit("error", error=repr(exc))
+        traceback.print_exc(file=sys.stderr)
+        return 1
+    finally:
+        tracer.close()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

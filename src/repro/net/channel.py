@@ -1,0 +1,365 @@
+"""Length-prefixed socket message transport for the real cluster runtime.
+
+The deterministic simulator (:mod:`repro.net.gm`) models the GM message
+layer; this module is the *actual* transport the multi-process runtime
+(:mod:`repro.cluster.runtime`) runs on: TCP or Unix-domain stream sockets
+carrying framed binary messages.
+
+Wire format (little-endian), one frame per message::
+
+    magic    u16   0x4D43 ("CM")
+    type     u8    message type (HEARTBEAT = 0 is transport-reserved)
+    sender   u16   sender id, application-defined
+    picture  i32   picture index (or -1 when not picture-scoped)
+    length   u32   payload byte count
+
+followed by ``length`` payload bytes.
+
+Delivery properties deliberately mirror the GM model the protocol was
+designed against: messages on one channel arrive in send order (a stream
+socket gives that for free), but nothing orders messages across *different*
+channels — which is exactly why the ANID ack-redirection protocol exists
+and why the runtime keeps one socket per peer pair.
+
+Failure semantics:
+
+- ``recv`` raises :class:`ChannelTimeout` when no message arrives in time,
+  :class:`ChannelClosed` on EOF/reset, and :class:`PeerDeadError` when the
+  peer has been silent longer than ``dead_after`` while heartbeats were
+  expected — a *hung* peer, as opposed to a dead socket.
+- ``connect`` retries with exponential backoff until a deadline, so
+  processes may start in any order.
+- :class:`CreditGate` implements the paper's two-receive-buffer flow
+  control: a sender acquires a credit per in-flight message and the
+  receiver's CREDIT/ack messages release them.
+"""
+
+from __future__ import annotations
+
+import os
+import select
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+MAGIC = 0x4D43  # "CM" — cluster message
+HEADER_FMT = "<HBHiI"
+HEADER_SIZE = struct.calcsize(HEADER_FMT)
+
+#: Transport-reserved message type: sent by the keepalive thread, consumed
+#: inside ``recv`` (refreshes the peer-activity clock, never surfaced).
+HEARTBEAT = 0
+
+#: Socket poll granularity; every blocking wait is sliced at this period so
+#: deadlines and peer-death checks stay responsive.
+POLL_INTERVAL = 0.05
+
+# An address is JSON-friendly: ("tcp", host, port) or ("unix", path).
+Address = Union[Tuple[str, str, int], Tuple[str, str]]
+
+
+class ChannelError(RuntimeError):
+    """Base class for transport failures."""
+
+
+class ChannelClosed(ChannelError):
+    """The peer closed the connection (EOF or reset)."""
+
+
+class ChannelTimeout(ChannelError):
+    """No message arrived within the allowed time."""
+
+
+class PeerDeadError(ChannelError):
+    """A heartbeat-monitored peer went silent past ``dead_after``."""
+
+
+class CreditTimeout(ChannelError):
+    """A sender exhausted its credits and none were released in time."""
+
+
+@dataclass(frozen=True)
+class Message:
+    """One received frame."""
+
+    type: int
+    sender: int
+    picture: int
+    payload: bytes
+
+
+def _new_socket(kind: str) -> socket.socket:
+    if kind == "tcp":
+        s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        s.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        return s
+    if kind == "unix":
+        return socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+    raise ValueError(f"unknown transport {kind!r}")
+
+
+class Channel:
+    """A framed, bidirectional message stream over one connected socket."""
+
+    def __init__(self, sock: socket.socket, name: str = "", dead_after: Optional[float] = None):
+        self.sock = sock
+        self.name = name
+        self.dead_after = dead_after
+        # Non-blocking + select throughout: send and recv may run on
+        # different threads, and a shared per-socket timeout (settimeout)
+        # would let one direction's poll corrupt the other's blocking mode.
+        self.sock.setblocking(False)
+        self._send_lock = threading.Lock()
+        self._buf = bytearray()
+        self._closed = False
+        self._last_activity = time.monotonic()
+        self._hb_stop: Optional[threading.Event] = None
+        self._hb_thread: Optional[threading.Thread] = None
+
+    # -------------------------------- send --------------------------------- #
+
+    def send(
+        self,
+        mtype: int,
+        payload: bytes = b"",
+        picture: int = -1,
+        sender: int = 0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Write one frame; blocks while the kernel buffer is full.
+
+        With ``timeout`` the wait is bounded.  If the deadline passes with
+        the frame partially written, the stream is desynchronised beyond
+        repair, so the channel is closed before :class:`ChannelTimeout`
+        is raised — a half-sent frame must never be followed by another.
+        """
+        header = struct.pack(HEADER_FMT, MAGIC, mtype, sender, picture, len(payload))
+        view = memoryview(header + payload)
+        deadline = None if timeout is None else time.monotonic() + timeout
+        started = False
+        with self._send_lock:
+            while view:
+                if self._closed:
+                    raise ChannelClosed(f"{self.name}: channel closed")
+                if deadline is not None and time.monotonic() >= deadline:
+                    if started:
+                        self.close()
+                    raise ChannelTimeout(f"{self.name}: send buffer full past timeout")
+                try:
+                    _, writable, _ = select.select([], [self.sock], [], POLL_INTERVAL)
+                    if not writable:
+                        continue
+                    n = self.sock.send(view)
+                except (BlockingIOError, InterruptedError):
+                    continue
+                except (OSError, ValueError) as exc:
+                    raise ChannelClosed(f"{self.name}: send failed: {exc}") from exc
+                if n:
+                    started = True
+                    view = view[n:]
+
+    # -------------------------------- recv --------------------------------- #
+
+    def _fill(self, n: int, deadline: Optional[float]) -> None:
+        """Buffer at least ``n`` bytes, polling so deadlines stay live."""
+        while len(self._buf) < n:
+            now = time.monotonic()
+            if deadline is not None and now >= deadline:
+                raise ChannelTimeout(f"{self.name}: no message within timeout")
+            if self.dead_after is not None and now - self._last_activity > self.dead_after:
+                raise PeerDeadError(
+                    f"{self.name}: peer silent for more than {self.dead_after:.1f}s"
+                )
+            try:
+                readable, _, _ = select.select([self.sock], [], [], POLL_INTERVAL)
+                if not readable:
+                    continue
+                chunk = self.sock.recv(65536)
+            except (BlockingIOError, InterruptedError):
+                continue
+            except (OSError, ValueError) as exc:
+                raise ChannelClosed(f"{self.name}: recv failed: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed(f"{self.name}: peer closed the connection")
+            self._buf.extend(chunk)
+            self._last_activity = time.monotonic()
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        """Return the next application message (heartbeats are consumed)."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            self._fill(HEADER_SIZE, deadline)
+            magic, mtype, sender, picture, length = struct.unpack_from(HEADER_FMT, self._buf)
+            if magic != MAGIC:
+                raise ChannelError(f"{self.name}: bad frame magic {magic:#x}")
+            self._fill(HEADER_SIZE + length, deadline)
+            payload = bytes(self._buf[HEADER_SIZE : HEADER_SIZE + length])
+            del self._buf[: HEADER_SIZE + length]
+            if mtype == HEARTBEAT:
+                continue
+            return Message(type=mtype, sender=sender, picture=picture, payload=payload)
+
+    # ------------------------------ keepalive ------------------------------- #
+
+    def start_heartbeat(self, interval: float = 0.5) -> None:
+        """Send HEARTBEAT frames every ``interval`` seconds until closed."""
+        if self._hb_thread is not None:
+            return
+        stop = threading.Event()
+
+        def beat() -> None:
+            while not stop.wait(interval):
+                try:
+                    self.send(HEARTBEAT)
+                except ChannelError:
+                    return
+
+        self._hb_stop = stop
+        self._hb_thread = threading.Thread(
+            target=beat, name=f"hb:{self.name}", daemon=True
+        )
+        self._hb_thread.start()
+
+    # ------------------------------ lifecycle ------------------------------- #
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        if self._hb_stop is not None:
+            self._hb_stop.set()
+        try:
+            self.sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        self.sock.close()
+
+    def __enter__(self) -> "Channel":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class Listener:
+    """A bound, listening socket producing :class:`Channel` per accept."""
+
+    def __init__(self, address: Address, backlog: int = 64):
+        kind = address[0]
+        self.sock = _new_socket(kind)
+        if kind == "tcp":
+            self.sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            self.sock.bind((address[1], address[2]))
+            host, port = self.sock.getsockname()[:2]
+            self.address: Address = ("tcp", host, port)
+        else:
+            path = address[1]
+            if os.path.exists(path):
+                os.unlink(path)
+            self.sock.bind(path)
+            self.address = ("unix", path)
+        self.sock.listen(backlog)
+
+    def accept(self, timeout: Optional[float] = None, **channel_kw) -> Channel:
+        self.sock.settimeout(timeout)
+        try:
+            conn, _addr = self.sock.accept()
+        except socket.timeout as exc:
+            raise ChannelTimeout("accept timed out") from exc
+        except OSError as exc:
+            raise ChannelClosed(f"listener closed: {exc}") from exc
+        return Channel(conn, **channel_kw)
+
+    def close(self) -> None:
+        self.sock.close()
+        if self.address[0] == "unix" and os.path.exists(self.address[1]):
+            try:
+                os.unlink(self.address[1])
+            except OSError:
+                pass
+
+    def __enter__(self) -> "Listener":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def connect(
+    address: Address,
+    timeout: float = 10.0,
+    retry_interval: float = 0.02,
+    backoff: float = 1.6,
+    max_interval: float = 0.5,
+    **channel_kw,
+) -> Channel:
+    """Dial ``address``, retrying with exponential backoff until ``timeout``.
+
+    Bounded retry exists because the supervisor starts the whole process
+    tree at once: a dialer may race the listener's bind.
+    """
+    deadline = time.monotonic() + timeout
+    interval = retry_interval
+    last_exc: Optional[Exception] = None
+    while time.monotonic() < deadline:
+        sock = _new_socket(address[0])
+        try:
+            sock.settimeout(max(0.1, deadline - time.monotonic()))
+            if address[0] == "tcp":
+                sock.connect((address[1], address[2]))
+            else:
+                sock.connect(address[1])
+            return Channel(sock, **channel_kw)
+        except OSError as exc:
+            sock.close()
+            last_exc = exc
+            time.sleep(min(interval, max(0.0, deadline - time.monotonic())))
+            interval = min(interval * backoff, max_interval)
+    raise ChannelTimeout(f"could not connect to {address!r}: {last_exc}")
+
+
+class CreditGate:
+    """Two-buffer-style flow control: block the sender at zero credits.
+
+    The initial credit count is the receiver's posted-buffer count (the
+    paper uses two).  ``acquire`` consumes one credit per send; the thread
+    reading the backchannel calls ``release`` for every CREDIT/ack message.
+    ``poison`` wakes all waiters and makes further ``acquire`` calls raise —
+    used when the peer dies so a blocked sender cannot hang.
+    """
+
+    def __init__(self, credits: int):
+        if credits < 1:
+            raise ValueError("need at least one credit")
+        self._cond = threading.Condition()
+        self._credits = credits
+        self._poisoned: Optional[BaseException] = None
+
+    @property
+    def available(self) -> int:
+        with self._cond:
+            return self._credits
+
+    def acquire(self, timeout: Optional[float] = None) -> None:
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: self._credits > 0 or self._poisoned is not None, timeout
+            )
+            if self._poisoned is not None:
+                raise self._poisoned
+            if not ok:
+                raise CreditTimeout(f"no credit released within {timeout}s")
+            self._credits -= 1
+
+    def release(self, n: int = 1) -> None:
+        with self._cond:
+            self._credits += n
+            self._cond.notify_all()
+
+    def poison(self, exc: BaseException) -> None:
+        with self._cond:
+            self._poisoned = exc
+            self._cond.notify_all()

@@ -17,12 +17,19 @@ through blocking queues, with the paper's full control flow:
 Output is bit-exact with the sequential decoder; the value of this runner
 is demonstrating the protocol is deadlock-free and order-correct under
 real preemptive scheduling, not just in the deterministic DES.
+
+Shutdown: every blocking queue operation is a short poll against a shared
+stop event, so the first failing worker poisons the whole pipeline — the
+driver re-raises its exception and every thread drains promptly instead
+of blocking on a queue nobody will ever service again.  (For the same
+protocol across OS *processes*, see :mod:`repro.cluster.runtime`.)
 """
 
 from __future__ import annotations
 
 import queue
 import threading
+import time
 from dataclasses import dataclass
 from typing import Dict, List
 
@@ -34,6 +41,9 @@ from repro.parallel.subpicture import SubPicture
 from repro.wall.display import assemble_wall
 from repro.wall.layout import TileLayout
 
+#: Queue poll period; the granularity at which workers notice the stop event.
+_POLL = 0.05
+
 
 @dataclass
 class _SPMessage:
@@ -42,6 +52,10 @@ class _SPMessage:
     sp_bytes: bytes
     program: object  # MEIProgram
     expected_recvs: int
+
+
+class _Cancelled(BaseException):
+    """A worker was asked to stop because another worker failed."""
 
 
 class ThreadedParallelDecoder:
@@ -76,13 +90,45 @@ class ThreadedParallelDecoder:
         ack_q = [queue.Queue() for _ in range(self.k)]
         out_q: "queue.Queue" = queue.Queue()
         errors = self.errors
+        stop = threading.Event()
+
+        def _get(q: "queue.Queue", what: str):
+            """Blocking get that honors the stop event and the deadline."""
+            deadline = time.monotonic() + timeout
+            while True:
+                if stop.is_set():
+                    raise _Cancelled()
+                try:
+                    return q.get(timeout=_POLL)
+                except queue.Empty:
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"timed out after {timeout:.1f}s waiting for {what}"
+                        )
+
+        def _put(q: "queue.Queue", item, what: str):
+            """Blocking put into a bounded queue, stop-aware as well."""
+            deadline = time.monotonic() + timeout
+            while True:
+                if stop.is_set():
+                    raise _Cancelled()
+                try:
+                    return q.put(item, timeout=_POLL)
+                except queue.Full:
+                    if time.monotonic() >= deadline:
+                        raise TimeoutError(
+                            f"timed out after {timeout:.1f}s putting {what}"
+                        )
 
         def guard(fn):
             def run():
                 try:
                     fn()
+                except _Cancelled:
+                    pass  # poisoned by the first failure; not a new error
                 except BaseException as exc:  # propagate to the caller
                     errors.append(exc)
+                    stop.set()
                     out_q.put(("error", exc))
 
             return run
@@ -92,15 +138,17 @@ class ThreadedParallelDecoder:
             for i, unit in enumerate(pictures):
                 a = i % self.k
                 nsid = (a + 1) % self.k
-                pic_q[a].put((i, nsid, unit))  # bounded: blocks at depth 2
+                # bounded: blocks at depth `queue_depth` (the two-buffer
+                # credit scheme), but wakes immediately on poisoning
+                _put(pic_q[a], (i, nsid, unit), f"picture {i}")
             for a in range(self.k):
-                pic_q[a].put(None)
+                _put(pic_q[a], None, "end of stream")
 
         # splitters ------------------------------------------------------ #
         def splitter(sid: int):
             msplit = MacroblockSplitter(sequence, self.layout)
             while True:
-                item = pic_q[sid].get()
+                item = _get(pic_q[sid], "a picture from the root")
                 if item is None:
                     return
                 i, nsid, unit = item
@@ -109,7 +157,7 @@ class ThreadedParallelDecoder:
                     # wait for every decoder's ack of picture i-1,
                     # redirected here via ANID
                     for _ in range(n_tiles):
-                        pic_idx = ack_q[sid].get(timeout=timeout)
+                        pic_idx = _get(ack_q[sid], f"acks of picture {i - 1}")
                         if pic_idx != i - 1:
                             raise RuntimeError(
                                 f"splitter {sid}: ack for picture {pic_idx}, "
@@ -138,7 +186,7 @@ class ThreadedParallelDecoder:
             )
             held_back: Dict[int, List] = {}
             for i in range(n_pics):
-                msg: _SPMessage = sp_q[tid].get(timeout=timeout)
+                msg: _SPMessage = _get(sp_q[tid], f"sub-picture {i}")
                 if msg.picture_index != i:
                     raise RuntimeError(
                         f"tile {tid}: picture {msg.picture_index} arrived, "
@@ -157,7 +205,7 @@ class ThreadedParallelDecoder:
                     dec.apply_recv(block, ptype)
                 got = len(pending)
                 while got < msg.expected_recvs:
-                    pic_idx, block = blk_q[tid].get(timeout=timeout)
+                    pic_idx, block = _get(blk_q[tid], f"blocks of picture {i}")
                     if pic_idx == i:
                         dec.apply_recv(block, ptype)
                         got += 1
@@ -170,36 +218,44 @@ class ThreadedParallelDecoder:
             if tail is not None:
                 out_q.put(("frame", tid, tail))
 
-        threads = [threading.Thread(target=guard(root), name="root")]
+        threads = [threading.Thread(target=guard(root), name="root", daemon=True)]
         threads += [
-            threading.Thread(target=guard(lambda s=s: splitter(s)), name=f"split{s}")
+            threading.Thread(
+                target=guard(lambda s=s: splitter(s)), name=f"split{s}", daemon=True
+            )
             for s in range(self.k)
         ]
         threads += [
-            threading.Thread(target=guard(lambda t=t: decoder(t)), name=f"dec{t}")
+            threading.Thread(
+                target=guard(lambda t=t: decoder(t)), name=f"dec{t}", daemon=True
+            )
             for t in range(n_tiles)
         ]
         for t in threads:
             t.start()
 
         # collect: every displayed picture produces one frame per tile
-        frames: List[Frame] = []
-        buckets: Dict[int, Dict[int, Frame]] = {}
-        display_counter = [0] * n_tiles
-        collected = 0
-        while collected < n_pics * n_tiles:
-            kind, *payload = out_q.get(timeout=timeout)
-            if kind == "error":
-                for t in threads:
-                    t.join(timeout=1.0)
-                raise payload[0]
-            tid, frame = payload
-            idx = display_counter[tid]
-            display_counter[tid] += 1
-            buckets.setdefault(idx, {})[tid] = frame
-            collected += 1
-        for t in threads:
-            t.join(timeout=timeout)
+        try:
+            frames: List[Frame] = []
+            buckets: Dict[int, Dict[int, Frame]] = {}
+            display_counter = [0] * n_tiles
+            collected = 0
+            while collected < n_pics * n_tiles:
+                kind, *payload = out_q.get(timeout=timeout)
+                if kind == "error":
+                    raise payload[0]
+                tid, frame = payload
+                idx = display_counter[tid]
+                display_counter[tid] += 1
+                buckets.setdefault(idx, {})[tid] = frame
+                collected += 1
+        finally:
+            # Success or failure, poison and drain every worker: no thread
+            # may outlive this call blocked on an unserviced queue.
+            stop.set()
+            deadline = time.monotonic() + timeout
+            for t in threads:
+                t.join(timeout=max(0.1, deadline - time.monotonic()))
         if self.errors:
             raise self.errors[0]
 

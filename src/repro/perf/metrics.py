@@ -92,6 +92,18 @@ class StageTimes:
             setattr(self, s, getattr(self, s) + getattr(other, s))
         self.pictures += other.pictures
 
+    def as_dict(self) -> Dict[str, float]:
+        """JSON-safe snapshot, used by the cross-process trace stream."""
+        out: Dict[str, float] = {s: getattr(self, s) for s in self.STAGES}
+        out["pictures"] = self.pictures
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, float]) -> "StageTimes":
+        st = cls(**{s: float(data.get(s, 0.0)) for s in cls.STAGES})
+        st.pictures = int(data.get("pictures", 0))
+        return st
+
 
 @dataclass
 class NodeBandwidth:

@@ -16,8 +16,11 @@ splitter emits (`tests/test_trace.py`, `benchmarks/bench_trace_validation.py`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Optional
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from repro.mpeg2.parser import PictureScanner
 from repro.parallel.mb_splitter import MacroblockSplitter
@@ -164,3 +167,98 @@ def compare_trace_to_model(
         traced_bits_cv=bits_cv(traced),
         model_bits_cv=bits_cv(modeled),
     )
+
+
+# --------------------------------------------------------------------- #
+# Cross-process execution tracing (the multi-process cluster runtime)
+# --------------------------------------------------------------------- #
+#
+# Every cluster process appends :class:`TraceEvent` lines to its own JSONL
+# file; the supervisor merges them into one wall-clock timeline after the
+# run.  Timestamps are ``time.time()`` — all processes share one host, so
+# the wall clock is the only cross-process-comparable time source.
+
+TRACE_SUFFIX = ".trace.jsonl"
+
+
+@dataclass
+class TraceEvent:
+    """One timestamped event from one cluster process."""
+
+    ts: float
+    proc: str
+    event: str
+    picture: int = -1
+    data: Dict = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        rec = {"ts": self.ts, "proc": self.proc, "event": self.event}
+        if self.picture >= 0:
+            rec["picture"] = self.picture
+        if self.data:
+            rec["data"] = self.data
+        return json.dumps(rec, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, line: str) -> "TraceEvent":
+        rec = json.loads(line)
+        return cls(
+            ts=rec["ts"],
+            proc=rec["proc"],
+            event=rec["event"],
+            picture=rec.get("picture", -1),
+            data=rec.get("data", {}),
+        )
+
+
+class TraceWriter:
+    """Append-only JSONL event stream for one process.
+
+    Each ``emit`` is written and flushed immediately so a crashed process
+    still leaves a usable partial trace for the post-mortem merge.
+    """
+
+    def __init__(self, path: Union[str, Path], proc: str):
+        self.path = Path(path)
+        self.proc = proc
+        self._fh = open(self.path, "a", encoding="utf-8")
+
+    def emit(self, event: str, picture: int = -1, **data) -> TraceEvent:
+        ev = TraceEvent(
+            ts=time.time(), proc=self.proc, event=event, picture=picture, data=data
+        )
+        self._fh.write(ev.to_json() + "\n")
+        self._fh.flush()
+        return ev
+
+    def close(self) -> None:
+        self._fh.close()
+
+
+def read_trace_file(path: Union[str, Path]) -> List[TraceEvent]:
+    events = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            events.append(TraceEvent.from_json(line))
+    return events
+
+
+def merge_traces(
+    trace_dir: Union[str, Path], output: Optional[Union[str, Path]] = None
+) -> List[TraceEvent]:
+    """Collate every per-process trace in ``trace_dir`` into one timeline.
+
+    Events are sorted by wall-clock timestamp (process name breaks ties so
+    the merge is deterministic).  When ``output`` is given the merged
+    timeline is also written as JSONL.
+    """
+    events: List[TraceEvent] = []
+    for path in sorted(Path(trace_dir).glob(f"*{TRACE_SUFFIX}")):
+        events.extend(read_trace_file(path))
+    events.sort(key=lambda e: (e.ts, e.proc))
+    if output is not None:
+        with open(output, "w", encoding="utf-8") as fh:
+            for ev in events:
+                fh.write(ev.to_json() + "\n")
+    return events

@@ -1,0 +1,278 @@
+"""Socket transport: framing, ordering, flow control, failure detection."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net.channel import (
+    ChannelClosed,
+    ChannelTimeout,
+    CreditGate,
+    CreditTimeout,
+    Listener,
+    PeerDeadError,
+    connect,
+)
+
+
+@pytest.fixture(params=["unix", "tcp"])
+def pair(request, tmp_path):
+    """A connected (client, server) channel pair over each transport."""
+    if request.param == "unix":
+        lst = Listener(("unix", str(tmp_path / "chan.sock")))
+    else:
+        lst = Listener(("tcp", "127.0.0.1", 0))
+    client = connect(lst.address, timeout=5, name="client")
+    server = lst.accept(timeout=5)
+    server.name = "server"
+    yield client, server
+    client.close()
+    server.close()
+    lst.close()
+
+
+class TestFraming:
+    def test_roundtrip_headers_and_payload(self, pair):
+        client, server = pair
+        payload = bytes(range(256)) * 17
+        client.send(7, payload, picture=42, sender=3)
+        msg = server.recv(timeout=5)
+        assert (msg.type, msg.sender, msg.picture) == (7, 3, 42)
+        assert msg.payload == payload
+
+    def test_empty_payload_and_negative_picture(self, pair):
+        client, server = pair
+        client.send(9)
+        msg = server.recv(timeout=5)
+        assert (msg.type, msg.picture, msg.payload) == (9, -1, b"")
+
+    def test_bidirectional(self, pair):
+        client, server = pair
+        client.send(1, b"ping")
+        server.send(2, b"pong")
+        assert server.recv(timeout=5).payload == b"ping"
+        assert client.recv(timeout=5).payload == b"pong"
+
+    def test_many_messages_in_order(self, pair):
+        """Per-sender delivery is in send order (the GM-like guarantee).
+
+        The sender streams from its own thread: with no reader draining,
+        an unthrottled sender would rightly block once the kernel socket
+        buffer fills — the transport has no hidden infinite buffering.
+        """
+        client, server = pair
+        n = 500
+
+        def blast():
+            for i in range(n):
+                client.send(4, f"msg{i}".encode(), picture=i)
+
+        t = threading.Thread(target=blast)
+        t.start()
+        for i in range(n):
+            msg = server.recv(timeout=5)
+            assert msg.picture == i
+            assert msg.payload == f"msg{i}".encode()
+        t.join(timeout=5)
+
+    def test_send_timeout_when_receiver_stalls(self, pair):
+        """A bounded send fails cleanly when the peer never drains."""
+        client, _server = pair
+        big = b"\0" * (1 << 20)
+        with pytest.raises(ChannelTimeout):
+            for _ in range(64):  # kernel buffers absorb the first few
+                client.send(1, big, timeout=0.3)
+
+
+class TestMultiSenderInterleaving:
+    def test_cross_sender_order_is_free_but_per_sender_order_holds(self, tmp_path):
+        """Two senders, one receiver: the transport makes no promise about
+        cross-sender interleaving (why ANID exists) but each sender's own
+        messages arrive in order."""
+        lst = Listener(("unix", str(tmp_path / "rx.sock")))
+        n_each = 200
+
+        def sender(sid):
+            ch = connect(lst.address, timeout=5)
+            for i in range(n_each):
+                ch.send(1, b"x" * (1 + (i % 37)), picture=i, sender=sid)
+                if i % 50 == sid * 10:
+                    time.sleep(0.001)  # jitter the interleaving
+            ch.recv(timeout=10)  # wait for the go-to-close signal
+            ch.close()
+
+        threads = [threading.Thread(target=sender, args=(s,)) for s in (0, 1)]
+        for t in threads:
+            t.start()
+        chans = [lst.accept(timeout=5) for _ in range(2)]
+
+        seen = {0: [], 1: []}
+        done = 0
+        while done < 2 * n_each:
+            for ch in chans:
+                try:
+                    msg = ch.recv(timeout=0.01)
+                except ChannelTimeout:
+                    continue
+                seen[msg.sender].append(msg.picture)
+                done += 1
+        for sid in (0, 1):
+            assert seen[sid] == list(range(n_each))  # per-sender order
+        for ch in chans:
+            ch.send(2)  # release the senders
+            ch.close()
+        for t in threads:
+            t.join(timeout=5)
+        lst.close()
+
+
+class TestCreditFlowControl:
+    def test_acquire_consumes_and_release_replenishes(self):
+        gate = CreditGate(2)
+        gate.acquire(timeout=1)
+        gate.acquire(timeout=1)
+        assert gate.available == 0
+        gate.release()
+        gate.acquire(timeout=1)
+        assert gate.available == 0
+
+    def test_exhaustion_blocks_until_credit_arrives(self):
+        gate = CreditGate(1)
+        gate.acquire(timeout=1)
+        t0 = time.monotonic()
+        threading.Timer(0.3, gate.release).start()
+        gate.acquire(timeout=5)  # blocks ~0.3s, then proceeds
+        assert 0.2 < time.monotonic() - t0 < 3
+
+    def test_exhaustion_times_out(self):
+        gate = CreditGate(1)
+        gate.acquire(timeout=1)
+        with pytest.raises(CreditTimeout):
+            gate.acquire(timeout=0.2)
+
+    def test_poison_wakes_blocked_sender(self):
+        gate = CreditGate(1)
+        gate.acquire(timeout=1)
+        boom = ChannelClosed("peer died")
+        threading.Timer(0.2, gate.poison, args=(boom,)).start()
+        with pytest.raises(ChannelClosed):
+            gate.acquire(timeout=10)
+
+    def test_end_to_end_two_buffer_scheme(self, pair):
+        """Sender never has more than `depth` unacked messages in flight."""
+        client, server = pair
+        depth = 2
+        gate = CreditGate(depth)
+        sent, acked = [], []
+
+        def reader():
+            try:
+                while True:
+                    msg = client.recv(timeout=5)
+                    if msg.type == 99:
+                        return
+                    acked.append(msg.picture)
+                    gate.release()
+            except ChannelClosed:
+                return
+
+        def receiver():
+            # acks each message only as it consumes it, like the splitter
+            for _ in range(10):
+                msg = server.recv(timeout=5)
+                time.sleep(0.01)  # "work" — keeps the sender gated
+                server.send(8, picture=msg.picture)  # CREDIT back
+            server.send(99)
+
+        rt = threading.Thread(target=reader)
+        st = threading.Thread(target=receiver)
+        rt.start()
+        st.start()
+        for i in range(10):
+            gate.acquire(timeout=5)
+            client.send(1, b"payload", picture=i)
+            sent.append(i)
+            assert len(sent) - len(acked) <= depth
+        st.join(timeout=10)
+        rt.join(timeout=10)
+        assert acked == list(range(10))
+
+
+class TestTimeoutsAndRetry:
+    def test_recv_timeout(self, pair):
+        client, _server = pair
+        t0 = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            client.recv(timeout=0.3)
+        assert time.monotonic() - t0 < 2
+
+    def test_connect_refused_then_backoff_then_success(self, tmp_path):
+        """The listener comes up late; the dialer's bounded retry wins."""
+        path = str(tmp_path / "late.sock")
+        result = {}
+
+        def dial():
+            t0 = time.monotonic()
+            ch = connect(("unix", path), timeout=10)
+            result["elapsed"] = time.monotonic() - t0
+            ch.send(1, b"made it")
+            ch.close()
+
+        t = threading.Thread(target=dial)
+        t.start()
+        time.sleep(0.5)  # dialer is retrying against a missing socket
+        lst = Listener(("unix", path))
+        server = lst.accept(timeout=5)
+        assert server.recv(timeout=5).payload == b"made it"
+        t.join(timeout=5)
+        assert result["elapsed"] >= 0.4  # really did wait through backoff
+        server.close()
+        lst.close()
+
+    def test_connect_gives_up_at_deadline(self, tmp_path):
+        t0 = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            connect(("unix", str(tmp_path / "nobody.sock")), timeout=0.5)
+        assert time.monotonic() - t0 < 5
+
+
+class TestPeerDeath:
+    def test_closed_peer_raises_channel_closed(self, pair):
+        client, server = pair
+        server.close()
+        with pytest.raises(ChannelClosed):
+            client.recv(timeout=5)
+
+    def test_send_to_closed_peer_raises(self, pair):
+        client, server = pair
+        server.close()
+        with pytest.raises(ChannelClosed):
+            for _ in range(64):  # first sends may land in kernel buffers
+                client.send(1, b"x" * 65536)
+
+    def test_heartbeat_keeps_idle_peer_alive(self, tmp_path):
+        lst = Listener(("unix", str(tmp_path / "hb.sock")))
+        client = connect(lst.address, timeout=5)
+        server = lst.accept(timeout=5, dead_after=0.6)
+        client.start_heartbeat(interval=0.1)
+        # no application message for 1s, but heartbeats refresh activity
+        with pytest.raises(ChannelTimeout):
+            server.recv(timeout=1.0)
+        client.close()
+        server.close()
+        lst.close()
+
+    def test_hung_peer_detected_via_missing_heartbeat(self, tmp_path):
+        """A connected-but-silent peer (no heartbeats) is declared dead
+        after ``dead_after`` — the hang-vs-dead distinction."""
+        lst = Listener(("unix", str(tmp_path / "dead.sock")))
+        client = connect(lst.address, timeout=5)
+        server = lst.accept(timeout=5, dead_after=0.5)
+        t0 = time.monotonic()
+        with pytest.raises(PeerDeadError):
+            server.recv(timeout=10)  # would wait 10s if deadness went unseen
+        assert time.monotonic() - t0 < 5
+        client.close()
+        server.close()
+        lst.close()

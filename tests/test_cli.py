@@ -91,6 +91,31 @@ class TestWall:
         assert len(read_y4m(out)) == 8
 
 
+class TestRunCluster:
+    @pytest.mark.integration
+    def test_run_cluster_verifies_bit_exact(self, tmp_path, encoded, capsys):
+        trace_dir = tmp_path / "run"
+        rc = main(
+            ["run-cluster", "-i", str(encoded), "-m", "2", "-n", "1", "-k", "1",
+             "--trace-dir", str(trace_dir)]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "bit-exact" in out
+        assert "merged trace" in out
+        assert (trace_dir / "merged.trace.jsonl").exists()
+
+    @pytest.mark.integration
+    def test_run_cluster_writes_output(self, tmp_path, encoded):
+        out = tmp_path / "wall.y4m"
+        rc = main(
+            ["run-cluster", "-i", str(encoded), "-m", "2", "-n", "1",
+             "--no-verify", "-o", str(out)]
+        )
+        assert rc == 0
+        assert len(read_y4m(out)) == 8
+
+
 class TestSimulate:
     def test_simulate_stream(self, capsys):
         rc = main(

@@ -1,0 +1,137 @@
+"""The multi-process cluster runtime, end to end.
+
+These tests spawn real worker processes (``1 + k + m*n`` interpreters)
+talking over the socket transport, so they are marked ``integration``
+and run in a dedicated CI job rather than the default matrix.
+"""
+
+import json
+import os
+import time
+
+import pytest
+
+from repro.cluster.runtime import ClusterError, ClusterSupervisor, WallConfig
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.perf.trace import read_trace_file
+from repro.workloads.synthetic import moving_pattern_frames
+
+pytestmark = pytest.mark.integration
+
+
+@pytest.fixture(scope="module")
+def clip_stream():
+    """A multi-GOP stream exercising I, P and B pictures."""
+    clip = moving_pattern_frames(96, 64, 8, seed=21)
+    stream = Encoder(EncoderConfig(gop_size=5, b_frames=2)).encode(clip)
+    return clip, stream
+
+
+@pytest.fixture(scope="module")
+def wall_run(clip_stream, tmp_path_factory):
+    """One full 2x2, k=2 decode over unix sockets, traced; shared by the
+    assertions below so the expensive spawn happens once."""
+    _, stream = clip_stream
+    rundir = tmp_path_factory.mktemp("cluster-2x2")
+    sup = ClusterSupervisor(
+        WallConfig(m=2, n=2, k=2, transport="unix"), trace_dir=str(rundir)
+    )
+    frames = sup.decode(stream, timeout=120.0)
+    return sup, frames, rundir
+
+
+class TestBitIdentical:
+    def test_2x2_two_splitters_matches_sequential(self, clip_stream, wall_run):
+        _, stream = clip_stream
+        ref = decode_stream(stream)
+        _, frames, _ = wall_run
+        assert len(frames) == len(ref)
+        for i, (a, b) in enumerate(zip(ref, frames)):
+            assert a.max_abs_diff(b) == 0, f"picture {i} diverged"
+
+    def test_all_workers_exited_cleanly(self, wall_run):
+        sup, _, _ = wall_run
+        assert len(sup.processes) == 1 + 2 + 4
+        for name, proc in sup.processes.items():
+            assert proc.poll() == 0, f"{name} still running or failed"
+
+    def test_stage_times_harvested_across_processes(self, wall_run):
+        sup, frames, _ = wall_run
+        # four decoders, eight pictures each
+        assert sup.stage_times.pictures == 4 * len(frames)
+        assert sup.stage_times.total > 0
+
+    def test_tcp_transport(self, clip_stream):
+        _, stream = clip_stream
+        ref = decode_stream(stream)
+        sup = ClusterSupervisor(WallConfig(m=2, n=1, k=1, transport="tcp"))
+        frames = sup.decode(stream, timeout=120.0)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, frames))
+
+
+class TestTraceTimeline:
+    def test_merged_trace_is_one_wall_clock_timeline(self, wall_run):
+        sup, _, rundir = wall_run
+        assert sup.merged_trace_path is not None and sup.merged_trace_path.exists()
+        events = read_trace_file(sup.merged_trace_path)
+        assert events, "merged trace is empty"
+        stamps = [ev.ts for ev in events]
+        assert stamps == sorted(stamps), "events not in wall-clock order"
+        # every process contributed to the single timeline
+        procs = {ev.proc for ev in events}
+        assert procs >= {
+            "supervisor", "root", "split0", "split1", "dec0", "dec1", "dec2", "dec3",
+        }
+
+    def test_timeline_covers_the_protocol(self, wall_run):
+        sup, frames, _ = wall_run
+        events = read_trace_file(sup.merged_trace_path)
+        by_event = {}
+        for ev in events:
+            by_event.setdefault(ev.event, []).append(ev)
+        assert len(by_event["picture_sent"]) == len(frames)  # root
+        assert len(by_event["split"]) == len(frames)  # across k splitters
+        assert len(by_event["decode"]) == 4 * len(frames)  # per tile
+        assert len(by_event["frame_sent"]) == 4 * len(frames)
+
+    def test_trace_lines_are_valid_jsonl(self, wall_run):
+        sup, _, _ = wall_run
+        for line in sup.merged_trace_path.read_text().splitlines():
+            rec = json.loads(line)
+            assert {"ts", "proc", "event"} <= set(rec)
+
+
+class TestFailureHandling:
+    def test_killed_decoder_is_detected_and_torn_down(self, clip_stream, tmp_path):
+        """SIGKILL a tile decoder mid-stream: the supervisor must surface a
+        ClusterError promptly and leave no orphan process behind."""
+        _, stream = clip_stream
+        sup = ClusterSupervisor(
+            WallConfig(m=2, n=2, k=1, transport="unix", fail_at="dec1@2"),
+            trace_dir=str(tmp_path),
+        )
+        t0 = time.monotonic()
+        with pytest.raises(ClusterError, match="dec1"):
+            sup.decode(stream, timeout=120.0)
+        assert time.monotonic() - t0 < 60, "failure detection took too long"
+        for name, proc in sup.processes.items():
+            assert proc.poll() is not None, f"{name} orphaned after teardown"
+        assert sup.processes["dec1"].returncode == -9
+
+    def test_failure_report_carries_diagnostics(self, clip_stream, tmp_path):
+        _, stream = clip_stream
+        sup = ClusterSupervisor(
+            WallConfig(m=2, n=1, k=1, transport="unix", fail_at="split0@1"),
+            trace_dir=str(tmp_path),
+        )
+        with pytest.raises(ClusterError) as excinfo:
+            sup.decode(stream, timeout=120.0)
+        # the report names every process and its exit state
+        for name in sup.config.process_names:
+            assert name in str(excinfo.value)
+
+    def test_no_stale_sockets_after_success(self, wall_run):
+        _, _, rundir = wall_run
+        leftovers = [p for p in os.listdir(rundir) if p.endswith(".sock")]
+        assert leftovers == []
