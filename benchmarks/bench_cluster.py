@@ -3,14 +3,21 @@
 Decodes the same 1080p-class synthetic stream with the threaded runner
 (one process, ``1 + k + m*n`` threads) and with the multi-process cluster
 runtime at 1, 2 and 4 tile-decoder processes, recording wall time, fps,
-per-stage decoder time, and bit-identity against the sequential decoder
-to ``BENCH_cluster.json`` at the repo root.
+per-stage time *per process* (parse/plan/execute/wire, harvested from the
+cross-process trace stream), and bit-identity against the sequential
+decoder to ``BENCH_cluster.json`` at the repo root.
+
+The 4-process grid runs twice — with plan shipping (the default: splitters
+compile reconstruction plans, decoders never run VLC) and with the
+sub-picture bitstream fallback (decoders re-parse) — so the JSON shows the
+attribution shift directly: with plans on, every decoder's ``parse`` is 0.
 
 Honesty note: the committed numbers are whatever the build machine
 provides — the ``cores`` field records it.  On a single-core box the
 process fleet time-slices one CPU, so multi-process cannot beat threaded
 there; the paper's speedup needs ``cores >= 2``, which is asserted only
-*for* such machines, never faked on smaller ones.
+*for* such machines, never faked on smaller ones.  A ``warning`` field
+flags single-core runs.
 
 Run under pytest-benchmark with the other tables/figures or directly:
 ``PYTHONPATH=src python benchmarks/bench_cluster.py``.
@@ -18,6 +25,7 @@ Run under pytest-benchmark with the other tables/figures or directly:
 
 import json
 import os
+import sys
 import time
 from pathlib import Path
 
@@ -32,8 +40,15 @@ WIDTH, HEIGHT, N_FRAMES = 1920, 1088, 4
 GOP_SIZE, B_FRAMES = 4, 1
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
 
-#: (label, m, n) — 1, 2 and 4 tile-decoder processes, one splitter each.
-CLUSTER_GRIDS = [("cluster_1proc", 1, 1), ("cluster_2proc", 2, 1), ("cluster_4proc", 2, 2)]
+#: (label, m, n, ship_plans) — 1, 2 and 4 tile-decoder processes with plan
+#: shipping, plus the 4-process bitstream fallback for the attribution
+#: comparison.
+CLUSTER_GRIDS = [
+    ("cluster_1proc", 1, 1, True),
+    ("cluster_2proc", 2, 1, True),
+    ("cluster_4proc", 2, 2, True),
+    ("cluster_4proc_bitstream", 2, 2, False),
+]
 
 
 def run_cluster_bench() -> dict:
@@ -43,6 +58,7 @@ def run_cluster_bench() -> dict:
     ).encode(frames)
     reference = decode_stream(stream)
 
+    cores = os.cpu_count()
     report = {
         "stream": {
             "width": WIDTH,
@@ -52,9 +68,15 @@ def run_cluster_bench() -> dict:
             "b_frames": B_FRAMES,
             "bytes": len(stream),
         },
-        "cores": os.cpu_count(),
+        "cores": cores,
         "modes": {},
     }
+    if cores is not None and cores < 2:
+        report["warning"] = (
+            "single-core machine: processes time-slice one CPU, so the "
+            "multi-process numbers measure protocol overhead, not speedup"
+        )
+        print(f"WARNING: {report['warning']}", file=sys.stderr)
 
     def record(name, out, wall, extra=None):
         identical = len(out) == len(reference) and all(
@@ -72,19 +94,34 @@ def run_cluster_bench() -> dict:
     out = ThreadedParallelDecoder(layout, k=1).decode(stream, timeout=600)
     record("threaded_2x2", out, time.perf_counter() - t0, {"processes": 1, "threads": 6})
 
-    for name, m, n in CLUSTER_GRIDS:
-        sup = ClusterSupervisor(WallConfig(m=m, n=n, k=1, transport="unix"))
+    for name, m, n, ship_plans in CLUSTER_GRIDS:
+        sup = ClusterSupervisor(
+            WallConfig(m=m, n=n, k=1, transport="unix", ship_plans=ship_plans)
+        )
         t0 = time.perf_counter()
         out = sup.decode(stream, timeout=600)
         wall = time.perf_counter() - t0
+        stages = {
+            proc: {
+                "parse_s": round(st.parse, 4),
+                "plan_s": round(st.plan, 4),
+                "execute_s": round(st.execute, 4),
+                "wire_s": round(st.wire, 4),
+                "pictures": st.pictures,
+            }
+            for proc, st in sorted(sup.stage_times_by_proc.items())
+        }
         record(
             name,
             out,
             wall,
             {
                 "processes": 2 + m * n,
+                "ship_plans": ship_plans,
                 "decoder_stage_s": round(sup.stage_times.total, 4),
                 "decoder_pictures": sup.stage_times.pictures,
+                "decoder_parse_s": round(sup.stage_times.parse, 4),
+                "stages": stages,
             },
         )
 
@@ -94,6 +131,10 @@ def run_cluster_bench() -> dict:
 def _check(report: dict) -> None:
     for name, mode in report["modes"].items():
         assert mode["bit_identical"], f"{name} diverged from the sequential decoder"
+    # Plan shipping means decoders never touch VLC: their aggregated parse
+    # stage is exactly zero, while the bitstream fallback's is not.
+    assert report["modes"]["cluster_4proc"]["decoder_parse_s"] == 0.0
+    assert report["modes"]["cluster_4proc_bitstream"]["decoder_parse_s"] > 0.0
     # The paper's claim — multi-process beats one process — only holds
     # with real parallel hardware; never pretend on a single-core box.
     if report["cores"] and report["cores"] >= 2:
@@ -112,13 +153,14 @@ def test_cluster(benchmark):
     print_table(
         f"Cluster runtime ({WIDTH}x{HEIGHT}, {N_FRAMES} frames, "
         f"{report['cores']} core(s))",
-        ["mode", "procs", "wall", "fps", "bit-identical"],
+        ["mode", "procs", "wall", "fps", "dec parse", "bit-identical"],
         [
             (
                 name,
                 str(m["processes"]),
                 f"{m['wall_s']:.2f} s",
                 f"{m['frames_per_s']:.3f}",
+                f"{m.get('decoder_parse_s', 0.0):.3f} s",
                 "yes" if m["bit_identical"] else "NO",
             )
             for name, m in report["modes"].items()

@@ -28,7 +28,12 @@ class BitReader:
         Absolute bit position to start reading from (defaults to 0).
     """
 
-    __slots__ = ("data", "pos", "nbits")
+    __slots__ = ("data", "pos", "nbits", "_win", "_win_start")
+
+    #: Cached-window width.  Refills slice this many bytes at once; every
+    #: peek inside the window is a shift+mask with no byte slicing.
+    _WIN_BYTES = 16
+    _WIN_BITS = 8 * _WIN_BYTES
 
     def __init__(self, data: bytes, start_bit: int = 0):
         # bytes input is immutable already — don't copy it (this runs once
@@ -36,6 +41,11 @@ class BitReader:
         self.data = data if type(data) is bytes else bytes(data)
         self.pos = start_bit
         self.nbits = 8 * len(self.data)
+        # Window cache starts invalid; validity is re-derived from ``pos``
+        # on every peek because callers assign ``pos`` directly (and the
+        # buffer is immutable, so the cache can never hold stale bytes).
+        self._win = 0
+        self._win_start = -(1 << 62)
         if start_bit > self.nbits:
             raise BitstreamError("start_bit beyond end of buffer")
 
@@ -77,24 +87,43 @@ class BitReader:
         table lookups run near the end of a slice.  An actual *read* past the
         end still raises, via the explicit check here on the consumed range.
         """
-        if n == 0:
-            return 0
-        if n < 0 or n > 32:
+        if n <= 0:
+            if n == 0:
+                return 0
             raise ValueError(f"peek width out of range: {n}")
-        if self.pos + n > self.nbits + 32:
+        if n > 32:
+            raise ValueError(f"peek width out of range: {n}")
+        pos = self.pos
+        if pos + n > self.nbits + 32:
             raise BitstreamError("peek far past end of bitstream")
-        first_byte = self.pos >> 3
-        # Gather enough bytes to cover n bits after the in-byte offset.
-        last_byte = (self.pos + n + 7) >> 3
-        chunk = self.data[first_byte:last_byte]
-        # Zero-pad if near the end of the buffer.
-        need = last_byte - first_byte
-        if len(chunk) < need:
-            chunk = chunk + b"\x00" * (need - len(chunk))
-        acc = int.from_bytes(chunk, "big")
-        total_bits = 8 * need
-        shift = total_bits - (self.pos & 7) - n
-        return (acc >> shift) & ((1 << n) - 1)
+        off = pos - self._win_start
+        if off < 0 or off + n > self._WIN_BITS:
+            self._refill()
+            off = pos - self._win_start
+        return (self._win >> (self._WIN_BITS - off - n)) & ((1 << n) - 1)
+
+    def peek_bits(self, n: int) -> int:
+        """Unchecked :meth:`peek` for VLC table lookups (0 < n <= 32).
+
+        Skips the argument validation and the far-past-end guard; bits past
+        the physical end read as zero without bound.  Callers must bound
+        consumption themselves, e.g. via :meth:`skip_bits`.
+        """
+        pos = self.pos
+        off = pos - self._win_start
+        if off < 0 or off + n > self._WIN_BITS:
+            self._refill()
+            off = pos - self._win_start
+        return (self._win >> (self._WIN_BITS - off - n)) & ((1 << n) - 1)
+
+    def _refill(self) -> None:
+        """Re-center the cached window on the current byte of ``pos``."""
+        first = self.pos >> 3
+        chunk = self.data[first : first + self._WIN_BYTES]
+        if len(chunk) < self._WIN_BYTES:
+            chunk = chunk + b"\x00" * (self._WIN_BYTES - len(chunk))
+        self._win = int.from_bytes(chunk, "big")
+        self._win_start = first << 3
 
     def read_bit(self) -> int:
         return self.read(1)
@@ -104,6 +133,13 @@ class BitReader:
         if self.pos + n > self.nbits:
             raise BitstreamError("skip past end of bitstream")
         self.pos += n
+
+    def skip_bits(self, n: int) -> None:
+        """Alias of :meth:`skip` forming a pair with :meth:`peek_bits`."""
+        pos = self.pos + n
+        if pos > self.nbits:
+            raise BitstreamError("skip past end of bitstream")
+        self.pos = pos
 
     def read_signed(self, n: int) -> int:
         """Read an ``n``-bit two's-complement signed integer."""

@@ -19,6 +19,9 @@ class WallConfig:
 
     ``queue_depth`` is the paper's posted-receive-buffer count per
     splitter (two); the root holds that many send credits per splitter.
+    ``ship_plans`` selects what splitters send decoders: compiled
+    reconstruction plans (decoders never run VLC) or sub-picture
+    bitstreams (the fallback path, which decoders re-parse).
     ``fail_at`` is a fault-injection hook for teardown tests: a spec like
     ``"dec1@2"`` makes that worker kill itself (SIGKILL) when it is about
     to handle picture 2.
@@ -31,6 +34,7 @@ class WallConfig:
     transport: str = "unix"  # "unix" | "tcp"
     queue_depth: int = 2
     batch_reconstruct: bool = True
+    ship_plans: bool = True
     connect_timeout: float = 15.0
     recv_timeout: float = 60.0
     heartbeat_interval: float = 0.25

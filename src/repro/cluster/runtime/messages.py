@@ -19,9 +19,12 @@ from typing import Tuple
 
 import numpy as np
 
+from repro.mpeg2 import plan_codec
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.motion import Rect
 from repro.mpeg2.parser import PictureUnit
+from repro.mpeg2.plan_codec import Buffers, TilePlan
+from repro.mpeg2.reconstruct import QuantMatrices
 from repro.mpeg2.structures import SequenceHeader
 from repro.parallel.mei import BlockXfer, MEIProgram
 from repro.parallel.pdecoder import PixelBlock
@@ -39,6 +42,7 @@ MSG_FRAME = 7  # decoder -> collector: displayed tile crop    (struct+planes)
 MSG_CREDIT = 8  # splitter -> root: receive buffer freed      (empty)
 MSG_EOS = 9  # end of stream, cascaded down the tree          (empty)
 MSG_ERROR = 10  # any worker -> collector: fatal diagnostic   (json)
+MSG_PLAN = 11  # splitter -> decoder: compiled plan + MEI     (struct+arrays+pickle)
 
 
 # ------------------------------ hello ----------------------------------- #
@@ -86,6 +90,43 @@ def decode_subpicture(payload: bytes) -> Tuple[int, int, bytes, MEIProgram]:
     sp_bytes = payload[off : off + sp_len]
     program = pickle.loads(payload[off + sp_len :])
     return anid, expected, sp_bytes, program
+
+
+_PLAN_HEAD = "<HHI"  # anid, expected_recvs, plan byte count
+
+
+def encode_plan_msg(anid: int, tp: TilePlan, program: MEIProgram) -> Buffers:
+    """Encode a compiled tile plan + its MEI program as a buffer list.
+
+    The plan's ndarray buffers pass through untouched (zero-copy on the
+    socket); only the small MEI program is pickled.
+    """
+    plan_bufs = plan_codec.encode_plan(tp)
+    head = struct.pack(
+        _PLAN_HEAD, anid, len(program.recvs), plan_codec.buffers_nbytes(plan_bufs)
+    )
+    return [head, *plan_bufs, pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)]
+
+
+def decode_plan_msg(
+    payload: bytes, matrices: QuantMatrices
+) -> Tuple[int, int, TilePlan, MEIProgram]:
+    """Return ``(anid, expected_recvs, tile_plan, program)``.
+
+    The plan's arrays are zero-copy views into ``payload``; ``matrices``
+    is the decoder's own copy (matrices never travel on the wire — see
+    :mod:`repro.mpeg2.plan_codec`).
+    """
+    anid, expected, plan_len = struct.unpack_from(_PLAN_HEAD, payload)
+    off = struct.calcsize(_PLAN_HEAD)
+    tp, end = plan_codec.decode_plan(payload, matrices, offset=off)
+    if end - off != plan_len:
+        raise ValueError(
+            f"plan payload length mismatch: header says {plan_len}, "
+            f"codec consumed {end - off}"
+        )
+    program = pickle.loads(payload[end:])
+    return anid, expected, tp, program
 
 
 def encode_error(proc: str, error: str) -> bytes:
@@ -169,13 +210,14 @@ def decode_block(payload: bytes) -> PixelBlock:
 _FRAME_FMT = "<H4H"  # tile id, partition rect
 
 
-def encode_tile_frame(tid: int, partition: Rect, frame: Frame) -> bytes:
+def encode_tile_frame(tid: int, partition: Rect, frame: Frame) -> Buffers:
+    """Encode a tile crop as a buffer list (planes go zero-copy to the wire)."""
     p = partition
     head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1)
     y = np.ascontiguousarray(frame.y[p.y0 : p.y1, p.x0 : p.x1])
     cb = np.ascontiguousarray(frame.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2])
     cr = np.ascontiguousarray(frame.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2])
-    return head + y.tobytes() + cb.tobytes() + cr.tobytes()
+    return [head, memoryview(y), memoryview(cb), memoryview(cr)]
 
 
 def decode_tile_frame(payload: bytes) -> Tuple[int, Rect, np.ndarray, np.ndarray, np.ndarray]:

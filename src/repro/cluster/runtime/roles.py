@@ -45,22 +45,26 @@ from repro.cluster.runtime.messages import (
     MSG_FRAME,
     MSG_HELLO,
     MSG_PICTURE,
+    MSG_PLAN,
     MSG_SEQ,
     MSG_SUBPICTURE,
     decode_block,
     decode_hello,
     decode_picture,
+    decode_plan_msg,
     decode_sequence,
     decode_subpicture,
     encode_block,
     encode_error,
     encode_hello,
     encode_picture,
+    encode_plan_msg,
     encode_sequence,
     encode_subpicture,
     encode_tile_frame,
 )
 from repro.mpeg2.parser import PictureScanner
+from repro.mpeg2.plan_codec import buffers_nbytes
 from repro.net.channel import (
     Address,
     Channel,
@@ -316,18 +320,31 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         _maybe_fail(cfg, me, i)
         nsid, unit = decode_picture(msg.payload)
         t0 = time.perf_counter()
-        result = msplit.split(unit, i)
+        if cfg.ship_plans:
+            result = msplit.split_plans(unit, i)
+        else:
+            result = msplit.split(unit, i)
         split_s = time.perf_counter() - t0
         # Sub-picture delivery is serialized by the previous picture's acks,
         # redirected here via ANID — the reorder-free ordering guarantee.
         ack_wait_s = wait_acks(i - 1) if i > 0 else 0.0
         sent = 0
         for t in range(n_tiles):
-            payload = encode_subpicture(
-                nsid, result.subpictures[t].serialize(), result.mei.program(t)
-            )
-            dec_ch[t].send(MSG_SUBPICTURE, payload, picture=i)
-            sent += len(payload)
+            with msplit.stage_times.stage("wire"):
+                if cfg.ship_plans:
+                    mtype = MSG_PLAN
+                    payload = encode_plan_msg(
+                        nsid, result.plans[t], result.mei.program(t)
+                    )
+                    nbytes = buffers_nbytes(payload)
+                else:
+                    mtype = MSG_SUBPICTURE
+                    payload = encode_subpicture(
+                        nsid, result.subpictures[t].serialize(), result.mei.program(t)
+                    )
+                    nbytes = len(payload)
+            dec_ch[t].send(mtype, payload, picture=i)
+            sent += nbytes
         tracer.emit(
             "split",
             picture=i,
@@ -337,6 +354,7 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         )
     for t in range(n_tiles):
         dec_ch[t].send(MSG_EOS)
+    tracer.emit("stage_times", **msplit.stage_times.as_dict())
     tracer.emit("eos_sent")
     root_ch.close()
 
@@ -438,9 +456,10 @@ def _decoder_body(
 
     def ship(frame) -> None:
         nonlocal display_idx
-        payload = encode_tile_frame(tid, partition, frame)
+        with dec.stage_times.stage("wire"):
+            payload = encode_tile_frame(tid, partition, frame)
         collector.send(MSG_FRAME, payload, picture=display_idx, sender=tid)
-        tracer.emit("frame_sent", picture=display_idx, bytes=len(payload))
+        tracer.emit("frame_sent", picture=display_idx, bytes=buffers_nbytes(payload))
         display_idx += 1
 
     held_back: Dict[int, List] = {}
@@ -461,7 +480,7 @@ def _decoder_body(
         if msg.type == MSG_EOS:
             eos_from.add(label)
             continue
-        if msg.type != MSG_SUBPICTURE:
+        if msg.type not in (MSG_SUBPICTURE, MSG_PLAN):
             raise ProtocolError(f"{me}: unexpected {msg.type} from {label}")
 
         _maybe_fail(cfg, me, msg.picture)
@@ -470,9 +489,17 @@ def _decoder_body(
                 f"{me}: picture {msg.picture} arrived, expected {i} "
                 "(ordering broken)"
             )
-        anid, expected_recvs, sp_bytes, program = decode_subpicture(msg.payload)
-        sp = SubPicture.deserialize(sp_bytes)
-        ptype = sp.picture_type
+        if msg.type == MSG_PLAN:
+            with dec.stage_times.stage("wire"):
+                anid, expected_recvs, tp, program = decode_plan_msg(
+                    msg.payload, dec.matrices
+                )
+            sp = None
+            ptype = tp.picture_type
+        else:
+            anid, expected_recvs, sp_bytes, program = decode_subpicture(msg.payload)
+            sp = SubPicture.deserialize(sp_bytes)
+            ptype = sp.picture_type
         # Ack to the *next* splitter (ANID), releasing picture i+1.
         split_ch[anid].send(MSG_ACK, picture=i, sender=tid)
 
@@ -519,7 +546,7 @@ def _decoder_body(
         wait_remote_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        ready = dec.decode_subpicture(sp)
+        ready = dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
         decode_s = time.perf_counter() - t0
         tracer.emit(
             "decode",

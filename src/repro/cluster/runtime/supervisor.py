@@ -51,7 +51,7 @@ from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import PictureScanner
 from repro.net.channel import Channel, ChannelTimeout, Listener
 from repro.perf.metrics import StageTimes
-from repro.perf.trace import TRACE_SUFFIX, TraceWriter, merge_traces
+from repro.perf.trace import TRACE_SUFFIX, TraceWriter, load_stage_times, merge_traces
 from repro.wall.layout import TileLayout
 
 MERGED_TRACE = "merged.trace.jsonl"
@@ -83,6 +83,7 @@ class ClusterSupervisor:
         self.rundir: Optional[Path] = None
         self.processes: Dict[str, subprocess.Popen] = {}
         self.stage_times = StageTimes()  # aggregated from decoder traces
+        self.stage_times_by_proc: Dict[str, StageTimes] = {}
         self.merged_trace_path: Optional[Path] = None
 
     # ------------------------------------------------------------------ #
@@ -287,17 +288,17 @@ class ClusterSupervisor:
         tracer.emit("teardown")
 
     def _harvest_stage_times(self) -> None:
-        """Aggregate decoder stage timers out of the trace streams."""
-        from repro.perf.trace import read_trace_file
+        """Collect per-process stage timers out of the trace streams.
 
+        ``stage_times_by_proc`` keeps every emitting process (splitters and
+        decoders); ``stage_times`` stays the decoder-only aggregate for
+        backward compatibility.
+        """
         assert self.rundir is not None
-        for t in range(self.config.n_tiles):
-            path = self.rundir / f"dec{t}{TRACE_SUFFIX}"
-            if not path.exists():
-                continue
-            for ev in read_trace_file(path):
-                if ev.event == "stage_times":
-                    self.stage_times.merge(StageTimes.from_dict(ev.data))
+        self.stage_times_by_proc = load_stage_times(self.rundir)
+        for proc, st in self.stage_times_by_proc.items():
+            if proc.startswith("dec"):
+                self.stage_times.merge(st)
 
     def _diagnostics(self) -> str:
         """Per-process post-mortem: exit codes plus log tails."""

@@ -23,7 +23,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.bitstream import BitReader, BitstreamError, BitWriter
-from repro.mpeg2 import vlc
+from repro.mpeg2 import fast_vlc, vlc
 from repro.mpeg2.constants import PictureType
 from repro.mpeg2.structures import PictureHeader
 
@@ -159,13 +159,16 @@ def _encode_dc(bw: BitWriter, qdc: int, component: int, state: CodingState) -> N
 
 
 def _decode_dc(br: BitReader, component: int, state: CodingState) -> int:
-    table = vlc.DC_SIZE_LUMA if component == 0 else vlc.DC_SIZE_CHROMA
-    size = table.decode(br)
-    if size == 0:
-        diff = 0
+    if fast_vlc.ENABLED:
+        diff = fast_vlc.decode_dc_delta(br, component)
     else:
-        v = br.read(size)
-        diff = v if v >= (1 << (size - 1)) else v - (1 << size) + 1
+        table = vlc.DC_SIZE_LUMA if component == 0 else vlc.DC_SIZE_CHROMA
+        size = table.decode(br)
+        if size == 0:
+            diff = 0
+        else:
+            v = br.read(size)
+            diff = v if v >= (1 << (size - 1)) else v - (1 << size) + 1
     qdc = state.dc_pred[component] + diff
     state.dc_pred[component] = qdc
     return qdc
@@ -200,9 +203,12 @@ def _encode_mv(
 
 def _decode_mv(br: BitReader, direction: int, state: CodingState) -> Tuple[int, int]:
     out = [0, 0]
+    decode_delta = (
+        fast_vlc.decode_motion_delta if fast_vlc.ENABLED else vlc.decode_motion_delta
+    )
     for comp in range(2):
         f_code = state.picture.f_code_for(direction, comp)
-        delta = vlc.decode_motion_delta(br, f_code - 1)
+        delta = decode_delta(br, f_code - 1)
         f = 1 << (f_code - 1)
         low, high, rng = -16 * f, 16 * f - 1, 32 * f
         val = state.pmv[direction][comp] + delta
@@ -252,10 +258,19 @@ def _decode_block(
     br: BitReader, component: int, intra: bool, state: CodingState
 ) -> np.ndarray:
     scan = np.zeros(64, dtype=np.int32)
+    table_one = False
     if intra:
-        scan[0] = _decode_dc(br, component, state)
-        pos = 0
+        if fast_vlc.ENABLED:
+            qdc = state.dc_pred[component] + fast_vlc.decode_dc_delta(br, component)
+            state.dc_pred[component] = qdc
+            scan[0] = qdc
+        else:
+            scan[0] = _decode_dc(br, component, state)
         table_one = state.picture.intra_vlc_format == 1
+    if fast_vlc.ENABLED:
+        fast_vlc.decode_ac_into(br, scan, intra, table_one)
+    elif intra:
+        pos = 0
         for run, level in vlc.decode_coefficients(br, intra=True, table_one=table_one):
             pos += run + 1
             if pos > 63:
@@ -331,8 +346,13 @@ def parse_macroblock_body(br: BitReader, state: CodingState) -> Macroblock:
     """
     body_start = br.pos
     mb = Macroblock(address=-1, bit_start=body_start, body_start=body_start)
-    table = vlc.mb_type_table(state.picture.picture_type)
-    quant, mf, mbk, pattern, intra = table.decode(br)
+    if fast_vlc.ENABLED:
+        quant, mf, mbk, pattern, intra = fast_vlc.decode_mb_type(
+            br, state.picture.picture_type
+        )
+    else:
+        table = vlc.mb_type_table(state.picture.picture_type)
+        quant, mf, mbk, pattern, intra = table.decode(br)
     mb.quant, mb.motion_forward, mb.motion_backward = quant, mf, mbk
     mb.pattern, mb.intra = pattern, intra
     if mb.quant:
@@ -352,7 +372,7 @@ def parse_macroblock_body(br: BitReader, state: CodingState) -> Macroblock:
         for b in range(6):
             mb.blocks[b] = _decode_block(br, _COMPONENT_OF_BLOCK[b], True, state)
     elif mb.pattern:
-        mb.cbp = vlc.CBP.decode(br)
+        mb.cbp = fast_vlc.decode_cbp(br) if fast_vlc.ENABLED else vlc.CBP.decode(br)
         for b in range(6):
             if mb.cbp & (1 << (5 - b)):
                 mb.blocks[b] = _decode_block(br, _COMPONENT_OF_BLOCK[b], False, state)
@@ -376,7 +396,10 @@ def parse_macroblock(br: BitReader, state: CodingState) -> Tuple[int, Macroblock
     caller's responsibility; used by tests and simple tools.
     """
     bit_start = br.pos
-    increment = vlc.decode_address_increment(br)
+    if fast_vlc.ENABLED:
+        increment = fast_vlc.decode_address_increment(br)
+    else:
+        increment = vlc.decode_address_increment(br)
     mb = parse_macroblock_body(br, state)
     mb.bit_start = bit_start
     return increment, mb

@@ -26,7 +26,7 @@ from repro.mpeg2.constants import (
     SEQUENCE_HEADER_CODE,
     is_slice_start_code,
 )
-from repro.mpeg2 import vlc
+from repro.mpeg2 import fast_vlc, vlc
 from repro.mpeg2.macroblock import (
     CodingState,
     Macroblock,
@@ -214,9 +214,14 @@ class MacroblockParser:
         state = CodingState(picture=header, qscale_code=qcode)
         prev_addr = row * self.mb_width - 1
         first_in_slice = True
+        decode_increment = (
+            fast_vlc.decode_address_increment
+            if fast_vlc.ENABLED
+            else vlc.decode_address_increment
+        )
         while br.bits_left() > 0 and br.peek(_EOS_BITS) != 0:
             bit_start = br.pos
-            increment = vlc.decode_address_increment(br)
+            increment = decode_increment(br)
             address = prev_addr + increment
             if address >= (row + 1) * self.mb_width:
                 raise BitstreamError("macroblock address beyond slice row")

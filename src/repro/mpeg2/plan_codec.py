@@ -1,0 +1,183 @@
+"""Binary wire codec for splitter-compiled reconstruction plans.
+
+When plan shipping is on, a second-level splitter parses a picture once,
+compiles each tile's share into a :class:`ReconstructionPlan`, and ships
+the plan itself — the tile decoder never sees bitstream bytes and never
+runs VLC.  This module defines the wire format: a fixed little-endian
+header (:data:`PLAN_WIRE_VERSION` first) followed by the plan's arrays as
+raw ndarray buffers in a fixed order.
+
+Encoding returns a list of buffers (header ``bytes`` + one ``memoryview``
+per array) so the socket layer can write them with no intermediate copy;
+decoding wraps the received payload with ``np.frombuffer`` views —
+zero-copy, read-only, which is safe because ``execute_plan`` only reads
+plan arrays.  Quantiser matrices are *not* shipped: both sides derive them
+from the sequence header (``QuantMatrices.from_sequence``), so the decoder
+injects its own copy at decode time.
+
+See DESIGN.md §9 for the byte-level layout diagram.
+"""
+
+from __future__ import annotations
+
+import struct
+import sys
+from dataclasses import dataclass
+from typing import List, Tuple, Union
+
+import numpy as np
+
+from repro.mpeg2.batch_reconstruct import ReconstructionPlan
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.reconstruct import QuantMatrices
+
+#: Bump on any layout change; decoders reject unknown versions.
+PLAN_WIRE_VERSION = 1
+
+# version u8 | picture_type u8 | dc_scaler u8 | pad u8 | tile u16 |
+# mb_width u16 | picture_index i32 | n_mb u32 | n_blocks u32 |
+# n_intra_blocks u32 | n_res u32 | n_coded u32 | n_skipped u32
+_HEAD = "<BBBxHHiIIIIII"
+_HEAD_SIZE = struct.calcsize(_HEAD)
+
+#: Array order and dtypes on the wire — (attribute, dtype, shape per count).
+#: Shapes use -1 for the leading count dimension filled from the header.
+_BLOCK_ARRAYS: Tuple[Tuple[str, type, Tuple[int, ...]], ...] = (
+    ("scans", np.int32, (-1, 64)),
+    ("block_qscale", np.int64, (-1,)),
+    ("block_res", np.int64, (-1,)),
+    ("block_slot", np.int64, (-1,)),
+)
+_MB_ARRAYS: Tuple[Tuple[str, type, Tuple[int, ...]], ...] = (
+    ("mb_x", np.int64, (-1,)),
+    ("mb_y", np.int64, (-1,)),
+    ("mb_intra", np.bool_, (-1,)),
+    ("mb_dir", np.bool_, (-1, 2)),
+    ("mb_mv", np.int64, (-1, 2, 2)),
+    ("mb_res_row", np.int64, (-1,)),
+)
+
+Buffers = List[Union[bytes, memoryview]]
+
+
+def _require_little_endian() -> None:
+    # The arrays go on the wire in host order; the format pins little
+    # endian, which every supported platform satisfies.  Fail loudly
+    # rather than silently byte-swap on an exotic host.
+    if sys.byteorder != "little":
+        raise NotImplementedError("plan wire codec requires a little-endian host")
+
+
+@dataclass
+class TilePlan:
+    """One tile's compiled share of a picture, as shipped by a splitter.
+
+    Carries the counts a decoder needs for stats (a plan has no notion of
+    skipped macroblocks — they are plain prediction entries) and, after
+    decode, how many payload bytes the plan occupied on the wire.
+    """
+
+    picture_index: int
+    tile: int
+    picture_type: PictureType
+    n_coded: int
+    n_skipped: int
+    plan: ReconstructionPlan
+    wire_bytes: int = 0
+
+
+def encode_plan(tp: TilePlan) -> Buffers:
+    """Encode to a buffer list: header bytes + one memoryview per array."""
+    _require_little_endian()
+    p = tp.plan
+    head = struct.pack(
+        _HEAD,
+        PLAN_WIRE_VERSION,
+        int(p.picture_type),
+        p.dc_scaler,
+        tp.tile,
+        p.mb_width,
+        tp.picture_index,
+        p.n_macroblocks,
+        p.n_blocks,
+        p.n_intra_blocks,
+        p.n_res,
+        tp.n_coded,
+        tp.n_skipped,
+    )
+    bufs: Buffers = [head]
+    for name, dtype, _shape in _BLOCK_ARRAYS + _MB_ARRAYS:
+        arr = getattr(p, name)
+        if arr.dtype != dtype:
+            raise ValueError(f"plan.{name} has dtype {arr.dtype}, wire wants {dtype}")
+        bufs.append(memoryview(np.ascontiguousarray(arr)))
+    return bufs
+
+
+def encode_plan_bytes(tp: TilePlan) -> bytes:
+    """Single-buffer encoding for in-process queues and tests."""
+    return b"".join(bytes(b) for b in encode_plan(tp))
+
+
+def buffers_nbytes(bufs: Buffers) -> int:
+    return sum(memoryview(b).nbytes for b in bufs)
+
+
+def decode_plan(
+    payload: Union[bytes, memoryview],
+    matrices: QuantMatrices,
+    offset: int = 0,
+) -> Tuple[TilePlan, int]:
+    """Decode a plan from ``payload`` at ``offset``.
+
+    Returns the :class:`TilePlan` (its arrays are read-only zero-copy views
+    into ``payload``) and the offset one past the plan.
+    """
+    _require_little_endian()
+    (
+        version,
+        ptype,
+        dc_scaler,
+        tile,
+        mb_width,
+        picture_index,
+        n_mb,
+        n_blocks,
+        n_intra,
+        n_res,
+        n_coded,
+        n_skipped,
+    ) = struct.unpack_from(_HEAD, payload, offset)
+    if version != PLAN_WIRE_VERSION:
+        raise ValueError(f"plan wire version {version}, expected {PLAN_WIRE_VERSION}")
+    off = offset + _HEAD_SIZE
+    fields = {}
+    for group, count in ((_BLOCK_ARRAYS, n_blocks), (_MB_ARRAYS, n_mb)):
+        for name, dtype, shape in group:
+            full = (count,) + shape[1:]
+            n_items = count
+            for d in shape[1:]:
+                n_items *= d
+            fields[name] = np.frombuffer(
+                payload, dtype=dtype, count=n_items, offset=off
+            ).reshape(full)
+            off += n_items * np.dtype(dtype).itemsize
+    plan = ReconstructionPlan(
+        picture_type=PictureType(ptype),
+        mb_width=mb_width,
+        matrices=matrices,
+        dc_scaler=dc_scaler,
+        n_intra_blocks=n_intra,
+        n_res=n_res,
+        **fields,
+    )
+    tp = TilePlan(
+        picture_index=picture_index,
+        tile=tile,
+        picture_type=PictureType(ptype),
+        n_coded=n_coded,
+        n_skipped=n_skipped,
+        plan=plan,
+        wire_bytes=off - offset,
+    )
+    return tp, off

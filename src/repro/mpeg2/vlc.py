@@ -96,14 +96,12 @@ DCT_COEFF = VLCTable("dct_coeff", T.DCT_COEFF)
 DCT_COEFF_T1 = VLCTable("dct_coeff_t1", T.DCT_COEFF_T1)
 
 
-def mb_type_table(picture_type: int) -> VLCTable:
-    from repro.mpeg2.constants import PictureType
+# Keyed by the IntEnum *values* so int and PictureType arguments both hit.
+_MB_TYPE_TABLES = {1: MB_TYPE_I, 2: MB_TYPE_P, 3: MB_TYPE_B}
 
-    return {
-        PictureType.I: MB_TYPE_I,
-        PictureType.P: MB_TYPE_P,
-        PictureType.B: MB_TYPE_B,
-    }[PictureType(picture_type)]
+
+def mb_type_table(picture_type: int) -> VLCTable:
+    return _MB_TYPE_TABLES[int(picture_type)]
 
 
 # ------------------------------------------------------------------------ #

@@ -43,7 +43,7 @@ import struct
 import threading
 import time
 from dataclasses import dataclass
-from typing import Optional, Tuple, Union
+from typing import Optional, Sequence, Tuple, Union
 
 MAGIC = 0x4D43  # "CM" — cluster message
 HEADER_FMT = "<HBHiI"
@@ -59,6 +59,11 @@ POLL_INTERVAL = 0.05
 
 # An address is JSON-friendly: ("tcp", host, port) or ("unix", path).
 Address = Union[Tuple[str, str, int], Tuple[str, str]]
+
+# A frame payload: one buffer, or a sequence of buffers written back to
+# back (vectored send — ndarray memoryviews reach the socket zero-copy).
+Buffer = Union[bytes, bytearray, memoryview]
+Payload = Union[Buffer, Sequence[Buffer]]
 
 
 class ChannelError(RuntimeError):
@@ -124,42 +129,67 @@ class Channel:
     def send(
         self,
         mtype: int,
-        payload: bytes = b"",
+        payload: Payload = b"",
         picture: int = -1,
         sender: int = 0,
         timeout: Optional[float] = None,
     ) -> None:
         """Write one frame; blocks while the kernel buffer is full.
 
+        ``payload`` may be a single buffer (``bytes``/``memoryview``) or a
+        sequence of buffers.  A sequence is written back to back after the
+        header with no intermediate concatenation, so ndarray-backed
+        memoryviews go to the socket zero-copy.
+
         With ``timeout`` the wait is bounded.  If the deadline passes with
         the frame partially written, the stream is desynchronised beyond
         repair, so the channel is closed before :class:`ChannelTimeout`
         is raised — a half-sent frame must never be followed by another.
         """
-        header = struct.pack(HEADER_FMT, MAGIC, mtype, sender, picture, len(payload))
-        view = memoryview(header + payload)
+        if isinstance(payload, (bytes, bytearray, memoryview)):
+            bufs = [payload]
+        else:
+            bufs = list(payload)
+        views = []
+        for b in bufs:
+            v = memoryview(b)
+            if v.nbytes == 0:
+                continue  # empty views cannot be cast (zero in shape)
+            if v.format != "B" or v.ndim != 1:
+                v = v.cast("B")
+            views.append(v)
+        length = sum(v.nbytes for v in views)
+        header = struct.pack(HEADER_FMT, MAGIC, mtype, sender, picture, length)
+        views.insert(0, memoryview(header))
         deadline = None if timeout is None else time.monotonic() + timeout
         started = False
         with self._send_lock:
-            while view:
-                if self._closed:
-                    raise ChannelClosed(f"{self.name}: channel closed")
-                if deadline is not None and time.monotonic() >= deadline:
-                    if started:
-                        self.close()
-                    raise ChannelTimeout(f"{self.name}: send buffer full past timeout")
-                try:
-                    _, writable, _ = select.select([], [self.sock], [], POLL_INTERVAL)
-                    if not writable:
+            for view in views:
+                while view:
+                    if self._closed:
+                        raise ChannelClosed(f"{self.name}: channel closed")
+                    if deadline is not None and time.monotonic() >= deadline:
+                        if started:
+                            self.close()
+                        raise ChannelTimeout(
+                            f"{self.name}: send buffer full past timeout"
+                        )
+                    try:
+                        _, writable, _ = select.select(
+                            [], [self.sock], [], POLL_INTERVAL
+                        )
+                        if not writable:
+                            continue
+                        n = self.sock.send(view)
+                    except (BlockingIOError, InterruptedError):
                         continue
-                    n = self.sock.send(view)
-                except (BlockingIOError, InterruptedError):
-                    continue
-                except (OSError, ValueError) as exc:
-                    raise ChannelClosed(f"{self.name}: send failed: {exc}") from exc
-                if n:
-                    started = True
-                    view = view[n:]
+                    except (OSError, ValueError) as exc:
+                        raise ChannelClosed(
+                            f"{self.name}: send failed: {exc}"
+                        ) from exc
+                    if n:
+                        started = True
+                        view = view[n:]
 
     # -------------------------------- recv --------------------------------- #
 

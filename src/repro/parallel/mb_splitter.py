@@ -17,12 +17,16 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.mpeg2.batch_reconstruct import PlanBuilder
 from repro.mpeg2.constants import PictureType
 from repro.mpeg2.motion import Rect, chroma_reference_rect, reference_rect
 from repro.mpeg2.parser import MacroblockParser, ParsedMB, ParsedPicture, PictureUnit
+from repro.mpeg2.plan_codec import TilePlan
+from repro.mpeg2.reconstruct import QuantMatrices
 from repro.mpeg2.structures import SequenceHeader
 from repro.parallel.mei import BWD, FWD, BlockXfer, MEIBatch
 from repro.parallel.subpicture import SPH, RunRecord, SkipRecord, SubPicture
+from repro.perf.metrics import StageTimes
 from repro.wall.layout import TileLayout
 
 
@@ -44,6 +48,22 @@ class SplitResult:
             len(sp.serialize()) + self.mei.program(t).instruction_bytes
             for t, sp in self.subpictures.items()
         )
+
+
+@dataclass
+class PlanSplitResult:
+    """Plan-shipping counterpart of :class:`SplitResult`.
+
+    Instead of sub-picture bitstreams, each tile gets a compiled
+    :class:`~repro.mpeg2.plan_codec.TilePlan` — the decoder side goes
+    straight to the vectorized execute phase with no VLC work.  The MEI
+    exchange programs are identical to the bitstream path's.
+    """
+
+    picture_index: int
+    plans: Dict[int, TilePlan]
+    mei: MEIBatch
+    picture_type: PictureType
 
 
 @dataclass
@@ -78,12 +98,74 @@ class MacroblockSplitter:
         self.sequence = sequence
         self.layout = layout
         self.parser = MacroblockParser(sequence)
+        self.matrices = QuantMatrices.from_sequence(sequence)
+        # parse/plan attribution for the per-process stage_times traces.
+        self.stage_times = StageTimes()
 
     # ------------------------------------------------------------------ #
 
     def split(self, unit: PictureUnit, picture_index: int) -> SplitResult:
-        parsed = self.parser.parse_picture(unit.data)
-        return self.split_parsed(parsed, picture_index)
+        with self.stage_times.stage("parse"):
+            parsed = self.parser.parse_picture(unit.data)
+        with self.stage_times.stage("plan"):
+            result = self.split_parsed(parsed, picture_index)
+        self.stage_times.pictures += 1
+        return result
+
+    def split_plans(self, unit: PictureUnit, picture_index: int) -> PlanSplitResult:
+        """Parse once, compile each tile's share into a shipped plan."""
+        with self.stage_times.stage("parse"):
+            parsed = self.parser.parse_picture(unit.data)
+        with self.stage_times.stage("plan"):
+            result = self.compile_plans(parsed, picture_index)
+        self.stage_times.pictures += 1
+        return result
+
+    def compile_plans(
+        self, parsed: ParsedPicture, picture_index: int
+    ) -> PlanSplitResult:
+        layout = self.layout
+        hdr = parsed.header
+        builders = {
+            t.tid: PlanBuilder(
+                hdr.picture_type,
+                parsed.mb_width,
+                self.sequence.width,
+                self.sequence.height,
+                self.matrices,
+                hdr.dc_scaler,
+            )
+            for t in layout
+        }
+        counts = {t.tid: [0, 0] for t in layout}  # [coded, skipped]
+        mei = MEIBatch(picture_index, layout.n_tiles)
+
+        for item in parsed.items:
+            mb = item.mb
+            mb_x = mb.address % parsed.mb_width
+            mb_y = mb.address // parsed.mb_width
+            for t in layout.tiles_for_mb(mb_x, mb_y):
+                builders[t].add(mb)
+                counts[t][1 if mb.skipped else 0] += 1
+                self._add_exchanges(mei, item, t, mb_x, mb_y)
+
+        plans = {
+            t.tid: TilePlan(
+                picture_index=picture_index,
+                tile=t.tid,
+                picture_type=hdr.picture_type,
+                n_coded=counts[t.tid][0],
+                n_skipped=counts[t.tid][1],
+                plan=builders[t.tid].build(),
+            )
+            for t in layout
+        }
+        return PlanSplitResult(
+            picture_index=picture_index,
+            plans=plans,
+            mei=mei,
+            picture_type=hdr.picture_type,
+        )
 
     def split_parsed(self, parsed: ParsedPicture, picture_index: int) -> SplitResult:
         layout = self.layout

@@ -18,7 +18,7 @@ from typing import List, Optional, Tuple
 import numpy as np
 
 from repro.bitstream import BitReader, BitstreamError
-from repro.mpeg2 import vlc
+from repro.mpeg2 import fast_vlc, vlc
 from repro.mpeg2.batch_reconstruct import PlanBuilder, execute_plan
 from repro.mpeg2.constants import PictureType
 from repro.mpeg2.frames import Frame
@@ -28,6 +28,7 @@ from repro.mpeg2.macroblock import (
     make_skipped,
     parse_macroblock_body,
 )
+from repro.mpeg2.plan_codec import TilePlan
 from repro.mpeg2.reconstruct import QuantMatrices, reconstruct_macroblock
 from repro.mpeg2.structures import SequenceHeader
 from repro.perf.metrics import StageTimes
@@ -158,29 +159,44 @@ class TileDecoder:
     # decoding
     # ------------------------------------------------------------------ #
 
-    def decode_subpicture(self, sp: SubPicture) -> Optional[Frame]:
-        """Decode one sub-picture; returns the next display-order frame for
-        this tile, if one became ready (the usual anchor/B reorder)."""
-        if sp.tile != self.tile.tid:
+    def _begin_picture(self, picture_index: int, tile: int, ptype: PictureType):
+        """Shared ordering/reference checks; returns (frame, fwd, bwd)."""
+        if tile != self.tile.tid:
             raise ValueError("sub-picture routed to the wrong tile")
-        if sp.picture_index != self._expected_picture:
+        if picture_index != self._expected_picture:
             raise ValueError(
-                f"picture {sp.picture_index} arrived out of order at tile "
+                f"picture {picture_index} arrived out of order at tile "
                 f"{self.tile.tid} (expected {self._expected_picture})"
             )
         self._expected_picture += 1
-        self.stats.subpicture_bytes += len(sp.serialize())
-
-        ptype = sp.picture_type
-        header = sp.picture_header()
         fwd = self.prev_anchor if ptype == PictureType.B else self.held
         bwd = self.held if ptype == PictureType.B else None
         if ptype != PictureType.I and fwd is None:
             raise ValueError("missing forward reference")
         if ptype == PictureType.B and bwd is None:
             raise ValueError("missing backward reference")
-
         frame = Frame.blank(self.sequence.width, self.sequence.height)
+        return frame, fwd, bwd
+
+    def _finish_picture(self, ptype: PictureType, frame: Frame) -> Optional[Frame]:
+        """The usual anchor/B reorder: B frames display immediately, anchors
+        release the previously held anchor."""
+        self.stats.pictures_decoded += 1
+        if ptype == PictureType.B:
+            return frame
+        ready = self.held
+        self.prev_anchor = self.held
+        self.held = frame
+        return ready
+
+    def decode_subpicture(self, sp: SubPicture) -> Optional[Frame]:
+        """Decode one sub-picture; returns the next display-order frame for
+        this tile, if one became ready (the usual anchor/B reorder)."""
+        ptype = sp.picture_type
+        frame, fwd, bwd = self._begin_picture(sp.picture_index, sp.tile, ptype)
+        self.stats.subpicture_bytes += len(sp.serialize())
+
+        header = sp.picture_header()
         mb_width = sp.mb_width
         if self.batch_reconstruct:
             self._decode_records_batched(sp, header, frame, fwd, bwd, mb_width)
@@ -204,14 +220,19 @@ class TileDecoder:
                     else:
                         addresses = range(rec.address, rec.address + rec.count)
                     self._conceal(addresses, frame, fwd, mb_width)
-        self.stats.pictures_decoded += 1
+        return self._finish_picture(ptype, frame)
 
-        if ptype == PictureType.B:
-            return frame
-        ready = self.held
-        self.prev_anchor = self.held
-        self.held = frame
-        return ready
+    def decode_plan(self, tp: TilePlan) -> Optional[Frame]:
+        """Decode one splitter-compiled plan: no VLC work on this side —
+        straight to the batched execute phase (plan shipping)."""
+        ptype = tp.picture_type
+        frame, fwd, bwd = self._begin_picture(tp.picture_index, tp.tile, ptype)
+        self.stats.subpicture_bytes += tp.wire_bytes
+        with self.stage_times.stage("execute"):
+            execute_plan(tp.plan, frame, fwd, bwd)
+        self.stats.macroblocks_decoded += tp.n_coded
+        self.stats.macroblocks_skipped += tp.n_skipped
+        return self._finish_picture(ptype, frame)
 
     def flush(self) -> Optional[Frame]:
         """End of stream: the held anchor becomes displayable."""
@@ -297,10 +318,15 @@ class TileDecoder:
         mb = parse_macroblock_body(br, state)
         mb.address = rec.sph.address
         mbs.append(mb)
+        decode_increment = (
+            fast_vlc.decode_address_increment
+            if fast_vlc.ENABLED
+            else vlc.decode_address_increment
+        )
         coded = 1
         cur = rec.sph.address
         while coded < rec.n_coded:
-            inc = vlc.decode_address_increment(br)
+            inc = decode_increment(br)
             for skip_addr in range(cur + 1, cur + inc):
                 mbs.append(make_skipped(skip_addr, state))
                 n_skipped += 1

@@ -33,6 +33,7 @@ import time
 from dataclasses import dataclass
 from typing import Dict, List
 
+from repro.mpeg2 import plan_codec
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import PictureScanner
 from repro.parallel.mb_splitter import MacroblockSplitter
@@ -54,6 +55,22 @@ class _SPMessage:
     expected_recvs: int
 
 
+@dataclass
+class _PlanMessage:
+    """Plan-shipping counterpart of :class:`_SPMessage`.
+
+    The plan travels through the queue in its wire encoding, exactly as it
+    would cross a socket, so the threaded runner exercises the same codec
+    path as the cluster runtime.
+    """
+
+    picture_index: int
+    anid: int
+    plan_bytes: bytes
+    program: object  # MEIProgram
+    expected_recvs: int
+
+
 class _Cancelled(BaseException):
     """A worker was asked to stop because another worker failed."""
 
@@ -67,6 +84,7 @@ class ThreadedParallelDecoder:
         k: int = 1,
         queue_depth: int = 2,
         batch_reconstruct: bool = True,
+        ship_plans: bool = True,
     ):
         if k < 1:
             raise ValueError("need at least one second-level splitter")
@@ -74,6 +92,7 @@ class ThreadedParallelDecoder:
         self.k = k
         self.queue_depth = queue_depth
         self.batch_reconstruct = batch_reconstruct
+        self.ship_plans = ship_plans
         self.errors: List[BaseException] = []
 
     def decode(self, stream: bytes, timeout: float = 60.0) -> List[Frame]:
@@ -152,7 +171,10 @@ class ThreadedParallelDecoder:
                 if item is None:
                     return
                 i, nsid, unit = item
-                result = msplit.split(unit, i)
+                if self.ship_plans:
+                    result = msplit.split_plans(unit, i)
+                else:
+                    result = msplit.split(unit, i)
                 if i > 0:
                     # wait for every decoder's ack of picture i-1,
                     # redirected here via ANID
@@ -166,15 +188,25 @@ class ThreadedParallelDecoder:
                 for tid in range(n_tiles):
                     prog = result.mei.program(tid)
                     expected = len(prog.recvs)
-                    sp_q[tid].put(
-                        _SPMessage(
+                    if self.ship_plans:
+                        msg = _PlanMessage(
+                            picture_index=i,
+                            anid=nsid,
+                            plan_bytes=plan_codec.encode_plan_bytes(
+                                result.plans[tid]
+                            ),
+                            program=prog,
+                            expected_recvs=expected,
+                        )
+                    else:
+                        msg = _SPMessage(
                             picture_index=i,
                             anid=nsid,
                             sp_bytes=result.subpictures[tid].serialize(),
                             program=prog,
                             expected_recvs=expected,
                         )
-                    )
+                    sp_q[tid].put(msg)
 
         # decoders -------------------------------------------------------- #
         def decoder(tid: int):
@@ -186,14 +218,19 @@ class ThreadedParallelDecoder:
             )
             held_back: Dict[int, List] = {}
             for i in range(n_pics):
-                msg: _SPMessage = _get(sp_q[tid], f"sub-picture {i}")
+                msg = _get(sp_q[tid], f"sub-picture {i}")
                 if msg.picture_index != i:
                     raise RuntimeError(
                         f"tile {tid}: picture {msg.picture_index} arrived, "
                         f"expected {i} (ordering broken)"
                     )
-                sp = SubPicture.deserialize(msg.sp_bytes)
-                ptype = sp.picture_type
+                if isinstance(msg, _PlanMessage):
+                    sp = None
+                    tp, _ = plan_codec.decode_plan(msg.plan_bytes, dec.matrices)
+                    ptype = tp.picture_type
+                else:
+                    sp = SubPicture.deserialize(msg.sp_bytes)
+                    ptype = sp.picture_type
                 # ack to the *next* splitter (ANID), releasing picture i+1
                 ack_q[msg.anid].put(i)
                 # serve peers first (reads already-decoded local refs)
@@ -211,7 +248,7 @@ class ThreadedParallelDecoder:
                         got += 1
                     else:
                         held_back.setdefault(pic_idx, []).append(block)
-                ready = dec.decode_subpicture(sp)
+                ready = dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
                 if ready is not None:
                     out_q.put(("frame", tid, ready))
             tail = dec.flush()

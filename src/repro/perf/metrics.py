@@ -54,19 +54,22 @@ class StageTimes:
     - **parse** — VLC/entropy decoding (inherently serial);
     - **plan** — assembling the flat reconstruction plan;
     - **execute** — the batched dequant/IDCT/MC/scatter phase (or the whole
-      per-macroblock reconstruction when the reference path runs).
+      per-macroblock reconstruction when the reference path runs);
+    - **wire** — encoding/decoding messages at the process boundary (plan
+      and frame codecs; zero for in-process decoders).
     """
 
     parse: float = 0.0
     plan: float = 0.0
     execute: float = 0.0
+    wire: float = 0.0
     pictures: int = 0
 
-    STAGES = ("parse", "plan", "execute")
+    STAGES = ("parse", "plan", "execute", "wire")
 
     @property
     def total(self) -> float:
-        return self.parse + self.plan + self.execute
+        return self.parse + self.plan + self.execute + self.wire
 
     @property
     def reconstruct(self) -> float:

@@ -262,3 +262,23 @@ def merge_traces(
             for ev in events:
                 fh.write(ev.to_json() + "\n")
     return events
+
+
+def load_stage_times(trace_dir: Union[str, Path]) -> Dict[str, "StageTimes"]:
+    """Per-process :class:`~repro.perf.metrics.StageTimes` from a run's traces.
+
+    The single loader behind the supervisor's harvest and the cluster
+    benchmark's per-stage attribution: reads every ``*.trace.jsonl`` in
+    ``trace_dir``, folds each process's ``stage_times`` events (a process
+    may emit several — they accumulate), and returns ``{proc: StageTimes}``
+    for every process that emitted any.
+    """
+    from repro.perf.metrics import StageTimes
+
+    by_proc: Dict[str, StageTimes] = {}
+    for ev in merge_traces(trace_dir):
+        if ev.event != "stage_times":
+            continue
+        st = by_proc.setdefault(ev.proc, StageTimes())
+        st.merge(StageTimes.from_dict(ev.data))
+    return by_proc

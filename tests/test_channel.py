@@ -41,6 +41,19 @@ class TestFraming:
         assert (msg.type, msg.sender, msg.picture) == (7, 3, 42)
         assert msg.payload == payload
 
+    def test_buffer_list_payload_arrives_joined(self, pair):
+        """Vectored send: a list of buffers (bytes / bytearray / typed
+        memoryviews, including empty ones) arrives as one contiguous
+        payload, identical to sending the joined bytes."""
+        import numpy as np
+
+        client, server = pair
+        arr = np.arange(300, dtype=np.int64)
+        parts = [b"head", b"", bytearray(b"mid"), arr.data, memoryview(b"tail")]
+        client.send(5, parts, picture=1)
+        msg = server.recv(timeout=5)
+        assert msg.payload == b"head" + b"mid" + arr.tobytes() + b"tail"
+
     def test_empty_payload_and_negative_picture(self, pair):
         client, server = pair
         client.send(9)

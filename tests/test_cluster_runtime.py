@@ -69,6 +69,26 @@ class TestBitIdentical:
         frames = sup.decode(stream, timeout=120.0)
         assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, frames))
 
+    def test_bitstream_fallback_matches_sequential(self, clip_stream):
+        """ship_plans=False: decoders re-parse sub-picture bitstreams."""
+        _, stream = clip_stream
+        ref = decode_stream(stream)
+        sup = ClusterSupervisor(
+            WallConfig(m=2, n=1, k=1, transport="unix", ship_plans=False)
+        )
+        frames = sup.decode(stream, timeout=120.0)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, frames))
+
+    def test_plan_shipping_decoders_do_no_vlc(self, wall_run):
+        """With plan shipping on (the default), every tile decoder's parse
+        stage must be exactly zero — the splitters run VLC once."""
+        sup, _, _ = wall_run
+        decs = {p: st for p, st in sup.stage_times_by_proc.items() if p.startswith("dec")}
+        assert len(decs) == 4
+        for proc, st in decs.items():
+            assert st.parse == 0.0, f"{proc} spent {st.parse}s in VLC"
+            assert st.execute > 0.0
+
 
 class TestTraceTimeline:
     def test_merged_trace_is_one_wall_clock_timeline(self, wall_run):

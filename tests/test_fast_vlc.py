@@ -1,0 +1,235 @@
+"""Differential fuzz: table-driven fast VLC vs. the bit-at-a-time reference.
+
+Every fast decoder in :mod:`repro.mpeg2.fast_vlc` is checked symbol-for-
+symbol (and cursor-position-for-cursor-position) against the reference
+codecs in :mod:`repro.mpeg2.vlc` over randomized valid bitstreams produced
+by the reference *encoders* — including every escape-code shape: address-
+increment escapes (single and stacked), the non-intra first-coefficient
+short form, both DCT tables' end-of-block codes, and MPEG-2 24-bit escape
+coefficients across the level range.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bitstream import BitReader, BitWriter
+from repro.mpeg2 import fast_vlc, tables as T, vlc
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.workloads.synthetic import moving_pattern_frames
+
+# Levels that exercise every coding shape: short-form +/-1, in-table codes,
+# and escapes at both ends of the 12-bit two's-complement range.
+_LEVELS = [1, -1, 2, -3, 5, -8, 31, 40, -40, 127, -127, 255, -255, 2047, -2047]
+
+
+@st.composite
+def coded_blocks(draw):
+    """A valid (run, level) list: positions stay inside the 8x8 block."""
+    intra = draw(st.booleans())
+    table_one = draw(st.booleans()) if intra else False
+    pairs = []
+    # Intra blocks start at scan position 0 (DC is separate); non-intra
+    # coefficients may fill all 64 positions.
+    p = 0 if intra else -1
+    while True:
+        if len(pairs) >= 8 or draw(st.booleans()) and pairs:
+            break
+        run = draw(st.integers(0, 63))
+        if p + run + 1 > 63:
+            break
+        p += run + 1
+        pairs.append((run, draw(st.sampled_from(_LEVELS))))
+    return intra, table_one, pairs
+
+
+def _encode_block(pairs, intra, table_one, lead_bits=0):
+    w = BitWriter()
+    if lead_bits:
+        w.write((1 << lead_bits) - 1, lead_bits)  # unaligned start offset
+    vlc.encode_coefficients(w, pairs, intra, table_one)
+    w.write(0xAB, 8)  # trailing bytes: the decoder must stop exactly at EOB
+    w.write(0xCD, 8)
+    return w.getvalue()
+
+
+def _ref_scan(br, intra, table_one):
+    scan = np.zeros(64, dtype=np.int32)
+    p = 0 if intra else -1
+    for run, level in vlc.decode_coefficients(br, intra, table_one):
+        p += run + 1
+        scan[p] = level
+    return scan
+
+
+class TestCoefficients:
+    @given(coded_blocks(), st.integers(0, 7))
+    @settings(max_examples=300, deadline=None)
+    def test_matches_reference_symbol_for_symbol(self, block, lead_bits):
+        intra, table_one, pairs = block
+        data = _encode_block(pairs, intra, table_one, lead_bits)
+
+        ref_br = BitReader(data)
+        ref_br.skip(lead_bits)
+        ref = _ref_scan(ref_br, intra, table_one)
+
+        fast_br = BitReader(data)
+        fast_br.skip(lead_bits)
+        fast = np.zeros(64, dtype=np.int32)
+        fast_vlc.decode_ac_into(fast_br, fast, intra, table_one)
+
+        assert np.array_equal(ref, fast)
+        assert ref_br.pos == fast_br.pos  # stopped on the same bit
+
+    @pytest.mark.parametrize("level", [2047, -2047, 256, -256, 41, -41])
+    @pytest.mark.parametrize("run", [0, 5, 31, 63])
+    def test_escape_shapes(self, run, level):
+        """Every escape-coded coefficient decodes identically."""
+        if run > 62:
+            run = 62  # keep position 63 reachable after run zeros
+        data = _encode_block([(run, level)], True, False)
+        ref = _ref_scan(BitReader(data), True, False)
+        fast = np.zeros(64, dtype=np.int32)
+        fast_vlc.decode_ac_into(BitReader(data), fast, True, False)
+        assert np.array_equal(ref, fast)
+
+    def test_escape_level_zero_raises(self):
+        w = BitWriter()
+        bits, length = T.DCT_ESCAPE_CODE
+        w.write(bits, length)
+        w.write(3, T.ESCAPE_RUN_BITS)
+        w.write(0, T.ESCAPE_LEVEL_BITS)  # forbidden
+        w.align()
+        with pytest.raises(vlc.VLCError):
+            fast_vlc.decode_ac_into(
+                BitReader(w.getvalue()), np.zeros(64, np.int32), True
+            )
+
+    def test_run_overrun_raises(self):
+        w = BitWriter()
+        bits, length = T.DCT_ESCAPE_CODE
+        for _ in range(3):  # 3 x (run 40 + coefficient) overruns 64
+            w.write(bits, length)
+            w.write(40, T.ESCAPE_RUN_BITS)
+            w.write(7, T.ESCAPE_LEVEL_BITS)
+        w.align()
+        with pytest.raises(Exception):
+            fast_vlc.decode_ac_into(
+                BitReader(w.getvalue()), np.zeros(64, np.int32), True
+            )
+
+
+class TestScalarCodes:
+    @given(st.lists(st.integers(1, 150), min_size=1, max_size=6))
+    @settings(max_examples=200, deadline=None)
+    def test_address_increment(self, increments):
+        """Increments beyond 33 use stacked escape codes."""
+        w = BitWriter()
+        for inc in increments:
+            vlc.encode_address_increment(w, inc)
+        w.align(fill=1)
+        data = w.getvalue()
+        ref_br, fast_br = BitReader(data), BitReader(data)
+        for inc in increments:
+            assert vlc.decode_address_increment(ref_br) == inc
+            assert fast_vlc.decode_address_increment(fast_br) == inc
+            assert ref_br.pos == fast_br.pos
+
+    @given(
+        st.integers(0, 8),
+        st.lists(st.integers(-100, 100), min_size=1, max_size=8),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_motion_delta(self, r_size, deltas):
+        f = 1 << r_size
+        deltas = [max(-16 * f, min(16 * f - 1, d * f // 4)) for d in deltas]
+        w = BitWriter()
+        for d in deltas:
+            vlc.encode_motion_delta(w, d, r_size)
+        w.align(fill=1)
+        data = w.getvalue()
+        ref_br, fast_br = BitReader(data), BitReader(data)
+        for d in deltas:
+            assert vlc.decode_motion_delta(ref_br, r_size) == d
+            assert fast_vlc.decode_motion_delta(fast_br, r_size) == d
+            assert ref_br.pos == fast_br.pos
+
+    @given(st.integers(0, 1), st.lists(st.integers(-2047, 2047), min_size=1, max_size=8))
+    @settings(max_examples=200, deadline=None)
+    def test_dc_delta(self, component, diffs):
+        table = vlc.DC_SIZE_LUMA if component == 0 else vlc.DC_SIZE_CHROMA
+        w = BitWriter()
+        for d in diffs:
+            size = 0 if d == 0 else abs(d).bit_length()
+            table.encode(w, size)
+            if size:
+                w.write(d if d > 0 else d + (1 << size) - 1, size)
+        w.align(fill=1)
+        data = w.getvalue()
+        ref_br, fast_br = BitReader(data), BitReader(data)
+        for d in diffs:
+            # reference path: size VLC then the folded differential
+            size = table.decode(ref_br)
+            if size == 0:
+                ref = 0
+            else:
+                raw = ref_br.read(size)
+                ref = raw if raw >= (1 << (size - 1)) else raw - (1 << size) + 1
+            assert ref == d
+            assert fast_vlc.decode_dc_delta(fast_br, component) == d
+            assert ref_br.pos == fast_br.pos
+
+    def test_cbp_and_mb_type_match_reference(self):
+        w = BitWriter()
+        cbps = sorted(T.CODED_BLOCK_PATTERN)
+        for cbp in cbps:
+            vlc.CBP.encode(w, cbp)
+        w.align(fill=1)
+        data = w.getvalue()
+        ref_br, fast_br = BitReader(data), BitReader(data)
+        for cbp in cbps:
+            assert vlc.CBP.decode(ref_br) == cbp
+            assert fast_vlc.decode_cbp(fast_br) == cbp
+            assert ref_br.pos == fast_br.pos
+
+        for ptype, table in ((1, vlc.MB_TYPE_I), (2, vlc.MB_TYPE_P), (3, vlc.MB_TYPE_B)):
+            w = BitWriter()
+            syms = list(table.mapping)
+            for sym in syms:
+                table.encode(w, sym)
+            w.align(fill=1)
+            data = w.getvalue()
+            ref_br, fast_br = BitReader(data), BitReader(data)
+            for sym in syms:
+                assert table.decode(ref_br) == sym
+                assert fast_vlc.decode_mb_type(fast_br, ptype) == sym
+                assert ref_br.pos == fast_br.pos
+
+
+class TestWholeStream:
+    """The integrated check: full pictures parse identically both ways."""
+
+    def test_full_stream_parse_matches_reference(self):
+        clip = moving_pattern_frames(128, 96, 8, seed=7)
+        stream = Encoder(EncoderConfig(gop_size=4, b_frames=2)).encode(clip)
+        sequence, pictures = PictureScanner(stream).scan()
+        parser = MacroblockParser(sequence)
+        for unit in pictures:
+            fast = parser.parse_picture(unit.data)
+            with fast_vlc.use_reference():
+                ref = parser.parse_picture(unit.data)
+            assert len(fast.items) == len(ref.items)
+            for a, b in zip(fast.items, ref.items):
+                assert a.mb.address == b.mb.address
+                assert a.mb.bit_end == b.mb.bit_end
+                assert a.mb.skipped == b.mb.skipped
+
+    def test_full_stream_decode_bit_identical(self):
+        clip = moving_pattern_frames(128, 96, 6, seed=3)
+        stream = Encoder(EncoderConfig(gop_size=3, b_frames=1)).encode(clip)
+        fast = decode_stream(stream)
+        with fast_vlc.use_reference():
+            ref = decode_stream(stream)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, fast))

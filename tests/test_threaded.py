@@ -31,6 +31,19 @@ class TestThreadedDecoder:
         assert len(out) == len(ref)
         assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
 
+    @pytest.mark.parametrize("ship_plans", [True, False])
+    def test_plan_and_bitstream_paths_bit_exact(self, clip_stream, ship_plans):
+        """Both wire modes — compiled plans and sub-picture bitstreams —
+        must match the sequential decoder exactly."""
+        _, stream = clip_stream
+        ref = decode_stream(stream)
+        layout = TileLayout(128, 96, 2, 2)
+        out = ThreadedParallelDecoder(layout, k=2, ship_plans=ship_plans).decode(
+            stream, timeout=60
+        )
+        assert len(out) == len(ref)
+        assert all(a.max_abs_diff(b) == 0 for a, b in zip(ref, out))
+
     def test_with_overlap(self, clip_stream):
         _, stream = clip_stream
         ref = decode_stream(stream)
@@ -67,6 +80,11 @@ class TestShutdownOnWorkerFailure:
                 if self.tile.tid == 1 and sp.picture_index >= 2:
                     raise RuntimeError("injected tile-decoder failure")
                 return super().decode_subpicture(sp)
+
+            def decode_plan(self, tp):
+                if self.tile.tid == 1 and tp.picture_index >= 2:
+                    raise RuntimeError("injected tile-decoder failure")
+                return super().decode_plan(tp)
 
         monkeypatch.setattr(threaded_mod, "TileDecoder", FailingDecoder)
         before = threading.active_count()
