@@ -40,14 +40,16 @@ WIDTH, HEIGHT, N_FRAMES = 1920, 1088, 4
 GOP_SIZE, B_FRAMES = 4, 1
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
 
-#: (label, m, n, ship_plans) — 1, 2 and 4 tile-decoder processes with plan
-#: shipping, plus the 4-process bitstream fallback for the attribution
-#: comparison.
+#: (label, m, n, ship_plans, telemetry) — 1, 2 and 4 tile-decoder processes
+#: with plan shipping, the 4-process bitstream fallback for the attribution
+#: comparison, and a telemetry-off 4-process run so the JSON carries a
+#: before/after measurement of the span-instrumentation overhead.
 CLUSTER_GRIDS = [
-    ("cluster_1proc", 1, 1, True),
-    ("cluster_2proc", 2, 1, True),
-    ("cluster_4proc", 2, 2, True),
-    ("cluster_4proc_bitstream", 2, 2, False),
+    ("cluster_1proc", 1, 1, True, True),
+    ("cluster_2proc", 2, 1, True, True),
+    ("cluster_4proc", 2, 2, True, True),
+    ("cluster_4proc_bitstream", 2, 2, False, True),
+    ("cluster_4proc_notelemetry", 2, 2, True, False),
 ]
 
 
@@ -94,9 +96,12 @@ def run_cluster_bench() -> dict:
     out = ThreadedParallelDecoder(layout, k=1).decode(stream, timeout=600)
     record("threaded_2x2", out, time.perf_counter() - t0, {"processes": 1, "threads": 6})
 
-    for name, m, n, ship_plans in CLUSTER_GRIDS:
+    for name, m, n, ship_plans, telemetry in CLUSTER_GRIDS:
         sup = ClusterSupervisor(
-            WallConfig(m=m, n=n, k=1, transport="unix", ship_plans=ship_plans)
+            WallConfig(
+                m=m, n=n, k=1, transport="unix",
+                ship_plans=ship_plans, telemetry=telemetry,
+            )
         )
         t0 = time.perf_counter()
         out = sup.decode(stream, timeout=600)
@@ -118,12 +123,20 @@ def run_cluster_bench() -> dict:
             {
                 "processes": 2 + m * n,
                 "ship_plans": ship_plans,
+                "telemetry": telemetry,
                 "decoder_stage_s": round(sup.stage_times.total, 4),
                 "decoder_pictures": sup.stage_times.pictures,
                 "decoder_parse_s": round(sup.stage_times.parse, 4),
                 "stages": stages,
             },
         )
+
+    # span/stats instrumentation overhead: the 4-process grid with and
+    # without telemetry (same config otherwise).  Noisy on loaded boxes;
+    # recorded, not asserted.
+    on = report["modes"]["cluster_4proc"]["wall_s"]
+    off = report["modes"]["cluster_4proc_notelemetry"]["wall_s"]
+    report["telemetry_overhead_pct"] = round(100.0 * (on - off) / off, 2)
 
     return report
 

@@ -8,6 +8,7 @@ wall      decode in parallel on an m x n wall and verify bit-exactness
 run-cluster  decode on real OS processes over the socket transport
 simulate  run the timed 1-k-(m,n) cluster simulation on a Table 4 stream
 info      show stream structure (pictures, types, sizes)
+trace-report  post-mortem a run directory: text report + Perfetto JSON
 """
 
 from __future__ import annotations
@@ -137,6 +138,39 @@ def cmd_run_cluster(args) -> int:
     )
     if sup.merged_trace_path is not None:
         print(f"merged trace -> {sup.merged_trace_path}")
+    if sup.perfetto_path is not None:
+        print(f"perfetto timeline -> {sup.perfetto_path}")
+    return 0
+
+
+def cmd_trace_report(args) -> int:
+    from repro.perf.export import build_report, render_report, write_chrome_trace
+    from repro.perf.trace import merge_traces
+
+    rundir = Path(args.rundir)
+    if not rundir.is_dir():
+        print(f"not a run directory: {rundir}", file=sys.stderr)
+        return 2
+    try:
+        events = merge_traces(rundir, strict=not args.lenient)
+    except (ValueError, KeyError) as exc:
+        print(f"unparsable trace event in {rundir}: {exc}", file=sys.stderr)
+        print("(re-run with --lenient to skip torn lines)", file=sys.stderr)
+        return 1
+    if not events:
+        print(f"no *.trace.jsonl events found under {rundir}", file=sys.stderr)
+        return 1
+
+    json_path = Path(args.json) if args.json else rundir / "trace.perfetto.json"
+    write_chrome_trace(events, json_path)
+
+    text = render_report(build_report(events))
+    if args.out:
+        Path(args.out).write_text(text)
+        print(f"wrote report -> {args.out}")
+    else:
+        print(text, end="")
+    print(f"perfetto timeline -> {json_path}  (open in ui.perfetto.dev)")
     return 0
 
 
@@ -325,6 +359,24 @@ def build_parser() -> argparse.ArgumentParser:
 
     t = sub.add_parser("streams", help="list the Table 4 test streams")
     t.set_defaults(func=cmd_streams)
+
+    tr = sub.add_parser(
+        "trace-report",
+        help="post-mortem a cluster run directory (text report + Perfetto JSON)",
+    )
+    tr.add_argument("rundir", help="run directory holding *.trace.jsonl streams")
+    tr.add_argument(
+        "--json",
+        help="Perfetto/Chrome trace output path "
+        "(default: <rundir>/trace.perfetto.json)",
+    )
+    tr.add_argument("-o", "--out", help="text report path (default: stdout)")
+    tr.add_argument(
+        "--lenient",
+        action="store_true",
+        help="skip unparsable trace lines instead of failing",
+    )
+    tr.set_defaults(func=cmd_trace_report)
     return p
 
 

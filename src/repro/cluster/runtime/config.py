@@ -25,6 +25,10 @@ class WallConfig:
     ``fail_at`` is a fault-injection hook for teardown tests: a spec like
     ``"dec1@2"`` makes that worker kill itself (SIGKILL) when it is about
     to handle picture 2.
+    ``telemetry`` gates span emission and periodic stats snapshots in the
+    per-process trace streams; the coarse event stream (start/exit/
+    stage_times/decode) survives either way.  Off is the baseline for the
+    instrumentation-overhead numbers in ``BENCH_cluster.json``.
     """
 
     m: int = 2
@@ -40,6 +44,7 @@ class WallConfig:
     heartbeat_interval: float = 0.25
     dead_after: float = 10.0
     fail_at: Optional[str] = None
+    telemetry: bool = True
 
     def __post_init__(self) -> None:
         if self.m < 1 or self.n < 1:

@@ -78,6 +78,12 @@ from repro.net.channel import (
 from repro.parallel.mb_splitter import MacroblockSplitter
 from repro.parallel.pdecoder import TileDecoder
 from repro.parallel.subpicture import SubPicture
+from repro.perf.telemetry import (
+    emit_stats,
+    maybe_emit_stats,
+    stage_span_block,
+    traced_stage,
+)
 from repro.perf.trace import TraceWriter
 from repro.wall.layout import TileLayout
 
@@ -232,9 +238,11 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
         a = i % cfg.k
         nsid = (a + 1) % cfg.k
         t0 = time.perf_counter()
-        gates[a].acquire(cfg.recv_timeout)
+        with tracer.span("credit_wait", picture=i, splitter=a):
+            gates[a].acquire(cfg.recv_timeout)
         waited = time.perf_counter() - t0
-        channels[a].send(MSG_PICTURE, encode_picture(nsid, unit), picture=i)
+        with tracer.span("dispatch", picture=i, splitter=a):
+            channels[a].send(MSG_PICTURE, encode_picture(nsid, unit), picture=i)
         tracer.emit(
             "picture_sent",
             picture=i,
@@ -242,8 +250,15 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
             bytes=unit.size_bytes,
             credit_wait_s=round(waited, 6),
         )
+        maybe_emit_stats(tracer)
     for s in range(cfg.k):
         channels[s].send(MSG_EOS)
+    tracer.emit(
+        "credit_totals",
+        **{f"split{s}": gates[s].stats_dict() for s in range(cfg.k)},
+    )
+    if tracer.spans:
+        emit_stats(tracer)
     tracer.emit("eos_sent", pictures=len(pictures))
 
     # Graceful drain: wait for every splitter to finish and close, so the
@@ -320,17 +335,27 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         _maybe_fail(cfg, me, i)
         nsid, unit = decode_picture(msg.payload)
         t0 = time.perf_counter()
-        if cfg.ship_plans:
-            result = msplit.split_plans(unit, i)
-        else:
-            result = msplit.split(unit, i)
+        # Parent "split" span with parse/plan children synthesized from
+        # the splitter's stage-time deltas across the call.
+        with stage_span_block(
+            tracer, msplit.stage_times, "split", picture=i,
+            stages=("parse", "plan"),
+        ):
+            if cfg.ship_plans:
+                result = msplit.split_plans(unit, i)
+            else:
+                result = msplit.split(unit, i)
         split_s = time.perf_counter() - t0
         # Sub-picture delivery is serialized by the previous picture's acks,
         # redirected here via ANID — the reorder-free ordering guarantee.
-        ack_wait_s = wait_acks(i - 1) if i > 0 else 0.0
+        if i > 0:
+            with tracer.span("ack_wait", picture=i - 1):
+                ack_wait_s = wait_acks(i - 1)
+        else:
+            ack_wait_s = 0.0
         sent = 0
         for t in range(n_tiles):
-            with msplit.stage_times.stage("wire"):
+            with traced_stage(tracer, msplit.stage_times, "wire", picture=i):
                 if cfg.ship_plans:
                     mtype = MSG_PLAN
                     payload = encode_plan_msg(
@@ -352,8 +377,11 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
             ack_wait_s=round(ack_wait_s, 6),
             bytes=sent,
         )
+        maybe_emit_stats(tracer)
     for t in range(n_tiles):
         dec_ch[t].send(MSG_EOS)
+    if tracer.spans:
+        emit_stats(tracer)
     tracer.emit("stage_times", **msplit.stage_times.as_dict())
     tracer.emit("eos_sent")
     root_ch.close()
@@ -456,7 +484,7 @@ def _decoder_body(
 
     def ship(frame) -> None:
         nonlocal display_idx
-        with dec.stage_times.stage("wire"):
+        with traced_stage(tracer, dec.stage_times, "wire", picture=display_idx):
             payload = encode_tile_frame(tid, partition, frame)
         collector.send(MSG_FRAME, payload, picture=display_idx, sender=tid)
         tracer.emit("frame_sent", picture=display_idx, bytes=buffers_nbytes(payload))
@@ -490,7 +518,7 @@ def _decoder_body(
                 "(ordering broken)"
             )
         if msg.type == MSG_PLAN:
-            with dec.stage_times.stage("wire"):
+            with traced_stage(tracer, dec.stage_times, "wire", picture=i):
                 anid, expected_recvs, tp, program = decode_plan_msg(
                     msg.payload, dec.matrices
                 )
@@ -505,48 +533,64 @@ def _decoder_body(
 
         t0 = time.perf_counter()
         served = 0
-        for block in dec.execute_sends(program, ptype):
-            peers[f"dec{block.dest}"].send(
-                MSG_BLOCK, encode_block(block), picture=i, sender=tid
-            )
-            served += block.nbytes
+        with tracer.span("serve", picture=i):
+            for block in dec.execute_sends(program, ptype):
+                peers[f"dec{block.dest}"].send(
+                    MSG_BLOCK, encode_block(block), picture=i, sender=tid
+                )
+                served += block.nbytes
         serve_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        # Per-source debt ledger: a closed peer that still owes this picture
-        # blocks is a death, not an orderly EOF — fail fast instead of
-        # sitting out the full receive timeout.
-        owed = Counter(f"dec{src}" for _, src in program.recvs)
-        pending = held_back.pop(i, [])
-        for block in pending:
-            dec.apply_recv(block, ptype)
-            owed[f"dec{block.src}"] -= 1
-        got = len(pending)
-        for name in closed:
-            if owed.get(name, 0) > 0:
-                raise ChannelClosed(f"{me}: {name} died owing blocks of picture {i}")
-        while got < expected_recvs:
-            bkind, blabel, bmsg = _get(blk_q, cfg.recv_timeout, f"blocks of picture {i}")
-            if bkind == "error":
-                raise bmsg
-            if bkind == "closed":
-                closed.add(blabel)
-                if owed.get(blabel, 0) > 0:
-                    raise ChannelClosed(
-                        f"{me}: {blabel} died owing blocks of picture {i}"
-                    )
-                continue
-            block = decode_block(bmsg.payload)
-            if bmsg.picture == i:
+        # The MEI exchange barrier: this tile cannot reconstruct until every
+        # remote reference block of picture i has arrived.
+        with tracer.span("exchange_wait", picture=i):
+            # Per-source debt ledger: a closed peer that still owes this
+            # picture blocks is a death, not an orderly EOF — fail fast
+            # instead of sitting out the full receive timeout.
+            owed = Counter(f"dec{src}" for _, src in program.recvs)
+            pending = held_back.pop(i, [])
+            for block in pending:
                 dec.apply_recv(block, ptype)
                 owed[f"dec{block.src}"] -= 1
-                got += 1
-            else:
-                held_back.setdefault(bmsg.picture, []).append(block)
+            got = len(pending)
+            for name in closed:
+                if owed.get(name, 0) > 0:
+                    raise ChannelClosed(
+                        f"{me}: {name} died owing blocks of picture {i}"
+                    )
+            while got < expected_recvs:
+                bkind, blabel, bmsg = _get(
+                    blk_q, cfg.recv_timeout, f"blocks of picture {i}"
+                )
+                if bkind == "error":
+                    raise bmsg
+                if bkind == "closed":
+                    closed.add(blabel)
+                    if owed.get(blabel, 0) > 0:
+                        raise ChannelClosed(
+                            f"{me}: {blabel} died owing blocks of picture {i}"
+                        )
+                    continue
+                block = decode_block(bmsg.payload)
+                if bmsg.picture == i:
+                    dec.apply_recv(block, ptype)
+                    owed[f"dec{block.src}"] -= 1
+                    got += 1
+                else:
+                    held_back.setdefault(bmsg.picture, []).append(block)
         wait_remote_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
-        ready = dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
+        # Parent "decode" span; parse/plan/execute children are synthesized
+        # from the decoder's stage-time deltas so the timeline attribution
+        # matches load_stage_times exactly, even on the bitstream path
+        # where the stages interleave per record.
+        with stage_span_block(
+            tracer, dec.stage_times, "decode", picture=i,
+            stages=("parse", "plan", "execute"),
+        ):
+            ready = dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
         decode_s = time.perf_counter() - t0
         tracer.emit(
             "decode",
@@ -559,12 +603,15 @@ def _decoder_body(
         )
         if ready is not None:
             ship(ready)
+        maybe_emit_stats(tracer)
         i += 1
 
     tail = dec.flush()
     if tail is not None:
         ship(tail)
     dec.stage_times.pictures = dec.stats.pictures_decoded
+    if tracer.spans:
+        emit_stats(tracer)
     tracer.emit("stage_times", **dec.stage_times.as_dict())
     collector.send(MSG_EOS, sender=tid)
 

@@ -50,11 +50,22 @@ from repro.cluster.runtime.roles import (
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import PictureScanner
 from repro.net.channel import Channel, ChannelTimeout, Listener
+from repro.perf.export import span_tail, write_chrome_trace
 from repro.perf.metrics import StageTimes
-from repro.perf.trace import TRACE_SUFFIX, TraceWriter, load_stage_times, merge_traces
+from repro.perf.trace import (
+    TRACE_SUFFIX,
+    TraceWriter,
+    load_stage_times,
+    merge_traces,
+    read_trace_file,
+)
 from repro.wall.layout import TileLayout
 
 MERGED_TRACE = "merged.trace.jsonl"
+PERFETTO_TRACE = "trace.perfetto.json"
+
+#: How many trailing trace events the crash post-mortem shows per process.
+POSTMORTEM_EVENTS = 8
 
 
 class ClusterError(RuntimeError):
@@ -85,6 +96,7 @@ class ClusterSupervisor:
         self.stage_times = StageTimes()  # aggregated from decoder traces
         self.stage_times_by_proc: Dict[str, StageTimes] = {}
         self.merged_trace_path: Optional[Path] = None
+        self.perfetto_path: Optional[Path] = None
 
     # ------------------------------------------------------------------ #
 
@@ -124,8 +136,12 @@ class ClusterSupervisor:
                 ch.close()
             collector.close()
             tracer.close()
+            # Lenient merge: a crashed worker may leave a torn final line;
+            # the post-mortem must still see everything that did flush.
             self.merged_trace_path = rundir / MERGED_TRACE
-            merge_traces(rundir, self.merged_trace_path)
+            events = merge_traces(rundir, self.merged_trace_path, strict=False)
+            self.perfetto_path = rundir / PERFETTO_TRACE
+            write_chrome_trace(events, self.perfetto_path)
 
     # ------------------------------------------------------------------ #
 
@@ -301,7 +317,9 @@ class ClusterSupervisor:
                 self.stage_times.merge(st)
 
     def _diagnostics(self) -> str:
-        """Per-process post-mortem: exit codes plus log tails."""
+        """Per-process post-mortem: exit codes, log tails, and the last few
+        trace events — a SIGKILLed worker's open span begins say *where*
+        in the pipeline it died."""
         lines = []
         for name, proc in self.processes.items():
             rc = proc.poll()
@@ -311,4 +329,15 @@ class ClusterSupervisor:
             if log and log.exists():
                 tail = log.read_text(errors="replace").splitlines()[-12:]
                 lines.extend(f"    {ln}" for ln in tail)
+            trace = (self.rundir / f"{name}{TRACE_SUFFIX}") if self.rundir else None
+            if trace and trace.exists():
+                try:
+                    events = read_trace_file(trace, strict=False)
+                except OSError:
+                    events = []
+                if events:
+                    lines.append(f"    last {POSTMORTEM_EVENTS} trace events:")
+                    lines.extend(
+                        f"      {ln}" for ln in span_tail(events, POSTMORTEM_EVENTS)
+                    )
         return "\n".join(lines)

@@ -38,24 +38,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     cfg = WallConfig.from_dict(
         json.loads((rundir / CONFIG_FILE).read_text())["config"]
     )
-    tracer = TraceWriter(rundir / f"{name}{TRACE_SUFFIX}", name)
-    tracer.emit("start", pid=os.getpid(), role=name.rstrip("0123456789"))
-    try:
-        if name == "root":
-            run_root(cfg, rundir, tracer)
-        elif name.startswith("split"):
-            run_splitter(cfg, rundir, int(name[5:]), tracer)
-        elif name.startswith("dec"):
-            run_decoder(cfg, rundir, int(name[3:]), tracer)
-        else:
-            raise ValueError(f"unknown worker name {name!r}")
-        tracer.emit("exit")
-    except Exception as exc:
-        tracer.emit("error", error=repr(exc))
-        traceback.print_exc(file=sys.stderr)
-        return 1
-    finally:
-        tracer.close()
+    # Context manager: even if the role body raises (or the emit of the
+    # error event itself fails), the file handle is closed and the last
+    # buffered line flushed — a crashing worker cannot leak the handle.
+    with TraceWriter(
+        rundir / f"{name}{TRACE_SUFFIX}", name, spans=cfg.telemetry
+    ) as tracer:
+        tracer.emit("start", pid=os.getpid(), role=name.rstrip("0123456789"))
+        try:
+            if name == "root":
+                run_root(cfg, rundir, tracer)
+            elif name.startswith("split"):
+                run_splitter(cfg, rundir, int(name[5:]), tracer)
+            elif name.startswith("dec"):
+                run_decoder(cfg, rundir, int(name[3:]), tracer)
+            else:
+                raise ValueError(f"unknown worker name {name!r}")
+            tracer.emit("exit")
+        except Exception as exc:
+            tracer.emit("error", error=repr(exc))
+            traceback.print_exc(file=sys.stderr)
+            return 1
     return 0
 
 

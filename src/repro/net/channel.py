@@ -42,8 +42,11 @@ import socket
 import struct
 import threading
 import time
-from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple, Union
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from repro.perf.metrics import NodeBandwidth
+from repro.perf.telemetry import register_channel
 
 MAGIC = 0x4D43  # "CM" — cluster message
 HEADER_FMT = "<HBHiI"
@@ -96,6 +99,34 @@ class Message:
     payload: bytes
 
 
+@dataclass
+class ChannelStats:
+    """Live accounting for one channel: the wire-level observability.
+
+    ``bandwidth`` counts every byte that crossed the socket (headers and
+    heartbeats included — they are wire bytes); the frame counters count
+    application frames only.  ``send_blocked_s`` is time the sender spent
+    waiting for kernel-buffer space (backpressure), ``recv_wait_s`` is
+    time spent blocked for inbound data (idle + transfer).
+    """
+
+    bandwidth: NodeBandwidth = field(default_factory=NodeBandwidth)
+    sent_frames: int = 0
+    recv_frames: int = 0
+    send_blocked_s: float = 0.0
+    recv_wait_s: float = 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "sent_bytes": self.bandwidth.sent,
+            "recv_bytes": self.bandwidth.received,
+            "sent_frames": self.sent_frames,
+            "recv_frames": self.recv_frames,
+            "send_blocked_s": round(self.send_blocked_s, 6),
+            "recv_wait_s": round(self.recv_wait_s, 6),
+        }
+
+
 def _new_socket(kind: str) -> socket.socket:
     if kind == "tcp":
         s = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
@@ -117,6 +148,8 @@ class Channel:
         # different threads, and a shared per-socket timeout (settimeout)
         # would let one direction's poll corrupt the other's blocking mode.
         self.sock.setblocking(False)
+        self.stats = ChannelStats()
+        register_channel(self)
         self._send_lock = threading.Lock()
         self._buf = bytearray()
         self._closed = False
@@ -175,10 +208,15 @@ class Channel:
                             f"{self.name}: send buffer full past timeout"
                         )
                     try:
+                        t_wait = time.monotonic()
                         _, writable, _ = select.select(
                             [], [self.sock], [], POLL_INTERVAL
                         )
                         if not writable:
+                            # backpressure: the kernel buffer is full
+                            self.stats.send_blocked_s += (
+                                time.monotonic() - t_wait
+                            )
                             continue
                         n = self.sock.send(view)
                     except (BlockingIOError, InterruptedError):
@@ -189,33 +227,43 @@ class Channel:
                         ) from exc
                     if n:
                         started = True
+                        self.stats.bandwidth.sent += n
                         view = view[n:]
+        if mtype != HEARTBEAT:
+            self.stats.sent_frames += 1
 
     # -------------------------------- recv --------------------------------- #
 
     def _fill(self, n: int, deadline: Optional[float]) -> None:
         """Buffer at least ``n`` bytes, polling so deadlines stay live."""
-        while len(self._buf) < n:
-            now = time.monotonic()
-            if deadline is not None and now >= deadline:
-                raise ChannelTimeout(f"{self.name}: no message within timeout")
-            if self.dead_after is not None and now - self._last_activity > self.dead_after:
-                raise PeerDeadError(
-                    f"{self.name}: peer silent for more than {self.dead_after:.1f}s"
-                )
-            try:
-                readable, _, _ = select.select([self.sock], [], [], POLL_INTERVAL)
-                if not readable:
+        if len(self._buf) >= n:
+            return
+        t0 = time.monotonic()
+        try:
+            while len(self._buf) < n:
+                now = time.monotonic()
+                if deadline is not None and now >= deadline:
+                    raise ChannelTimeout(f"{self.name}: no message within timeout")
+                if self.dead_after is not None and now - self._last_activity > self.dead_after:
+                    raise PeerDeadError(
+                        f"{self.name}: peer silent for more than {self.dead_after:.1f}s"
+                    )
+                try:
+                    readable, _, _ = select.select([self.sock], [], [], POLL_INTERVAL)
+                    if not readable:
+                        continue
+                    chunk = self.sock.recv(65536)
+                except (BlockingIOError, InterruptedError):
                     continue
-                chunk = self.sock.recv(65536)
-            except (BlockingIOError, InterruptedError):
-                continue
-            except (OSError, ValueError) as exc:
-                raise ChannelClosed(f"{self.name}: recv failed: {exc}") from exc
-            if not chunk:
-                raise ChannelClosed(f"{self.name}: peer closed the connection")
-            self._buf.extend(chunk)
-            self._last_activity = time.monotonic()
+                except (OSError, ValueError) as exc:
+                    raise ChannelClosed(f"{self.name}: recv failed: {exc}") from exc
+                if not chunk:
+                    raise ChannelClosed(f"{self.name}: peer closed the connection")
+                self._buf.extend(chunk)
+                self.stats.bandwidth.received += len(chunk)
+                self._last_activity = time.monotonic()
+        finally:
+            self.stats.recv_wait_s += time.monotonic() - t0
 
     def recv(self, timeout: Optional[float] = None) -> Message:
         """Return the next application message (heartbeats are consumed)."""
@@ -230,6 +278,7 @@ class Channel:
             del self._buf[: HEADER_SIZE + length]
             if mtype == HEARTBEAT:
                 continue
+            self.stats.recv_frames += 1
             return Message(type=mtype, sender=sender, picture=picture, payload=payload)
 
     # ------------------------------ keepalive ------------------------------- #
@@ -359,6 +408,11 @@ class CreditGate:
     reading the backchannel calls ``release`` for every CREDIT/ack message.
     ``poison`` wakes all waiters and makes further ``acquire`` calls raise —
     used when the peer dies so a blocked sender cannot hang.
+
+    Flow-control observability: ``acquires`` counts successful acquires,
+    ``stalls`` how many of them found zero credits, and ``wait_s`` the
+    total time spent blocked — the credit-stall numbers of the trace
+    report's per-tile attribution.
     """
 
     def __init__(self, credits: int):
@@ -367,6 +421,9 @@ class CreditGate:
         self._cond = threading.Condition()
         self._credits = credits
         self._poisoned: Optional[BaseException] = None
+        self.acquires = 0
+        self.stalls = 0
+        self.wait_s = 0.0
 
     @property
     def available(self) -> int:
@@ -375,14 +432,29 @@ class CreditGate:
 
     def acquire(self, timeout: Optional[float] = None) -> None:
         with self._cond:
+            stalled = self._credits <= 0 and self._poisoned is None
+            t0 = time.monotonic()
             ok = self._cond.wait_for(
                 lambda: self._credits > 0 or self._poisoned is not None, timeout
             )
+            if stalled:
+                self.wait_s += time.monotonic() - t0
             if self._poisoned is not None:
                 raise self._poisoned
             if not ok:
                 raise CreditTimeout(f"no credit released within {timeout}s")
             self._credits -= 1
+            self.acquires += 1
+            if stalled:
+                self.stalls += 1
+
+    def stats_dict(self) -> Dict[str, float]:
+        with self._cond:
+            return {
+                "acquires": self.acquires,
+                "stalls": self.stalls,
+                "wait_s": round(self.wait_s, 6),
+            }
 
     def release(self, n: int = 1) -> None:
         with self._cond:

@@ -14,6 +14,7 @@ For each coded picture the splitter:
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
@@ -27,6 +28,7 @@ from repro.mpeg2.structures import SequenceHeader
 from repro.parallel.mei import BWD, FWD, BlockXfer, MEIBatch
 from repro.parallel.subpicture import SPH, RunRecord, SkipRecord, SubPicture
 from repro.perf.metrics import StageTimes
+from repro.perf.telemetry import registry
 from repro.wall.layout import TileLayout
 
 
@@ -101,24 +103,30 @@ class MacroblockSplitter:
         self.matrices = QuantMatrices.from_sequence(sequence)
         # parse/plan attribution for the per-process stage_times traces.
         self.stage_times = StageTimes()
+        # per-picture split latency distribution for the stats snapshots
+        self.split_hist = registry().histogram("splitter.split_s")
 
     # ------------------------------------------------------------------ #
 
     def split(self, unit: PictureUnit, picture_index: int) -> SplitResult:
+        t0 = time.perf_counter()
         with self.stage_times.stage("parse"):
             parsed = self.parser.parse_picture(unit.data)
         with self.stage_times.stage("plan"):
             result = self.split_parsed(parsed, picture_index)
         self.stage_times.pictures += 1
+        self.split_hist.observe(time.perf_counter() - t0)
         return result
 
     def split_plans(self, unit: PictureUnit, picture_index: int) -> PlanSplitResult:
         """Parse once, compile each tile's share into a shipped plan."""
+        t0 = time.perf_counter()
         with self.stage_times.stage("parse"):
             parsed = self.parser.parse_picture(unit.data)
         with self.stage_times.stage("plan"):
             result = self.compile_plans(parsed, picture_index)
         self.stage_times.pictures += 1
+        self.split_hist.observe(time.perf_counter() - t0)
         return result
 
     def compile_plans(

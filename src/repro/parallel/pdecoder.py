@@ -12,6 +12,7 @@ No server thread and no blocking demand-fetch exist anywhere in this class
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
@@ -32,6 +33,7 @@ from repro.mpeg2.plan_codec import TilePlan
 from repro.mpeg2.reconstruct import QuantMatrices, reconstruct_macroblock
 from repro.mpeg2.structures import SequenceHeader
 from repro.perf.metrics import StageTimes
+from repro.perf.telemetry import registry
 from repro.parallel.mei import BWD, FWD, BlockXfer, MEIProgram
 from repro.parallel.subpicture import RunRecord, SkipRecord, SubPicture
 from repro.wall.layout import Tile, TileLayout
@@ -95,6 +97,9 @@ class TileDecoder:
         self.prev_anchor: Optional[Frame] = None
         self.stats = TileDecoderStats()
         self.stage_times = StageTimes()
+        # per-picture decode latency distribution (p50/p95/p99 in the
+        # periodic ``stats`` snapshots and the trace report)
+        self.picture_hist = registry().histogram("decoder.picture_s")
         self._expected_picture = 0
 
     # ------------------------------------------------------------------ #
@@ -192,6 +197,7 @@ class TileDecoder:
     def decode_subpicture(self, sp: SubPicture) -> Optional[Frame]:
         """Decode one sub-picture; returns the next display-order frame for
         this tile, if one became ready (the usual anchor/B reorder)."""
+        t0 = time.perf_counter()
         ptype = sp.picture_type
         frame, fwd, bwd = self._begin_picture(sp.picture_index, sp.tile, ptype)
         self.stats.subpicture_bytes += len(sp.serialize())
@@ -220,11 +226,13 @@ class TileDecoder:
                     else:
                         addresses = range(rec.address, rec.address + rec.count)
                     self._conceal(addresses, frame, fwd, mb_width)
+        self.picture_hist.observe(time.perf_counter() - t0)
         return self._finish_picture(ptype, frame)
 
     def decode_plan(self, tp: TilePlan) -> Optional[Frame]:
         """Decode one splitter-compiled plan: no VLC work on this side —
         straight to the batched execute phase (plan shipping)."""
+        t0 = time.perf_counter()
         ptype = tp.picture_type
         frame, fwd, bwd = self._begin_picture(tp.picture_index, tp.tile, ptype)
         self.stats.subpicture_bytes += tp.wire_bytes
@@ -232,6 +240,7 @@ class TileDecoder:
             execute_plan(tp.plan, frame, fwd, bwd)
         self.stats.macroblocks_decoded += tp.n_coded
         self.stats.macroblocks_skipped += tp.n_skipped
+        self.picture_hist.observe(time.perf_counter() - t0)
         return self._finish_picture(ptype, frame)
 
     def flush(self) -> Optional[Frame]:

@@ -30,8 +30,9 @@ from __future__ import annotations
 import queue
 import threading
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.mpeg2 import plan_codec
 from repro.mpeg2.frames import Frame
@@ -41,6 +42,9 @@ from repro.parallel.pdecoder import TileDecoder
 from repro.parallel.subpicture import SubPicture
 from repro.wall.display import assemble_wall
 from repro.wall.layout import TileLayout
+
+if TYPE_CHECKING:  # runtime import would cycle through repro.perf.trace
+    from repro.perf.trace import TraceWriter
 
 #: Queue poll period; the granularity at which workers notice the stop event.
 _POLL = 0.05
@@ -85,6 +89,7 @@ class ThreadedParallelDecoder:
         queue_depth: int = 2,
         batch_reconstruct: bool = True,
         ship_plans: bool = True,
+        tracer: Optional["TraceWriter"] = None,
     ):
         if k < 1:
             raise ValueError("need at least one second-level splitter")
@@ -93,7 +98,16 @@ class ThreadedParallelDecoder:
         self.queue_depth = queue_depth
         self.batch_reconstruct = batch_reconstruct
         self.ship_plans = ship_plans
+        # Optional span telemetry: all worker threads share one writer
+        # (emits are thread-safe); each thread gets its own ``tid`` track
+        # in the timeline export via its thread name.
+        self.tracer = tracer
         self.errors: List[BaseException] = []
+
+    def _span(self, event: str, picture: int = -1, **data):
+        if self.tracer is None:
+            return nullcontext()
+        return self.tracer.span(event, picture=picture, **data)
 
     def decode(self, stream: bytes, timeout: float = 60.0) -> List[Frame]:
         scanner = PictureScanner(stream)
@@ -159,7 +173,8 @@ class ThreadedParallelDecoder:
                 nsid = (a + 1) % self.k
                 # bounded: blocks at depth `queue_depth` (the two-buffer
                 # credit scheme), but wakes immediately on poisoning
-                _put(pic_q[a], (i, nsid, unit), f"picture {i}")
+                with self._span("dispatch", picture=i, splitter=a):
+                    _put(pic_q[a], (i, nsid, unit), f"picture {i}")
             for a in range(self.k):
                 _put(pic_q[a], None, "end of stream")
 
@@ -171,20 +186,22 @@ class ThreadedParallelDecoder:
                 if item is None:
                     return
                 i, nsid, unit = item
-                if self.ship_plans:
-                    result = msplit.split_plans(unit, i)
-                else:
-                    result = msplit.split(unit, i)
+                with self._span("split", picture=i):
+                    if self.ship_plans:
+                        result = msplit.split_plans(unit, i)
+                    else:
+                        result = msplit.split(unit, i)
                 if i > 0:
                     # wait for every decoder's ack of picture i-1,
                     # redirected here via ANID
-                    for _ in range(n_tiles):
-                        pic_idx = _get(ack_q[sid], f"acks of picture {i - 1}")
-                        if pic_idx != i - 1:
-                            raise RuntimeError(
-                                f"splitter {sid}: ack for picture {pic_idx}, "
-                                f"expected {i - 1}"
-                            )
+                    with self._span("ack_wait", picture=i - 1):
+                        for _ in range(n_tiles):
+                            pic_idx = _get(ack_q[sid], f"acks of picture {i - 1}")
+                            if pic_idx != i - 1:
+                                raise RuntimeError(
+                                    f"splitter {sid}: ack for picture {pic_idx}, "
+                                    f"expected {i - 1}"
+                                )
                 for tid in range(n_tiles):
                     prog = result.mei.program(tid)
                     expected = len(prog.recvs)
@@ -237,18 +254,22 @@ class ThreadedParallelDecoder:
                 for block in dec.execute_sends(msg.program, ptype):
                     blk_q[block.dest].put((i, block))
                 # collect expected blocks; hold back early arrivals
-                pending = held_back.pop(i, [])
-                for block in pending:
-                    dec.apply_recv(block, ptype)
-                got = len(pending)
-                while got < msg.expected_recvs:
-                    pic_idx, block = _get(blk_q[tid], f"blocks of picture {i}")
-                    if pic_idx == i:
+                with self._span("exchange_wait", picture=i):
+                    pending = held_back.pop(i, [])
+                    for block in pending:
                         dec.apply_recv(block, ptype)
-                        got += 1
-                    else:
-                        held_back.setdefault(pic_idx, []).append(block)
-                ready = dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
+                    got = len(pending)
+                    while got < msg.expected_recvs:
+                        pic_idx, block = _get(blk_q[tid], f"blocks of picture {i}")
+                        if pic_idx == i:
+                            dec.apply_recv(block, ptype)
+                            got += 1
+                        else:
+                            held_back.setdefault(pic_idx, []).append(block)
+                with self._span("decode", picture=i):
+                    ready = (
+                        dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
+                    )
                 if ready is not None:
                     out_q.put(("frame", tid, ready))
             tail = dec.flush()

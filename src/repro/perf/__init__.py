@@ -1,6 +1,15 @@
-"""Performance layer: cost model, DES experiment runners, and metrics."""
+"""Performance layer: cost model, DES experiment runners, metrics, and
+the cluster telemetry stack (registry, trace spans, timeline export)."""
 
 from repro.perf.costmodel import CostModel, PictureWork, build_picture_work
 from repro.perf.metrics import RuntimeBreakdown
+from repro.perf.telemetry import MetricsRegistry, registry
 
-__all__ = ["CostModel", "PictureWork", "build_picture_work", "RuntimeBreakdown"]
+__all__ = [
+    "CostModel",
+    "PictureWork",
+    "build_picture_work",
+    "RuntimeBreakdown",
+    "MetricsRegistry",
+    "registry",
+]

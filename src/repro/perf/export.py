@@ -1,0 +1,426 @@
+"""Timeline export and post-mortem reporting for cluster trace streams.
+
+Two consumers of the merged :class:`~repro.perf.trace.TraceEvent` stream:
+
+- :func:`to_chrome_trace` / :func:`write_chrome_trace` — the Chrome
+  trace-event JSON (Perfetto-loadable, ``chrome://tracing`` compatible):
+  one *process* track per cluster process, one *thread* track per traced
+  thread inside it, ``B``/``E`` span pairs for every instrumented region,
+  instant marks for the remaining events, and counter tracks for the
+  per-channel wire-byte snapshots;
+- :func:`build_report` / :func:`render_report` — the ``repro
+  trace-report`` text post-mortem: per-stage attribution per process,
+  per-picture latency percentiles, barrier-wait and credit-stall totals
+  per tile, cross-tile imbalance, and bytes-on-wire per channel.
+
+Per-stage totals are computed from span durations; because the runtime
+emits stage spans from the very same measurements that feed
+:class:`~repro.perf.metrics.StageTimes`, the report's attribution agrees
+with :func:`~repro.perf.trace.load_stage_times` by construction.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.perf.metrics import StageTimes
+from repro.perf.trace import TraceEvent
+
+#: Span events whose totals are "useful work" on a decoder track; used
+#: for the cross-tile imbalance figure (waits deliberately excluded).
+DECODER_BUSY = ("decode", "serve", "wire")
+
+#: Wait-side spans: the flow-control/barrier attribution.
+WAIT_EVENTS = ("exchange_wait", "credit_wait", "ack_wait")
+
+
+def _proc_rank(proc: str) -> Tuple[int, str]:
+    """Stable track order: root, splitters, decoders, then the rest."""
+    for i, prefix in enumerate(("root", "split", "dec", "supervisor")):
+        if proc.startswith(prefix):
+            return (i, proc)
+    return (4, proc)
+
+
+# --------------------------------------------------------------------- #
+# Chrome trace / Perfetto JSON
+# --------------------------------------------------------------------- #
+
+
+def to_chrome_trace(events: Sequence[TraceEvent]) -> Dict:
+    """Convert a merged timeline into a Chrome trace-event JSON object.
+
+    Timestamps are rebased to the earliest event and expressed in
+    microseconds, the native unit of the format.
+    """
+    procs = sorted({ev.proc for ev in events}, key=_proc_rank)
+    pid_of = {p: i + 1 for i, p in enumerate(procs)}
+    tid_of: Dict[Tuple[str, str], int] = {}
+    base = min((ev.ts for ev in events), default=0.0)
+
+    out: List[Dict] = []
+    for proc in procs:
+        out.append(
+            {
+                "ph": "M",
+                "name": "process_name",
+                "pid": pid_of[proc],
+                "args": {"name": proc},
+            }
+        )
+
+    def tid(proc: str, thread: str) -> int:
+        key = (proc, thread)
+        if key not in tid_of:
+            n = sum(1 for (p, _t) in tid_of if p == proc)
+            tid_of[key] = n
+            out.append(
+                {
+                    "ph": "M",
+                    "name": "thread_name",
+                    "pid": pid_of[proc],
+                    "tid": n,
+                    "args": {"name": thread or "main"},
+                }
+            )
+        return tid_of[key]
+
+    for ev in events:
+        data = ev.data
+        ph = data.get("ph")
+        common = {
+            "name": ev.event,
+            "pid": pid_of[ev.proc],
+            "tid": tid(ev.proc, data.get("tid", "")),
+            "ts": (ev.ts - base) * 1e6,
+        }
+        args = {
+            k: v
+            for k, v in data.items()
+            if k not in ("ph", "tid", "dur_s")
+        }
+        if ev.picture >= 0:
+            args["picture"] = ev.picture
+        if ph in ("B", "E"):
+            out.append({**common, "ph": ph, "cat": "span", "args": args})
+        elif ev.event == "stats":
+            # channel byte counters render as Perfetto counter tracks
+            for chan, st in data.get("channels", {}).items():
+                out.append(
+                    {
+                        "ph": "C",
+                        "name": f"wire:{chan}",
+                        "pid": common["pid"],
+                        "tid": 0,
+                        "ts": common["ts"],
+                        "args": {
+                            "sent_bytes": st.get("sent_bytes", 0),
+                            "recv_bytes": st.get("recv_bytes", 0),
+                        },
+                    }
+                )
+        else:
+            out.append(
+                {**common, "ph": "i", "s": "t", "cat": "event", "args": args}
+            )
+    return {"traceEvents": out, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    events: Sequence[TraceEvent], path: Union[str, Path]
+) -> Path:
+    path = Path(path)
+    path.write_text(json.dumps(to_chrome_trace(events)) + "\n")
+    return path
+
+
+# --------------------------------------------------------------------- #
+# text report
+# --------------------------------------------------------------------- #
+
+
+def _pct(sorted_vals: List[float], p: float) -> float:
+    """Exact percentile (linear interpolation) of a pre-sorted list."""
+    if not sorted_vals:
+        return 0.0
+    if len(sorted_vals) == 1:
+        return sorted_vals[0]
+    rank = p / 100.0 * (len(sorted_vals) - 1)
+    lo = int(rank)
+    hi = min(lo + 1, len(sorted_vals) - 1)
+    return sorted_vals[lo] + (rank - lo) * (sorted_vals[hi] - sorted_vals[lo])
+
+
+@dataclass
+class ProcSummary:
+    """Everything the report knows about one process's track."""
+
+    span_totals: Dict[str, float] = field(default_factory=dict)
+    span_counts: Dict[str, int] = field(default_factory=dict)
+    picture_spans: List[float] = field(default_factory=list)  # decode/split
+    open_spans: List[str] = field(default_factory=list)  # B without E
+    channels: Dict[str, Dict] = field(default_factory=dict)
+    credit: Dict[str, Dict] = field(default_factory=dict)
+    stage_times: StageTimes = field(default_factory=StageTimes)
+
+
+@dataclass
+class TraceReport:
+    """Aggregated post-mortem of one cluster run."""
+
+    procs: Dict[str, ProcSummary]
+    wall_s: float
+    n_events: int
+
+    # -- derived views ------------------------------------------------- #
+
+    def stage_totals(self, proc: str) -> Dict[str, float]:
+        """parse/plan/execute/wire span totals for one process."""
+        s = self.procs[proc].span_totals
+        return {st: s.get(st, 0.0) for st in StageTimes.STAGES}
+
+    def decoder_procs(self) -> List[str]:
+        return sorted(
+            (p for p in self.procs if p.startswith("dec")), key=_proc_rank
+        )
+
+    def imbalance(self) -> Dict[str, float]:
+        """Cross-tile busy-time spread — the paper's §5.4 load balance."""
+        busy = {
+            p: sum(self.procs[p].span_totals.get(e, 0.0) for e in DECODER_BUSY)
+            for p in self.decoder_procs()
+        }
+        if not busy:
+            return {}
+        vals = list(busy.values())
+        mean = sum(vals) / len(vals)
+        return {
+            "min_s": min(vals),
+            "max_s": max(vals),
+            "mean_s": mean,
+            "spread_s": max(vals) - min(vals),
+            "max_over_mean": max(vals) / mean if mean > 0 else 0.0,
+        }
+
+    def picture_percentiles(self, proc: str) -> Dict[str, float]:
+        vals = sorted(self.procs[proc].picture_spans)
+        return {
+            "count": len(vals),
+            "p50_ms": 1e3 * _pct(vals, 50),
+            "p95_ms": 1e3 * _pct(vals, 95),
+            "p99_ms": 1e3 * _pct(vals, 99),
+            "max_ms": 1e3 * (vals[-1] if vals else 0.0),
+        }
+
+
+def build_report(events: Sequence[TraceEvent]) -> TraceReport:
+    """Fold a merged timeline into the aggregates the text report shows."""
+    procs: Dict[str, ProcSummary] = {}
+    open_begins: Dict[Tuple[str, str, str, int], int] = {}
+    t_lo, t_hi = float("inf"), float("-inf")
+
+    for ev in events:
+        ps = procs.setdefault(ev.proc, ProcSummary())
+        t_lo, t_hi = min(t_lo, ev.ts), max(t_hi, ev.ts)
+        ph = ev.data.get("ph")
+        key = (ev.proc, ev.data.get("tid", ""), ev.event, ev.picture)
+        if ph == "B":
+            open_begins[key] = open_begins.get(key, 0) + 1
+        elif ph == "E":
+            if open_begins.get(key, 0) > 0:
+                open_begins[key] -= 1
+            dur = float(ev.data.get("dur_s", 0.0))
+            ps.span_totals[ev.event] = ps.span_totals.get(ev.event, 0.0) + dur
+            ps.span_counts[ev.event] = ps.span_counts.get(ev.event, 0) + 1
+            if (ev.proc.startswith("dec") and ev.event == "decode") or (
+                ev.proc.startswith("split") and ev.event == "split"
+            ):
+                ps.picture_spans.append(dur)
+        elif ev.event == "stats":
+            # later snapshots supersede earlier ones (counters are totals)
+            ps.channels.update(ev.data.get("channels", {}))
+        elif ev.event == "credit_totals":
+            ps.credit = {
+                k: v for k, v in ev.data.items() if isinstance(v, dict)
+            }
+        elif ev.event == "stage_times":
+            clean = {
+                k: v for k, v in ev.data.items() if k != "tid"
+            }
+            ps.stage_times.merge(StageTimes.from_dict(clean))
+
+    for (proc, _tid, event, _pic), n in open_begins.items():
+        if n > 0:
+            procs[proc].open_spans.extend([event] * n)
+
+    wall = (t_hi - t_lo) if t_hi >= t_lo else 0.0
+    return TraceReport(procs=procs, wall_s=wall, n_events=len(events))
+
+
+def _fmt_row(cols: Sequence[str], widths: Sequence[int]) -> str:
+    return "  ".join(str(c).ljust(w) for c, w in zip(cols, widths)).rstrip()
+
+
+def _table(header: Sequence[str], rows: List[Sequence[str]]) -> List[str]:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    lines = [_fmt_row(header, widths), _fmt_row(["-" * w for w in widths], widths)]
+    lines += [_fmt_row(r, widths) for r in rows]
+    return lines
+
+
+def render_report(report: TraceReport) -> str:
+    """The ``repro trace-report`` text body."""
+    L: List[str] = []
+    L.append(
+        f"trace report: {report.n_events} events, "
+        f"{len(report.procs)} processes, {report.wall_s:.3f}s wall"
+    )
+    L.append("")
+
+    # ---- per-stage attribution ---------------------------------------- #
+    L.append("Per-stage attribution (seconds of span time per process):")
+    stage_names = list(StageTimes.STAGES) + [
+        "split", "decode", "serve", "exchange_wait", "credit_wait", "ack_wait"
+    ]
+    rows = []
+    for proc in sorted(report.procs, key=_proc_rank):
+        tot = report.procs[proc].span_totals
+        if not tot:
+            continue
+        rows.append(
+            [proc] + [f"{tot.get(s, 0.0):.3f}" for s in stage_names]
+        )
+    if rows:
+        L += _table(["proc"] + stage_names, rows)
+    else:
+        L.append("  (no spans recorded — telemetry disabled?)")
+    L.append("")
+
+    # ---- per-picture latency ------------------------------------------ #
+    pic_rows = []
+    for proc in sorted(report.procs, key=_proc_rank):
+        if not report.procs[proc].picture_spans:
+            continue
+        p = report.picture_percentiles(proc)
+        pic_rows.append(
+            [
+                proc,
+                p["count"],
+                f"{p['p50_ms']:.2f}",
+                f"{p['p95_ms']:.2f}",
+                f"{p['p99_ms']:.2f}",
+                f"{p['max_ms']:.2f}",
+            ]
+        )
+    if pic_rows:
+        L.append("Per-picture latency (decode/split span, ms):")
+        L += _table(["proc", "pictures", "p50", "p95", "p99", "max"], pic_rows)
+        L.append("")
+
+    # ---- waits and flow control --------------------------------------- #
+    wait_rows = []
+    for proc in sorted(report.procs, key=_proc_rank):
+        tot = report.procs[proc].span_totals
+        if not any(tot.get(w) for w in WAIT_EVENTS):
+            continue
+        wait_rows.append(
+            [proc] + [f"{tot.get(w, 0.0):.3f}" for w in WAIT_EVENTS]
+        )
+    if wait_rows:
+        L.append("Barrier / flow-control waits (seconds):")
+        L += _table(["proc"] + list(WAIT_EVENTS), wait_rows)
+        L.append("")
+    for proc in sorted(report.procs, key=_proc_rank):
+        if report.procs[proc].credit:
+            parts = ", ".join(
+                f"{peer}: {d.get('stalls', 0)} stalls / {d.get('wait_s', 0.0):.3f}s"
+                for peer, d in sorted(report.procs[proc].credit.items())
+            )
+            L.append(f"Credit stalls at {proc}: {parts}")
+    if any(p.credit for p in report.procs.values()):
+        L.append("")
+
+    # ---- imbalance ----------------------------------------------------- #
+    imb = report.imbalance()
+    if imb:
+        L.append(
+            "Cross-tile imbalance (busy = decode+serve+wire): "
+            f"min {imb['min_s']:.3f}s, max {imb['max_s']:.3f}s, "
+            f"spread {imb['spread_s']:.3f}s, "
+            f"max/mean {imb['max_over_mean']:.3f}"
+        )
+        L.append("")
+
+    # ---- wire ---------------------------------------------------------- #
+    chan_rows = []
+    for proc in sorted(report.procs, key=_proc_rank):
+        for chan, st in sorted(report.procs[proc].channels.items()):
+            chan_rows.append(
+                [
+                    proc,
+                    chan,
+                    f"{st.get('sent_bytes', 0) / 1e6:.3f}",
+                    f"{st.get('recv_bytes', 0) / 1e6:.3f}",
+                    st.get("sent_frames", 0),
+                    st.get("recv_frames", 0),
+                    f"{st.get('send_blocked_s', 0.0):.3f}",
+                ]
+            )
+    if chan_rows:
+        L.append("Bytes on wire per channel (MB):")
+        L += _table(
+            ["proc", "channel", "sent_MB", "recv_MB", "sframes", "rframes",
+             "blocked_s"],
+            chan_rows,
+        )
+        L.append("")
+
+    # ---- crash indicators ---------------------------------------------- #
+    for proc in sorted(report.procs, key=_proc_rank):
+        if report.procs[proc].open_spans:
+            L.append(
+                f"UNFINISHED spans on {proc} (died inside?): "
+                + ", ".join(report.procs[proc].open_spans)
+            )
+    return "\n".join(L).rstrip() + "\n"
+
+
+# --------------------------------------------------------------------- #
+# crash post-mortem helper
+# --------------------------------------------------------------------- #
+
+
+def span_tail(events: Sequence[TraceEvent], n: int = 8) -> List[str]:
+    """The last ``n`` events of one process's trace, one formatted line
+    each — what the supervisor prints per process when a worker dies so
+    fault injection shows *where* the worker was, not just that it exited.
+    """
+    lines = []
+    for ev in events[-n:]:
+        ph = ev.data.get("ph")
+        kind = {"B": "begin", "E": "end  "}.get(ph, "event")
+        pic = f" picture={ev.picture}" if ev.picture >= 0 else ""
+        dur = (
+            f" dur={1e3 * float(ev.data['dur_s']):.2f}ms"
+            if "dur_s" in ev.data
+            else ""
+        )
+        lines.append(f"{ev.ts:.6f} {kind} {ev.event}{pic}{dur}")
+    return lines
+
+
+__all__ = [
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "build_report",
+    "render_report",
+    "span_tail",
+    "TraceReport",
+    "ProcSummary",
+]

@@ -15,7 +15,7 @@ from __future__ import annotations
 import time
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Tuple
 
 
 @dataclass
@@ -110,12 +110,15 @@ class StageTimes:
 
 @dataclass
 class NodeBandwidth:
-    """Send/receive byte counts for one node over a run."""
+    """Send/receive byte counts for one node (or one channel) over a run."""
 
     sent: int = 0
     received: int = 0
 
-    def mbps(self, duration: float) -> tuple:
+    def mbps(self, duration: float) -> Tuple[float, float]:
+        """(send, receive) rates in MB/s; zero for a degenerate duration."""
+        if duration <= 0:
+            return (0.0, 0.0)
         return (self.sent / duration / 1e6, self.received / duration / 1e6)
 
 

@@ -1,0 +1,340 @@
+"""Process-local metrics registry and span helpers for the trace stream.
+
+Two observability primitives live here:
+
+- a lightweight **metrics registry** — :class:`Counter`, :class:`Gauge`
+  and fixed-bucket :class:`Histogram` (p50/p95/p99) keyed by name — whose
+  JSON-safe snapshots are emitted into the per-process trace stream as
+  periodic ``stats`` events (:func:`maybe_emit_stats`), alongside the live
+  per-channel byte/frame/blocked-time counters of every registered
+  :class:`~repro.net.channel.Channel`;
+- **stage-span emission** helpers that keep the span timeline and the
+  :class:`~repro.perf.metrics.StageTimes` accounting in exact agreement:
+  :func:`traced_stage` measures a contiguous stage region once and feeds
+  both, and :func:`stage_span_block` lays synthesized parse/plan/execute
+  child spans (from stage-delta attribution) inside a real parent span,
+  so interleaved per-record work still renders as a clean timeline.
+
+Everything here is stdlib-only, so low-level modules (the socket
+transport) may import it without dragging in the decoder stack.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import weakref
+from bisect import bisect_left
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+# --------------------------------------------------------------------- #
+# metrics primitives
+# --------------------------------------------------------------------- #
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, n: float = 1) -> None:
+        with self._lock:
+            self._value += n
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+class Gauge:
+    """A point-in-time value (queue depth, credits available, ...)."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self) -> None:
+        self._value = 0.0
+
+    def set(self, v: float) -> None:
+        self._value = v
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+#: Default histogram bounds: geometric in seconds, 10 µs .. 10 s — wide
+#: enough for both codec calls and barrier waits.
+DEFAULT_BOUNDS: Tuple[float, ...] = tuple(
+    1e-5 * (10 ** (i / 3)) for i in range(19)
+)
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated percentile estimates.
+
+    Buckets are ``(-inf, b0], (b0, b1], ..., (bn, +inf)``.  Percentiles
+    interpolate linearly inside the bucket that crosses the target rank;
+    the open-ended tails clamp to the observed min/max, so estimates never
+    leave the observed range.
+    """
+
+    __slots__ = ("_lock", "bounds", "counts", "count", "sum", "min", "max")
+
+    def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be sorted and non-empty")
+        self._lock = threading.Lock()
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, v: float) -> None:
+        with self._lock:
+            self.counts[bisect_left(self.bounds, v)] += 1
+            self.count += 1
+            self.sum += v
+            if v < self.min:
+                self.min = v
+            if v > self.max:
+                self.max = v
+
+    def percentile(self, p: float) -> float:
+        """Estimated value at percentile ``p`` (0..100)."""
+        if self.count == 0:
+            return 0.0
+        rank = p / 100.0 * self.count
+        seen = 0
+        for i, c in enumerate(self.counts):
+            if c == 0:
+                continue
+            if seen + c >= rank:
+                lo = self.bounds[i - 1] if i > 0 else self.min
+                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                lo = max(lo, self.min)
+                hi = min(hi, self.max)
+                if hi <= lo:
+                    return lo
+                frac = (rank - seen) / c
+                return lo + frac * (hi - lo)
+            seen += c
+        return self.max
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {"count": 0}
+        return {
+            "count": self.count,
+            "sum": round(self.sum, 6),
+            "min": round(self.min, 6),
+            "max": round(self.max, 6),
+            "mean": round(self.mean, 6),
+            "p50": round(self.percentile(50), 6),
+            "p95": round(self.percentile(95), 6),
+            "p99": round(self.percentile(99), 6),
+        }
+
+
+class MetricsRegistry:
+    """Create-or-get store of named metrics, snapshotted as one dict."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            return self._counters.setdefault(name, Counter())
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            return self._gauges.setdefault(name, Gauge())
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_BOUNDS
+    ) -> Histogram:
+        with self._lock:
+            h = self._histograms.get(name)
+            if h is None:
+                h = self._histograms[name] = Histogram(bounds)
+            return h
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """JSON-safe dump of every metric (for ``stats`` trace events)."""
+        with self._lock:
+            return {
+                "counters": {
+                    k: round(c.value, 6) for k, c in self._counters.items()
+                },
+                "gauges": {k: g.value for k, g in self._gauges.items()},
+                "histograms": {
+                    k: h.to_dict() for k, h in self._histograms.items()
+                },
+            }
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._histograms.clear()
+
+
+_REGISTRY = MetricsRegistry()
+
+
+def registry() -> MetricsRegistry:
+    """The process-global default registry (one per worker process)."""
+    return _REGISTRY
+
+
+# --------------------------------------------------------------------- #
+# live channel accounting
+# --------------------------------------------------------------------- #
+
+#: Every named Channel registers itself here (weakly); stats snapshots
+#: read the live byte/frame counters without the transport having to know
+#: about tracers.
+_CHANNELS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+def register_channel(ch) -> None:
+    _CHANNELS.add(ch)
+
+
+def channel_snapshot() -> Dict[str, Dict[str, float]]:
+    """``{channel name: stats}`` for every live, named channel."""
+    out: Dict[str, Dict[str, float]] = {}
+    for ch in list(_CHANNELS):
+        name = getattr(ch, "name", "")
+        if name:
+            out[name] = ch.stats.to_dict()
+    return out
+
+
+# --------------------------------------------------------------------- #
+# stats emission into the trace stream
+# --------------------------------------------------------------------- #
+
+
+def emit_stats(tracer) -> None:
+    """Write one ``stats`` snapshot event (metrics + channels) now."""
+    tracer.emit(
+        "stats", metrics=registry().snapshot(), channels=channel_snapshot()
+    )
+
+
+def maybe_emit_stats(tracer, interval: float = 1.0) -> bool:
+    """Rate-limited :func:`emit_stats`: at most one per ``interval``
+    seconds per tracer.  No-op when the tracer has spans disabled."""
+    if not getattr(tracer, "spans", True):
+        return False
+    now = time.monotonic()
+    last = getattr(tracer, "_last_stats", None)
+    if last is not None and now - last < interval:
+        return False
+    tracer._last_stats = now
+    emit_stats(tracer)
+    return True
+
+
+# --------------------------------------------------------------------- #
+# stage spans: keep the timeline and StageTimes in exact agreement
+# --------------------------------------------------------------------- #
+
+
+@contextmanager
+def traced_stage(
+    tracer, stage_times, name: str, picture: int = -1
+) -> Iterator[None]:
+    """Time one contiguous stage region ONCE; feed the duration to both
+    ``stage_times`` and (as a span) the trace stream, so the span total
+    and the ``stage_times`` attribution are identical by construction."""
+    if name not in stage_times.STAGES:
+        raise KeyError(name)
+    wall0 = time.time()
+    t0 = time.perf_counter()
+    try:
+        yield
+    finally:
+        dt = time.perf_counter() - t0
+        setattr(stage_times, name, getattr(stage_times, name) + dt)
+        if tracer is not None and getattr(tracer, "spans", True):
+            tracer.emit(name, picture=picture, ts=wall0, ph="B")
+            tracer.emit(
+                name, picture=picture, ts=wall0 + dt, ph="E",
+                dur_s=round(dt, 9),
+            )
+
+
+@contextmanager
+def stage_span_block(
+    tracer,
+    stage_times,
+    parent: str,
+    picture: int = -1,
+    stages: Optional[Sequence[str]] = None,
+) -> Iterator[None]:
+    """Emit a real ``parent`` span around the block, then lay synthesized
+    child spans — one per stage that accrued time inside the block — back
+    to back from the parent's start.
+
+    The child durations come from the ``stage_times`` deltas across the
+    block, so per-stage totals computed from spans match
+    :func:`repro.perf.trace.load_stage_times` exactly even when the block
+    interleaves stages per record (the batched bitstream decode path).
+    """
+    names = tuple(stages if stages is not None else stage_times.STAGES)
+    enabled = tracer is not None and getattr(tracer, "spans", True)
+    before = {s: getattr(stage_times, s) for s in names}
+    wall0 = time.time()
+    t0 = time.perf_counter()
+    if enabled:
+        tracer.emit(parent, picture=picture, ts=wall0, ph="B")
+    try:
+        yield
+    finally:
+        dur = time.perf_counter() - t0
+        if enabled:
+            cur = wall0
+            for s in names:
+                dt = getattr(stage_times, s) - before[s]
+                if dt <= 0:
+                    continue
+                tracer.emit(s, picture=picture, ts=cur, ph="B")
+                cur += dt
+                tracer.emit(
+                    s, picture=picture, ts=cur, ph="E", dur_s=round(dt, 9)
+                )
+            tracer.emit(
+                parent, picture=picture, ts=wall0 + dur, ph="E",
+                dur_s=round(dur, 9),
+            )
+
+
+__all__: List[str] = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_BOUNDS",
+    "registry",
+    "register_channel",
+    "channel_snapshot",
+    "emit_stats",
+    "maybe_emit_stats",
+    "traced_stage",
+    "stage_span_block",
+]

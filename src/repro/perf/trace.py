@@ -17,6 +17,7 @@ splitter emits (`tests/test_trace.py`, `benchmarks/bench_trace_validation.py`).
 from __future__ import annotations
 
 import json
+import threading
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -157,7 +158,12 @@ def compare_trace_to_model(
         per_tile = np.array(
             [[tw.bits for tw in w.tiles.values()] for w in works]
         ).mean(axis=0)
-        return float(per_tile.std() / per_tile.mean())
+        mean = per_tile.mean()
+        if mean == 0:
+            # an all-skipped picture set carries no bits anywhere; zero
+            # spread, not a division error
+            return 0.0
+        return float(per_tile.std() / mean)
 
     return TraceModelComparison(
         traced_exchange_bytes_per_pic=exch(traced),
@@ -211,51 +217,157 @@ class TraceEvent:
         )
 
 
+class Span:
+    """One begin/end interval in a process's trace stream.
+
+    Enter emits a ``ph="B"`` event immediately (so a crash mid-span leaves
+    the begin visible to the post-mortem), exit emits ``ph="E"`` carrying
+    ``dur_s`` measured with the monotonic clock.  ``with``-able and
+    re-entrant-safe per instance only once.
+    """
+
+    __slots__ = ("writer", "event", "picture", "data", "_wall0", "_t0")
+
+    def __init__(self, writer: "TraceWriter", event: str, picture: int, data: Dict):
+        self.writer = writer
+        self.event = event
+        self.picture = picture
+        self.data = data
+
+    def __enter__(self) -> "Span":
+        self._wall0 = time.time()
+        self._t0 = time.perf_counter()
+        self.writer.emit(
+            self.event, picture=self.picture, ts=self._wall0, ph="B", **self.data
+        )
+        return self
+
+    def __exit__(self, *exc) -> None:
+        dt = time.perf_counter() - self._t0
+        self.writer.emit(
+            self.event,
+            picture=self.picture,
+            ts=self._wall0 + dt,
+            ph="E",
+            dur_s=round(dt, 9),
+        )
+
+
+class _NullSpan:
+    """Span stand-in when span emission is disabled: zero work."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        pass
+
+
+_NULL_SPAN = _NullSpan()
+
+
 class TraceWriter:
     """Append-only JSONL event stream for one process.
 
     Each ``emit`` is written and flushed immediately so a crashed process
-    still leaves a usable partial trace for the post-mortem merge.
+    still leaves a usable partial trace for the post-mortem merge.  Emits
+    are thread-safe (role main loops, pump threads and heartbeats share
+    one writer); events from non-main threads carry a ``tid`` so the
+    timeline export can give each thread its own track.  ``spans=False``
+    keeps the coarse event stream but turns :meth:`span` into a no-op —
+    the telemetry kill-switch for overhead measurements.
+
+    ``with``-able: closing in a ``finally``/``with`` guarantees the last
+    buffered line reaches the file even when the role body raises.
     """
 
-    def __init__(self, path: Union[str, Path], proc: str):
+    def __init__(self, path: Union[str, Path], proc: str, spans: bool = True):
         self.path = Path(path)
         self.proc = proc
+        self.spans = spans
+        self._lock = threading.Lock()
         self._fh = open(self.path, "a", encoding="utf-8")
 
-    def emit(self, event: str, picture: int = -1, **data) -> TraceEvent:
+    def emit(
+        self,
+        event: str,
+        picture: int = -1,
+        ts: Optional[float] = None,
+        **data,
+    ) -> TraceEvent:
+        thread = threading.current_thread().name
+        if thread != "MainThread":
+            data.setdefault("tid", thread)
         ev = TraceEvent(
-            ts=time.time(), proc=self.proc, event=event, picture=picture, data=data
+            ts=time.time() if ts is None else ts,
+            proc=self.proc,
+            event=event,
+            picture=picture,
+            data=data,
         )
-        self._fh.write(ev.to_json() + "\n")
-        self._fh.flush()
+        line = ev.to_json() + "\n"
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.write(line)
+                self._fh.flush()
         return ev
 
+    def span(self, event: str, picture: int = -1, **data):
+        """Begin/end interval: ``with tracer.span("parse", picture=3): ...``"""
+        if not self.spans:
+            return _NULL_SPAN
+        return Span(self, event, picture, data)
+
     def close(self) -> None:
-        self._fh.close()
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+    def __enter__(self) -> "TraceWriter":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
 
-def read_trace_file(path: Union[str, Path]) -> List[TraceEvent]:
+def read_trace_file(
+    path: Union[str, Path], strict: bool = True
+) -> List[TraceEvent]:
+    """Parse one JSONL trace.  ``strict=False`` skips unparsable lines
+    (e.g. the torn final write of a SIGKILLed worker) instead of raising.
+    """
     events = []
     for line in Path(path).read_text(encoding="utf-8").splitlines():
         line = line.strip()
-        if line:
+        if not line:
+            continue
+        try:
             events.append(TraceEvent.from_json(line))
+        except (ValueError, KeyError):
+            if strict:
+                raise
     return events
 
 
 def merge_traces(
-    trace_dir: Union[str, Path], output: Optional[Union[str, Path]] = None
+    trace_dir: Union[str, Path],
+    output: Optional[Union[str, Path]] = None,
+    strict: bool = True,
 ) -> List[TraceEvent]:
     """Collate every per-process trace in ``trace_dir`` into one timeline.
 
     Events are sorted by wall-clock timestamp (process name breaks ties so
     the merge is deterministic).  When ``output`` is given the merged
-    timeline is also written as JSONL.
+    timeline is also written as JSONL.  ``strict=False`` tolerates torn
+    lines from crashed workers (the supervisor's failure path).
     """
     events: List[TraceEvent] = []
     for path in sorted(Path(trace_dir).glob(f"*{TRACE_SUFFIX}")):
-        events.extend(read_trace_file(path))
+        if Path(path).name == "merged" + TRACE_SUFFIX:
+            continue  # never fold a previous merge back into itself
+        events.extend(read_trace_file(path, strict=strict))
     events.sort(key=lambda e: (e.ts, e.proc))
     if output is not None:
         with open(output, "w", encoding="utf-8") as fh:

@@ -98,6 +98,72 @@ class TestFraming:
                 client.send(1, big, timeout=0.3)
 
 
+class TestChannelStats:
+    def test_byte_counters_cover_header_and_payload(self, pair):
+        client, server = pair
+        payload = b"z" * 1000
+        client.send(3, payload)
+        msg = server.recv(timeout=5)
+        assert msg.payload == payload
+        # every wire byte is counted: framing header + payload
+        assert client.stats.bandwidth.sent >= len(payload)
+        assert server.stats.bandwidth.received == client.stats.bandwidth.sent
+
+    def test_frame_counters_count_application_frames(self, pair):
+        client, server = pair
+        for i in range(5):
+            client.send(1, b"x", picture=i)
+        for _ in range(5):
+            server.recv(timeout=5)
+        assert client.stats.sent_frames == 5
+        assert server.stats.recv_frames == 5
+        assert server.stats.sent_frames == 0
+
+    def test_heartbeats_count_bytes_but_not_frames(self, pair):
+        client, server = pair
+        client.start_heartbeat(interval=0.05)
+        time.sleep(0.3)
+        client.send(1, b"real")
+        assert server.recv(timeout=5).payload == b"real"
+        assert client.stats.sent_frames == 1  # heartbeats excluded
+        # ...but their wire bytes are real traffic and are counted
+        assert client.stats.bandwidth.sent > len("real") + 16
+
+    def test_recv_wait_time_accumulates_while_blocked(self, pair):
+        client, server = pair
+        threading.Timer(0.3, lambda: client.send(1, b"late")).start()
+        server.recv(timeout=5)
+        assert server.stats.recv_wait_s >= 0.2
+
+    def test_stats_to_dict_keys(self, pair):
+        client, _server = pair
+        d = client.stats.to_dict()
+        assert set(d) == {
+            "sent_bytes", "recv_bytes", "sent_frames", "recv_frames",
+            "send_blocked_s", "recv_wait_s",
+        }
+
+    def test_channels_appear_in_telemetry_snapshot(self, pair):
+        from repro.perf.telemetry import channel_snapshot
+
+        client, server = pair
+        client.send(1, b"ping")
+        server.recv(timeout=5)
+        snap = channel_snapshot()
+        assert "client" in snap and "server" in snap
+        assert snap["client"]["sent_frames"] == 1
+
+    def test_credit_gate_counts_acquires_and_stalls(self):
+        gate = CreditGate(1)
+        gate.acquire(timeout=1)  # free credit: no stall
+        threading.Timer(0.2, gate.release).start()
+        gate.acquire(timeout=5)  # must wait for the release: one stall
+        d = gate.stats_dict()
+        assert d["acquires"] == 2
+        assert d["stalls"] == 1
+        assert d["wait_s"] >= 0.1
+
+
 class TestMultiSenderInterleaving:
     def test_cross_sender_order_is_free_but_per_sender_order_holds(self, tmp_path):
         """Two senders, one receiver: the transport makes no promise about

@@ -109,11 +109,33 @@ class TestTraceTimeline:
         events = read_trace_file(sup.merged_trace_path)
         by_event = {}
         for ev in events:
+            if "ph" in ev.data:
+                continue  # span begin/end pairs are counted separately
             by_event.setdefault(ev.event, []).append(ev)
         assert len(by_event["picture_sent"]) == len(frames)  # root
         assert len(by_event["split"]) == len(frames)  # across k splitters
         assert len(by_event["decode"]) == 4 * len(frames)  # per tile
         assert len(by_event["frame_sent"]) == 4 * len(frames)
+
+    def test_timeline_carries_spans(self, wall_run):
+        """Every instrumented region appears as balanced B/E span pairs."""
+        sup, frames, _ = wall_run
+        events = read_trace_file(sup.merged_trace_path)
+        begins, ends = {}, {}
+        for ev in events:
+            ph = ev.data.get("ph")
+            if ph == "B":
+                begins[ev.event] = begins.get(ev.event, 0) + 1
+            elif ph == "E":
+                ends[ev.event] = ends.get(ev.event, 0) + 1
+        assert begins == ends, "unbalanced span begin/end pairs"
+        # one decode span per tile-picture; exchange/credit waits visible
+        assert begins["decode"] == 4 * len(frames)
+        assert begins["credit_wait"] == len(frames)
+        assert begins["exchange_wait"] == 4 * len(frames)
+        assert begins["split"] == len(frames)
+        for stage in ("plan", "execute", "wire"):
+            assert begins.get(stage, 0) > 0, f"no {stage} spans"
 
     def test_trace_lines_are_valid_jsonl(self, wall_run):
         sup, _, _ = wall_run

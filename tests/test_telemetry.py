@@ -1,0 +1,269 @@
+"""Metrics registry, span emission, and the stage/span agreement helpers."""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.perf.metrics import NodeBandwidth, StageTimes
+from repro.perf.telemetry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    channel_snapshot,
+    emit_stats,
+    maybe_emit_stats,
+    register_channel,
+    stage_span_block,
+    traced_stage,
+)
+from repro.perf.trace import TraceWriter, read_trace_file
+
+
+class TestMetricsPrimitives:
+    def test_counter_accumulates_and_is_thread_safe(self):
+        c = Counter()
+        threads = [
+            threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+            for _ in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+    def test_gauge_holds_last_value(self):
+        g = Gauge()
+        g.set(3.5)
+        g.set(1.0)
+        assert g.value == 1.0
+
+    def test_histogram_percentiles_uniform(self):
+        # 1..100 with unit-wide buckets: percentiles are near-exact
+        h = Histogram(bounds=list(range(1, 101)))
+        for v in range(1, 101):
+            h.observe(float(v))
+        assert h.count == 100
+        assert h.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert h.percentile(95) == pytest.approx(95.0, abs=1.0)
+        assert h.percentile(99) == pytest.approx(99.0, abs=1.0)
+        assert h.mean == pytest.approx(50.5)
+
+    def test_histogram_percentile_clamps_to_observed_range(self):
+        h = Histogram(bounds=[1.0, 10.0, 100.0])
+        h.observe(5.0)
+        h.observe(5.0)
+        # everything lands in one bucket; estimates never leave [min, max]
+        for p in (1, 50, 99):
+            assert h.min <= h.percentile(p) <= h.max
+
+    def test_histogram_empty_and_bad_bounds(self):
+        h = Histogram()
+        assert h.percentile(50) == 0.0
+        assert h.to_dict() == {"count": 0}
+        with pytest.raises(ValueError):
+            Histogram(bounds=[3.0, 1.0])
+
+    def test_histogram_to_dict_has_percentile_keys(self):
+        h = Histogram()
+        h.observe(0.01)
+        d = h.to_dict()
+        assert {"count", "sum", "mean", "p50", "p95", "p99", "min", "max"} <= set(d)
+
+
+class TestRegistry:
+    def test_create_or_get_returns_same_instance(self):
+        r = MetricsRegistry()
+        assert r.counter("a") is r.counter("a")
+        assert r.histogram("h") is r.histogram("h")
+        assert r.gauge("g") is r.gauge("g")
+
+    def test_snapshot_is_json_safe(self):
+        r = MetricsRegistry()
+        r.counter("frames").inc(3)
+        r.gauge("credits").set(2)
+        r.histogram("lat").observe(0.02)
+        snap = r.snapshot()
+        json.dumps(snap)  # must not raise
+        assert snap["counters"]["frames"] == 3
+        assert snap["gauges"]["credits"] == 2
+        assert snap["histograms"]["lat"]["count"] == 1
+
+    def test_reset_clears_everything(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        r.reset()
+        assert r.snapshot() == {"counters": {}, "gauges": {}, "histograms": {}}
+
+
+class _FakeChannel:
+    """Duck-typed stand-in for Channel in channel_snapshot tests."""
+
+    class _Stats:
+        def to_dict(self):
+            return {"sent_bytes": 7}
+
+    def __init__(self, name):
+        self.name = name
+        self.stats = self._Stats()
+
+
+class TestChannelRegistry:
+    def test_snapshot_reads_live_named_channels(self):
+        ch = _FakeChannel("root->split0")
+        register_channel(ch)
+        snap = channel_snapshot()
+        assert snap["root->split0"] == {"sent_bytes": 7}
+
+    def test_unnamed_channels_are_skipped(self):
+        ch = _FakeChannel("")
+        register_channel(ch)
+        assert "" not in channel_snapshot()
+
+    def test_registry_is_weak(self):
+        import gc
+
+        ch = _FakeChannel("ephemeral-chan")
+        register_channel(ch)
+        del ch
+        gc.collect()
+        assert "ephemeral-chan" not in channel_snapshot()
+
+
+class TestSpans:
+    def test_span_emits_balanced_pair_with_duration(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0") as tr:
+            with tr.span("decode", picture=3):
+                time.sleep(0.01)
+        b, e = read_trace_file(path)
+        assert (b.event, b.data["ph"], b.picture) == ("decode", "B", 3)
+        assert (e.event, e.data["ph"], e.picture) == ("decode", "E", 3)
+        assert e.data["dur_s"] >= 0.01
+        assert e.ts >= b.ts
+
+    def test_span_nesting_orders_begin_end_correctly(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0") as tr:
+            with tr.span("outer"):
+                with tr.span("inner"):
+                    pass
+        evs = [(ev.event, ev.data["ph"]) for ev in read_trace_file(path)]
+        assert evs == [
+            ("outer", "B"), ("inner", "B"), ("inner", "E"), ("outer", "E"),
+        ]
+
+    def test_spans_disabled_emit_nothing(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0", spans=False) as tr:
+            with tr.span("decode"):
+                pass
+            tr.emit("still-works")
+        evs = read_trace_file(path)
+        assert [ev.event for ev in evs] == ["still-works"]
+
+    def test_thread_emits_carry_tid(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0") as tr:
+            t = threading.Thread(target=lambda: tr.emit("tick"), name="pump-1")
+            t.start()
+            t.join()
+            tr.emit("tock")
+        by_event = {ev.event: ev for ev in read_trace_file(path)}
+        assert by_event["tick"].data["tid"] == "pump-1"
+        assert "tid" not in by_event["tock"].data
+
+
+class TestStageSpanAgreement:
+    def test_traced_stage_feeds_both_identically(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        st = StageTimes()
+        with TraceWriter(path, "p0") as tr:
+            with traced_stage(tr, st, "wire", picture=0):
+                time.sleep(0.005)
+        end = [ev for ev in read_trace_file(path) if ev.data.get("ph") == "E"]
+        assert len(end) == 1
+        # one measurement feeds both: agreement is exact up to rounding
+        assert end[0].data["dur_s"] == pytest.approx(st.wire, abs=1e-8)
+
+    def test_traced_stage_rejects_unknown_stage(self):
+        with pytest.raises(KeyError):
+            with traced_stage(None, StageTimes(), "nosuchstage"):
+                pass
+
+    def test_stage_span_block_children_match_stage_deltas(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        st = StageTimes()
+        with TraceWriter(path, "p0") as tr:
+            with stage_span_block(tr, st, "decode", picture=1,
+                                  stages=("parse", "plan")):
+                # interleaved stage accrual, as the batched decoder does
+                for _ in range(3):
+                    with st.stage("parse"):
+                        time.sleep(0.002)
+                    with st.stage("plan"):
+                        time.sleep(0.001)
+        evs = read_trace_file(path)
+        ends = {
+            ev.event: ev.data["dur_s"]
+            for ev in evs
+            if ev.data.get("ph") == "E"
+        }
+        assert ends["parse"] == pytest.approx(st.parse, abs=1e-8)
+        assert ends["plan"] == pytest.approx(st.plan, abs=1e-8)
+        # children nest inside the parent decode span
+        assert ends["decode"] >= ends["parse"] + ends["plan"] - 1e-6
+        begins = [ev for ev in evs if ev.data.get("ph") == "B"]
+        assert begins[0].event == "decode"  # parent B emitted eagerly
+
+    def test_stage_span_block_skips_zero_stages(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        st = StageTimes()
+        with TraceWriter(path, "p0") as tr:
+            with stage_span_block(tr, st, "decode"):
+                pass  # no stage accrues time
+        events = {ev.event for ev in read_trace_file(path)}
+        assert events == {"decode"}
+
+
+class TestStatsEmission:
+    def test_emit_stats_carries_metrics_and_channels(self, tmp_path):
+        from repro.perf.telemetry import registry
+
+        registry().counter("test.frames").inc(2)
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0") as tr:
+            emit_stats(tr)
+        (ev,) = read_trace_file(path)
+        assert ev.event == "stats"
+        assert ev.data["metrics"]["counters"]["test.frames"] >= 2
+        assert "channels" in ev.data
+
+    def test_maybe_emit_stats_rate_limits(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0") as tr:
+            assert maybe_emit_stats(tr, interval=10.0) is True
+            assert maybe_emit_stats(tr, interval=10.0) is False
+        assert len(read_trace_file(path)) == 1
+
+    def test_maybe_emit_stats_noop_when_spans_disabled(self, tmp_path):
+        path = tmp_path / "t.trace.jsonl"
+        with TraceWriter(path, "p0", spans=False) as tr:
+            assert maybe_emit_stats(tr) is False
+        assert read_trace_file(path) == []
+
+
+class TestNodeBandwidth:
+    def test_mbps_returns_pair(self):
+        bw = NodeBandwidth(sent=10_000_000, received=5_000_000)
+        s, r = bw.mbps(10.0)
+        assert s == pytest.approx(1.0)
+        assert r == pytest.approx(0.5)
+
+    def test_zero_or_negative_duration_guard(self):
+        bw = NodeBandwidth(sent=1, received=1)
+        assert bw.mbps(0.0) == (0.0, 0.0)
+        assert bw.mbps(-1.0) == (0.0, 0.0)
