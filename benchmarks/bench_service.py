@@ -1,0 +1,190 @@
+"""Wall service — sessions-vs-latency curve under a fixed worker pool.
+
+Submits 1, 2, 4 and 8 concurrent fish-tank sessions to one `repro serve`
+daemon (in-process, 2 workers) and records, per concurrency level, what
+the service did with each submission (accept / queue / reject) and how
+the admitted sessions fared: per-session p95 picture latency, drops by
+picture type, forced drops, peak degradation level.  Results land in
+``BENCH_service.json`` at the repo root.
+
+The pool is sized so the curve actually bends: capacity admits four
+fish-tank streams, the backlog holds two more, and the last two of eight
+are shed with a structured ``reject-queue-full``.  A per-picture
+``slowdown_s`` models a heavier codec deterministically — two workers
+then sustain ~100 pictures/s, so four 30 fps sessions (120 pictures/s
+of demand) must shed load through the degradation ladder while one or
+two sessions ride free.  Every drop is accounted: the ``_check`` gate
+replays the service trace through ``build_report`` and fails the run on
+any ledger disagreement between streamed drop events and the
+``session_summary`` counters (the <1% acceptance criterion; the
+implementation achieves exact agreement).
+
+Run under pytest-benchmark with the other tables/figures or directly:
+``PYTHONPATH=src python benchmarks/bench_service.py``.
+"""
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.perf.export import build_report
+from repro.perf.trace import read_trace_file
+from repro.service import ServiceClient, ServiceConfig, WallService
+from repro.service.daemon import TRACE_FILE
+from repro.workloads.streams import stream_by_id
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_service.json"
+
+SPEC = stream_by_id(5)  # fish1: 1280x720 @ 30 fps, 27.65 Mpixel/s demand
+N_FRAMES = 24  # 0.8 s of playout per session
+SLOWDOWN_S = 0.02  # per decoded picture: 2 workers ≈ 100 pictures/s
+LEVELS = (1, 2, 4, 8)
+
+#: Admits 4 fish streams (110.6 Mpixel/s), queues up to 2, rejects the rest.
+POOL = dict(capacity_mpps=120.0, workers=2, queue_slots=2)
+
+
+def _encode_clip() -> bytes:
+    frames = SPEC.synthetic_frames(N_FRAMES, max_width=96)
+    cfg = EncoderConfig(gop_size=SPEC.gop_size, b_frames=SPEC.b_frames)
+    return Encoder(cfg).encode(frames)
+
+
+def _run_level(n_sessions: int, clip: bytes) -> dict:
+    """One concurrency level: submit n sessions at once, wait them out."""
+    with tempfile.TemporaryDirectory(prefix="bench-service-") as rundir:
+        rundir = Path(rundir)
+        with WallService(rundir, ServiceConfig(**POOL)):
+            t0 = time.perf_counter()
+            replies = [None] * n_sessions
+
+            def submit(i):
+                with ServiceClient(rundir) as c:
+                    replies[i] = c.submit(
+                        SPEC,
+                        stream=clip,
+                        name=f"s{i}",
+                        slowdown_s=SLOWDOWN_S,
+                    )
+
+            threads = [
+                threading.Thread(target=submit, args=(i,))
+                for i in range(n_sessions)
+            ]
+            for t in threads:
+                t.start()
+                t.join()  # serialize: keeps the accept/queue/reject split
+                # deterministic while still using one connection per client
+            actions = [r["admission"]["action"] for r in replies]
+            sids = [r["sid"] for r in replies if "sid" in r]
+            with ServiceClient(rundir) as client:
+                finals = [client.wait(s, timeout=300.0) for s in sids]
+            wall = time.perf_counter() - t0
+        events = read_trace_file(rundir / TRACE_FILE)
+
+    report = build_report(events)
+    sessions = []
+    for f in finals:
+        agg = report.sessions.get(f["sid"])
+        sessions.append(
+            {
+                "sid": f["sid"],
+                "state": f["state"],
+                "released": f["released"],
+                "decoded": f["decoded"],
+                "dropped_b": f["dropped_b"],
+                "dropped_p": f["dropped_p"],
+                "forced_drops": f["forced_drops"],
+                "late_frames": f["late_frames"],
+                "peak_degrade_level": f["peak_degrade_level"],
+                "latency_p95_ms": f["latency_p95_ms"],
+                "ledger_consistent": agg.consistent() if agg else None,
+            }
+        )
+    drops = sum(s["dropped_b"] + s["dropped_p"] for s in sessions)
+    p95s = [s["latency_p95_ms"] for s in sessions]
+    return {
+        "submitted": n_sessions,
+        "admission": {a: actions.count(a) for a in sorted(set(actions))},
+        "rejections": actions.count("reject"),
+        "wall_s": round(wall, 3),
+        "completed": sum(1 for s in sessions if s["state"] == "completed"),
+        "total_drops": drops,
+        "total_forced_drops": sum(s["forced_drops"] for s in sessions),
+        "worst_p95_ms": round(max(p95s), 3) if p95s else None,
+        "mean_p95_ms": round(sum(p95s) / len(p95s), 3) if p95s else None,
+        "sessions": sessions,
+    }
+
+
+def run_service_bench() -> dict:
+    clip = _encode_clip()
+    out = {
+        "stream": {
+            "spec": SPEC.to_dict(),
+            "frames": N_FRAMES,
+            "coded_bytes": len(clip),
+            "slowdown_s": SLOWDOWN_S,
+        },
+        "pool": dict(POOL),
+        "levels": {str(n): _run_level(n, clip) for n in LEVELS},
+    }
+    return out
+
+
+def _check(report: dict) -> None:
+    levels = report["levels"]
+    # one session rides free: no drops, nothing rejected, no degradation
+    solo = levels["1"]
+    assert solo["rejections"] == 0 and solo["total_drops"] == 0, solo
+    assert all(s["peak_degrade_level"] == 0 for s in solo["sessions"])
+    # eight sessions: four admitted, two queued, two shed — deterministically
+    assert levels["8"]["admission"].get("reject", 0) == 2, levels["8"]["admission"]
+    # oversubscription degrades through the ladder, it does not crash:
+    # every admitted session completes and every I-picture survives
+    n_gops = N_FRAMES // SPEC.gop_size
+    for n in map(str, LEVELS):
+        lv = levels[n]
+        assert lv["completed"] == len(lv["sessions"]), (n, lv)
+        for s in lv["sessions"]:
+            assert s["decoded"]["I"] == n_gops, (n, s)
+            # the acceptance bar is <1% disagreement; we hold it at zero
+            assert s["ledger_consistent"] is True, (n, s)
+    assert levels["8"]["total_drops"] > 0, "8-way run never engaged the ladder"
+
+
+def test_service(benchmark):
+    from conftest import print_table, run_once
+
+    report = run_once(benchmark, run_service_bench)
+    _check(report)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(
+        f"Wall service ({POOL['workers']} workers, "
+        f"{POOL['capacity_mpps']:.0f} Mpixel/s, queue={POOL['queue_slots']})",
+        ["sessions", "accept/queue/reject", "drops", "forced", "worst p95", "wall"],
+        [
+            (
+                n,
+                "/".join(
+                    str(lv["admission"].get(a, 0))
+                    for a in ("accept", "queue", "reject")
+                ),
+                str(lv["total_drops"]),
+                str(lv["total_forced_drops"]),
+                f"{lv['worst_p95_ms']:.1f} ms" if lv["worst_p95_ms"] else "-",
+                f"{lv['wall_s']:.2f} s",
+            )
+            for n, lv in report["levels"].items()
+        ],
+    )
+
+
+if __name__ == "__main__":
+    result = run_service_bench()
+    _check(result)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

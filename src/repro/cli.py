@@ -9,6 +9,9 @@ run-cluster  decode on real OS processes over the socket transport
 simulate  run the timed 1-k-(m,n) cluster simulation on a Table 4 stream
 info      show stream structure (pictures, types, sizes)
 trace-report  post-mortem a run directory: text report + Perfetto JSON
+serve     run the multi-session wall-service daemon
+submit    submit a decode session to a running wall service
+sessions  list, cancel, or shut down wall-service sessions
 """
 
 from __future__ import annotations
@@ -263,6 +266,91 @@ def cmd_streams(args) -> int:
     return 0
 
 
+def cmd_serve(args) -> int:
+    from repro.service import ServiceConfig, WallService
+
+    cfg = ServiceConfig(
+        capacity_mpps=args.capacity,
+        workers=args.workers,
+        queue_slots=args.queue_slots,
+        transport=args.transport,
+        lookahead=args.lookahead,
+        telemetry=not args.no_telemetry,
+    )
+    svc = WallService(Path(args.rundir), cfg)
+    svc.start()
+    print(
+        f"wall service up: rundir={args.rundir} transport={cfg.transport} "
+        f"capacity={cfg.capacity_mpps} Mpixel/s workers={cfg.workers}"
+    )
+    try:
+        svc.serve_forever()
+    finally:
+        svc.stop()
+        print("wall service stopped")
+    return 0
+
+
+def cmd_submit(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    spec = stream_by_id(args.stream)
+    stream = _load_stream(args.input) if args.input else b""
+    with ServiceClient(Path(args.rundir), transport=args.transport) as client:
+        reply = client.submit(
+            spec,
+            stream=stream,
+            name=args.name,
+            weight=args.weight,
+            slowdown_s=args.slowdown,
+            n_frames=args.frames,
+        )
+        admission = reply["admission"]
+        print(_json.dumps(admission, indent=2, sort_keys=True))
+        if "sid" not in reply:
+            return 3  # structured rejection: reason + retry_after_s above
+        sid = reply["sid"]
+        print(f"session {sid} {admission['action']}")
+        if args.wait:
+            final = client.wait(sid, timeout=args.timeout)
+            print(_json.dumps(final, indent=2, sort_keys=True))
+            return 0 if final["state"] == "completed" else 1
+    return 0
+
+
+def cmd_sessions(args) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(Path(args.rundir), transport=args.transport) as client:
+        if args.cancel is not None:
+            reply = client.cancel(args.cancel, reason=args.reason)
+            print(f"cancel {args.cancel}: {reply['cancelled']}")
+            return 0
+        if args.shutdown:
+            client.shutdown(reason=args.reason)
+            print("shutdown requested")
+            return 0
+        info = client.ping()
+        print(
+            f"service: {info['utilization']:.0%} of "
+            f"{info['capacity_mpps']} Mpixel/s, {info['queued']} queued, "
+            f"{info['workers']} workers, {info['leases']} leases"
+        )
+        rows = client.list_sessions()
+        for s in sorted(rows, key=lambda r: r["sid"]):
+            drops = s["dropped_b"] + s["dropped_p"]
+            print(
+                f"  [{s['sid']}] {s['name']:12s} {s['state']:10s} "
+                f"{s['processed']}/{s['pictures']} pics  "
+                f"drops {drops} (forced {s['forced_drops']})  "
+                f"peak-level {s['peak_degrade_level']}  "
+                f"p95 {s['latency_p95_ms']:.1f} ms"
+            )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -377,6 +465,57 @@ def build_parser() -> argparse.ArgumentParser:
         help="skip unparsable trace lines instead of failing",
     )
     tr.set_defaults(func=cmd_trace_report)
+
+    sv = sub.add_parser(
+        "serve", help="run the multi-session wall-service daemon"
+    )
+    sv.add_argument("rundir", help="run directory (rendezvous + traces)")
+    sv.add_argument(
+        "--capacity", type=float, default=400.0,
+        help="pool decode capacity in Mpixel/s (admission currency)",
+    )
+    sv.add_argument("--workers", type=int, default=2)
+    sv.add_argument("--queue-slots", type=int, default=4)
+    sv.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    sv.add_argument("--lookahead", type=int, default=2)
+    sv.add_argument("--no-telemetry", action="store_true")
+    sv.set_defaults(func=cmd_serve)
+
+    sb = sub.add_parser(
+        "submit", help="submit a decode session to a running wall service"
+    )
+    sb.add_argument("rundir", help="the daemon's run directory")
+    sb.add_argument("--stream", type=int, default=5, help="Table 4 stream id")
+    sb.add_argument(
+        "-i", "--input",
+        help="encoded .m2v to play (default: synthesize from the spec)",
+    )
+    sb.add_argument("--name", help="session label (default: stream name)")
+    sb.add_argument("--weight", type=float, default=1.0)
+    sb.add_argument(
+        "--slowdown", type=float, default=0.0,
+        help="artificial per-picture decode load in seconds (load generation)",
+    )
+    sb.add_argument(
+        "--frames", type=int, default=None,
+        help="frames to synthesize when no --input is given",
+    )
+    sb.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    sb.add_argument("--wait", action="store_true", help="block until terminal")
+    sb.add_argument("--timeout", type=float, default=300.0)
+    sb.set_defaults(func=cmd_submit)
+
+    ss = sub.add_parser(
+        "sessions", help="list, cancel, or shut down wall-service sessions"
+    )
+    ss.add_argument("rundir", help="the daemon's run directory")
+    ss.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    ss.add_argument("--cancel", type=int, help="cancel this session id")
+    ss.add_argument("--shutdown", action="store_true", help="stop the daemon")
+    ss.add_argument(
+        "--reason", default="cli request", help="reason recorded in the trace"
+    )
+    ss.set_defaults(func=cmd_sessions)
     return p
 
 

@@ -43,6 +43,19 @@ class WallConfig:
     recv_timeout: float = 60.0
     heartbeat_interval: float = 0.25
     dead_after: float = 10.0
+    # Dial retry/backoff (previously hard-wired inside the transport):
+    # the interval of the first retry, the multiplier applied after each
+    # failure, and the cap the interval saturates at.  Long-lived service
+    # sessions raise the cap; tests shrink everything for fast failure.
+    connect_retry_interval: float = 0.02
+    connect_backoff: float = 1.6
+    connect_max_interval: float = 0.5
+    # Supervisor teardown/escalation budgets (previously hard-wired):
+    # graceful drain wait, then SIGTERM grace, then SIGKILL on the failure
+    # path (capped at ``teardown_kill_s`` total).
+    shutdown_drain_s: float = 10.0
+    terminate_grace_s: float = 2.0
+    teardown_kill_s: float = 3.0
     fail_at: Optional[str] = None
     telemetry: bool = True
 
@@ -55,6 +68,19 @@ class WallConfig:
             raise ValueError(f"unknown transport {self.transport!r}")
         if self.queue_depth < 1:
             raise ValueError("need at least one receive buffer per splitter")
+        if min(self.shutdown_drain_s, self.terminate_grace_s, self.teardown_kill_s) <= 0:
+            raise ValueError("teardown budgets must be positive")
+
+    @property
+    def connect_policy(self):
+        """The transport's :class:`~repro.net.channel.ConnectPolicy`."""
+        from repro.net.channel import ConnectPolicy
+
+        return ConnectPolicy(
+            retry_interval=self.connect_retry_interval,
+            backoff=self.connect_backoff,
+            max_interval=self.connect_max_interval,
+        )
 
     # ------------------------------------------------------------------ #
 

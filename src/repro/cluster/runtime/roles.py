@@ -141,6 +141,7 @@ class Rendezvous:
         ch = connect(
             self.resolve(peer),
             timeout=self.connect_timeout,
+            policy=cfg.connect_policy,
             name=f"{me}->{peer}",
             dead_after=cfg.dead_after,
         )

@@ -97,6 +97,8 @@ class ClusterSupervisor:
         self.stage_times_by_proc: Dict[str, StageTimes] = {}
         self.merged_trace_path: Optional[Path] = None
         self.perfetto_path: Optional[Path] = None
+        self._tracer: Optional[TraceWriter] = None
+        self._stopped = False
 
     # ------------------------------------------------------------------ #
 
@@ -117,6 +119,7 @@ class ClusterSupervisor:
         (rundir / STREAM_FILE).write_bytes(stream)
         (rundir / CONFIG_FILE).write_text(json.dumps({"config": cfg.to_dict()}))
         tracer = TraceWriter(rundir / f"supervisor{TRACE_SUFFIX}", "supervisor")
+        self._tracer = tracer
 
         rv = Rendezvous(rundir, cfg.transport, cfg.connect_timeout)
         collector = rv.listen("collector")
@@ -272,7 +275,8 @@ class ClusterSupervisor:
     def _shutdown(self, timeout: float, tracer: TraceWriter) -> None:
         """Graceful drain: all frames are in, so children exit on their own
         EOS cascade; escalate only past the deadline."""
-        deadline = time.monotonic() + min(timeout, 10.0)
+        cfg = self.config
+        deadline = time.monotonic() + min(timeout, cfg.shutdown_drain_s)
         for name, proc in self.processes.items():
             remaining = max(0.1, deadline - time.monotonic())
             try:
@@ -280,7 +284,7 @@ class ClusterSupervisor:
             except subprocess.TimeoutExpired:
                 proc.terminate()
                 try:
-                    rc = proc.wait(timeout=2.0)
+                    rc = proc.wait(timeout=cfg.terminate_grace_s)
                 except subprocess.TimeoutExpired:
                     proc.kill()
                     rc = proc.wait()
@@ -293,7 +297,7 @@ class ClusterSupervisor:
         for name, proc in self.processes.items():
             if proc.poll() is None:
                 proc.terminate()
-        deadline = time.monotonic() + 3.0
+        deadline = time.monotonic() + self.config.teardown_kill_s
         for name, proc in self.processes.items():
             try:
                 proc.wait(timeout=max(0.1, deadline - time.monotonic()))
@@ -302,6 +306,42 @@ class ClusterSupervisor:
                 proc.wait()
             tracer.emit("child_killed", proc_name=name, returncode=proc.returncode)
         tracer.emit("teardown")
+
+    def shutdown(self, reason: str = "requested") -> None:
+        """Stop *this* run's process tree cleanly, recording why.
+
+        The per-session stop the wall service needs: a service running one
+        supervisor per session can end a single session without touching
+        the rest of the pool — only this supervisor's children are
+        signalled (terminate, escalating to kill past
+        ``config.teardown_kill_s``).  Idempotent and safe to call from
+        another thread; a concurrent :meth:`decode` surfaces the stop as a
+        :class:`ClusterError` on its own thread.  ``reason`` lands in the
+        supervisor trace so the post-mortem distinguishes a requested stop
+        from a crash teardown.
+        """
+        if self._stopped:
+            return
+        self._stopped = True
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.emit("shutdown_requested", reason=reason)
+        for proc in self.processes.values():
+            if proc.poll() is None:
+                proc.terminate()
+        deadline = time.monotonic() + self.config.teardown_kill_s
+        for name, proc in self.processes.items():
+            try:
+                proc.wait(timeout=max(0.1, deadline - time.monotonic()))
+            except subprocess.TimeoutExpired:
+                proc.kill()
+                proc.wait()
+            if tracer is not None:
+                tracer.emit(
+                    "child_stopped", proc_name=name, returncode=proc.returncode
+                )
+        if tracer is not None:
+            tracer.emit("shutdown_complete", reason=reason)
 
     def _harvest_stage_times(self) -> None:
         """Collect per-process stage timers out of the trace streams.

@@ -95,6 +95,43 @@ def simulate_vbv(
     return result
 
 
+def plan_initial_fill(
+    picture_bits: Sequence[int],
+    bit_rate: float,
+    fps: float,
+    buffer_bits: int = 1_835_008,
+) -> "float | None":
+    """A feasible initial buffer fill (bits), or ``None`` if none exists.
+
+    The encoder chooses ``vbv_delay``; a stream is VBV-conformant iff
+    *some* initial fill ``x`` avoids both failure modes.  With arrivals
+    ``A(i) = i * rate/fps`` and removals ``R(i) = sum(bits[:i])``, the
+    clamp-free occupancy before decode ``i`` is ``x + A(i) - R(i)``, so:
+
+    - no underflow needs ``x >= max_i R(i+1) - A(i)``;
+    - no overflow needs ``x <= buffer - max_i (A(i) - R(i))``.
+
+    Returns the midpoint of the feasible band (robust to rounding), which
+    admission control converts back to a startup delay.
+    """
+    if bit_rate <= 0 or fps <= 0:
+        raise ValueError("bit_rate and fps must be positive")
+    per_tick = bit_rate / fps
+    arrived = 0.0
+    removed = 0.0
+    lo = 0.0  # least fill avoiding underflow
+    rise = 0.0  # worst clamp-free rise above the initial fill
+    for i, bits in enumerate(picture_bits):
+        arrived = i * per_tick
+        rise = max(rise, arrived - removed)
+        lo = max(lo, removed + bits - arrived)
+        removed += bits
+    hi = buffer_bits - rise
+    if lo > hi or lo > buffer_bits:
+        return None
+    return (lo + hi) / 2.0
+
+
 def check_stream(
     stream: bytes,
     bit_rate: float,

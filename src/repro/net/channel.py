@@ -367,19 +367,46 @@ class Listener:
         self.close()
 
 
+@dataclass(frozen=True)
+class ConnectPolicy:
+    """Dial retry/backoff tuning, carried by configuration objects.
+
+    The defaults match the historical hard-wired constants; long-lived
+    deployments (the wall service) raise ``max_interval`` so idle retry
+    loops do not spin, while tests shrink everything for fast failure.
+    """
+
+    retry_interval: float = 0.02
+    backoff: float = 1.6
+    max_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.retry_interval <= 0 or self.max_interval <= 0:
+            raise ValueError("retry intervals must be positive")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must not shrink the retry interval")
+
+
 def connect(
     address: Address,
     timeout: float = 10.0,
-    retry_interval: float = 0.02,
-    backoff: float = 1.6,
-    max_interval: float = 0.5,
+    retry_interval: Optional[float] = None,
+    backoff: Optional[float] = None,
+    max_interval: Optional[float] = None,
+    policy: Optional[ConnectPolicy] = None,
     **channel_kw,
 ) -> Channel:
     """Dial ``address``, retrying with exponential backoff until ``timeout``.
 
     Bounded retry exists because the supervisor starts the whole process
-    tree at once: a dialer may race the listener's bind.
+    tree at once: a dialer may race the listener's bind.  Retry tuning
+    comes from ``policy`` (a :class:`ConnectPolicy`); the individual
+    keyword arguments override single fields of it.
     """
+    p = policy or ConnectPolicy()
+    retry_interval = p.retry_interval if retry_interval is None else retry_interval
+    backoff = p.backoff if backoff is None else backoff
+    max_interval = p.max_interval if max_interval is None else max_interval
     deadline = time.monotonic() + timeout
     interval = retry_interval
     last_exc: Optional[Exception] = None

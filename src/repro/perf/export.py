@@ -168,12 +168,35 @@ class ProcSummary:
 
 
 @dataclass
+class SessionAgg:
+    """Per-session attribution from a wall-service trace stream."""
+
+    summary: Optional[Dict] = None  # the session_summary payload
+    decode_s: float = 0.0  # total decode span time billed to this sid
+    decode_count: int = 0
+    drop_events: int = 0  # instant "drop" events seen in the stream
+    drops_by_type: Dict[str, int] = field(default_factory=dict)
+    forced_drop_events: int = 0
+
+    def consistent(self) -> bool:
+        """Do streamed drop events agree with the summary's counters?"""
+        if self.summary is None:
+            return False
+        counted = self.summary.get("dropped_b", 0) + self.summary.get(
+            "dropped_p", 0
+        )
+        return counted == self.drop_events
+
+
+@dataclass
 class TraceReport:
     """Aggregated post-mortem of one cluster run."""
 
     procs: Dict[str, ProcSummary]
     wall_s: float
     n_events: int
+    sessions: Dict[int, SessionAgg] = field(default_factory=dict)
+    admission_rejects: List[Dict] = field(default_factory=list)
 
     # -- derived views ------------------------------------------------- #
 
@@ -220,7 +243,13 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
     """Fold a merged timeline into the aggregates the text report shows."""
     procs: Dict[str, ProcSummary] = {}
     open_begins: Dict[Tuple[str, str, str, int], int] = {}
+    open_sids: Dict[Tuple[str, str, str, int], List[int]] = {}
+    sessions: Dict[int, SessionAgg] = {}
+    rejects: List[Dict] = []
     t_lo, t_hi = float("inf"), float("-inf")
+
+    def session(sid) -> SessionAgg:
+        return sessions.setdefault(int(sid), SessionAgg())
 
     for ev in events:
         ps = procs.setdefault(ev.proc, ProcSummary())
@@ -229,6 +258,9 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         key = (ev.proc, ev.data.get("tid", ""), ev.event, ev.picture)
         if ph == "B":
             open_begins[key] = open_begins.get(key, 0) + 1
+            if "sid" in ev.data:
+                # E spans carry no data; remember which sid this B opened
+                open_sids.setdefault(key, []).append(int(ev.data["sid"]))
         elif ph == "E":
             if open_begins.get(key, 0) > 0:
                 open_begins[key] -= 1
@@ -239,6 +271,22 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
                 ev.proc.startswith("split") and ev.event == "split"
             ):
                 ps.picture_spans.append(dur)
+            sids = open_sids.get(key)
+            if sids:
+                agg = session(sids.pop())
+                agg.decode_s += dur
+                agg.decode_count += 1
+        elif ev.event == "drop" and "sid" in ev.data:
+            agg = session(ev.data["sid"])
+            agg.drop_events += 1
+            ptype = ev.data.get("ptype", "?")
+            agg.drops_by_type[ptype] = agg.drops_by_type.get(ptype, 0) + 1
+            if ev.data.get("forced"):
+                agg.forced_drop_events += 1
+        elif ev.event == "session_summary" and "sid" in ev.data:
+            session(ev.data["sid"]).summary = dict(ev.data)
+        elif ev.event == "admission_reject":
+            rejects.append(dict(ev.data))
         elif ev.event == "stats":
             # later snapshots supersede earlier ones (counters are totals)
             ps.channels.update(ev.data.get("channels", {}))
@@ -257,7 +305,13 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
             procs[proc].open_spans.extend([event] * n)
 
     wall = (t_hi - t_lo) if t_hi >= t_lo else 0.0
-    return TraceReport(procs=procs, wall_s=wall, n_events=len(events))
+    return TraceReport(
+        procs=procs,
+        wall_s=wall,
+        n_events=len(events),
+        sessions=sessions,
+        admission_rejects=rejects,
+    )
 
 
 def _fmt_row(cols: Sequence[str], widths: Sequence[int]) -> str:
@@ -381,6 +435,54 @@ def render_report(report: TraceReport) -> str:
         )
         L.append("")
 
+    # ---- wall-service sessions ----------------------------------------- #
+    if report.sessions:
+        L.append("Service sessions (per-session decode time and drop ledger):")
+        sess_rows = []
+        for sid in sorted(report.sessions):
+            agg = report.sessions[sid]
+            s = agg.summary or {}
+            decoded = s.get("decoded", {})
+            sess_rows.append(
+                [
+                    sid,
+                    s.get("name", "?"),
+                    s.get("state", "?"),
+                    f"{agg.decode_s:.3f}",
+                    agg.decode_count,
+                    sum(decoded.values()) if decoded else 0,
+                    s.get("dropped_b", 0),
+                    s.get("dropped_p", 0),
+                    s.get("forced_drops", 0),
+                    s.get("peak_degrade_level", 0),
+                    f"{s.get('latency_p95_ms', 0.0):.2f}",
+                    "yes" if agg.consistent() else "NO",
+                ]
+            )
+        L += _table(
+            ["sid", "name", "state", "busy_s", "spans", "decoded",
+             "dropB", "dropP", "forced", "peak_lvl", "p95_ms", "ledger_ok"],
+            sess_rows,
+        )
+        bad = [
+            sid
+            for sid, agg in report.sessions.items()
+            if agg.summary is not None and not agg.consistent()
+        ]
+        if bad:
+            L.append(
+                "DROP LEDGER MISMATCH: streamed drop events disagree with "
+                f"session_summary counters for sid(s) {sorted(bad)}"
+            )
+        L.append("")
+    if report.admission_rejects:
+        reasons: Dict[str, int] = {}
+        for r in report.admission_rejects:
+            reasons[r.get("reason", "?")] = reasons.get(r.get("reason", "?"), 0) + 1
+        parts = ", ".join(f"{k}: {v}" for k, v in sorted(reasons.items()))
+        L.append(f"Admission rejections: {parts}")
+        L.append("")
+
     # ---- crash indicators ---------------------------------------------- #
     for proc in sorted(report.procs, key=_proc_rank):
         if report.procs[proc].open_spans:
@@ -423,4 +525,5 @@ __all__ = [
     "span_tail",
     "TraceReport",
     "ProcSummary",
+    "SessionAgg",
 ]

@@ -191,6 +191,23 @@ class MetricsRegistry:
             self._gauges.clear()
             self._histograms.clear()
 
+    def prune(self, prefix: str) -> int:
+        """Drop every metric whose name starts with ``prefix``.
+
+        Long-lived daemons mint per-session metric names; pruning a
+        retired session's prefix keeps the registry (and every ``stats``
+        snapshot shipped into the trace stream) from growing without
+        bound.  Returns how many metrics were removed.
+        """
+        removed = 0
+        with self._lock:
+            for store in (self._counters, self._gauges, self._histograms):
+                doomed = [k for k in store if k.startswith(prefix)]
+                removed += len(doomed)
+                for k in doomed:
+                    del store[k]
+        return removed
+
 
 _REGISTRY = MetricsRegistry()
 

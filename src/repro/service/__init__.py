@@ -1,0 +1,44 @@
+"""Wall service: a long-lived multi-session streaming decode server.
+
+Everything below :mod:`repro.parallel` and :mod:`repro.cluster` is
+batch-shaped — one bitstream in, decode at maximum speed, exit.  The wall
+the paper feeds is *live*: many streams arrive concurrently, each must be
+presented on its own clock, and the pool's decode capacity is finite.
+This package is that serving layer:
+
+- :mod:`repro.service.protocol` — the versioned, no-pickle request/
+  response codec clients speak over the cluster's socket transport;
+- :mod:`repro.service.admission` — the admission controller: per-stream
+  bit-rate/VBV models plus live pool utilization decide accept / queue /
+  reject, with a structured machine-readable reason;
+- :mod:`repro.service.scheduler` — the weighted-fair, work-conserving
+  lease scheduler multiplexing sessions over a fixed worker pool;
+- :mod:`repro.service.pacer` — the per-session real-time pacer and the
+  graceful-degradation ladder (skip B → skip P-tails → keyframes only);
+- :mod:`repro.service.session` — session state and the incremental
+  decoder that drops pictures reference-safely;
+- :mod:`repro.service.daemon` — the ``repro serve`` daemon;
+- :mod:`repro.service.client` — the ``repro submit`` / ``repro sessions``
+  client.
+"""
+
+from repro.service.admission import AdmissionController, AdmissionDecision
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceConfig, WallService
+from repro.service.pacer import DegradationLadder, LadderConfig, SessionPacer
+from repro.service.scheduler import PoolScheduler
+from repro.service.session import Session, SessionState
+
+__all__ = [
+    "AdmissionController",
+    "AdmissionDecision",
+    "DegradationLadder",
+    "LadderConfig",
+    "PoolScheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "Session",
+    "SessionPacer",
+    "SessionState",
+    "WallService",
+]

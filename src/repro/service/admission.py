@@ -1,0 +1,226 @@
+"""Admission control: accept, queue, or reject a decode session.
+
+Three deterministic inputs drive every decision:
+
+1. the session's **pixel-rate demand** (``StreamSpec.demand_mpps`` —
+   width x height x fps), checked against the pool's configured decode
+   capacity and the demand of the sessions already admitted;
+2. the stream's **VBV model** — the spec's per-picture-type coded sizes
+   replayed through :func:`repro.mpeg2.vbv.simulate_vbv` at the nominal
+   channel rate, so a stream whose I-pictures cannot fit the configured
+   buffer is refused up front instead of stalling the wall mid-play
+   (the bandwidth-characterization rationale of arXiv:0906.4607);
+3. the **backlog** — a bounded queue absorbs short bursts; past it the
+   service sheds load explicitly rather than thrashing.
+
+Every decision is a structured :class:`AdmissionDecision` with a
+machine-readable ``reason`` and, for non-accepts, a suggested
+``retry_after_s`` — clients can implement honest backoff without parsing
+prose.  The controller is pure (no clock, no I/O): identical inputs give
+identical decisions, which is what the oversubscription tests pin.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.mpeg2.vbv import plan_initial_fill, simulate_vbv
+from repro.workloads.streams import StreamSpec
+
+# Machine-readable decision reasons (the protocol's vocabulary).
+OK = "ok"
+QUEUED_CAPACITY = "queued-capacity"
+REJECT_OVERSIZE = "reject-oversize"
+REJECT_QUEUE_FULL = "reject-queue-full"
+REJECT_VBV = "reject-vbv"
+REJECT_BAD_SPEC = "reject-bad-spec"
+
+
+@dataclass(frozen=True)
+class PoolView:
+    """What admission sees of the pool at decision time."""
+
+    active_demand_mpps: float = 0.0  # sum of admitted sessions' demand
+    queued: int = 0  # sessions already waiting
+    soonest_finish_s: Optional[float] = None  # earliest expected free-up
+
+
+@dataclass(frozen=True)
+class AdmissionDecision:
+    """The structured answer every submit gets."""
+
+    action: str  # "accept" | "queue" | "reject"
+    reason: str
+    detail: str = ""
+    retry_after_s: Optional[float] = None
+    demand_mpps: float = 0.0
+    utilization: float = 0.0  # pool utilization *after* this session
+    vbv: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def accepted(self) -> bool:
+        return self.action == "accept"
+
+    def to_dict(self) -> Dict:
+        out = {
+            "action": self.action,
+            "reason": self.reason,
+            "detail": self.detail,
+            "demand_mpps": round(self.demand_mpps, 4),
+            "utilization": round(self.utilization, 4),
+            "vbv": self.vbv,
+        }
+        if self.retry_after_s is not None:
+            out["retry_after_s"] = round(self.retry_after_s, 3)
+        return out
+
+
+#: ISO 13818-2 level VBV buffer sizes (Table 8-13, in bits).
+VBV_MAIN_LEVEL = 1_835_008  # MP@ML, <= 720x576
+VBV_HIGH_1440 = 7_340_032  # High-1440, <= 1440x1152
+VBV_HIGH_LEVEL = 9_781_248  # MP@HL, everything above
+
+
+def vbv_buffer_for(spec: StreamSpec) -> int:
+    """The level-appropriate VBV buffer for a stream's raster."""
+    if spec.width <= 720 and spec.height <= 576:
+        return VBV_MAIN_LEVEL
+    if spec.width <= 1440 and spec.height <= 1152:
+        return VBV_HIGH_1440
+    return VBV_HIGH_LEVEL
+
+
+class AdmissionController:
+    """Pure decision function over (spec, pool state)."""
+
+    def __init__(
+        self,
+        capacity_mpps: float,
+        queue_slots: int = 4,
+        vbv_buffer_bits: Optional[int] = None,  # None: per-spec ISO level
+        vbv_initial_delay: Optional[float] = None,  # None: planner picks it
+    ):
+        if capacity_mpps <= 0:
+            raise ValueError("pool capacity must be positive")
+        self.capacity_mpps = capacity_mpps
+        self.queue_slots = queue_slots
+        self.vbv_buffer_bits = vbv_buffer_bits
+        self.vbv_initial_delay = vbv_initial_delay
+
+    # ------------------------------------------------------------------ #
+
+    def _vbv_check(self, spec: StreamSpec) -> Dict[str, float]:
+        """Replay the spec's modeled picture sizes through the VBV.
+
+        The encoder owns ``vbv_delay``, so by default conformance means
+        *some* startup fill works (:func:`plan_initial_fill`); a stream is
+        only refused when no fill can avoid underflow/overflow — e.g. an
+        I-picture bigger than the level's whole buffer.  A fixed
+        ``vbv_initial_delay`` pins the fill instead (the stricter check
+        the admission unit tests exercise).
+        """
+        buffer_bits = (
+            self.vbv_buffer_bits
+            if self.vbv_buffer_bits is not None
+            else vbv_buffer_for(spec)
+        )
+        types = spec.picture_types()
+        sizes = [int(8 * spec.picture_bytes(t)) for t in types]
+        bit_rate = spec.bit_rate_mbps * 1e6
+        if self.vbv_initial_delay is not None:
+            delay = self.vbv_initial_delay
+        else:
+            fill = plan_initial_fill(
+                sizes, bit_rate, spec.fps, buffer_bits=buffer_bits
+            )
+            if fill is None:
+                # no feasible vbv_delay at all: report the least-bad fill
+                delay = buffer_bits / bit_rate
+            else:
+                delay = fill / bit_rate
+        res = simulate_vbv(
+            sizes,
+            bit_rate=bit_rate,
+            fps=spec.fps,
+            buffer_bits=buffer_bits,
+            initial_delay=delay,
+        )
+        return {
+            "underflows": len(res.underflows),
+            "overflows": len(res.overflows),
+            "peak_occupancy_bits": round(res.peak_occupancy),
+            "buffer_bits": buffer_bits,
+            "initial_delay_s": round(delay, 4),
+        }
+
+    def evaluate(self, spec: StreamSpec, pool: PoolView) -> AdmissionDecision:
+        """Decide for one submission against the current pool state."""
+        if spec.width <= 0 or spec.height <= 0 or spec.fps <= 0 or spec.bpp <= 0:
+            return AdmissionDecision(
+                action="reject",
+                reason=REJECT_BAD_SPEC,
+                detail="width/height/fps/bpp must all be positive",
+            )
+        demand = spec.demand_mpps
+        retry = pool.soonest_finish_s if pool.soonest_finish_s is not None else 1.0
+
+        if demand > self.capacity_mpps:
+            # No amount of waiting helps: the stream alone exceeds the pool.
+            return AdmissionDecision(
+                action="reject",
+                reason=REJECT_OVERSIZE,
+                detail=(
+                    f"stream needs {demand:.2f} Mpixel/s, pool capacity is "
+                    f"{self.capacity_mpps:.2f}"
+                ),
+                demand_mpps=demand,
+                utilization=(pool.active_demand_mpps + demand) / self.capacity_mpps,
+            )
+
+        vbv = self._vbv_check(spec)
+        if vbv["underflows"] or vbv["overflows"]:
+            return AdmissionDecision(
+                action="reject",
+                reason=REJECT_VBV,
+                detail=(
+                    f"VBV model fails at {spec.bit_rate_mbps:.1f} Mb/s with a "
+                    f"{vbv['buffer_bits']} bit buffer: "
+                    f"{vbv['underflows']} underflow(s), "
+                    f"{vbv['overflows']} overflow(s)"
+                ),
+                demand_mpps=demand,
+                vbv=vbv,
+            )
+
+        utilization = (pool.active_demand_mpps + demand) / self.capacity_mpps
+        if utilization <= 1.0:
+            return AdmissionDecision(
+                action="accept",
+                reason=OK,
+                demand_mpps=demand,
+                utilization=utilization,
+                vbv=vbv,
+            )
+        if pool.queued < self.queue_slots:
+            return AdmissionDecision(
+                action="queue",
+                reason=QUEUED_CAPACITY,
+                detail=(
+                    f"pool at {pool.active_demand_mpps / self.capacity_mpps:.0%}, "
+                    f"queued behind {pool.queued} session(s)"
+                ),
+                retry_after_s=retry,
+                demand_mpps=demand,
+                utilization=utilization,
+                vbv=vbv,
+            )
+        return AdmissionDecision(
+            action="reject",
+            reason=REJECT_QUEUE_FULL,
+            detail=f"backlog full ({pool.queued}/{self.queue_slots} slots)",
+            retry_after_s=retry,
+            demand_mpps=demand,
+            utilization=utilization,
+            vbv=vbv,
+        )

@@ -1,0 +1,154 @@
+"""Client for the wall service: ``repro submit`` / ``repro sessions``.
+
+A thin, blocking RPC wrapper: resolve the daemon's address from the run
+directory (same rendezvous convention as cluster workers), dial with the
+transport's retry/backoff policy, then exchange one request frame for
+one response frame per call.  Every method returns plain dicts — the
+protocol's JSON documents — so the CLI can print them directly and tests
+can assert on them.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.net.channel import Address, ChannelTimeout, ConnectPolicy, connect
+from repro.service.daemon import SERVICE_NAME
+from repro.service.protocol import (
+    SVC_REQUEST,
+    SVC_RESPONSE,
+    VERB_CANCEL,
+    VERB_LIST,
+    VERB_PING,
+    VERB_SHUTDOWN,
+    VERB_STATUS,
+    VERB_SUBMIT,
+    ProtocolError,
+    decode_response,
+    encode_request,
+)
+from repro.workloads.streams import StreamSpec
+
+
+class ServiceError(RuntimeError):
+    """The daemon answered ``ok=false``."""
+
+
+def resolve_service(
+    rundir: Path, transport: str = "unix", timeout: float = 10.0
+) -> Address:
+    """The daemon's address, per the run-directory rendezvous convention."""
+    rundir = Path(rundir)
+    if transport == "unix":
+        return ("unix", str(rundir / f"{SERVICE_NAME}.sock"))
+    path = rundir / f"{SERVICE_NAME}.addr"
+    deadline = time.monotonic() + timeout
+    while not path.exists():
+        if time.monotonic() >= deadline:
+            raise ChannelTimeout(f"no address published for {SERVICE_NAME!r}")
+        time.sleep(0.02)
+    host, port = path.read_text().split()
+    return ("tcp", host, int(port))
+
+
+class ServiceClient:
+    """One connection to a running wall service."""
+
+    def __init__(
+        self,
+        rundir: Path,
+        transport: str = "unix",
+        connect_timeout: float = 10.0,
+        request_timeout: float = 60.0,
+        heartbeat_interval: float = 0.25,
+        policy: Optional[ConnectPolicy] = None,
+    ):
+        self.request_timeout = request_timeout
+        address = resolve_service(rundir, transport, connect_timeout)
+        self.channel = connect(
+            address,
+            timeout=connect_timeout,
+            policy=policy or ConnectPolicy(),
+            name="svc-client",
+        )
+        self.channel.start_heartbeat(heartbeat_interval)
+
+    def close(self) -> None:
+        self.channel.close()
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------ #
+
+    def request(
+        self, verb: str, fields: Dict[str, Any], blob: bytes = b""
+    ) -> Dict[str, Any]:
+        """One round-trip; raises :class:`ServiceError` on ``ok=false``."""
+        self.channel.send(SVC_REQUEST, encode_request(verb, fields, blob))
+        msg = self.channel.recv(timeout=self.request_timeout)
+        if msg.type != SVC_RESPONSE:
+            raise ProtocolError(f"expected a response frame, got type {msg.type}")
+        doc = decode_response(msg.payload)
+        if not doc["ok"]:
+            raise ServiceError(doc.get("error", "request failed"))
+        return doc
+
+    # ------------------------------------------------------------------ #
+
+    def ping(self) -> Dict[str, Any]:
+        return self.request(VERB_PING, {})
+
+    def submit(
+        self,
+        spec: StreamSpec,
+        stream: bytes = b"",
+        name: Optional[str] = None,
+        weight: float = 1.0,
+        slowdown_s: float = 0.0,
+        n_frames: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        """Submit a session; returns ``{"sid": ..., "admission": {...}}``
+        (no ``sid`` when admission rejected)."""
+        fields: Dict[str, Any] = {
+            "spec": spec.to_dict(),
+            "weight": weight,
+            "slowdown_s": slowdown_s,
+        }
+        if name is not None:
+            fields["name"] = name
+        if n_frames is not None:
+            fields["n_frames"] = n_frames
+        return self.request(VERB_SUBMIT, fields, stream)
+
+    def status(self, sid: int) -> Dict[str, Any]:
+        return self.request(VERB_STATUS, {"sid": sid})["session"]
+
+    def cancel(self, sid: int, reason: str = "cancelled by client") -> Dict[str, Any]:
+        return self.request(VERB_CANCEL, {"sid": sid, "reason": reason})
+
+    def list_sessions(self) -> list:
+        return self.request(VERB_LIST, {})["sessions"]
+
+    def shutdown(self, reason: str = "client request") -> Dict[str, Any]:
+        return self.request(VERB_SHUTDOWN, {"reason": reason})
+
+    def wait(
+        self, sid: int, timeout: float = 120.0, poll: float = 0.1
+    ) -> Dict[str, Any]:
+        """Poll until the session reaches a terminal state."""
+        deadline = time.monotonic() + timeout
+        while True:
+            summary = self.status(sid)
+            if summary["state"] in ("completed", "cancelled", "failed"):
+                return summary
+            if time.monotonic() >= deadline:
+                raise ChannelTimeout(
+                    f"session {sid} still {summary['state']} after {timeout:.0f}s"
+                )
+            time.sleep(poll)

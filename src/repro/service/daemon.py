@@ -1,0 +1,516 @@
+"""The wall-service daemon: ``repro serve``.
+
+One long-lived process owning a fixed worker pool.  Clients connect over
+the cluster's socket transport (unix or tcp, resolved through the run
+directory exactly like cluster workers find each other), speak the
+versioned :mod:`repro.service.protocol`, and get back structured
+answers.  Internally:
+
+- every accepted connection gets a handler thread (requests on one
+  connection are serialized, connections are independent);
+- ``submit`` runs the :class:`AdmissionController`; accepted sessions
+  join the :class:`PoolScheduler`, queued ones wait in FIFO order and
+  are promoted as capacity frees up;
+- ``workers`` pool threads pull picture leases from the scheduler and
+  run them through each session's paced decoder;
+- everything lands in ``service.trace.jsonl`` in the run directory —
+  per-picture ``decode`` spans, ``drop`` instants, and one
+  ``session_summary`` per finished session — so ``repro trace-report``
+  attributes stalls and drops per session with no extra plumbing.
+
+Submissions carry either a raw MPEG-2 bitstream blob or just a
+:class:`StreamSpec`; in the latter case the daemon synthesizes a scaled
+stream from the spec's generator family (admission still prices the
+*full-resolution* spec — the paper's wall is driven by model streams
+whose decode cost the test rig scales down).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import asdict, dataclass
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.net.channel import (
+    Channel,
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    Listener,
+)
+from repro.perf.telemetry import maybe_emit_stats, registry
+from repro.perf.trace import TraceWriter
+from repro.service.admission import AdmissionController, PoolView
+from repro.service.pacer import LadderConfig
+from repro.service.protocol import (
+    SVC_REQUEST,
+    SVC_RESPONSE,
+    VERB_CANCEL,
+    VERB_LIST,
+    VERB_PING,
+    VERB_SHUTDOWN,
+    VERB_STATUS,
+    VERB_SUBMIT,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode_response,
+)
+from repro.service.scheduler import PoolScheduler
+from repro.service.session import Session, SessionState
+from repro.workloads.streams import StreamSpec
+
+SERVICE_NAME = "service"
+TRACE_FILE = "service.trace.jsonl"
+
+
+@dataclass
+class ServiceConfig:
+    """Everything ``repro serve`` needs beyond the run directory."""
+
+    capacity_mpps: float = 400.0  # pool decode capacity (admission currency)
+    workers: int = 2  # pool threads actually decoding
+    queue_slots: int = 4  # admission backlog bound
+    transport: str = "unix"  # "unix" | "tcp"
+    heartbeat_interval: float = 0.25
+    dead_after: float = 10.0
+    idle_timeout: float = 0.2  # worker poll period when the pool is idle
+    enter_levels: tuple = (1.0, 3.0, 6.0)  # ladder thresholds, frame periods
+    exit_hysteresis: float = 0.5
+    lookahead: int = 2  # decode-ahead pictures per session
+    synth_max_width: int = 96  # raster cap for spec-synthesized streams
+    max_blob_bytes: int = 256 * 1024 * 1024
+    telemetry: bool = True
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("pool needs at least one worker")
+        if self.transport not in ("unix", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+
+    def ladder(self) -> LadderConfig:
+        return LadderConfig(
+            enter_levels=tuple(self.enter_levels),
+            exit_hysteresis=self.exit_hysteresis,
+            lookahead=self.lookahead,
+        )
+
+    def to_dict(self) -> dict:
+        d = asdict(self)
+        d["enter_levels"] = list(self.enter_levels)
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "ServiceConfig":
+        d = dict(data)
+        if "enter_levels" in d:
+            d["enter_levels"] = tuple(d["enter_levels"])
+        return cls(**d)
+
+
+class WallService:
+    """The daemon: listener + handler threads + worker pool + admission."""
+
+    def __init__(self, rundir: Path, config: Optional[ServiceConfig] = None):
+        self.rundir = Path(rundir)
+        self.config = config or ServiceConfig()
+        self.admission = AdmissionController(
+            capacity_mpps=self.config.capacity_mpps,
+            queue_slots=self.config.queue_slots,
+        )
+        self.scheduler = PoolScheduler()
+        self.sessions: Dict[int, Session] = {}
+        self.backlog: List[Session] = []  # FIFO admission queue
+        self._lock = threading.Lock()
+        self._next_sid = 1
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._listener: Optional[Listener] = None
+        self.tracer: Optional[TraceWriter] = None
+        self.started_at = 0.0
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self):
+        assert self._listener is not None
+        return self._listener.address
+
+    def start(self) -> None:
+        self.rundir.mkdir(parents=True, exist_ok=True)
+        self.tracer = TraceWriter(
+            self.rundir / TRACE_FILE, SERVICE_NAME, spans=self.config.telemetry
+        )
+        if self.config.transport == "unix":
+            self._listener = Listener(
+                ("unix", str(self.rundir / f"{SERVICE_NAME}.sock"))
+            )
+        else:
+            self._listener = Listener(("tcp", "127.0.0.1", 0))
+            host, port = self._listener.address[1], self._listener.address[2]
+            tmp = self.rundir / f"{SERVICE_NAME}.addr.tmp"
+            tmp.write_text(f"{host} {port}")
+            tmp.rename(self.rundir / f"{SERVICE_NAME}.addr")  # atomic publish
+        self.started_at = time.monotonic()
+        self.tracer.emit(
+            "service_start",
+            capacity_mpps=self.config.capacity_mpps,
+            workers=self.config.workers,
+            queue_slots=self.config.queue_slots,
+            transport=self.config.transport,
+        )
+        accept = threading.Thread(target=self._accept_loop, name="svc-accept", daemon=True)
+        accept.start()
+        self._threads.append(accept)
+        for w in range(self.config.workers):
+            t = threading.Thread(
+                target=self._worker_loop, name=f"svc-worker{w}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, reason: str = "requested") -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        self.scheduler.close()
+        if self._listener is not None:
+            self._listener.close()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        with self._lock:
+            leftovers = [
+                s
+                for s in self.sessions.values()
+                if s.state in (SessionState.RUNNING, SessionState.QUEUED)
+            ]
+        for s in leftovers:
+            s.cancel(f"service stopped: {reason}")
+            self._emit_summary(s)
+        if self.tracer is not None:
+            self.tracer.emit("service_stop", reason=reason)
+            self.tracer.close()
+
+    def serve_forever(self) -> None:
+        """Block until :meth:`stop` (the CLI foreground mode)."""
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            self.stop("interrupted")
+
+    def __enter__(self) -> "WallService":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # admission + pool state
+    # ------------------------------------------------------------------ #
+
+    def _pool_view(self) -> PoolView:
+        running = [
+            s for s in self.sessions.values() if s.state is SessionState.RUNNING
+        ]
+        soonest = min(
+            (s.playout_remaining_s() for s in running), default=None
+        )
+        return PoolView(
+            active_demand_mpps=sum(s.spec.demand_mpps for s in running),
+            queued=len(self.backlog),
+            soonest_finish_s=soonest,
+        )
+
+    def _admit_locked(self, session: Session) -> None:
+        """Start a session on the pool (caller holds ``self._lock``)."""
+        session.start(time.monotonic())
+        self.scheduler.add(session)
+        if self.tracer is not None:
+            self.tracer.emit(
+                "session_start",
+                sid=session.sid,
+                name=session.name,
+                demand_mpps=round(session.spec.demand_mpps, 4),
+                weight=session.weight,
+                pictures=session.decoder.n_pictures,
+            )
+
+    def _promote_locked(self) -> None:
+        """Pull queued sessions onto the pool while capacity allows."""
+        while self.backlog:
+            head = self.backlog[0]
+            if head.state is not SessionState.QUEUED:
+                self.backlog.pop(0)  # cancelled while waiting
+                continue
+            active = sum(
+                s.spec.demand_mpps
+                for s in self.sessions.values()
+                if s.state is SessionState.RUNNING
+            )
+            if active + head.spec.demand_mpps > self.config.capacity_mpps:
+                break
+            self.backlog.pop(0)
+            self._admit_locked(head)
+
+    def _retire(self, session: Session) -> None:
+        """A session reached a terminal state: summarize and free capacity."""
+        with self._lock:
+            if getattr(session, "_svc_retired", False):
+                return  # cancel and worker completion can race here
+            session._svc_retired = True
+            if session in self.backlog:
+                self.backlog.remove(session)
+        self.scheduler.remove(session)
+        self._emit_summary(session)
+        # per-session metric names are transient: prune so a long-lived
+        # daemon's stats snapshots don't grow with every session served
+        registry().prune(f"session.{session.sid}.")
+        with self._lock:
+            self._promote_locked()
+        self.scheduler.kick()
+
+    def _emit_summary(self, session: Session) -> None:
+        if self.tracer is not None:
+            self.tracer.emit("session_summary", **session.summary())
+
+    # ------------------------------------------------------------------ #
+    # worker pool
+    # ------------------------------------------------------------------ #
+
+    def _worker_loop(self) -> None:
+        while not self._stop.is_set():
+            session = self.scheduler.next_lease(timeout=self.config.idle_timeout)
+            if session is None:
+                continue
+            t0 = time.perf_counter()
+            error: Optional[str] = None
+            try:
+                session.run_one(tracer=self.tracer)
+            except Exception as exc:  # noqa: BLE001 - a session must not kill the pool
+                error = f"{type(exc).__name__}: {exc}"
+            cost = time.perf_counter() - t0
+            self.scheduler.complete(session, cost)
+            reg = registry()
+            reg.counter(f"session.{session.sid}.leases").inc()
+            reg.counter(f"session.{session.sid}.busy_s").inc(cost)
+            reg.counter("pool.leases").inc()
+            reg.counter("pool.busy_s").inc(cost)
+            if self.tracer is not None:
+                maybe_emit_stats(self.tracer, interval=1.0)
+            if error is not None:
+                session.finish(SessionState.FAILED, error)
+                self._retire(session)
+            elif session.state is SessionState.CANCELLED:
+                self._retire(session)
+            elif session.decoder is not None and session.decoder.done:
+                session.finish(SessionState.COMPLETED)
+                self._retire(session)
+
+    # ------------------------------------------------------------------ #
+    # request handling
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        n = 0
+        while not self._stop.is_set():
+            try:
+                ch = self._listener.accept(
+                    timeout=0.25, dead_after=self.config.dead_after
+                )
+            except ChannelTimeout:
+                continue
+            except (ChannelError, OSError):
+                if self._stop.is_set():
+                    return
+                continue
+            ch.name = f"svc-conn{n}"
+            ch.start_heartbeat(self.config.heartbeat_interval)
+            t = threading.Thread(
+                target=self._handle_connection,
+                args=(ch,),
+                name=f"svc-conn{n}",
+                daemon=True,
+            )
+            t.start()
+            n += 1
+
+    def _handle_connection(self, ch: Channel) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    msg = ch.recv(timeout=0.5)
+                except ChannelTimeout:
+                    continue
+                if msg.type != SVC_REQUEST:
+                    ch.send(
+                        SVC_RESPONSE,
+                        encode_response(
+                            False, {}, error=f"unexpected message type {msg.type}"
+                        ),
+                    )
+                    continue
+                try:
+                    verb, fields, blob = decode_request(msg.payload)
+                    reply = self._dispatch(verb, fields, blob)
+                except ProtocolError as exc:
+                    reply = encode_response(False, {}, error=str(exc))
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    reply = encode_response(
+                        False, {}, error=f"{type(exc).__name__}: {exc}"
+                    )
+                ch.send(SVC_RESPONSE, reply)
+                if self._stop.is_set():
+                    return
+        except (ChannelClosed, ChannelError):
+            pass
+        finally:
+            ch.close()
+
+    def _dispatch(self, verb: str, fields: dict, blob: bytes) -> bytes:
+        if verb == VERB_PING:
+            return encode_response(True, self._info())
+        if verb == VERB_SUBMIT:
+            return self._do_submit(fields, blob)
+        if verb == VERB_STATUS:
+            return self._do_status(fields)
+        if verb == VERB_CANCEL:
+            return self._do_cancel(fields)
+        if verb == VERB_LIST:
+            with self._lock:
+                sessions = [s.summary() for s in self.sessions.values()]
+            return encode_response(True, {"sessions": sessions})
+        if verb == VERB_SHUTDOWN:
+            reason = fields.get("reason", "client request")
+            threading.Thread(
+                target=self.stop, args=(reason,), name="svc-stop", daemon=True
+            ).start()
+            return encode_response(True, {"stopping": True, "reason": reason})
+        return encode_response(False, {}, error=f"unhandled verb {verb!r}")
+
+    def _info(self) -> dict:
+        with self._lock:
+            view = self._pool_view()
+            states: Dict[str, int] = {}
+            for s in self.sessions.values():
+                states[s.state.value] = states.get(s.state.value, 0) + 1
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "uptime_s": round(time.monotonic() - self.started_at, 3),
+            "capacity_mpps": self.config.capacity_mpps,
+            "active_demand_mpps": round(view.active_demand_mpps, 4),
+            "utilization": round(
+                view.active_demand_mpps / self.config.capacity_mpps, 4
+            ),
+            "workers": self.config.workers,
+            "queued": view.queued,
+            "sessions": states,
+            "leases": self.scheduler.leases,
+        }
+
+    # ------------------------------------------------------------------ #
+    # verbs
+    # ------------------------------------------------------------------ #
+
+    def _do_submit(self, fields: dict, blob: bytes) -> bytes:
+        if "spec" not in fields:
+            raise ProtocolError("submit needs a 'spec' field")
+        spec = StreamSpec.from_dict(fields["spec"])
+        weight = float(fields.get("weight", 1.0))
+        slowdown = float(fields.get("slowdown_s", 0.0))
+        name = str(fields.get("name", spec.name))
+        if len(blob) > self.config.max_blob_bytes:
+            raise ProtocolError(
+                f"bitstream blob exceeds {self.config.max_blob_bytes} bytes"
+            )
+        if weight <= 0:
+            raise ProtocolError("weight must be positive")
+
+        with self._lock:
+            decision = self.admission.evaluate(spec, self._pool_view())
+            if decision.action == "reject":
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "admission_reject", name=name, **decision.to_dict()
+                    )
+                return encode_response(True, {"admission": decision.to_dict()})
+
+        # Synthesize outside the lock: encoding is the expensive part.
+        stream = blob if blob else self._synthesize(spec, fields)
+
+        with self._lock:
+            # Re-evaluate: the pool may have changed while we encoded.
+            decision = self.admission.evaluate(spec, self._pool_view())
+            if decision.action == "reject":
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "admission_reject", name=name, **decision.to_dict()
+                    )
+                return encode_response(True, {"admission": decision.to_dict()})
+            sid = self._next_sid
+            self._next_sid += 1
+            session = Session(
+                sid=sid,
+                name=name,
+                spec=spec,
+                stream=stream,
+                weight=weight,
+                slowdown_s=slowdown,
+                ladder=self.config.ladder(),
+            )
+            self.sessions[sid] = session
+            if decision.action == "accept":
+                self._admit_locked(session)
+            else:
+                self.backlog.append(session)
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "session_queued", sid=sid, name=name, **decision.to_dict()
+                    )
+        return encode_response(
+            True, {"sid": sid, "admission": decision.to_dict()}
+        )
+
+    def _synthesize(self, spec: StreamSpec, fields: dict) -> bytes:
+        """Encode a scaled synthetic stream matching the spec's profile."""
+        from repro.mpeg2.encoder import Encoder, EncoderConfig
+
+        n_frames = int(fields.get("n_frames", min(spec.n_frames, 48)))
+        frames = spec.synthetic_frames(
+            n_frames, max_width=self.config.synth_max_width
+        )
+        cfg = EncoderConfig(gop_size=spec.gop_size, b_frames=spec.b_frames)
+        return Encoder(cfg).encode(frames)
+
+    def _get_session(self, fields: dict) -> Session:
+        try:
+            sid = int(fields["sid"])
+        except (KeyError, TypeError, ValueError):
+            raise ProtocolError("need an integer 'sid'")
+        with self._lock:
+            session = self.sessions.get(sid)
+        if session is None:
+            raise ProtocolError(f"no session {sid}")
+        return session
+
+    def _do_status(self, fields: dict) -> bytes:
+        session = self._get_session(fields)
+        return encode_response(True, {"session": session.summary()})
+
+    def _do_cancel(self, fields: dict) -> bytes:
+        session = self._get_session(fields)
+        reason = str(fields.get("reason", "cancelled by client"))
+        changed = session.cancel(reason)
+        if changed and not session.in_flight:
+            # not mid-picture on a worker: retire immediately
+            self._retire(session)
+        self.scheduler.kick()
+        return encode_response(
+            True, {"sid": session.sid, "cancelled": changed}
+        )

@@ -1,0 +1,141 @@
+"""Real-time pacing and the graceful-degradation ladder.
+
+A batch decoder free-runs; a wall session must *present* pictures on the
+stream's clock.  :class:`SessionPacer` pins every coded picture ``i`` to a
+presentation deadline ``t0 + (i + 1) / fps`` and gates decode-ahead: the
+scheduler may not start picture ``i`` before ``deadline(i) - lookahead``
+frame periods, so an idle pool does not race a session minutes ahead of
+its presentation point (that is the virtual-frame-buffer decoupling of
+arXiv:2009.03368 — producers run on the wall's clock, not the CPU's).
+
+When decode falls *behind* the clock, the pacer sheds work instead of
+letting latency grow without bound.  Lateness, measured in frame periods,
+drives a three-level ladder with hysteresis:
+
+- **level 1** — skip B-pictures (reference-safe: nothing predicts from B);
+- **level 2** — additionally skip the *tail* P-pictures of each GOP (the
+  later a P, the fewer pictures depend on it; the head of the GOP keeps
+  motion alive);
+- **level 3** — decode keyframes only.
+
+I-pictures are never dropped: every level keeps the refresh anchor, so a
+degraded session recovers to full quality at the next GOP instead of
+carrying corruption forward.  The ladder steps down only when lateness has
+shrunk below ``exit_hysteresis`` of the entry threshold — a session
+oscillating near a boundary degrades once, not every other frame.
+
+The classes are clock-free (callers pass ``now``), so tests drive them
+deterministically with a fake clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.mpeg2.constants import PictureType
+
+#: Ladder levels, for reporting.
+LEVEL_NAMES = ("full", "skip-b", "skip-p-tail", "keyframes-only")
+
+
+@dataclass(frozen=True)
+class LadderConfig:
+    """Degradation tuning, all in units of frame periods."""
+
+    enter_levels: Tuple[float, float, float] = (1.0, 3.0, 6.0)
+    exit_hysteresis: float = 0.5  # leave a level below enter * hysteresis
+    lookahead: int = 2  # pictures of decode-ahead the gate allows
+
+    def __post_init__(self) -> None:
+        if list(self.enter_levels) != sorted(self.enter_levels):
+            raise ValueError("ladder thresholds must be non-decreasing")
+        if not 0.0 <= self.exit_hysteresis < 1.0:
+            raise ValueError("exit_hysteresis must be in [0, 1)")
+        if self.lookahead < 1:
+            raise ValueError("need at least one picture of decode-ahead")
+
+
+class DegradationLadder:
+    """Hysteretic lateness → level mapping plus the per-type drop policy."""
+
+    def __init__(self, config: LadderConfig = LadderConfig()):
+        self.config = config
+        self.level = 0
+        self.peak_level = 0
+        self.transitions = 0
+
+    def update(self, lateness_periods: float) -> int:
+        """Advance the ladder for the observed lateness; returns the level."""
+        enter = self.config.enter_levels
+        target_up = 0
+        for lvl, threshold in enumerate(enter, start=1):
+            if lateness_periods > threshold:
+                target_up = lvl
+        if target_up > self.level:
+            self.level = target_up
+        else:
+            # step down one level at a time, only once clearly recovered
+            while self.level > 0:
+                floor = enter[self.level - 1] * self.config.exit_hysteresis
+                if lateness_periods >= floor:
+                    break
+                self.level -= 1
+        if self.level != getattr(self, "_prev_level", 0):
+            self.transitions += 1
+        self._prev_level = self.level
+        self.peak_level = max(self.peak_level, self.level)
+        return self.level
+
+    def should_drop(self, ptype: PictureType, gop_pos: int, gop_size: int) -> bool:
+        """The drop policy at the current level.  Never drops I."""
+        if ptype == PictureType.I:
+            return False
+        if self.level >= 3:
+            return True
+        if self.level >= 2 and ptype == PictureType.P and gop_pos >= gop_size // 2:
+            return True
+        if self.level >= 1 and ptype == PictureType.B:
+            return True
+        return False
+
+
+class SessionPacer:
+    """Presentation clock for one session's coded pictures."""
+
+    def __init__(self, fps: float, config: LadderConfig = LadderConfig()):
+        if fps <= 0:
+            raise ValueError("fps must be positive")
+        self.period = 1.0 / fps
+        self.config = config
+        self.ladder = DegradationLadder(config)
+        self.t0: float = 0.0
+        self.started = False
+
+    def start(self, now: float) -> None:
+        self.t0 = now
+        self.started = True
+
+    def deadline(self, i: int) -> float:
+        """Presentation instant of coded picture ``i``."""
+        return self.t0 + (i + 1) * self.period
+
+    def gate_time(self, i: int) -> float:
+        """Earliest instant decode of picture ``i`` may start (anti-free-run)."""
+        return max(self.t0, self.deadline(i) - self.config.lookahead * self.period)
+
+    def lateness_periods(self, i: int, now: float) -> float:
+        """How far past picture ``i``'s deadline the clock already is."""
+        return (now - self.deadline(i)) / self.period
+
+    def decide(
+        self,
+        i: int,
+        ptype: PictureType,
+        gop_pos: int,
+        gop_size: int,
+        now: float,
+    ) -> Tuple[bool, int]:
+        """``(drop, level)`` for picture ``i`` about to be processed."""
+        level = self.ladder.update(self.lateness_periods(i, now))
+        return self.ladder.should_drop(ptype, gop_pos, gop_size), level

@@ -1,0 +1,128 @@
+"""Versioned request/response codec for the wall service.
+
+Requests and responses travel as single frames on the cluster's
+length-prefixed socket transport (:mod:`repro.net.channel`).  Framing
+inside the payload follows the no-pickle style of
+:mod:`repro.mpeg2.plan_codec`: a fixed struct header, a JSON control
+document, then an opaque binary tail (the submitted bitstream) appended
+raw — never pickled, because service clients are *not* processes this
+package spawned itself.
+
+Payload layout (little-endian)::
+
+    version   u16   PROTOCOL_VERSION
+    json_len  u32   length of the UTF-8 JSON document
+    json      ...   control fields ("verb" for requests, "ok" for responses)
+    blob      ...   remaining bytes, opaque binary (may be empty)
+
+A version mismatch raises :class:`ProtocolVersionError` on the receiving
+side before any field is interpreted, so old clients fail with a clear
+error instead of a key error deep in a handler.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, Dict, Tuple
+
+PROTOCOL_VERSION = 1
+
+#: Channel message types (application numbering starts at 1 per channel;
+#: the service has its own listener, but stay clear of the cluster range).
+SVC_REQUEST = 32
+SVC_RESPONSE = 33
+
+#: Request verbs — the session-manager surface.
+VERB_SUBMIT = "submit"
+VERB_STATUS = "status"
+VERB_CANCEL = "cancel"
+VERB_LIST = "list"
+VERB_PING = "ping"
+VERB_SHUTDOWN = "shutdown"
+
+KNOWN_VERBS = (
+    VERB_SUBMIT,
+    VERB_STATUS,
+    VERB_CANCEL,
+    VERB_LIST,
+    VERB_PING,
+    VERB_SHUTDOWN,
+)
+
+_HEAD = "<HI"
+_HEAD_SIZE = struct.calcsize(_HEAD)
+
+
+class ProtocolError(RuntimeError):
+    """Malformed service payload."""
+
+
+class ProtocolVersionError(ProtocolError):
+    """The peer speaks a different protocol version."""
+
+
+def _encode(doc: Dict[str, Any], blob: bytes = b"") -> bytes:
+    body = json.dumps(doc, sort_keys=True).encode("utf-8")
+    return struct.pack(_HEAD, PROTOCOL_VERSION, len(body)) + body + blob
+
+
+def _decode(payload: bytes) -> Tuple[Dict[str, Any], bytes]:
+    if len(payload) < _HEAD_SIZE:
+        raise ProtocolError(f"service payload truncated ({len(payload)} bytes)")
+    version, json_len = struct.unpack_from(_HEAD, payload)
+    if version != PROTOCOL_VERSION:
+        raise ProtocolVersionError(
+            f"peer speaks protocol v{version}, this side v{PROTOCOL_VERSION}"
+        )
+    body = payload[_HEAD_SIZE : _HEAD_SIZE + json_len]
+    if len(body) != json_len:
+        raise ProtocolError("service payload shorter than its declared JSON")
+    try:
+        doc = json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"unparsable service JSON: {exc}") from exc
+    if not isinstance(doc, dict):
+        raise ProtocolError("service JSON must be an object")
+    return doc, payload[_HEAD_SIZE + json_len :]
+
+
+# ------------------------------- requests -------------------------------- #
+
+
+def encode_request(verb: str, fields: Dict[str, Any], blob: bytes = b"") -> bytes:
+    if verb not in KNOWN_VERBS:
+        raise ProtocolError(f"unknown verb {verb!r}")
+    doc = dict(fields)
+    doc["verb"] = verb
+    return _encode(doc, blob)
+
+
+def decode_request(payload: bytes) -> Tuple[str, Dict[str, Any], bytes]:
+    """Return ``(verb, fields, blob)``; rejects unknown verbs."""
+    doc, blob = _decode(payload)
+    verb = doc.pop("verb", None)
+    if verb not in KNOWN_VERBS:
+        raise ProtocolError(f"unknown verb {verb!r}")
+    return verb, doc, blob
+
+
+# ------------------------------- responses ------------------------------- #
+
+
+def encode_response(ok: bool, fields: Dict[str, Any], error: str = "") -> bytes:
+    doc = dict(fields)
+    doc["ok"] = bool(ok)
+    if error:
+        doc["error"] = error
+    return _encode(doc)
+
+
+def decode_response(payload: bytes) -> Dict[str, Any]:
+    """Return the response document (always carries ``ok``)."""
+    doc, blob = _decode(payload)
+    if blob:
+        raise ProtocolError("service responses carry no binary tail")
+    if "ok" not in doc:
+        raise ProtocolError("service response missing 'ok'")
+    return doc

@@ -1,0 +1,121 @@
+"""Weighted-fair, work-conserving lease scheduler for the worker pool.
+
+The pool is a fixed set of decode workers; sessions are multiplexed over
+it one *picture lease* at a time.  Fairness is stride scheduling on
+virtual time: each session carries ``vt``, and completing a lease that
+cost ``c`` seconds of worker time advances it by ``c / weight``.  The
+next lease always goes to the runnable session with the smallest ``vt``,
+so over any window each session receives worker time proportional to its
+weight — a weight-2 session decodes twice the pictures of a weight-1
+session under contention, and an idle session's backlog never starves
+the others (its ``vt`` freezes while it has nothing runnable).
+
+"Runnable" folds in the pacer's gate: a session whose next picture is
+not yet inside its decode-ahead window is invisible to the scheduler, so
+the pool stays work-conserving — capacity flows to whoever can use it
+*now*, and nobody races ahead of their presentation clock.
+
+The scheduler is duck-typed over its sessions (anything with ``vt``,
+``weight``, ``in_flight``, ``wants_lease(now)``, ``gate_time()``), so
+the fairness unit tests drive it with stubs and a fake clock.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, List, Optional
+
+
+class PoolScheduler:
+    """Pick-next-lease arbitration between sessions sharing the pool."""
+
+    def __init__(self, now_fn: Callable[[], float] = time.monotonic):
+        self._now = now_fn
+        self._lock = threading.Lock()
+        self._cond = threading.Condition(self._lock)
+        self._sessions: List = []
+        self._closed = False
+        self.leases = 0
+        self.idle_waits = 0
+
+    # ------------------------------------------------------------------ #
+
+    def add(self, session) -> None:
+        with self._cond:
+            # late joiners start at the pool's current virtual time, not 0,
+            # or one new session would monopolize the pool to "catch up"
+            floor = min((s.vt for s in self._sessions), default=0.0)
+            session.vt = max(session.vt, floor)
+            self._sessions.append(session)
+            self._cond.notify_all()
+
+    def remove(self, session) -> None:
+        with self._cond:
+            if session in self._sessions:
+                self._sessions.remove(session)
+            self._cond.notify_all()
+
+    def kick(self) -> None:
+        """Wake waiters after external state changes (cancel, promote)."""
+        with self._cond:
+            self._cond.notify_all()
+
+    def close(self) -> None:
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    @property
+    def sessions(self) -> List:
+        with self._lock:
+            return list(self._sessions)
+
+    # ------------------------------------------------------------------ #
+
+    def _pick(self, now: float):
+        """Min-vt runnable session, or (None, earliest-gate) if none."""
+        best = None
+        next_gate: Optional[float] = None
+        for s in self._sessions:
+            if s.wants_lease(now):
+                if best is None or (s.vt, s.gate_time()) < (best.vt, best.gate_time()):
+                    best = s
+            elif not s.in_flight:
+                gate = s.gate_time()
+                if gate > now and (next_gate is None or gate < next_gate):
+                    next_gate = gate
+        return best, next_gate
+
+    def next_lease(self, timeout: float = 1.0):
+        """Block until a session is runnable; lease its next picture.
+
+        Returns the session with ``in_flight`` set (the caller *must*
+        pair it with :meth:`complete`), or ``None`` on timeout/close.
+        """
+        deadline = self._now() + timeout
+        with self._cond:
+            while not self._closed:
+                now = self._now()
+                best, next_gate = self._pick(now)
+                if best is not None:
+                    best.in_flight = True
+                    self.leases += 1
+                    return best
+                remaining = deadline - now
+                if remaining <= 0:
+                    self.idle_waits += 1
+                    return None
+                # sleep until a gate opens, a kick arrives, or we time out
+                wait = remaining
+                if next_gate is not None:
+                    wait = min(wait, max(1e-4, next_gate - now))
+                self._cond.wait(timeout=wait)
+            return None
+
+    def complete(self, session, cost_s: float) -> None:
+        """Return a lease, charging ``cost_s`` of worker time to it."""
+        with self._cond:
+            session.in_flight = False
+            session.vt += max(0.0, cost_s) / session.weight
+            self._cond.notify_all()

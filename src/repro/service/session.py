@@ -1,0 +1,391 @@
+"""Session state and the incremental, drop-capable decode engine.
+
+A :class:`Session` is one admitted stream: its spec, its pacer, its
+counters, and a :class:`PacedStreamDecoder` that decodes the stream one
+coded picture at a time so the scheduler can interleave many sessions on
+one worker pool and the pacer can skip pictures.
+
+Skipping is **reference-safe**: dropping a B-picture touches nothing
+(no picture predicts from a B); dropping a P-picture poisons the
+prediction chain, so the decoder marks the GOP *broken* and force-drops
+every later non-I picture of that GOP even if the ladder has recovered —
+a degraded wall shows a held frame, never corrupted pixels.  I-pictures
+re-anchor the chain and are never dropped.
+
+The decoder reuses the real machinery (:class:`PictureScanner`,
+:class:`MacroblockParser`, :func:`reconstruct_picture`) — a session's
+output frames are bit-identical to the sequential decoder's whenever
+nothing was dropped, which the service tests assert.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional
+
+from repro.bitstream import BitReader
+from repro.mpeg2.constants import PICTURE_START_CODE, PictureType
+from repro.mpeg2.decoder import reconstruct_picture
+from repro.mpeg2.frames import Frame
+from repro.mpeg2.parser import MacroblockParser, PictureScanner
+from repro.mpeg2.structures import PictureHeader
+from repro.perf.telemetry import Histogram
+from repro.service.pacer import LadderConfig, SessionPacer
+from repro.workloads.streams import StreamSpec
+
+
+def peek_picture_type(data: bytes) -> PictureType:
+    """Read a picture unit's coding type from its header — no VLC work."""
+    br = BitReader(data)
+    code = br.next_start_code()
+    if code != PICTURE_START_CODE:
+        raise ValueError("picture unit does not start with a picture start code")
+    return PictureHeader.parse(br).picture_type
+
+
+@dataclass(frozen=True)
+class PictureMeta:
+    """Drop-decision inputs for one coded picture, computed up front."""
+
+    ptype: PictureType
+    gop_pos: int  # coded position within its GOP
+    gop_size: int  # coded pictures in that GOP
+
+
+@dataclass
+class StepResult:
+    """What one decode step did."""
+
+    index: int
+    ptype: PictureType
+    decoded: bool
+    forced: bool = False  # dropped because the reference chain was broken
+    frame: Optional[Frame] = None  # display-order output, when one emerged
+
+
+class PacedStreamDecoder:
+    """Decode a stream picture-by-picture with reference-safe drops."""
+
+    def __init__(self, stream: bytes, batch_reconstruct: bool = True):
+        self.sequence, self.pictures = PictureScanner(stream).scan()
+        self.parser = MacroblockParser(self.sequence)
+        self.batch_reconstruct = batch_reconstruct
+        self.meta: List[PictureMeta] = self._scan_meta()
+        self._held: Optional[Frame] = None
+        self._prev_anchor: Optional[Frame] = None
+        self._broken = False
+        self.next_index = 0
+
+    def _scan_meta(self) -> List[PictureMeta]:
+        """Peek every picture's type and GOP position (header-only parse)."""
+        metas: List[PictureMeta] = []
+        starts: List[int] = []
+        for i, unit in enumerate(self.pictures):
+            if unit.new_gop or i == 0:
+                starts.append(i)
+        starts.append(len(self.pictures))
+        bounds = {}
+        for s, e in zip(starts, starts[1:]):
+            for i in range(s, e):
+                bounds[i] = (i - s, e - s)
+        for i, unit in enumerate(self.pictures):
+            pos, size = bounds[i]
+            metas.append(
+                PictureMeta(
+                    ptype=peek_picture_type(unit.data), gop_pos=pos, gop_size=size
+                )
+            )
+        return metas
+
+    @property
+    def n_pictures(self) -> int:
+        return len(self.pictures)
+
+    @property
+    def done(self) -> bool:
+        return self.next_index >= len(self.pictures)
+
+    def step(self, drop: bool) -> StepResult:
+        """Process the next coded picture; ``drop`` is the pacer's wish."""
+        i = self.next_index
+        meta = self.meta[i]
+        self.next_index += 1
+        ptype = meta.ptype
+
+        if ptype == PictureType.I:
+            self._broken = False  # keyframes re-anchor a poisoned chain
+        forced = not drop and self._broken and ptype != PictureType.I
+        if drop and ptype == PictureType.I:
+            raise ValueError("the ladder never drops I-pictures")
+
+        if drop or forced:
+            if ptype == PictureType.P:
+                self._broken = True
+            return StepResult(index=i, ptype=ptype, decoded=False, forced=forced)
+
+        parsed = self.parser.parse_picture(self.pictures[i].data)
+        if ptype == PictureType.B:
+            frame = reconstruct_picture(
+                parsed,
+                self.sequence,
+                self._prev_anchor,
+                self._held,
+                batch=self.batch_reconstruct,
+            )
+            return StepResult(index=i, ptype=ptype, decoded=True, frame=frame)
+        fwd = self._held if ptype == PictureType.P else None
+        frame = reconstruct_picture(
+            parsed, self.sequence, fwd, None, batch=self.batch_reconstruct
+        )
+        out = self._held
+        self._prev_anchor = self._held
+        self._held = frame
+        return StepResult(index=i, ptype=ptype, decoded=True, frame=out)
+
+    def flush(self) -> Optional[Frame]:
+        """The final held anchor, once every picture has been stepped."""
+        out, self._held = self._held, None
+        return out
+
+
+# --------------------------------------------------------------------- #
+# session
+# --------------------------------------------------------------------- #
+
+
+class SessionState(str, Enum):
+    QUEUED = "queued"
+    RUNNING = "running"
+    COMPLETED = "completed"
+    CANCELLED = "cancelled"
+    FAILED = "failed"
+
+
+#: Latency histogram bounds: 0.1 ms .. ~30 s, geometric.
+_LATENCY_BOUNDS = tuple(1e-4 * (10 ** (i / 4)) for i in range(22))
+
+
+@dataclass
+class SessionCounters:
+    """Every number the session accounts; feeds ``session_summary``."""
+
+    decoded: Dict[str, int] = field(
+        default_factory=lambda: {"I": 0, "P": 0, "B": 0}
+    )
+    dropped_b: int = 0
+    dropped_p: int = 0
+    forced_drops: int = 0  # subset of the above: reference-chain casualties
+    late_frames: int = 0  # decoded but past their presentation deadline
+    released: int = 0  # display slots served (decoded frames shipped)
+
+    @property
+    def total_decoded(self) -> int:
+        return sum(self.decoded.values())
+
+    @property
+    def total_dropped(self) -> int:
+        return self.dropped_b + self.dropped_p
+
+
+class Session:
+    """One admitted stream working its way through the pool."""
+
+    def __init__(
+        self,
+        sid: int,
+        name: str,
+        spec: StreamSpec,
+        stream: bytes,
+        weight: float = 1.0,
+        slowdown_s: float = 0.0,
+        ladder: LadderConfig = LadderConfig(),
+        batch_reconstruct: bool = True,
+    ):
+        if weight <= 0:
+            raise ValueError("session weight must be positive")
+        self.sid = sid
+        self.name = name
+        self.spec = spec
+        self.stream = stream
+        self.weight = weight
+        self.slowdown_s = slowdown_s
+        self.batch_reconstruct = batch_reconstruct
+        self.state = SessionState.QUEUED
+        self.reason = ""
+        self.pacer = SessionPacer(spec.fps, ladder)
+        self.counters = SessionCounters()
+        self.latency = Histogram(_LATENCY_BOUNDS)
+        self.decoder: Optional[PacedStreamDecoder] = None
+        self.submitted_at = time.time()
+        self.started_mono: Optional[float] = None
+        self.finished_mono: Optional[float] = None
+        # scheduler bookkeeping
+        self.vt = 0.0  # weight-scaled virtual time (stride scheduling)
+        self.in_flight = False
+        self._lock = threading.Lock()
+
+    # ----------------------------- scheduling ------------------------- #
+
+    def wants_lease(self, now: float) -> bool:
+        """Runnable right now: active, not leased, next picture gated open."""
+        if self.state is not SessionState.RUNNING or self.in_flight:
+            return False
+        if self.decoder is not None and self.decoder.done:
+            return False
+        return self.gate_time() <= now
+
+    def gate_time(self) -> float:
+        """Earliest instant the next picture may start (pacer gate)."""
+        if self.decoder is None or not self.pacer.started:
+            return 0.0
+        return self.pacer.gate_time(self.decoder.next_index)
+
+    # ----------------------------- lifecycle -------------------------- #
+
+    def start(self, now: float) -> None:
+        """Admission → running: open the decoder and start the clock."""
+        self.decoder = PacedStreamDecoder(
+            self.stream, batch_reconstruct=self.batch_reconstruct
+        )
+        self.pacer.start(now)
+        self.state = SessionState.RUNNING
+        self.started_mono = now
+
+    def cancel(self, reason: str = "cancelled by client") -> bool:
+        with self._lock:
+            if self.state in (
+                SessionState.COMPLETED,
+                SessionState.CANCELLED,
+                SessionState.FAILED,
+            ):
+                return False
+            self.state = SessionState.CANCELLED
+            self.reason = reason
+            return True
+
+    def finish(self, state: SessionState, reason: str = "") -> None:
+        with self._lock:
+            if self.state in (SessionState.CANCELLED, SessionState.FAILED):
+                pass  # terminal states win over a racing completion
+            else:
+                self.state = state
+            if reason:
+                self.reason = reason
+            self.finished_mono = time.monotonic()
+
+    # ----------------------------- execution -------------------------- #
+
+    def run_one(self, tracer=None, now_fn=time.monotonic) -> StepResult:
+        """Decode or drop the next picture.  Runs on a pool worker under a
+        scheduler lease; emits per-picture spans and drop events."""
+        assert self.decoder is not None
+        i = self.decoder.next_index
+        meta = self.decoder.meta[i]
+        now = now_fn()
+        drop, level = self.pacer.decide(
+            i, meta.ptype, meta.gop_pos, meta.gop_size, now
+        )
+        gate = self.pacer.gate_time(i)
+        if drop:
+            res = self.decoder.step(drop=True)
+        else:
+            span = (
+                tracer.span("decode", picture=i, sid=self.sid)
+                if tracer is not None
+                else _NULL
+            )
+            with span:
+                res = self.decoder.step(drop=False)
+                if res.decoded and self.slowdown_s > 0:
+                    # documented load-generation knob: simulates a heavier
+                    # codec so tests/benchmarks oversubscribe deterministically
+                    time.sleep(self.slowdown_s)
+        done = now_fn()
+        if res.decoded:
+            self.latency.observe(max(0.0, done - gate))
+            if done > self.pacer.deadline(i):
+                self.counters.late_frames += 1
+            self.counters.decoded[res.ptype.name] += 1
+            if res.frame is not None:
+                self.counters.released += 1
+        else:
+            if res.ptype == PictureType.B:
+                self.counters.dropped_b += 1
+            else:
+                self.counters.dropped_p += 1
+            if res.forced:
+                self.counters.forced_drops += 1
+            if tracer is not None:
+                tracer.emit(
+                    "drop",
+                    picture=i,
+                    sid=self.sid,
+                    ptype=res.ptype.name,
+                    level=level,
+                    forced=res.forced,
+                )
+        if self.decoder.done:
+            tail = self.decoder.flush()
+            if tail is not None:
+                self.counters.released += 1
+        return res
+
+    # ----------------------------- reporting -------------------------- #
+
+    @property
+    def progress(self) -> float:
+        if self.decoder is None or self.decoder.n_pictures == 0:
+            return 0.0
+        return self.decoder.next_index / self.decoder.n_pictures
+
+    def playout_remaining_s(self) -> float:
+        """Presentation time left — admission's retry-after estimate."""
+        if self.decoder is None:
+            return self.spec.n_frames / self.spec.fps
+        left = self.decoder.n_pictures - self.decoder.next_index
+        return left / self.spec.fps
+
+    def summary(self) -> Dict:
+        c = self.counters
+        lat = self.latency.to_dict()
+        dur = None
+        if self.started_mono is not None:
+            end = self.finished_mono or time.monotonic()
+            dur = round(end - self.started_mono, 6)
+        return {
+            "sid": self.sid,
+            "name": self.name,
+            "state": self.state.value,
+            "reason": self.reason,
+            "weight": self.weight,
+            "demand_mpps": round(self.spec.demand_mpps, 4),
+            "pictures": self.decoder.n_pictures if self.decoder else 0,
+            "processed": self.decoder.next_index if self.decoder else 0,
+            "decoded": dict(c.decoded),
+            "released": c.released,
+            "dropped_b": c.dropped_b,
+            "dropped_p": c.dropped_p,
+            "forced_drops": c.forced_drops,
+            "late_frames": c.late_frames,
+            "peak_degrade_level": self.pacer.ladder.peak_level,
+            "degrade_transitions": self.pacer.ladder.transitions,
+            "latency_p50_ms": round(1e3 * self.latency.percentile(50), 3),
+            "latency_p95_ms": round(1e3 * self.latency.percentile(95), 3),
+            "latency_p99_ms": round(1e3 * self.latency.percentile(99), 3),
+            "latency_count": lat.get("count", 0),
+            "duration_s": dur,
+        }
+
+
+class _NullCtx:
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        pass
+
+
+_NULL = _NullCtx()

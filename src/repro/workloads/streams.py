@@ -84,6 +84,50 @@ class StreamSpec:
         """Nominal bitstream rate at the native frame rate."""
         return self.n_pixels * self.bpp * self.fps / 1e6
 
+    @property
+    def demand_mpps(self) -> float:
+        """Decode demand in megapixels/second — the admission controller's
+        capacity currency (pixel throughput, not channel bits)."""
+        return self.n_pixels * self.fps / 1e6
+
+    # ------------------------------------------------------------------ #
+    # wire round-trip (the service protocol ships specs, never pickles)
+    # ------------------------------------------------------------------ #
+
+    def to_dict(self) -> dict:
+        d = {
+            "sid": self.sid,
+            "name": self.name,
+            "width": self.width,
+            "height": self.height,
+            "fps": self.fps,
+            "bpp": self.bpp,
+            "motion_pixels": self.motion_pixels,
+            "n_frames": self.n_frames,
+            "gop_size": self.gop_size,
+            "b_frames": self.b_frames,
+            "content": self.content,
+        }
+        if self.detail.concentration > 0:
+            d["detail"] = {
+                "center": list(self.detail.center),
+                "sigma_frac": self.detail.sigma_frac,
+                "concentration": self.detail.concentration,
+            }
+        return d
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "StreamSpec":
+        d = dict(data)
+        detail = d.pop("detail", None)
+        if detail is not None:
+            d["detail"] = DetailProfile(
+                center=tuple(detail.get("center", (0.5, 0.5))),
+                sigma_frac=detail.get("sigma_frac", 0.2),
+                concentration=detail.get("concentration", 0.0),
+            )
+        return cls(**d)
+
     # ------------------------------------------------------------------ #
     # picture-type sequence and per-type sizes
     # ------------------------------------------------------------------ #

@@ -8,6 +8,7 @@ import pytest
 from repro.net.channel import (
     ChannelClosed,
     ChannelTimeout,
+    ConnectPolicy,
     CreditGate,
     CreditTimeout,
     Listener,
@@ -314,6 +315,55 @@ class TestTimeoutsAndRetry:
         with pytest.raises(ChannelTimeout):
             connect(("unix", str(tmp_path / "nobody.sock")), timeout=0.5)
         assert time.monotonic() - t0 < 5
+
+
+class TestConnectPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConnectPolicy(retry_interval=0.0)
+        with pytest.raises(ValueError):
+            ConnectPolicy(max_interval=-1.0)
+        with pytest.raises(ValueError):
+            ConnectPolicy(backoff=0.9)  # would shrink the retry interval
+
+    def test_policy_drives_connect(self, tmp_path):
+        """A slow policy really does slow the retry loop down."""
+        lazy = ConnectPolicy(retry_interval=0.4, backoff=1.0, max_interval=0.4)
+        t0 = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            connect(
+                ("unix", str(tmp_path / "nobody.sock")),
+                timeout=0.6,
+                policy=lazy,
+            )
+        # one attempt, one 0.4 s sleep, then the deadline cuts it off
+        assert time.monotonic() - t0 >= 0.4
+
+    def test_kwargs_override_policy_fields(self, tmp_path):
+        lazy = ConnectPolicy(retry_interval=5.0, backoff=1.0, max_interval=5.0)
+        t0 = time.monotonic()
+        with pytest.raises(ChannelTimeout):
+            connect(
+                ("unix", str(tmp_path / "nobody.sock")),
+                timeout=0.3,
+                policy=lazy,
+                retry_interval=0.01,
+                max_interval=0.02,
+            )
+        assert time.monotonic() - t0 < 2.0
+
+    def test_wallconfig_maps_to_policy(self):
+        from repro.cluster.runtime import WallConfig
+
+        cfg = WallConfig(
+            connect_retry_interval=0.05,
+            connect_backoff=2.0,
+            connect_max_interval=0.3,
+        )
+        p = cfg.connect_policy
+        assert p == ConnectPolicy(
+            retry_interval=0.05, backoff=2.0, max_interval=0.3
+        )
 
 
 class TestPeerDeath:

@@ -177,3 +177,41 @@ class TestFailureHandling:
         _, _, rundir = wall_run
         leftovers = [p for p in os.listdir(rundir) if p.endswith(".sock")]
         assert leftovers == []
+
+
+class TestShutdownAPI:
+    def test_shutdown_interrupts_a_run_and_is_idempotent(self, tmp_path):
+        """shutdown(reason=...) mid-decode: the decode thread surfaces a
+        ClusterError, no child survives, the reason lands in the trace,
+        and calling it again is a no-op."""
+        import threading
+
+        clip = moving_pattern_frames(96, 64, 40, seed=7)
+        stream = Encoder(EncoderConfig(gop_size=5, b_frames=2)).encode(clip)
+        sup = ClusterSupervisor(
+            WallConfig(m=2, n=1, k=1, transport="unix"), trace_dir=str(tmp_path)
+        )
+        outcome = {}
+
+        def run():
+            try:
+                outcome["frames"] = sup.decode(stream, timeout=120.0)
+            except ClusterError as exc:
+                outcome["error"] = exc
+
+        t = threading.Thread(target=run)
+        t.start()
+        deadline = time.monotonic() + 60.0
+        while len(sup.processes) < 4 and time.monotonic() < deadline:
+            time.sleep(0.02)  # wait for the tree to spawn
+        assert len(sup.processes) == 4
+        sup.shutdown(reason="session cancelled")
+        sup.shutdown(reason="second call must be a no-op")
+        t.join(timeout=60.0)
+        assert not t.is_alive()
+        assert "error" in outcome, "shutdown did not interrupt the decode"
+        for name, proc in sup.processes.items():
+            assert proc.poll() is not None, f"{name} survived shutdown"
+        events = read_trace_file(tmp_path / "supervisor.trace.jsonl")
+        requested = [e for e in events if e.event == "shutdown_requested"]
+        assert [e.data["reason"] for e in requested] == ["session cancelled"]

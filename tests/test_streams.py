@@ -58,6 +58,42 @@ class TestTable4:
             stream_by_id(17)
 
 
+class TestWireAndDemand:
+    """The service ships specs over the wire and prices them by demand."""
+
+    def test_to_dict_from_dict_roundtrip(self):
+        for s in TABLE4_STREAMS:
+            again = StreamSpec.from_dict(s.to_dict())
+            assert again == s
+
+    def test_roundtrip_survives_json(self):
+        import json
+
+        s = stream_by_id(13)  # orion1 carries a detail profile
+        again = StreamSpec.from_dict(json.loads(json.dumps(s.to_dict())))
+        assert again.detail == s.detail
+        assert again == s
+
+    def test_plain_spec_omits_detail(self):
+        d = stream_by_id(5).to_dict()
+        assert "detail" not in d  # uniform streams stay compact on the wire
+
+    def test_demand_is_pixel_rate(self):
+        s = stream_by_id(5)  # 1280x720 @ 30
+        assert s.demand_mpps == pytest.approx(1280 * 720 * 30 / 1e6)
+        # demand is decode work: independent of compression ratio
+        assert stream_by_id(1).demand_mpps == stream_by_id(2).demand_mpps
+
+    def test_bit_rate_scales_with_bpp_and_fps(self):
+        s = stream_by_id(5)
+        assert s.bit_rate_mbps == pytest.approx(1280 * 720 * 0.30 * 30 / 1e6)
+        # fish4 is the same raster at 60 fps: twice the rate and demand
+        assert stream_by_id(8).bit_rate_mbps == pytest.approx(
+            2 * s.bit_rate_mbps
+        )
+        assert stream_by_id(8).demand_mpps == pytest.approx(2 * s.demand_mpps)
+
+
 class TestPictureModel:
     def test_gop_pattern(self):
         s = stream_by_id(8)
