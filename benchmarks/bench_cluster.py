@@ -40,16 +40,18 @@ WIDTH, HEIGHT, N_FRAMES = 1920, 1088, 4
 GOP_SIZE, B_FRAMES = 4, 1
 OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_cluster.json"
 
-#: (label, m, n, ship_plans, telemetry) — 1, 2 and 4 tile-decoder processes
-#: with plan shipping, the 4-process bitstream fallback for the attribution
-#: comparison, and a telemetry-off 4-process run so the JSON carries a
-#: before/after measurement of the span-instrumentation overhead.
+#: (label, m, n, ship_plans, telemetry, use_shm_pool) — 1, 2 and 4
+#: tile-decoder processes with plan shipping, the 4-process bitstream
+#: fallback for the attribution comparison, a telemetry-off 4-process run
+#: measuring the span-instrumentation overhead, and a pool-off 4-process
+#: run so the JSON carries the shared-memory zero-copy delta.
 CLUSTER_GRIDS = [
-    ("cluster_1proc", 1, 1, True, True),
-    ("cluster_2proc", 2, 1, True, True),
-    ("cluster_4proc", 2, 2, True, True),
-    ("cluster_4proc_bitstream", 2, 2, False, True),
-    ("cluster_4proc_notelemetry", 2, 2, True, False),
+    ("cluster_1proc", 1, 1, True, True, True),
+    ("cluster_2proc", 2, 1, True, True, True),
+    ("cluster_4proc", 2, 2, True, True, True),
+    ("cluster_4proc_bitstream", 2, 2, False, True, True),
+    ("cluster_4proc_notelemetry", 2, 2, True, False, True),
+    ("cluster_4proc_nopool", 2, 2, True, True, False),
 ]
 
 
@@ -60,7 +62,13 @@ def run_cluster_bench() -> dict:
     ).encode(frames)
     reference = decode_stream(stream)
 
-    cores = os.cpu_count()
+    # The affinity mask, not the box's core count: under cgroup/taskset
+    # restriction os.cpu_count() overstates what the fleet can actually
+    # use, and the honesty checks below key off this number.
+    if hasattr(os, "sched_getaffinity"):
+        cores = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count()
     report = {
         "stream": {
             "width": WIDTH,
@@ -96,11 +104,14 @@ def run_cluster_bench() -> dict:
     out = ThreadedParallelDecoder(layout, k=1).decode(stream, timeout=600)
     record("threaded_2x2", out, time.perf_counter() - t0, {"processes": 1, "threads": 6})
 
-    for name, m, n, ship_plans, telemetry in CLUSTER_GRIDS:
+    for name, m, n, ship_plans, telemetry, use_shm_pool in CLUSTER_GRIDS:
         sup = ClusterSupervisor(
             WallConfig(
                 m=m, n=n, k=1, transport="unix",
                 ship_plans=ship_plans, telemetry=telemetry,
+                use_shm_pool=use_shm_pool,
+                # Only pins when the affinity mask offers >= 2 cores.
+                pin_cores=True,
             )
         )
         t0 = time.perf_counter()
@@ -124,6 +135,7 @@ def run_cluster_bench() -> dict:
                 "processes": 2 + m * n,
                 "ship_plans": ship_plans,
                 "telemetry": telemetry,
+                "use_shm_pool": use_shm_pool,
                 "decoder_stage_s": round(sup.stage_times.total, 4),
                 "decoder_pictures": sup.stage_times.pictures,
                 "decoder_parse_s": round(sup.stage_times.parse, 4),
@@ -137,6 +149,13 @@ def run_cluster_bench() -> dict:
     on = report["modes"]["cluster_4proc"]["wall_s"]
     off = report["modes"]["cluster_4proc_notelemetry"]["wall_s"]
     report["telemetry_overhead_pct"] = round(100.0 * (on - off) / off, 2)
+
+    # Shared-memory pool delta: negative means by-handle shipping beat
+    # by-value socket copies on this box.  Recorded, not asserted —
+    # the win scales with frame bytes, not with protocol chatter.
+    pool_on = report["modes"]["cluster_4proc"]["wall_s"]
+    pool_off = report["modes"]["cluster_4proc_nopool"]["wall_s"]
+    report["shm_pool_delta_pct"] = round(100.0 * (pool_on - pool_off) / pool_off, 2)
 
     return report
 

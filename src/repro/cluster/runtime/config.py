@@ -58,6 +58,20 @@ class WallConfig:
     teardown_kill_s: float = 3.0
     fail_at: Optional[str] = None
     telemetry: bool = True
+    # Shared-memory frame pool (repro.mem): when on, unix-socket peers
+    # negotiate handle-bearing payloads at HELLO time and the high-volume
+    # messages (plans, boundary blocks, tile crops) travel as ~30-byte
+    # handles into pool slabs instead of copies.  TCP peers and exhausted
+    # pools fall back to by-value automatically, so this flag never
+    # affects output — only copies.  ``pool_token`` is minted by the
+    # supervisor per run (workers inherit it through cluster.json) and
+    # scopes both the segment names and the crash-safe purge.
+    use_shm_pool: bool = True
+    shm_dir: Optional[str] = None
+    pool_token: str = ""
+    # Pin each worker process to one core (round-robin over the
+    # affinity mask) so the scheduler cannot stack decoders on one core.
+    pin_cores: bool = False
 
     def __post_init__(self) -> None:
         if self.m < 1 or self.n < 1:
@@ -81,6 +95,16 @@ class WallConfig:
             backoff=self.connect_backoff,
             max_interval=self.connect_max_interval,
         )
+
+    @property
+    def pool_enabled(self) -> bool:
+        """Whether this run may negotiate shared-memory handles at all.
+
+        A unix-socket transport proves every peer shares the host (and
+        hence the shm namespace); TCP peers may be remote, so they always
+        ship by value.
+        """
+        return self.use_shm_pool and self.transport == "unix"
 
     # ------------------------------------------------------------------ #
 

@@ -15,10 +15,11 @@ from __future__ import annotations
 import json
 import pickle
 import struct
-from typing import Tuple
+from typing import Optional, Tuple
 
 import numpy as np
 
+from repro.mem import Handle
 from repro.mpeg2 import plan_codec
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.motion import Rect
@@ -44,16 +45,39 @@ MSG_EOS = 9  # end of stream, cascaded down the tree          (empty)
 MSG_ERROR = 10  # any worker -> collector: fatal diagnostic   (json)
 MSG_PLAN = 11  # splitter -> decoder: compiled plan + MEI     (struct+arrays+pickle)
 
+# Handle-bearing twins of the three high-volume payloads.  Same metadata
+# headers as the by-value forms, but the pixels/arrays live in a
+# shared-memory pool slab (repro.mem) and only a ~30-byte Handle crosses
+# the socket.  Negotiated per channel at HELLO time; TCP peers and
+# pool-exhausted sends fall back to the by-value types above.
+MSG_PLAN_H = 12  # splitter -> decoder: plan handle + MEI     (struct+handle+pickle)
+MSG_BLOCK_H = 13  # decoder -> decoder: reference pixel handle (struct+handle)
+MSG_FRAME_H = 14  # decoder -> collector: tile crop handle    (struct+handle)
+
 
 # ------------------------------ hello ----------------------------------- #
+#
+# HELLO is exchanged symmetrically: the dialer announces itself, the
+# accepter replies with its own HELLO.  Both carry a ``features`` dict so
+# either end can tell whether its peer accepts shared-memory handles
+# (``{"shm_pool": true}``); an empty/absent dict means by-value only,
+# which keeps old and new peers interoperable.
 
 
-def encode_hello(name: str) -> bytes:
-    return json.dumps({"name": name}).encode()
+def encode_hello(name: str, features: Optional[dict] = None) -> bytes:
+    rec = {"name": name}
+    if features:
+        rec["features"] = features
+    return json.dumps(rec).encode()
 
 
 def decode_hello(payload: bytes) -> str:
     return json.loads(payload.decode())["name"]
+
+
+def decode_hello_full(payload: bytes) -> Tuple[str, dict]:
+    rec = json.loads(payload.decode())
+    return rec["name"], rec.get("features", {})
 
 
 # --------------------------- control payloads --------------------------- #
@@ -129,6 +153,34 @@ def decode_plan_msg(
     return anid, expected, tp, program
 
 
+_PLAN_H_HEAD = "<HH"  # anid, expected_recvs
+
+
+def encode_plan_hmsg(anid: int, handle: Handle, program: MEIProgram) -> bytes:
+    """MSG_PLAN_H payload: the plan already sits in a pool slab (written
+    there with :func:`~repro.mpeg2.plan_codec.encode_plan_into`); only
+    anid + handle + the small pickled MEI program cross the wire."""
+    head = struct.pack(_PLAN_H_HEAD, anid, len(program.recvs))
+    return (
+        head
+        + handle.pack()
+        + pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
+    )
+
+
+def decode_plan_hmsg(payload: bytes) -> Tuple[int, int, Handle, MEIProgram]:
+    """Return ``(anid, expected_recvs, handle, program)``.
+
+    The caller views the handle through its :class:`~repro.mem.PoolRegistry`
+    and decodes the slab with the ordinary ``decode_plan`` — the slab
+    layout is byte-identical to the by-value wire payload.
+    """
+    anid, expected = struct.unpack_from(_PLAN_H_HEAD, payload)
+    handle, off = Handle.unpack(payload, struct.calcsize(_PLAN_H_HEAD))
+    program = pickle.loads(payload[off:])
+    return anid, expected, handle, program
+
+
 def encode_error(proc: str, error: str) -> bytes:
     return json.dumps({"proc": proc, "error": error}).encode()
 
@@ -171,20 +223,23 @@ def encode_block(block: PixelBlock) -> bytes:
     return head + b"".join(planes)
 
 
-def decode_block(payload: bytes) -> PixelBlock:
-    vals = struct.unpack_from(_BLOCK_FMT, payload)
+def _block_from(vals, planes_buf, planes_off: int) -> PixelBlock:
+    """Build a PixelBlock from unpacked header values + a plane buffer
+    (the socket payload tail, or a shared-memory slab view)."""
     src, dest, direction = vals[0], vals[1], vals[2]
     luma = Rect(vals[3], vals[4], vals[5], vals[6])
     chroma = Rect(vals[7], vals[8], vals[9], vals[10])
     flags = vals[11]
-    off = struct.calcsize(_BLOCK_FMT)
+    off = planes_off
 
     def take(rect: Rect, present: bool):
         nonlocal off
         if not present:
             return None
         h, w = _rect_shape(rect)
-        plane = np.frombuffer(payload, dtype=np.uint8, count=h * w, offset=off)
+        plane = np.frombuffer(
+            planes_buf, dtype=np.uint8, count=h * w, offset=off
+        )
         off += h * w
         return plane.reshape(h, w)
 
@@ -199,6 +254,59 @@ def decode_block(payload: bytes) -> PixelBlock:
         cb=cb,
         cr=cr,
     )
+
+
+def decode_block(payload: bytes) -> PixelBlock:
+    vals = struct.unpack_from(_BLOCK_FMT, payload)
+    return _block_from(vals, payload, struct.calcsize(_BLOCK_FMT))
+
+
+def block_nbytes(block: PixelBlock) -> int:
+    """Plane payload bytes of one block (slab lease sizing)."""
+    return sum(p.nbytes for p in (block.y, block.cb, block.cr) if p is not None)
+
+
+def write_block_into(block: PixelBlock, buf) -> int:
+    """Write the block's planes into a pool slab; returns bytes written."""
+    off = 0
+    for p in (block.y, block.cb, block.cr):
+        if p is None:
+            continue
+        dst = np.frombuffer(buf, dtype=np.uint8, count=p.nbytes, offset=off)
+        np.copyto(dst.reshape(p.shape), p)
+        off += p.nbytes
+    return off
+
+
+def encode_block_hmsg(block: PixelBlock, handle: Handle) -> bytes:
+    """MSG_BLOCK_H payload: the by-value header + the slab handle; the
+    planes were already written with :func:`write_block_into`."""
+    lr, cr_ = block.xfer.luma, block.xfer.chroma
+    flags = (
+        (1 if block.y is not None else 0)
+        | (2 if block.cb is not None else 0)
+        | (4 if block.cr is not None else 0)
+    )
+    head = struct.pack(
+        _BLOCK_FMT,
+        block.src,
+        block.dest,
+        block.xfer.direction,
+        lr.x0, lr.y0, lr.x1, lr.y1,
+        cr_.x0, cr_.y0, cr_.x1, cr_.y1,
+        flags,
+    )
+    return head + handle.pack()
+
+
+def decode_block_hmsg(payload: bytes, view_fn) -> Tuple[PixelBlock, Handle]:
+    """Decode a handle-bearing block; ``view_fn`` maps Handle -> memoryview
+    (a :meth:`~repro.mem.PoolRegistry.view` bound method).  The returned
+    planes are zero-copy views into the slab — release the handle only
+    after they have been applied."""
+    vals = struct.unpack_from(_BLOCK_FMT, payload)
+    handle, _off = Handle.unpack(payload, struct.calcsize(_BLOCK_FMT))
+    return _block_from(vals, view_fn(handle), 0), handle
 
 
 # ------------------------- tile-frame payload --------------------------- #
@@ -237,3 +345,61 @@ def decode_tile_frame(payload: bytes) -> Tuple[int, Rect, np.ndarray, np.ndarray
     cb = take(ch * cw, (ch, cw))
     cr = take(ch * cw, (ch, cw))
     return tid, rect, y, cb, cr
+
+
+def tile_frame_nbytes(partition: Rect) -> int:
+    """Crop payload bytes for one tile frame (slab lease sizing)."""
+    h, w = partition.y1 - partition.y0, partition.x1 - partition.x0
+    return h * w + 2 * (h // 2) * (w // 2)
+
+
+def write_tile_frame_into(frame: Frame, partition: Rect, buf) -> int:
+    """Copy the tile's authoritative crop straight into a pool slab.
+
+    One strided copy per plane, from the decoder's frame into shared
+    memory — the collector pastes from the slab with no socket transfer.
+    """
+    p = partition
+    h, w = p.y1 - p.y0, p.x1 - p.x0
+    ch, cw = h // 2, w // 2
+    off = 0
+    for src, (ph, pw) in (
+        (frame.y[p.y0 : p.y1, p.x0 : p.x1], (h, w)),
+        (frame.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2], (ch, cw)),
+        (frame.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2], (ch, cw)),
+    ):
+        dst = np.frombuffer(buf, dtype=np.uint8, count=ph * pw, offset=off)
+        np.copyto(dst.reshape(ph, pw), src)
+        off += ph * pw
+    return off
+
+
+def encode_tile_frame_hmsg(tid: int, partition: Rect, handle: Handle) -> bytes:
+    p = partition
+    head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1)
+    return head + handle.pack()
+
+
+def decode_tile_frame_hmsg(
+    payload: bytes, view_fn
+) -> Tuple[int, Rect, np.ndarray, np.ndarray, np.ndarray, Handle]:
+    """Handle-bearing tile crop; plane arrays are zero-copy slab views, so
+    release the handle only after they have been pasted."""
+    tid, x0, y0, x1, y1 = struct.unpack_from(_FRAME_FMT, payload)
+    rect = Rect(x0, y0, x1, y1)
+    handle, _off = Handle.unpack(payload, struct.calcsize(_FRAME_FMT))
+    view = view_fn(handle)
+    h, w = y1 - y0, x1 - x0
+    ch, cw = h // 2, w // 2
+    off = 0
+
+    def take(n, shape):
+        nonlocal off
+        plane = np.frombuffer(view, dtype=np.uint8, count=n, offset=off)
+        off += n
+        return plane.reshape(shape)
+
+    y = take(h * w, (h, w))
+    cb = take(ch * cw, (ch, cw))
+    cr = take(ch * cw, (ch, cw))
+    return tid, rect, y, cb, cr, handle

@@ -39,32 +39,46 @@ from repro.cluster.runtime.config import WallConfig
 from repro.cluster.runtime.messages import (
     MSG_ACK,
     MSG_BLOCK,
+    MSG_BLOCK_H,
     MSG_CREDIT,
     MSG_EOS,
     MSG_ERROR,
     MSG_FRAME,
+    MSG_FRAME_H,
     MSG_HELLO,
     MSG_PICTURE,
     MSG_PLAN,
+    MSG_PLAN_H,
     MSG_SEQ,
     MSG_SUBPICTURE,
+    block_nbytes,
     decode_block,
-    decode_hello,
+    decode_block_hmsg,
+    decode_hello_full,
     decode_picture,
+    decode_plan_hmsg,
     decode_plan_msg,
     decode_sequence,
     decode_subpicture,
     encode_block,
+    encode_block_hmsg,
     encode_error,
     encode_hello,
     encode_picture,
+    encode_plan_hmsg,
     encode_plan_msg,
     encode_sequence,
     encode_subpicture,
     encode_tile_frame,
+    encode_tile_frame_hmsg,
+    tile_frame_nbytes,
+    write_block_into,
+    write_tile_frame_into,
 )
+from repro.mem import FramePool, PoolError, PoolExhausted, PoolRegistry
+from repro.mpeg2 import plan_codec
 from repro.mpeg2.parser import PictureScanner
-from repro.mpeg2.plan_codec import buffers_nbytes
+from repro.mpeg2.plan_codec import buffers_nbytes, plan_nbytes
 from repro.net.channel import (
     Address,
     Channel,
@@ -81,6 +95,7 @@ from repro.parallel.subpicture import SubPicture
 from repro.perf.telemetry import (
     emit_stats,
     maybe_emit_stats,
+    registry,
     stage_span_block,
     traced_stage,
 )
@@ -145,22 +160,40 @@ class Rendezvous:
             name=f"{me}->{peer}",
             dead_after=cfg.dead_after,
         )
-        ch.send(MSG_HELLO, encode_hello(me))
+        ch.send(MSG_HELLO, encode_hello(me, _hello_features(cfg, ch)))
+        # Symmetric handshake: the accepter replies with its own HELLO so
+        # both ends learn the other's capabilities (shm handle support).
+        reply = ch.recv(timeout=self.connect_timeout)
+        if reply.type != MSG_HELLO:
+            ch.close()
+            raise ProtocolError(
+                f"{me}: {peer} answered {reply.type}, not HELLO"
+            )
+        _name, ch.peer_features = decode_hello_full(reply.payload)
         ch.start_heartbeat(cfg.heartbeat_interval)
         return ch
+
+
+def _hello_features(cfg: WallConfig, ch: Channel) -> dict:
+    """Capabilities advertised in HELLO: shm handles need the pool flag on,
+    a unix transport, and a provably same-host socket."""
+    if cfg.pool_enabled and ch.is_local:
+        return {"shm_pool": True}
+    return {}
 
 
 def accept_labeled(
     lst: Listener, me: str, cfg: WallConfig, timeout: float
 ) -> Tuple[str, Channel]:
-    """Accept one connection and read its HELLO to learn who dialed."""
+    """Accept one connection, read its HELLO, and reply with our own."""
     ch = lst.accept(timeout=timeout, dead_after=cfg.dead_after)
     hello = ch.recv(timeout=timeout)
     if hello.type != MSG_HELLO:
         ch.close()
         raise ProtocolError(f"{me}: first message was {hello.type}, not HELLO")
-    peer = decode_hello(hello.payload)
+    peer, ch.peer_features = decode_hello_full(hello.payload)
     ch.name = f"{me}<-{peer}"
+    ch.send(MSG_HELLO, encode_hello(me, _hello_features(cfg, ch)))
     ch.start_heartbeat(cfg.heartbeat_interval)
     return peer, ch
 
@@ -195,6 +228,57 @@ def _get(q: "queue.Queue", timeout: float, what: str):
         return q.get(timeout=timeout)
     except queue.Empty:
         raise ChannelTimeout(f"timed out after {timeout:.1f}s waiting for {what}")
+
+
+# --------------------------------------------------------------------- #
+# shared-memory pool plumbing
+# --------------------------------------------------------------------- #
+
+
+def _create_pool(cfg: WallConfig, name: str, classes, tracer: TraceWriter):
+    """Best-effort owner-side pool creation.
+
+    A missing token, an exhausted tmpfs, or any other segment failure
+    degrades to ``None`` — the caller ships by value, output unchanged.
+    Workers never unlink their pools; the supervisor purges every segment
+    carrying the run's token after the tree is down (crash-safe even for
+    SIGKILLed owners).
+    """
+    if not cfg.pool_enabled or not cfg.pool_token:
+        return None
+    try:
+        pool = FramePool.create(
+            f"{cfg.pool_token}-{name}",
+            classes,
+            shm_dir=Path(cfg.shm_dir) if cfg.shm_dir else None,
+        )
+    except (OSError, PoolError, ValueError) as exc:
+        tracer.emit("pool_unavailable", proc=name, error=repr(exc))
+        return None
+    tracer.emit("pool_created", pool=pool.name, slabs=pool.n_slabs)
+    return pool
+
+
+def _plan_slab_bytes(layout: TileLayout) -> int:
+    """Worst-case per-tile plan wire size: every macroblock whose 16x16
+    raster rect intersects the tile rect, all-coded with 6 blocks each."""
+    worst = 0
+    for t in layout:
+        r = t.rect
+        mw = -(-r.x1 // 16) - (r.x0 // 16)
+        mh = -(-r.y1 // 16) - (r.y0 // 16)
+        n_mb = mw * mh
+        worst = max(worst, plan_codec.plan_wire_bound(n_mb, 6 * n_mb))
+    return worst
+
+
+#: Decoder-pool slab geometry: boundary blocks are at most one 17x17 luma
+#: piece + two 9x9 chroma pieces (~450 B), so small slabs; the count covers
+#: a few pictures' worth of in-flight exchanges before falling back.
+BLOCK_SLAB_BYTES = 512
+BLOCK_SLAB_COUNT = 256
+#: Tile-frame crops in flight to the collector before falling back.
+FRAME_SLAB_COUNT = 8
 
 
 # --------------------------------------------------------------------- #
@@ -307,6 +391,19 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
     for t in range(n_tiles):
         dec_ch[t].send(MSG_SEQ, seq_msg.payload)
 
+    # Shared-memory plan pool: one slab class sized for the worst-case
+    # per-tile plan, enough slabs for every tile's in-flight pictures.
+    pool = None
+    if cfg.ship_plans and any(
+        dec_ch[t].peer_features.get("shm_pool") for t in range(n_tiles)
+    ):
+        pool = _create_pool(
+            cfg,
+            me,
+            [(_plan_slab_bytes(layout), n_tiles * (cfg.queue_depth + 1))],
+            tracer,
+        )
+
     def wait_acks(expect_picture: int) -> float:
         t0 = time.perf_counter()
         for _ in range(n_tiles):
@@ -355,14 +452,36 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         else:
             ack_wait_s = 0.0
         sent = 0
+        pooled = 0
         for t in range(n_tiles):
             with traced_stage(tracer, msplit.stage_times, "wire", picture=i):
+                mtype = None
                 if cfg.ship_plans:
-                    mtype = MSG_PLAN
-                    payload = encode_plan_msg(
-                        nsid, result.plans[t], result.mei.program(t)
-                    )
-                    nbytes = buffers_nbytes(payload)
+                    tp = result.plans[t]
+                    program = result.mei.program(t)
+                    if pool is not None and dec_ch[t].peer_features.get(
+                        "shm_pool"
+                    ):
+                        nb = plan_nbytes(tp)
+                        try:
+                            lease = pool.alloc(nb)
+                        except PoolExhausted:
+                            lease = None
+                        if lease is not None:
+                            plan_codec.encode_plan_into(tp, lease.buf)
+                            payload = encode_plan_hmsg(
+                                nsid, lease.handle, program
+                            )
+                            mtype = MSG_PLAN_H
+                            nbytes = len(payload)
+                            dec_ch[t].stats.note_handle(nb)
+                            registry().counter("pool.bytes_by_handle").inc(nb)
+                            pooled += nb
+                    if mtype is None:
+                        mtype = MSG_PLAN
+                        payload = encode_plan_msg(nsid, tp, program)
+                        nbytes = buffers_nbytes(payload)
+                        registry().counter("pool.bytes_by_copy").inc(nbytes)
                 else:
                     mtype = MSG_SUBPICTURE
                     payload = encode_subpicture(
@@ -377,6 +496,7 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
             split_s=round(split_s, 6),
             ack_wait_s=round(ack_wait_s, 6),
             bytes=sent,
+            pool_bytes=pooled,
         )
         maybe_emit_stats(tracer)
     for t in range(n_tiles):
@@ -384,6 +504,9 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
     if tracer.spans:
         emit_stats(tracer)
     tracer.emit("stage_times", **msplit.stage_times.as_dict())
+    if pool is not None:
+        tracer.emit("pool_stats", pool=pool.name, **pool.stats.to_dict())
+        pool.close()  # no unlink: consumers may still hold leases
     tracer.emit("eos_sent")
     root_ch.close()
 
@@ -483,12 +606,53 @@ def _decoder_body(
     partition = layout.tile(tid).partition
     display_idx = 0
 
+    # Shared-memory plumbing: ``pools`` attaches to peers' segments on the
+    # receive side; ``pool`` is this decoder's own (boundary blocks for
+    # peer decoders, tile-frame crops for the collector).
+    pools = PoolRegistry(Path(cfg.shm_dir) if cfg.shm_dir else None) if cfg.pool_enabled else None
+    frame_nb = tile_frame_nbytes(partition)
+    pool = None
+    if cfg.pool_enabled and (
+        collector.peer_features.get("shm_pool")
+        or any(ch.peer_features.get("shm_pool") for ch in peers.values())
+    ):
+        pool = _create_pool(
+            cfg,
+            me,
+            [(BLOCK_SLAB_BYTES, BLOCK_SLAB_COUNT), (frame_nb, FRAME_SLAB_COUNT)],
+            tracer,
+        )
+
     def ship(frame) -> None:
         nonlocal display_idx
         with traced_stage(tracer, dec.stage_times, "wire", picture=display_idx):
-            payload = encode_tile_frame(tid, partition, frame)
-        collector.send(MSG_FRAME, payload, picture=display_idx, sender=tid)
-        tracer.emit("frame_sent", picture=display_idx, bytes=buffers_nbytes(payload))
+            lease = None
+            if pool is not None and collector.peer_features.get("shm_pool"):
+                try:
+                    lease = pool.alloc(frame_nb)
+                except PoolExhausted:
+                    lease = None
+            if lease is not None:
+                write_tile_frame_into(frame, partition, lease.buf)
+                payload = encode_tile_frame_hmsg(tid, partition, lease.handle)
+                mtype = MSG_FRAME_H
+                wire_bytes = len(payload)
+            else:
+                payload = encode_tile_frame(tid, partition, frame)
+                mtype = MSG_FRAME
+                wire_bytes = buffers_nbytes(payload)
+        collector.send(mtype, payload, picture=display_idx, sender=tid)
+        if lease is not None:
+            collector.stats.note_handle(frame_nb)
+            registry().counter("pool.bytes_by_handle").inc(frame_nb)
+        else:
+            registry().counter("pool.bytes_by_copy").inc(wire_bytes)
+        tracer.emit(
+            "frame_sent",
+            picture=display_idx,
+            bytes=wire_bytes,
+            pool_bytes=frame_nb if lease is not None else 0,
+        )
         display_idx += 1
 
     held_back: Dict[int, List] = {}
@@ -509,7 +673,7 @@ def _decoder_body(
         if msg.type == MSG_EOS:
             eos_from.add(label)
             continue
-        if msg.type not in (MSG_SUBPICTURE, MSG_PLAN):
+        if msg.type not in (MSG_SUBPICTURE, MSG_PLAN, MSG_PLAN_H):
             raise ProtocolError(f"{me}: unexpected {msg.type} from {label}")
 
         _maybe_fail(cfg, me, msg.picture)
@@ -518,7 +682,20 @@ def _decoder_body(
                 f"{me}: picture {msg.picture} arrived, expected {i} "
                 "(ordering broken)"
             )
-        if msg.type == MSG_PLAN:
+        plan_handle = None
+        if msg.type == MSG_PLAN_H:
+            with traced_stage(tracer, dec.stage_times, "wire", picture=i):
+                anid, expected_recvs, plan_handle, program = decode_plan_hmsg(
+                    msg.payload
+                )
+                # Zero-copy decode straight out of the splitter's slab;
+                # the handle is released only after the plan executes.
+                tp, _end = plan_codec.decode_plan(
+                    pools.view(plan_handle), dec.matrices
+                )
+            sp = None
+            ptype = tp.picture_type
+        elif msg.type == MSG_PLAN:
             with traced_stage(tracer, dec.stage_times, "wire", picture=i):
                 anid, expected_recvs, tp, program = decode_plan_msg(
                     msg.payload, dec.matrices
@@ -536,9 +713,33 @@ def _decoder_body(
         served = 0
         with tracer.span("serve", picture=i):
             for block in dec.execute_sends(program, ptype):
-                peers[f"dec{block.dest}"].send(
-                    MSG_BLOCK, encode_block(block), picture=i, sender=tid
-                )
+                ch = peers[f"dec{block.dest}"]
+                bnb = block_nbytes(block)
+                lease = None
+                if (
+                    pool is not None
+                    and bnb > 0
+                    and ch.peer_features.get("shm_pool")
+                ):
+                    try:
+                        lease = pool.alloc(bnb)
+                    except PoolExhausted:
+                        lease = None
+                if lease is not None:
+                    write_block_into(block, lease.buf)
+                    ch.send(
+                        MSG_BLOCK_H,
+                        encode_block_hmsg(block, lease.handle),
+                        picture=i,
+                        sender=tid,
+                    )
+                    ch.stats.note_handle(bnb)
+                    registry().counter("pool.bytes_by_handle").inc(bnb)
+                else:
+                    ch.send(
+                        MSG_BLOCK, encode_block(block), picture=i, sender=tid
+                    )
+                    registry().counter("pool.bytes_by_copy").inc(bnb)
                 served += block.nbytes
         serve_s = time.perf_counter() - t0
 
@@ -551,8 +752,10 @@ def _decoder_body(
             # instead of sitting out the full receive timeout.
             owed = Counter(f"dec{src}" for _, src in program.recvs)
             pending = held_back.pop(i, [])
-            for block in pending:
+            for block, bh in pending:
                 dec.apply_recv(block, ptype)
+                if bh is not None:
+                    pools.release(bh)
                 owed[f"dec{block.src}"] -= 1
             got = len(pending)
             for name in closed:
@@ -573,13 +776,18 @@ def _decoder_body(
                             f"{me}: {blabel} died owing blocks of picture {i}"
                         )
                     continue
-                block = decode_block(bmsg.payload)
+                if bmsg.type == MSG_BLOCK_H:
+                    block, bh = decode_block_hmsg(bmsg.payload, pools.view)
+                else:
+                    block, bh = decode_block(bmsg.payload), None
                 if bmsg.picture == i:
                     dec.apply_recv(block, ptype)
+                    if bh is not None:
+                        pools.release(bh)
                     owed[f"dec{block.src}"] -= 1
                     got += 1
                 else:
-                    held_back.setdefault(bmsg.picture, []).append(block)
+                    held_back.setdefault(bmsg.picture, []).append((block, bh))
         wait_remote_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
@@ -592,6 +800,10 @@ def _decoder_body(
             stages=("parse", "plan", "execute"),
         ):
             ready = dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
+        if plan_handle is not None:
+            # The plan's arrays were zero-copy views into the splitter's
+            # slab; execution is done, so give the slab back.
+            pools.release(plan_handle)
         decode_s = time.perf_counter() - t0
         tracer.emit(
             "decode",
@@ -614,6 +826,11 @@ def _decoder_body(
     if tracer.spans:
         emit_stats(tracer)
     tracer.emit("stage_times", **dec.stage_times.as_dict())
+    if pool is not None:
+        tracer.emit("pool_stats", pool=pool.name, **pool.stats.to_dict())
+        pool.close()  # no unlink: the collector may still hold frame leases
+    if pools is not None:
+        pools.close()
     collector.send(MSG_EOS, sender=tid)
 
     for ch in split_ch.values():

@@ -29,6 +29,7 @@ import subprocess
 import sys
 import tempfile
 import time
+import uuid
 from pathlib import Path
 from typing import Dict, List, Optional
 
@@ -37,9 +38,12 @@ from repro.cluster.runtime.messages import (
     MSG_EOS,
     MSG_ERROR,
     MSG_FRAME,
+    MSG_FRAME_H,
     decode_error,
     decode_tile_frame,
+    decode_tile_frame_hmsg,
 )
+from repro.mem import PoolRegistry, purge_pools
 from repro.cluster.runtime.roles import (
     CONFIG_FILE,
     STREAM_FILE,
@@ -52,6 +56,7 @@ from repro.mpeg2.parser import PictureScanner
 from repro.net.channel import Channel, ChannelTimeout, Listener
 from repro.perf.export import span_tail, write_chrome_trace
 from repro.perf.metrics import StageTimes
+from repro.perf.telemetry import emit_stats
 from repro.perf.trace import (
     TRACE_SUFFIX,
     TraceWriter,
@@ -116,6 +121,11 @@ class ClusterSupervisor:
         else:
             rundir = Path(tempfile.mkdtemp(prefix="repro-cluster-"))
         self.rundir = rundir
+        # Mint the run's pool token: workers name their shm segments
+        # ``repro-pool-<token>-<proc>`` and the purge below reaps exactly
+        # that namespace — even after a SIGKILL mid-lease.
+        if cfg.pool_enabled and not cfg.pool_token:
+            cfg.pool_token = uuid.uuid4().hex[:8]
         (rundir / STREAM_FILE).write_bytes(stream)
         (rundir / CONFIG_FILE).write_text(json.dumps({"config": cfg.to_dict()}))
         tracer = TraceWriter(rundir / f"supervisor{TRACE_SUFFIX}", "supervisor")
@@ -124,10 +134,13 @@ class ClusterSupervisor:
         rv = Rendezvous(rundir, cfg.transport, cfg.connect_timeout)
         collector = rv.listen("collector")
         channels: Dict[int, Channel] = {}
+        shm_dir = Path(cfg.shm_dir) if cfg.shm_dir else None
+        pools = PoolRegistry(shm_dir) if cfg.pool_enabled else None
         try:
             self._spawn(rundir, tracer)
             frames = self._collect(
-                collector, channels, layout, n_pics, n_tiles, timeout, tracer
+                collector, channels, layout, n_pics, n_tiles, timeout, tracer,
+                pools,
             )
             self._shutdown(timeout, tracer)
             return frames
@@ -138,6 +151,20 @@ class ClusterSupervisor:
             for ch in channels.values():
                 ch.close()
             collector.close()
+            if pools is not None:
+                pools.close()
+            if cfg.pool_token:
+                # Crash-safe leak check: every segment of this run must be
+                # gone once the tree is down.  Workers deliberately never
+                # unlink, so a *normal* run purges its segments here; an
+                # empty /dev/shm afterwards is the leak-free invariant the
+                # CI step asserts.
+                removed = purge_pools(cfg.pool_token, shm_dir)
+                tracer.emit("pool_purge", removed=removed)
+            # Final counter snapshot: the supervisor releases every frame
+            # handle it assembles, and the trace report balances leases
+            # against releases across the whole process tree.
+            emit_stats(tracer)
             tracer.close()
             # Lenient merge: a crashed worker may leave a torn final line;
             # the post-mortem must still see everything that did flush.
@@ -189,6 +216,7 @@ class ClusterSupervisor:
         n_tiles: int,
         timeout: float,
         tracer: TraceWriter,
+        pools: Optional[PoolRegistry] = None,
     ) -> List[Frame]:
         cfg = self.config
         deadline = time.monotonic() + timeout
@@ -249,13 +277,28 @@ class ClusterSupervisor:
             if msg.type == MSG_EOS:
                 eos_from.add(label)
                 continue
-            if msg.type != MSG_FRAME:
+            if msg.type == MSG_FRAME_H:
+                if pools is None:
+                    raise ClusterError(
+                        f"{label} sent a frame handle but the pool is off"
+                    )
+                tid, rect, y, cb, cr, handle = decode_tile_frame_hmsg(
+                    msg.payload, pools.view
+                )
+            elif msg.type == MSG_FRAME:
+                tid, rect, y, cb, cr = decode_tile_frame(msg.payload)
+                handle = None
+            else:
                 raise ClusterError(f"unexpected message {msg.type} from {label}")
-            tid, rect, y, cb, cr = decode_tile_frame(msg.payload)
-            buckets.setdefault(msg.picture, {})[tid] = (rect, y, cb, cr)
+            buckets.setdefault(msg.picture, {})[tid] = (rect, y, cb, cr, handle)
             collected += 1
             if len(buckets[msg.picture]) == n_tiles:
-                frames[msg.picture] = self._assemble(layout, buckets.pop(msg.picture))
+                crops = buckets.pop(msg.picture)
+                frames[msg.picture] = self._assemble(layout, crops)
+                # The paste copied every slab view out; give the slabs back.
+                for _rect, _y, _cb, _cr, h in crops.values():
+                    if h is not None:
+                        pools.release(h)
                 tracer.emit("frame_assembled", picture=msg.picture)
         return [frames[i] for i in sorted(frames)]
 
@@ -264,7 +307,7 @@ class ClusterSupervisor:
         """Paste each tile's partition crop — the multi-process equivalent
         of :func:`repro.wall.display.assemble_wall`."""
         out = Frame.blank(layout.width, layout.height)
-        for _tid, (p, y, cb, cr) in crops.items():
+        for _tid, (p, y, cb, cr, _h) in crops.items():
             out.y[p.y0 : p.y1, p.x0 : p.x1] = y
             out.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = cb
             out.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = cr

@@ -27,6 +27,28 @@ from repro.cluster.runtime.roles import (
 from repro.perf.trace import TRACE_SUFFIX, TraceWriter
 
 
+def _pin(cfg: WallConfig, name: str) -> None:
+    """Pin this worker to one core, round-robin over the affinity mask.
+
+    Decoders are the hot processes, so they claim cores first (one each,
+    wrapping); root and the splitters share the remaining slots.  On a
+    box with fewer cores than workers this degrades to plain sharing —
+    pinning never *removes* parallelism, it only stops the scheduler from
+    stacking two decoders on one core while another sits idle.
+    """
+    cores = sorted(os.sched_getaffinity(0))
+    if len(cores) < 2:
+        return
+    order = [f"dec{t}" for t in range(cfg.n_tiles)] + [
+        "root"
+    ] + [f"split{s}" for s in range(cfg.k)]
+    try:
+        idx = order.index(name)
+    except ValueError:
+        return
+    os.sched_setaffinity(0, {cores[idx % len(cores)]})
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     ap = argparse.ArgumentParser(prog="repro-cluster-worker")
     ap.add_argument("--dir", required=True, help="run directory (rendezvous root)")
@@ -38,6 +60,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     cfg = WallConfig.from_dict(
         json.loads((rundir / CONFIG_FILE).read_text())["config"]
     )
+    if cfg.pin_cores and hasattr(os, "sched_setaffinity"):
+        _pin(cfg, name)
     # Context manager: even if the role body raises (or the emit of the
     # error event itself fails), the file handle is closed and the last
     # buffered line flushed — a crashing worker cannot leak the handle.

@@ -1,0 +1,39 @@
+"""Shared-memory frame pool: move pixels by handle, not by copy.
+
+The cluster runtime's hot path used to push every plan buffer, reference
+block, and tile frame through a stream socket — one copy into the kernel,
+one copy out, one ``bytes`` materialization on the receiver.  This package
+provides the zero-copy alternative for same-host peers: an arena of
+shared-memory slabs the producer writes once and the consumer maps
+directly, with only a tiny generation-tagged :class:`Handle` crossing the
+socket.
+
+See :mod:`repro.mem.pool` for the allocation/lease protocol and
+DESIGN.md §12 for the wire format and lifecycle rules.
+"""
+
+from repro.mem.pool import (
+    DoubleRelease,
+    FramePool,
+    Handle,
+    Lease,
+    PoolError,
+    PoolExhausted,
+    PoolRegistry,
+    StaleHandle,
+    default_shm_dir,
+    purge_pools,
+)
+
+__all__ = [
+    "DoubleRelease",
+    "FramePool",
+    "Handle",
+    "Lease",
+    "PoolError",
+    "PoolExhausted",
+    "PoolRegistry",
+    "StaleHandle",
+    "default_shm_dir",
+    "purge_pools",
+]

@@ -133,7 +133,9 @@ class ParsedMB:
     """A macroblock plus the splitter-relevant context around it."""
 
     mb: Macroblock
-    state_before: dict  # CodingState.snapshot() before this macroblock
+    # CodingState.snapshot() before this macroblock, or None in a lean
+    # parse (plan shipping never builds SPHs, so never reads it).
+    state_before: Optional[dict]
     slice_row: int
     # Monotone id of the slice this macroblock was coded in.  Runs must
     # never fuse across slice boundaries even within one row (multiple
@@ -174,7 +176,15 @@ class MacroblockParser:
         self.mb_width = sequence.width // 16
         self.mb_height = sequence.height // 16
 
-    def parse_picture(self, data: bytes) -> ParsedPicture:
+    def parse_picture(self, data: bytes, lean: bool = False) -> ParsedPicture:
+        """VLC-parse one coded picture.
+
+        With ``lean=True`` the per-macroblock predictor-state snapshots are
+        skipped (``state_before`` is ``None``) — they exist only for the
+        sub-picture builder's State Propagation Headers, and allocating
+        the dicts dominates parse time for plan-shipping splitters, which
+        never read them.
+        """
         br = BitReader(data)
         code = br.next_start_code()
         if code != PICTURE_START_CODE:
@@ -192,7 +202,7 @@ class MacroblockParser:
             if code is None or not is_slice_start_code(code):
                 break
             br.next_start_code()
-            self._parse_slice(br, code - 1, header, parsed, slice_index)
+            self._parse_slice(br, code - 1, header, parsed, slice_index, lean)
             slice_index += 1
         return parsed
 
@@ -203,6 +213,7 @@ class MacroblockParser:
         header: PictureHeader,
         parsed: ParsedPicture,
         slice_index: int = 0,
+        lean: bool = False,
     ) -> None:
         if row >= self.mb_height:
             raise BitstreamError(f"slice row {row} beyond picture height")
@@ -235,7 +246,7 @@ class MacroblockParser:
             skip_from = address if first_in_slice else prev_addr + 1
             first_in_slice = False
             for skip_addr in range(skip_from, address):
-                skip_snap = state.snapshot()
+                skip_snap = None if lean else state.snapshot()
                 smb = make_skipped(skip_addr, state)
                 parsed.items.append(
                     ParsedMB(
@@ -246,7 +257,7 @@ class MacroblockParser:
                     )
                 )
                 parsed.n_skipped += 1
-            snap = state.snapshot()
+            snap = None if lean else state.snapshot()
             mb = parse_macroblock_body(br, state)
             mb.bit_start = bit_start
             mb.address = address

@@ -119,6 +119,49 @@ def encode_plan_bytes(tp: TilePlan) -> bytes:
     return b"".join(bytes(b) for b in encode_plan(tp))
 
 
+def plan_wire_bound(n_mb: int, n_blocks: int) -> int:
+    """Wire size of a plan with the given counts (slab sizing helper)."""
+    total = _HEAD_SIZE
+    for group, count in ((_BLOCK_ARRAYS, n_blocks), (_MB_ARRAYS, n_mb)):
+        for _name, dtype, shape in group:
+            n_items = count
+            for d in shape[1:]:
+                n_items *= d
+            total += n_items * np.dtype(dtype).itemsize
+    return total
+
+
+def plan_nbytes(tp: TilePlan) -> int:
+    """Exact wire size of ``encode_plan(tp)`` without encoding anything.
+
+    The shm pool path sizes its slab lease with this before writing the
+    plan in place with :func:`encode_plan_into`.
+    """
+    p = tp.plan
+    return plan_wire_bound(p.n_macroblocks, p.n_blocks)
+
+
+def encode_plan_into(tp: TilePlan, buf) -> int:
+    """Encode straight into a writable buffer (a pool lease), no wire copy.
+
+    ``buf`` must hold at least :func:`plan_nbytes` bytes.  Returns the
+    bytes written.  Layout is identical to :func:`encode_plan`, so the
+    consumer decodes the slab with the ordinary :func:`decode_plan`.
+    """
+    mv = memoryview(buf).cast("B")
+    total = 0
+    for part in encode_plan(tp):
+        b = memoryview(part)
+        if b.nbytes == 0:
+            continue  # empty arrays cannot be cast (zero in shape)
+        if b.format != "B" or b.ndim != 1:
+            b = b.cast("B")
+        n = b.nbytes
+        mv[total : total + n] = b
+        total += n
+    return total
+
+
 def buffers_nbytes(bufs: Buffers) -> int:
     return sum(memoryview(b).nbytes for b in bufs)
 

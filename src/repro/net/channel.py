@@ -108,6 +108,12 @@ class ChannelStats:
     application frames only.  ``send_blocked_s`` is time the sender spent
     waiting for kernel-buffer space (backpressure), ``recv_wait_s`` is
     time spent blocked for inbound data (idle + transfer).
+
+    Handle-bearing frames (shared-memory pool payloads) put only their
+    tiny header+handle on the wire; the pixels move through shm.  So
+    ``sent_bytes`` stays honest wire accounting by construction, and
+    ``handle_frames``/``handle_bytes`` record how many frames — and how
+    many payload bytes — bypassed the socket entirely.
     """
 
     bandwidth: NodeBandwidth = field(default_factory=NodeBandwidth)
@@ -115,6 +121,13 @@ class ChannelStats:
     recv_frames: int = 0
     send_blocked_s: float = 0.0
     recv_wait_s: float = 0.0
+    handle_frames: int = 0
+    handle_bytes: int = 0
+
+    def note_handle(self, payload_nbytes: int) -> None:
+        """Record one frame whose payload moved by shm handle, not wire."""
+        self.handle_frames += 1
+        self.handle_bytes += payload_nbytes
 
     def to_dict(self) -> Dict[str, float]:
         return {
@@ -124,6 +137,8 @@ class ChannelStats:
             "recv_frames": self.recv_frames,
             "send_blocked_s": round(self.send_blocked_s, 6),
             "recv_wait_s": round(self.recv_wait_s, 6),
+            "handle_frames": self.handle_frames,
+            "handle_bytes": self.handle_bytes,
         }
 
 
@@ -149,6 +164,9 @@ class Channel:
         # would let one direction's poll corrupt the other's blocking mode.
         self.sock.setblocking(False)
         self.stats = ChannelStats()
+        # Peer capabilities learned from the HELLO exchange (the runtime
+        # fills this in); empty means "assume nothing", i.e. by-value.
+        self.peer_features: Dict[str, object] = {}
         register_channel(self)
         self._send_lock = threading.Lock()
         self._buf = bytearray()
@@ -156,6 +174,11 @@ class Channel:
         self._last_activity = time.monotonic()
         self._hb_stop: Optional[threading.Event] = None
         self._hb_thread: Optional[threading.Thread] = None
+
+    @property
+    def is_local(self) -> bool:
+        """True when the peer provably shares this host (unix socket)."""
+        return self.sock.family == socket.AF_UNIX
 
     # -------------------------------- send --------------------------------- #
 

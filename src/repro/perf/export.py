@@ -165,6 +165,10 @@ class ProcSummary:
     channels: Dict[str, Dict] = field(default_factory=dict)
     credit: Dict[str, Dict] = field(default_factory=dict)
     stage_times: StageTimes = field(default_factory=StageTimes)
+    # latest registry counter/gauge snapshot (pool.* lives here)
+    metrics: Dict[str, float] = field(default_factory=dict)
+    # final per-pool accounting from the worker's pool_stats event
+    pools: Dict[str, Dict] = field(default_factory=dict)
 
 
 @dataclass
@@ -228,6 +232,27 @@ class TraceReport:
             "max_over_mean": max(vals) / mean if mean > 0 else 0.0,
         }
 
+    def pool_rollup(self) -> Dict[str, float]:
+        """Cluster-wide shared-memory pool accounting.
+
+        ``copies_avoided`` counts the frames whose payload crossed a
+        process boundary as a pool handle instead of a socket copy;
+        ``by_handle_bytes`` is the payload volume those handles carried.
+        """
+        keys = {
+            "by_handle_bytes": "pool.bytes_by_handle",
+            "by_copy_bytes": "pool.bytes_by_copy",
+            "leases": "pool.leases",
+            "releases": "pool.releases",
+            "exhausted": "pool.exhausted",
+        }
+        roll = {
+            out: sum(ps.metrics.get(m, 0.0) for ps in self.procs.values())
+            for out, m in keys.items()
+        }
+        roll["copies_avoided"] = roll["leases"]
+        return roll
+
     def picture_percentiles(self, proc: str) -> Dict[str, float]:
         vals = sorted(self.procs[proc].picture_spans)
         return {
@@ -290,6 +315,13 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         elif ev.event == "stats":
             # later snapshots supersede earlier ones (counters are totals)
             ps.channels.update(ev.data.get("channels", {}))
+            metrics = ev.data.get("metrics", {})
+            ps.metrics.update(metrics.get("counters", {}))
+            ps.metrics.update(metrics.get("gauges", {}))
+        elif ev.event == "pool_stats":
+            ps.pools[ev.data.get("pool", "?")] = {
+                k: v for k, v in ev.data.items() if k != "pool"
+            }
         elif ev.event == "credit_totals":
             ps.credit = {
                 k: v for k, v in ev.data.items() if isinstance(v, dict)
@@ -423,15 +455,53 @@ def render_report(report: TraceReport) -> str:
                     f"{st.get('recv_bytes', 0) / 1e6:.3f}",
                     st.get("sent_frames", 0),
                     st.get("recv_frames", 0),
+                    f"{st.get('handle_bytes', 0) / 1e6:.3f}",
                     f"{st.get('send_blocked_s', 0.0):.3f}",
                 ]
             )
     if chan_rows:
-        L.append("Bytes on wire per channel (MB):")
+        L.append("Bytes on wire per channel (MB; handle_MB = payload that")
+        L.append("travelled as shm-pool handles, not socket bytes):")
         L += _table(
             ["proc", "channel", "sent_MB", "recv_MB", "sframes", "rframes",
-             "blocked_s"],
+             "handle_MB", "blocked_s"],
             chan_rows,
+        )
+        L.append("")
+
+    # ---- shared-memory pool -------------------------------------------- #
+    pool_rows = []
+    for proc in sorted(report.procs, key=_proc_rank):
+        ps = report.procs[proc]
+        if not ps.pools and not any(k.startswith("pool.") for k in ps.metrics):
+            continue
+        m = ps.metrics
+        hwm = max((st.get("hwm_slabs", 0) for st in ps.pools.values()), default=0)
+        pool_rows.append(
+            [
+                proc,
+                int(m.get("pool.leases", 0)),
+                int(m.get("pool.releases", 0)),
+                int(m.get("pool.exhausted", 0)),
+                hwm or int(m.get("pool.hwm_slabs", 0)),
+                f"{m.get('pool.bytes_by_handle', 0) / 1e6:.3f}",
+                f"{m.get('pool.bytes_by_copy', 0) / 1e6:.3f}",
+            ]
+        )
+    if pool_rows:
+        L.append("Shared-memory frame pool (per process):")
+        L += _table(
+            ["proc", "leases", "releases", "exhausted", "hwm_slabs",
+             "by_handle_MB", "by_copy_MB"],
+            pool_rows,
+        )
+        roll = report.pool_rollup()
+        L.append(
+            f"copies_avoided: {int(roll['copies_avoided'])} payloads / "
+            f"{roll['by_handle_bytes'] / 1e6:.3f} MB shipped by handle "
+            f"(vs {roll['by_copy_bytes'] / 1e6:.3f} MB by socket copy); "
+            f"leases {int(roll['leases'])}, releases {int(roll['releases'])}, "
+            f"exhausted-fallbacks {int(roll['exhausted'])}"
         )
         L.append("")
 

@@ -141,7 +141,7 @@ class TestChannelStats:
         d = client.stats.to_dict()
         assert set(d) == {
             "sent_bytes", "recv_bytes", "sent_frames", "recv_frames",
-            "send_blocked_s", "recv_wait_s",
+            "send_blocked_s", "recv_wait_s", "handle_frames", "handle_bytes",
         }
 
     def test_channels_appear_in_telemetry_snapshot(self, pair):

@@ -161,6 +161,31 @@ class TestFailureHandling:
             assert proc.poll() is not None, f"{name} orphaned after teardown"
         assert sup.processes["dec1"].returncode == -9
 
+    def test_sigkill_mid_lease_leaks_no_shm_segments(self, clip_stream, tmp_path):
+        """Kill a decoder while frame leases are in flight: workers never
+        unlink their own segments, so the supervisor's purge must reap the
+        whole ``repro-pool-<token>-*`` namespace on the failure path too."""
+        _, stream = clip_stream
+        sup = ClusterSupervisor(
+            WallConfig(
+                m=2, n=2, k=1, transport="unix", fail_at="dec1@2",
+                shm_dir=str(tmp_path),
+            ),
+            trace_dir=str(tmp_path),
+        )
+        with pytest.raises(ClusterError, match="dec1"):
+            sup.decode(stream, timeout=120.0)
+        assert sup.processes["dec1"].returncode == -9
+        # the purge actually had segments to reap (the SIGKILL left the
+        # dead decoder's pool behind), and none survive it
+        purges = [
+            ev.data["removed"]
+            for ev in read_trace_file(sup.merged_trace_path)
+            if ev.event == "pool_purge"
+        ]
+        assert purges and len(purges[0]) > 0
+        assert [p for p in os.listdir(tmp_path) if p.startswith("repro-pool-")] == []
+
     def test_failure_report_carries_diagnostics(self, clip_stream, tmp_path):
         _, stream = clip_stream
         sup = ClusterSupervisor(
