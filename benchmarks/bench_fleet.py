@@ -1,0 +1,241 @@
+"""Fleet gateway — sessions sustained vs daemon count, and failover cost.
+
+Two experiments against real spawned daemon processes:
+
+**Scaling.**  Eight fish-tank sessions are offered to fleets of 1, 2 and
+4 daemons (each daemon: 2 workers, 120 Mpixel/s, queue of 2).  A single
+daemon saturates — it accepts four, queues two and sheds the rest with a
+structured reject — while two and four daemons absorb the same offered
+load through capacity-aware placement: the gateway walks the consistent-
+hash ring past daemons whose live admission headroom can't take the
+stream.  Per level we record the admission split, sessions sustained to
+completion, drop totals and the worst per-session p95 picture latency.
+
+**Failover.**  A paced session is placed on a 2-daemon fleet; its home
+daemon is SIGKILLed mid-stream.  The gateway's health loop declares the
+daemon down, replays the session's bytes to the survivor resuming at the
+next I-picture, and the ``failover`` trace event carries the accounting.
+We report time-to-resume (kill to resubmit, including detection),
+dropped pictures, and verify the acceptance oracle: the resumed output
+digest equals a clean decode of the same stream from the anchor onward.
+
+Results land in ``BENCH_fleet.json`` at the repo root.  Run under
+pytest-benchmark or directly:
+``PYTHONPATH=src python benchmarks/bench_fleet.py``.
+"""
+
+import json
+import tempfile
+import time
+from pathlib import Path
+
+from repro.fleet import FleetConfig, FleetGateway
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.perf.trace import read_trace_file
+from repro.service import ServiceClient, ServiceConfig
+from repro.service.session import clean_decode_digest
+from repro.workloads.streams import stream_by_id
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+SPEC = stream_by_id(5)  # fish1: 1280x720 @ 30 fps, 27.65 Mpixel/s demand
+N_SESSIONS = 8
+N_FRAMES = 48  # 1.6 s of playout: outlives the submission ramp
+SLOWDOWN_S = 0.02  # per decoded picture: 2 workers ≈ 100 pictures/s
+DAEMON_COUNTS = (1, 2, 4)
+
+#: Per daemon: admits 4 fish streams, queues 2, rejects the overflow.
+POOL = dict(capacity_mpps=120.0, workers=2, queue_slots=2)
+
+
+def _encode_clip(n_frames: int) -> bytes:
+    frames = SPEC.synthetic_frames(n_frames, max_width=96)
+    cfg = EncoderConfig(gop_size=SPEC.gop_size, b_frames=SPEC.b_frames)
+    return Encoder(cfg).encode(frames)
+
+
+def _fleet_config(daemons: int, **service_kw) -> FleetConfig:
+    svc = dict(POOL)
+    svc.update(service_kw)
+    return FleetConfig(
+        daemons=daemons,
+        service=ServiceConfig(**svc),
+        health_interval=0.1,
+    )
+
+
+def _run_level(daemons: int, clip: bytes) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-") as rundir:
+        rundir = Path(rundir)
+        with FleetGateway(rundir, _fleet_config(daemons)) as gw:
+            with ServiceClient(rundir, request_timeout=60.0) as client:
+                t0 = time.perf_counter()
+                replies = []
+                for i in range(N_SESSIONS):
+                    replies.append(
+                        client.submit(
+                            SPEC,
+                            stream=clip,
+                            name=f"s{i}",
+                            slowdown_s=SLOWDOWN_S,
+                        )
+                    )
+                    # let the health loop refresh admission snapshots so
+                    # placement sees each daemon's live headroom
+                    time.sleep(0.12)
+                actions = [r["admission"]["action"] for r in replies]
+                placed = [r.get("daemon") for r in replies if "sid" in r]
+                sids = [r["sid"] for r in replies if "sid" in r]
+                finals = [client.wait(s, timeout=300.0) for s in sids]
+                wall = time.perf_counter() - t0
+
+    sessions = [
+        {
+            "sid": f["sid"],
+            "daemon": f["daemon"],
+            "state": f["state"],
+            "released": f["released"],
+            "dropped_b": f["dropped_b"],
+            "dropped_p": f["dropped_p"],
+            "latency_p95_ms": f["latency_p95_ms"],
+        }
+        for f in finals
+    ]
+    p95s = [s["latency_p95_ms"] for s in sessions]
+    return {
+        "daemons": daemons,
+        "offered": N_SESSIONS,
+        "admission": {a: actions.count(a) for a in sorted(set(actions))},
+        "rejections": actions.count("reject"),
+        "sustained": sum(1 for s in sessions if s["state"] == "completed"),
+        "spread": {d: placed.count(d) for d in sorted(set(placed))},
+        "total_drops": sum(s["dropped_b"] + s["dropped_p"] for s in sessions),
+        "worst_p95_ms": round(max(p95s), 3) if p95s else None,
+        "mean_p95_ms": round(sum(p95s) / len(p95s), 3) if p95s else None,
+        "wall_s": round(wall, 3),
+        "sessions": sessions,
+    }
+
+
+def _run_failover(clip: bytes) -> dict:
+    with tempfile.TemporaryDirectory(prefix="bench-fleet-fo-") as rundir:
+        rundir = Path(rundir)
+        # ample capacity and a dormant ladder: digests stay deterministic
+        cfg = _fleet_config(
+            2, capacity_mpps=500.0, enter_levels=(1e9, 1e9, 1e9)
+        )
+        cfg.health_interval = 0.15
+        with FleetGateway(rundir, cfg) as gw:
+            with ServiceClient(rundir) as client:
+                r = client.submit(SPEC, stream=clip, name="victim")
+                gsid, home = r["sid"], r["daemon"]
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if client.status(gsid).get("processed", 0) >= 4:
+                        break
+                    time.sleep(0.05)
+                t_kill = time.time()
+                gw.kill_daemon(home)
+                final = client.wait(gsid, timeout=120.0)
+            stream = gw.sessions[gsid].stream
+            events = read_trace_file(rundir / "gateway.trace.jsonl")
+
+    fo = next(e for e in events if e.event == "failover")
+    oracle = clean_decode_digest(stream, start_at=final["start_at"])
+    return {
+        "daemons": 2,
+        "from_daemon": fo.data["from_daemon"],
+        "to_daemon": fo.data["to_daemon"],
+        "state": final["state"],
+        "failovers": final["failovers"],
+        "resume_at": fo.data["resume_at"],
+        "dropped_pictures": fo.data["dropped_pictures"],
+        # kill -> resubmitted on the survivor, detection included
+        "time_to_resume_s": round(fo.ts - t_kill, 3),
+        # replay + resubmit alone, as accounted by the gateway
+        "resume_s": fo.data["resume_s"],
+        "output_digest": final["output_digest"],
+        "oracle_digest": oracle,
+        "bit_identical": final["output_digest"] == oracle,
+    }
+
+
+def run_fleet_bench() -> dict:
+    clip = _encode_clip(N_FRAMES)
+    return {
+        "stream": {
+            "spec": SPEC.to_dict(),
+            "frames": N_FRAMES,
+            "coded_bytes": len(clip),
+            "slowdown_s": SLOWDOWN_S,
+        },
+        "pool_per_daemon": dict(POOL),
+        "levels": {str(n): _run_level(n, clip) for n in DAEMON_COUNTS},
+        "failover": _run_failover(clip),
+    }
+
+
+def _check(report: dict) -> None:
+    levels = report["levels"]
+    # a single daemon saturates and sheds load; a fleet does not
+    assert levels["1"]["rejections"] >= 1, levels["1"]["admission"]
+    assert levels["4"]["rejections"] == 0, levels["4"]["admission"]
+    # sustained sessions are monotone in daemon count
+    s1, s2, s4 = (levels[k]["sustained"] for k in ("1", "2", "4"))
+    assert s1 <= s2 <= s4, (s1, s2, s4)
+    assert s4 == N_SESSIONS, levels["4"]
+    # every admitted session ran to completion at every level
+    for n, lv in levels.items():
+        assert lv["sustained"] == len(lv["sessions"]), (n, lv)
+        assert len(lv["spread"]) <= int(n), (n, lv["spread"])
+    # a bigger fleet spreads sessions across more than one daemon
+    assert len(levels["4"]["spread"]) >= 2, levels["4"]["spread"]
+    # failover: detected, resumed on the survivor, bit-identical output
+    fo = report["failover"]
+    assert fo["state"] == "completed" and fo["failovers"] == 1, fo
+    assert fo["to_daemon"] and fo["to_daemon"] != fo["from_daemon"], fo
+    assert fo["dropped_pictures"] >= 0, fo
+    assert fo["time_to_resume_s"] < 10.0, fo
+    assert fo["bit_identical"], fo
+
+
+def test_fleet(benchmark):
+    from conftest import print_table, run_once
+
+    report = run_once(benchmark, run_fleet_bench)
+    _check(report)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(
+        f"Fleet gateway ({N_SESSIONS} offered sessions, "
+        f"{POOL['capacity_mpps']:.0f} Mpixel/s per daemon)",
+        ["daemons", "accept/queue/reject", "sustained", "drops", "worst p95", "wall"],
+        [
+            (
+                n,
+                "/".join(
+                    str(lv["admission"].get(a, 0))
+                    for a in ("accept", "queue", "reject")
+                ),
+                f"{lv['sustained']}/{lv['offered']}",
+                str(lv["total_drops"]),
+                f"{lv['worst_p95_ms']:.1f} ms" if lv["worst_p95_ms"] else "-",
+                f"{lv['wall_s']:.2f} s",
+            )
+            for n, lv in report["levels"].items()
+        ],
+    )
+    fo = report["failover"]
+    print(
+        f"failover: {fo['from_daemon']} -> {fo['to_daemon']}, "
+        f"resume at picture {fo['resume_at']} "
+        f"({fo['dropped_pictures']} dropped), "
+        f"{fo['time_to_resume_s']:.2f} s kill-to-resume, "
+        f"bit-identical={fo['bit_identical']}"
+    )
+
+
+if __name__ == "__main__":
+    result = run_fleet_bench()
+    _check(result)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

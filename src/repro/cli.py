@@ -12,6 +12,7 @@ trace-report  post-mortem a run directory: text report + Perfetto JSON
 serve     run the multi-session wall-service daemon
 submit    submit a decode session to a running wall service
 sessions  list, cancel, or shut down wall-service sessions
+fleet     sharded multi-daemon serving: gateway, status, drain
 """
 
 from __future__ import annotations
@@ -155,7 +156,9 @@ def cmd_trace_report(args) -> int:
         print(f"not a run directory: {rundir}", file=sys.stderr)
         return 2
     try:
-        events = merge_traces(rundir, strict=not args.lenient)
+        events = merge_traces(
+            rundir, strict=not args.lenient, recursive=args.recursive
+        )
     except (ValueError, KeyError) as exc:
         print(f"unparsable trace event in {rundir}: {exc}", file=sys.stderr)
         print("(re-run with --lenient to skip torn lines)", file=sys.stderr)
@@ -351,6 +354,87 @@ def cmd_sessions(args) -> int:
     return 0
 
 
+def cmd_fleet_serve(args) -> int:
+    from repro.fleet import FleetConfig, FleetGateway
+    from repro.service import ServiceConfig
+
+    svc = ServiceConfig(
+        capacity_mpps=args.capacity,
+        workers=args.workers,
+        queue_slots=args.queue_slots,
+    )
+    cfg = FleetConfig(
+        daemons=args.daemons,
+        transport=args.transport,
+        reliable_links=not args.no_reliable_links,
+        service=svc,
+    )
+    gw = FleetGateway(Path(args.rundir), cfg)
+    gw.start()
+    print(
+        f"fleet gateway up: rundir={args.rundir} daemons={cfg.daemons} "
+        f"transport={cfg.transport} "
+        f"capacity={cfg.daemons * svc.capacity_mpps:g} Mpixel/s total "
+        f"(reliable links {'on' if cfg.reliable_links else 'off'})"
+    )
+    print(f"submit through it with: repro submit {args.rundir} --wait")
+    try:
+        gw.serve_forever()
+    finally:
+        gw.stop()
+        print("fleet gateway stopped")
+    return 0
+
+
+def cmd_fleet_status(args) -> int:
+    import json as _json
+
+    from repro.service import ServiceClient
+
+    with ServiceClient(Path(args.rundir), transport=args.transport) as client:
+        info = client.ping()
+        if args.json:
+            print(_json.dumps(info, indent=2, sort_keys=True))
+            return 0
+        print(
+            f"gateway: {info.get('failovers', 0)} failover(s), "
+            f"{info['active_demand_mpps']}/{info['capacity_mpps']} Mpixel/s "
+            f"across {len(info.get('daemons', []))} daemon(s)"
+        )
+        for d in info.get("daemons", []):
+            a = d.get("admission", {})
+            flags = d["state"] + (", draining" if d.get("draining") else "")
+            print(
+                f"  {d['name']:10s} [{flags}]  "
+                f"headroom {a.get('headroom_mpps', '?')} Mpixel/s  "
+                f"queued {a.get('queued', '?')}/{a.get('queue_slots', '?')}"
+            )
+        rows = client.list_sessions()
+        for s in sorted(rows, key=lambda r: r["sid"]):
+            print(
+                f"  [{s['sid']}] {s.get('name', '?'):12s} "
+                f"{s.get('state', '?'):10s} on {s.get('daemon') or '-':10s} "
+                f"failovers {s.get('failovers', 0)} "
+                f"(dropped {s.get('failover_dropped', 0)} pics)"
+            )
+    return 0
+
+
+def cmd_fleet_drain(args) -> int:
+    from repro.service import ServiceClient
+
+    with ServiceClient(Path(args.rundir), transport=args.transport) as client:
+        verb = "undrain" if args.undo else "drain"
+        reply = client.request(
+            verb, {"daemon": args.daemon, "reason": args.reason}
+        )
+        print(
+            f"{verb} {args.daemon}: draining={reply['draining']} "
+            f"({reply.get('active', 0)} active session(s) finishing)"
+        )
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     p = argparse.ArgumentParser(
         prog="repro",
@@ -464,6 +548,12 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="skip unparsable trace lines instead of failing",
     )
+    tr.add_argument(
+        "--recursive",
+        action="store_true",
+        help="also merge traces from subdirectories (fleet run layout: "
+        "gateway trace on top, one directory per daemon)",
+    )
     tr.set_defaults(func=cmd_trace_report)
 
     sv = sub.add_parser(
@@ -516,6 +606,43 @@ def build_parser() -> argparse.ArgumentParser:
         "--reason", default="cli request", help="reason recorded in the trace"
     )
     ss.set_defaults(func=cmd_sessions)
+
+    fl = sub.add_parser(
+        "fleet", help="sharded multi-daemon serving behind one gateway"
+    )
+    fsub = fl.add_subparsers(dest="fleet_command", required=True)
+
+    fs = fsub.add_parser("serve", help="run a gateway plus N wall daemons")
+    fs.add_argument("rundir", help="gateway run directory (daemons nest under it)")
+    fs.add_argument("--daemons", type=int, default=2)
+    fs.add_argument(
+        "--capacity", type=float, default=400.0,
+        help="per-daemon decode capacity in Mpixel/s",
+    )
+    fs.add_argument("--workers", type=int, default=2, help="per-daemon workers")
+    fs.add_argument("--queue-slots", type=int, default=4)
+    fs.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    fs.add_argument(
+        "--no-reliable-links", action="store_true",
+        help="plain channels for gateway<->daemon RPC (no reconnect-resume)",
+    )
+    fs.set_defaults(func=cmd_fleet_serve)
+
+    ft = fsub.add_parser("status", help="gateway, daemon, and session state")
+    ft.add_argument("rundir", help="the gateway's run directory")
+    ft.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    ft.add_argument("--json", action="store_true")
+    ft.set_defaults(func=cmd_fleet_status)
+
+    fd = fsub.add_parser(
+        "drain", help="drain (or undrain) one daemon for maintenance"
+    )
+    fd.add_argument("rundir", help="the gateway's run directory")
+    fd.add_argument("--daemon", required=True, help="daemon name, e.g. daemon0")
+    fd.add_argument("--undo", action="store_true", help="undrain instead")
+    fd.add_argument("--reason", default="cli request")
+    fd.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    fd.set_defaults(func=cmd_fleet_drain)
     return p
 
 

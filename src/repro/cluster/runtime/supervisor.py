@@ -104,6 +104,17 @@ class ClusterSupervisor:
         self.perfetto_path: Optional[Path] = None
         self._tracer: Optional[TraceWriter] = None
         self._stopped = False
+        self._death_hooks: List = []
+        self._deaths_notified: set = set()
+
+    def add_death_hook(self, hook) -> None:
+        """Register ``hook(proc_name, returncode)``, fired (once per child)
+        when liveness polling first sees that child dead with a nonzero
+        status.  This is the fleet gateway's failover trigger: a session
+        daemon learns of a worker death the moment the supervisor does,
+        not when the decode eventually errors out.  Hooks run on the
+        polling thread and must not block."""
+        self._death_hooks.append(hook)
 
     # ------------------------------------------------------------------ #
 
@@ -201,11 +212,20 @@ class ClusterSupervisor:
 
     def _poll_children(self) -> Optional[str]:
         """Name of the first child that exited with a nonzero status."""
+        dead: Optional[str] = None
         for name, proc in self.processes.items():
             rc = proc.poll()
             if rc is not None and rc != 0:
-                return name
-        return None
+                if name not in self._deaths_notified:
+                    self._deaths_notified.add(name)
+                    for hook in self._death_hooks:
+                        try:
+                            hook(name, rc)
+                        except Exception:  # noqa: BLE001 - hooks can't kill polling
+                            pass
+                if dead is None:
+                    dead = name
+        return dead
 
     def _collect(
         self,

@@ -1,0 +1,24 @@
+"""Fleet gateway: sharded multi-daemon serving for the wall service.
+
+One :class:`FleetGateway` front-ends N :class:`~repro.service.daemon.WallService`
+daemons: sessions are placed by consistent hashing on the stream id with
+capacity-aware overrides from each daemon's live admission state, daemon
+health is probed continuously, and a daemon death mid-session triggers
+failover — the session's stream is replayed to a healthy daemon and
+resumed at the next I-picture, with the dropped pictures accounted in
+telemetry.  Gateway↔daemon control traffic runs over the reliable-link
+layer (:mod:`repro.net.reliable`) so a socket flap never loses a request.
+"""
+
+from repro.fleet.gateway import FleetConfig, FleetGateway, GATEWAY_TRACE
+from repro.fleet.launcher import DaemonProcess, spawn_daemon
+from repro.fleet.ring import HashRing
+
+__all__ = [
+    "FleetConfig",
+    "FleetGateway",
+    "GATEWAY_TRACE",
+    "HashRing",
+    "DaemonProcess",
+    "spawn_daemon",
+]

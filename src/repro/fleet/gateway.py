@@ -1,0 +1,797 @@
+"""The fleet gateway: one front door, N wall-service daemons behind it.
+
+The gateway listens under the same run-directory rendezvous convention
+as a single daemon (``service.sock`` / ``service.addr``), so an
+unmodified :class:`~repro.service.client.ServiceClient` — and therefore
+``repro submit`` / ``repro sessions`` — talks to a fleet exactly as it
+talks to one daemon.  Behind the listener:
+
+- **placement** — a consistent-hash ring over the daemons
+  (:class:`~repro.fleet.ring.HashRing`, keyed on the stream id) picks the
+  session's home; the walk skips daemons that are down, draining, or
+  whose live admission state (``headroom_mpps`` exported by
+  :meth:`AdmissionController.export_state`) cannot *accept* the session
+  outright, so hashing decides ties but capacity decides feasibility;
+- **health** — a monitor thread pings every daemon, caches its admission
+  snapshot, polls per-session progress, and watches the child process
+  itself: a SIGKILLed daemon is declared dead on the next poll, not
+  after a request times out against it;
+- **failover** — when a daemon dies, every non-terminal session it
+  carried is replayed to a healthy daemon: the gateway re-submits the
+  session's exact stream bytes with ``start_at`` set to the first
+  I-picture at or past the dead daemon's last observed progress point.
+  Decode resumes bit-identically to a clean decode from that anchor;
+  the pictures between the progress point and the anchor are *accounted*
+  (``failover`` trace event, ``failover_dropped`` in status), never
+  silently lost.  A session past its last anchor completes with its tail
+  dropped rather than replaying from nothing;
+- **reliability** — gateway↔daemon control RPC rides the reliable-link
+  layer (:mod:`repro.net.reliable`), so a daemon's socket flapping under
+  load retransmits instead of surfacing ``PeerDeadError`` mid-submit.
+
+Session ids are rewritten at the boundary: clients see the gateway's
+stable ``gsid`` while each incarnation of the session has a daemon-local
+sid in that daemon's ``sid_offset`` namespace.  A failover changes the
+mapping, never the gsid.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.net.channel import (
+    Channel,
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    Listener,
+)
+from repro.perf.trace import TraceWriter
+from repro.service.admission import REJECT_DRAINING
+from repro.service.client import ServiceClient, ServiceError
+from repro.service.daemon import SERVICE_NAME, ServiceConfig
+from repro.service.protocol import (
+    SVC_REQUEST,
+    SVC_RESPONSE,
+    VERB_CANCEL,
+    VERB_DRAIN,
+    VERB_LIST,
+    VERB_PING,
+    VERB_SHUTDOWN,
+    VERB_STATUS,
+    VERB_SUBMIT,
+    VERB_UNDRAIN,
+    PROTOCOL_VERSION,
+    ProtocolError,
+    decode_request,
+    encode_response,
+)
+from repro.service.session import i_picture_indices
+from repro.fleet.launcher import DaemonProcess, spawn_daemon
+from repro.fleet.ring import HashRing
+from repro.workloads.streams import StreamSpec
+
+GATEWAY_TRACE = "gateway.trace.jsonl"
+
+#: Daemon health states.
+UP = "up"
+SUSPECT = "suspect"
+DOWN = "down"
+
+#: Terminal session states (the service protocol's vocabulary).
+_TERMINAL = ("completed", "cancelled", "failed")
+
+
+@dataclass
+class FleetConfig:
+    """Gateway-side knobs plus the per-daemon service template."""
+
+    daemons: int = 2
+    transport: str = "unix"
+    vnodes: int = 64
+    health_interval: float = 0.25  # probe period per daemon
+    down_after: int = 2  # consecutive failed probes -> dead
+    reliable_links: bool = True  # gateway<->daemon RPC over reliable links
+    link_resume_timeout: float = 2.0
+    request_timeout: float = 30.0
+    sid_stride: int = 1_000_000  # per-daemon session-id namespace width
+    service: ServiceConfig = field(default_factory=ServiceConfig)
+
+    def __post_init__(self) -> None:
+        if self.daemons < 1:
+            raise ValueError("a fleet needs at least one daemon")
+        if self.transport not in ("unix", "tcp"):
+            raise ValueError(f"unknown transport {self.transport!r}")
+        if self.down_after < 1:
+            raise ValueError("down_after must be at least one probe")
+
+    def daemon_config(self, index: int) -> ServiceConfig:
+        cfg = ServiceConfig(**asdict(self.service))
+        cfg.transport = self.transport
+        cfg.trace_name = f"daemon{index}"
+        cfg.sid_offset = index * self.sid_stride
+        return cfg
+
+
+class DaemonHandle:
+    """The gateway's view of one daemon: client, health, admission."""
+
+    def __init__(
+        self,
+        name: str,
+        rundir: Path,
+        config: FleetConfig,
+        proc: Optional[DaemonProcess] = None,
+    ):
+        self.name = name
+        self.rundir = Path(rundir)
+        self.config = config
+        self.proc = proc
+        self.state = UP
+        self.draining = False
+        self.fail_count = 0
+        self.admission: Dict[str, Any] = {}  # last export_state snapshot
+        self._client: Optional[ServiceClient] = None
+        self._lock = threading.Lock()  # serializes the RPC conversation
+
+    # ------------------------------------------------------------------ #
+
+    def process_dead(self) -> bool:
+        return self.proc is not None and not self.proc.alive()
+
+    def _connect(self) -> ServiceClient:
+        return ServiceClient(
+            self.rundir,
+            transport=self.config.transport,
+            connect_timeout=5.0,
+            request_timeout=self.config.request_timeout,
+            reliable=self.config.reliable_links,
+            link_resume_timeout=self.config.link_resume_timeout,
+        )
+
+    def call(self, verb: str, fields: Dict[str, Any], blob: bytes = b"") -> Dict:
+        """One RPC to this daemon; connection faults close the client so
+        the next call re-dials (a reliable link re-dials internally)."""
+        with self._lock:
+            if self._client is None:
+                self._client = self._connect()
+            try:
+                return self._client.request(verb, fields, blob)
+            except (ChannelError, OSError):
+                try:
+                    self._client.close()
+                finally:
+                    self._client = None
+                raise
+
+    def close(self) -> None:
+        with self._lock:
+            if self._client is not None:
+                try:
+                    self._client.close()
+                except Exception:  # noqa: BLE001 - teardown
+                    pass
+                self._client = None
+
+    def accepts(self, demand_mpps: float) -> bool:
+        """Placement predicate: alive, not draining, and enough live
+        headroom to *accept* (not queue) the session."""
+        if self.state == DOWN or self.draining:
+            return False
+        headroom = self.admission.get("headroom_mpps")
+        if headroom is None:
+            return True  # no snapshot yet: let admission decide
+        return headroom >= demand_mpps
+
+    def snapshot(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "state": self.state,
+            "draining": self.draining,
+            "admission": dict(self.admission),
+        }
+
+
+@dataclass
+class GatewaySession:
+    """One client-visible session across its (possibly many) incarnations."""
+
+    gsid: int
+    key: str  # placement key (stream id)
+    name: str
+    spec: Dict[str, Any]  # StreamSpec document, for replay
+    fields: Dict[str, Any]  # original submit fields (weight, slowdown, ...)
+    stream: bytes  # exact bytes every incarnation decodes
+    i_indices: List[int]  # resumable anchors of the stream
+    daemon: str = ""
+    sid: int = 0  # daemon-local sid of the current incarnation
+    start_at: int = 0
+    processed: int = 0  # last observed progress (coded pictures)
+    failovers: int = 0
+    failover_dropped: int = 0  # pictures lost across all failovers
+    terminal: Optional[Dict[str, Any]] = None  # gateway-synthesized summary
+
+
+class FleetGateway:
+    """Front-end: admission-aware sharding, health, and failover."""
+
+    def __init__(
+        self,
+        rundir: Path,
+        config: Optional[FleetConfig] = None,
+        spawn: bool = True,
+    ):
+        self.rundir = Path(rundir)
+        self.config = config or FleetConfig()
+        self.spawn = spawn
+        self.ring = HashRing(vnodes=self.config.vnodes)
+        self.daemons: Dict[str, DaemonHandle] = {}
+        self.sessions: Dict[int, GatewaySession] = {}
+        self._next_gsid = 1
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._listener: Optional[Listener] = None
+        self.tracer: Optional[TraceWriter] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+
+    @property
+    def address(self):
+        assert self._listener is not None
+        return self._listener.address
+
+    def add_daemon(
+        self, name: str, rundir: Path, proc: Optional[DaemonProcess] = None
+    ) -> DaemonHandle:
+        """Register a daemon (spawned here or attached externally)."""
+        handle = DaemonHandle(name, rundir, self.config, proc)
+        with self._lock:
+            self.daemons[name] = handle
+            self.ring.add(name)
+        return handle
+
+    def start(self) -> None:
+        self.rundir.mkdir(parents=True, exist_ok=True)
+        self.tracer = TraceWriter(self.rundir / GATEWAY_TRACE, "gateway")
+        if self.spawn:
+            for i in range(self.config.daemons):
+                name = f"daemon{i}"
+                proc = spawn_daemon(
+                    self.rundir / name, name, self.config.daemon_config(i)
+                )
+                self.add_daemon(name, proc.rundir, proc)
+                self.tracer.emit("daemon_spawn", daemon=name, pid=proc.proc.pid)
+        if self.config.transport == "unix":
+            self._listener = Listener(
+                ("unix", str(self.rundir / f"{SERVICE_NAME}.sock"))
+            )
+        else:
+            self._listener = Listener(("tcp", "127.0.0.1", 0))
+            host, port = self._listener.address[1], self._listener.address[2]
+            tmp = self.rundir / f"{SERVICE_NAME}.addr.tmp"
+            tmp.write_text(f"{host} {port}")
+            tmp.rename(self.rundir / f"{SERVICE_NAME}.addr")
+        self.tracer.emit(
+            "gateway_start",
+            daemons=sorted(self.daemons),
+            transport=self.config.transport,
+            reliable_links=self.config.reliable_links,
+        )
+        for target, tname in (
+            (self._accept_loop, "gw-accept"),
+            (self._health_loop, "gw-health"),
+        ):
+            t = threading.Thread(target=target, name=tname, daemon=True)
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, reason: str = "requested") -> None:
+        if self._stop.is_set():
+            return
+        self._stop.set()
+        if self._listener is not None:
+            self._listener.close()
+        for t in self._threads:
+            t.join(timeout=5.0)
+        for handle in self.daemons.values():
+            if handle.state != DOWN:
+                try:
+                    handle.call(VERB_SHUTDOWN, {"reason": f"fleet stop: {reason}"})
+                except (ChannelError, OSError, ServiceError):
+                    pass
+            handle.close()
+            if handle.proc is not None:
+                handle.proc.stop()
+        if self.tracer is not None:
+            self.tracer.emit("gateway_stop", reason=reason)
+            self.tracer.close()
+
+    def serve_forever(self) -> None:
+        try:
+            while not self._stop.wait(0.2):
+                pass
+        except KeyboardInterrupt:
+            self.stop("interrupted")
+
+    def __enter__(self) -> "FleetGateway":
+        self.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # health + failover
+    # ------------------------------------------------------------------ #
+
+    def _health_loop(self) -> None:
+        while not self._stop.wait(self.config.health_interval):
+            for handle in list(self.daemons.values()):
+                if handle.state == DOWN:
+                    continue
+                if handle.process_dead():
+                    self._declare_down(handle, "process exited")
+                    continue
+                try:
+                    info = handle.call(VERB_PING, {})
+                    handle.admission = info.get("admission", {})
+                    handle.draining = bool(info.get("draining", False))
+                    handle.fail_count = 0
+                    handle.state = UP
+                    self._refresh_progress(handle)
+                except (ChannelError, OSError, ServiceError):
+                    handle.fail_count += 1
+                    if handle.fail_count >= self.config.down_after:
+                        self._declare_down(handle, "health probes failed")
+                    else:
+                        handle.state = SUSPECT
+
+    def _refresh_progress(self, handle: DaemonHandle) -> None:
+        """Cache per-session progress so failover knows where to resume
+        without asking a daemon that no longer exists."""
+        try:
+            rows = handle.call(VERB_LIST, {})["sessions"]
+        except (ChannelError, OSError, ServiceError):
+            return
+        by_sid = {row["sid"]: row for row in rows}
+        with self._lock:
+            for gs in self.sessions.values():
+                row = by_sid.get(gs.sid) if gs.daemon == handle.name else None
+                if row is None:
+                    continue
+                gs.processed = max(gs.processed, int(row.get("processed", 0)))
+                if gs.terminal is None and row.get("state") in _TERMINAL:
+                    gs.terminal = self._rewrite(gs, row)
+
+    def _declare_down(self, handle: DaemonHandle, why: str) -> None:
+        handle.state = DOWN
+        handle.close()
+        with self._lock:
+            self.ring.remove(handle.name)
+            orphans = [
+                gs
+                for gs in self.sessions.values()
+                if gs.daemon == handle.name and gs.terminal is None
+            ]
+        if self.tracer is not None:
+            self.tracer.emit(
+                "daemon_down", daemon=handle.name, why=why, orphans=len(orphans)
+            )
+        for gs in orphans:
+            self._failover(gs, handle.name)
+
+    def _failover(self, gs: GatewaySession, from_daemon: str) -> None:
+        """Replay one orphaned session onto a healthy daemon, resuming at
+        the next I-picture past its last observed progress."""
+        t0 = time.monotonic()
+        resume_at = next((i for i in gs.i_indices if i >= gs.processed), None)
+        if resume_at is None:
+            # Past the last anchor: nothing resumable remains.  Complete
+            # the session with its tail accounted as failover-dropped.
+            dropped = len(self._pictures(gs)) - gs.processed
+            gs.failovers += 1
+            gs.failover_dropped += max(0, dropped)
+            gs.terminal = {
+                "sid": gs.gsid,
+                "name": gs.name,
+                "state": "completed",
+                "reason": f"failover from {from_daemon}: tail past last anchor",
+                "processed": gs.processed,
+                "failovers": gs.failovers,
+                "failover_dropped": gs.failover_dropped,
+                "daemon": "",
+            }
+            self._emit_failover(gs, from_daemon, "", gs.processed, None, t0)
+            return
+        dropped = resume_at - gs.processed
+        demand = StreamSpec.from_dict(gs.spec).demand_mpps
+        target = self._place(gs.key, demand)
+        if target is None:
+            gs.terminal = {
+                "sid": gs.gsid,
+                "name": gs.name,
+                "state": "failed",
+                "reason": f"failover from {from_daemon}: no healthy daemon",
+                "processed": gs.processed,
+                "failovers": gs.failovers,
+                "failover_dropped": gs.failover_dropped,
+                "daemon": "",
+            }
+            self._emit_failover(gs, from_daemon, "", gs.processed, resume_at, t0)
+            return
+        fields = dict(gs.fields)
+        fields["spec"] = gs.spec
+        fields["name"] = gs.name
+        fields["start_at"] = resume_at
+        try:
+            reply = self.daemons[target].call(VERB_SUBMIT, fields, gs.stream)
+        except (ChannelError, OSError, ServiceError, KeyError):
+            reply = {}
+        if "sid" not in reply:
+            gs.terminal = {
+                "sid": gs.gsid,
+                "name": gs.name,
+                "state": "failed",
+                "reason": f"failover resubmit to {target} rejected",
+                "processed": gs.processed,
+                "failovers": gs.failovers,
+                "failover_dropped": gs.failover_dropped,
+                "daemon": "",
+            }
+            self._emit_failover(gs, from_daemon, target, gs.processed, resume_at, t0)
+            return
+        gs.failovers += 1
+        gs.failover_dropped += max(0, dropped)
+        gs.daemon = target
+        gs.sid = int(reply["sid"])
+        gs.start_at = resume_at
+        self._emit_failover(gs, from_daemon, target, gs.processed, resume_at, t0)
+
+    def _emit_failover(
+        self,
+        gs: GatewaySession,
+        from_daemon: str,
+        to_daemon: str,
+        last_processed: int,
+        resume_at: Optional[int],
+        t0: float,
+    ) -> None:
+        if self.tracer is None:
+            return
+        self.tracer.emit(
+            "failover",
+            gsid=gs.gsid,
+            name=gs.name,
+            from_daemon=from_daemon,
+            to_daemon=to_daemon,
+            last_processed=last_processed,
+            resume_at=resume_at,
+            dropped_pictures=(
+                (resume_at - last_processed) if resume_at is not None else None
+            ),
+            resume_s=round(time.monotonic() - t0, 6),
+        )
+
+    def _pictures(self, gs: GatewaySession) -> List[int]:
+        # total coded pictures of the replay stream; cheap via anchors+spec
+        n = gs.fields.get("_n_pictures")
+        if n is None:
+            from repro.mpeg2.parser import PictureScanner
+
+            _seq, pics = PictureScanner(gs.stream).scan()
+            n = len(pics)
+            gs.fields["_n_pictures"] = n
+        return list(range(int(n)))
+
+    # ------------------------------------------------------------------ #
+    # placement + verbs
+    # ------------------------------------------------------------------ #
+
+    def _place(self, key: str, demand_mpps: float) -> Optional[str]:
+        """Hash-walk the ring; admission headroom gates each candidate.
+        Falls back to any live, non-draining daemon when none has clean
+        headroom — the daemon's own admission may still queue it."""
+        with self._lock:
+            placed = self.ring.place(
+                key,
+                accept=lambda n: self.daemons[n].accepts(demand_mpps),
+            )
+            if placed is not None:
+                return placed
+            return self.ring.place(
+                key,
+                accept=lambda n: self.daemons[n].state != DOWN
+                and not self.daemons[n].draining,
+            )
+
+    def _rewrite(self, gs: GatewaySession, summary: Dict) -> Dict:
+        """A daemon-local summary, re-addressed to the gateway namespace."""
+        out = dict(summary)
+        out["sid"] = gs.gsid
+        out["daemon"] = gs.daemon
+        out["failovers"] = gs.failovers
+        out["failover_dropped"] = gs.failover_dropped
+        return out
+
+    def _do_submit(self, fields: Dict, blob: bytes) -> bytes:
+        if "spec" not in fields:
+            raise ProtocolError("submit needs a 'spec' field")
+        spec = StreamSpec.from_dict(fields["spec"])
+        name = str(fields.get("name", spec.name))
+        # The gateway owns the bytes: synthesize once so every incarnation
+        # (and the failover oracle) decodes the identical stream.
+        stream = blob if blob else self._synthesize(spec, fields)
+        key = str(fields.get("placement_key", name))
+        target = self._place(key, spec.demand_mpps)
+        if target is None:
+            return encode_response(
+                True,
+                {
+                    "admission": {
+                        "action": "reject",
+                        "reason": REJECT_DRAINING,
+                        "detail": "no healthy daemon available",
+                    }
+                },
+            )
+        sub_fields = {
+            k: v for k, v in fields.items() if k not in ("placement_key",)
+        }
+        sub_fields["name"] = name
+        reply = self.daemons[target].call(VERB_SUBMIT, sub_fields, stream)
+        if "sid" not in reply:
+            return encode_response(True, reply)
+        with self._lock:
+            gsid = self._next_gsid
+            self._next_gsid += 1
+            gs = GatewaySession(
+                gsid=gsid,
+                key=key,
+                name=name,
+                spec=dict(fields["spec"]),
+                fields={
+                    k: v
+                    for k, v in sub_fields.items()
+                    if k not in ("spec", "start_at")
+                },
+                stream=stream,
+                i_indices=i_picture_indices(stream),
+                daemon=target,
+                sid=int(reply["sid"]),
+                start_at=int(sub_fields.get("start_at", 0)),
+            )
+            self.sessions[gsid] = gs
+        if self.tracer is not None:
+            self.tracer.emit(
+                "placement",
+                gsid=gsid,
+                name=name,
+                daemon=target,
+                sid=gs.sid,
+                demand_mpps=round(spec.demand_mpps, 4),
+            )
+        doc = {"sid": gsid, "daemon": target, "admission": reply["admission"]}
+        return encode_response(True, doc)
+
+    def _synthesize(self, spec: StreamSpec, fields: Dict) -> bytes:
+        from repro.mpeg2.encoder import Encoder, EncoderConfig
+
+        n_frames = int(fields.get("n_frames", min(spec.n_frames, 48)))
+        frames = spec.synthetic_frames(
+            n_frames, max_width=self.config.service.synth_max_width
+        )
+        cfg = EncoderConfig(gop_size=spec.gop_size, b_frames=spec.b_frames)
+        return Encoder(cfg).encode(frames)
+
+    def _session(self, fields: Dict) -> GatewaySession:
+        try:
+            gsid = int(fields["sid"])
+        except (KeyError, TypeError, ValueError):
+            raise ProtocolError("need an integer 'sid'")
+        with self._lock:
+            gs = self.sessions.get(gsid)
+        if gs is None:
+            raise ProtocolError(f"no session {gsid}")
+        return gs
+
+    def _do_status(self, fields: Dict) -> bytes:
+        gs = self._session(fields)
+        if gs.terminal is not None:
+            return encode_response(True, {"session": gs.terminal})
+        try:
+            reply = self.daemons[gs.daemon].call(VERB_STATUS, {"sid": gs.sid})
+        except (ChannelError, OSError, KeyError):
+            # daemon unreachable right now: report what the gateway knows
+            return encode_response(
+                True,
+                {
+                    "session": {
+                        "sid": gs.gsid,
+                        "name": gs.name,
+                        "state": "running",
+                        "daemon": gs.daemon,
+                        "processed": gs.processed,
+                        "failovers": gs.failovers,
+                        "failover_dropped": gs.failover_dropped,
+                    }
+                },
+            )
+        summary = self._rewrite(gs, reply["session"])
+        gs.processed = max(gs.processed, int(summary.get("processed", 0)))
+        if summary.get("state") in _TERMINAL:
+            gs.terminal = summary
+        return encode_response(True, {"session": summary})
+
+    def _do_cancel(self, fields: Dict) -> bytes:
+        gs = self._session(fields)
+        reason = str(fields.get("reason", "cancelled by client"))
+        if gs.terminal is not None:
+            return encode_response(True, {"sid": gs.gsid, "cancelled": False})
+        reply = self.daemons[gs.daemon].call(
+            VERB_CANCEL, {"sid": gs.sid, "reason": reason}
+        )
+        return encode_response(
+            True, {"sid": gs.gsid, "cancelled": bool(reply.get("cancelled"))}
+        )
+
+    def _do_list(self) -> bytes:
+        with self._lock:
+            items = list(self.sessions.values())
+        rows = []
+        for gs in items:
+            if gs.terminal is not None:
+                rows.append(gs.terminal)
+                continue
+            try:
+                reply = self.daemons[gs.daemon].call(VERB_STATUS, {"sid": gs.sid})
+                rows.append(self._rewrite(gs, reply["session"]))
+            except (ChannelError, OSError, ServiceError, KeyError):
+                rows.append(
+                    {
+                        "sid": gs.gsid,
+                        "name": gs.name,
+                        "state": "running",
+                        "daemon": gs.daemon,
+                        "processed": gs.processed,
+                        "failovers": gs.failovers,
+                        "failover_dropped": gs.failover_dropped,
+                    }
+                )
+        return encode_response(True, {"sessions": rows})
+
+    def _do_drain(self, verb: str, fields: Dict) -> bytes:
+        name = fields.get("daemon")
+        if not name or name not in self.daemons:
+            raise ProtocolError(f"drain needs a known 'daemon' (got {name!r})")
+        handle = self.daemons[name]
+        reply = handle.call(verb, fields)
+        handle.draining = bool(reply.get("draining", verb == VERB_DRAIN))
+        if self.tracer is not None:
+            self.tracer.emit(
+                "daemon_drain" if verb == VERB_DRAIN else "daemon_undrain",
+                daemon=name,
+            )
+        return encode_response(True, {"daemon": name, **reply})
+
+    def _info(self) -> Dict:
+        with self._lock:
+            daemons = [h.snapshot() for h in self.daemons.values()]
+            n_sessions = len(self.sessions)
+            failovers = sum(gs.failovers for gs in self.sessions.values())
+        live = [d for d in daemons if d["state"] != DOWN]
+        capacity = sum(d["admission"].get("capacity_mpps", 0.0) for d in live)
+        active = sum(d["admission"].get("active_demand_mpps", 0.0) for d in live)
+        return {
+            "protocol": PROTOCOL_VERSION,
+            "role": "gateway",
+            "daemons": sorted(daemons, key=lambda d: d["name"]),
+            "capacity_mpps": capacity,
+            "active_demand_mpps": round(active, 4),
+            "utilization": round(active / capacity, 4) if capacity else 0.0,
+            "workers": len(live),
+            "queued": sum(d["admission"].get("queued", 0) for d in live),
+            "sessions": {"tracked": n_sessions},
+            "leases": 0,
+            "failovers": failovers,
+        }
+
+    def _dispatch(self, verb: str, fields: Dict, blob: bytes) -> bytes:
+        if verb == VERB_PING:
+            return encode_response(True, self._info())
+        if verb == VERB_SUBMIT:
+            return self._do_submit(fields, blob)
+        if verb == VERB_STATUS:
+            return self._do_status(fields)
+        if verb == VERB_CANCEL:
+            return self._do_cancel(fields)
+        if verb == VERB_LIST:
+            return self._do_list()
+        if verb in (VERB_DRAIN, VERB_UNDRAIN):
+            return self._do_drain(verb, fields)
+        if verb == VERB_SHUTDOWN:
+            reason = fields.get("reason", "client request")
+            threading.Thread(
+                target=self.stop, args=(reason,), name="gw-stop", daemon=True
+            ).start()
+            return encode_response(True, {"stopping": True, "reason": reason})
+        return encode_response(False, {}, error=f"unhandled verb {verb!r}")
+
+    # ------------------------------------------------------------------ #
+    # front listener
+    # ------------------------------------------------------------------ #
+
+    def _accept_loop(self) -> None:
+        assert self._listener is not None
+        n = 0
+        while not self._stop.is_set():
+            try:
+                ch = self._listener.accept(timeout=0.25)
+            except ChannelTimeout:
+                continue
+            except (ChannelError, OSError):
+                if self._stop.is_set():
+                    return
+                continue
+            ch.name = f"gw-conn{n}"
+            ch.start_heartbeat(0.25)
+            t = threading.Thread(
+                target=self._handle, args=(ch,), name=f"gw-conn{n}", daemon=True
+            )
+            t.start()
+            n += 1
+
+    def _handle(self, ch: Channel) -> None:
+        try:
+            while not self._stop.is_set():
+                try:
+                    msg = ch.recv(timeout=0.5)
+                except ChannelTimeout:
+                    continue
+                if msg.type != SVC_REQUEST:
+                    ch.send(
+                        SVC_RESPONSE,
+                        encode_response(
+                            False, {}, error=f"unexpected message type {msg.type}"
+                        ),
+                    )
+                    continue
+                try:
+                    verb, fields, blob = decode_request(msg.payload)
+                    reply = self._dispatch(verb, fields, blob)
+                except ProtocolError as exc:
+                    reply = encode_response(False, {}, error=str(exc))
+                except Exception as exc:  # noqa: BLE001 - report, don't die
+                    reply = encode_response(
+                        False, {}, error=f"{type(exc).__name__}: {exc}"
+                    )
+                ch.send(SVC_RESPONSE, reply)
+                if self._stop.is_set():
+                    return
+        except (ChannelClosed, ChannelError):
+            pass
+        finally:
+            ch.close()
+
+    # ------------------------------------------------------------------ #
+    # convenience (tests, benchmarks)
+    # ------------------------------------------------------------------ #
+
+    def kill_daemon(self, name: str) -> None:
+        """SIGKILL a spawned daemon — fault injection for tests/benchmarks."""
+        handle = self.daemons[name]
+        if handle.proc is None:
+            raise RuntimeError(f"daemon {name!r} was not spawned by this gateway")
+        handle.proc.kill()
+
+    def merged_trace_dir(self) -> Path:
+        """The directory ``repro trace-report --recursive`` should read:
+        gateway trace at the top, one subdirectory per daemon."""
+        return self.rundir

@@ -1,0 +1,125 @@
+"""Spawn wall-service daemons as real OS processes.
+
+The fleet's failure model is process death (a SIGKILLed daemon, an OOM
+kill, a node reboot), so the gateway's daemons must be *processes*, not
+threads — a thread cannot be killed out from under its sessions.  Each
+daemon gets its own run directory under the gateway's (rendezvous,
+traces, and logs stay per-daemon for the merged report's per-daemon
+attribution), a distinct ``trace_name``, and a disjoint ``sid_offset``
+namespace so session ids never collide across the fleet.
+
+Run one by hand with ``python -m repro.fleet.launcher <rundir>`` after
+writing ``daemon.json`` (a :class:`ServiceConfig` document) there — which
+is exactly what :func:`spawn_daemon` does.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Optional
+
+from repro.service.daemon import ServiceConfig
+
+DAEMON_CONFIG = "daemon.json"
+
+
+def _repro_pythonpath() -> str:
+    """PYTHONPATH that lets a bare interpreter import this package."""
+    import repro
+
+    src_root = str(Path(repro.__file__).resolve().parents[1])
+    existing = os.environ.get("PYTHONPATH", "")
+    return src_root + (os.pathsep + existing if existing else "")
+
+
+@dataclass
+class DaemonProcess:
+    """A spawned daemon: its identity, rundir, and child process."""
+
+    name: str
+    rundir: Path
+    proc: subprocess.Popen
+
+    def alive(self) -> bool:
+        return self.proc.poll() is None
+
+    def kill(self) -> int:
+        """SIGKILL — the fleet tests' failure injection."""
+        if self.proc.poll() is None:
+            self.proc.send_signal(signal.SIGKILL)
+        return self.proc.wait()
+
+    def stop(self, grace_s: float = 5.0) -> int:
+        """Terminate, escalating to kill past the grace period."""
+        if self.proc.poll() is None:
+            self.proc.terminate()
+            try:
+                return self.proc.wait(timeout=grace_s)
+            except subprocess.TimeoutExpired:
+                self.proc.kill()
+        return self.proc.wait()
+
+
+def spawn_daemon(
+    rundir: Path, name: str, config: ServiceConfig, ready_timeout: float = 15.0
+) -> DaemonProcess:
+    """Start one wall-service daemon under ``rundir`` and wait until its
+    rendezvous file (socket or published address) exists."""
+    rundir = Path(rundir)
+    rundir.mkdir(parents=True, exist_ok=True)
+    (rundir / DAEMON_CONFIG).write_text(json.dumps(config.to_dict()))
+    env = os.environ.copy()
+    env["PYTHONPATH"] = _repro_pythonpath()
+    log = open(rundir / "daemon.log", "wb")
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.fleet.launcher", str(rundir)],
+        stdout=log,
+        stderr=subprocess.STDOUT,
+        env=env,
+    )
+    log.close()  # the child holds its own descriptor
+    handle = DaemonProcess(name=name, rundir=rundir, proc=proc)
+    marker = (
+        rundir / "service.sock"
+        if config.transport == "unix"
+        else rundir / "service.addr"
+    )
+    deadline = time.monotonic() + ready_timeout
+    while not marker.exists():
+        if proc.poll() is not None:
+            tail = (rundir / "daemon.log").read_text(errors="replace")[-2000:]
+            raise RuntimeError(
+                f"daemon {name!r} exited {proc.returncode} before listening:\n{tail}"
+            )
+        if time.monotonic() >= deadline:
+            handle.stop()
+            raise RuntimeError(f"daemon {name!r} not listening after {ready_timeout}s")
+        time.sleep(0.02)
+    return handle
+
+
+def _main(argv) -> int:
+    from repro.service.daemon import WallService
+
+    rundir = Path(argv[0])
+    config = ServiceConfig.from_dict(
+        json.loads((rundir / DAEMON_CONFIG).read_text())
+    )
+    svc = WallService(rundir, config)
+    svc.start()
+    try:
+        svc.serve_forever()
+    finally:
+        svc.stop()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(_main(sys.argv[1:]))

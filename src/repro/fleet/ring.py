@@ -1,0 +1,98 @@
+"""Consistent-hash ring for session placement.
+
+The gateway shards sessions across daemons by hashing the stream id onto
+a ring of virtual nodes (``vnodes`` per daemon, SHA-1 positioned).  The
+two properties the fleet tests pin:
+
+- **stability** — adding or removing one daemon remaps only ~1/N of the
+  keyspace; every other key keeps its placement, so a scale-up does not
+  reshuffle the whole fleet;
+- **determinism** — placement is a pure function of (members, key).  Two
+  gateways (or one gateway across a restart) with the same member set
+  place every key identically.  That is why positions come from SHA-1,
+  never from Python's randomized ``hash()``.
+
+``place`` takes an optional ``accept`` predicate so capacity-aware
+placement composes with hashing: walk clockwise from the key's position
+and take the first *distinct* node the predicate admits — the hash
+chooses the home, live admission state chooses among the survivors.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Callable, List, Optional, Sequence, Tuple
+
+
+def _position(label: str) -> int:
+    """A stable 64-bit ring position for a label."""
+    return int.from_bytes(
+        hashlib.sha1(label.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class HashRing:
+    """Consistent hashing with virtual nodes."""
+
+    def __init__(self, nodes: Sequence[str] = (), vnodes: int = 64):
+        if vnodes < 1:
+            raise ValueError("need at least one virtual node per member")
+        self.vnodes = vnodes
+        self._ring: List[Tuple[int, str]] = []  # (position, node), sorted
+        self._keys: List[int] = []  # positions only, for bisect
+        self._nodes: set = set()
+        for node in nodes:
+            self.add(node)
+
+    @property
+    def nodes(self) -> List[str]:
+        return sorted(self._nodes)
+
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __contains__(self, node: str) -> bool:
+        return node in self._nodes
+
+    def add(self, node: str) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for v in range(self.vnodes):
+            pos = _position(f"{node}#{v}")
+            i = bisect.bisect(self._keys, pos)
+            self._keys.insert(i, pos)
+            self._ring.insert(i, (pos, node))
+
+    def remove(self, node: str) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        kept = [(pos, n) for pos, n in self._ring if n != node]
+        self._ring = kept
+        self._keys = [pos for pos, _ in kept]
+
+    def preference(self, key: str) -> List[str]:
+        """All members, in the key's clockwise walk order (deduplicated)."""
+        if not self._ring:
+            return []
+        start = bisect.bisect(self._keys, _position(key)) % len(self._ring)
+        seen: List[str] = []
+        for off in range(len(self._ring)):
+            node = self._ring[(start + off) % len(self._ring)][1]
+            if node not in seen:
+                seen.append(node)
+                if len(seen) == len(self._nodes):
+                    break
+        return seen
+
+    def place(
+        self, key: str, accept: Optional[Callable[[str], bool]] = None
+    ) -> Optional[str]:
+        """The key's home: first node on its walk that ``accept`` admits
+        (or simply the first, when no predicate is given)."""
+        for node in self.preference(key):
+            if accept is None or accept(node):
+                return node
+        return None

@@ -37,6 +37,7 @@ Failure semantics:
 from __future__ import annotations
 
 import os
+import random
 import select
 import socket
 import struct
@@ -54,6 +55,8 @@ HEADER_SIZE = struct.calcsize(HEADER_FMT)
 
 #: Transport-reserved message type: sent by the keepalive thread, consumed
 #: inside ``recv`` (refreshes the peer-activity clock, never surfaced).
+#: Types 250..255 are reserved for the opt-in reliable-link layer
+#: (:mod:`repro.net.reliable`); application numbering stays below that.
 HEARTBEAT = 0
 
 #: Socket poll granularity; every blocking wait is sliced at this period so
@@ -397,17 +400,24 @@ class ConnectPolicy:
     The defaults match the historical hard-wired constants; long-lived
     deployments (the wall service) raise ``max_interval`` so idle retry
     loops do not spin, while tests shrink everything for fast failure.
+
+    ``jitter`` randomizes each sleep to ``interval * uniform(1 - jitter, 1)``
+    so N dialers probing one restarted daemon do not reconnect in lockstep
+    (the gateway health checker runs one probe per fleet daemon).
     """
 
     retry_interval: float = 0.02
     backoff: float = 1.6
     max_interval: float = 0.5
+    jitter: float = 0.25
 
     def __post_init__(self) -> None:
         if self.retry_interval <= 0 or self.max_interval <= 0:
             raise ValueError("retry intervals must be positive")
         if self.backoff < 1.0:
             raise ValueError("backoff must not shrink the retry interval")
+        if not 0.0 <= self.jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
 
 
 def connect(
@@ -416,6 +426,7 @@ def connect(
     retry_interval: Optional[float] = None,
     backoff: Optional[float] = None,
     max_interval: Optional[float] = None,
+    jitter: Optional[float] = None,
     policy: Optional[ConnectPolicy] = None,
     **channel_kw,
 ) -> Channel:
@@ -424,12 +435,16 @@ def connect(
     Bounded retry exists because the supervisor starts the whole process
     tree at once: a dialer may race the listener's bind.  Retry tuning
     comes from ``policy`` (a :class:`ConnectPolicy`); the individual
-    keyword arguments override single fields of it.
+    keyword arguments override single fields of it.  Each sleep is
+    jittered downward by up to ``jitter`` of its length so a fleet of
+    dialers probing one reborn listener desynchronizes instead of
+    hammering it in lockstep.
     """
     p = policy or ConnectPolicy()
     retry_interval = p.retry_interval if retry_interval is None else retry_interval
     backoff = p.backoff if backoff is None else backoff
     max_interval = p.max_interval if max_interval is None else max_interval
+    jitter = p.jitter if jitter is None else jitter
     deadline = time.monotonic() + timeout
     interval = retry_interval
     last_exc: Optional[Exception] = None
@@ -445,7 +460,8 @@ def connect(
         except OSError as exc:
             sock.close()
             last_exc = exc
-            time.sleep(min(interval, max(0.0, deadline - time.monotonic())))
+            sleep = interval * (1.0 - jitter * random.random())
+            time.sleep(min(sleep, max(0.0, deadline - time.monotonic())))
             interval = min(interval * backoff, max_interval)
     raise ChannelTimeout(f"could not connect to {address!r}: {last_exc}")
 

@@ -1,0 +1,436 @@
+"""Opt-in reliable-link mode for the socket transport.
+
+A plain :class:`~repro.net.channel.Channel` is exactly as reliable as its
+TCP/unix stream: a transient disconnect (daemon restart, dropped NAT
+binding, a gateway fail-probe racing a slow accept) surfaces as
+:class:`ChannelClosed`/:class:`PeerDeadError` and the conversation is
+dead.  That is the right behavior for intra-cluster *data* links — a
+decoder losing its splitter is a cluster failure — but the fleet
+gateway's *control* traffic must survive daemon hiccups: an in-flight
+``submit`` must not be lost because the socket flapped.
+
+This module layers RTLink-style reliability (sequence-numbered frames,
+cumulative acks, bounded retransmit window, resume handshake) on top of
+the existing frame transport, negotiated HELLO-style and off by default:
+
+- every application frame is wrapped in an ``RL_DATA`` frame carrying a
+  per-link **send sequence number** and a piggybacked **cumulative ack**;
+- the sender keeps unacked frames in a bounded **retransmit window**
+  (``window`` frames); a full window blocks the sender until acks drain;
+- the receiver delivers strictly in order, acks cumulatively, and
+  re-acks (without redelivering) duplicates seen after a retransmit;
+- on disconnect, the dialer side **reconnects and resumes**: it dials
+  again, sends ``RL_SYN`` with its receive cursor and a features dict
+  (the HELLO convention — ``{"reliable": true}`` alongside whatever else,
+  mirroring the cluster's ``shm_pool`` flag), the accepter answers
+  ``RL_SYNACK`` with *its* cursor, and both sides retransmit exactly the
+  frames the peer has not seen.  The accepter side cannot dial; it parks
+  in :meth:`ReliableEndpoint.recv` until the accept loop adopts a fresh
+  connection into the link (or ``resume_timeout`` expires, which is the
+  one case that still raises :class:`PeerDeadError`).
+
+Because loss on a stream socket only ever happens *at* a disconnect,
+there is no timer-based retransmit: the resume handshake is the
+retransmission trigger, which keeps the steady-state cost to one 12-byte
+reliable header per frame plus one small ack frame per delivery.
+
+The layer is deliberately single-conversation: one thread drives
+``send``/``recv`` per endpoint (the gateway's RPC pattern).  Heartbeats
+keep running underneath on whichever channel is currently attached.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import threading
+import time
+import uuid
+from typing import Callable, Deque, Dict, Optional, Tuple
+from collections import OrderedDict, deque
+
+from repro.net.channel import (
+    Channel,
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    Message,
+    PeerDeadError,
+)
+
+#: Transport-reserved frame types (250..255; application types stay below).
+RL_DATA = 250  # reliable payload: _DATA_HEAD + inner payload
+RL_ACK = 251  # cumulative ack: _ACK_HEAD only
+RL_SYN = 252  # dialer -> accepter: open/resume (json)
+RL_SYNACK = 253  # accepter -> dialer: resume reply (json)
+
+#: seq u32, cumulative ack u32, inner type u8, inner sender u16, inner picture i32
+_DATA_HEAD = "<IIBHi"
+_DATA_HEAD_SIZE = struct.calcsize(_DATA_HEAD)
+_ACK_HEAD = "<I"
+
+#: Poll slice while waiting for window space or adoption.
+_POLL = 0.05
+
+
+class LinkProtocolError(ChannelError):
+    """The peer violated the reliable-link protocol (bad seq, bad SYN)."""
+
+
+def encode_syn(token: str, rx_next: int, features: Optional[dict] = None) -> bytes:
+    doc = {"token": token, "rx_next": rx_next}
+    if features:
+        doc["features"] = features
+    return json.dumps(doc, sort_keys=True).encode("utf-8")
+
+
+def decode_syn(payload: bytes) -> Tuple[str, int, dict]:
+    try:
+        doc = json.loads(payload.decode("utf-8"))
+        return str(doc["token"]), int(doc["rx_next"]), doc.get("features", {})
+    except (UnicodeDecodeError, ValueError, KeyError, TypeError) as exc:
+        raise LinkProtocolError(f"malformed SYN payload: {exc}") from exc
+
+
+class ReliableEndpoint:
+    """One end of a reliable link over a sequence of underlying channels.
+
+    The **dialer** side owns a ``dial`` callable and transparently
+    reconnects; the **accepter** side is re-armed from outside via
+    :meth:`adopt` (the accept loop recognizes the returning token).
+    """
+
+    def __init__(
+        self,
+        token: Optional[str] = None,
+        side: str = "dialer",
+        dial: Optional[Callable[[], Channel]] = None,
+        window: int = 64,
+        resume_timeout: float = 10.0,
+        heartbeat_interval: Optional[float] = None,
+        features: Optional[dict] = None,
+        name: str = "",
+    ):
+        if side not in ("dialer", "accepter"):
+            raise ValueError(f"unknown side {side!r}")
+        if side == "dialer" and dial is None:
+            raise ValueError("the dialer side needs a dial callable")
+        if window < 1:
+            raise ValueError("need a window of at least one frame")
+        self.token = token or uuid.uuid4().hex
+        self.side = side
+        self.dial = dial
+        self.window = window
+        self.resume_timeout = resume_timeout
+        self.heartbeat_interval = heartbeat_interval
+        self.features = dict(features or {})
+        self.features.setdefault("reliable", True)
+        self.name = name or f"rl-{self.token[:8]}"
+        self.peer_features: Dict[str, object] = {}
+        # --- reliable state (survives channel swaps) ---
+        self.tx_next = 0  # next sequence number to assign
+        self.rx_next = 0  # next sequence number expected
+        self.tx_unacked: "OrderedDict[int, bytes]" = OrderedDict()  # seq -> wire bytes
+        self._inbox: Deque[Message] = deque()  # DATA buffered while pumping acks
+        self._chan: Optional[Channel] = None
+        self._chan_gen = 0  # bumped on every (re)attach
+        self._down_since: Optional[float] = None  # first failure of this outage
+        self._cond = threading.Condition()
+        self._closed = False
+        # observability
+        self.reconnects = 0
+        self.retransmits = 0
+        self.duplicates_dropped = 0
+
+    # ------------------------------- attach ------------------------------ #
+
+    def _attach(
+        self, ch: Channel, peer_rx_next: int, send_synack: bool = False
+    ) -> None:
+        """Adopt ``ch`` as the live channel and retransmit past the peer's
+        receive cursor.  The channel swap happens *before* the SYNACK goes
+        out: the moment the peer unblocks, a thread parked in this
+        endpoint's recv/send must already see the new channel."""
+        with self._cond:
+            old = self._chan
+            self._chan = ch
+            self._chan_gen += 1
+            self._down_since = None
+            self._cond.notify_all()
+        if old is not None and old is not ch:
+            old.close()
+        if self.heartbeat_interval:
+            ch.start_heartbeat(self.heartbeat_interval)
+        if send_synack:
+            ch.send(RL_SYNACK, encode_syn(self.token, self.rx_next, self.features))
+        # Everything below the peer's cursor is implicitly acked.
+        self._process_ack(peer_rx_next - 1)
+        for seq, wire in list(self.tx_unacked.items()):
+            if seq >= peer_rx_next:
+                ch.send(RL_DATA, wire)
+                self.retransmits += 1
+
+    def adopt(self, ch: Channel, peer_rx_next: int, peer_features: dict) -> None:
+        """Accepter side: a (re)connecting peer presented this link's token.
+
+        Replies ``RL_SYNACK`` with our receive cursor, then retransmits
+        whatever the peer is missing.  Wakes any thread parked in
+        :meth:`recv`/:meth:`send` waiting out the disconnect.
+        """
+        if self._closed:
+            raise ChannelClosed(f"{self.name}: link closed")
+        self.peer_features = dict(peer_features)
+        self._attach(ch, peer_rx_next, send_synack=True)
+
+    def _outage_deadline(self, gen: int) -> float:
+        """Absolute instant this outage becomes fatal.  Anchored to the
+        *first* failure observed for this channel generation, so repeated
+        short-timeout ``recv`` calls do not keep restarting the clock."""
+        with self._cond:
+            if self._down_since is None:
+                self._down_since = time.monotonic()
+            return self._down_since + self.resume_timeout
+
+    def _redial(self, gen: int, deadline: Optional[float]) -> None:
+        """Dialer side: reconnect and run the SYN/SYNACK resume handshake."""
+        assert self.dial is not None
+        resume_by = self._outage_deadline(gen)
+        while True:
+            if self._closed:
+                raise ChannelClosed(f"{self.name}: link closed")
+            now = time.monotonic()
+            if now >= resume_by:
+                raise PeerDeadError(
+                    f"{self.name}: could not resume within "
+                    f"{self.resume_timeout:.1f}s"
+                )
+            if deadline is not None and now >= deadline:
+                raise ChannelTimeout(f"{self.name}: disconnected, still resuming")
+            try:
+                ch = self.dial()
+                ch.name = ch.name or self.name
+                ch.send(RL_SYN, encode_syn(self.token, self.rx_next, self.features))
+                reply = ch.recv(timeout=max(0.1, resume_by - time.monotonic()))
+                if reply.type != RL_SYNACK:
+                    ch.close()
+                    raise LinkProtocolError(
+                        f"{self.name}: expected SYNACK, got type {reply.type}"
+                    )
+                _token, peer_rx_next, self.peer_features = decode_syn(reply.payload)
+                self.reconnects += 1
+                self._attach(ch, peer_rx_next)
+                return
+            except LinkProtocolError:
+                raise
+            except ChannelError:
+                time.sleep(_POLL)
+
+    def open(self) -> None:
+        """Dialer side: establish the link for the first time."""
+        if self.side != "dialer":
+            raise RuntimeError("only the dialer side opens a link")
+        with self._cond:
+            gen = self._chan_gen
+        self._redial(gen, deadline=None)
+
+    def _wait_adoption(self, gen: int, deadline: Optional[float]) -> None:
+        """Accepter side: park until the accept loop adopts a new channel."""
+        resume_by = self._outage_deadline(gen)
+        t_max = resume_by if deadline is None else min(resume_by, deadline)
+        with self._cond:
+            ok = self._cond.wait_for(
+                lambda: self._closed or self._chan_gen != gen,
+                max(0.0, t_max - time.monotonic()),
+            )
+            if self._closed:
+                raise ChannelClosed(f"{self.name}: link closed")
+            if ok:
+                return
+        if time.monotonic() >= resume_by:
+            raise PeerDeadError(
+                f"{self.name}: peer did not resume within "
+                f"{self.resume_timeout:.1f}s"
+            )
+        raise ChannelTimeout(f"{self.name}: disconnected, awaiting resume")
+
+    def _recover(self, gen: int, deadline: Optional[float]) -> None:
+        """The live channel died: resume per side, once per channel
+        generation (concurrent callers piggyback on the first recovery)."""
+        with self._cond:
+            if self._chan_gen != gen:
+                return  # someone else already recovered
+        if self.side == "dialer":
+            self._redial(gen, deadline)
+        else:
+            self._wait_adoption(gen, deadline)
+
+    # -------------------------------- wire ------------------------------- #
+
+    def _live(self) -> Tuple[Channel, int]:
+        with self._cond:
+            if self._closed:
+                raise ChannelClosed(f"{self.name}: link closed")
+            if self._chan is None:
+                raise ChannelClosed(f"{self.name}: link never opened")
+            return self._chan, self._chan_gen
+
+    def _process_ack(self, ack: int) -> None:
+        """Cumulative: everything up to and including ``ack`` is delivered."""
+        while self.tx_unacked:
+            seq = next(iter(self.tx_unacked))
+            if seq > ack:
+                break
+            self.tx_unacked.popitem(last=False)
+
+    def _send_ack(self, ch: Channel) -> None:
+        try:
+            ch.send(RL_ACK, struct.pack(_ACK_HEAD, self.rx_next))
+        except ChannelError:
+            pass  # the next resume handshake carries the cursor anyway
+
+    def _pump(self, ch: Channel, timeout: float) -> None:
+        """Read one frame off the live channel: acks update the window,
+        data frames land in the inbox (deduplicated + acked)."""
+        msg = ch.recv(timeout=timeout)
+        if msg.type == RL_ACK:
+            (ack,) = struct.unpack(_ACK_HEAD, msg.payload)
+            self._process_ack(ack - 1)
+            return
+        if msg.type != RL_DATA:
+            raise LinkProtocolError(
+                f"{self.name}: unexpected frame type {msg.type} on a reliable link"
+            )
+        seq, ack, mtype, sender, picture = struct.unpack_from(
+            _DATA_HEAD, msg.payload
+        )
+        self._process_ack(ack - 1)
+        if seq < self.rx_next:
+            # retransmit of something already delivered: re-ack, drop
+            self.duplicates_dropped += 1
+            self._send_ack(ch)
+            return
+        if seq > self.rx_next:
+            raise LinkProtocolError(
+                f"{self.name}: sequence gap (got {seq}, expected {self.rx_next})"
+            )
+        self.rx_next = seq + 1
+        self._inbox.append(
+            Message(
+                type=mtype,
+                sender=sender,
+                picture=picture,
+                payload=msg.payload[_DATA_HEAD_SIZE:],
+            )
+        )
+        self._send_ack(ch)
+
+    # ------------------------------- send/recv --------------------------- #
+
+    def send(
+        self,
+        mtype: int,
+        payload: bytes = b"",
+        picture: int = -1,
+        sender: int = 0,
+        timeout: Optional[float] = None,
+    ) -> None:
+        """Sequence, window-gate, and transmit one application frame.
+
+        The frame is committed to the retransmit buffer *before* the
+        first wire attempt, so a disconnect between commit and ack can
+        never lose it — resume retransmits it.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        # Window gate: pump acks (buffering any data) until space opens.
+        while len(self.tx_unacked) >= self.window:
+            ch, gen = self._live()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ChannelTimeout(
+                    f"{self.name}: retransmit window full past timeout"
+                )
+            try:
+                self._pump(ch, timeout=_POLL)
+            except ChannelTimeout:
+                continue
+            except (ChannelClosed, PeerDeadError):
+                self._recover(gen, deadline)
+        seq = self.tx_next
+        self.tx_next += 1
+        head = struct.pack(_DATA_HEAD, seq, self.rx_next, mtype, sender, picture)
+        wire = head + (payload if isinstance(payload, bytes) else bytes(payload))
+        self.tx_unacked[seq] = wire
+        while True:
+            ch, gen = self._live()
+            try:
+                ch.send(RL_DATA, wire, timeout=timeout)
+                return
+            except (ChannelClosed, ChannelTimeout, PeerDeadError):
+                self._recover(gen, deadline)
+                # resume already retransmitted everything unacked — done
+                return
+
+    def recv(self, timeout: Optional[float] = None) -> Message:
+        """Next in-order application frame; survives reconnects."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._inbox:
+                return self._inbox.popleft()
+            ch, gen = self._live()
+            if deadline is not None and time.monotonic() >= deadline:
+                raise ChannelTimeout(f"{self.name}: no message within timeout")
+            try:
+                self._pump(ch, timeout=_POLL)
+            except ChannelTimeout:
+                continue
+            except (ChannelClosed, PeerDeadError):
+                self._recover(gen, deadline)
+
+    # ------------------------------ lifecycle ----------------------------- #
+
+    def stats_dict(self) -> Dict[str, int]:
+        return {
+            "tx_next": self.tx_next,
+            "rx_next": self.rx_next,
+            "unacked": len(self.tx_unacked),
+            "reconnects": self.reconnects,
+            "retransmits": self.retransmits,
+            "duplicates_dropped": self.duplicates_dropped,
+        }
+
+    def close(self) -> None:
+        with self._cond:
+            if self._closed:
+                return
+            self._closed = True
+            ch = self._chan
+            self._cond.notify_all()
+        if ch is not None:
+            ch.close()
+
+    def __enter__(self) -> "ReliableEndpoint":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def dial_reliable(
+    dial: Callable[[], Channel],
+    window: int = 64,
+    resume_timeout: float = 10.0,
+    heartbeat_interval: Optional[float] = None,
+    features: Optional[dict] = None,
+    name: str = "",
+) -> ReliableEndpoint:
+    """Open the dialer side of a reliable link and return it connected."""
+    ep = ReliableEndpoint(
+        side="dialer",
+        dial=dial,
+        window=window,
+        resume_timeout=resume_timeout,
+        heartbeat_interval=heartbeat_interval,
+        features=features,
+        name=name,
+    )
+    ep.open()
+    return ep

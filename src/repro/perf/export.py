@@ -176,6 +176,7 @@ class SessionAgg:
     """Per-session attribution from a wall-service trace stream."""
 
     summary: Optional[Dict] = None  # the session_summary payload
+    proc: str = ""  # the daemon whose trace carried this session
     decode_s: float = 0.0  # total decode span time billed to this sid
     decode_count: int = 0
     drop_events: int = 0  # instant "drop" events seen in the stream
@@ -201,6 +202,7 @@ class TraceReport:
     n_events: int
     sessions: Dict[int, SessionAgg] = field(default_factory=dict)
     admission_rejects: List[Dict] = field(default_factory=list)
+    failovers: List[Dict] = field(default_factory=list)  # gateway events
 
     # -- derived views ------------------------------------------------- #
 
@@ -253,6 +255,31 @@ class TraceReport:
         roll["copies_avoided"] = roll["leases"]
         return roll
 
+    def daemon_rollup(self) -> Dict[str, Dict[str, float]]:
+        """Per-daemon session attribution for fleet runs.
+
+        Groups every session by the process whose trace stream carried it
+        (each fleet daemon writes with a distinct ``trace_name``), so a
+        merged fleet trace answers "which daemon did the work" directly.
+        """
+        roll: Dict[str, Dict[str, float]] = {}
+        for agg in self.sessions.values():
+            if not agg.proc:
+                continue
+            r = roll.setdefault(
+                agg.proc,
+                {"sessions": 0, "completed": 0, "decode_s": 0.0,
+                 "drops": 0, "forced": 0},
+            )
+            r["sessions"] += 1
+            s = agg.summary or {}
+            if s.get("state") == "completed":
+                r["completed"] += 1
+            r["decode_s"] += agg.decode_s
+            r["drops"] += agg.drop_events
+            r["forced"] += agg.forced_drop_events
+        return roll
+
     def picture_percentiles(self, proc: str) -> Dict[str, float]:
         vals = sorted(self.procs[proc].picture_spans)
         return {
@@ -271,6 +298,7 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
     open_sids: Dict[Tuple[str, str, str, int], List[int]] = {}
     sessions: Dict[int, SessionAgg] = {}
     rejects: List[Dict] = []
+    failovers: List[Dict] = []
     t_lo, t_hi = float("inf"), float("-inf")
 
     def session(sid) -> SessionAgg:
@@ -301,15 +329,21 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
                 agg = session(sids.pop())
                 agg.decode_s += dur
                 agg.decode_count += 1
+                agg.proc = agg.proc or ev.proc
         elif ev.event == "drop" and "sid" in ev.data:
             agg = session(ev.data["sid"])
             agg.drop_events += 1
+            agg.proc = agg.proc or ev.proc
             ptype = ev.data.get("ptype", "?")
             agg.drops_by_type[ptype] = agg.drops_by_type.get(ptype, 0) + 1
             if ev.data.get("forced"):
                 agg.forced_drop_events += 1
         elif ev.event == "session_summary" and "sid" in ev.data:
-            session(ev.data["sid"]).summary = dict(ev.data)
+            agg = session(ev.data["sid"])
+            agg.summary = dict(ev.data)
+            agg.proc = ev.proc  # the summary's stream is authoritative
+        elif ev.event == "failover":
+            failovers.append(dict(ev.data))
         elif ev.event == "admission_reject":
             rejects.append(dict(ev.data))
         elif ev.event == "stats":
@@ -343,6 +377,7 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         n_events=len(events),
         sessions=sessions,
         admission_rejects=rejects,
+        failovers=failovers,
     )
 
 
@@ -507,33 +542,71 @@ def render_report(report: TraceReport) -> str:
 
     # ---- wall-service sessions ----------------------------------------- #
     if report.sessions:
+        # Per-daemon attribution only appears for fleet runs: more than
+        # one daemon carried sessions, or a failover happened.  A single
+        # daemon's report is byte-for-byte what it always was.
+        daemons = {a.proc for a in report.sessions.values() if a.proc}
+        fleet = len(daemons) > 1 or bool(report.failovers)
         L.append("Service sessions (per-session decode time and drop ledger):")
         sess_rows = []
         for sid in sorted(report.sessions):
             agg = report.sessions[sid]
             s = agg.summary or {}
             decoded = s.get("decoded", {})
-            sess_rows.append(
+            row = [
+                sid,
+                s.get("name", "?"),
+                s.get("state", "?"),
+                f"{agg.decode_s:.3f}",
+                agg.decode_count,
+                sum(decoded.values()) if decoded else 0,
+                s.get("dropped_b", 0),
+                s.get("dropped_p", 0),
+                s.get("forced_drops", 0),
+                s.get("peak_degrade_level", 0),
+                f"{s.get('latency_p95_ms', 0.0):.2f}",
+                "yes" if agg.consistent() else "NO",
+            ]
+            if fleet:
+                row.insert(1, agg.proc or "?")
+            sess_rows.append(row)
+        header = ["sid", "name", "state", "busy_s", "spans", "decoded",
+                  "dropB", "dropP", "forced", "peak_lvl", "p95_ms", "ledger_ok"]
+        if fleet:
+            header.insert(1, "daemon")
+        L += _table(header, sess_rows)
+        if fleet:
+            L.append("")
+            L.append("Per-daemon rollup:")
+            roll_rows = [
                 [
-                    sid,
-                    s.get("name", "?"),
-                    s.get("state", "?"),
-                    f"{agg.decode_s:.3f}",
-                    agg.decode_count,
-                    sum(decoded.values()) if decoded else 0,
-                    s.get("dropped_b", 0),
-                    s.get("dropped_p", 0),
-                    s.get("forced_drops", 0),
-                    s.get("peak_degrade_level", 0),
-                    f"{s.get('latency_p95_ms', 0.0):.2f}",
-                    "yes" if agg.consistent() else "NO",
+                    name,
+                    int(r["sessions"]),
+                    int(r["completed"]),
+                    f"{r['decode_s']:.3f}",
+                    int(r["drops"]),
+                    int(r["forced"]),
                 ]
+                for name, r in sorted(report.daemon_rollup().items())
+            ]
+            L += _table(
+                ["daemon", "sessions", "completed", "decode_s", "drops",
+                 "forced"],
+                roll_rows,
             )
-        L += _table(
-            ["sid", "name", "state", "busy_s", "spans", "decoded",
-             "dropB", "dropP", "forced", "peak_lvl", "p95_ms", "ledger_ok"],
-            sess_rows,
-        )
+        if report.failovers:
+            L.append("")
+            L.append("Failovers:")
+            for f in report.failovers:
+                L.append(
+                    f"  gsid {f.get('gsid')} ({f.get('name', '?')}): "
+                    f"{f.get('from_daemon', '?')} -> "
+                    f"{f.get('to_daemon') or '(none)'}, "
+                    f"last_processed {f.get('last_processed')}, "
+                    f"resume_at {f.get('resume_at')}, "
+                    f"dropped {f.get('dropped_pictures')}, "
+                    f"resume {1e3 * float(f.get('resume_s', 0.0)):.1f} ms"
+                )
         bad = [
             sid
             for sid, agg in report.sessions.items()

@@ -355,6 +355,7 @@ def merge_traces(
     trace_dir: Union[str, Path],
     output: Optional[Union[str, Path]] = None,
     strict: bool = True,
+    recursive: bool = False,
 ) -> List[TraceEvent]:
     """Collate every per-process trace in ``trace_dir`` into one timeline.
 
@@ -362,9 +363,14 @@ def merge_traces(
     the merge is deterministic).  When ``output`` is given the merged
     timeline is also written as JSONL.  ``strict=False`` tolerates torn
     lines from crashed workers (the supervisor's failure path).
+
+    ``recursive=True`` also descends into subdirectories — the fleet
+    layout, where the gateway's trace sits at the top of the run
+    directory and each daemon traces into its own subdirectory.
     """
+    pattern = f"**/*{TRACE_SUFFIX}" if recursive else f"*{TRACE_SUFFIX}"
     events: List[TraceEvent] = []
-    for path in sorted(Path(trace_dir).glob(f"*{TRACE_SUFFIX}")):
+    for path in sorted(Path(trace_dir).glob(pattern)):
         if Path(path).name == "merged" + TRACE_SUFFIX:
             continue  # never fold a previous merge back into itself
         events.extend(read_trace_file(path, strict=strict))

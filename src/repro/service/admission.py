@@ -35,6 +35,7 @@ REJECT_OVERSIZE = "reject-oversize"
 REJECT_QUEUE_FULL = "reject-queue-full"
 REJECT_VBV = "reject-vbv"
 REJECT_BAD_SPEC = "reject-bad-spec"
+REJECT_DRAINING = "reject-draining"  # administrative drain, not a capacity fact
 
 
 @dataclass(frozen=True)
@@ -152,6 +153,26 @@ class AdmissionController:
             "peak_occupancy_bits": round(res.peak_occupancy),
             "buffer_bits": buffer_bits,
             "initial_delay_s": round(delay, 4),
+        }
+
+    def export_state(self, pool: PoolView) -> Dict[str, float]:
+        """The live admission state a fleet gateway places against.
+
+        Everything a capacity-aware placement policy needs, in one JSON
+        document: the configured capacity, what is already spoken for,
+        and how much queue absorbency remains.  ``headroom_mpps`` is the
+        demand a new session may add and still be *accepted* (not
+        queued) — the gateway's primary placement signal.
+        """
+        return {
+            "capacity_mpps": self.capacity_mpps,
+            "active_demand_mpps": round(pool.active_demand_mpps, 4),
+            "headroom_mpps": round(
+                max(0.0, self.capacity_mpps - pool.active_demand_mpps), 4
+            ),
+            "queued": pool.queued,
+            "queue_slots": self.queue_slots,
+            "queue_free": max(0, self.queue_slots - pool.queued),
         }
 
     def evaluate(self, spec: StreamSpec, pool: PoolView) -> AdmissionDecision:

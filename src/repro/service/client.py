@@ -10,21 +10,31 @@ can assert on them.
 
 from __future__ import annotations
 
+import random
 import time
 from pathlib import Path
 from typing import Any, Dict, Optional
 
-from repro.net.channel import Address, ChannelTimeout, ConnectPolicy, connect
+from repro.net.channel import (
+    Address,
+    ChannelError,
+    ChannelTimeout,
+    ConnectPolicy,
+    connect,
+)
+from repro.net.reliable import dial_reliable
 from repro.service.daemon import SERVICE_NAME
 from repro.service.protocol import (
     SVC_REQUEST,
     SVC_RESPONSE,
     VERB_CANCEL,
+    VERB_DRAIN,
     VERB_LIST,
     VERB_PING,
     VERB_SHUTDOWN,
     VERB_STATUS,
     VERB_SUBMIT,
+    VERB_UNDRAIN,
     ProtocolError,
     decode_response,
     encode_request,
@@ -54,7 +64,25 @@ def resolve_service(
 
 
 class ServiceClient:
-    """One connection to a running wall service."""
+    """One connection to a running wall service.
+
+    Transient connection faults (a daemon restarting, a listener briefly
+    down, a half-open socket reset under the first write) surface as
+    ``ECONNRESET``/``ECONNREFUSED``-class errors; rather than leak raw
+    ``OSError`` to callers, :meth:`request` re-resolves the address,
+    re-dials, and replays the request up to ``retries`` times with
+    exponential backoff and full jitter.  The service protocol is one
+    independent round-trip per request over a fresh-or-same connection,
+    so a replay is safe for every verb except a ``submit`` whose response
+    was lost *after* admission — the one window where a retry can
+    double-submit; callers who care pass ``retries=0``.
+
+    With ``reliable=True`` the client speaks the reliable-link layer
+    (:mod:`repro.net.reliable`): sequence-numbered frames with
+    reconnect-and-resume, so a mid-exchange disconnect replays nothing —
+    the link itself retransmits.  That is the mode the fleet gateway uses
+    for its daemon links.
+    """
 
     def __init__(
         self,
@@ -64,16 +92,49 @@ class ServiceClient:
         request_timeout: float = 60.0,
         heartbeat_interval: float = 0.25,
         policy: Optional[ConnectPolicy] = None,
+        retries: int = 3,
+        retry_backoff: float = 0.05,
+        reliable: bool = False,
+        link_resume_timeout: float = 10.0,
     ):
+        self.rundir = Path(rundir)
+        self.transport = transport
+        self.connect_timeout = connect_timeout
         self.request_timeout = request_timeout
-        address = resolve_service(rundir, transport, connect_timeout)
-        self.channel = connect(
+        self.heartbeat_interval = heartbeat_interval
+        self.policy = policy or ConnectPolicy()
+        self.retries = retries
+        self.retry_backoff = retry_backoff
+        self.reliable = reliable
+        self.link_resume_timeout = link_resume_timeout
+        self.channel = self._dial()
+
+    def _dial(self):
+        address = resolve_service(
+            self.rundir, self.transport, self.connect_timeout
+        )
+        if self.reliable:
+            return dial_reliable(
+                lambda: connect(
+                    resolve_service(
+                        self.rundir, self.transport, self.connect_timeout
+                    ),
+                    timeout=self.connect_timeout,
+                    policy=self.policy,
+                    name="svc-client",
+                ),
+                resume_timeout=self.link_resume_timeout,
+                heartbeat_interval=self.heartbeat_interval,
+                name="svc-client",
+            )
+        ch = connect(
             address,
-            timeout=connect_timeout,
-            policy=policy or ConnectPolicy(),
+            timeout=self.connect_timeout,
+            policy=self.policy,
             name="svc-client",
         )
-        self.channel.start_heartbeat(heartbeat_interval)
+        ch.start_heartbeat(self.heartbeat_interval)
+        return ch
 
     def close(self) -> None:
         self.channel.close()
@@ -86,10 +147,9 @@ class ServiceClient:
 
     # ------------------------------------------------------------------ #
 
-    def request(
-        self, verb: str, fields: Dict[str, Any], blob: bytes = b""
+    def _round_trip(
+        self, verb: str, fields: Dict[str, Any], blob: bytes
     ) -> Dict[str, Any]:
-        """One round-trip; raises :class:`ServiceError` on ``ok=false``."""
         self.channel.send(SVC_REQUEST, encode_request(verb, fields, blob))
         msg = self.channel.recv(timeout=self.request_timeout)
         if msg.type != SVC_RESPONSE:
@@ -98,6 +158,38 @@ class ServiceClient:
         if not doc["ok"]:
             raise ServiceError(doc.get("error", "request failed"))
         return doc
+
+    def request(
+        self, verb: str, fields: Dict[str, Any], blob: bytes = b""
+    ) -> Dict[str, Any]:
+        """One round-trip; raises :class:`ServiceError` on ``ok=false``.
+
+        Connection-level faults are retried with backoff (see the class
+        docstring); protocol and timeout errors are not.
+        """
+        attempt = 0
+        while True:
+            try:
+                return self._round_trip(verb, fields, blob)
+            except ChannelTimeout:
+                raise
+            except (ChannelError, OSError) as exc:
+                if self.reliable or attempt >= self.retries:
+                    raise
+                attempt += 1
+                delay = self.retry_backoff * (2 ** (attempt - 1))
+                time.sleep(delay * random.random())
+                try:
+                    self.channel.close()
+                except Exception:  # noqa: BLE001 - already broken
+                    pass
+                try:
+                    self.channel = self._dial()
+                except (ChannelError, OSError):
+                    if attempt >= self.retries:
+                        raise exc
+                    # listener still down: loop pays the next backoff
+                    continue
 
     # ------------------------------------------------------------------ #
 
@@ -112,9 +204,11 @@ class ServiceClient:
         weight: float = 1.0,
         slowdown_s: float = 0.0,
         n_frames: Optional[int] = None,
+        start_at: int = 0,
     ) -> Dict[str, Any]:
         """Submit a session; returns ``{"sid": ..., "admission": {...}}``
-        (no ``sid`` when admission rejected)."""
+        (no ``sid`` when admission rejected).  ``start_at`` resumes the
+        decode at a mid-stream I-picture (failover replay)."""
         fields: Dict[str, Any] = {
             "spec": spec.to_dict(),
             "weight": weight,
@@ -124,6 +218,8 @@ class ServiceClient:
             fields["name"] = name
         if n_frames is not None:
             fields["n_frames"] = n_frames
+        if start_at:
+            fields["start_at"] = start_at
         return self.request(VERB_SUBMIT, fields, stream)
 
     def status(self, sid: int) -> Dict[str, Any]:
@@ -137,6 +233,12 @@ class ServiceClient:
 
     def shutdown(self, reason: str = "client request") -> Dict[str, Any]:
         return self.request(VERB_SHUTDOWN, {"reason": reason})
+
+    def drain(self, reason: str = "operator request") -> Dict[str, Any]:
+        return self.request(VERB_DRAIN, {"reason": reason})
+
+    def undrain(self, reason: str = "operator request") -> Dict[str, Any]:
+        return self.request(VERB_UNDRAIN, {"reason": reason})
 
     def wait(
         self, sid: int, timeout: float = 120.0, poll: float = 0.1

@@ -39,20 +39,29 @@ from repro.net.channel import (
     ChannelError,
     ChannelTimeout,
     Listener,
+    Message,
 )
+from repro.net.reliable import RL_SYN, ReliableEndpoint, decode_syn
 from repro.perf.telemetry import maybe_emit_stats, registry
 from repro.perf.trace import TraceWriter
-from repro.service.admission import AdmissionController, PoolView
+from repro.service.admission import (
+    REJECT_DRAINING,
+    AdmissionController,
+    AdmissionDecision,
+    PoolView,
+)
 from repro.service.pacer import LadderConfig
 from repro.service.protocol import (
     SVC_REQUEST,
     SVC_RESPONSE,
     VERB_CANCEL,
+    VERB_DRAIN,
     VERB_LIST,
     VERB_PING,
     VERB_SHUTDOWN,
     VERB_STATUS,
     VERB_SUBMIT,
+    VERB_UNDRAIN,
     PROTOCOL_VERSION,
     ProtocolError,
     decode_request,
@@ -83,12 +92,22 @@ class ServiceConfig:
     synth_max_width: int = 96  # raster cap for spec-synthesized streams
     max_blob_bytes: int = 256 * 1024 * 1024
     telemetry: bool = True
+    # Fleet integration: a distinct trace identity per daemon (per-daemon
+    # attribution in merged reports) and a sid namespace offset so session
+    # ids stay globally unique across a sharded fleet.
+    trace_name: str = SERVICE_NAME
+    sid_offset: int = 0
+    # Reliable-link resume window: how long a disconnected gateway link
+    # is held open for reconnect-and-resume before it is declared dead.
+    link_resume_timeout: float = 10.0
 
     def __post_init__(self) -> None:
         if self.workers < 1:
             raise ValueError("pool needs at least one worker")
         if self.transport not in ("unix", "tcp"):
             raise ValueError(f"unknown transport {self.transport!r}")
+        if self.sid_offset < 0:
+            raise ValueError("sid_offset must be non-negative")
 
     def ladder(self) -> LadderConfig:
         return LadderConfig(
@@ -123,8 +142,11 @@ class WallService:
         self.scheduler = PoolScheduler()
         self.sessions: Dict[int, Session] = {}
         self.backlog: List[Session] = []  # FIFO admission queue
+        self.draining = False  # administrative: refuse new work, finish old
         self._lock = threading.Lock()
-        self._next_sid = 1
+        self._next_sid = 1 + self.config.sid_offset
+        self._links: Dict[str, ReliableEndpoint] = {}  # reliable gateway links
+        self._links_lock = threading.Lock()
         self._stop = threading.Event()
         self._threads: List[threading.Thread] = []
         self._listener: Optional[Listener] = None
@@ -143,7 +165,9 @@ class WallService:
     def start(self) -> None:
         self.rundir.mkdir(parents=True, exist_ok=True)
         self.tracer = TraceWriter(
-            self.rundir / TRACE_FILE, SERVICE_NAME, spans=self.config.telemetry
+            self.rundir / TRACE_FILE,
+            self.config.trace_name,
+            spans=self.config.telemetry,
         )
         if self.config.transport == "unix":
             self._listener = Listener(
@@ -180,6 +204,11 @@ class WallService:
         self.scheduler.close()
         if self._listener is not None:
             self._listener.close()
+        with self._links_lock:
+            links = list(self._links.values())
+            self._links.clear()
+        for link in links:
+            link.close()
         for t in self._threads:
             t.join(timeout=5.0)
         with self._lock:
@@ -342,14 +371,68 @@ class WallService:
             n += 1
 
     def _handle_connection(self, ch: Channel) -> None:
+        """Classify a fresh connection by its first frame.
+
+        An ``RL_SYN`` opens (or resumes) a reliable gateway link: a new
+        token gets its own serve loop over the :class:`ReliableEndpoint`;
+        a returning token re-arms the existing endpoint — its original
+        serve loop picks the conversation back up, and this thread is
+        done.  Anything else is a plain client connection and the first
+        frame is already its first request.
+        """
+        try:
+            first = ch.recv(timeout=self.config.dead_after)
+        except (ChannelClosed, ChannelError):
+            ch.close()
+            return
+        if first.type != RL_SYN:
+            self._serve_loop(ch, first=first)
+            return
+        try:
+            token, rx_next, feats = decode_syn(first.payload)
+        except ChannelError:
+            ch.close()
+            return
+        with self._links_lock:
+            link = self._links.get(token)
+            fresh = link is None
+            if fresh:
+                link = ReliableEndpoint(
+                    token=token,
+                    side="accepter",
+                    resume_timeout=self.config.link_resume_timeout,
+                    heartbeat_interval=self.config.heartbeat_interval,
+                    name=f"svc-link-{token[:8]}",
+                )
+                self._links[token] = link
+        try:
+            link.adopt(ch, rx_next, feats)
+        except (ChannelClosed, ChannelError):
+            ch.close()
+            if not fresh:
+                return
+        if fresh:
+            try:
+                self._serve_loop(link)
+            finally:
+                with self._links_lock:
+                    self._links.pop(token, None)
+                link.close()
+
+    def _serve_loop(self, link, first: Optional[Message] = None) -> None:
+        """One request/response conversation over a channel-like ``link``
+        (a plain :class:`Channel` or a :class:`ReliableEndpoint`)."""
         try:
             while not self._stop.is_set():
-                try:
-                    msg = ch.recv(timeout=0.5)
-                except ChannelTimeout:
-                    continue
+                if first is not None:
+                    msg, first = first, None
+                else:
+                    try:
+                        msg = link.recv(timeout=0.5)
+                    except ChannelTimeout:
+                        continue
                 if msg.type != SVC_REQUEST:
-                    ch.send(
+                    link.send(
                         SVC_RESPONSE,
                         encode_response(
                             False, {}, error=f"unexpected message type {msg.type}"
@@ -365,13 +448,13 @@ class WallService:
                     reply = encode_response(
                         False, {}, error=f"{type(exc).__name__}: {exc}"
                     )
-                ch.send(SVC_RESPONSE, reply)
+                link.send(SVC_RESPONSE, reply)
                 if self._stop.is_set():
                     return
         except (ChannelClosed, ChannelError):
             pass
         finally:
-            ch.close()
+            link.close()
 
     def _dispatch(self, verb: str, fields: dict, blob: bytes) -> bytes:
         if verb == VERB_PING:
@@ -386,6 +469,10 @@ class WallService:
             with self._lock:
                 sessions = [s.summary() for s in self.sessions.values()]
             return encode_response(True, {"sessions": sessions})
+        if verb == VERB_DRAIN:
+            return self._do_drain(True, fields)
+        if verb == VERB_UNDRAIN:
+            return self._do_drain(False, fields)
         if verb == VERB_SHUTDOWN:
             reason = fields.get("reason", "client request")
             threading.Thread(
@@ -393,6 +480,25 @@ class WallService:
             ).start()
             return encode_response(True, {"stopping": True, "reason": reason})
         return encode_response(False, {}, error=f"unhandled verb {verb!r}")
+
+    def _do_drain(self, draining: bool, fields: dict) -> bytes:
+        """Administrative drain: refuse new sessions, finish running ones."""
+        reason = str(fields.get("reason", "operator request"))
+        with self._lock:
+            changed = self.draining != draining
+            self.draining = draining
+            active = sum(
+                1
+                for s in self.sessions.values()
+                if s.state in (SessionState.RUNNING, SessionState.QUEUED)
+            )
+        if changed and self.tracer is not None:
+            self.tracer.emit(
+                "drain" if draining else "undrain", reason=reason, active=active
+            )
+        return encode_response(
+            True, {"draining": draining, "changed": changed, "active": active}
+        )
 
     def _info(self) -> dict:
         with self._lock:
@@ -402,6 +508,7 @@ class WallService:
                 states[s.state.value] = states.get(s.state.value, 0) + 1
         return {
             "protocol": PROTOCOL_VERSION,
+            "name": self.config.trace_name,
             "uptime_s": round(time.monotonic() - self.started_at, 3),
             "capacity_mpps": self.config.capacity_mpps,
             "active_demand_mpps": round(view.active_demand_mpps, 4),
@@ -412,6 +519,8 @@ class WallService:
             "queued": view.queued,
             "sessions": states,
             "leases": self.scheduler.leases,
+            "draining": self.draining,
+            "admission": self.admission.export_state(view),
         }
 
     # ------------------------------------------------------------------ #
@@ -424,6 +533,7 @@ class WallService:
         spec = StreamSpec.from_dict(fields["spec"])
         weight = float(fields.get("weight", 1.0))
         slowdown = float(fields.get("slowdown_s", 0.0))
+        start_at = int(fields.get("start_at", 0))
         name = str(fields.get("name", spec.name))
         if len(blob) > self.config.max_blob_bytes:
             raise ProtocolError(
@@ -431,8 +541,22 @@ class WallService:
             )
         if weight <= 0:
             raise ProtocolError("weight must be positive")
+        if start_at < 0:
+            raise ProtocolError("start_at must be non-negative")
 
         with self._lock:
+            if self.draining:
+                decision = AdmissionDecision(
+                    action="reject",
+                    reason=REJECT_DRAINING,
+                    detail="daemon is draining: not accepting new sessions",
+                    demand_mpps=spec.demand_mpps,
+                )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "admission_reject", name=name, **decision.to_dict()
+                    )
+                return encode_response(True, {"admission": decision.to_dict()})
             decision = self.admission.evaluate(spec, self._pool_view())
             if decision.action == "reject":
                 if self.tracer is not None:
@@ -445,8 +569,17 @@ class WallService:
         stream = blob if blob else self._synthesize(spec, fields)
 
         with self._lock:
-            # Re-evaluate: the pool may have changed while we encoded.
-            decision = self.admission.evaluate(spec, self._pool_view())
+            # Re-evaluate: the pool (or drain state) may have changed
+            # while we encoded.
+            if self.draining:
+                decision = AdmissionDecision(
+                    action="reject",
+                    reason=REJECT_DRAINING,
+                    detail="daemon is draining: not accepting new sessions",
+                    demand_mpps=spec.demand_mpps,
+                )
+            else:
+                decision = self.admission.evaluate(spec, self._pool_view())
             if decision.action == "reject":
                 if self.tracer is not None:
                     self.tracer.emit(
@@ -463,6 +596,7 @@ class WallService:
                 weight=weight,
                 slowdown_s=slowdown,
                 ladder=self.config.ladder(),
+                start_at=start_at,
             )
             self.sessions[sid] = session
             if decision.action == "accept":

@@ -103,12 +103,20 @@ class DegradationLadder:
 class SessionPacer:
     """Presentation clock for one session's coded pictures."""
 
-    def __init__(self, fps: float, config: LadderConfig = LadderConfig()):
+    def __init__(
+        self,
+        fps: float,
+        config: LadderConfig = LadderConfig(),
+        start_index: int = 0,
+    ):
         if fps <= 0:
             raise ValueError("fps must be positive")
+        if start_index < 0:
+            raise ValueError("start_index must be non-negative")
         self.period = 1.0 / fps
         self.config = config
         self.ladder = DegradationLadder(config)
+        self.start_index = start_index  # first coded picture on this clock
         self.t0: float = 0.0
         self.started = False
 
@@ -117,8 +125,13 @@ class SessionPacer:
         self.started = True
 
     def deadline(self, i: int) -> float:
-        """Presentation instant of coded picture ``i``."""
-        return self.t0 + (i + 1) * self.period
+        """Presentation instant of coded picture ``i``.
+
+        A resumed session (failover replay from a mid-stream I-picture)
+        restarts the clock at ``start_index`` — the pictures before it
+        were played, or dropped, by the session's previous incarnation.
+        """
+        return self.t0 + (i - self.start_index + 1) * self.period
 
     def gate_time(self, i: int) -> float:
         """Earliest instant decode of picture ``i`` may start (anti-free-run)."""

@@ -40,6 +40,10 @@ VERB_CANCEL = "cancel"
 VERB_LIST = "list"
 VERB_PING = "ping"
 VERB_SHUTDOWN = "shutdown"
+#: Administrative drain (the fleet gateway's verb): stop accepting new
+#: sessions, let running ones finish.  ``undrain`` reopens admission.
+VERB_DRAIN = "drain"
+VERB_UNDRAIN = "undrain"
 
 KNOWN_VERBS = (
     VERB_SUBMIT,
@@ -48,6 +52,8 @@ KNOWN_VERBS = (
     VERB_LIST,
     VERB_PING,
     VERB_SHUTDOWN,
+    VERB_DRAIN,
+    VERB_UNDRAIN,
 )
 
 _HEAD = "<HI"

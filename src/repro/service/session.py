@@ -20,6 +20,7 @@ nothing was dropped, which the service tests assert.
 
 from __future__ import annotations
 
+import hashlib
 import threading
 import time
 from dataclasses import dataclass, field
@@ -67,17 +68,38 @@ class StepResult:
 
 
 class PacedStreamDecoder:
-    """Decode a stream picture-by-picture with reference-safe drops."""
+    """Decode a stream picture-by-picture with reference-safe drops.
 
-    def __init__(self, stream: bytes, batch_reconstruct: bool = True):
+    ``start_at`` resumes decode at a mid-stream coded picture: the fleet
+    gateway's failover replays a session to a new daemon from the next
+    I-picture after the old daemon's last progress point.  Resumption
+    must land on an I-picture — only a keyframe re-anchors the reference
+    chain, so starting anywhere else could never be bit-identical to a
+    clean decode from the same point.
+    """
+
+    def __init__(
+        self, stream: bytes, batch_reconstruct: bool = True, start_at: int = 0
+    ):
         self.sequence, self.pictures = PictureScanner(stream).scan()
         self.parser = MacroblockParser(self.sequence)
         self.batch_reconstruct = batch_reconstruct
         self.meta: List[PictureMeta] = self._scan_meta()
+        if start_at and not 0 <= start_at < len(self.pictures):
+            raise ValueError(
+                f"start_at {start_at} out of range "
+                f"(stream has {len(self.pictures)} pictures)"
+            )
+        if start_at and self.meta[start_at].ptype != PictureType.I:
+            raise ValueError(
+                f"can only resume at an I-picture; picture {start_at} is "
+                f"{self.meta[start_at].ptype.name}"
+            )
+        self.start_at = start_at
         self._held: Optional[Frame] = None
         self._prev_anchor: Optional[Frame] = None
         self._broken = False
-        self.next_index = 0
+        self.next_index = start_at
 
     def _scan_meta(self) -> List[PictureMeta]:
         """Peek every picture's type and GOP position (header-only parse)."""
@@ -151,6 +173,47 @@ class PacedStreamDecoder:
         return out
 
 
+def i_picture_indices(stream: bytes) -> List[int]:
+    """Coded indices of every I-picture — the resumable points of a stream.
+
+    The gateway computes this once per submitted session (header-only
+    parse, no VLC work) so failover can pick the next anchor without the
+    stream in hand at failure time.
+    """
+    _seq, pictures = PictureScanner(stream).scan()
+    return [
+        i
+        for i, unit in enumerate(pictures)
+        if peek_picture_type(unit.data) == PictureType.I
+    ]
+
+
+def clean_decode_digest(stream: bytes, start_at: int = 0) -> str:
+    """SHA-256 over the display-order output of an undropped decode
+    starting at coded picture ``start_at`` (an I-picture).
+
+    This is the failover acceptance oracle: a session resumed on another
+    daemon at ``start_at`` must report exactly this digest — the resumed
+    output is bit-identical to a clean decode from that anchor onward.
+    """
+    dec = PacedStreamDecoder(stream, start_at=start_at)
+    h = hashlib.sha256()
+    while not dec.done:
+        res = dec.step(drop=False)
+        if res.frame is not None:
+            _digest_frame(h, res.frame)
+    tail = dec.flush()
+    if tail is not None:
+        _digest_frame(h, tail)
+    return h.hexdigest()
+
+
+def _digest_frame(h, frame: Frame) -> None:
+    h.update(frame.y.tobytes())
+    h.update(frame.cb.tobytes())
+    h.update(frame.cr.tobytes())
+
+
 # --------------------------------------------------------------------- #
 # session
 # --------------------------------------------------------------------- #
@@ -203,6 +266,7 @@ class Session:
         slowdown_s: float = 0.0,
         ladder: LadderConfig = LadderConfig(),
         batch_reconstruct: bool = True,
+        start_at: int = 0,
     ):
         if weight <= 0:
             raise ValueError("session weight must be positive")
@@ -213,10 +277,12 @@ class Session:
         self.weight = weight
         self.slowdown_s = slowdown_s
         self.batch_reconstruct = batch_reconstruct
+        self.start_at = start_at  # failover resume point (an I-picture)
         self.state = SessionState.QUEUED
         self.reason = ""
-        self.pacer = SessionPacer(spec.fps, ladder)
+        self.pacer = SessionPacer(spec.fps, ladder, start_index=start_at)
         self.counters = SessionCounters()
+        self._digest = hashlib.sha256()  # over every released frame, in order
         self.latency = Histogram(_LATENCY_BOUNDS)
         self.decoder: Optional[PacedStreamDecoder] = None
         self.submitted_at = time.time()
@@ -248,7 +314,9 @@ class Session:
     def start(self, now: float) -> None:
         """Admission → running: open the decoder and start the clock."""
         self.decoder = PacedStreamDecoder(
-            self.stream, batch_reconstruct=self.batch_reconstruct
+            self.stream,
+            batch_reconstruct=self.batch_reconstruct,
+            start_at=self.start_at,
         )
         self.pacer.start(now)
         self.state = SessionState.RUNNING
@@ -311,6 +379,7 @@ class Session:
             self.counters.decoded[res.ptype.name] += 1
             if res.frame is not None:
                 self.counters.released += 1
+                _digest_frame(self._digest, res.frame)
         else:
             if res.ptype == PictureType.B:
                 self.counters.dropped_b += 1
@@ -331,6 +400,7 @@ class Session:
             tail = self.decoder.flush()
             if tail is not None:
                 self.counters.released += 1
+                _digest_frame(self._digest, tail)
         return res
 
     # ----------------------------- reporting -------------------------- #
@@ -361,6 +431,8 @@ class Session:
             "state": self.state.value,
             "reason": self.reason,
             "weight": self.weight,
+            "start_at": self.start_at,
+            "output_digest": self._digest.hexdigest(),
             "demand_mpps": round(self.spec.demand_mpps, 4),
             "pictures": self.decoder.n_pictures if self.decoder else 0,
             "processed": self.decoder.next_index if self.decoder else 0,

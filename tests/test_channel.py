@@ -405,3 +405,283 @@ class TestPeerDeath:
         client.close()
         server.close()
         lst.close()
+
+
+# --------------------------------------------------------------------- #
+# reliable-link layer
+# --------------------------------------------------------------------- #
+
+import struct
+
+from repro.net.channel import ChannelError
+from repro.net.reliable import (
+    RL_ACK,
+    RL_DATA,
+    RL_SYN,
+    RL_SYNACK,
+    LinkProtocolError,
+    ReliableEndpoint,
+    _ACK_HEAD,
+    _DATA_HEAD,
+    decode_syn,
+    dial_reliable,
+    encode_syn,
+)
+
+
+class _ReliableServer:
+    """A minimal accept loop adopting RL_SYN connections into one endpoint
+    — the daemon's connection-classification logic, shrunk for tests."""
+
+    def __init__(self, lst, **ep_kw):
+        self.lst = lst
+        self.ep = ReliableEndpoint(side="accepter", **ep_kw)
+        self.raw = []  # every adopted raw channel, for fault injection
+        self._stop = threading.Event()
+        self.thread = threading.Thread(target=self._loop, daemon=True)
+        self.thread.start()
+
+    def _loop(self):
+        while not self._stop.is_set():
+            try:
+                ch = self.lst.accept(timeout=0.1)
+            except ChannelTimeout:
+                continue
+            except (ChannelError, OSError):
+                return
+            try:
+                first = ch.recv(timeout=5)
+                if first.type != RL_SYN:
+                    ch.close()
+                    continue
+                _token, rx_next, feats = decode_syn(first.payload)
+                self.raw.append(ch)
+                self.ep.adopt(ch, rx_next, feats)
+            except (ChannelClosed, ChannelError):
+                ch.close()
+
+    def cut(self):
+        """Sever the live connection server-side (simulated network cut)."""
+        for ch in self.raw:
+            ch.close()
+
+    def close(self):
+        self._stop.set()
+        self.ep.close()
+        self.thread.join(timeout=5)
+
+
+@pytest.fixture(params=["unix", "tcp"])
+def reliable_pair(request, tmp_path):
+    """(dialer endpoint, server harness, listener) over each transport."""
+    if request.param == "unix":
+        lst = Listener(("unix", str(tmp_path / "rl.sock")))
+    else:
+        lst = Listener(("tcp", "127.0.0.1", 0))
+    server = _ReliableServer(lst, resume_timeout=5.0)
+    dialer = dial_reliable(
+        lambda: connect(lst.address, timeout=5), resume_timeout=5.0, name="dl"
+    )
+    yield dialer, server, lst
+    dialer.close()
+    server.close()
+    lst.close()
+
+
+class TestReliableLink:
+    def test_in_order_roundtrip_with_acks(self, reliable_pair):
+        dialer, server, _ = reliable_pair
+        for i in range(10):
+            dialer.send(40, f"m{i}".encode(), picture=i)
+        got = [server.ep.recv(timeout=5) for _ in range(10)]
+        assert [m.payload for m in got] == [f"m{i}".encode() for i in range(10)]
+        assert [m.picture for m in got] == list(range(10))
+        # replies flow the other way on the same link
+        server.ep.send(41, b"pong")
+        assert dialer.recv(timeout=5).payload == b"pong"
+        # the reply's piggybacked ack cleared the dialer's window
+        assert dialer.stats_dict()["unacked"] == 0
+        assert server.ep.rx_next == 10
+
+    def test_features_negotiated_hello_style(self, reliable_pair):
+        dialer, server, _ = reliable_pair
+        dialer.send(40, b"x")
+        server.ep.recv(timeout=5)
+        assert server.ep.peer_features.get("reliable") is True
+        # the dialer learns the accepter's features from the SYNACK
+        assert dialer.peer_features.get("reliable") is True
+
+    def test_window_full_blocks_sender(self, tmp_path):
+        lst = Listener(("unix", str(tmp_path / "w.sock")))
+        server = _ReliableServer(lst, resume_timeout=5.0)
+        dialer = dial_reliable(
+            lambda: connect(lst.address, timeout=5), window=2, resume_timeout=5.0
+        )
+        try:
+            dialer.send(40, b"a")
+            dialer.send(40, b"b")
+            # nobody pumps the accepter, so no acks: the window is full
+            with pytest.raises(ChannelTimeout):
+                dialer.send(40, b"c", timeout=0.3)
+            # draining the receiver acks and unblocks the sender
+            assert server.ep.recv(timeout=5).payload == b"a"
+            assert server.ep.recv(timeout=5).payload == b"b"
+            dialer.send(40, b"c", timeout=5)
+            assert server.ep.recv(timeout=5).payload == b"c"
+        finally:
+            dialer.close()
+            server.close()
+            lst.close()
+
+    def test_reconnect_and_resume_no_loss(self, reliable_pair):
+        dialer, server, _ = reliable_pair
+        dialer.send(40, b"before")
+        assert server.ep.recv(timeout=5).payload == b"before"
+        server.cut()  # network cut: both directions sever
+        # the committed-but-unacked send survives the cut via resume
+        dialer.send(40, b"during", timeout=5)
+        dialer.send(40, b"after", timeout=5)
+        assert server.ep.recv(timeout=5).payload == b"during"
+        assert server.ep.recv(timeout=5).payload == b"after"
+        assert dialer.reconnects >= 1
+        assert len(server.raw) >= 2  # a second connection was adopted
+
+    def test_resume_survives_repeated_cuts(self, reliable_pair):
+        dialer, server, _ = reliable_pair
+        for round_ in range(3):
+            dialer.send(40, f"r{round_}".encode(), timeout=5)
+            assert server.ep.recv(timeout=5).payload == f"r{round_}".encode()
+            server.cut()
+        dialer.send(40, b"final", timeout=5)
+        assert server.ep.recv(timeout=5).payload == b"final"
+        assert dialer.reconnects >= 3
+
+    def test_dialer_peer_dead_after_resume_timeout(self, tmp_path):
+        lst = Listener(("unix", str(tmp_path / "dead.sock")))
+        server = _ReliableServer(lst, resume_timeout=5.0)
+        dialer = dial_reliable(
+            lambda: connect(lst.address, timeout=0.2), resume_timeout=0.4
+        )
+        try:
+            dialer.send(40, b"x")
+            server.ep.recv(timeout=5)
+            server.close()
+            lst.close()  # daemon gone for good: no listener to resume against
+            with pytest.raises(PeerDeadError):
+                deadline = time.monotonic() + 10
+                while time.monotonic() < deadline:
+                    dialer.send(40, b"y", timeout=1.0)
+                    time.sleep(0.05)
+        finally:
+            dialer.close()
+            server.close()
+
+    def test_accepter_short_recv_timeouts_then_peer_dead(self, tmp_path):
+        """Caller-deadline expiry is ChannelTimeout (poll again); only the
+        resume window expiring is PeerDeadError — and the window anchors
+        at the cut, not at each recv call."""
+        lst = Listener(("unix", str(tmp_path / "park.sock")))
+        server = _ReliableServer(lst, resume_timeout=0.6)
+        dialer = dial_reliable(
+            lambda: connect(lst.address, timeout=5), resume_timeout=5.0
+        )
+        try:
+            dialer.send(40, b"x")
+            assert server.ep.recv(timeout=5).payload == b"x"
+            dialer.close()  # dialer gone; accepter must wait out the window
+            with pytest.raises(ChannelTimeout):
+                server.ep.recv(timeout=0.15)  # well inside the window
+            time.sleep(0.6)
+            with pytest.raises(PeerDeadError):
+                server.ep.recv(timeout=2.0)
+        finally:
+            dialer.close()
+            server.close()
+            lst.close()
+
+
+class TestReliableWireFaults:
+    """Speak the reliable wire protocol by hand to inject faults a real
+    peer never produces — lost acks and sequence corruption."""
+
+    def _handshake(self, lst, tmp_path):
+        server = _ReliableServer(lst, resume_timeout=5.0)
+        raw = connect(lst.address, timeout=5, name="raw")
+        raw.send(RL_SYN, encode_syn("tok-fault", 0, {"reliable": True}))
+        reply = raw.recv(timeout=5)
+        assert reply.type == RL_SYNACK
+        return server, raw
+
+    def _data(self, seq, ack, payload):
+        return struct.pack(_DATA_HEAD, seq, ack, 40, 0, -1) + payload
+
+    def test_dropped_ack_retransmit_is_deduped_and_reacked(self, tmp_path):
+        lst = Listener(("unix", str(tmp_path / "f1.sock")))
+        server, raw = self._handshake(lst, tmp_path)
+        try:
+            raw.send(RL_DATA, self._data(0, 0, b"once"))
+            assert server.ep.recv(timeout=5).payload == b"once"
+            ack1 = raw.recv(timeout=5)
+            assert ack1.type == RL_ACK
+            assert struct.unpack(_ACK_HEAD, ack1.payload) == (1,)
+            # the sender "lost" that ack: it retransmits seq 0 verbatim
+            raw.send(RL_DATA, self._data(0, 0, b"once"))
+            # pumping the endpoint dedupes the retransmit: no redelivery...
+            with pytest.raises(ChannelTimeout):
+                server.ep.recv(timeout=0.5)
+            assert server.ep.duplicates_dropped == 1
+            # ...but the cursor is re-acked for the sender's benefit
+            ack2 = raw.recv(timeout=5)
+            assert ack2.type == RL_ACK
+            assert struct.unpack(_ACK_HEAD, ack2.payload) == (1,)
+        finally:
+            raw.close()
+            server.close()
+            lst.close()
+
+    def test_sequence_gap_is_a_protocol_error(self, tmp_path):
+        lst = Listener(("unix", str(tmp_path / "f2.sock")))
+        server, raw = self._handshake(lst, tmp_path)
+        try:
+            raw.send(RL_DATA, self._data(5, 0, b"hole"))
+            with pytest.raises(LinkProtocolError):
+                server.ep.recv(timeout=5)
+        finally:
+            raw.close()
+            server.close()
+            lst.close()
+
+    def test_malformed_syn_rejected(self):
+        with pytest.raises(LinkProtocolError):
+            decode_syn(b"\xff\xfenot json")
+        with pytest.raises(LinkProtocolError):
+            decode_syn(b"{}")
+
+
+class TestConnectJitter:
+    def test_jitter_validation(self):
+        with pytest.raises(ValueError):
+            ConnectPolicy(jitter=1.0)
+        with pytest.raises(ValueError):
+            ConnectPolicy(jitter=-0.1)
+        assert ConnectPolicy(jitter=0.0).jitter == 0.0
+
+    def test_backoff_sleeps_are_jittered_downward(self, monkeypatch):
+        """Every retry sleep lands in [interval * (1 - jitter), interval]."""
+        import repro.net.channel as chan_mod
+
+        sleeps = []
+        monkeypatch.setattr(
+            chan_mod.time, "sleep", lambda s: sleeps.append(s)
+        )
+        policy = ConnectPolicy(
+            retry_interval=0.1, backoff=1.0, max_interval=0.1, jitter=0.5
+        )
+        with pytest.raises(ChannelTimeout):
+            connect(("tcp", "127.0.0.1", 9), timeout=0.2, policy=policy)
+        assert sleeps, "expected at least one backoff sleep"
+        for s in sleeps:
+            assert 0.0 <= s <= 0.1 + 1e-9
+        # with jitter active the sleeps should not all sit at the ceiling
+        if len(sleeps) >= 3:
+            assert min(sleeps) < 0.1

@@ -1,0 +1,362 @@
+"""Fleet gateway: consistent-hash ring, placement, health, supervisor
+death hooks, and (under the ``integration`` marker) SIGKILL failover
+with the bit-identity oracle."""
+
+import time
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.runtime.config import WallConfig
+from repro.cluster.runtime.supervisor import ClusterSupervisor
+from repro.fleet import FleetConfig, FleetGateway, HashRing
+from repro.fleet.gateway import DOWN, DaemonHandle, UP
+from repro.perf.trace import read_trace_file
+from repro.service import ServiceClient, ServiceConfig, WallService
+from repro.service.session import clean_decode_digest
+from repro.workloads.streams import stream_by_id
+
+SPEC = stream_by_id(5)  # fish1: 1280x720@30
+
+
+# --------------------------------------------------------------------- #
+# consistent-hash ring
+# --------------------------------------------------------------------- #
+
+
+def _keys(seed: int, count: int = 200):
+    return [f"stream-{seed}-{k}" for k in range(count)]
+
+
+class TestHashRing:
+    @given(n=st.integers(1, 7), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_placement_is_deterministic_across_instances(self, n, seed):
+        """A restarted gateway rebuilds the identical placement: the ring
+        hashes labels (sha1), never Python's salted hash()."""
+        nodes = [f"daemon{i}" for i in range(n)]
+        a, b = HashRing(nodes), HashRing(list(reversed(nodes)))
+        for key in _keys(seed, 50):
+            assert a.place(key) == b.place(key)
+            assert a.preference(key) == b.preference(key)
+
+    @given(n=st.integers(1, 7), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_adding_a_node_remaps_about_one_over_n(self, n, seed):
+        nodes = [f"daemon{i}" for i in range(n)]
+        keys = _keys(seed)
+        before = {k: HashRing(nodes).place(k) for k in keys}
+        grown = HashRing(nodes)
+        grown.add(f"daemon{n}")
+        after = {k: grown.place(k) for k in keys}
+        moved = [k for k in keys if before[k] != after[k]]
+        # every moved key lands on the new node — nothing reshuffles
+        # between survivors (the defining consistent-hashing property)
+        assert all(after[k] == f"daemon{n}" for k in moved)
+        # and the moved fraction is ~1/(n+1), not ~all of them
+        assert len(moved) <= 2.0 * len(keys) / (n + 1)
+
+    @given(n=st.integers(2, 7), seed=st.integers(0, 10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_removing_a_node_moves_only_its_orphans(self, n, seed):
+        nodes = [f"daemon{i}" for i in range(n)]
+        keys = _keys(seed)
+        before = {k: HashRing(nodes).place(k) for k in keys}
+        shrunk = HashRing(nodes)
+        victim = shrunk.place(keys[0])  # remove a node that owns keys
+        shrunk.remove(victim)
+        for k in keys:
+            if before[k] != victim:
+                assert shrunk.place(k) == before[k]
+            else:
+                assert shrunk.place(k) != victim
+
+    def test_preference_walk_covers_every_node_once(self):
+        ring = HashRing([f"d{i}" for i in range(5)])
+        pref = ring.preference("some-stream")
+        assert sorted(pref) == sorted(ring.nodes)
+        assert len(pref) == len(set(pref))
+
+    def test_place_honors_accept_predicate(self):
+        ring = HashRing(["a", "b", "c"])
+        key = "stream-x"
+        first = ring.place(key)
+        second = ring.place(key, accept=lambda n: n != first)
+        assert second is not None and second != first
+        assert ring.place(key, accept=lambda n: False) is None
+
+    def test_empty_ring_places_nowhere(self):
+        assert HashRing().place("anything") is None
+
+
+# --------------------------------------------------------------------- #
+# placement predicate (gateway's view of one daemon)
+# --------------------------------------------------------------------- #
+
+
+class TestDaemonHandle:
+    def _handle(self, tmp_path) -> DaemonHandle:
+        return DaemonHandle("daemon0", tmp_path, FleetConfig(daemons=1))
+
+    def test_accepts_without_snapshot_defers_to_admission(self, tmp_path):
+        h = self._handle(tmp_path)
+        assert h.state == UP and h.accepts(100.0)
+
+    def test_headroom_gates_placement(self, tmp_path):
+        h = self._handle(tmp_path)
+        h.admission = {"headroom_mpps": 30.0}
+        assert h.accepts(27.6)
+        assert not h.accepts(30.1)
+
+    def test_draining_and_down_are_excluded(self, tmp_path):
+        h = self._handle(tmp_path)
+        h.draining = True
+        assert not h.accepts(1.0)
+        h.draining = False
+        h.state = DOWN
+        assert not h.accepts(1.0)
+
+
+# --------------------------------------------------------------------- #
+# supervisor death hooks (the gateway's failover trigger)
+# --------------------------------------------------------------------- #
+
+
+class _FakeProc:
+    def __init__(self, rc):
+        self.rc = rc
+        self.pid = 4242
+
+    def poll(self):
+        return self.rc
+
+
+class TestSupervisorDeathHooks:
+    def test_hook_fires_once_per_dead_child(self):
+        sup = ClusterSupervisor(WallConfig())
+        seen = []
+        sup.add_death_hook(lambda name, rc: seen.append((name, rc)))
+        sup.processes = {"dec0": _FakeProc(None), "dec1": _FakeProc(-9)}
+        assert sup._poll_children() == "dec1"
+        assert sup._poll_children() == "dec1"  # still dead, not re-notified
+        assert seen == [("dec1", -9)]
+
+    def test_clean_exit_is_not_a_death(self):
+        sup = ClusterSupervisor(WallConfig())
+        seen = []
+        sup.add_death_hook(lambda name, rc: seen.append(name))
+        sup.processes = {"dec0": _FakeProc(0)}
+        assert sup._poll_children() is None
+        assert seen == []
+
+    def test_misbehaving_hook_cannot_kill_polling(self):
+        sup = ClusterSupervisor(WallConfig())
+
+        def bad_hook(name, rc):
+            raise RuntimeError("hook bug")
+
+        seen = []
+        sup.add_death_hook(bad_hook)
+        sup.add_death_hook(lambda name, rc: seen.append(name))
+        sup.processes = {"dec1": _FakeProc(1)}
+        assert sup._poll_children() == "dec1"
+        assert seen == ["dec1"]
+
+
+# --------------------------------------------------------------------- #
+# gateway end to end, daemons in-process (tier 1)
+# --------------------------------------------------------------------- #
+
+
+def _fleet_config(**kw) -> FleetConfig:
+    service = ServiceConfig(
+        capacity_mpps=500.0,
+        workers=2,
+        # determinism: a ladder that never engages keeps digests stable
+        enter_levels=(1e9, 1e9, 1e9),
+    )
+    base = dict(daemons=2, service=service, health_interval=0.1)
+    base.update(kw)
+    return FleetConfig(**base)
+
+
+@pytest.fixture()
+def fleet(tmp_path):
+    """A 2-daemon fleet with the daemons as in-process services."""
+    cfg = _fleet_config()
+    gw = FleetGateway(tmp_path, cfg, spawn=False)
+    services = []
+    for i in range(cfg.daemons):
+        name = f"daemon{i}"
+        svc = WallService(tmp_path / name, cfg.daemon_config(i))
+        svc.start()
+        services.append(svc)
+        gw.add_daemon(name, tmp_path / name)
+    gw.start()
+    yield gw, tmp_path
+    gw.stop()
+    for svc in services:
+        svc.stop()
+
+
+class TestFleetGateway:
+    def test_ping_reports_fleet_role_and_daemons(self, fleet):
+        gw, rundir = fleet
+        with ServiceClient(rundir) as c:
+            info = c.ping()
+        assert info["role"] == "gateway"
+        names = [d["name"] for d in info["daemons"]]
+        assert names == ["daemon0", "daemon1"]
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            with ServiceClient(rundir) as c:
+                info = c.ping()
+            if info["capacity_mpps"] == 1000.0:  # both probed at least once
+                break
+            time.sleep(0.05)
+        assert info["capacity_mpps"] == 1000.0
+
+    def test_session_runs_to_completion_through_gateway(self, fleet):
+        gw, rundir = fleet
+        with ServiceClient(rundir) as c:
+            r = c.submit(SPEC, name="through", n_frames=12)
+            assert r["daemon"] in ("daemon0", "daemon1")
+            final = c.wait(r["sid"], timeout=90.0)
+        assert final["state"] == "completed"
+        assert final["daemon"] == r["daemon"]
+        assert final["failovers"] == 0
+        assert final["failover_dropped"] == 0
+        # daemon-local sids live in per-daemon namespaces (sid_offset)
+        gs = gw.sessions[r["sid"]]
+        index = int(r["daemon"][len("daemon"):])
+        assert gs.sid // gw.config.sid_stride == index
+
+    def test_placement_is_sticky_per_key(self, fleet):
+        gw, rundir = fleet
+        with ServiceClient(rundir) as c:
+            replies = [
+                c.request(
+                    "submit",
+                    {
+                        "spec": SPEC.to_dict(),
+                        "name": f"sticky{i}",
+                        "placement_key": "same-wall-feed",
+                        "n_frames": 6,
+                    },
+                )
+                for i in range(3)
+            ]
+            for r in replies:
+                c.wait(r["sid"], timeout=90.0)
+        assert len({r["daemon"] for r in replies}) == 1
+
+    def test_drained_daemon_is_excluded_until_undrained(self, fleet):
+        gw, rundir = fleet
+
+        def pinned_submit(client, name):
+            return client.request(
+                "submit",
+                {
+                    "spec": SPEC.to_dict(),
+                    "name": name,
+                    "placement_key": "pinned-wall-feed",
+                    "n_frames": 6,
+                },
+            )
+
+        with ServiceClient(rundir) as c:
+            home = pinned_submit(c, "probe")["daemon"]
+            c.request("drain", {"daemon": home, "reason": "rolling restart"})
+            r2 = pinned_submit(c, "displaced")
+            assert r2["daemon"] != home
+            c.request("undrain", {"daemon": home})
+            # the ring still prefers `home` for this key: placement returns
+            r3 = pinned_submit(c, "returned")
+            assert r3["daemon"] == home
+            for sid in (r2["sid"], r3["sid"]):
+                c.wait(sid, timeout=90.0)
+
+    def test_list_rewrites_to_gateway_namespace(self, fleet):
+        gw, rundir = fleet
+        with ServiceClient(rundir) as c:
+            r = c.submit(SPEC, name="listed", n_frames=6)
+            final = c.wait(r["sid"], timeout=90.0)
+            rows = c.list_sessions()
+        assert final["output_digest"]
+        row = next(row for row in rows if row["sid"] == r["sid"])
+        assert row["daemon"] == r["daemon"]
+        assert row["state"] == "completed"
+
+    def test_gateway_trace_records_placement(self, fleet):
+        gw, rundir = fleet
+        with ServiceClient(rundir) as c:
+            r = c.submit(SPEC, name="traced", n_frames=6)
+            c.wait(r["sid"], timeout=90.0)
+        events = read_trace_file(rundir / "gateway.trace.jsonl")
+        placed = [e for e in events if e.event == "placement"]
+        assert placed and placed[0].data["daemon"] == r["daemon"]
+
+
+# --------------------------------------------------------------------- #
+# failover (real daemon processes; SIGKILL mid-session)
+# --------------------------------------------------------------------- #
+
+
+@pytest.mark.integration
+class TestFleetFailover:
+    def test_sigkill_failover_resumes_bit_identical(self, tmp_path):
+        """The ISSUE's acceptance oracle: a session killed on daemon A
+        resumes on daemon B at the next I-picture, and its output digest
+        equals a clean decode of the same bytes from that anchor on."""
+        cfg = _fleet_config(health_interval=0.15)
+        with FleetGateway(tmp_path, cfg) as gw:
+            with ServiceClient(tmp_path) as c:
+                r = c.submit(SPEC, name="victim", n_frames=36)
+                gsid, home = r["sid"], r["daemon"]
+                # wait until the victim has real progress, then kill home
+                deadline = time.monotonic() + 30.0
+                while time.monotonic() < deadline:
+                    if c.status(gsid).get("processed", 0) >= 4:
+                        break
+                    time.sleep(0.05)
+                gw.kill_daemon(home)
+                final = c.wait(gsid, timeout=120.0)
+            gs = gw.sessions[gsid]
+        assert final["state"] == "completed"
+        assert final["failovers"] == 1
+        assert final["daemon"] != home
+        assert gs.start_at > 0 and gs.start_at in gs.i_indices
+        assert final["start_at"] == gs.start_at
+        # dropped-picture accounting matches the resume gap
+        assert final["failover_dropped"] == gs.failover_dropped > 0
+        # bit-identity from the resume anchor onward
+        assert final["output_digest"] == clean_decode_digest(
+            gs.stream, start_at=gs.start_at
+        )
+        # the gateway trace carries the failover record
+        events = read_trace_file(tmp_path / "gateway.trace.jsonl")
+        fo = [e for e in events if e.event == "failover"]
+        assert len(fo) == 1
+        assert fo[0].data["from_daemon"] == home
+        assert fo[0].data["to_daemon"] == final["daemon"]
+        assert fo[0].data["resume_at"] == gs.start_at
+        assert fo[0].data["dropped_pictures"] == final["failover_dropped"]
+
+    def test_spawned_fleet_survives_daemon_loss_for_new_sessions(
+        self, tmp_path
+    ):
+        cfg = _fleet_config(health_interval=0.15)
+        with FleetGateway(tmp_path, cfg) as gw:
+            with ServiceClient(tmp_path) as c:
+                c.ping()
+                gw.kill_daemon("daemon0")
+                deadline = time.monotonic() + 15.0
+                while time.monotonic() < deadline:
+                    if gw.daemons["daemon0"].state == DOWN:
+                        break
+                    time.sleep(0.05)
+                assert gw.daemons["daemon0"].state == DOWN
+                r = c.submit(SPEC, name="survivor", n_frames=6)
+                assert r["daemon"] == "daemon1"
+                final = c.wait(r["sid"], timeout=90.0)
+        assert final["state"] == "completed"

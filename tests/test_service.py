@@ -13,7 +13,7 @@ from repro.mpeg2.constants import PictureType
 from repro.mpeg2.decoder import Decoder
 from repro.mpeg2.encoder import Encoder, EncoderConfig
 from repro.mpeg2.vbv import plan_initial_fill, simulate_vbv
-from repro.net.channel import ConnectPolicy
+from repro.net.channel import ConnectPolicy, Listener
 from repro.perf.export import build_report, render_report
 from repro.perf.trace import read_trace_file
 from repro.service import (
@@ -27,6 +27,7 @@ from repro.service import (
 )
 from repro.service.admission import (
     PoolView,
+    REJECT_DRAINING,
     REJECT_OVERSIZE,
     REJECT_QUEUE_FULL,
     REJECT_VBV,
@@ -35,6 +36,7 @@ from repro.service.admission import (
 from repro.service.client import ServiceError
 from repro.service.pacer import DegradationLadder
 from repro.service.protocol import (
+    SVC_RESPONSE,
     ProtocolError,
     ProtocolVersionError,
     decode_request,
@@ -42,7 +44,12 @@ from repro.service.protocol import (
     encode_request,
     encode_response,
 )
-from repro.service.session import PacedStreamDecoder, peek_picture_type
+from repro.service.session import (
+    PacedStreamDecoder,
+    clean_decode_digest,
+    i_picture_indices,
+    peek_picture_type,
+)
 from repro.workloads.streams import StreamSpec, stream_by_id
 
 SPEC = stream_by_id(5)  # fish1: 1280x720@30, 27.6 Mpixel/s demand
@@ -669,3 +676,133 @@ class TestConfigKnobs:
         assert reg.prune("session.7.") == 3
         snap = reg.snapshot()
         assert list(snap["counters"]) == ["pool.leases"]
+
+
+# --------------------------------------------------------------------- #
+# client retry, drain, and resume (fleet-facing service surface)
+# --------------------------------------------------------------------- #
+
+
+class TestClientRetryOnFlappingListener:
+    def test_request_survives_connection_resets(self, tmp_path):
+        """Regression: a listener that accepts and immediately drops two
+        connections (a restarting daemon) must not fail the request —
+        the client re-dials with backoff and completes on the third."""
+        lst = Listener(("unix", str(tmp_path / "service.sock")))
+        drops = []
+
+        def serve():
+            for i in range(2):  # flap: accept, then slam the door
+                ch = lst.accept(timeout=10.0)
+                drops.append(i)
+                ch.close()
+            ch = lst.accept(timeout=10.0)
+            msg = ch.recv(timeout=10.0)
+            verb, _fields, _blob = decode_request(msg.payload)
+            ch.send(SVC_RESPONSE, encode_response(True, {"echo": verb}))
+            time.sleep(0.2)
+            ch.close()
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        try:
+            with ServiceClient(
+                tmp_path, connect_timeout=5.0, request_timeout=5.0
+            ) as client:
+                reply = client.request("ping", {})
+        finally:
+            lst.close()
+            t.join(timeout=5.0)
+        assert reply["echo"] == "ping"
+        assert len(drops) == 2
+
+    def test_retries_exhausted_raises(self, tmp_path):
+        lst = Listener(("unix", str(tmp_path / "service.sock")))
+
+        def serve():
+            while True:
+                try:
+                    lst.accept(timeout=5.0).close()
+                except Exception:  # noqa: BLE001 - listener torn down
+                    return
+
+        t = threading.Thread(target=serve, daemon=True)
+        t.start()
+        try:
+            with ServiceClient(
+                tmp_path, connect_timeout=2.0, request_timeout=2.0, retries=2
+            ) as client:
+                with pytest.raises(Exception):
+                    client.request("ping", {})
+        finally:
+            lst.close()
+            t.join(timeout=5.0)
+
+
+class TestDrainVerb:
+    def test_drain_rejects_submits_until_undrained(self, tmp_path, clip_stream):
+        cfg = ServiceConfig(capacity_mpps=200.0, workers=1)
+        with WallService(tmp_path, cfg) as svc:
+            with ServiceClient(tmp_path) as client:
+                assert client.ping()["draining"] is False
+                r = client.drain(reason="rolling restart")
+                assert r["draining"] is True
+                rej = submit_tiny(client, clip_stream, name="refused")
+                assert "sid" not in rej
+                assert rej["admission"]["action"] == "reject"
+                assert rej["admission"]["reason"] == REJECT_DRAINING
+                assert client.ping()["draining"] is True
+                r2 = client.undrain(reason="restart done")
+                assert r2["draining"] is False
+                ok = submit_tiny(client, clip_stream, name="accepted")
+                assert "sid" in ok
+                final = client.wait(ok["sid"], timeout=90.0)
+        assert final["state"] == "completed"
+
+    def test_drain_leaves_running_sessions_alone(self, tmp_path, clip_stream):
+        cfg = ServiceConfig(capacity_mpps=200.0, workers=1)
+        with WallService(tmp_path, cfg) as svc:
+            with ServiceClient(tmp_path) as client:
+                sid = submit_tiny(client, clip_stream, name="rider")["sid"]
+                client.drain(reason="drain while busy")
+                final = client.wait(sid, timeout=90.0)
+        assert final["state"] == "completed"
+        assert final["released"] == 18
+
+
+class TestStartAtResume:
+    def test_resume_output_is_bit_identical_from_anchor(
+        self, tmp_path, clip_stream
+    ):
+        """A session submitted with ``start_at`` (the failover replay path)
+        reports exactly the digest of a clean decode from that anchor."""
+        anchors = i_picture_indices(clip_stream)
+        assert anchors[0] == 0 and len(anchors) >= 2
+        k = anchors[1]
+        cfg = ServiceConfig(
+            capacity_mpps=200.0, workers=1, enter_levels=(1e9, 1e9, 1e9)
+        )
+        with WallService(tmp_path, cfg) as svc:
+            with ServiceClient(tmp_path) as client:
+                sid = submit_tiny(
+                    client, clip_stream, name="resumed", start_at=k
+                )["sid"]
+                final = client.wait(sid, timeout=90.0)
+        assert final["state"] == "completed"
+        assert final["start_at"] == k
+        assert final["output_digest"] == clean_decode_digest(
+            clip_stream, start_at=k
+        )
+
+    def test_start_at_must_be_an_i_picture(self, clip_stream):
+        with pytest.raises(ValueError):
+            PacedStreamDecoder(clip_stream, start_at=1)  # coded 1 is not I
+
+    def test_negative_start_at_is_a_protocol_error(self, service, clip_stream):
+        svc, rundir = service
+        with ServiceClient(rundir) as client:
+            with pytest.raises(ServiceError):
+                client.request(
+                    "submit",
+                    {"spec": SPEC.to_dict(), "start_at": -3},
+                )
