@@ -1,0 +1,247 @@
+"""Adaptive tile repartitioning — static vs. content vs. feedback policy.
+
+Decodes one localized-detail stream (the paper's §5.5 Orion-flyby shape:
+most coded bits concentrated in one moving region, so one tile's decoder
+is the straggler under a fixed grid) through the 4-process cluster under
+each partition policy, and records to ``BENCH_adaptive.json``:
+
+- bit-identity against the sequential decoder (every mode — adaptive
+  repartitioning must never change output);
+- whole-run and per-GOP cross-tile imbalance (max/mean of per-tile
+  decode+serve busy, from the trace stream).  Per-picture busy is the
+  decoder's *thread-CPU* time (``cpu_s`` on the decode event), not the
+  wall span: on an oversubscribed box concurrent decoders' wall spans
+  absorb each other's scheduler slices and the imbalance signal drowns
+  in preemption noise, while CPU time measures the actual work;
+- ``sync_fps`` — the critical-path synchronized frame rate
+  ``n_pics / sum_pic max_tile busy(pic)``: what a frame-locked wall
+  could sustain if only decode work mattered.  Built on CPU-time busy
+  it does not depend on how many cores the build box has, so it is the
+  honest cross-machine measure of what load balancing buys;
+- the versioned layout updates each adaptive run issued.
+
+``imbalance_excess`` is ``max_over_mean - 1`` (0 = perfect balance).
+The steady-state figure excludes the first GOP: picture 0 always decodes
+under the static base layout (the policy has no telemetry yet), so the
+first window measures the *problem*, the later windows the *fix*.
+
+Honesty note: wall fps is recorded but not asserted (it time-slices on
+small boxes — ``cores`` records what the machine offered).  The asserted
+claims are bit-identity, >= 30% steady-state imbalance-excess reduction
+for the best adaptive policy, and a sync-fps win over static.
+
+Run directly (``--smoke`` shrinks the stream for CI) or under
+pytest-benchmark: ``PYTHONPATH=src python benchmarks/bench_adaptive.py``.
+"""
+
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+from repro.cluster.runtime import ClusterSupervisor, WallConfig
+from repro.mpeg2.decoder import decode_stream
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.perf.export import build_report
+from repro.perf.trace import merge_traces
+from repro.workloads.synthetic import localized_detail_frames
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_adaptive.json"
+
+FULL = dict(width=960, height=512, frames=30, gop_size=6, b_frames=1)
+SMOKE = dict(width=384, height=256, frames=18, gop_size=6, b_frames=1)
+
+POLICIES = ("static", "content", "feedback")
+
+
+def _decode_traced(cfg: WallConfig, stream: bytes) -> tuple:
+    """One cluster decode; returns (frames, wall_s, TraceReport)."""
+    with tempfile.TemporaryDirectory(prefix="bench-adaptive-") as rundir:
+        sup = ClusterSupervisor(cfg, trace_dir=rundir)
+        t0 = time.perf_counter()
+        frames = sup.decode(stream, timeout=600)
+        wall = time.perf_counter() - t0
+        report = build_report(merge_traces(rundir, strict=False))
+    return frames, wall, report
+
+
+def _sync_fps(report, n_pics: int) -> float:
+    """Critical-path synchronized rate: every picture costs its slowest
+    tile's busy time (decode+serve), the frame-lock barrier of the wall."""
+    decs = report.decoder_procs()
+    critical = sum(
+        max(report.procs[p].picture_busy.get(i, 0.0) for p in decs)
+        for i in range(n_pics)
+    )
+    return n_pics / critical if critical > 0 else 0.0
+
+
+def run_adaptive_bench(smoke: bool = False) -> dict:
+    shape = SMOKE if smoke else FULL
+    # The busy region starts in the upper-left tile and drifts right —
+    # under the fixed 2x2 grid tile 0 is the straggler.
+    clip = localized_detail_frames(
+        shape["width"], shape["height"], shape["frames"],
+        center=(0.22, 0.28), radius_frac=0.2, seed=7,
+    )
+    stream = Encoder(
+        EncoderConfig(
+            gop_size=shape["gop_size"], b_frames=shape["b_frames"],
+            search_range=3,
+        )
+    ).encode(clip)
+    reference = decode_stream(stream)
+    n_pics = len(reference)
+
+    if hasattr(os, "sched_getaffinity"):
+        cores = len(os.sched_getaffinity(0))
+    else:  # pragma: no cover - non-Linux fallback
+        cores = os.cpu_count()
+
+    out = {
+        "stream": {**shape, "bytes": len(stream), "profile": "localized-detail"},
+        "cores": cores,
+        "smoke": smoke,
+        "modes": {},
+    }
+    if cores is not None and cores < 2:
+        out["warning"] = (
+            "single-core machine: wall fps time-slices one CPU; the "
+            "sync_fps and imbalance figures remain meaningful"
+        )
+        print(f"WARNING: {out['warning']}", file=sys.stderr)
+
+    for policy in POLICIES:
+        cfg = WallConfig(
+            m=2, n=2, k=1, transport="unix",
+            partition_policy=policy, pin_cores=True,
+        )
+        frames, wall, report = _decode_traced(cfg, stream)
+        identical = len(frames) == n_pics and all(
+            a.max_abs_diff(b) == 0 for a, b in zip(reference, frames)
+        )
+        imb = report.imbalance()
+        gop_imb = report.gop_imbalance()
+        first_upd = min(
+            (u["picture"] for u in report.partition_updates), default=None
+        )
+        # steady state: GOP windows decoded under an adapted layout
+        steady = [
+            g for g in gop_imb
+            if first_upd is not None and g["start"] >= first_upd
+        ] or gop_imb[1:] or gop_imb
+        steady_excess = (
+            sum(g["max_over_mean"] for g in steady) / len(steady) - 1.0
+            if steady
+            else 0.0
+        )
+        out["modes"][policy] = {
+            "wall_s": round(wall, 4),
+            "frames_per_s": round(n_pics / wall, 3),
+            "sync_fps": round(_sync_fps(report, n_pics), 3),
+            "bit_identical": identical,
+            "imbalance_max_over_mean": round(imb.get("max_over_mean", 0.0), 4),
+            "imbalance_excess": round(imb.get("max_over_mean", 1.0) - 1.0, 4),
+            "steady_state_excess": round(steady_excess, 4),
+            "per_gop_max_over_mean": [
+                {"start": g["start"], "max_over_mean": round(g["max_over_mean"], 4)}
+                for g in gop_imb
+            ],
+            "layout_updates": [
+                {
+                    "version": u.get("version"),
+                    "picture": u["picture"],
+                    "x_bounds": u.get("x_bounds"),
+                    "y_bounds": u.get("y_bounds"),
+                }
+                for u in report.partition_updates
+            ],
+        }
+
+    static_excess = out["modes"]["static"]["steady_state_excess"]
+    best = min(
+        ("content", "feedback"),
+        key=lambda p: out["modes"][p]["steady_state_excess"],
+    )
+    best_excess = out["modes"][best]["steady_state_excess"]
+    out["best_adaptive"] = best
+    out["imbalance_before"] = static_excess
+    out["imbalance_after"] = best_excess
+    out["imbalance_reduction_pct"] = round(
+        100.0 * (1.0 - best_excess / static_excess) if static_excess > 0 else 0.0,
+        2,
+    )
+    out["sync_fps_gain_pct"] = round(
+        100.0
+        * (
+            out["modes"][best]["sync_fps"] / out["modes"]["static"]["sync_fps"]
+            - 1.0
+        ),
+        2,
+    )
+    return out
+
+
+def _check(report: dict) -> None:
+    for name, mode in report["modes"].items():
+        assert mode["bit_identical"], f"{name} diverged from the sequential decoder"
+    for policy in ("content", "feedback"):
+        assert report["modes"][policy]["layout_updates"], (
+            f"{policy} issued no layout updates on a localized-detail stream"
+        )
+    assert report["modes"]["static"]["layout_updates"] == []
+    assert report["imbalance_after"] < report["imbalance_before"]
+    # The tentpole claim: the best adaptive policy removes >= 30% of the
+    # static grid's steady-state cross-tile imbalance excess...
+    assert report["imbalance_reduction_pct"] >= 30.0, (
+        f"imbalance reduction {report['imbalance_reduction_pct']}% < 30%"
+    )
+    # ... which lifts the critical-path synchronized frame rate.  Only
+    # asserted with real parallel hardware: CPU-time busy removes the
+    # bulk of the time-slicing noise, but on a single-core box the
+    # per-picture *max* across tiles — a max-statistic — still soaks up
+    # cache-thrash jitter from the 7-way oversubscription (same honesty
+    # rule as bench_cluster's fps assertion).
+    if report["cores"] and report["cores"] >= 2:
+        assert report["sync_fps_gain_pct"] > 0.0, (
+            f"sync fps gain {report['sync_fps_gain_pct']}% not positive"
+        )
+
+
+def test_adaptive(benchmark):
+    from conftest import print_table, run_once
+
+    report = run_once(benchmark, run_adaptive_bench)
+    _check(report)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(
+        f"Adaptive repartitioning ({report['stream']['width']}x"
+        f"{report['stream']['height']}, {report['stream']['frames']} frames, "
+        f"{report['cores']} core(s))",
+        ["policy", "wall fps", "sync fps", "excess", "steady", "updates", "bit-id"],
+        [
+            (
+                name,
+                f"{m['frames_per_s']:.3f}",
+                f"{m['sync_fps']:.3f}",
+                f"{m['imbalance_excess']:.4f}",
+                f"{m['steady_state_excess']:.4f}",
+                str(len(m["layout_updates"])),
+                "yes" if m["bit_identical"] else "NO",
+            )
+            for name, m in report["modes"].items()
+        ],
+    )
+
+
+if __name__ == "__main__":
+    smoke = "--smoke" in sys.argv
+    result = run_adaptive_bench(smoke=smoke)
+    _check(result)
+    # Smoke runs (CI) write next to the working directory, never over the
+    # committed full-size numbers.
+    path = Path("bench-adaptive-smoke.json") if smoke else OUT_PATH
+    path.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

@@ -117,6 +117,8 @@ def cmd_run_cluster(args) -> int:
         k=args.k,
         overlap=args.overlap,
         transport=args.transport,
+        partition_policy=args.partition_policy,
+        partition_ewma=args.partition_ewma,
     )
     sup = ClusterSupervisor(cfg, trace_dir=args.trace_dir)
     try:
@@ -492,6 +494,19 @@ def build_parser() -> argparse.ArgumentParser:
     c.add_argument(
         "--trace-dir",
         help="keep the run directory (traces, logs) here instead of a tempdir",
+    )
+    c.add_argument(
+        "--partition-policy",
+        choices=["static", "content", "feedback"],
+        default="static",
+        help="runtime tile-partition policy; adaptive policies re-place "
+        "partition lines at closed-GOP boundaries (output stays bit-exact)",
+    )
+    c.add_argument(
+        "--partition-ewma",
+        type=float,
+        default=0.5,
+        help="smoothing factor of the adaptive policy's load estimate",
     )
     c.add_argument("--timeout", type=float, default=120.0)
     c.add_argument("--fps", type=float, default=30.0)

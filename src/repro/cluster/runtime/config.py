@@ -72,6 +72,16 @@ class WallConfig:
     # Pin each worker process to one core (round-robin over the
     # affinity mask) so the scheduler cannot stack decoders on one core.
     pin_cores: bool = False
+    # Runtime tile-partition policy (repro.parallel.partition):
+    # "static" keeps the paper's fixed grid; "content" re-places
+    # partition lines from per-macroblock coded size (splitter-side load
+    # proxy); "feedback" re-equalizes from decoder-reported per-picture
+    # busy time.  Either adaptive policy repartitions only at closed-GOP
+    # boundaries via versioned LAYOUT_UPDATE messages — output stays
+    # bit-identical to the static layout.  ``partition_ewma`` is the
+    # smoothing factor of the policy's load estimate.
+    partition_policy: str = "static"
+    partition_ewma: float = 0.5
 
     def __post_init__(self) -> None:
         if self.m < 1 or self.n < 1:
@@ -84,6 +94,12 @@ class WallConfig:
             raise ValueError("need at least one receive buffer per splitter")
         if min(self.shutdown_drain_s, self.terminate_grace_s, self.teardown_kill_s) <= 0:
             raise ValueError("teardown budgets must be positive")
+        if self.partition_policy not in ("static", "content", "feedback"):
+            raise ValueError(
+                f"unknown partition policy {self.partition_policy!r}"
+            )
+        if not 0.0 < self.partition_ewma <= 1.0:
+            raise ValueError("partition_ewma must be in (0, 1]")
 
     @property
     def connect_policy(self):

@@ -54,6 +54,13 @@ MSG_PLAN_H = 12  # splitter -> decoder: plan handle + MEI     (struct+handle+pic
 MSG_BLOCK_H = 13  # decoder -> decoder: reference pixel handle (struct+handle)
 MSG_FRAME_H = 14  # decoder -> collector: tile crop handle    (struct+handle)
 
+# Adaptive tile repartitioning (repro.parallel.partition): the root
+# broadcasts versioned partition changes down the tree, and telemetry
+# reports (per-tile busy time, per-picture content profiles) ride the
+# existing back-channels upstream.
+MSG_LAYOUT = 15  # root -> splitters -> decoders: LayoutUpdate (struct)
+MSG_REPORT = 16  # decoder/splitter -> root: partition telemetry (json)
+
 
 # ------------------------------ hello ----------------------------------- #
 #
@@ -179,6 +186,21 @@ def decode_plan_hmsg(payload: bytes) -> Tuple[int, int, Handle, MEIProgram]:
     handle, off = Handle.unpack(payload, struct.calcsize(_PLAN_H_HEAD))
     program = pickle.loads(payload[off:])
     return anid, expected, handle, program
+
+
+# ----------------------- partition telemetry ---------------------------- #
+#
+# MSG_LAYOUT carries a LayoutUpdate in its own struct codec (see
+# repro.parallel.partition); MSG_REPORT is low-volume JSON — one small
+# record per picture per reporter, riding the ack/credit back-channels.
+
+
+def encode_report(rec: dict) -> bytes:
+    return json.dumps(rec).encode()
+
+
+def decode_report(payload: bytes) -> dict:
+    return json.loads(payload.decode())
 
 
 def encode_error(proc: str, error: str) -> bytes:

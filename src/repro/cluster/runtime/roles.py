@@ -46,9 +46,11 @@ from repro.cluster.runtime.messages import (
     MSG_FRAME,
     MSG_FRAME_H,
     MSG_HELLO,
+    MSG_LAYOUT,
     MSG_PICTURE,
     MSG_PLAN,
     MSG_PLAN_H,
+    MSG_REPORT,
     MSG_SEQ,
     MSG_SUBPICTURE,
     block_nbytes,
@@ -58,6 +60,7 @@ from repro.cluster.runtime.messages import (
     decode_picture,
     decode_plan_hmsg,
     decode_plan_msg,
+    decode_report,
     decode_sequence,
     decode_subpicture,
     encode_block,
@@ -67,6 +70,7 @@ from repro.cluster.runtime.messages import (
     encode_picture,
     encode_plan_hmsg,
     encode_plan_msg,
+    encode_report,
     encode_sequence,
     encode_subpicture,
     encode_tile_frame,
@@ -77,6 +81,8 @@ from repro.cluster.runtime.messages import (
 )
 from repro.mem import FramePool, PoolError, PoolExhausted, PoolRegistry
 from repro.mpeg2 import plan_codec
+from repro.mpeg2.constants import PictureType
+from repro.mpeg2.motion import Rect
 from repro.mpeg2.parser import PictureScanner
 from repro.mpeg2.plan_codec import buffers_nbytes, plan_nbytes
 from repro.net.channel import (
@@ -90,6 +96,12 @@ from repro.net.channel import (
     connect,
 )
 from repro.parallel.mb_splitter import MacroblockSplitter
+from repro.parallel.partition import (
+    LayoutSchedule,
+    LayoutUpdate,
+    build_controller,
+    is_repartition_point,
+)
 from repro.parallel.pdecoder import TileDecoder
 from repro.parallel.subpicture import SubPicture
 from repro.perf.telemetry import (
@@ -259,9 +271,16 @@ def _create_pool(cfg: WallConfig, name: str, classes, tracer: TraceWriter):
     return pool
 
 
-def _plan_slab_bytes(layout: TileLayout) -> int:
+def _plan_slab_bytes(layout: TileLayout, whole_raster: bool = False) -> int:
     """Worst-case per-tile plan wire size: every macroblock whose 16x16
-    raster rect intersects the tile rect, all-coded with 6 blocks each."""
+    raster rect intersects the tile rect, all-coded with 6 blocks each.
+
+    ``whole_raster=True`` sizes for an adaptive partition, where a tile
+    may grow arbitrarily (bounded by the raster itself) between GOPs.
+    """
+    if whole_raster:
+        n_mb = (layout.width // 16) * (layout.height // 16)
+        return plan_codec.plan_wire_bound(n_mb, 6 * n_mb)
     worst = 0
     for t in layout:
         r = t.rect
@@ -292,6 +311,16 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
     stream = (rundir / STREAM_FILE).read_bytes()
     sequence, pictures = PictureScanner(stream).scan()
 
+    # Adaptive partitioning: the controller ingests MSG_REPORT telemetry
+    # (arriving on the credit back-channels) and issues versioned layout
+    # updates at closed-GOP boundaries.  None under the static policy.
+    base_layout = TileLayout(
+        sequence.width, sequence.height, cfg.m, cfg.n, cfg.overlap
+    )
+    controller = build_controller(
+        cfg.partition_policy, base_layout, ewma=cfg.partition_ewma
+    )
+
     channels: Dict[int, Channel] = {}
     gates: Dict[int, CreditGate] = {}
     for s in range(cfg.k):
@@ -309,6 +338,8 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
                     msg = ch.recv()
                     if msg.type == MSG_CREDIT:
                         gates[s].release()
+                    elif msg.type == MSG_REPORT and controller is not None:
+                        controller.ingest(decode_report(msg.payload))
             except ChannelError as exc:
                 gates[s].poison(exc)
 
@@ -320,6 +351,28 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
 
     for i, unit in enumerate(pictures):
         _maybe_fail(cfg, "root", i)
+        if unit.new_gop:
+            tracer.emit(
+                "gop",
+                picture=i,
+                closed=bool(unit.gop is not None and unit.gop.closed_gop),
+            )
+        if controller is not None:
+            upd = controller.maybe_update(i, unit)
+            if upd is not None:
+                # Broadcast BEFORE dispatching picture i: per-channel FIFO
+                # guarantees every splitter sees the update ahead of any
+                # picture >= effective_from it will handle.
+                payload = upd.encode()
+                for s in range(cfg.k):
+                    channels[s].send(MSG_LAYOUT, payload, picture=i)
+                tracer.emit(
+                    "layout_update",
+                    picture=i,
+                    version=upd.version,
+                    x_bounds=list(upd.x_bounds),
+                    y_bounds=list(upd.y_bounds),
+                )
         a = i % cfg.k
         nsid = (a + 1) % cfg.k
         t0 = time.perf_counter()
@@ -387,12 +440,19 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         raise ProtocolError(f"{me}: expected SEQ, got {seq_msg.type}")
     sequence = decode_sequence(seq_msg.payload)
     layout = TileLayout(sequence.width, sequence.height, cfg.m, cfg.n, cfg.overlap)
-    msplit = MacroblockSplitter(sequence, layout)
+    adaptive = cfg.partition_policy != "static"
+    schedule = LayoutSchedule(layout)
+    msplit = MacroblockSplitter(
+        sequence, layout, collect_content=cfg.partition_policy == "content"
+    )
     for t in range(n_tiles):
         dec_ch[t].send(MSG_SEQ, seq_msg.payload)
 
     # Shared-memory plan pool: one slab class sized for the worst-case
     # per-tile plan, enough slabs for every tile's in-flight pictures.
+    # Under an adaptive policy a tile can grow between GOPs, so slabs are
+    # sized for the whole-raster bound (a too-large plan would otherwise
+    # silently fall back by value and muddy the copy accounting).
     pool = None
     if cfg.ship_plans and any(
         dec_ch[t].peer_features.get("shm_pool") for t in range(n_tiles)
@@ -400,13 +460,17 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         pool = _create_pool(
             cfg,
             me,
-            [(_plan_slab_bytes(layout), n_tiles * (cfg.queue_depth + 1))],
+            [(
+                _plan_slab_bytes(layout, whole_raster=adaptive),
+                n_tiles * (cfg.queue_depth + 1),
+            )],
             tracer,
         )
 
     def wait_acks(expect_picture: int) -> float:
         t0 = time.perf_counter()
-        for _ in range(n_tiles):
+        acked = 0
+        while acked < n_tiles:
             kind, label, msg = _get(
                 ack_q, cfg.recv_timeout, f"acks of picture {expect_picture}"
             )
@@ -414,23 +478,48 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
                 raise ChannelClosed(f"{me}: {label} disconnected during ack wait")
             if kind == "error":
                 raise msg
+            if msg.type == MSG_REPORT:
+                # Decoder telemetry riding the ack channel: relay upstream
+                # (the root's controller consumes it); not an ack.
+                root_ch.send(MSG_REPORT, msg.payload)
+                continue
             if msg.type != MSG_ACK:
                 raise ProtocolError(f"{me}: unexpected {msg.type} from {label}")
             if msg.picture != expect_picture:
                 raise ProtocolError(
                     f"{me}: ack for picture {msg.picture}, expected {expect_picture}"
                 )
+            acked += 1
         return time.perf_counter() - t0
 
     while True:
         msg = root_ch.recv(cfg.recv_timeout)
         if msg.type == MSG_EOS:
             break
+        if msg.type == MSG_LAYOUT:
+            # Versioned partition change from the root.  Apply to the
+            # local schedule and forward to every decoder *now* — FIFO
+            # order on each decoder channel guarantees the update lands
+            # before any plan of a picture >= effective_from this
+            # splitter will send.
+            upd = LayoutUpdate.decode(msg.payload)
+            schedule.apply(upd)
+            for t in range(n_tiles):
+                dec_ch[t].send(MSG_LAYOUT, msg.payload, picture=msg.picture)
+            tracer.emit(
+                "layout_recv",
+                picture=upd.effective_from,
+                version=upd.version,
+            )
+            continue
         if msg.type != MSG_PICTURE:
             raise ProtocolError(f"{me}: unexpected {msg.type} from root")
         i = msg.picture
         root_ch.send(MSG_CREDIT)  # receive buffer freed: root may send again
         _maybe_fail(cfg, me, i)
+        lay = schedule.layout_for(i)
+        if lay is not msplit.layout:
+            msplit.set_layout(lay)
         nsid, unit = decode_picture(msg.payload)
         t0 = time.perf_counter()
         # Parent "split" span with parse/plan children synthesized from
@@ -444,6 +533,22 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
             else:
                 result = msplit.split(unit, i)
         split_s = time.perf_counter() - t0
+        if msplit.last_content is not None:
+            # Content-aware policy: ship the per-column/row coded-bit
+            # profile upstream (a few hundred floats per picture).
+            cols, rows = msplit.last_content
+            root_ch.send(
+                MSG_REPORT,
+                encode_report(
+                    {
+                        "kind": "content",
+                        "picture": i,
+                        "cols": [float(v) for v in cols],
+                        "rows": [float(v) for v in rows],
+                    }
+                ),
+            )
+            msplit.last_content = None
         # Sub-picture delivery is serialized by the previous picture's acks,
         # redirected here via ANID — the reorder-free ordering guarantee.
         if i > 0:
@@ -597,6 +702,9 @@ def _decoder_body(
         ctrl_q.put(item)
 
     layout = TileLayout(sequence.width, sequence.height, cfg.m, cfg.n, cfg.overlap)
+    adaptive = cfg.partition_policy != "static"
+    schedule = LayoutSchedule(layout)
+    cur_layout = layout
     dec = TileDecoder(
         layout.tile(tid),
         layout,
@@ -604,13 +712,23 @@ def _decoder_body(
         batch_reconstruct=cfg.batch_reconstruct,
     )
     partition = layout.tile(tid).partition
+    # The partition a frame ships with is the one in force when it was
+    # *decoded*: the held anchor may ship after a repartition boundary,
+    # so its crop geometry travels with it.
+    held_partition = partition
     display_idx = 0
 
     # Shared-memory plumbing: ``pools`` attaches to peers' segments on the
     # receive side; ``pool`` is this decoder's own (boundary blocks for
-    # peer decoders, tile-frame crops for the collector).
+    # peer decoders, tile-frame crops for the collector).  Adaptive
+    # partitions can grow a tile between GOPs, so the frame slab class is
+    # then sized for the whole-raster crop bound.
     pools = PoolRegistry(Path(cfg.shm_dir) if cfg.shm_dir else None) if cfg.pool_enabled else None
-    frame_nb = tile_frame_nbytes(partition)
+    slab_nb = (
+        tile_frame_nbytes(Rect(0, 0, sequence.width, sequence.height))
+        if adaptive
+        else tile_frame_nbytes(partition)
+    )
     pool = None
     if cfg.pool_enabled and (
         collector.peer_features.get("shm_pool")
@@ -619,12 +737,13 @@ def _decoder_body(
         pool = _create_pool(
             cfg,
             me,
-            [(BLOCK_SLAB_BYTES, BLOCK_SLAB_COUNT), (frame_nb, FRAME_SLAB_COUNT)],
+            [(BLOCK_SLAB_BYTES, BLOCK_SLAB_COUNT), (slab_nb, FRAME_SLAB_COUNT)],
             tracer,
         )
 
-    def ship(frame) -> None:
+    def ship(frame, part) -> None:
         nonlocal display_idx
+        frame_nb = tile_frame_nbytes(part)
         with traced_stage(tracer, dec.stage_times, "wire", picture=display_idx):
             lease = None
             if pool is not None and collector.peer_features.get("shm_pool"):
@@ -633,12 +752,12 @@ def _decoder_body(
                 except PoolExhausted:
                     lease = None
             if lease is not None:
-                write_tile_frame_into(frame, partition, lease.buf)
-                payload = encode_tile_frame_hmsg(tid, partition, lease.handle)
+                write_tile_frame_into(frame, part, lease.buf)
+                payload = encode_tile_frame_hmsg(tid, part, lease.handle)
                 mtype = MSG_FRAME_H
                 wire_bytes = len(payload)
             else:
-                payload = encode_tile_frame(tid, partition, frame)
+                payload = encode_tile_frame(tid, part, frame)
                 mtype = MSG_FRAME
                 wire_bytes = buffers_nbytes(payload)
         collector.send(mtype, payload, picture=display_idx, sender=tid)
@@ -673,6 +792,13 @@ def _decoder_body(
         if msg.type == MSG_EOS:
             eos_from.add(label)
             continue
+        if msg.type == MSG_LAYOUT:
+            # Versioned repartition notice.  FIFO ordering guarantees it
+            # precedes the plans of its effective_from picture on this
+            # channel; the schedule dedupes the copies the other
+            # splitters forward.
+            schedule.apply(LayoutUpdate.decode(msg.payload))
+            continue
         if msg.type not in (MSG_SUBPICTURE, MSG_PLAN, MSG_PLAN_H):
             raise ProtocolError(f"{me}: unexpected {msg.type} from {label}")
 
@@ -681,6 +807,21 @@ def _decoder_body(
             raise ProtocolError(
                 f"{me}: picture {msg.picture} arrived, expected {i} "
                 "(ordering broken)"
+            )
+        lay = schedule.layout_for(i)
+        if lay is not cur_layout:
+            # Closed-GOP boundary: swap tile geometry in place.  The
+            # reference planes are full-raster, so no pixel state moves —
+            # only which macroblocks arrive and which crop ships changes.
+            cur_layout = lay
+            new_tile = lay.tile(tid)
+            dec.retile(new_tile, lay)
+            partition = new_tile.partition
+            tracer.emit(
+                "repartition",
+                picture=i,
+                version=schedule.version_for(i),
+                rect=[partition.x0, partition.y0, partition.x1, partition.y1],
             )
         plan_handle = None
         if msg.type == MSG_PLAN_H:
@@ -710,6 +851,7 @@ def _decoder_body(
         split_ch[anid].send(MSG_ACK, picture=i, sender=tid)
 
         t0 = time.perf_counter()
+        c0 = time.thread_time()
         served = 0
         with tracer.span("serve", picture=i):
             for block in dec.execute_sends(program, ptype):
@@ -742,6 +884,7 @@ def _decoder_body(
                     registry().counter("pool.bytes_by_copy").inc(bnb)
                 served += block.nbytes
         serve_s = time.perf_counter() - t0
+        serve_cpu = time.thread_time() - c0
 
         t0 = time.perf_counter()
         # The MEI exchange barrier: this tile cannot reconstruct until every
@@ -791,6 +934,7 @@ def _decoder_body(
         wait_remote_s = time.perf_counter() - t0
 
         t0 = time.perf_counter()
+        c0 = time.thread_time()
         # Parent "decode" span; parse/plan/execute children are synthesized
         # from the decoder's stage-time deltas so the timeline attribution
         # matches load_stage_times exactly, even on the bitstream path
@@ -805,6 +949,11 @@ def _decoder_body(
             # slab; execution is done, so give the slab back.
             pools.release(plan_handle)
         decode_s = time.perf_counter() - t0
+        # CPU time excludes scheduler preemption: on an oversubscribed box
+        # the wall spans of concurrent decoders absorb each other's work,
+        # but thread CPU time stays an honest per-tile cost measure — it is
+        # what the imbalance accounting and the feedback policy consume.
+        busy_cpu = serve_cpu + (time.thread_time() - c0)
         tracer.emit(
             "decode",
             picture=i,
@@ -812,16 +961,42 @@ def _decoder_body(
             serve_s=round(serve_s, 6),
             wait_remote_s=round(wait_remote_s, 6),
             decode_s=round(decode_s, 6),
+            cpu_s=round(busy_cpu, 6),
             served_bytes=served,
         )
+        if cfg.partition_policy == "feedback":
+            # Telemetry upstream: per-picture busy time rides the ack
+            # channel to the next splitter, which relays it to the root's
+            # partition controller.
+            split_ch[anid].send(
+                MSG_REPORT,
+                encode_report(
+                    {
+                        "kind": "exec",
+                        "picture": i,
+                        "tile": tid,
+                        "busy_s": round(busy_cpu, 6),
+                    }
+                ),
+                picture=i,
+                sender=tid,
+            )
+        # A B picture ships immediately under the current partition; an
+        # anchor releases the *previous* held anchor, which was decoded
+        # under ``held_partition`` (possibly one repartition ago).
+        if ptype == PictureType.B:
+            out_part = partition
+        else:
+            out_part = held_partition
+            held_partition = partition
         if ready is not None:
-            ship(ready)
+            ship(ready, out_part)
         maybe_emit_stats(tracer)
         i += 1
 
     tail = dec.flush()
     if tail is not None:
-        ship(tail)
+        ship(tail, held_partition)
     dec.stage_times.pictures = dec.stats.pictures_decoded
     if tracer.spans:
         emit_stats(tracer)

@@ -21,6 +21,7 @@ from typing import List, Optional
 import numpy as np
 
 from repro.mpeg2.constants import MB_SIZE
+from repro.parallel.partition import clamp_cell, equalize_pixel_bounds
 from repro.perf.costmodel import CostModel
 from repro.wall.layout import TileLayout
 from repro.workloads.streams import StreamSpec
@@ -29,16 +30,19 @@ from repro.workloads.streams import StreamSpec
 def _equalize_bounds(cum: np.ndarray, parts: int, total_cells: int) -> List[int]:
     """Place ``parts - 1`` interior boundaries so each part holds ~equal
     cumulative weight.  ``cum`` is the inclusive cumulative weight per cell
-    row/column; returns pixel boundaries (macroblock aligned)."""
-    bounds = [0]
-    total = cum[-1]
-    for i in range(1, parts):
-        target = total * i / parts
-        cell = int(np.searchsorted(cum, target) + 1)
-        cell = min(max(cell, bounds[-1] // MB_SIZE + 1), total_cells - (parts - i))
-        bounds.append(cell * MB_SIZE)
-    bounds.append(total_cells * MB_SIZE)
-    return bounds
+    row/column; returns pixel boundaries (macroblock aligned).
+
+    Delegates to :func:`repro.parallel.partition.equalize_cells`, which
+    guarantees strictly increasing bounds with >= 1 cell per part (and
+    raises :class:`ValueError` when ``parts > total_cells``, instead of
+    clamping into a zero-size tile).
+    """
+    cum = np.asarray(cum, dtype=float)
+    if len(cum) != total_cells:
+        raise ValueError(
+            f"cumulative weights cover {len(cum)} cells, expected {total_cells}"
+        )
+    return equalize_pixel_bounds(np.diff(cum, prepend=0.0), parts)
 
 
 def balanced_layout(
@@ -143,13 +147,19 @@ def adaptive_balance(
         row = field_.sum(axis=1)
         new_x = _equalize_bounds(np.cumsum(col), m, spec.mb_width)
         new_y = _equalize_bounds(np.cumsum(row), n, spec.mb_height)
-        # damped move toward the equalized bounds, macroblock-aligned
+        # Damped move toward the equalized bounds, macroblock-aligned.
+        # Each boundary is clamped into its valid window (strictly after
+        # the previous one, leaving >= 1 cell per remaining part) so a
+        # chain of damped moves under concentrated weight can never push
+        # an interior boundary to or past the raster edge.
         def blend(old: List[int], new: List[int]) -> List[int]:
+            parts = len(old) - 1
+            total_cells = old[-1] // MB_SIZE
             out = [old[0]]
-            for o, nw in zip(old[1:-1], new[1:-1]):
+            for j, (o, nw) in enumerate(zip(old[1:-1], new[1:-1]), start=1):
                 moved = o + gain * (nw - o)
-                cell = max(
-                    out[-1] // MB_SIZE + 1, int(round(moved / MB_SIZE))
+                cell = clamp_cell(
+                    int(round(moved / MB_SIZE)), out[-1], parts - j, total_cells
                 )
                 out.append(cell * MB_SIZE)
             out.append(old[-1])

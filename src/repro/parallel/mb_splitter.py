@@ -269,13 +269,26 @@ class _SkipStreak:
 
 
 class MacroblockSplitter:
-    """Split coded pictures into per-tile sub-pictures + MEI programs."""
+    """Split coded pictures into per-tile sub-pictures + MEI programs.
 
-    def __init__(self, sequence: SequenceHeader, layout: TileLayout):
+    ``collect_content=True`` records a per-column/per-row coded-bit
+    profile of each parsed picture in :attr:`last_content` — the load
+    proxy the content-aware partition policy feeds on (the bits were
+    parsed anyway, so the profile is one bincount per picture).
+    """
+
+    def __init__(
+        self,
+        sequence: SequenceHeader,
+        layout: TileLayout,
+        collect_content: bool = False,
+    ):
         if layout.width != sequence.width or layout.height != sequence.height:
             raise ValueError("layout raster does not match the video raster")
         self.sequence = sequence
         self.layout = layout
+        self.collect_content = collect_content
+        self.last_content = None  # (col_bits, row_bits) of the last parse
         self.parser = MacroblockParser(sequence)
         self.matrices = QuantMatrices.from_sequence(sequence)
         # parse/plan attribution for the per-process stage_times traces.
@@ -283,12 +296,25 @@ class MacroblockSplitter:
         # per-picture split latency distribution for the stats snapshots
         self.split_hist = registry().histogram("splitter.split_s")
 
+    def set_layout(self, layout: TileLayout) -> None:
+        """Swap the tile partition (adaptive repartitioning).
+
+        The splitter is stateless across pictures — parsing depends only
+        on the sequence header — so a layout swap between pictures is
+        safe; the caller (the runtime's layout schedule) guarantees it
+        only happens at closed-GOP boundaries.
+        """
+        if layout.width != self.sequence.width or layout.height != self.sequence.height:
+            raise ValueError("layout raster does not match the video raster")
+        self.layout = layout
+
     # ------------------------------------------------------------------ #
 
     def split(self, unit: PictureUnit, picture_index: int) -> SplitResult:
         t0 = time.perf_counter()
         with self.stage_times.stage("parse"):
             parsed = self.parser.parse_picture(unit.data)
+        self._note_content(parsed)
         with self.stage_times.stage("plan"):
             result = self.split_parsed(parsed, picture_index)
         self.stage_times.pictures += 1
@@ -301,11 +327,18 @@ class MacroblockSplitter:
         with self.stage_times.stage("parse"):
             # Lean parse: plans carry no SPHs, so skip the state snapshots.
             parsed = self.parser.parse_picture(unit.data, lean=True)
+        self._note_content(parsed)
         with self.stage_times.stage("plan"):
             result = self.compile_plans(parsed, picture_index)
         self.stage_times.pictures += 1
         self.split_hist.observe(time.perf_counter() - t0)
         return result
+
+    def _note_content(self, parsed: ParsedPicture) -> None:
+        if self.collect_content:
+            from repro.parallel.partition import content_profile
+
+            self.last_content = content_profile(parsed)
 
     def compile_plans(
         self, parsed: ParsedPicture, picture_index: int

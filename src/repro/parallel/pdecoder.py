@@ -248,6 +248,24 @@ class TileDecoder:
         ready, self.held = self.held, None
         return ready
 
+    def retile(self, tile: Tile, layout: TileLayout) -> None:
+        """Swap tile geometry at a closed-GOP boundary (adaptive partition).
+
+        Reference frames are full-raster (tile geometry only selects which
+        macroblocks arrive and which crop ships to the collector), so this
+        is a pure geometry change — no reference pixels move.  The caller
+        guarantees the swap happens only where no motion vector crosses
+        the cut: the first picture of a closed GOP.
+        """
+        if tile.tid != self.tile.tid:
+            raise ValueError(
+                f"retile changed the tile id ({self.tile.tid} -> {tile.tid})"
+            )
+        if layout.width != self.sequence.width or layout.height != self.sequence.height:
+            raise ValueError("layout raster does not match the video raster")
+        self.tile = tile
+        self.layout = layout
+
     def _conceal(
         self, addresses, frame: Frame, fwd: Optional[Frame], mb_width: int
     ) -> None:

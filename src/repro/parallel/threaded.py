@@ -35,12 +35,13 @@ from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.mpeg2 import plan_codec
+from repro.mpeg2.constants import PictureType
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import PictureScanner
 from repro.parallel.mb_splitter import MacroblockSplitter
+from repro.parallel.partition import build_controller
 from repro.parallel.pdecoder import TileDecoder
 from repro.parallel.subpicture import SubPicture
-from repro.wall.display import assemble_wall
 from repro.wall.layout import TileLayout
 
 if TYPE_CHECKING:  # runtime import would cycle through repro.perf.trace
@@ -89,6 +90,8 @@ class ThreadedParallelDecoder:
         queue_depth: int = 2,
         batch_reconstruct: bool = True,
         ship_plans: bool = True,
+        partition_policy: str = "static",
+        partition_ewma: float = 0.5,
         tracer: Optional["TraceWriter"] = None,
     ):
         if k < 1:
@@ -98,6 +101,17 @@ class ThreadedParallelDecoder:
         self.queue_depth = queue_depth
         self.batch_reconstruct = batch_reconstruct
         self.ship_plans = ship_plans
+        # Runtime partition policy (repro.parallel.partition): the same
+        # controller the cluster root runs, minus the wire protocol —
+        # threads share the LayoutSchedule object directly, and the
+        # queue handoffs provide the happens-before ordering the cluster
+        # gets from per-channel FIFO.
+        self.partition_policy = partition_policy
+        self.partition_ewma = partition_ewma
+        # Versioned updates the controller issued during the last decode()
+        # (empty under the static policy) — the runner's observable record
+        # that adaptation actually happened.
+        self.partition_updates: List = []
         # Optional span telemetry: all worker threads share one writer
         # (emits are thread-safe); each thread gets its own ``tid`` track
         # in the timeline export via its thread name.
@@ -114,6 +128,12 @@ class ThreadedParallelDecoder:
         sequence, pictures = scanner.scan()
         n_pics = len(pictures)
         n_tiles = self.layout.n_tiles
+
+        controller = build_controller(
+            self.partition_policy, self.layout, ewma=self.partition_ewma
+        )
+        schedule = controller.schedule if controller is not None else None
+        self.partition_updates = controller.updates if controller else []
 
         # queues -------------------------------------------------------- #
         pic_q = [queue.Queue(self.queue_depth) for _ in range(self.k)]
@@ -169,6 +189,19 @@ class ThreadedParallelDecoder:
         # root ----------------------------------------------------------- #
         def root():
             for i, unit in enumerate(pictures):
+                if controller is not None:
+                    # Repartition decision BEFORE dispatching picture i:
+                    # the queue put below publishes the schedule change to
+                    # every downstream thread (happens-before).
+                    upd = controller.maybe_update(i, unit)
+                    if upd is not None and self.tracer is not None:
+                        self.tracer.emit(
+                            "layout_update",
+                            picture=i,
+                            version=upd.version,
+                            x_bounds=list(upd.x_bounds),
+                            y_bounds=list(upd.y_bounds),
+                        )
                 a = i % self.k
                 nsid = (a + 1) % self.k
                 # bounded: blocks at depth `queue_depth` (the two-buffer
@@ -180,17 +213,29 @@ class ThreadedParallelDecoder:
 
         # splitters ------------------------------------------------------ #
         def splitter(sid: int):
-            msplit = MacroblockSplitter(sequence, self.layout)
+            msplit = MacroblockSplitter(
+                sequence,
+                self.layout,
+                collect_content=self.partition_policy == "content",
+            )
             while True:
                 item = _get(pic_q[sid], "a picture from the root")
                 if item is None:
                     return
                 i, nsid, unit = item
+                if schedule is not None:
+                    lay = schedule.layout_for(i)
+                    if lay is not msplit.layout:
+                        msplit.set_layout(lay)
                 with self._span("split", picture=i):
                     if self.ship_plans:
                         result = msplit.split_plans(unit, i)
                     else:
                         result = msplit.split(unit, i)
+                if msplit.last_content is not None:
+                    cols, rows = msplit.last_content
+                    controller.observe_content(i, cols, rows)
+                    msplit.last_content = None
                 if i > 0:
                     # wait for every decoder's ack of picture i-1,
                     # redirected here via ANID
@@ -227,12 +272,17 @@ class ThreadedParallelDecoder:
 
         # decoders -------------------------------------------------------- #
         def decoder(tid: int):
+            cur_layout = self.layout
             dec = TileDecoder(
                 self.layout.tile(tid),
                 self.layout,
                 sequence,
                 batch_reconstruct=self.batch_reconstruct,
             )
+            partition = self.layout.tile(tid).partition
+            # The crop a frame ships with is the partition in force when
+            # it was decoded — the held anchor may outlive a repartition.
+            held_partition = partition
             held_back: Dict[int, List] = {}
             for i in range(n_pics):
                 msg = _get(sp_q[tid], f"sub-picture {i}")
@@ -241,6 +291,25 @@ class ThreadedParallelDecoder:
                         f"tile {tid}: picture {msg.picture_index} arrived, "
                         f"expected {i} (ordering broken)"
                     )
+                if schedule is not None:
+                    lay = schedule.layout_for(i)
+                    if lay is not cur_layout:
+                        cur_layout = lay
+                        new_tile = lay.tile(tid)
+                        dec.retile(new_tile, lay)
+                        partition = new_tile.partition
+                        if self.tracer is not None:
+                            self.tracer.emit(
+                                "repartition",
+                                picture=i,
+                                version=schedule.version_for(i),
+                                rect=[
+                                    partition.x0,
+                                    partition.y0,
+                                    partition.x1,
+                                    partition.y1,
+                                ],
+                            )
                 if isinstance(msg, _PlanMessage):
                     sp = None
                     tp, _ = plan_codec.decode_plan(msg.plan_bytes, dec.matrices)
@@ -250,9 +319,11 @@ class ThreadedParallelDecoder:
                     ptype = sp.picture_type
                 # ack to the *next* splitter (ANID), releasing picture i+1
                 ack_q[msg.anid].put(i)
+                c0 = time.thread_time()
                 # serve peers first (reads already-decoded local refs)
                 for block in dec.execute_sends(msg.program, ptype):
                     blk_q[block.dest].put((i, block))
+                serve_cpu = time.thread_time() - c0
                 # collect expected blocks; hold back early arrivals
                 with self._span("exchange_wait", picture=i):
                     pending = held_back.pop(i, [])
@@ -266,15 +337,28 @@ class ThreadedParallelDecoder:
                             got += 1
                         else:
                             held_back.setdefault(pic_idx, []).append(block)
+                c0 = time.thread_time()
                 with self._span("decode", picture=i):
                     ready = (
                         dec.decode_plan(tp) if sp is None else dec.decode_subpicture(sp)
                     )
+                if self.partition_policy == "feedback":
+                    # Thread CPU time, not wall time: with every tile
+                    # sharing one GIL the wall span of each decode absorbs
+                    # the other tiles' work and the telemetry flattens.
+                    controller.observe_execute(
+                        i, tid, serve_cpu + (time.thread_time() - c0)
+                    )
+                if ptype == PictureType.B:
+                    out_part = partition
+                else:
+                    out_part = held_partition
+                    held_partition = partition
                 if ready is not None:
-                    out_q.put(("frame", tid, ready))
+                    out_q.put(("frame", tid, ready, out_part))
             tail = dec.flush()
             if tail is not None:
-                out_q.put(("frame", tid, tail))
+                out_q.put(("frame", tid, tail, held_partition))
 
         threads = [threading.Thread(target=guard(root), name="root", daemon=True)]
         threads += [
@@ -292,20 +376,22 @@ class ThreadedParallelDecoder:
         for t in threads:
             t.start()
 
-        # collect: every displayed picture produces one frame per tile
+        # collect: every displayed picture produces one crop per tile,
+        # stamped with the partition it was decoded under (the layout may
+        # have changed between decode and display for held anchors)
         try:
             frames: List[Frame] = []
-            buckets: Dict[int, Dict[int, Frame]] = {}
+            buckets: Dict[int, Dict[int, tuple]] = {}
             display_counter = [0] * n_tiles
             collected = 0
             while collected < n_pics * n_tiles:
                 kind, *payload = out_q.get(timeout=timeout)
                 if kind == "error":
                     raise payload[0]
-                tid, frame = payload
+                tid, frame, part = payload
                 idx = display_counter[tid]
                 display_counter[tid] += 1
-                buckets.setdefault(idx, {})[tid] = frame
+                buckets.setdefault(idx, {})[tid] = (frame, part)
                 collected += 1
         finally:
             # Success or failure, poison and drain every worker: no thread
@@ -318,5 +404,16 @@ class ThreadedParallelDecoder:
             raise self.errors[0]
 
         for idx in sorted(buckets):
-            frames.append(assemble_wall(self.layout, buckets[idx]))
+            out = Frame.blank(self.layout.width, self.layout.height)
+            for tile_frame, p in buckets[idx].values():
+                out.y[p.y0 : p.y1, p.x0 : p.x1] = tile_frame.y[
+                    p.y0 : p.y1, p.x0 : p.x1
+                ]
+                out.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = tile_frame.cb[
+                    p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2
+                ]
+                out.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = tile_frame.cr[
+                    p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2
+                ]
+            frames.append(out)
         return frames

@@ -169,6 +169,9 @@ class ProcSummary:
     metrics: Dict[str, float] = field(default_factory=dict)
     # final per-pool accounting from the worker's pool_stats event
     pools: Dict[str, Dict] = field(default_factory=dict)
+    # decoder-only: per-picture decode+serve seconds (decode order), the
+    # input to the per-GOP imbalance windows
+    picture_busy: Dict[int, float] = field(default_factory=dict)
 
 
 @dataclass
@@ -203,6 +206,11 @@ class TraceReport:
     sessions: Dict[int, SessionAgg] = field(default_factory=dict)
     admission_rejects: List[Dict] = field(default_factory=list)
     failovers: List[Dict] = field(default_factory=list)  # gateway events
+    # adaptive repartitioning: the root's versioned layout_update events,
+    # the decoders' repartition (applied) events, and the GOP boundaries
+    partition_updates: List[Dict] = field(default_factory=list)
+    repartitions: List[Dict] = field(default_factory=list)
+    gops: List[Dict] = field(default_factory=list)
 
     # -- derived views ------------------------------------------------- #
 
@@ -280,6 +288,50 @@ class TraceReport:
             r["forced"] += agg.forced_drop_events
         return roll
 
+    def gop_imbalance(self) -> List[Dict[str, float]]:
+        """Cross-tile imbalance per GOP window (busy = decode+serve).
+
+        Busy is the decoder's thread-CPU time where the trace recorded it
+        (``cpu_s`` on the decode event), falling back to wall spans for
+        older traces — CPU time keeps the figure meaningful even when the
+        whole fleet time-slices a single core.
+
+        Windows come from the root's ``gop`` events; pictures are binned
+        in decode order.  This is how the adaptive partition's effect
+        shows up: under a working policy the ``max_over_mean`` of late
+        GOPs drops toward 1.0 while the first GOP (decoded under the
+        static base layout) stays imbalanced.
+        """
+        starts = sorted({g["picture"] for g in self.gops})
+        decs = self.decoder_procs()
+        if not starts or not decs:
+            return []
+        n_pics = max(
+            (max(self.procs[p].picture_busy, default=-1) for p in decs),
+            default=-1,
+        ) + 1
+        out = []
+        for w, start in enumerate(starts):
+            end = starts[w + 1] if w + 1 < len(starts) else n_pics
+            busy = [
+                sum(
+                    self.procs[p].picture_busy.get(i, 0.0)
+                    for i in range(start, end)
+                )
+                for p in decs
+            ]
+            mean = sum(busy) / len(busy)
+            out.append(
+                {
+                    "start": start,
+                    "end": end,
+                    "max_s": max(busy),
+                    "mean_s": mean,
+                    "max_over_mean": max(busy) / mean if mean > 0 else 0.0,
+                }
+            )
+        return out
+
     def picture_percentiles(self, proc: str) -> Dict[str, float]:
         vals = sorted(self.procs[proc].picture_spans)
         return {
@@ -299,6 +351,9 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
     sessions: Dict[int, SessionAgg] = {}
     rejects: List[Dict] = []
     failovers: List[Dict] = []
+    partition_updates: List[Dict] = []
+    repartitions: List[Dict] = []
+    gops: List[Dict] = []
     t_lo, t_hi = float("inf"), float("-inf")
 
     def session(sid) -> SessionAgg:
@@ -324,12 +379,31 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
                 ev.proc.startswith("split") and ev.event == "split"
             ):
                 ps.picture_spans.append(dur)
+            if (
+                ev.proc.startswith("dec")
+                and ev.event in ("decode", "serve")
+                and ev.picture >= 0
+            ):
+                ps.picture_busy[ev.picture] = (
+                    ps.picture_busy.get(ev.picture, 0.0) + dur
+                )
             sids = open_sids.get(key)
             if sids:
                 agg = session(sids.pop())
                 agg.decode_s += dur
                 agg.decode_count += 1
                 agg.proc = agg.proc or ev.proc
+        elif (
+            ev.proc.startswith("dec")
+            and ev.event == "decode"
+            and "cpu_s" in ev.data
+            and ev.picture >= 0
+        ):
+            # The decoder's summary event carries thread-CPU busy time,
+            # which excludes scheduler preemption.  It lands after the
+            # wall-clock serve/decode spans of the same picture, so it
+            # overrides their sum wherever both were recorded.
+            ps.picture_busy[ev.picture] = float(ev.data["cpu_s"])
         elif ev.event == "drop" and "sid" in ev.data:
             agg = session(ev.data["sid"])
             agg.drop_events += 1
@@ -344,6 +418,14 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
             agg.proc = ev.proc  # the summary's stream is authoritative
         elif ev.event == "failover":
             failovers.append(dict(ev.data))
+        elif ev.event == "layout_update":
+            partition_updates.append({"picture": ev.picture, **ev.data})
+        elif ev.event == "repartition":
+            repartitions.append(
+                {"proc": ev.proc, "picture": ev.picture, **ev.data}
+            )
+        elif ev.event == "gop":
+            gops.append({"picture": ev.picture, **ev.data})
         elif ev.event == "admission_reject":
             rejects.append(dict(ev.data))
         elif ev.event == "stats":
@@ -378,6 +460,9 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         sessions=sessions,
         admission_rejects=rejects,
         failovers=failovers,
+        partition_updates=partition_updates,
+        repartitions=repartitions,
+        gops=gops,
     )
 
 
@@ -475,6 +560,39 @@ def render_report(report: TraceReport) -> str:
             f"min {imb['min_s']:.3f}s, max {imb['max_s']:.3f}s, "
             f"spread {imb['spread_s']:.3f}s, "
             f"max/mean {imb['max_over_mean']:.3f}"
+        )
+        L.append("")
+
+    # ---- adaptive repartitioning ---------------------------------------- #
+    if report.partition_updates:
+        L.append("Partition updates (adaptive repartitioning):")
+        applied: Dict[int, List[str]] = {}
+        for r in report.repartitions:
+            applied.setdefault(int(r.get("version", 0)), []).append(r["proc"])
+        for u in report.partition_updates:
+            v = int(u.get("version", 0))
+            who = sorted(set(applied.get(v, [])), key=_proc_rank)
+            L.append(
+                f"  v{v} @ picture {u['picture']}: "
+                f"x={u.get('x_bounds')} y={u.get('y_bounds')}"
+                + (f"  applied by {', '.join(who)}" if who else "")
+            )
+        L.append("")
+    gop_imb = report.gop_imbalance()
+    if gop_imb and (report.partition_updates or len(gop_imb) > 1):
+        L.append("Per-GOP cross-tile imbalance (busy = decode+serve):")
+        L += _table(
+            ["gop@", "pictures", "max_s", "mean_s", "max/mean"],
+            [
+                [
+                    g["start"],
+                    f"{g['start']}..{g['end'] - 1}",
+                    f"{g['max_s']:.3f}",
+                    f"{g['mean_s']:.3f}",
+                    f"{g['max_over_mean']:.3f}",
+                ]
+                for g in gop_imb
+            ],
         )
         L.append("")
 
