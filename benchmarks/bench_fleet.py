@@ -26,6 +26,7 @@ pytest-benchmark or directly:
 
 import json
 import tempfile
+import threading
 import time
 from pathlib import Path
 
@@ -64,10 +65,57 @@ def _fleet_config(daemons: int, **service_kw) -> FleetConfig:
     )
 
 
-def _run_level(daemons: int, clip: bytes) -> dict:
+class _StatsScraper:
+    """A ``VERB_STATS`` poller against the gateway during a level run.
+
+    Times each scrape (request + fleet rollup + reply) over its own
+    client connection and reports the cost a 1 Hz collector would pay as
+    a percentage of wall time — the measured form of the "1 Hz polling
+    vs off" overhead, immune to run-to-run wall noise.  Polls faster
+    than 1 Hz so short levels still average several scrapes.
+    """
+
+    def __init__(self, rundir: Path, interval: float = 0.25):
+        self.rundir = rundir
+        self.interval = interval
+        self.busy_s = 0.0
+        self.polls = 0
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+
+    def _loop(self) -> None:
+        with ServiceClient(self.rundir, request_timeout=30.0) as client:
+            while not self._stop.wait(self.interval):
+                t0 = time.perf_counter()
+                try:
+                    client.stats(format="prometheus")
+                except Exception:
+                    return  # gateway going down: the level is over
+                self.busy_s += time.perf_counter() - t0
+                self.polls += 1
+
+    def __enter__(self) -> "_StatsScraper":
+        self._thread.start()
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self._stop.set()
+        self._thread.join(timeout=10.0)
+
+    def overhead_pct_at_1hz(self) -> float:
+        if not self.polls:
+            return 0.0
+        return 100.0 * (self.busy_s / self.polls) * 1.0
+
+
+def _run_level(daemons: int, clip: bytes, scrape: bool = False) -> dict:
+    obs_overhead = None
     with tempfile.TemporaryDirectory(prefix="bench-fleet-") as rundir:
         rundir = Path(rundir)
         with FleetGateway(rundir, _fleet_config(daemons)) as gw:
+            scraper = _StatsScraper(rundir) if scrape else None
+            if scraper is not None:
+                scraper.__enter__()
             with ServiceClient(rundir, request_timeout=60.0) as client:
                 t0 = time.perf_counter()
                 replies = []
@@ -88,6 +136,9 @@ def _run_level(daemons: int, clip: bytes) -> dict:
                 sids = [r["sid"] for r in replies if "sid" in r]
                 finals = [client.wait(s, timeout=300.0) for s in sids]
                 wall = time.perf_counter() - t0
+            if scraper is not None:
+                scraper.__exit__()
+                obs_overhead = round(scraper.overhead_pct_at_1hz(), 4)
 
     sessions = [
         {
@@ -102,7 +153,7 @@ def _run_level(daemons: int, clip: bytes) -> dict:
         for f in finals
     ]
     p95s = [s["latency_p95_ms"] for s in sessions]
-    return {
+    out = {
         "daemons": daemons,
         "offered": N_SESSIONS,
         "admission": {a: actions.count(a) for a in sorted(set(actions))},
@@ -115,6 +166,10 @@ def _run_level(daemons: int, clip: bytes) -> dict:
         "wall_s": round(wall, 3),
         "sessions": sessions,
     }
+    if obs_overhead is not None:
+        out["obs_overhead_pct"] = obs_overhead
+        out["obs_polls"] = scraper.polls
+    return out
 
 
 def _run_failover(clip: bytes) -> dict:
@@ -162,7 +217,7 @@ def _run_failover(clip: bytes) -> dict:
 
 def run_fleet_bench() -> dict:
     clip = _encode_clip(N_FRAMES)
-    return {
+    report = {
         "stream": {
             "spec": SPEC.to_dict(),
             "frames": N_FRAMES,
@@ -170,9 +225,16 @@ def run_fleet_bench() -> dict:
             "slowdown_s": SLOWDOWN_S,
         },
         "pool_per_daemon": dict(POOL),
-        "levels": {str(n): _run_level(n, clip) for n in DAEMON_COUNTS},
+        # the 2-daemon level carries the 1 Hz VERB_STATS scrape so the
+        # obs overhead is measured against a loaded gateway
+        "levels": {
+            str(n): _run_level(n, clip, scrape=(n == 2))
+            for n in DAEMON_COUNTS
+        },
         "failover": _run_failover(clip),
     }
+    report["obs_overhead_pct"] = report["levels"]["2"]["obs_overhead_pct"]
+    return report
 
 
 def _check(report: dict) -> None:
@@ -190,6 +252,8 @@ def _check(report: dict) -> None:
         assert len(lv["spread"]) <= int(n), (n, lv["spread"])
     # a bigger fleet spreads sessions across more than one daemon
     assert len(levels["4"]["spread"]) >= 2, levels["4"]["spread"]
+    # 1 Hz VERB_STATS scraping must stay in the noise floor
+    assert report["obs_overhead_pct"] < 2.0, report["obs_overhead_pct"]
     # failover: detected, resumed on the survivor, bit-identical output
     fo = report["failover"]
     assert fo["state"] == "completed" and fo["failovers"] == 1, fo

@@ -1,0 +1,169 @@
+"""Observability smoke: scrape a live 2-daemon fleet mid-run.
+
+Mirrors the ``fleet-smoke`` topology — two spawned daemons behind one
+gateway — then exercises the obs plane while sessions are actually
+decoding:
+
+- ``VERB_STATS`` against the gateway and both daemon run directories,
+  twice, about a second apart;
+- asserts the metric families the plane promises are present, that the
+  gateway's fleet rollup covers both daemons, and that every flat
+  counter is monotonic across the two scrapes (per-session counters are
+  pruned at teardown and exempt);
+- renders one ``repro top`` frame from the gateway scrape.
+
+Writes a JSON artifact (``--out``) with both scrapes' key figures so a
+failed assertion can be diagnosed from CI artifacts alone.
+
+Run directly: ``PYTHONPATH=src python benchmarks/obs_smoke.py``.
+"""
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.fleet import FleetConfig, FleetGateway
+from repro.obs.top import run_top
+from repro.service import ServiceClient, ServiceConfig
+from repro.workloads.streams import stream_by_id
+
+SPEC = stream_by_id(5)  # fish1: 1280x720 @ 30 fps
+N_SESSIONS = 2
+N_FRAMES = 60
+SLOWDOWN_S = 0.05  # stretch the decode so the scrapes land mid-run
+
+
+def _assert_daemon_snapshot(name: str, snap: dict) -> None:
+    assert snap.get("role") == "daemon", (name, snap.get("role"))
+    for key in ("families", "metrics", "channels", "admission", "slo"):
+        assert key in snap, (name, key)
+    fams = snap["families"]
+    for fam in ("repro_admission_headroom_mpps", "repro_slo_worst_burn"):
+        assert fam in fams, (name, fam, sorted(fams))
+
+
+def _assert_counters_monotonic(name: str, a: dict, b: dict) -> None:
+    for cname, v in a.get("counters", {}).items():
+        if cname.startswith("session."):
+            continue  # pruned at session teardown by design
+        assert b.get("counters", {}).get(cname, 0) >= v, (name, cname)
+
+
+def run_obs_smoke(rundir: Path) -> dict:
+    cfg = FleetConfig(
+        daemons=2,
+        service=ServiceConfig(capacity_mpps=400.0, workers=2),
+        health_interval=0.1,
+        stats_interval=0.25,
+    )
+    report = {"scrapes": [], "sessions": []}
+    with FleetGateway(rundir, cfg) as gw:
+        with ServiceClient(rundir, request_timeout=60.0) as client:
+            sids = [
+                client.submit(
+                    SPEC,
+                    name=f"obs{i}",
+                    n_frames=N_FRAMES,
+                    slowdown_s=SLOWDOWN_S,
+                )["sid"]
+                for i in range(N_SESSIONS)
+            ]
+            # let the health loop cache at least one stats scrape and the
+            # sessions produce pictures before the first mid-run scrape
+            time.sleep(1.0)
+
+            scrapes = []
+            for _ in range(2):
+                doc = {"gateway": client.stats(format="prometheus")}
+                for i in range(cfg.daemons):
+                    with ServiceClient(rundir / f"daemon{i}") as dc:
+                        doc[f"daemon{i}"] = dc.stats()
+                scrapes.append(doc)
+                time.sleep(1.0)
+
+            # one scriptable dashboard frame against the live gateway
+            top_path = rundir / "top.txt"
+            with open(top_path, "w", encoding="utf-8") as fh:
+                rc = run_top(rundir, count=1, clear=False, out=fh)
+            assert rc == 0, "repro top failed against the live gateway"
+            print(top_path.read_text())
+
+            finals = [client.wait(s, timeout=300.0) for s in sids]
+
+    # ---- gateway: fleet rollup + prometheus families ------------------- #
+    for doc in scrapes:
+        gsnap = doc["gateway"]["stats"]
+        assert gsnap["role"] == "gateway", gsnap
+        assert gsnap["fleet"]["daemons_up"] == 2, gsnap["fleet"]
+        assert set(gsnap["daemons"]) == {"daemon0", "daemon1"}, gsnap
+        text = doc["gateway"]["text"]
+        for fam in (
+            "repro_fleet_capacity_mpps",
+            "repro_fleet_daemons_up",
+            "repro_fleet_worst_burn",
+        ):
+            assert fam in text, fam
+
+    # ---- daemons: families present, flat counters monotonic ------------ #
+    for i in range(cfg.daemons):
+        name = f"daemon{i}"
+        a, b = scrapes[0][name]["stats"], scrapes[1][name]["stats"]
+        _assert_daemon_snapshot(name, a)
+        _assert_daemon_snapshot(name, b)
+        _assert_counters_monotonic(name, a["metrics"], b["metrics"])
+
+    # at least one daemon was decoding when the scrapes landed
+    mid_run = [
+        row
+        for doc in scrapes
+        for i in range(cfg.daemons)
+        for row in doc[f"daemon{i}"]["stats"]["sessions"]
+    ]
+    assert mid_run, "no session visible in any mid-run scrape"
+
+    for f in finals:
+        assert f["state"] == "completed", f
+        report["sessions"].append(
+            {k: f[k] for k in ("sid", "daemon", "state", "released")}
+        )
+
+    for doc in scrapes:
+        entry = {"gateway_fleet": doc["gateway"]["stats"]["fleet"]}
+        for i in range(cfg.daemons):
+            snap = doc[f"daemon{i}"]["stats"]
+            entry[f"daemon{i}"] = {
+                "counters": snap["metrics"]["counters"],
+                "sessions": [
+                    {
+                        "sid": r["sid"],
+                        "state": r["state"],
+                        "fps": r["fps"],
+                        "latency_p95_ms": r["latency_p95_ms"],
+                        "slo_worst_burn": r["slo"]["worst_burn"],
+                    }
+                    for r in snap["sessions"]
+                ],
+            }
+        report["scrapes"].append(entry)
+    return report
+
+
+def main(argv=None) -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--rundir", default="obs-smoke-run")
+    ap.add_argument("--out", default="obs-smoke.json")
+    args = ap.parse_args(argv)
+
+    rundir = Path(args.rundir)
+    report = run_obs_smoke(rundir)
+
+    Path(args.out).write_text(json.dumps(report, indent=2) + "\n")
+    print(json.dumps(report["scrapes"][-1]["gateway_fleet"], indent=2))
+    print(f"obs smoke OK: report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,6 +13,7 @@ serve     run the multi-session wall-service daemon
 submit    submit a decode session to a running wall service
 sessions  list, cancel, or shut down wall-service sessions
 fleet     sharded multi-daemon serving: gateway, status, drain
+top       live fleet/daemon health dashboard (obs-plane scrape)
 """
 
 from __future__ import annotations
@@ -157,6 +158,8 @@ def cmd_trace_report(args) -> int:
     if not rundir.is_dir():
         print(f"not a run directory: {rundir}", file=sys.stderr)
         return 2
+    if args.follow:
+        return _follow_trace(rundir, args)
     try:
         events = merge_traces(
             rundir, strict=not args.lenient, recursive=args.recursive
@@ -180,6 +183,46 @@ def cmd_trace_report(args) -> int:
         print(text, end="")
     print(f"perfetto timeline -> {json_path}  (open in ui.perfetto.dev)")
     return 0
+
+
+def _follow_trace(rundir: Path, args) -> int:
+    """``trace-report --follow``: re-merge the run directory's live trace
+    streams every ``--interval`` seconds (always lenient — the writers
+    are mid-line by definition) and redraw the report."""
+    import time as _time
+
+    from repro.perf.export import build_report, render_report
+    from repro.perf.trace import merge_traces
+
+    iterations = args.iterations
+    shown = 0
+    try:
+        while True:
+            events = merge_traces(rundir, strict=False, recursive=args.recursive)
+            if iterations != 1:
+                print("\x1b[2J\x1b[H", end="")
+            if events:
+                print(render_report(build_report(events)), end="")
+            else:
+                print(f"(no trace events yet under {rundir})")
+            shown += 1
+            if iterations and shown >= iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
+
+
+def cmd_top(args) -> int:
+    from repro.obs.top import run_top
+
+    return run_top(
+        Path(args.rundir),
+        transport=args.transport,
+        interval=args.interval,
+        count=1 if args.once else args.count,
+        clear=not (args.once or args.no_clear),
+    )
 
 
 def cmd_simulate(args) -> int:
@@ -281,6 +324,7 @@ def cmd_serve(args) -> int:
         transport=args.transport,
         lookahead=args.lookahead,
         telemetry=not args.no_telemetry,
+        metrics_port=args.metrics_port,
     )
     svc = WallService(Path(args.rundir), cfg)
     svc.start()
@@ -569,6 +613,20 @@ def build_parser() -> argparse.ArgumentParser:
         help="also merge traces from subdirectories (fleet run layout: "
         "gateway trace on top, one directory per daemon)",
     )
+    tr.add_argument(
+        "--follow",
+        action="store_true",
+        help="tail the run directory: re-merge (leniently) and redraw the "
+        "report every --interval seconds until interrupted",
+    )
+    tr.add_argument(
+        "--interval", type=float, default=2.0,
+        help="refresh period for --follow (seconds)",
+    )
+    tr.add_argument(
+        "--iterations", type=int, default=0,
+        help="stop --follow after N redraws (0 = until interrupted)",
+    )
     tr.set_defaults(func=cmd_trace_report)
 
     sv = sub.add_parser(
@@ -584,7 +642,34 @@ def build_parser() -> argparse.ArgumentParser:
     sv.add_argument("--transport", choices=["unix", "tcp"], default="unix")
     sv.add_argument("--lookahead", type=int, default=2)
     sv.add_argument("--no-telemetry", action="store_true")
+    sv.add_argument(
+        "--metrics-port", type=int, default=-1,
+        help="HTTP /metrics listener port (0 = ephemeral, published to "
+        "<rundir>/metrics.port; default: disabled)",
+    )
     sv.set_defaults(func=cmd_serve)
+
+    tp = sub.add_parser(
+        "top", help="live fleet/daemon health dashboard (polls VERB_STATS)"
+    )
+    tp.add_argument("rundir", help="a gateway's or daemon's run directory")
+    tp.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    tp.add_argument(
+        "--interval", type=float, default=1.0, help="refresh period (seconds)"
+    )
+    tp.add_argument(
+        "--count", type=int, default=0,
+        help="stop after N frames (0 = until interrupted)",
+    )
+    tp.add_argument(
+        "--once", action="store_true",
+        help="print one plain snapshot and exit (CI / scripting)",
+    )
+    tp.add_argument(
+        "--no-clear", action="store_true",
+        help="append frames instead of clearing the screen",
+    )
+    tp.set_defaults(func=cmd_top)
 
     sb = sub.add_parser(
         "submit", help="submit a decode session to a running wall service"

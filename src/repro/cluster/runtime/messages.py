@@ -98,35 +98,60 @@ def decode_sequence(payload: bytes) -> SequenceHeader:
     return pickle.loads(payload)
 
 
-def encode_picture(nsid: int, unit: PictureUnit) -> bytes:
-    return pickle.dumps((nsid, unit), protocol=pickle.HIGHEST_PROTOCOL)
+def encode_picture(nsid: int, unit: PictureUnit, t_ingress: float = 0.0) -> bytes:
+    """``t_ingress`` is the root's wall-clock stamp (``time.time()``) taken
+    when the picture entered the pipeline — the origin of the end-to-end
+    latency measurement.  ``time.time()`` is the one clock every process
+    on the same host shares; stamps always travel (they never influence
+    pixels), so the telemetry kill-switch stays bit-identical."""
+    return pickle.dumps((nsid, unit, t_ingress), protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_picture(payload: bytes) -> Tuple[int, PictureUnit]:
-    return pickle.loads(payload)
+def decode_picture(payload: bytes) -> Tuple[int, PictureUnit, float]:
+    rec = pickle.loads(payload)
+    if len(rec) == 2:  # legacy 2-tuple: no ingress stamp
+        return rec[0], rec[1], 0.0
+    return rec
 
 
-_SP_HEAD = "<HHI"  # anid, expected_recvs, len(sp_bytes)
+#: Two latency stamps ride every downstream header: ``t_root`` (pipeline
+#: ingress at the root) and ``t_split`` (plan/subpicture shipped by the
+#: splitter).  Decoder->collector frames add ``t_dec`` (tile shipped).
+_SP_HEAD = "<HHIdd"  # anid, expected_recvs, len(sp_bytes), t_root, t_split
 
 
-def encode_subpicture(anid: int, sp_bytes: bytes, program: MEIProgram) -> bytes:
-    head = struct.pack(_SP_HEAD, anid, len(program.recvs), len(sp_bytes))
+def encode_subpicture(
+    anid: int,
+    sp_bytes: bytes,
+    program: MEIProgram,
+    stamps: Tuple[float, float] = (0.0, 0.0),
+) -> bytes:
+    head = struct.pack(
+        _SP_HEAD, anid, len(program.recvs), len(sp_bytes), *stamps
+    )
     return head + sp_bytes + pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)
 
 
-def decode_subpicture(payload: bytes) -> Tuple[int, int, bytes, MEIProgram]:
-    """Return ``(anid, expected_recvs, sp_bytes, program)``."""
-    anid, expected, sp_len = struct.unpack_from(_SP_HEAD, payload)
+def decode_subpicture(
+    payload: bytes,
+) -> Tuple[int, int, bytes, MEIProgram, Tuple[float, float]]:
+    """Return ``(anid, expected_recvs, sp_bytes, program, (t_root, t_split))``."""
+    anid, expected, sp_len, t_root, t_split = struct.unpack_from(_SP_HEAD, payload)
     off = struct.calcsize(_SP_HEAD)
     sp_bytes = payload[off : off + sp_len]
     program = pickle.loads(payload[off + sp_len :])
-    return anid, expected, sp_bytes, program
+    return anid, expected, sp_bytes, program, (t_root, t_split)
 
 
-_PLAN_HEAD = "<HHI"  # anid, expected_recvs, plan byte count
+_PLAN_HEAD = "<HHIdd"  # anid, expected_recvs, plan byte count, t_root, t_split
 
 
-def encode_plan_msg(anid: int, tp: TilePlan, program: MEIProgram) -> Buffers:
+def encode_plan_msg(
+    anid: int,
+    tp: TilePlan,
+    program: MEIProgram,
+    stamps: Tuple[float, float] = (0.0, 0.0),
+) -> Buffers:
     """Encode a compiled tile plan + its MEI program as a buffer list.
 
     The plan's ndarray buffers pass through untouched (zero-copy on the
@@ -134,21 +159,27 @@ def encode_plan_msg(anid: int, tp: TilePlan, program: MEIProgram) -> Buffers:
     """
     plan_bufs = plan_codec.encode_plan(tp)
     head = struct.pack(
-        _PLAN_HEAD, anid, len(program.recvs), plan_codec.buffers_nbytes(plan_bufs)
+        _PLAN_HEAD,
+        anid,
+        len(program.recvs),
+        plan_codec.buffers_nbytes(plan_bufs),
+        *stamps,
     )
     return [head, *plan_bufs, pickle.dumps(program, protocol=pickle.HIGHEST_PROTOCOL)]
 
 
 def decode_plan_msg(
     payload: bytes, matrices: QuantMatrices
-) -> Tuple[int, int, TilePlan, MEIProgram]:
-    """Return ``(anid, expected_recvs, tile_plan, program)``.
+) -> Tuple[int, int, TilePlan, MEIProgram, Tuple[float, float]]:
+    """Return ``(anid, expected_recvs, tile_plan, program, (t_root, t_split))``.
 
     The plan's arrays are zero-copy views into ``payload``; ``matrices``
     is the decoder's own copy (matrices never travel on the wire — see
     :mod:`repro.mpeg2.plan_codec`).
     """
-    anid, expected, plan_len = struct.unpack_from(_PLAN_HEAD, payload)
+    anid, expected, plan_len, t_root, t_split = struct.unpack_from(
+        _PLAN_HEAD, payload
+    )
     off = struct.calcsize(_PLAN_HEAD)
     tp, end = plan_codec.decode_plan(payload, matrices, offset=off)
     if end - off != plan_len:
@@ -157,17 +188,22 @@ def decode_plan_msg(
             f"codec consumed {end - off}"
         )
     program = pickle.loads(payload[end:])
-    return anid, expected, tp, program
+    return anid, expected, tp, program, (t_root, t_split)
 
 
-_PLAN_H_HEAD = "<HH"  # anid, expected_recvs
+_PLAN_H_HEAD = "<HHdd"  # anid, expected_recvs, t_root, t_split
 
 
-def encode_plan_hmsg(anid: int, handle: Handle, program: MEIProgram) -> bytes:
+def encode_plan_hmsg(
+    anid: int,
+    handle: Handle,
+    program: MEIProgram,
+    stamps: Tuple[float, float] = (0.0, 0.0),
+) -> bytes:
     """MSG_PLAN_H payload: the plan already sits in a pool slab (written
     there with :func:`~repro.mpeg2.plan_codec.encode_plan_into`); only
     anid + handle + the small pickled MEI program cross the wire."""
-    head = struct.pack(_PLAN_H_HEAD, anid, len(program.recvs))
+    head = struct.pack(_PLAN_H_HEAD, anid, len(program.recvs), *stamps)
     return (
         head
         + handle.pack()
@@ -175,17 +211,19 @@ def encode_plan_hmsg(anid: int, handle: Handle, program: MEIProgram) -> bytes:
     )
 
 
-def decode_plan_hmsg(payload: bytes) -> Tuple[int, int, Handle, MEIProgram]:
-    """Return ``(anid, expected_recvs, handle, program)``.
+def decode_plan_hmsg(
+    payload: bytes,
+) -> Tuple[int, int, Handle, MEIProgram, Tuple[float, float]]:
+    """Return ``(anid, expected_recvs, handle, program, (t_root, t_split))``.
 
     The caller views the handle through its :class:`~repro.mem.PoolRegistry`
     and decodes the slab with the ordinary ``decode_plan`` — the slab
     layout is byte-identical to the by-value wire payload.
     """
-    anid, expected = struct.unpack_from(_PLAN_H_HEAD, payload)
+    anid, expected, t_root, t_split = struct.unpack_from(_PLAN_H_HEAD, payload)
     handle, off = Handle.unpack(payload, struct.calcsize(_PLAN_H_HEAD))
     program = pickle.loads(payload[off:])
-    return anid, expected, handle, program
+    return anid, expected, handle, program, (t_root, t_split)
 
 
 # ----------------------- partition telemetry ---------------------------- #
@@ -337,21 +375,30 @@ def decode_block_hmsg(payload: bytes, view_fn) -> Tuple[PixelBlock, Handle]:
 # only that crop travels to the collector — a 2x2 wall ships one full
 # frame's worth of pixels per picture instead of four.
 
-_FRAME_FMT = "<H4H"  # tile id, partition rect
+_FRAME_FMT = "<H4Hddd"  # tile id, partition rect, t_root, t_split, t_dec
 
 
-def encode_tile_frame(tid: int, partition: Rect, frame: Frame) -> Buffers:
+def encode_tile_frame(
+    tid: int,
+    partition: Rect,
+    frame: Frame,
+    stamps: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> Buffers:
     """Encode a tile crop as a buffer list (planes go zero-copy to the wire)."""
     p = partition
-    head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1)
+    head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1, *stamps)
     y = np.ascontiguousarray(frame.y[p.y0 : p.y1, p.x0 : p.x1])
     cb = np.ascontiguousarray(frame.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2])
     cr = np.ascontiguousarray(frame.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2])
     return [head, memoryview(y), memoryview(cb), memoryview(cr)]
 
 
-def decode_tile_frame(payload: bytes) -> Tuple[int, Rect, np.ndarray, np.ndarray, np.ndarray]:
-    tid, x0, y0, x1, y1 = struct.unpack_from(_FRAME_FMT, payload)
+def decode_tile_frame(
+    payload: bytes,
+) -> Tuple[int, Rect, np.ndarray, np.ndarray, np.ndarray, Tuple[float, float, float]]:
+    vals = struct.unpack_from(_FRAME_FMT, payload)
+    tid, x0, y0, x1, y1 = vals[:5]
+    stamps = vals[5:8]
     rect = Rect(x0, y0, x1, y1)
     off = struct.calcsize(_FRAME_FMT)
     h, w = y1 - y0, x1 - x0
@@ -366,7 +413,7 @@ def decode_tile_frame(payload: bytes) -> Tuple[int, Rect, np.ndarray, np.ndarray
     y = take(h * w, (h, w))
     cb = take(ch * cw, (ch, cw))
     cr = take(ch * cw, (ch, cw))
-    return tid, rect, y, cb, cr
+    return tid, rect, y, cb, cr, stamps
 
 
 def tile_frame_nbytes(partition: Rect) -> int:
@@ -396,18 +443,28 @@ def write_tile_frame_into(frame: Frame, partition: Rect, buf) -> int:
     return off
 
 
-def encode_tile_frame_hmsg(tid: int, partition: Rect, handle: Handle) -> bytes:
+def encode_tile_frame_hmsg(
+    tid: int,
+    partition: Rect,
+    handle: Handle,
+    stamps: Tuple[float, float, float] = (0.0, 0.0, 0.0),
+) -> bytes:
     p = partition
-    head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1)
+    head = struct.pack(_FRAME_FMT, tid, p.x0, p.y0, p.x1, p.y1, *stamps)
     return head + handle.pack()
 
 
 def decode_tile_frame_hmsg(
     payload: bytes, view_fn
-) -> Tuple[int, Rect, np.ndarray, np.ndarray, np.ndarray, Handle]:
+) -> Tuple[
+    int, Rect, np.ndarray, np.ndarray, np.ndarray, Handle,
+    Tuple[float, float, float],
+]:
     """Handle-bearing tile crop; plane arrays are zero-copy slab views, so
     release the handle only after they have been pasted."""
-    tid, x0, y0, x1, y1 = struct.unpack_from(_FRAME_FMT, payload)
+    vals = struct.unpack_from(_FRAME_FMT, payload)
+    tid, x0, y0, x1, y1 = vals[:5]
+    stamps = vals[5:8]
     rect = Rect(x0, y0, x1, y1)
     handle, _off = Handle.unpack(payload, struct.calcsize(_FRAME_FMT))
     view = view_fn(handle)
@@ -424,4 +481,4 @@ def decode_tile_frame_hmsg(
     y = take(h * w, (h, w))
     cb = take(ch * cw, (ch, cw))
     cr = take(ch * cw, (ch, cw))
-    return tid, rect, y, cb, cr, handle
+    return tid, rect, y, cb, cr, handle, stamps

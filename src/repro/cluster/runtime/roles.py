@@ -351,6 +351,10 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
 
     for i, unit in enumerate(pictures):
         _maybe_fail(cfg, "root", i)
+        # Pipeline-ingress stamp (wall clock: the one base every process
+        # shares): taken before the credit wait so upstream backpressure
+        # is part of the picture's end-to-end latency.
+        t_ingress = time.time()
         if unit.new_gop:
             tracer.emit(
                 "gop",
@@ -380,7 +384,9 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
             gates[a].acquire(cfg.recv_timeout)
         waited = time.perf_counter() - t0
         with tracer.span("dispatch", picture=i, splitter=a):
-            channels[a].send(MSG_PICTURE, encode_picture(nsid, unit), picture=i)
+            channels[a].send(
+                MSG_PICTURE, encode_picture(nsid, unit, t_ingress), picture=i
+            )
         tracer.emit(
             "picture_sent",
             picture=i,
@@ -520,7 +526,7 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
         lay = schedule.layout_for(i)
         if lay is not msplit.layout:
             msplit.set_layout(lay)
-        nsid, unit = decode_picture(msg.payload)
+        nsid, unit, t_root = decode_picture(msg.payload)
         t0 = time.perf_counter()
         # Parent "split" span with parse/plan children synthesized from
         # the splitter's stage-time deltas across the call.
@@ -558,6 +564,10 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
             ack_wait_s = 0.0
         sent = 0
         pooled = 0
+        # Second latency stamp: the split is done and the plans are about
+        # to hit the decoder channels.  (t_split - t_root) is the split
+        # hop, inclusive of ack serialization.
+        stamps = (t_root, time.time())
         for t in range(n_tiles):
             with traced_stage(tracer, msplit.stage_times, "wire", picture=i):
                 mtype = None
@@ -575,7 +585,7 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
                         if lease is not None:
                             plan_codec.encode_plan_into(tp, lease.buf)
                             payload = encode_plan_hmsg(
-                                nsid, lease.handle, program
+                                nsid, lease.handle, program, stamps
                             )
                             mtype = MSG_PLAN_H
                             nbytes = len(payload)
@@ -584,13 +594,16 @@ def run_splitter(cfg: WallConfig, rundir: Path, sid: int, tracer: TraceWriter) -
                             pooled += nb
                     if mtype is None:
                         mtype = MSG_PLAN
-                        payload = encode_plan_msg(nsid, tp, program)
+                        payload = encode_plan_msg(nsid, tp, program, stamps)
                         nbytes = buffers_nbytes(payload)
                         registry().counter("pool.bytes_by_copy").inc(nbytes)
                 else:
                     mtype = MSG_SUBPICTURE
                     payload = encode_subpicture(
-                        nsid, result.subpictures[t].serialize(), result.mei.program(t)
+                        nsid,
+                        result.subpictures[t].serialize(),
+                        result.mei.program(t),
+                        stamps,
                     )
                     nbytes = len(payload)
             dec_ch[t].send(mtype, payload, picture=i)
@@ -714,8 +727,11 @@ def _decoder_body(
     partition = layout.tile(tid).partition
     # The partition a frame ships with is the one in force when it was
     # *decoded*: the held anchor may ship after a repartition boundary,
-    # so its crop geometry travels with it.
+    # so its crop geometry travels with it.  Latency stamps follow the
+    # same rule — a held anchor ships with the (t_root, t_split) of the
+    # picture it *is*, not of the B picture that released it.
     held_partition = partition
+    held_stamps = (0.0, 0.0)
     display_idx = 0
 
     # Shared-memory plumbing: ``pools`` attaches to peers' segments on the
@@ -741,9 +757,11 @@ def _decoder_body(
             tracer,
         )
 
-    def ship(frame, part) -> None:
+    def ship(frame, part, in_stamps=(0.0, 0.0)) -> None:
         nonlocal display_idx
         frame_nb = tile_frame_nbytes(part)
+        # Third latency stamp: the decoded tile leaves for the collector.
+        stamps = (*in_stamps, time.time())
         with traced_stage(tracer, dec.stage_times, "wire", picture=display_idx):
             lease = None
             if pool is not None and collector.peer_features.get("shm_pool"):
@@ -753,11 +771,11 @@ def _decoder_body(
                     lease = None
             if lease is not None:
                 write_tile_frame_into(frame, part, lease.buf)
-                payload = encode_tile_frame_hmsg(tid, part, lease.handle)
+                payload = encode_tile_frame_hmsg(tid, part, lease.handle, stamps)
                 mtype = MSG_FRAME_H
                 wire_bytes = len(payload)
             else:
-                payload = encode_tile_frame(tid, part, frame)
+                payload = encode_tile_frame(tid, part, frame, stamps)
                 mtype = MSG_FRAME
                 wire_bytes = buffers_nbytes(payload)
         collector.send(mtype, payload, picture=display_idx, sender=tid)
@@ -826,8 +844,8 @@ def _decoder_body(
         plan_handle = None
         if msg.type == MSG_PLAN_H:
             with traced_stage(tracer, dec.stage_times, "wire", picture=i):
-                anid, expected_recvs, plan_handle, program = decode_plan_hmsg(
-                    msg.payload
+                anid, expected_recvs, plan_handle, program, in_stamps = (
+                    decode_plan_hmsg(msg.payload)
                 )
                 # Zero-copy decode straight out of the splitter's slab;
                 # the handle is released only after the plan executes.
@@ -838,13 +856,15 @@ def _decoder_body(
             ptype = tp.picture_type
         elif msg.type == MSG_PLAN:
             with traced_stage(tracer, dec.stage_times, "wire", picture=i):
-                anid, expected_recvs, tp, program = decode_plan_msg(
+                anid, expected_recvs, tp, program, in_stamps = decode_plan_msg(
                     msg.payload, dec.matrices
                 )
             sp = None
             ptype = tp.picture_type
         else:
-            anid, expected_recvs, sp_bytes, program = decode_subpicture(msg.payload)
+            anid, expected_recvs, sp_bytes, program, in_stamps = decode_subpicture(
+                msg.payload
+            )
             sp = SubPicture.deserialize(sp_bytes)
             ptype = sp.picture_type
         # Ack to the *next* splitter (ANID), releasing picture i+1.
@@ -986,17 +1006,20 @@ def _decoder_body(
         # under ``held_partition`` (possibly one repartition ago).
         if ptype == PictureType.B:
             out_part = partition
+            out_stamps = in_stamps
         else:
             out_part = held_partition
             held_partition = partition
+            out_stamps = held_stamps
+            held_stamps = in_stamps
         if ready is not None:
-            ship(ready, out_part)
+            ship(ready, out_part, out_stamps)
         maybe_emit_stats(tracer)
         i += 1
 
     tail = dec.flush()
     if tail is not None:
-        ship(tail, held_partition)
+        ship(tail, held_partition, held_stamps)
     dec.stage_times.pictures = dec.stats.pictures_decoded
     if tracer.spans:
         emit_stats(tracer)

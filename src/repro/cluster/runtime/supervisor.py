@@ -56,7 +56,7 @@ from repro.mpeg2.parser import PictureScanner
 from repro.net.channel import Channel, ChannelTimeout, Listener
 from repro.perf.export import span_tail, write_chrome_trace
 from repro.perf.metrics import StageTimes
-from repro.perf.telemetry import emit_stats
+from repro.perf.telemetry import emit_stats, registry
 from repro.perf.trace import (
     TRACE_SUFFIX,
     TraceWriter,
@@ -302,32 +302,72 @@ class ClusterSupervisor:
                     raise ClusterError(
                         f"{label} sent a frame handle but the pool is off"
                     )
-                tid, rect, y, cb, cr, handle = decode_tile_frame_hmsg(
+                tid, rect, y, cb, cr, handle, stamps = decode_tile_frame_hmsg(
                     msg.payload, pools.view
                 )
             elif msg.type == MSG_FRAME:
-                tid, rect, y, cb, cr = decode_tile_frame(msg.payload)
+                tid, rect, y, cb, cr, stamps = decode_tile_frame(msg.payload)
                 handle = None
             else:
                 raise ClusterError(f"unexpected message {msg.type} from {label}")
-            buckets.setdefault(msg.picture, {})[tid] = (rect, y, cb, cr, handle)
+            buckets.setdefault(msg.picture, {})[tid] = (
+                rect, y, cb, cr, handle, stamps,
+            )
             collected += 1
             if len(buckets[msg.picture]) == n_tiles:
                 crops = buckets.pop(msg.picture)
                 frames[msg.picture] = self._assemble(layout, crops)
                 # The paste copied every slab view out; give the slabs back.
-                for _rect, _y, _cb, _cr, h in crops.values():
+                for _rect, _y, _cb, _cr, h, _st in crops.values():
                     if h is not None:
                         pools.release(h)
                 tracer.emit("frame_assembled", picture=msg.picture)
+                if cfg.telemetry:
+                    self._emit_e2e(tracer, msg.picture, crops)
         return [frames[i] for i in sorted(frames)]
+
+    @staticmethod
+    def _emit_e2e(tracer: TraceWriter, picture: int, crops: Dict[int, tuple]) -> None:
+        """End-to-end picture latency with per-hop attribution.
+
+        The stamps (wall clock, one shared base per host) travel with the
+        picture: ``t_root`` at pipeline ingress, ``t_split`` when the
+        splitter ships the plans, ``t_dec`` when each decoder ships its
+        tile.  The paste completes the path here.  The three hops are
+        telescoping by construction — split + decode + collect is exactly
+        the end-to-end figure — so the trace-report attribution and the
+        e2e histogram cannot drift apart."""
+        t_paste = time.time()
+        stamps = [st for *_rest, st in crops.values() if st[0] > 0.0]
+        if not stamps:
+            return  # legacy peer or flushed tail without an ingress stamp
+        t_root = stamps[0][0]
+        t_split = max(st[1] for st in stamps)
+        t_dec = max(st[2] for st in stamps)
+        e2e = t_paste - t_root
+        hops = {
+            "split": t_split - t_root,
+            "decode": t_dec - t_split,
+            "collect": t_paste - t_dec,
+        }
+        critical = max(hops, key=hops.get)
+        tracer.emit(
+            "e2e",
+            picture=picture,
+            e2e_s=round(e2e, 6),
+            critical=critical,
+            **{f"{k}_s": round(v, 6) for k, v in hops.items()},
+        )
+        reg = registry()
+        reg.histogram("e2e.latency").observe(max(0.0, e2e))
+        reg.counter(f"e2e.critical.{critical}").inc()
 
     @staticmethod
     def _assemble(layout: TileLayout, crops: Dict[int, tuple]) -> Frame:
         """Paste each tile's partition crop — the multi-process equivalent
         of :func:`repro.wall.display.assemble_wall`."""
         out = Frame.blank(layout.width, layout.height)
-        for _tid, (p, y, cb, cr, _h) in crops.items():
+        for _tid, (p, y, cb, cr, _h, _st) in crops.items():
             out.y[p.y0 : p.y1, p.x0 : p.x1] = y
             out.cb[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = cb
             out.cr[p.y0 // 2 : p.y1 // 2, p.x0 // 2 : p.x1 // 2] = cr

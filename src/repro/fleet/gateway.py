@@ -38,6 +38,7 @@ mapping, never the gsid.
 from __future__ import annotations
 
 import json
+import subprocess
 import threading
 import time
 from dataclasses import asdict, dataclass, field
@@ -51,6 +52,8 @@ from repro.net.channel import (
     ChannelTimeout,
     Listener,
 )
+from repro.obs.plane import obs_snapshot, snapshot_text
+from repro.perf.metrics import families
 from repro.perf.trace import TraceWriter
 from repro.service.admission import REJECT_DRAINING
 from repro.service.client import ServiceClient, ServiceError
@@ -63,6 +66,7 @@ from repro.service.protocol import (
     VERB_LIST,
     VERB_PING,
     VERB_SHUTDOWN,
+    VERB_STATS,
     VERB_STATUS,
     VERB_SUBMIT,
     VERB_UNDRAIN,
@@ -100,6 +104,8 @@ class FleetConfig:
     link_resume_timeout: float = 2.0
     request_timeout: float = 30.0
     sid_stride: int = 1_000_000  # per-daemon session-id namespace width
+    stats_interval: float = 1.0  # VERB_STATS scrape period per daemon
+    max_burn: float = 0.0  # placement avoids daemons burning >= this (0 = off)
     service: ServiceConfig = field(default_factory=ServiceConfig)
 
     def __post_init__(self) -> None:
@@ -136,6 +142,9 @@ class DaemonHandle:
         self.draining = False
         self.fail_count = 0
         self.admission: Dict[str, Any] = {}  # last export_state snapshot
+        self.stats: Dict[str, Any] = {}  # last VERB_STATS snapshot
+        self.slo: Dict[str, Any] = {}  # last SLO rollup ({"worst_burn": ...})
+        self._stats_at = 0.0  # monotonic time of the last stats scrape
         self._client: Optional[ServiceClient] = None
         self._lock = threading.Lock()  # serializes the RPC conversation
 
@@ -179,10 +188,17 @@ class DaemonHandle:
                 self._client = None
 
     def accepts(self, demand_mpps: float) -> bool:
-        """Placement predicate: alive, not draining, and enough live
-        headroom to *accept* (not queue) the session."""
+        """Placement predicate: alive, not draining, enough live headroom
+        to *accept* (not queue) the session, and — when the fleet sets
+        ``max_burn`` — not currently burning through its SLO budget.
+        Placement's fallback pass ignores this predicate, so a fleet-wide
+        burn never strands a submission."""
         if self.state == DOWN or self.draining:
             return False
+        if self.config.max_burn > 0:
+            burn = float(self.slo.get("worst_burn", 0.0) or 0.0)
+            if burn >= self.config.max_burn:
+                return False
         headroom = self.admission.get("headroom_mpps")
         if headroom is None:
             return True  # no snapshot yet: let admission decide
@@ -194,6 +210,7 @@ class DaemonHandle:
             "state": self.state,
             "draining": self.draining,
             "admission": dict(self.admission),
+            "slo": dict(self.slo),
         }
 
 
@@ -235,6 +252,12 @@ class FleetGateway:
         self._next_gsid = 1
         self._lock = threading.Lock()
         self._stop = threading.Event()
+        self._stop_done = threading.Event()  # cleanup actually finished
+        self._stop_lock = threading.Lock()
+        # VERB_SHUTDOWN defers its stop until the reply has flushed; the
+        # pending reason rides a thread-local (dispatch and conn loop
+        # share a thread) so it cannot leak to other connections.
+        self._stop_requested = threading.local()
         self._threads: List[threading.Thread] = []
         self._listener: Optional[Listener] = None
         self.tracer: Optional[TraceWriter] = None
@@ -294,21 +317,45 @@ class FleetGateway:
             self._threads.append(t)
 
     def stop(self, reason: str = "requested") -> None:
-        if self._stop.is_set():
+        with self._stop_lock:
+            claimed = not self._stop.is_set()
+            if claimed:
+                self._stop.set()
+        if not claimed:
+            # Another thread owns the teardown.  Wait it out: a caller
+            # returning from stop() may exit the process, which must not
+            # happen while the owner is still shutting daemons down and
+            # flushing the gateway trace.
+            self._stop_done.wait(timeout=30.0)
             return
-        self._stop.set()
+        try:
+            self._stop_body(reason)
+        finally:
+            self._stop_done.set()
+
+    def _stop_body(self, reason: str) -> None:
         if self._listener is not None:
             self._listener.close()
         for t in self._threads:
             t.join(timeout=5.0)
         for handle in self.daemons.values():
+            acked = False
             if handle.state != DOWN:
                 try:
                     handle.call(VERB_SHUTDOWN, {"reason": f"fleet stop: {reason}"})
+                    acked = True
                 except (ChannelError, OSError, ServiceError):
                     pass
             handle.close()
             if handle.proc is not None:
+                if acked:
+                    # the daemon acknowledged the shutdown: let it finish
+                    # its own teardown (summaries, service_stop trace,
+                    # trace flush) before escalating to SIGTERM
+                    try:
+                        handle.proc.proc.wait(timeout=5.0)
+                    except subprocess.TimeoutExpired:
+                        pass
                 handle.proc.stop()
         if self.tracer is not None:
             self.tracer.emit("gateway_stop", reason=reason)
@@ -347,12 +394,30 @@ class FleetGateway:
                     handle.fail_count = 0
                     handle.state = UP
                     self._refresh_progress(handle)
+                    self._refresh_stats(handle)
                 except (ChannelError, OSError, ServiceError):
                     handle.fail_count += 1
                     if handle.fail_count >= self.config.down_after:
                         self._declare_down(handle, "health probes failed")
                     else:
                         handle.state = SUSPECT
+
+    def _refresh_stats(self, handle: DaemonHandle) -> None:
+        """Scrape the daemon's obs snapshot at ``stats_interval`` cadence
+        (coarser than health probes) and cache it on the handle so the
+        gateway's own stats verb and burn-aware placement read a recent
+        fleet-wide view without fanning out per request."""
+        now = time.monotonic()
+        if now - handle._stats_at < self.config.stats_interval:
+            return
+        try:
+            reply = handle.call(VERB_STATS, {})
+        except (ChannelError, OSError, ServiceError):
+            return  # health probe just passed; stats are best-effort
+        handle._stats_at = now
+        snap = reply.get("stats", {})
+        handle.stats = snap
+        handle.slo = dict(snap.get("slo", {}))
 
     def _refresh_progress(self, handle: DaemonHandle) -> None:
         """Cache per-session progress so failover knows where to resume
@@ -703,9 +768,61 @@ class FleetGateway:
             "failovers": failovers,
         }
 
+    def _do_stats(self, fields: Dict) -> bytes:
+        """The gateway's obs snapshot: its own process registry plus the
+        most recent cached snapshot from every daemon (scraped by the
+        health loop), so one scrape answers for the whole fleet."""
+        info = self._info()
+        with self._lock:
+            daemon_stats = {
+                h.name: dict(h.stats) for h in self.daemons.values()
+            }
+        burns = [
+            float(d.get("slo", {}).get("worst_burn", 0.0) or 0.0)
+            for d in daemon_stats.values()
+        ]
+        fam = families()
+        fam.gauge(
+            "repro_fleet_capacity_mpps", "live fleet decode capacity"
+        ).set(info["capacity_mpps"])
+        fam.gauge(
+            "repro_fleet_active_demand_mpps", "admitted demand across the fleet"
+        ).set(info["active_demand_mpps"])
+        fam.gauge(
+            "repro_fleet_daemons_up", "daemons answering health probes"
+        ).set(info["workers"])
+        fam.gauge(
+            "repro_fleet_failovers", "sessions replayed after a daemon death"
+        ).set(info["failovers"])
+        fam.gauge(
+            "repro_fleet_worst_burn", "worst SLO burn rate across daemons"
+        ).set(max(burns, default=0.0))
+        snap = obs_snapshot(
+            extra={
+                "role": "gateway",
+                "fleet": {
+                    "capacity_mpps": info["capacity_mpps"],
+                    "active_demand_mpps": info["active_demand_mpps"],
+                    "utilization": info["utilization"],
+                    "daemons_up": info["workers"],
+                    "queued": info["queued"],
+                    "sessions": info["sessions"]["tracked"],
+                    "failovers": info["failovers"],
+                    "worst_burn": max(burns, default=0.0),
+                },
+                "daemons": daemon_stats,
+            }
+        )
+        doc: Dict[str, Any] = {"stats": snap}
+        if fields.get("format") == "prometheus":
+            doc["text"] = snapshot_text(snap)
+        return encode_response(True, doc)
+
     def _dispatch(self, verb: str, fields: Dict, blob: bytes) -> bytes:
         if verb == VERB_PING:
             return encode_response(True, self._info())
+        if verb == VERB_STATS:
+            return self._do_stats(fields)
         if verb == VERB_SUBMIT:
             return self._do_submit(fields, blob)
         if verb == VERB_STATUS:
@@ -718,9 +835,7 @@ class FleetGateway:
             return self._do_drain(verb, fields)
         if verb == VERB_SHUTDOWN:
             reason = fields.get("reason", "client request")
-            threading.Thread(
-                target=self.stop, args=(reason,), name="gw-stop", daemon=True
-            ).start()
+            self._stop_requested.reason = reason  # stop after the reply flushes
             return encode_response(True, {"stopping": True, "reason": reason})
         return encode_response(False, {}, error=f"unhandled verb {verb!r}")
 
@@ -773,12 +888,28 @@ class FleetGateway:
                         False, {}, error=f"{type(exc).__name__}: {exc}"
                     )
                 ch.send(SVC_RESPONSE, reply)
+                if getattr(self._stop_requested, "reason", None) is not None:
+                    return
                 if self._stop.is_set():
                     return
         except (ChannelClosed, ChannelError):
             pass
         finally:
+            self._begin_deferred_stop()
             ch.close()
+
+    def _begin_deferred_stop(self) -> None:
+        """Start the teardown a VERB_SHUTDOWN deferred until its reply
+        flushed.  Stopping from the dispatch itself races the requester's
+        ack: the foreground serve loop wakes on ``_stop`` and exits the
+        process while the handler thread is still writing the reply, so
+        the client sees EOF instead of its acknowledgement."""
+        pending = getattr(self._stop_requested, "reason", None)
+        if pending is not None:
+            self._stop_requested.reason = None
+            threading.Thread(
+                target=self.stop, args=(pending,), name="gw-stop", daemon=True
+            ).start()
 
     # ------------------------------------------------------------------ #
     # convenience (tests, benchmarks)

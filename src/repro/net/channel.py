@@ -47,7 +47,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional, Sequence, Tuple, Union
 
 from repro.perf.metrics import NodeBandwidth
-from repro.perf.telemetry import register_channel
+from repro.perf.telemetry import register_channel, retire_channel
 
 MAGIC = 0x4D43  # "CM" — cluster message
 HEADER_FMT = "<HBHiI"
@@ -334,6 +334,10 @@ class Channel:
         if self._closed:
             return
         self._closed = True
+        # Harvest the wire counters before the object can be GC'd out of
+        # the weak live-channel registry — final totals must include
+        # connections that did not survive to the last stats snapshot.
+        retire_channel(self)
         if self._hb_stop is not None:
             self._hb_stop.set()
         try:

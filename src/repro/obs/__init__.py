@@ -1,0 +1,21 @@
+"""Live observability plane: snapshots, SLO burn rates, /metrics, top.
+
+Layered over the passive telemetry of :mod:`repro.perf`: where trace
+streams answer questions *after* a run, :mod:`repro.obs` answers them
+*while the process is alive* — a JSON/Prometheus snapshot of every
+counter, gauge, histogram, labeled family and per-channel wire stat
+(:func:`obs_snapshot`), multi-window SLO burn-rate evaluation
+(:class:`SLOTracker`), an optional HTTP ``/metrics`` listener
+(:class:`MetricsHTTPServer`), and the ``repro top`` dashboard renderer.
+"""
+
+from repro.obs.plane import empty_snapshot, obs_snapshot, snapshot_text
+from repro.obs.slo import SLOConfig, SLOTracker
+
+__all__ = [
+    "obs_snapshot",
+    "empty_snapshot",
+    "snapshot_text",
+    "SLOConfig",
+    "SLOTracker",
+]

@@ -1,0 +1,89 @@
+"""Optional HTTP ``/metrics`` listener for scrape-based collectors.
+
+The service protocol's ``VERB_STATS`` is the first-class stats surface,
+but external collectors speak HTTP.  :class:`MetricsHTTPServer` wraps a
+stdlib ``ThreadingHTTPServer`` around a snapshot callable:
+
+- ``GET /metrics``       → Prometheus text exposition
+- ``GET /metrics.json``  → the raw JSON snapshot document
+- ``GET /healthz``       → ``ok`` (liveness)
+
+Port 0 binds an ephemeral port; the bound port is exposed as ``.port``
+and the owning daemon writes it to ``<rundir>/metrics.port`` so scrapers
+can rendezvous the same way clients find the service socket.  The
+listener is loopback-only by design.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, Optional
+
+from repro.perf.metrics import encode_prometheus
+
+
+class MetricsHTTPServer:
+    """Serve a snapshot callable over loopback HTTP until :meth:`stop`."""
+
+    def __init__(
+        self,
+        snapshot_fn: Callable[[], Dict],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ):
+        self._snapshot_fn = snapshot_fn
+
+        outer = self
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib API name
+                try:
+                    if self.path.startswith("/metrics.json"):
+                        body = (
+                            json.dumps(outer._snapshot_fn(), sort_keys=True)
+                            + "\n"
+                        ).encode()
+                        ctype = "application/json"
+                    elif self.path.startswith("/metrics"):
+                        body = encode_prometheus(outer._snapshot_fn()).encode()
+                        ctype = "text/plain; version=0.0.4"
+                    elif self.path.startswith("/healthz"):
+                        body, ctype = b"ok\n", "text/plain"
+                    else:
+                        self.send_error(404)
+                        return
+                except Exception as exc:  # noqa: BLE001 - surface as 500
+                    self.send_error(500, str(exc))
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", ctype)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args) -> None:  # silence stderr spam
+                pass
+
+        self._server = ThreadingHTTPServer((host, port), Handler)
+        self._server.daemon_threads = True
+        self.host, self.port = self._server.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            name=f"metrics-http:{self.port}",
+            daemon=True,
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def stop(self, timeout: Optional[float] = 2.0) -> None:
+        self._server.shutdown()
+        self._server.server_close()
+        self._thread.join(timeout=timeout)
+
+
+__all__ = ["MetricsHTTPServer"]

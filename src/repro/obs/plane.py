@@ -1,0 +1,55 @@
+"""Snapshot assembly for the live observability plane.
+
+One process has three metric stores that today only surface in the trace
+stream: the flat name→metric registry and per-channel wire counters of
+:mod:`repro.perf.telemetry`, and the labeled families of
+:mod:`repro.perf.metrics`.  :func:`obs_snapshot` merges all three into a
+single JSON document — the payload of the ``VERB_STATS`` service verb and
+the ``/metrics.json`` HTTP endpoint — and :func:`snapshot_text` renders
+that document as Prometheus text exposition.
+
+:func:`empty_snapshot` is the telemetry-kill-switch shape: a daemon with
+``telemetry=False`` answers stats requests with it instead of erroring,
+so scrapers keep working against a dark process.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, Optional
+
+from repro.perf.metrics import encode_prometheus, families
+from repro.perf.telemetry import channel_snapshot, registry
+
+
+def empty_snapshot() -> Dict:
+    """The shape of :func:`obs_snapshot` with every store dark."""
+    return {
+        "ts": time.time(),
+        "families": {},
+        "metrics": {"counters": {}, "gauges": {}, "histograms": {}},
+        "channels": {},
+    }
+
+
+def obs_snapshot(extra: Optional[Dict] = None) -> Dict:
+    """One JSON document with everything this process knows right now.
+
+    ``extra`` keys (session tables, admission state, daemon identity) are
+    merged at the top level; they must not collide with the three store
+    keys.
+    """
+    snap = {
+        "ts": time.time(),
+        "families": families().snapshot(),
+        "metrics": registry().snapshot(),
+        "channels": channel_snapshot(),
+    }
+    if extra:
+        snap.update(extra)
+    return snap
+
+
+def snapshot_text(snapshot: Dict) -> str:
+    """Prometheus text exposition of a snapshot document."""
+    return encode_prometheus(snapshot)

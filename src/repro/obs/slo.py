@@ -1,0 +1,129 @@
+"""Per-session SLO objectives with multi-window burn-rate evaluation.
+
+A paced wall session has two user-facing failure modes: pictures
+presented **late** (decode finished after the pacer's deadline) and
+pictures **dropped** (shed by the degradation ladder or forced).  Each is
+an objective with an error budget — e.g. "at most 5% of pictures late" —
+and the *burn rate* is how fast the session is spending that budget:
+
+    burn = observed_bad_fraction / target_bad_fraction
+
+A burn of 1.0 exactly exhausts the budget; 14x means the budget for a
+long horizon is gone in hours.  Following the multi-window SRE pattern,
+the tracker evaluates every objective over a **fast** and a **slow**
+window and alerts only when *both* exceed the threshold: the slow window
+filters one-off blips, the fast window guarantees the problem is still
+happening when the alert fires.
+
+The tracker is clock-free (callers pass ``now``) so tests drive it with
+a fake clock, and bounded: events older than the slowest window are
+pruned on every record.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Dict, Tuple
+
+#: The objectives a session tracks: name -> attribute of the event.
+OBJECTIVES = ("deadline", "drop")
+
+
+@dataclass(frozen=True)
+class SLOConfig:
+    """Targets and evaluation windows for one session's objectives."""
+
+    deadline_miss_target: float = 0.05  # tolerated late-picture fraction
+    drop_rate_target: float = 0.05  # tolerated dropped-picture fraction
+    windows: Tuple[float, float] = (5.0, 30.0)  # (fast, slow) seconds
+    burn_alert: float = 1.0  # alert when both windows burn >= this
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.deadline_miss_target <= 1.0:
+            raise ValueError("deadline_miss_target must be in (0, 1]")
+        if not 0.0 < self.drop_rate_target <= 1.0:
+            raise ValueError("drop_rate_target must be in (0, 1]")
+        if len(self.windows) < 1 or sorted(self.windows) != list(self.windows):
+            raise ValueError("windows must be non-empty and ascending")
+        if self.burn_alert <= 0:
+            raise ValueError("burn_alert must be positive")
+
+    def target(self, objective: str) -> float:
+        return {
+            "deadline": self.deadline_miss_target,
+            "drop": self.drop_rate_target,
+        }[objective]
+
+
+class SLOTracker:
+    """Sliding-window burn-rate evaluator for one session."""
+
+    def __init__(self, config: SLOConfig = SLOConfig()):
+        self.config = config
+        # (ts, late, dropped) per processed picture; bounded by pruning
+        self._events: Deque[Tuple[float, bool, bool]] = deque()
+        self.recorded = 0
+
+    def record(self, now: float, late: bool, dropped: bool) -> None:
+        """Account one processed picture."""
+        self._events.append((now, bool(late), bool(dropped)))
+        self.recorded += 1
+        horizon = now - self.config.windows[-1]
+        while self._events and self._events[0][0] < horizon:
+            self._events.popleft()
+
+    def _window_fractions(self, now: float, window: float) -> Dict[str, float]:
+        total = late = dropped = 0
+        lo = now - window
+        for ts, is_late, is_drop in reversed(self._events):
+            if ts < lo:
+                break
+            total += 1
+            late += is_late
+            dropped += is_drop
+        if total == 0:
+            return {"deadline": 0.0, "drop": 0.0}
+        return {"deadline": late / total, "drop": dropped / total}
+
+    def burn_rates(self, now: float) -> Dict[str, Dict[str, float]]:
+        """``{objective: {window_s: burn}}`` for every window."""
+        out: Dict[str, Dict[str, float]] = {o: {} for o in OBJECTIVES}
+        for w in self.config.windows:
+            fr = self._window_fractions(now, w)
+            for o in OBJECTIVES:
+                out[o][f"{w:g}"] = fr[o] / self.config.target(o)
+        return out
+
+    def alerting_burns(self, now: float) -> Dict[str, float]:
+        """Per-objective multi-window burn: the *minimum* across windows.
+
+        Both windows must exceed the threshold for the objective to
+        alert, so the alertable figure is the smaller of the two.
+        """
+        rates = self.burn_rates(now)
+        return {o: min(rates[o].values()) for o in OBJECTIVES}
+
+    def worst_burn(self, now: float) -> float:
+        """The highest alertable burn across objectives (the headline)."""
+        burns = self.alerting_burns(now)
+        return max(burns.values()) if burns else 0.0
+
+    def should_alert(self, now: float) -> bool:
+        return self.worst_burn(now) >= self.config.burn_alert
+
+    def to_dict(self, now: float) -> Dict:
+        """JSON-safe burn summary for stats snapshots."""
+        return {
+            "worst_burn": round(self.worst_burn(now), 4),
+            "burns": {
+                o: {w: round(b, 4) for w, b in per.items()}
+                for o, per in self.burn_rates(now).items()
+            },
+            "windows_s": list(self.config.windows),
+            "targets": {o: self.config.target(o) for o in OBJECTIVES},
+            "alerting": self.should_alert(now),
+        }
+
+
+__all__ = ["SLOConfig", "SLOTracker", "OBJECTIVES"]

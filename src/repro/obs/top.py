@@ -1,0 +1,154 @@
+"""``repro top`` — a live fleet health dashboard in the terminal.
+
+Polls the obs plane (``VERB_STATS``) of whatever is listening under the
+run directory — a fleet gateway or a single wall-service daemon — and
+renders a refreshing table: per-daemon admission headroom and SLO burn,
+per-session fps / end-to-end p95 / drop ladder state.  The gateway
+answers for the whole fleet from its health-loop cache, so one scrape a
+second is all the dashboard costs regardless of fleet size.
+
+``run_top(..., count=1, clear=False)`` is the scriptable form CI uses:
+one snapshot, plain text, exit 0 when the scrape parsed.
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import Any, Dict, List
+
+
+def _fmt_table(header: List[str], rows: List[List[Any]]) -> List[str]:
+    widths = [
+        max(len(str(h)), *(len(str(r[i])) for r in rows)) if rows else len(str(h))
+        for i, h in enumerate(header)
+    ]
+    out = [
+        "  ".join(str(h).ljust(w) for h, w in zip(header, widths)).rstrip(),
+        "  ".join("-" * w for w in widths),
+    ]
+    for r in rows:
+        out.append("  ".join(str(c).ljust(w) for c, w in zip(r, widths)).rstrip())
+    return out
+
+
+def _session_row(row: Dict[str, Any], daemon: str) -> List[Any]:
+    slo = row.get("slo", {})
+    drops = int(row.get("dropped_b", 0)) + int(row.get("dropped_p", 0))
+    return [
+        row.get("sid", "?"),
+        daemon,
+        str(row.get("name", "?"))[:14],
+        row.get("state", "?"),
+        f"{float(row.get('progress', 0.0)):.0%}",
+        f"{float(row.get('fps', 0.0)):.1f}",
+        f"{float(row.get('latency_p95_ms', 0.0)):.1f}",
+        drops,
+        row.get("level", 0),
+        f"{float(slo.get('worst_burn', 0.0)):.2f}"
+        + ("!" if slo.get("alerting") else ""),
+    ]
+
+
+_SESSION_HEADER = [
+    "sid", "daemon", "name", "state", "prog", "fps", "p95_ms",
+    "drops", "lvl", "burn",
+]
+
+
+def _daemon_lines(name: str, snap: Dict[str, Any], rows: List[List[Any]]) -> str:
+    adm = snap.get("admission", {})
+    slo = snap.get("slo", {})
+    flags = "draining" if snap.get("draining") else "up"
+    if not snap:
+        flags = "no stats yet"
+    line = (
+        f"{name:10s} [{flags}]  "
+        f"headroom {adm.get('headroom_mpps', '?')} Mpixel/s  "
+        f"queued {adm.get('queued', '?')}  "
+        f"burn {float(slo.get('worst_burn', 0.0) or 0.0):.2f}x  "
+        f"sessions {len(snap.get('sessions', []))}"
+    )
+    for row in snap.get("sessions", []):
+        rows.append(_session_row(row, name))
+    return line
+
+
+def render(reply: Dict[str, Any]) -> str:
+    """One dashboard frame from a VERB_STATS reply document."""
+    snap = reply.get("stats", {})
+    L: List[str] = []
+    role = snap.get("role", "?")
+    stamp = time.strftime("%H:%M:%S")
+    rows: List[List[Any]] = []
+    if role == "gateway":
+        fleet = snap.get("fleet", {})
+        L.append(
+            f"repro top @ {stamp} — fleet: "
+            f"{fleet.get('active_demand_mpps', 0.0)}/"
+            f"{fleet.get('capacity_mpps', 0.0)} Mpixel/s, "
+            f"{fleet.get('daemons_up', 0)} daemon(s) up, "
+            f"{fleet.get('failovers', 0)} failover(s), "
+            f"worst burn {float(fleet.get('worst_burn', 0.0)):.2f}x"
+        )
+        for name in sorted(snap.get("daemons", {})):
+            L.append("  " + _daemon_lines(name, snap["daemons"][name], rows))
+    else:
+        name = snap.get("name", "daemon")
+        L.append(f"repro top @ {stamp} — single daemon")
+        L.append("  " + _daemon_lines(name, snap, rows))
+    if snap.get("telemetry") is False:
+        L.append("  (telemetry disabled: obs plane reports empty snapshots)")
+    L.append("")
+    if rows:
+        L += _fmt_table(_SESSION_HEADER, rows)
+    else:
+        L.append("(no sessions)")
+    return "\n".join(L)
+
+
+def run_top(
+    rundir: Path,
+    transport: str = "unix",
+    interval: float = 1.0,
+    count: int = 0,
+    clear: bool = True,
+    out=None,
+) -> int:
+    """Poll and render until interrupted (or ``count`` frames).
+
+    Returns 0 on a clean exit, 1 when the first scrape fails — so CI can
+    assert the obs plane answers with a single ``repro top --once``.
+    """
+    import sys
+
+    from repro.net.channel import ChannelError, ChannelTimeout
+    from repro.service.client import ServiceClient, ServiceError
+
+    out = out or sys.stdout
+    shown = 0
+    try:
+        with ServiceClient(Path(rundir), transport=transport) as client:
+            while True:
+                try:
+                    reply = client.stats()
+                except (ChannelError, ChannelTimeout, ServiceError, OSError) as exc:
+                    if shown == 0:
+                        print(f"stats scrape failed: {exc}", file=sys.stderr)
+                        return 1
+                    raise
+                if clear:
+                    print("\x1b[2J\x1b[H", end="", file=out)
+                print(render(reply), file=out)
+                shown += 1
+                if count and shown >= count:
+                    return 0
+                time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0
+    except (ChannelError, ChannelTimeout, OSError) as exc:
+        print(f"connection lost: {exc}", file=sys.stderr)
+        return 1
+
+
+__all__ = ["render", "run_top"]

@@ -211,6 +211,11 @@ class TraceReport:
     partition_updates: List[Dict] = field(default_factory=list)
     repartitions: List[Dict] = field(default_factory=list)
     gops: List[Dict] = field(default_factory=list)
+    # end-to-end picture latency: the collector's per-picture ``e2e``
+    # events (root ingress -> wall paste, with per-hop attribution)
+    e2e: List[Dict] = field(default_factory=list)
+    # SLO burn-rate alerts emitted by wall-service sessions
+    slo_burns: List[Dict] = field(default_factory=list)
 
     # -- derived views ------------------------------------------------- #
 
@@ -332,6 +337,32 @@ class TraceReport:
             )
         return out
 
+    def e2e_stats(self) -> Dict[str, object]:
+        """Percentiles and critical-path attribution of the end-to-end
+        picture latency.  The per-hop totals are telescoping (the stamps
+        partition ``[t_root, t_paste]``), so ``split + decode + collect``
+        equals ``sum_s`` exactly — the agreement invariant the obs tests
+        assert."""
+        vals = sorted(float(e["e2e_s"]) for e in self.e2e)
+        hops = {"split": 0.0, "decode": 0.0, "collect": 0.0}
+        critical: Dict[str, int] = {}
+        for e in self.e2e:
+            for h in hops:
+                hops[h] += float(e.get(f"{h}_s", 0.0))
+            c = e.get("critical")
+            if c:
+                critical[c] = critical.get(c, 0) + 1
+        return {
+            "count": len(vals),
+            "p50_ms": 1e3 * _pct(vals, 50),
+            "p95_ms": 1e3 * _pct(vals, 95),
+            "p99_ms": 1e3 * _pct(vals, 99),
+            "max_ms": 1e3 * (vals[-1] if vals else 0.0),
+            "sum_s": sum(vals),
+            "hops_s": hops,
+            "critical": critical,
+        }
+
     def picture_percentiles(self, proc: str) -> Dict[str, float]:
         vals = sorted(self.procs[proc].picture_spans)
         return {
@@ -354,6 +385,8 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
     partition_updates: List[Dict] = []
     repartitions: List[Dict] = []
     gops: List[Dict] = []
+    e2e: List[Dict] = []
+    slo_burns: List[Dict] = []
     t_lo, t_hi = float("inf"), float("-inf")
 
     def session(sid) -> SessionAgg:
@@ -426,6 +459,14 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
             )
         elif ev.event == "gop":
             gops.append({"picture": ev.picture, **ev.data})
+        elif ev.event == "e2e":
+            e2e.append({"picture": ev.picture, **ev.data})
+        elif ev.event == "slo_burn":
+            slo_burns.append({"proc": ev.proc, "picture": ev.picture, **ev.data})
+            if "sid" in ev.data:
+                session(ev.data["sid"]).proc = (
+                    session(ev.data["sid"]).proc or ev.proc
+                )
         elif ev.event == "admission_reject":
             rejects.append(dict(ev.data))
         elif ev.event == "stats":
@@ -463,6 +504,8 @@ def build_report(events: Sequence[TraceEvent]) -> TraceReport:
         partition_updates=partition_updates,
         repartitions=repartitions,
         gops=gops,
+        e2e=e2e,
+        slo_burns=slo_burns,
     )
 
 
@@ -527,6 +570,34 @@ def render_report(report: TraceReport) -> str:
     if pic_rows:
         L.append("Per-picture latency (decode/split span, ms):")
         L += _table(["proc", "pictures", "p50", "p95", "p99", "max"], pic_rows)
+        L.append("")
+
+    # ---- end-to-end picture latency ------------------------------------ #
+    if report.e2e:
+        st = report.e2e_stats()
+        L.append("End-to-end picture latency (root ingress -> wall paste, ms):")
+        L += _table(
+            ["pictures", "p50", "p95", "p99", "max"],
+            [
+                [
+                    st["count"],
+                    f"{st['p50_ms']:.2f}",
+                    f"{st['p95_ms']:.2f}",
+                    f"{st['p99_ms']:.2f}",
+                    f"{st['max_ms']:.2f}",
+                ]
+            ],
+        )
+        hops = st["hops_s"]
+        total = sum(hops.values()) or 1.0
+        L.append(
+            "Critical-path attribution: "
+            + ", ".join(
+                f"{h} {hops[h]:.3f}s ({100.0 * hops[h] / total:.0f}%, "
+                f"critical on {st['critical'].get(h, 0)} pictures)"
+                for h in ("split", "decode", "collect")
+            )
+        )
         L.append("")
 
     # ---- waits and flow control --------------------------------------- #
@@ -734,6 +805,16 @@ def render_report(report: TraceReport) -> str:
             L.append(
                 "DROP LEDGER MISMATCH: streamed drop events disagree with "
                 f"session_summary counters for sid(s) {sorted(bad)}"
+            )
+        L.append("")
+    if report.slo_burns:
+        L.append("SLO burn alerts (multi-window burn-rate threshold crossings):")
+        for b in report.slo_burns:
+            L.append(
+                f"  sid {b.get('sid', '?')} on {b.get('proc', '?')} "
+                f"@ picture {b.get('picture')}: "
+                f"worst burn {float(b.get('burn', 0.0)):.2f}x "
+                f"(windows {b.get('windows_s')})"
             )
         L.append("")
     if report.admission_rejects:

@@ -81,9 +81,20 @@ class Histogram:
     interpolate linearly inside the bucket that crosses the target rank;
     the open-ended tails clamp to the observed min/max, so estimates never
     leave the observed range.
+
+    The last bucket is the explicit **overflow** bucket: values past the
+    final edge land there, and percentile math interpolates between the
+    smallest overflowing value and the observed max instead of pretending
+    the bucket starts at the last edge — without that, one giant outlier
+    dragged every quantile that crosses into the overflow bucket down
+    toward the last bound.  :meth:`buckets` exposes the cumulative
+    Prometheus view, overflow included under the ``+Inf`` edge.
     """
 
-    __slots__ = ("_lock", "bounds", "counts", "count", "sum", "min", "max")
+    __slots__ = (
+        "_lock", "bounds", "counts", "count", "sum", "min", "max",
+        "overflow_min",
+    )
 
     def __init__(self, bounds: Sequence[float] = DEFAULT_BOUNDS):
         if not bounds or list(bounds) != sorted(bounds):
@@ -95,6 +106,7 @@ class Histogram:
         self.sum = 0.0
         self.min = float("inf")
         self.max = float("-inf")
+        self.overflow_min = float("inf")
 
     def observe(self, v: float) -> None:
         with self._lock:
@@ -105,6 +117,13 @@ class Histogram:
                 self.min = v
             if v > self.max:
                 self.max = v
+            if v > self.bounds[-1] and v < self.overflow_min:
+                self.overflow_min = v
+
+    @property
+    def overflow(self) -> int:
+        """How many observations landed beyond the last bucket edge."""
+        return self.counts[-1]
 
     def percentile(self, p: float) -> float:
         """Estimated value at percentile ``p`` (0..100)."""
@@ -116,8 +135,14 @@ class Histogram:
             if c == 0:
                 continue
             if seen + c >= rank:
-                lo = self.bounds[i - 1] if i > 0 else self.min
-                hi = self.bounds[i] if i < len(self.bounds) else self.max
+                if i < len(self.bounds):
+                    lo = self.bounds[i - 1] if i > 0 else self.min
+                    hi = self.bounds[i]
+                else:
+                    # the +Inf bucket: interpolate over what actually
+                    # landed there, not from the last finite edge
+                    lo = self.overflow_min
+                    hi = self.max
                 lo = max(lo, self.min)
                 hi = min(hi, self.max)
                 if hi <= lo:
@@ -131,10 +156,26 @@ class Histogram:
     def mean(self) -> float:
         return self.sum / self.count if self.count else 0.0
 
+    def buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_edge, count_le)`` pairs, Prometheus-style.
+
+        The final pair's edge is ``+Inf`` and its count equals ``count``,
+        so the overflow bucket is visible to any downstream quantile math
+        instead of being silently folded away.
+        """
+        out: List[Tuple[float, int]] = []
+        cum = 0
+        with self._lock:
+            for edge, c in zip(self.bounds, self.counts):
+                cum += c
+                out.append((edge, cum))
+            out.append((float("inf"), self.count))
+        return out
+
     def to_dict(self) -> Dict[str, float]:
         if self.count == 0:
             return {"count": 0}
-        return {
+        d = {
             "count": self.count,
             "sum": round(self.sum, 6),
             "min": round(self.min, 6),
@@ -144,6 +185,9 @@ class Histogram:
             "p95": round(self.percentile(95), 6),
             "p99": round(self.percentile(99), 6),
         }
+        if self.counts[-1]:
+            d["overflow"] = self.counts[-1]
+        return d
 
 
 class MetricsRegistry:
@@ -226,18 +270,73 @@ def registry() -> MetricsRegistry:
 #: about tracers.
 _CHANNELS: "weakref.WeakSet" = weakref.WeakSet()
 
+#: Rolled-up stats of channels that have closed, keyed by channel name.
+#: Without this, a closed channel's counters vanish whenever the GC runs
+#: (the registry is weak), so the final wire totals undercounted every
+#: connection that didn't survive to the last snapshot.
+_CLOSED: Dict[str, Dict[str, float]] = {}
+_CLOSED_LOCK = threading.Lock()
+
 
 def register_channel(ch) -> None:
     _CHANNELS.add(ch)
 
 
+def retire_channel(ch) -> None:
+    """Fold a closing channel's counters into the closed-channel rollup.
+
+    Idempotent per channel object: ``Channel.close()`` may run more than
+    once (explicit close + ``__del__``), but the stats are harvested only
+    the first time.  Same-name reincarnations (close/reopen of a peer
+    link) accumulate, so ``channel_snapshot`` reports cumulative totals
+    across the connection's whole history.
+    """
+    if getattr(ch, "_stats_retired", False):
+        return
+    try:
+        ch._stats_retired = True
+    except AttributeError:
+        pass
+    name = getattr(ch, "name", "")
+    if not name:
+        return
+    stats = ch.stats.to_dict()
+    with _CLOSED_LOCK:
+        acc = _CLOSED.setdefault(name, {})
+        for k, v in stats.items():
+            acc[k] = acc.get(k, 0) + v
+    _CHANNELS.discard(ch)
+
+
+def reset_closed_channels() -> None:
+    """Drop the closed-channel rollup (test isolation)."""
+    with _CLOSED_LOCK:
+        _CLOSED.clear()
+
+
 def channel_snapshot() -> Dict[str, Dict[str, float]]:
-    """``{channel name: stats}`` for every live, named channel."""
+    """``{channel name: stats}`` for every named channel.
+
+    Live channels report their current counters; channels that closed
+    contribute their final counters from the rollup, and a name that has
+    lived more than once (close/reopen) reports the sum of all its
+    incarnations plus whatever the current one has moved so far.
+    """
     out: Dict[str, Dict[str, float]] = {}
+    with _CLOSED_LOCK:
+        for name, acc in _CLOSED.items():
+            out[name] = dict(acc)
     for ch in list(_CHANNELS):
         name = getattr(ch, "name", "")
-        if name:
-            out[name] = ch.stats.to_dict()
+        if not name or getattr(ch, "_stats_retired", False):
+            continue
+        stats = ch.stats.to_dict()
+        if name in out:
+            acc = out[name]
+            for k, v in stats.items():
+                acc[k] = acc.get(k, 0) + v
+        else:
+            out[name] = stats
     return out
 
 
@@ -349,6 +448,8 @@ __all__: List[str] = [
     "DEFAULT_BOUNDS",
     "registry",
     "register_channel",
+    "retire_channel",
+    "reset_closed_channels",
     "channel_snapshot",
     "emit_stats",
     "maybe_emit_stats",

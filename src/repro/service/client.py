@@ -32,6 +32,7 @@ from repro.service.protocol import (
     VERB_LIST,
     VERB_PING,
     VERB_SHUTDOWN,
+    VERB_STATS,
     VERB_STATUS,
     VERB_SUBMIT,
     VERB_UNDRAIN,
@@ -195,6 +196,14 @@ class ServiceClient:
 
     def ping(self) -> Dict[str, Any]:
         return self.request(VERB_PING, {})
+
+    def stats(self, format: Optional[str] = None) -> Dict[str, Any]:
+        """Live obs-plane snapshot; ``format="prometheus"`` adds a text
+        exposition under the reply's ``text`` key."""
+        fields: Dict[str, Any] = {}
+        if format is not None:
+            fields["format"] = format
+        return self.request(VERB_STATS, fields)
 
     def submit(
         self,

@@ -42,6 +42,9 @@ from repro.net.channel import (
     Message,
 )
 from repro.net.reliable import RL_SYN, ReliableEndpoint, decode_syn
+from repro.obs.plane import empty_snapshot, obs_snapshot, snapshot_text
+from repro.obs.slo import SLOConfig
+from repro.perf.metrics import families
 from repro.perf.telemetry import maybe_emit_stats, registry
 from repro.perf.trace import TraceWriter
 from repro.service.admission import (
@@ -59,6 +62,7 @@ from repro.service.protocol import (
     VERB_LIST,
     VERB_PING,
     VERB_SHUTDOWN,
+    VERB_STATS,
     VERB_STATUS,
     VERB_SUBMIT,
     VERB_UNDRAIN,
@@ -100,6 +104,15 @@ class ServiceConfig:
     # Reliable-link resume window: how long a disconnected gateway link
     # is held open for reconnect-and-resume before it is declared dead.
     link_resume_timeout: float = 10.0
+    # Per-session SLO objectives (obs plane): tolerated bad fractions,
+    # the (fast, slow) burn evaluation windows, and the alert threshold.
+    slo_deadline_miss_target: float = 0.05
+    slo_drop_rate_target: float = 0.05
+    slo_windows: tuple = (5.0, 30.0)
+    slo_burn_alert: float = 1.0
+    # Optional HTTP /metrics listener: -1 disabled, 0 ephemeral port
+    # (published to <rundir>/metrics.port), >0 a fixed port.
+    metrics_port: int = -1
 
     def __post_init__(self) -> None:
         if self.workers < 1:
@@ -116,9 +129,18 @@ class ServiceConfig:
             lookahead=self.lookahead,
         )
 
+    def slo_config(self) -> SLOConfig:
+        return SLOConfig(
+            deadline_miss_target=self.slo_deadline_miss_target,
+            drop_rate_target=self.slo_drop_rate_target,
+            windows=tuple(self.slo_windows),
+            burn_alert=self.slo_burn_alert,
+        )
+
     def to_dict(self) -> dict:
         d = asdict(self)
         d["enter_levels"] = list(self.enter_levels)
+        d["slo_windows"] = list(self.slo_windows)
         return d
 
     @classmethod
@@ -126,6 +148,8 @@ class ServiceConfig:
         d = dict(data)
         if "enter_levels" in d:
             d["enter_levels"] = tuple(d["enter_levels"])
+        if "slo_windows" in d:
+            d["slo_windows"] = tuple(d["slo_windows"])
         return cls(**d)
 
 
@@ -148,10 +172,17 @@ class WallService:
         self._links: Dict[str, ReliableEndpoint] = {}  # reliable gateway links
         self._links_lock = threading.Lock()
         self._stop = threading.Event()
+        self._stop_done = threading.Event()  # cleanup actually finished
+        self._stop_lock = threading.Lock()
+        # A VERB_SHUTDOWN defers its stop until the reply has flushed;
+        # dispatch and serve loop share a thread, so the pending reason
+        # rides a thread-local and cannot leak to other connections.
+        self._stop_requested = threading.local()
         self._threads: List[threading.Thread] = []
         self._listener: Optional[Listener] = None
         self.tracer: Optional[TraceWriter] = None
         self.started_at = 0.0
+        self._metrics_http = None  # optional obs-plane HTTP listener
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -179,6 +210,15 @@ class WallService:
             tmp = self.rundir / f"{SERVICE_NAME}.addr.tmp"
             tmp.write_text(f"{host} {port}")
             tmp.rename(self.rundir / f"{SERVICE_NAME}.addr")  # atomic publish
+        if self.config.metrics_port >= 0:
+            from repro.obs.http import MetricsHTTPServer
+
+            self._metrics_http = MetricsHTTPServer(
+                self._stats_snapshot, port=self.config.metrics_port
+            )
+            tmp = self.rundir / "metrics.port.tmp"
+            tmp.write_text(str(self._metrics_http.port))
+            tmp.rename(self.rundir / "metrics.port")  # atomic publish
         self.started_at = time.monotonic()
         self.tracer.emit(
             "service_start",
@@ -198,10 +238,27 @@ class WallService:
             self._threads.append(t)
 
     def stop(self, reason: str = "requested") -> None:
-        if self._stop.is_set():
+        with self._stop_lock:
+            claimed = not self._stop.is_set()
+            if claimed:
+                self._stop.set()
+        if not claimed:
+            # Another thread owns the teardown.  Wait it out: a caller
+            # returning from stop() may exit the process, which must not
+            # happen while the owner is still flushing traces and
+            # closing sockets.
+            self._stop_done.wait(timeout=30.0)
             return
-        self._stop.set()
+        try:
+            self._stop_body(reason)
+        finally:
+            self._stop_done.set()
+
+    def _stop_body(self, reason: str) -> None:
         self.scheduler.close()
+        if self._metrics_http is not None:
+            self._metrics_http.stop()
+            self._metrics_http = None
         if self._listener is not None:
             self._listener.close()
         with self._links_lock:
@@ -449,12 +506,28 @@ class WallService:
                         False, {}, error=f"{type(exc).__name__}: {exc}"
                     )
                 link.send(SVC_RESPONSE, reply)
+                if getattr(self._stop_requested, "reason", None) is not None:
+                    return
                 if self._stop.is_set():
                     return
         except (ChannelClosed, ChannelError):
             pass
         finally:
+            self._begin_deferred_stop()
             link.close()
+
+    def _begin_deferred_stop(self) -> None:
+        """Start the teardown a VERB_SHUTDOWN deferred until its reply
+        flushed.  Stopping from the dispatch itself races the requester's
+        ack: the foreground serve loop wakes on ``_stop`` and exits the
+        process while the handler thread is still writing the reply, so
+        the client sees EOF instead of its acknowledgement."""
+        pending = getattr(self._stop_requested, "reason", None)
+        if pending is not None:
+            self._stop_requested.reason = None
+            threading.Thread(
+                target=self.stop, args=(pending,), name="svc-stop", daemon=True
+            ).start()
 
     def _dispatch(self, verb: str, fields: dict, blob: bytes) -> bytes:
         if verb == VERB_PING:
@@ -469,15 +542,15 @@ class WallService:
             with self._lock:
                 sessions = [s.summary() for s in self.sessions.values()]
             return encode_response(True, {"sessions": sessions})
+        if verb == VERB_STATS:
+            return self._do_stats(fields)
         if verb == VERB_DRAIN:
             return self._do_drain(True, fields)
         if verb == VERB_UNDRAIN:
             return self._do_drain(False, fields)
         if verb == VERB_SHUTDOWN:
             reason = fields.get("reason", "client request")
-            threading.Thread(
-                target=self.stop, args=(reason,), name="svc-stop", daemon=True
-            ).start()
+            self._stop_requested.reason = reason  # stop after the reply flushes
             return encode_response(True, {"stopping": True, "reason": reason})
         return encode_response(False, {}, error=f"unhandled verb {verb!r}")
 
@@ -522,6 +595,74 @@ class WallService:
             "draining": self.draining,
             "admission": self.admission.export_state(view),
         }
+
+    def _stats_snapshot(self) -> dict:
+        """The obs-plane snapshot this daemon serves (VERB_STATS, HTTP).
+
+        With telemetry off this is the empty-snapshot shape — scrapers
+        get a valid, dark document instead of an error.
+        """
+        if not self.config.telemetry:
+            snap = empty_snapshot()
+            snap.update(
+                {
+                    "role": "daemon",
+                    "name": self.config.trace_name,
+                    "telemetry": False,
+                    "sessions": [],
+                }
+            )
+            return snap
+        now = time.monotonic()
+        with self._lock:
+            view = self._pool_view()
+            rows = [s.live_stats(now) for s in self.sessions.values()]
+        with self._links_lock:
+            links = {
+                f"link-{token[:8]}": link.stats_dict()
+                for token, link in self._links.items()
+            }
+        worst = max((r["slo"]["worst_burn"] for r in rows), default=0.0)
+        adm = self.admission.export_state(view)
+        fam = families()
+        fam.gauge(
+            "repro_admission_headroom_mpps",
+            "admission capacity not yet claimed by running sessions",
+        ).set(adm["headroom_mpps"])
+        fam.gauge(
+            "repro_admission_active_demand_mpps",
+            "aggregate demand of running sessions",
+        ).set(adm["active_demand_mpps"])
+        fam.gauge(
+            "repro_admission_queued", "sessions waiting in the backlog"
+        ).set(adm["queued"])
+        fam.gauge(
+            "repro_slo_worst_burn",
+            "worst alertable SLO burn rate across live sessions",
+        ).set(worst)
+        fam.gauge(
+            "repro_link_retransmits",
+            "reliable-link frames retransmitted after reconnect (live links)",
+        ).set(sum(s["retransmits"] for s in links.values()))
+        return obs_snapshot(
+            extra={
+                "role": "daemon",
+                "name": self.config.trace_name,
+                "uptime_s": round(time.monotonic() - self.started_at, 3),
+                "draining": self.draining,
+                "admission": self.admission.export_state(view),
+                "sessions": rows,
+                "links": links,
+                "slo": {"worst_burn": round(worst, 4)},
+            }
+        )
+
+    def _do_stats(self, fields: dict) -> bytes:
+        snap = self._stats_snapshot()
+        doc = {"stats": snap}
+        if fields.get("format") == "prometheus":
+            doc["text"] = snapshot_text(snap)
+        return encode_response(True, doc)
 
     # ------------------------------------------------------------------ #
     # verbs
@@ -597,6 +738,7 @@ class WallService:
                 slowdown_s=slowdown,
                 ladder=self.config.ladder(),
                 start_at=start_at,
+                slo=self.config.slo_config(),
             )
             self.sessions[sid] = session
             if decision.action == "accept":

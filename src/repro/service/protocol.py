@@ -44,6 +44,9 @@ VERB_SHUTDOWN = "shutdown"
 #: sessions, let running ones finish.  ``undrain`` reopens admission.
 VERB_DRAIN = "drain"
 VERB_UNDRAIN = "undrain"
+#: Live observability scrape: the process's metric/SLO snapshot (JSON;
+#: add ``{"format": "prometheus"}`` for a text exposition alongside).
+VERB_STATS = "stats"
 
 KNOWN_VERBS = (
     VERB_SUBMIT,
@@ -54,6 +57,7 @@ KNOWN_VERBS = (
     VERB_SHUTDOWN,
     VERB_DRAIN,
     VERB_UNDRAIN,
+    VERB_STATS,
 )
 
 _HEAD = "<HI"

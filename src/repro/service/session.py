@@ -33,8 +33,10 @@ from repro.mpeg2.decoder import reconstruct_picture
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.parser import MacroblockParser, PictureScanner
 from repro.mpeg2.structures import PictureHeader
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.perf.metrics import families
 from repro.perf.telemetry import Histogram
-from repro.service.pacer import LadderConfig, SessionPacer
+from repro.service.pacer import LEVEL_NAMES, LadderConfig, SessionPacer
 from repro.workloads.streams import StreamSpec
 
 
@@ -243,6 +245,8 @@ class SessionCounters:
     forced_drops: int = 0  # subset of the above: reference-chain casualties
     late_frames: int = 0  # decoded but past their presentation deadline
     released: int = 0  # display slots served (decoded frames shipped)
+    # drops attributed to the ladder rung that shed them (obs plane)
+    drops_by_rung: Dict[str, int] = field(default_factory=dict)
 
     @property
     def total_decoded(self) -> int:
@@ -267,6 +271,7 @@ class Session:
         ladder: LadderConfig = LadderConfig(),
         batch_reconstruct: bool = True,
         start_at: int = 0,
+        slo: Optional[SLOConfig] = None,
     ):
         if weight <= 0:
             raise ValueError("session weight must be positive")
@@ -284,6 +289,8 @@ class Session:
         self.counters = SessionCounters()
         self._digest = hashlib.sha256()  # over every released frame, in order
         self.latency = Histogram(_LATENCY_BOUNDS)
+        self.slo = SLOTracker(slo or SLOConfig())
+        self._slo_alerting = False  # edge-triggered slo_burn emission
         self.decoder: Optional[PacedStreamDecoder] = None
         self.submitted_at = time.time()
         self.started_mono: Optional[float] = None
@@ -372,10 +379,12 @@ class Session:
                     # codec so tests/benchmarks oversubscribe deterministically
                     time.sleep(self.slowdown_s)
         done = now_fn()
+        late = False
         if res.decoded:
             self.latency.observe(max(0.0, done - gate))
             if done > self.pacer.deadline(i):
                 self.counters.late_frames += 1
+                late = True
             self.counters.decoded[res.ptype.name] += 1
             if res.frame is not None:
                 self.counters.released += 1
@@ -387,6 +396,15 @@ class Session:
                 self.counters.dropped_p += 1
             if res.forced:
                 self.counters.forced_drops += 1
+            rung = LEVEL_NAMES[level] if 0 <= level < len(LEVEL_NAMES) else "?"
+            self.counters.drops_by_rung[rung] = (
+                self.counters.drops_by_rung.get(rung, 0) + 1
+            )
+            families().counter(
+                "repro_pacer_drops_total",
+                "pictures shed by the degradation ladder, per rung",
+                labelnames=("rung",),
+            ).inc(rung=rung)
             if tracer is not None:
                 tracer.emit(
                     "drop",
@@ -396,12 +414,40 @@ class Session:
                     level=level,
                     forced=res.forced,
                 )
+        self._record_slo(done, late=late, dropped=not res.decoded,
+                         picture=i, tracer=tracer)
         if self.decoder.done:
             tail = self.decoder.flush()
             if tail is not None:
                 self.counters.released += 1
                 _digest_frame(self._digest, tail)
         return res
+
+    def _record_slo(
+        self, now: float, late: bool, dropped: bool, picture: int, tracer
+    ) -> None:
+        """Feed the burn-rate tracker; emit ``slo_burn`` on alert edges.
+
+        The alert is edge-triggered with hysteresis (re-arms at half the
+        alert threshold), so a session pinned above its budget writes one
+        event when the burn starts, not one per picture.
+        """
+        self.slo.record(now, late=late, dropped=dropped)
+        if self.slo.should_alert(now):
+            if not self._slo_alerting:
+                self._slo_alerting = True
+                if tracer is not None and getattr(tracer, "spans", True):
+                    d = self.slo.to_dict(now)
+                    tracer.emit(
+                        "slo_burn",
+                        picture=picture,
+                        sid=self.sid,
+                        burn=d["worst_burn"],
+                        burns=d["burns"],
+                        windows_s=d["windows_s"],
+                    )
+        elif self.slo.worst_burn(now) < 0.5 * self.slo.config.burn_alert:
+            self._slo_alerting = False
 
     # ----------------------------- reporting -------------------------- #
 
@@ -442,6 +488,7 @@ class Session:
             "dropped_p": c.dropped_p,
             "forced_drops": c.forced_drops,
             "late_frames": c.late_frames,
+            "drops_by_rung": dict(c.drops_by_rung),
             "peak_degrade_level": self.pacer.ladder.peak_level,
             "degrade_transitions": self.pacer.ladder.transitions,
             "latency_p50_ms": round(1e3 * self.latency.percentile(50), 3),
@@ -450,6 +497,21 @@ class Session:
             "latency_count": lat.get("count", 0),
             "duration_s": dur,
         }
+
+    def live_stats(self, now: Optional[float] = None) -> Dict:
+        """The ``VERB_STATS`` per-session row: summary plus live rates.
+
+        ``now`` is on the session's monotonic clock (the pacer's time
+        base); it defaults to the current instant.
+        """
+        now = time.monotonic() if now is None else now
+        s = self.summary()
+        dur = s.get("duration_s") or 0.0
+        s["fps"] = round(self.counters.released / dur, 3) if dur > 0 else 0.0
+        s["level"] = self.pacer.ladder.level
+        s["slo"] = self.slo.to_dict(now)
+        s["progress"] = round(self.progress, 4)
+        return s
 
 
 class _NullCtx:

@@ -28,6 +28,17 @@ def make_frames(width=96, height=64, n=8, kind="pattern", seed=0):
     )
 
 
+@pytest.fixture(autouse=True)
+def _fresh_channel_rollup():
+    """The closed-channel stats rollup is process-global and cumulative by
+    design; tests must not see the previous test's wire totals."""
+    from repro.perf.telemetry import reset_closed_channels
+
+    reset_closed_channels()
+    yield
+    reset_closed_channels()
+
+
 @pytest.fixture(scope="session")
 def small_frames():
     """8 frames of 96x64 panning content."""

@@ -1,0 +1,658 @@
+"""The live observability plane: metric families, Prometheus exposition,
+SLO burn-rate tracking, end-to-end latency stamps, ``VERB_STATS`` on the
+daemon and the fleet gateway, the HTTP listener, and the ``repro top``
+dashboard.
+
+The histogram overflow-bucket regression and the closed-channel rollup
+are covered here too: both are load-bearing for the quantiles and wire
+totals the obs plane exposes.
+"""
+
+import json
+import time
+import urllib.request
+from pathlib import Path
+
+import pytest
+
+from repro.obs.http import MetricsHTTPServer
+from repro.obs.plane import empty_snapshot, obs_snapshot, snapshot_text
+from repro.obs.slo import SLOConfig, SLOTracker
+from repro.obs.top import render, run_top
+from repro.perf.export import build_report, render_report
+from repro.perf.metrics import FamilyRegistry, encode_prometheus, families
+from repro.perf.telemetry import (
+    Histogram,
+    channel_snapshot,
+    registry,
+    reset_closed_channels,
+    retire_channel,
+)
+from repro.perf.trace import TraceEvent
+from repro.service import ServiceClient, ServiceConfig, WallService
+from repro.workloads.streams import stream_by_id
+
+SPEC = stream_by_id(5)  # fish1: 1280x720@30
+
+
+# --------------------------------------------------------------------- #
+# histogram overflow bucket (quantile regression)
+# --------------------------------------------------------------------- #
+
+
+class TestHistogramOverflow:
+    def test_overflow_quantiles_do_not_collapse_to_last_edge(self):
+        """Regression: with most mass past the final bound, quantiles in
+        the +Inf bucket must interpolate between the overflowing values,
+        not from the last finite edge (which dragged p50 toward 1.0)."""
+        h = Histogram(bounds=(1.0,))
+        for v in (0.01, 5.0, 5.0, 5.0):
+            h.observe(v)
+        assert h.overflow == 3
+        assert h.percentile(50) == 5.0
+        assert h.percentile(99) == 5.0
+
+    def test_buckets_expose_inf_edge_with_total_count(self):
+        h = Histogram(bounds=(1.0, 2.0))
+        for v in (0.5, 1.5, 99.0):
+            h.observe(v)
+        b = h.buckets()
+        assert b[-1] == (float("inf"), 3)
+        assert b[0] == (1.0, 1) and b[1] == (2.0, 2)
+
+    def test_to_dict_reports_overflow_count(self):
+        h = Histogram(bounds=(1.0,))
+        h.observe(10.0)
+        d = h.to_dict()
+        assert d["overflow"] == 1
+        h2 = Histogram(bounds=(1.0,))
+        h2.observe(0.5)
+        assert "overflow" not in h2.to_dict()
+
+    def test_interpolation_within_overflow_range(self):
+        h = Histogram(bounds=(1.0,))
+        for v in (3.0, 3.0, 9.0, 9.0):
+            h.observe(v)
+        # quantiles stay inside [overflow_min, max]
+        assert 3.0 <= h.percentile(50) <= 9.0
+        assert h.percentile(1) >= 3.0
+
+
+# --------------------------------------------------------------------- #
+# labeled metric families
+# --------------------------------------------------------------------- #
+
+
+class TestMetricFamilies:
+    def test_counter_children_keyed_by_labels(self):
+        reg = FamilyRegistry()
+        c = reg.counter("drops_total", labelnames=("rung",))
+        c.inc(rung="skip-b")
+        c.inc(2, rung="skip-b")
+        c.inc(rung="half-res")
+        snap = reg.snapshot()["drops_total"]
+        assert snap["kind"] == "counter"
+        by_rung = {s["labels"]["rung"]: s["value"] for s in snap["samples"]}
+        assert by_rung == {"skip-b": 3, "half-res": 1}
+
+    def test_label_mismatch_rejected(self):
+        reg = FamilyRegistry()
+        g = reg.gauge("x", labelnames=("a",))
+        with pytest.raises(ValueError, match="labels"):
+            g.set(1.0, b="no")
+
+    def test_kind_mismatch_rejected(self):
+        reg = FamilyRegistry()
+        reg.counter("dual")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("dual")
+
+    def test_histogram_family_snapshot_has_buckets(self):
+        reg = FamilyRegistry()
+        hf = reg.histogram("lat", labelnames=("hop",), bounds=(0.1, 1.0))
+        hf.observe(0.05, hop="split")
+        hf.observe(5.0, hop="split")
+        sample = reg.snapshot()["lat"]["samples"][0]
+        hist = sample["hist"]
+        assert hist["count"] == 2
+        assert hist["buckets"][-1] == ["+Inf", 2]
+
+    def test_global_registry_is_a_singleton(self):
+        assert families() is families()
+
+
+class TestPrometheusEncoding:
+    def test_families_flat_metrics_and_channels_render(self):
+        snap = {
+            "families": {
+                "repro_drops_total": {
+                    "kind": "counter",
+                    "help": "session drops",
+                    "labelnames": ["rung"],
+                    "samples": [
+                        {"labels": {"rung": "skip-b"}, "value": 4},
+                    ],
+                },
+                "repro_lat": {
+                    "kind": "histogram",
+                    "help": "",
+                    "labelnames": [],
+                    "samples": [
+                        {
+                            "labels": {},
+                            "hist": {
+                                "count": 2,
+                                "sum": 1.5,
+                                "buckets": [[0.1, 1], ["+Inf", 2]],
+                            },
+                        }
+                    ],
+                },
+            },
+            "metrics": {
+                "counters": {"frames.in": 7},
+                "gauges": {"pool.leases": 3},
+                "histograms": {
+                    "e2e.latency": {"count": 2, "sum": 0.2, "p50": 0.1},
+                },
+            },
+            "channels": {"root->split0": {"sent_bytes": 123}},
+        }
+        text = encode_prometheus(snap)
+        assert '# TYPE repro_drops_total counter' in text
+        assert 'repro_drops_total{rung="skip-b"} 4' in text
+        assert 'repro_lat_bucket{le="+Inf"} 2' in text
+        assert "repro_lat_count 2" in text
+        assert "repro_frames_in 7" in text
+        assert "repro_pool_leases 3" in text
+        assert 'repro_e2e_latency_seconds{quantile="0.5"} 0.1' in text
+        assert 'repro_channel_sent_bytes{channel="root->split0"} 123' in text
+        assert text.endswith("\n")
+
+    def test_empty_snapshot_encodes_to_empty_text(self):
+        snap = empty_snapshot()
+        assert snapshot_text(snap) == ""
+        assert set(snap) == {"ts", "families", "metrics", "channels"}
+
+
+# --------------------------------------------------------------------- #
+# SLO burn rates (fake clock)
+# --------------------------------------------------------------------- #
+
+
+class TestSLOTracker:
+    CFG = SLOConfig(
+        deadline_miss_target=0.1, drop_rate_target=0.1, windows=(5.0, 30.0)
+    )
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            SLOConfig(deadline_miss_target=0.0)
+        with pytest.raises(ValueError):
+            SLOConfig(windows=(30.0, 5.0))
+        with pytest.raises(ValueError):
+            SLOConfig(burn_alert=0.0)
+
+    def test_healthy_session_never_alerts(self):
+        tr = SLOTracker(self.CFG)
+        for i in range(100):
+            tr.record(now=float(i) * 0.1, late=False, dropped=False)
+        assert tr.worst_burn(10.0) == 0.0
+        assert not tr.should_alert(10.0)
+
+    def test_all_late_burns_at_inverse_target(self):
+        tr = SLOTracker(self.CFG)
+        for i in range(50):
+            tr.record(now=float(i) * 0.1, late=True, dropped=False)
+        # 100% late against a 10% budget = 10x burn on every window
+        assert tr.worst_burn(5.0) == pytest.approx(10.0)
+        assert tr.should_alert(5.0)
+        burns = tr.alerting_burns(5.0)
+        assert burns["deadline"] == pytest.approx(10.0)
+        assert burns["drop"] == 0.0
+
+    def test_multi_window_gate_filters_old_blips(self):
+        """A burst that ended long ago still sits in the slow window but
+        the fast window has recovered — the alertable burn (min across
+        windows) must drop back under the threshold."""
+        tr = SLOTracker(self.CFG)
+        for i in range(10):
+            tr.record(now=float(i), late=True, dropped=False)
+        for i in range(10, 28):
+            tr.record(now=float(i), late=False, dropped=False)
+        now = 27.0
+        rates = tr.burn_rates(now)
+        assert rates["deadline"]["30"] > 1.0  # slow window still remembers
+        assert rates["deadline"]["5"] == 0.0  # fast window recovered
+        assert not tr.should_alert(now)
+
+    def test_events_pruned_past_slowest_window(self):
+        tr = SLOTracker(self.CFG)
+        for i in range(200):
+            tr.record(now=float(i), late=False, dropped=True)
+        assert tr.recorded == 200
+        assert len(tr._events) <= 32  # 30 s window + the boundary
+
+    def test_to_dict_is_json_safe(self):
+        tr = SLOTracker(self.CFG)
+        tr.record(1.0, late=True, dropped=True)
+        d = tr.to_dict(1.0)
+        json.dumps(d)
+        assert set(d) == {"worst_burn", "burns", "windows_s", "targets", "alerting"}
+        assert d["alerting"] is True
+
+
+# --------------------------------------------------------------------- #
+# closed-channel rollup
+# --------------------------------------------------------------------- #
+
+
+class TestChannelRollup:
+    class _FakeStats:
+        def __init__(self, sent, received):
+            self._d = {"sent_bytes": sent, "received_bytes": received}
+
+        def to_dict(self):
+            return dict(self._d)
+
+    class _FakeChannel:
+        def __init__(self, name, sent=0, received=0):
+            self.name = name
+            self.stats = TestChannelRollup._FakeStats(sent, received)
+
+    def test_close_reopen_accumulates_under_one_name(self):
+        reset_closed_channels()
+        retire_channel(self._FakeChannel("dec0", sent=100))
+        retire_channel(self._FakeChannel("dec0", sent=50))
+        snap = channel_snapshot()
+        assert snap["dec0"]["sent_bytes"] == 150
+
+    def test_rollup_isolated_by_conftest_fixture(self):
+        # the autouse fixture must have cleared the previous test's totals
+        assert "dec0" not in channel_snapshot()
+
+
+# --------------------------------------------------------------------- #
+# end-to-end latency assembly and report folding
+# --------------------------------------------------------------------- #
+
+
+class _CapturingTracer:
+    def __init__(self):
+        self.events = []
+
+    def emit(self, event, picture=-1, **data):
+        self.events.append((event, picture, data))
+
+
+class TestE2EAssembly:
+    def test_hops_telescope_to_the_e2e_total(self):
+        from repro.cluster.runtime.supervisor import ClusterSupervisor
+
+        t0 = time.time() - 0.5
+        crops = {
+            0: (None, None, None, None, None, (t0, t0 + 0.1, t0 + 0.3)),
+            1: (None, None, None, None, None, (t0, t0 + 0.12, t0 + 0.25)),
+        }
+        tracer = _CapturingTracer()
+        registry().prune("e2e.")
+        ClusterSupervisor._emit_e2e(tracer, 7, crops)
+        (event, picture, data), = tracer.events
+        assert event == "e2e" and picture == 7
+        hops = data["split_s"] + data["decode_s"] + data["collect_s"]
+        assert hops == pytest.approx(data["e2e_s"], abs=5e-6)
+        # the late decoder (t0+0.3) and late splitter (t0+0.12) dominate
+        assert data["split_s"] == pytest.approx(0.12, abs=1e-6)
+        assert data["decode_s"] == pytest.approx(0.18, abs=1e-6)
+        assert registry().histogram("e2e.latency").count == 1
+
+    def test_unstamped_crops_are_skipped(self):
+        from repro.cluster.runtime.supervisor import ClusterSupervisor
+
+        tracer = _CapturingTracer()
+        crops = {0: (None, None, None, None, None, (0.0, 0.0, 0.0))}
+        ClusterSupervisor._emit_e2e(tracer, 0, crops)
+        assert tracer.events == []
+
+
+class TestReportFolding:
+    @staticmethod
+    def _events():
+        evs = [
+            TraceEvent(
+                ts=1.0 + i * 0.04,
+                proc="collector",
+                event="e2e",
+                picture=i,
+                data={
+                    "e2e_s": 0.030 + 0.001 * i,
+                    "split_s": 0.004,
+                    "decode_s": 0.020 + 0.001 * i,
+                    "collect_s": 0.006,
+                    "critical": "decode",
+                },
+            )
+            for i in range(5)
+        ]
+        evs.append(
+            TraceEvent(
+                ts=2.0,
+                proc="svc",
+                event="slo_burn",
+                picture=40,
+                data={"sid": 3, "burn": 4.2, "windows_s": [5.0, 30.0]},
+            )
+        )
+        return evs
+
+    def test_e2e_stats_agree_with_hop_attribution(self):
+        report = build_report(self._events())
+        stats = report.e2e_stats()
+        assert stats["count"] == 5
+        hop_total = sum(stats["hops_s"].values())
+        # acceptance: span attribution within 5% of the e2e totals
+        assert hop_total == pytest.approx(stats["sum_s"], rel=0.05)
+        assert stats["critical"] == {"decode": 5}
+        assert stats["p50_ms"] > 0
+
+    def test_render_has_e2e_and_slo_sections(self):
+        text = render_report(build_report(self._events()))
+        assert "End-to-end picture latency" in text
+        assert "Critical-path attribution" in text
+        assert "SLO burn alerts" in text
+        assert "4.2" in text
+
+
+# --------------------------------------------------------------------- #
+# daemon VERB_STATS, HTTP listener, and the dashboard
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def obs_service(tmp_path):
+    cfg = ServiceConfig(
+        capacity_mpps=400.0,
+        workers=2,
+        metrics_port=0,
+        enter_levels=(1e9, 1e9, 1e9),
+    )
+    svc = WallService(tmp_path, cfg)
+    svc.start()
+    yield svc, tmp_path
+    svc.stop()
+
+
+class TestDaemonStats:
+    def test_stats_verb_serves_sessions_and_slo(self, obs_service):
+        svc, rundir = obs_service
+        with ServiceClient(rundir) as c:
+            sid = c.submit(SPEC, name="obs", n_frames=8)["sid"]
+            final = c.wait(sid, timeout=90.0)
+            reply = c.stats()
+        assert final["state"] == "completed"
+        snap = reply["stats"]
+        assert snap["role"] == "daemon"
+        assert {"families", "metrics", "channels", "admission", "slo"} <= set(snap)
+        rows = snap["sessions"]
+        assert any(r["name"] == "obs" for r in rows)
+        row = next(r for r in rows if r["name"] == "obs")
+        assert {"fps", "latency_p95_ms", "slo", "progress"} <= set(row)
+        assert row["slo"]["worst_burn"] >= 0.0
+
+    def test_prometheus_format_adds_text(self, obs_service):
+        svc, rundir = obs_service
+        with ServiceClient(rundir) as c:
+            reply = c.stats(format="prometheus")
+        assert "# TYPE repro_admission_headroom_mpps gauge" in reply["text"]
+
+    def test_stats_counters_monotonic_across_scrapes(self, obs_service):
+        svc, rundir = obs_service
+        with ServiceClient(rundir) as c:
+            sid = c.submit(SPEC, name="mono", n_frames=8)["sid"]
+            a = c.stats()["stats"]["metrics"]["counters"]
+            c.wait(sid, timeout=90.0)
+            b = c.stats()["stats"]["metrics"]["counters"]
+        # per-session counters are pruned at session teardown by design;
+        # everything else must be monotonic across scrapes
+        for name, v in a.items():
+            if name.startswith("session."):
+                continue
+            assert b.get(name, 0) >= v, name
+
+    def test_http_listener_serves_metrics(self, obs_service):
+        svc, rundir = obs_service
+        port = int((rundir / "metrics.port").read_text().strip())
+        base = f"http://127.0.0.1:{port}"
+        with urllib.request.urlopen(f"{base}/healthz", timeout=5.0) as r:
+            assert r.read() == b"ok\n"
+        with urllib.request.urlopen(f"{base}/metrics.json", timeout=5.0) as r:
+            doc = json.loads(r.read())
+        assert doc["role"] == "daemon"
+        with urllib.request.urlopen(f"{base}/metrics", timeout=5.0) as r:
+            body = r.read().decode()
+        assert "# TYPE" in body
+
+    def test_top_once_against_live_daemon(self, obs_service, capsys):
+        svc, rundir = obs_service
+        with ServiceClient(rundir) as c:
+            sid = c.submit(SPEC, name="topsmoke", n_frames=8)["sid"]
+            c.wait(sid, timeout=90.0)
+        rc = run_top(Path(rundir), count=1, clear=False)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "repro top @" in out
+        assert "topsmoke" in out
+
+    def test_top_fails_cleanly_without_a_daemon(self, tmp_path, capsys):
+        assert run_top(tmp_path, count=1, clear=False) == 1
+
+
+class TestTelemetryKillSwitch:
+    def test_stats_answer_is_empty_not_an_error(self, tmp_path):
+        cfg = ServiceConfig(capacity_mpps=200.0, workers=1, telemetry=False)
+        with WallService(tmp_path, cfg) as svc:
+            with ServiceClient(tmp_path) as c:
+                reply = c.stats(format="prometheus")
+        snap = reply["stats"]
+        assert snap["telemetry"] is False
+        assert snap["families"] == {} and snap["channels"] == {}
+        assert snap["sessions"] == []
+        assert reply["text"] == ""
+        # the dashboard renders the dark snapshot without erroring
+        frame = render(reply)
+        assert "telemetry disabled" in frame
+
+
+class TestMetricsHTTPServerUnit:
+    def test_ephemeral_port_and_endpoints(self):
+        srv = MetricsHTTPServer(lambda: obs_snapshot(extra={"role": "t"}))
+        try:
+            assert srv.port > 0
+            with urllib.request.urlopen(
+                f"{srv.address}/metrics.json", timeout=5.0
+            ) as r:
+                assert json.loads(r.read())["role"] == "t"
+            with pytest.raises(urllib.error.HTTPError):
+                urllib.request.urlopen(f"{srv.address}/nope", timeout=5.0)
+        finally:
+            srv.stop()
+
+
+# --------------------------------------------------------------------- #
+# dashboard rendering (fabricated replies)
+# --------------------------------------------------------------------- #
+
+
+class TestTopRender:
+    def test_gateway_frame_lists_daemons_and_sessions(self):
+        reply = {
+            "stats": {
+                "role": "gateway",
+                "fleet": {
+                    "capacity_mpps": 800.0,
+                    "active_demand_mpps": 55.2,
+                    "daemons_up": 2,
+                    "failovers": 1,
+                    "worst_burn": 2.5,
+                },
+                "daemons": {
+                    "daemon0": {
+                        "admission": {"headroom_mpps": 344.8, "queued": 0},
+                        "slo": {"worst_burn": 2.5},
+                        "sessions": [
+                            {
+                                "sid": 1000001,
+                                "name": "fish1",
+                                "state": "running",
+                                "progress": 0.5,
+                                "fps": 29.9,
+                                "latency_p95_ms": 12.0,
+                                "dropped_b": 2,
+                                "dropped_p": 0,
+                                "level": 1,
+                                "slo": {"worst_burn": 2.5, "alerting": True},
+                            }
+                        ],
+                    },
+                    "daemon1": {},
+                },
+            }
+        }
+        frame = render(reply)
+        assert "2 daemon(s) up" in frame
+        assert "1 failover(s)" in frame
+        assert "daemon0" in frame and "daemon1" in frame
+        assert "no stats yet" in frame  # daemon1 not yet scraped
+        assert "2.50!" in frame  # alerting burn is flagged
+        assert "fish1" in frame and "50%" in frame
+
+    def test_single_daemon_frame_without_sessions(self):
+        frame = render({"stats": {"role": "daemon", "name": "d0", "sessions": []}})
+        assert "single daemon" in frame
+        assert "(no sessions)" in frame
+
+
+# --------------------------------------------------------------------- #
+# gateway VERB_STATS (fleet rollup from the health-loop cache)
+# --------------------------------------------------------------------- #
+
+
+@pytest.fixture()
+def obs_fleet(tmp_path):
+    """A 2-daemon fleet with in-process daemons and a fast stats cadence."""
+    from repro.fleet import FleetConfig, FleetGateway
+
+    service = ServiceConfig(
+        capacity_mpps=500.0,
+        workers=2,
+        enter_levels=(1e9, 1e9, 1e9),
+    )
+    cfg = FleetConfig(
+        daemons=2, service=service, health_interval=0.1, stats_interval=0.1
+    )
+    gw = FleetGateway(tmp_path, cfg, spawn=False)
+    services = []
+    for i in range(cfg.daemons):
+        name = f"daemon{i}"
+        svc = WallService(tmp_path / name, cfg.daemon_config(i))
+        svc.start()
+        services.append(svc)
+        gw.add_daemon(name, tmp_path / name)
+    gw.start()
+    yield gw, tmp_path
+    gw.stop()
+    for svc in services:
+        svc.stop()
+
+
+def _wait_for_daemon_stats(rundir, names, timeout=10.0):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        with ServiceClient(rundir) as c:
+            snap = c.stats()["stats"]
+        daemons = snap.get("daemons", {})
+        if all(daemons.get(n) for n in names):
+            return snap
+        time.sleep(0.05)
+    raise AssertionError("gateway never cached stats for all daemons")
+
+
+class TestGatewayStats:
+    def test_fleet_rollup_and_cached_daemon_snapshots(self, obs_fleet):
+        gw, rundir = obs_fleet
+        with ServiceClient(rundir) as c:
+            sid = c.submit(SPEC, name="fleetobs", n_frames=8)["sid"]
+            final = c.wait(sid, timeout=90.0)
+        assert final["state"] == "completed"
+        snap = _wait_for_daemon_stats(rundir, ["daemon0", "daemon1"])
+        assert snap["role"] == "gateway"
+        fleet = snap["fleet"]
+        assert fleet["capacity_mpps"] == 1000.0
+        assert fleet["daemons_up"] == 2
+        assert fleet["worst_burn"] >= 0.0
+        # per-daemon cached snapshots answer the fleet-wide question live:
+        # headroom, sessions, and SLO burn per daemon, from one scrape
+        for name in ("daemon0", "daemon1"):
+            d = snap["daemons"][name]
+            assert "admission" in d and "slo" in d and "sessions" in d
+        all_rows = [
+            r for d in snap["daemons"].values() for r in d.get("sessions", [])
+        ]
+        assert any(r["name"] == "fleetobs" for r in all_rows)
+
+    def test_gateway_prometheus_text_has_fleet_families(self, obs_fleet):
+        gw, rundir = obs_fleet
+        with ServiceClient(rundir) as c:
+            reply = c.stats(format="prometheus")
+        text = reply["text"]
+        assert "repro_fleet_capacity_mpps" in text
+        assert "repro_fleet_daemons_up" in text
+        assert "repro_fleet_worst_burn" in text
+
+    def test_top_renders_the_fleet_view(self, obs_fleet, capsys):
+        gw, rundir = obs_fleet
+        _wait_for_daemon_stats(rundir, ["daemon0", "daemon1"])
+        rc = run_top(Path(rundir), count=1, clear=False)
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "fleet:" in out
+        assert "daemon0" in out and "daemon1" in out
+
+
+# --------------------------------------------------------------------- #
+# trace-report --follow (live tailing)
+# --------------------------------------------------------------------- #
+
+
+class TestTraceReportFollow:
+    def test_follow_renders_once_and_exits(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.perf.trace import TRACE_SUFFIX
+
+        path = tmp_path / f"collector{TRACE_SUFFIX}"
+        evs = [
+            TraceEvent(
+                ts=1.0 + 0.04 * i,
+                proc="collector",
+                event="e2e",
+                picture=i,
+                data={
+                    "e2e_s": 0.03,
+                    "split_s": 0.005,
+                    "decode_s": 0.02,
+                    "collect_s": 0.005,
+                    "critical": "decode",
+                },
+            )
+            for i in range(3)
+        ]
+        path.write_text("".join(e.to_json() + "\n" for e in evs))
+        rc = main(
+            [
+                "trace-report", str(tmp_path),
+                "--follow", "--iterations", "1", "--interval", "0.01",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "End-to-end picture latency" in out

@@ -129,11 +129,14 @@ class TestRoundTrip:
         result = splitter.split_plans(pictures[2], 2)
         for tid in range(layout.n_tiles):
             program = result.mei.program(tid)
-            bufs = encode_plan_msg(1, result.plans[tid], program)
+            bufs = encode_plan_msg(1, result.plans[tid], program, (1.5, 2.5))
             payload = b"".join(bytes(b) for b in bufs)
-            anid, expected, tp, prog = decode_plan_msg(payload, splitter.matrices)
+            anid, expected, tp, prog, stamps = decode_plan_msg(
+                payload, splitter.matrices
+            )
             assert anid == 1
             assert expected == len(program.recvs)
+            assert stamps == (1.5, 2.5)
             assert len(prog.sends) == len(program.sends)
             _assert_plans_equal(result.plans[tid], tp)
 

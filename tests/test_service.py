@@ -589,6 +589,23 @@ class TestServiceEndToEnd:
         assert svc._stop.is_set()
         svc.stop()
 
+    def test_shutdown_ack_flushes_before_teardown(self, tmp_path):
+        # Regression: the shutdown reply must reach the requester before
+        # teardown begins (no retries to paper over a lost ack), and a
+        # concurrent stop() — the foreground serve loop waking on
+        # ``_stop`` — must block until cleanup finished, so the process
+        # cannot exit while the reply or the final trace events are
+        # still being written.
+        svc = WallService(tmp_path, ServiceConfig())
+        svc.start()
+        with ServiceClient(tmp_path, retries=0) as client:
+            reply = client.shutdown(reason="ack ordering")
+        assert reply["stopping"] is True
+        svc.stop()  # second caller: returns only after cleanup is done
+        assert svc._stop_done.is_set()
+        events = read_trace_file(tmp_path / "service.trace.jsonl")
+        assert any(e.event == "service_stop" for e in events)
+
     def test_tcp_transport(self, tmp_path, clip_stream):
         cfg = ServiceConfig(capacity_mpps=200.0, transport="tcp")
         with WallService(tmp_path, cfg) as svc:
