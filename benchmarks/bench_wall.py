@@ -1,0 +1,256 @@
+"""Wall broadcast — sender encode cost vs receiver count, restart tune-in.
+
+Two experiments on the broadcast fan-out plane:
+
+**Fan-out scaling.**  One 36-picture clip is published to walls of 1, 2
+and 4 receivers over the stream fan-out.  The broadcast sender encodes
+each wire record exactly once and writes the same buffer to every
+subscriber, so its encode count stays flat in N; the unicast
+counterfactual (one point-to-point publisher per receiver, same
+machinery) pays one encode per receiver per picture and grows linearly.
+Both slopes are asserted, not just reported.
+
+**Restart resume.**  Four tile receivers consume a paced broadcast; one
+is torn down mid-GOP and restarted.  The rejoin handshake answers with
+the next closed-GOP I-picture after the publish cursor, the restarted
+receiver tunes there, and its steady-state output digest must equal a
+clean full-raster decode of the same stream from that anchor (sha256
+over the partition crop, display order).  Frames that arrived while
+tuning are dropped and accounted, never displayed.
+
+Results land in ``BENCH_wall.json`` at the repo root.  Run under
+pytest-benchmark or directly:
+``PYTHONPATH=src python benchmarks/bench_wall.py``.
+"""
+
+import json
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+from repro.mpeg2.encoder import Encoder, EncoderConfig
+from repro.wall.broadcast import WallBroadcaster
+from repro.wall.config import WallSpec
+from repro.wall.receiver import WallReceiver, tile_decode_digest
+from repro.workloads.streams import stream_by_id
+
+OUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_wall.json"
+
+SPEC = stream_by_id(5)  # fish1: 16:9, encoded here at 96px width
+N_FRAMES = 36
+RECEIVER_COUNTS = (1, 2, 4)
+WALL = WallSpec(cols=2, rows=2, overlap=0, name="bench")
+RESTART_RATE_FPS = 30.0  # paced restart run: 36 pictures in ~1.2 s
+
+
+def _encode_clip() -> bytes:
+    frames = SPEC.synthetic_frames(N_FRAMES, max_width=96)
+    return Encoder(EncoderConfig(gop_size=6, b_frames=2)).encode(frames)
+
+
+def _control(tmp: str, name: str):
+    return ("unix", str(Path(tmp) / f"{name}.sock"))
+
+
+def _run_receivers(bc, tiles, summaries):
+    def one(tid):
+        with WallReceiver(bc.control_address, tid, name=f"t{tid}") as rx:
+            summaries[tid] = rx.run(max_wall_s=60.0)
+
+    threads = [
+        threading.Thread(target=one, args=(t,), daemon=True) for t in tiles
+    ]
+    for t in threads:
+        t.start()
+    return threads
+
+
+def _broadcast_level(stream: bytes, tmp: str, n: int) -> dict:
+    """One broadcast to n receivers; returns the sender's encode ledger."""
+    bc = WallBroadcaster(stream, WALL, _control(tmp, f"bcast{n}"))
+    try:
+        summaries: dict = {}
+        threads = _run_receivers(bc, range(n), summaries)
+        bc.sender.wait_subscribers(n, timeout=20.0)
+        t0 = time.monotonic()
+        bc.run(rate_fps=None)
+        wall_s = time.monotonic() - t0
+        for t in threads:
+            t.join(timeout=60.0)
+        st = bc.stats()
+        records = st["n_pictures"] + 2  # + W_SEQ + W_END
+        return {
+            "receivers": n,
+            "records": records,
+            "encodes": st["encodes"],
+            "encodes_per_record": st["encodes"] / records,
+            "fanout_sends": st["fanout_sends"],
+            "encoded_bytes": st["encoded_bytes"],
+            "states": sorted(s["state"] for s in summaries.values()),
+            "wall_s": round(wall_s, 3),
+        }
+    finally:
+        bc.close()
+
+
+def _unicast_level(stream: bytes, tmp: str, n: int) -> dict:
+    """Counterfactual: one point-to-point publisher per receiver."""
+    bcs = [
+        WallBroadcaster(stream, WALL, _control(tmp, f"uni{n}-{i}"))
+        for i in range(n)
+    ]
+    try:
+        summaries: dict = {}
+        threads = []
+        for i, bc in enumerate(bcs):
+            threads += _run_receivers(bc, [i], summaries)
+            bc.sender.wait_subscribers(1, timeout=20.0)
+        for bc in bcs:
+            bc.run(rate_fps=None)
+        for t in threads:
+            t.join(timeout=60.0)
+        encodes = sum(bc.stats()["encodes"] for bc in bcs)
+        records = bcs[0].stats()["n_pictures"] + 2
+        return {
+            "receivers": n,
+            "records": records,
+            "encodes": encodes,
+            "encodes_per_record": encodes / records,
+            "encoded_bytes": sum(bc.stats()["encoded_bytes"] for bc in bcs),
+            "states": sorted(s["state"] for s in summaries.values()),
+        }
+    finally:
+        for bc in bcs:
+            bc.close()
+
+
+def _restart_experiment(stream: bytes, tmp: str) -> dict:
+    """Kill one of four receivers mid-broadcast; rejoin at the anchor."""
+    bc = WallBroadcaster(stream, WALL, _control(tmp, "restart"))
+    try:
+        layout = WALL.to_layout(bc.sequence.width, bc.sequence.height)
+        summaries: dict = {}
+        threads = _run_receivers(bc, (0, 1, 3), summaries)
+
+        victim = WallReceiver(bc.control_address, 2, name="victim")
+        bc.sender.wait_subscribers(4, timeout=20.0)
+        run_t = threading.Thread(
+            target=lambda: bc.run(rate_fps=RESTART_RATE_FPS), daemon=True
+        )
+        run_t.start()
+        # consume a few pictures, then die mid-GOP (no goodbye, like a kill)
+        victim_t = threading.Thread(
+            target=lambda: victim.run(max_wall_s=20.0), daemon=True
+        )
+        victim_t.start()
+        deadline = time.monotonic() + 20.0
+        while victim.decoded < 4 and time.monotonic() < deadline:
+            time.sleep(0.01)
+        kill_cursor = bc.stats()["cursor"]
+        victim.close()  # socket torn down with pictures still in flight
+
+        rejoin = WallReceiver(bc.control_address, 2, name="rejoin")
+        rejoin_summary = rejoin.run(max_wall_s=60.0)
+        rejoin.close()
+        run_t.join(timeout=60.0)
+        for t in threads:
+            t.join(timeout=60.0)
+
+        oracle = tile_decode_digest(
+            stream, layout, 2, start_at=rejoin_summary["tuned_at"]
+        )
+        survivors_ok = all(
+            summaries[t]["digest"]
+            == tile_decode_digest(stream, layout, t, start_at=0)
+            for t in (0, 1, 3)
+        )
+        return {
+            "anchors": bc.anchors,
+            "kill_cursor": kill_cursor,
+            "rejoin_start_at": rejoin_summary["start_at"],
+            "tuned_at": rejoin_summary["tuned_at"],
+            "retunes": rejoin_summary["retunes"],
+            "decoded": rejoin_summary["decoded"],
+            "displayed": rejoin_summary["displayed"],
+            "dropped_tuning": rejoin_summary["dropped_tuning"],
+            "dropped_gap": rejoin_summary["dropped_gap"],
+            "dropped_late": rejoin_summary["dropped_late"],
+            "bit_identical": rejoin_summary["digest"] == oracle,
+            "survivors_bit_identical": survivors_ok,
+        }
+    finally:
+        bc.close()
+
+
+def run_wall_bench() -> dict:
+    stream = _encode_clip()
+    report: dict = {
+        "stream": {
+            "spec": SPEC.to_dict(),
+            "frames": N_FRAMES,
+            "coded_bytes": len(stream),
+        },
+        "wall": WALL.to_dict(),
+        "broadcast": {},
+        "unicast": {},
+    }
+    with tempfile.TemporaryDirectory() as tmp:
+        for n in RECEIVER_COUNTS:
+            report["broadcast"][str(n)] = _broadcast_level(stream, tmp, n)
+            report["unicast"][str(n)] = _unicast_level(stream, tmp, n)
+        report["restart"] = _restart_experiment(stream, tmp)
+    return report
+
+
+def _check(report: dict) -> None:
+    for n in RECEIVER_COUNTS:
+        b = report["broadcast"][str(n)]
+        u = report["unicast"][str(n)]
+        # the tentpole property: encode cost flat in N for broadcast,
+        # linear in N for unicast
+        assert b["encodes_per_record"] == 1.0, b
+        assert u["encodes_per_record"] == float(n), u
+        assert b["states"] == ["done"] * n
+    r = report["restart"]
+    assert r["tuned_at"] in r["anchors"]
+    assert r["tuned_at"] > r["kill_cursor"] or r["retunes"] == 0
+    assert r["bit_identical"] and r["survivors_bit_identical"]
+    # every decoded frame is displayed or accounted as a drop
+    assert r["displayed"] + r["dropped_late"] == r["decoded"]
+
+
+def test_wall(benchmark):
+    from conftest import print_table, run_once
+
+    report = run_once(benchmark, run_wall_bench)
+    _check(report)
+    OUT_PATH.write_text(json.dumps(report, indent=2) + "\n")
+    print_table(
+        f"Broadcast fan-out ({N_FRAMES} pictures, stream mode)",
+        ["receivers", "bcast enc/rec", "unicast enc/rec", "bcast bytes", "unicast bytes"],
+        [
+            (
+                n,
+                f"{report['broadcast'][str(n)]['encodes_per_record']:.1f}",
+                f"{report['unicast'][str(n)]['encodes_per_record']:.1f}",
+                report["broadcast"][str(n)]["encoded_bytes"],
+                report["unicast"][str(n)]["encoded_bytes"],
+            )
+            for n in RECEIVER_COUNTS
+        ],
+    )
+    r = report["restart"]
+    print(
+        f"restart: killed at cursor {r['kill_cursor']}, "
+        f"rejoined at anchor {r['tuned_at']} "
+        f"({r['dropped_tuning']} tuning drops), "
+        f"bit-identical={r['bit_identical']}"
+    )
+
+
+if __name__ == "__main__":
+    result = run_wall_bench()
+    _check(result)
+    OUT_PATH.write_text(json.dumps(result, indent=2) + "\n")
+    print(json.dumps(result, indent=2))

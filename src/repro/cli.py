@@ -5,6 +5,8 @@ Commands
 encode    compress a .y4m clip (or a synthetic workload) to MPEG-2
 decode    decode an MPEG-2 stream to .y4m with the sequential decoder
 wall      decode in parallel on an m x n wall and verify bit-exactness
+wall-broadcast  publish one stream to N wall receivers (one encode, any N)
+wall-receive    subscribe one tile to a wall broadcast and decode it
 run-cluster  decode on real OS processes over the socket transport
 simulate  run the timed 1-k-(m,n) cluster simulation on a Table 4 stream
 info      show stream structure (pictures, types, sizes)
@@ -78,12 +80,23 @@ def cmd_decode(args) -> int:
     return 0
 
 
+def _wall_spec(args):
+    """The :class:`~repro.wall.config.WallSpec` a wall verb should use:
+    ``--wall-config`` JSON when given, else the -m/-n/--overlap flags."""
+    from repro.wall.config import WallSpec
+
+    if getattr(args, "wall_config", None):
+        return WallSpec.load(args.wall_config)
+    return WallSpec(
+        cols=args.m, rows=args.n, overlap=getattr(args, "overlap", 0)
+    )
+
+
 def cmd_wall(args) -> int:
     stream = _load_stream(args.input)
     sequence, _ = PictureScanner(stream).scan()
-    layout = TileLayout(
-        sequence.width, sequence.height, args.m, args.n, overlap=args.overlap
-    )
+    spec = _wall_spec(args)
+    layout = spec.to_layout(sequence.width, sequence.height)
     pdec = ParallelDecoder(layout, k=args.k, verify_overlaps=True)
     wall_frames = pdec.decode(stream)
     if args.verify:
@@ -100,12 +113,111 @@ def cmd_wall(args) -> int:
         print(f"wrote wall output -> {args.output}")
     s = pdec.stats
     print(
-        f"1-{args.k}-({args.m},{args.n}): {len(wall_frames)} frames, "
+        f"1-{args.k}-({spec.cols},{spec.rows}): {len(wall_frames)} frames, "
         f"{s.exchange_count} block exchanges "
         f"({s.exchange_bytes / 1e3:.1f} kB), "
         f"SPH overhead {s.sph_overhead_fraction:.1%}"
     )
     return 0
+
+
+def _bcast_control(args):
+    if args.transport == "tcp":
+        host, _, port = args.bind.partition(":")
+        return ("tcp", host or "127.0.0.1", int(port or 0))
+    return ("unix", args.bind)
+
+
+def cmd_wall_broadcast(args) -> int:
+    """Publish one stream to N wall receivers (one encode, any N)."""
+    import json
+
+    from repro.wall.broadcast import WallBroadcaster
+
+    if args.input:
+        stream = _load_stream(args.input)
+    else:
+        spec = stream_by_id(args.stream)
+        frames = spec.synthetic_frames(args.frames, max_width=args.max_width)
+        cfg = EncoderConfig(gop_size=spec.gop_size, b_frames=spec.b_frames)
+        stream = Encoder(cfg).encode(frames)
+    wall = _wall_spec(args)
+    bc = WallBroadcaster(
+        stream,
+        wall,
+        _bcast_control(args),
+        mode=args.mode,
+        fps=args.fps,
+        name=args.name,
+    )
+    print(
+        f"broadcasting {len(bc.pictures)} pictures "
+        f"({bc.sequence.width}x{bc.sequence.height}) to a "
+        f"{wall.cols}x{wall.rows} wall at {bc.control_address}; "
+        f"anchors: {bc.anchors}",
+        flush=True,
+    )
+    from repro.net.channel import ChannelTimeout
+
+    try:
+        if args.wait_subscribers:
+            try:
+                bc.sender.wait_subscribers(
+                    args.wait_subscribers, timeout=args.timeout
+                )
+            except ChannelTimeout as exc:
+                print(f"timed out waiting for subscribers: {exc}", file=sys.stderr)
+                return 1
+        stats = bc.run(rate_fps=args.rate_fps or None)
+        # Hold the channel open briefly so receivers can finish pulling
+        # buffered records and file their final reports.
+        import time as _time
+
+        _time.sleep(args.linger)
+        reports = bc.receiver_reports()
+    finally:
+        bc.close()
+    print(json.dumps({"stats": stats, "receivers": reports}, indent=2))
+    return 0
+
+
+def cmd_wall_receive(args) -> int:
+    """Run one tile's receiver against a wall broadcast."""
+    import json
+
+    from repro.wall.receiver import WallReceiver
+
+    rx = WallReceiver(
+        _bcast_control(args),
+        args.tile,
+        name=args.name or f"tile{args.tile}",
+        use_clock=args.clock,
+        connect_timeout=args.timeout,
+    )
+    print(
+        f"subscribed tile {args.tile}: start_at={rx.start_at} "
+        f"epoch={rx.rx.epoch}",
+        flush=True,
+    )
+    with rx:
+        summary = rx.run(max_wall_s=args.max_wall_s)
+    if args.save_last and rx.last_frame is not None and rx.layout is not None:
+        import numpy as np
+
+        part = rx.layout.tile(args.tile).partition
+        f = rx.last_frame
+        np.savez(
+            args.save_last,
+            rect=np.array([part.x0, part.y0, part.x1, part.y1]),
+            y=f.y[part.y0 : part.y1, part.x0 : part.x1],
+            cb=f.cb[part.y0 // 2 : part.y1 // 2, part.x0 // 2 : part.x1 // 2],
+            cr=f.cr[part.y0 // 2 : part.y1 // 2, part.x0 // 2 : part.x1 // 2],
+        )
+    text = json.dumps(summary, indent=2)
+    if args.json_out:
+        Path(args.json_out).write_text(text)
+    print(text)
+    return 0 if summary["state"] == "done" else 1
 
 
 def cmd_run_cluster(args) -> int:
@@ -347,6 +459,11 @@ def cmd_submit(args) -> int:
 
     spec = stream_by_id(args.stream)
     stream = _load_stream(args.input) if args.input else b""
+    wall = None
+    if args.wall:
+        from repro.wall.config import WallSpec
+
+        wall = WallSpec.load(args.wall).to_dict()
     with ServiceClient(Path(args.rundir), transport=args.transport) as client:
         reply = client.submit(
             spec,
@@ -355,6 +472,9 @@ def cmd_submit(args) -> int:
             weight=args.weight,
             slowdown_s=args.slowdown,
             n_frames=args.frames,
+            kind="broadcast" if args.broadcast else "decode",
+            wall=wall,
+            rate_fps=args.rate_fps or None,
         )
         admission = reply["admission"]
         print(_json.dumps(admission, indent=2, sort_keys=True))
@@ -362,6 +482,8 @@ def cmd_submit(args) -> int:
             return 3  # structured rejection: reason + retry_after_s above
         sid = reply["sid"]
         print(f"session {sid} {admission['action']}")
+        if "broadcast" in reply:
+            print(_json.dumps(reply["broadcast"], indent=2, sort_keys=True))
         if args.wait:
             final = client.wait(sid, timeout=args.timeout)
             print(_json.dumps(final, indent=2, sort_keys=True))
@@ -389,6 +511,15 @@ def cmd_sessions(args) -> int:
         )
         rows = client.list_sessions()
         for s in sorted(rows, key=lambda r: r["sid"]):
+            if s.get("kind") == "broadcast":
+                print(
+                    f"  [{s['sid']}] {s['name']:12s} {s['state']:10s} "
+                    f"{s['processed']}/{s['pictures']} pics  "
+                    f"broadcast subs {s['subscribers']}  "
+                    f"encodes {s['encodes']}  repairs {s['repairs']}  "
+                    f"gaps {s['gaps']}"
+                )
+                continue
             drops = s["dropped_b"] + s["dropped_p"]
             print(
                 f"  [{s['sid']}] {s['name']:12s} {s['state']:10s} "
@@ -515,10 +646,79 @@ def build_parser() -> argparse.ArgumentParser:
     w.add_argument("-n", type=int, default=2)
     w.add_argument("-k", type=int, default=1, help="second-level splitters")
     w.add_argument("--overlap", type=int, default=0)
+    w.add_argument(
+        "--wall-config",
+        help="wall spec JSON (cols/rows/overlap/bezel/crops); overrides "
+        "-m/-n/--overlap",
+    )
     w.add_argument("--fps", type=float, default=30.0)
     w.add_argument("--verify", action="store_true", default=True)
     w.add_argument("--no-verify", dest="verify", action="store_false")
     w.set_defaults(func=cmd_wall)
+
+    wb = sub.add_parser(
+        "wall-broadcast",
+        help="publish one stream to N wall receivers (one encode, any N)",
+    )
+    wb.add_argument("-i", "--input", help="encoded .m2v (default: synthesize)")
+    wb.add_argument("--stream", type=int, default=5, help="Table 4 stream id")
+    wb.add_argument("--frames", type=int, default=18)
+    wb.add_argument("--max-width", type=int, default=96)
+    wb.add_argument("-m", type=int, default=2)
+    wb.add_argument("-n", type=int, default=2)
+    wb.add_argument("--overlap", type=int, default=0)
+    wb.add_argument(
+        "--wall-config",
+        help="wall spec JSON shared with receivers (overrides -m/-n/--overlap)",
+    )
+    wb.add_argument(
+        "--bind", required=True,
+        help="control socket: a unix path, or host:port with --transport tcp",
+    )
+    wb.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    wb.add_argument(
+        "--mode", choices=["stream", "udp"], default="stream",
+        help="fan-out payload path: per-subscriber stream or UDP multicast",
+    )
+    wb.add_argument("--fps", type=float, default=30.0, help="stream timeline fps")
+    wb.add_argument(
+        "--rate-fps", type=float, default=0.0,
+        help="pace the publish loop at this rate (0 = free-run)",
+    )
+    wb.add_argument(
+        "--wait-subscribers", type=int, default=0,
+        help="block until N receivers have subscribed before publishing",
+    )
+    wb.add_argument(
+        "--linger", type=float, default=1.0,
+        help="seconds to keep serving repairs/reports after the last record",
+    )
+    wb.add_argument("--timeout", type=float, default=60.0)
+    wb.add_argument("--name", default="wall")
+    wb.set_defaults(func=cmd_wall_broadcast)
+
+    wr = sub.add_parser(
+        "wall-receive", help="subscribe one tile to a wall broadcast"
+    )
+    wr.add_argument(
+        "--bind", required=True,
+        help="the broadcaster's control socket (unix path or host:port)",
+    )
+    wr.add_argument("--transport", choices=["unix", "tcp"], default="unix")
+    wr.add_argument("--tile", type=int, required=True)
+    wr.add_argument("--name", help="receiver label (default: tile<N>)")
+    wr.add_argument(
+        "--clock", action="store_true",
+        help="present on the shared wall timeline (late frames drop); "
+        "default free-runs",
+    )
+    wr.add_argument("--json-out", help="write the run summary JSON here")
+    wr.add_argument(
+        "--save-last", help="save the last displayed partition crop (.npz)"
+    )
+    wr.add_argument("--max-wall-s", type=float, default=120.0)
+    wr.add_argument("--timeout", type=float, default=30.0)
+    wr.set_defaults(func=cmd_wall_receive)
 
     c = sub.add_parser(
         "run-cluster", help="decode on real OS processes over sockets"
@@ -693,6 +893,18 @@ def build_parser() -> argparse.ArgumentParser:
     sb.add_argument("--transport", choices=["unix", "tcp"], default="unix")
     sb.add_argument("--wait", action="store_true", help="block until terminal")
     sb.add_argument("--timeout", type=float, default=300.0)
+    sb.add_argument(
+        "--broadcast", action="store_true",
+        help="publish on a wall fan-out channel instead of pool decode "
+        "(the reply prints the control address receivers subscribe to)",
+    )
+    sb.add_argument(
+        "--wall", help="wall spec JSON for a --broadcast session"
+    )
+    sb.add_argument(
+        "--rate-fps", type=float, default=0.0,
+        help="pace a --broadcast publish loop (0 = free-run)",
+    )
     sb.set_defaults(func=cmd_submit)
 
     ss = sub.add_parser(

@@ -82,6 +82,13 @@ class WallConfig:
     # smoothing factor of the policy's load estimate.
     partition_policy: str = "static"
     partition_ewma: float = 0.5
+    # Broadcast tee (repro.net.bcast): when set, the root also publishes
+    # the coded stream on a one-to-many broadcast channel whose control
+    # socket binds this unix path — wall receivers subscribe there and
+    # decode their tiles independently of the unicast splitter path.
+    # Encoded once regardless of subscriber count.
+    bcast_addr: Optional[str] = None
+    bcast_fps: float = 30.0
 
     def __post_init__(self) -> None:
         if self.m < 1 or self.n < 1:

@@ -321,6 +321,27 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
         cfg.partition_policy, base_layout, ewma=cfg.partition_ewma
     )
 
+    # Broadcast tee: the root publishes every coded picture once on the
+    # one-to-many channel (wall receivers subscribe and self-decode their
+    # tiles) in addition to the unicast splitter dispatch below.
+    publisher = None
+    if cfg.bcast_addr:
+        from repro.wall.broadcast import WallBroadcaster
+        from repro.wall.config import WallSpec
+
+        publisher = WallBroadcaster(
+            stream,
+            WallSpec(cols=cfg.m, rows=cfg.n, overlap=cfg.overlap),
+            ("unix", cfg.bcast_addr),
+            mode="stream",
+            fps=cfg.bcast_fps,
+            name="root-bcast",
+        )
+        publisher.publish_sequence()
+        tracer.emit(
+            "bcast_open", address=cfg.bcast_addr, anchors=len(publisher.anchors)
+        )
+
     channels: Dict[int, Channel] = {}
     gates: Dict[int, CreditGate] = {}
     for s in range(cfg.k):
@@ -394,9 +415,15 @@ def run_root(cfg: WallConfig, rundir: Path, tracer: TraceWriter) -> None:
             bytes=unit.size_bytes,
             credit_wait_s=round(waited, 6),
         )
+        if publisher is not None:
+            publisher.publish_picture(i)
         maybe_emit_stats(tracer)
     for s in range(cfg.k):
         channels[s].send(MSG_EOS)
+    if publisher is not None:
+        publisher.publish_end()
+        tracer.emit("bcast_stats", **publisher.stats())
+        publisher.close()
     tracer.emit(
         "credit_totals",
         **{f"split{s}": gates[s].stats_dict() for s in range(cfg.k)},

@@ -1,0 +1,824 @@
+"""One-to-many broadcast channel: encode once, fan out to N receivers.
+
+The cluster transport (:mod:`repro.net.channel`) is strictly unicast: the
+root encodes and writes one copy of every wire-frame per peer, so sender
+bytes and encode CPU grow linearly with wall size.  A real tiled wall
+ships *one* stream to many receivers.  This module provides that channel:
+
+- The sender encodes each record **exactly once** (header + payload into
+  one byte string) and fans the same bytes out to every subscriber —
+  either over UDP multicast (one ``sendto`` per datagram regardless of
+  receiver count) or over per-subscriber stream sockets (the in-process /
+  unix fallback that keeps tests and single-host runs deterministic;
+  still a single encode, N zero-copy writes of the same buffer).
+- Receivers filter records by **tile membership on receive**: each record
+  header carries a 64-bit tile bitmap, and a receiver subscribed to tiles
+  ``{2, 3}`` silently drops records whose bitmap does not intersect its
+  mask.  The sender never builds per-receiver frames.
+- Late joiners complete a **SUBSCRIBE handshake** over a control stream
+  socket that returns the broadcast mode, the next sequence number, and —
+  via an application callback — the next closed-GOP/I-picture index to
+  tune in at.  Sticky records (the latest per kind, e.g. the sequence
+  header) are replayed to the joiner before live fan-out resumes.
+- UDP mode keeps a **sequence/NACK repair window**: receivers detect gaps
+  from the record sequence numbers, NACK the missing range over the
+  control socket, and the sender replays from a bounded ring.  Losses
+  that fall outside the window come back as an explicit GAP notice so the
+  receiver can re-tune instead of stalling.
+
+Record wire format (little-endian), one record per frame::
+
+    magic    u16   0x4D42 ("BM")
+    kind     u8    application record kind
+    flags    u8    RECORD_STICKY et al.
+    seq      u32   broadcast sequence number (gap detection / repair)
+    picture  i32   picture index (or -1 when not picture-scoped)
+    tiles    u64   tile-membership bitmap (ALL_TILES = every receiver)
+    length   u32   payload byte count
+
+Control messages ride ordinary :class:`~repro.net.channel.Channel` frames
+with types 40..46 — the control socket is private to this module, so the
+numbering only needs to clear the transport-reserved ranges (HEARTBEAT=0,
+reliable layer 250..255).
+"""
+
+from __future__ import annotations
+
+import json
+import select
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+from repro.net.channel import (
+    Address,
+    Channel,
+    ChannelClosed,
+    ChannelError,
+    ChannelTimeout,
+    Listener,
+    connect,
+)
+
+RECORD_MAGIC = 0x4D42  # "BM" — broadcast message
+RECORD_FMT = "<HBBIiQI"
+RECORD_HEADER_SIZE = struct.calcsize(RECORD_FMT)
+
+#: Record flag: the sender keeps the latest record of this kind and
+#: replays it to late joiners during the SUBSCRIBE handshake.
+RECORD_STICKY = 0x01
+
+#: Tile bitmap meaning "every receiver" (64 tiles max per broadcast).
+ALL_TILES = (1 << 64) - 1
+MAX_TILES = 64
+
+# Control-channel message types (private to the broadcast control socket).
+BC_SUB = 40  # receiver -> sender: JSON {tiles, name}
+BC_SUB_OK = 41  # sender -> receiver: JSON {mode, next_seq, start_at, ...}
+BC_DATA = 42  # sender -> receiver: one encoded record (fan-out or repair)
+BC_NACK = 43  # receiver -> sender: JSON {seqs: [missing...]}
+BC_GAP = 44  # sender -> receiver: JSON {seqs} fell out of the repair window
+BC_STAT = 45  # receiver -> sender: JSON receiver-side ledger report
+BC_BYE = 46  # receiver -> sender: clean unsubscribe
+
+# UDP datagram sub-header: seq u32, fragment index u16, fragment count u16.
+DATAGRAM_FMT = "<IHH"
+DATAGRAM_HEADER_SIZE = struct.calcsize(DATAGRAM_FMT)
+#: Payload bytes per datagram; comfortably under the 64 KiB UDP limit and
+#: large enough that a typical coded picture is a handful of fragments.
+DATAGRAM_PAYLOAD = 60000
+
+DEFAULT_GROUP = "239.77.7.7"
+
+
+def tile_mask(tiles: Optional[Iterable[int]]) -> int:
+    """Bitmap for a tile set; ``None`` means every tile."""
+    if tiles is None:
+        return ALL_TILES
+    mask = 0
+    for t in tiles:
+        if not 0 <= t < MAX_TILES:
+            raise ValueError(f"tile id {t} outside broadcast bitmap range")
+        mask |= 1 << t
+    return mask
+
+
+@dataclass(frozen=True)
+class BroadcastRecord:
+    """One decoded broadcast record."""
+
+    kind: int
+    seq: int
+    picture: int
+    tiles: int
+    flags: int
+    payload: bytes
+
+    @property
+    def sticky(self) -> bool:
+        return bool(self.flags & RECORD_STICKY)
+
+
+@dataclass(frozen=True)
+class GapNotice:
+    """Delivered in-band when records were lost beyond repair.
+
+    ``seqs`` is the list of sequence numbers that will never arrive; the
+    application re-tunes (next anchor picture) instead of stalling.
+    """
+
+    seqs: Tuple[int, ...]
+
+
+def encode_record(
+    kind: int,
+    payload: Union[bytes, bytearray, memoryview],
+    seq: int,
+    picture: int = -1,
+    tiles: int = ALL_TILES,
+    flags: int = 0,
+) -> bytes:
+    """Encode one record to its full wire bytes (the single encode)."""
+    header = struct.pack(
+        RECORD_FMT, RECORD_MAGIC, kind, flags, seq, picture, tiles, len(payload)
+    )
+    return header + bytes(payload)
+
+
+def decode_record(data: Union[bytes, memoryview]) -> BroadcastRecord:
+    magic, kind, flags, seq, picture, tiles, length = struct.unpack_from(
+        RECORD_FMT, data
+    )
+    if magic != RECORD_MAGIC:
+        raise ChannelError(f"bad broadcast record magic {magic:#x}")
+    payload = bytes(data[RECORD_HEADER_SIZE : RECORD_HEADER_SIZE + length])
+    if len(payload) != length:
+        raise ChannelError(
+            f"truncated broadcast record: {len(payload)} of {length} bytes"
+        )
+    return BroadcastRecord(
+        kind=kind, seq=seq, picture=picture, tiles=tiles, flags=flags, payload=payload
+    )
+
+
+def multicast_available(group: str = DEFAULT_GROUP) -> bool:
+    """Probe whether UDP multicast loopback works in this environment."""
+    try:
+        rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        try:
+            rx.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            rx.bind(("", 0))
+            port = rx.getsockname()[1]
+            mreq = socket.inet_aton(group) + socket.inet_aton("127.0.0.1")
+            rx.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
+            tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+            tx.setsockopt(
+                socket.IPPROTO_IP,
+                socket.IP_MULTICAST_IF,
+                socket.inet_aton("127.0.0.1"),
+            )
+            tx.sendto(b"probe", (group, port))
+            rx.settimeout(0.5)
+            data, _ = rx.recvfrom(32)
+            return data == b"probe"
+        finally:
+            rx.close()
+            tx.close()
+    except OSError:
+        return False
+
+
+@dataclass
+class SenderStats:
+    """Sender-side ledger: the 'one encode, N receivers' evidence."""
+
+    records: int = 0
+    encodes: int = 0
+    payload_bytes: int = 0
+    encoded_bytes: int = 0
+    fanout_sends: int = 0
+    fanout_bytes: int = 0
+    datagrams: int = 0
+    repairs: int = 0
+    gaps: int = 0
+    detached: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class _Subscriber:
+    def __init__(self, channel: Channel, mask: int, name: str):
+        self.channel = channel
+        self.mask = mask
+        self.name = name
+        self.alive = True
+        self.last_report: Dict[str, object] = {}
+        self.report_time = 0.0
+
+
+class BroadcastSender:
+    """Publish records once; fan out to every subscriber.
+
+    ``mode`` selects the data path: ``"stream"`` writes the encoded record
+    to every subscriber's control channel (deterministic, lossless —
+    tests and unix single-host runs), ``"udp"`` sends fragmented datagrams
+    to a multicast group (one send per datagram regardless of N) and uses
+    the control channels only for handshake/NACK/repair traffic.
+
+    ``anchor_fn`` is called during each SUBSCRIBE handshake and must
+    return the picture index the joiner should tune in at (the next
+    closed-GOP/I-picture), or ``None`` when no further anchor exists.
+
+    ``loss_fn(seq, frag)`` is a test hook: return True to drop that
+    datagram on the floor instead of sending it (exercises NACK repair).
+    """
+
+    def __init__(
+        self,
+        control: Address,
+        mode: str = "stream",
+        group: str = DEFAULT_GROUP,
+        port: int = 0,
+        iface: str = "127.0.0.1",
+        ttl: int = 0,
+        repair_window: int = 512,
+        meta: Optional[Dict[str, object]] = None,
+        anchor_fn: Optional[Callable[[], Optional[int]]] = None,
+        loss_fn: Optional[Callable[[int, int], bool]] = None,
+        name: str = "bcast",
+    ):
+        if mode not in ("stream", "udp"):
+            raise ValueError(f"unknown broadcast mode {mode!r}")
+        self.mode = mode
+        self.group = group
+        self.iface = iface
+        self.name = name
+        self.meta = dict(meta or {})
+        self.anchor_fn = anchor_fn
+        self.loss_fn = loss_fn
+        self.repair_window = repair_window
+        self.stats = SenderStats()
+        self.epoch = time.time()
+        self._lock = threading.RLock()
+        self._seq = 0
+        self._ring: Dict[int, bytes] = {}
+        self._ring_order: List[int] = []
+        self._sticky: Dict[int, bytes] = {}
+        self._subs: List[_Subscriber] = []
+        # Last BC_STAT per receiver name, retained after detach so final
+        # summaries survive the subscriber's disconnect.
+        self._reports: Dict[str, Dict] = {}
+        self._report_times: Dict[str, float] = {}
+        self._closed = False
+        self._listener = Listener(control)
+        self.control_address: Address = self._listener.address
+        self._tx: Optional[socket.socket] = None
+        if mode == "udp":
+            if port == 0:
+                probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+                probe.bind(("", 0))
+                port = probe.getsockname()[1]
+                probe.close()
+            self.port = port
+            self._tx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_LOOP, 1)
+            self._tx.setsockopt(socket.IPPROTO_IP, socket.IP_MULTICAST_TTL, ttl)
+            self._tx.setsockopt(
+                socket.IPPROTO_IP,
+                socket.IP_MULTICAST_IF,
+                socket.inet_aton(iface),
+            )
+        else:
+            self.port = 0
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name=f"{name}:accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # ---------------------------- subscription ----------------------------- #
+
+    def _accept_loop(self) -> None:
+        while not self._closed:
+            try:
+                ch = self._listener.accept(timeout=0.25, name=f"{self.name}:sub")
+            except ChannelTimeout:
+                continue
+            except ChannelError:
+                return
+            t = threading.Thread(
+                target=self._serve_subscriber, args=(ch,), daemon=True
+            )
+            t.start()
+
+    def _serve_subscriber(self, ch: Channel) -> None:
+        try:
+            msg = ch.recv(timeout=10.0)
+        except ChannelError:
+            ch.close()
+            return
+        if msg.type != BC_SUB:
+            ch.close()
+            return
+        try:
+            req = json.loads(msg.payload.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError):
+            ch.close()
+            return
+        mask = tile_mask(req.get("tiles"))
+        sub = _Subscriber(ch, mask, str(req.get("name", "rx")))
+        with self._lock:
+            start_at = self.anchor_fn() if self.anchor_fn is not None else None
+            reply = {
+                "mode": self.mode,
+                "group": self.group,
+                "port": self.port,
+                "iface": self.iface,
+                "next_seq": self._seq,
+                "start_at": start_at,
+                "epoch": self.epoch,
+                "meta": self.meta,
+            }
+            try:
+                ch.send(BC_SUB_OK, json.dumps(reply).encode("utf-8"))
+                # Sticky replay happens under the lock so no live publish
+                # can interleave between replay and fan-out registration:
+                # the joiner sees sticky records, then the live stream.
+                for seq in sorted(
+                    decode_record(rec).seq for rec in self._sticky.values()
+                ):
+                    ch.send(BC_DATA, self._ring.get(seq) or self._sticky_by_seq(seq))
+            except ChannelError:
+                ch.close()
+                return
+            self._subs.append(sub)
+        self._control_loop(sub)
+
+    def _sticky_by_seq(self, seq: int) -> bytes:
+        for rec in self._sticky.values():
+            if decode_record(rec).seq == seq:
+                return rec
+        raise KeyError(seq)
+
+    def _control_loop(self, sub: _Subscriber) -> None:
+        """Read NACK/STAT/BYE from one subscriber until it goes away."""
+        while not self._closed and sub.alive:
+            try:
+                msg = sub.channel.recv(timeout=0.5)
+            except ChannelTimeout:
+                continue
+            except ChannelError:
+                break
+            if msg.type == BC_NACK:
+                try:
+                    seqs = json.loads(msg.payload.decode("utf-8"))["seqs"]
+                except (ValueError, KeyError, UnicodeDecodeError):
+                    continue
+                self._repair(sub, [int(s) for s in seqs])
+            elif msg.type == BC_STAT:
+                try:
+                    sub.last_report = json.loads(msg.payload.decode("utf-8"))
+                    sub.report_time = time.time()
+                except (ValueError, UnicodeDecodeError):
+                    pass
+                else:
+                    with self._lock:
+                        self._reports[sub.name] = sub.last_report
+                        self._report_times[sub.name] = sub.report_time
+            elif msg.type == BC_BYE:
+                break
+        self._detach(sub)
+
+    def _repair(self, sub: _Subscriber, seqs: List[int]) -> None:
+        gone: List[int] = []
+        with self._lock:
+            for seq in seqs:
+                rec = self._ring.get(seq)
+                if rec is None:
+                    gone.append(seq)
+                    continue
+                try:
+                    sub.channel.send(BC_DATA, rec)
+                    self.stats.repairs += 1
+                except ChannelError:
+                    self._detach_locked(sub)
+                    return
+            if gone:
+                self.stats.gaps += len(gone)
+                try:
+                    sub.channel.send(
+                        BC_GAP, json.dumps({"seqs": gone}).encode("utf-8")
+                    )
+                except ChannelError:
+                    self._detach_locked(sub)
+
+    def _detach(self, sub: _Subscriber) -> None:
+        with self._lock:
+            self._detach_locked(sub)
+
+    def _detach_locked(self, sub: _Subscriber) -> None:
+        if sub.alive:
+            sub.alive = False
+            self.stats.detached += 1
+            if sub in self._subs:
+                self._subs.remove(sub)
+            sub.channel.close()
+
+    # ------------------------------- publish -------------------------------- #
+
+    def publish(
+        self,
+        kind: int,
+        payload: Union[bytes, bytearray, memoryview],
+        picture: int = -1,
+        tiles: int = ALL_TILES,
+        sticky: bool = False,
+    ) -> int:
+        """Encode once, fan out to all current subscribers; returns seq."""
+        flags = RECORD_STICKY if sticky else 0
+        with self._lock:
+            if self._closed:
+                raise ChannelClosed(f"{self.name}: sender closed")
+            seq = self._seq
+            self._seq += 1
+            record = encode_record(kind, payload, seq, picture, tiles, flags)
+            self.stats.records += 1
+            self.stats.encodes += 1
+            self.stats.payload_bytes += len(payload)
+            self.stats.encoded_bytes += len(record)
+            self._ring[seq] = record
+            self._ring_order.append(seq)
+            while len(self._ring_order) > self.repair_window:
+                old = self._ring_order.pop(0)
+                self._ring.pop(old, None)
+            if sticky:
+                self._sticky[kind] = record
+            if self.mode == "udp":
+                self._send_datagrams(seq, record)
+            else:
+                for sub in list(self._subs):
+                    try:
+                        sub.channel.send(BC_DATA, record)
+                        self.stats.fanout_sends += 1
+                        self.stats.fanout_bytes += len(record)
+                    except ChannelError:
+                        self._detach_locked(sub)
+            return seq
+
+    def _send_datagrams(self, seq: int, record: bytes) -> None:
+        assert self._tx is not None
+        view = memoryview(record)
+        nfrags = max(1, (len(record) + DATAGRAM_PAYLOAD - 1) // DATAGRAM_PAYLOAD)
+        for frag in range(nfrags):
+            if self.loss_fn is not None and self.loss_fn(seq, frag):
+                continue
+            chunk = view[frag * DATAGRAM_PAYLOAD : (frag + 1) * DATAGRAM_PAYLOAD]
+            head = struct.pack(DATAGRAM_FMT, seq, frag, nfrags)
+            self._tx.sendto(head + bytes(chunk), (self.group, self.port))
+            self.stats.datagrams += 1
+            self.stats.fanout_sends += 1
+            self.stats.fanout_bytes += DATAGRAM_HEADER_SIZE + len(chunk)
+
+    # ------------------------------ inspection ------------------------------ #
+
+    @property
+    def subscriber_count(self) -> int:
+        with self._lock:
+            return len(self._subs)
+
+    def receiver_reports(self) -> List[Dict[str, object]]:
+        """Latest BC_STAT ledger per receiver (kept after disconnect)."""
+        with self._lock:
+            out = []
+            for name in sorted(self._reports):
+                rep = dict(self._reports[name])
+                rep.setdefault("name", name)
+                rep["age_s"] = round(time.time() - self._report_times[name], 3)
+                out.append(rep)
+            return out
+
+    def wait_subscribers(self, n: int, timeout: float = 10.0) -> None:
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.subscriber_count >= n:
+                return
+            time.sleep(0.01)
+        raise ChannelTimeout(
+            f"{self.name}: {self.subscriber_count}/{n} subscribers after {timeout}s"
+        )
+
+    def close(self) -> None:
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            subs = list(self._subs)
+            self._subs.clear()
+        for sub in subs:
+            sub.channel.close()
+        self._listener.close()
+        if self._tx is not None:
+            self._tx.close()
+
+
+@dataclass
+class ReceiverStats:
+    """Receiver-side ledger, reported back to the sender via BC_STAT."""
+
+    received: int = 0
+    received_bytes: int = 0
+    filtered: int = 0
+    repaired: int = 0
+    lost: int = 0
+    nacks: int = 0
+    duplicates: int = 0
+
+    def to_dict(self) -> Dict[str, int]:
+        return dict(self.__dict__)
+
+
+class BroadcastReceiver:
+    """Subscribe to a broadcast and yield records in sequence order.
+
+    ``recv`` returns :class:`BroadcastRecord` instances whose tile bitmap
+    intersects this receiver's mask (others are counted and dropped), or a
+    :class:`GapNotice` when records were lost beyond the repair window —
+    the application's cue to re-tune at the next anchor.
+    """
+
+    def __init__(
+        self,
+        control: Address,
+        tiles: Optional[Iterable[int]] = None,
+        name: str = "rx",
+        connect_timeout: float = 10.0,
+        nack_delay: float = 0.05,
+    ):
+        self.name = name
+        self.mask = tile_mask(tiles)
+        self.stats = ReceiverStats()
+        self.nack_delay = nack_delay
+        self._control = connect(control, timeout=connect_timeout, name=f"bc:{name}")
+        sub = {"tiles": None if self.mask == ALL_TILES else _mask_tiles(self.mask),
+               "name": name}
+        self._control.send(BC_SUB, json.dumps(sub).encode("utf-8"))
+        ok = self._control.recv(timeout=connect_timeout)
+        if ok.type != BC_SUB_OK:
+            raise ChannelError(f"unexpected handshake reply type {ok.type}")
+        hello = json.loads(ok.payload.decode("utf-8"))
+        self.mode: str = hello["mode"]
+        self.start_at: Optional[int] = hello.get("start_at")
+        self.epoch: float = float(hello.get("epoch", 0.0))
+        self.meta: Dict[str, object] = hello.get("meta", {})
+        self._next = int(hello["next_seq"])
+        self._ready: List[Union[BroadcastRecord, GapNotice]] = []
+        self._pending: Dict[int, BroadcastRecord] = {}
+        self._frags: Dict[int, List[Optional[bytes]]] = {}
+        self._frag_t0: Dict[int, float] = {}
+        self._nacked: Dict[int, float] = {}
+        self._rx: Optional[socket.socket] = None
+        if self.mode == "udp":
+            self._rx = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+            self._rx.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+            try:
+                # A multi-fragment picture burst can exceed the default
+                # receive buffer; lost fragments are repairable but slow.
+                self._rx.setsockopt(socket.SOL_SOCKET, socket.SO_RCVBUF, 1 << 22)
+            except OSError:
+                pass
+            self._rx.bind(("", int(hello["port"])))
+            mreq = socket.inet_aton(hello["group"]) + socket.inet_aton(
+                hello.get("iface", "127.0.0.1")
+            )
+            self._rx.setsockopt(socket.IPPROTO_IP, socket.IP_ADD_MEMBERSHIP, mreq)
+            self._rx.setblocking(False)
+        self._closed = False
+
+    # -------------------------------- recv ---------------------------------- #
+
+    def recv(
+        self, timeout: Optional[float] = None
+    ) -> Optional[Union[BroadcastRecord, GapNotice]]:
+        """Next in-order record passing the tile filter, or a GapNotice.
+
+        Returns ``None`` on timeout (callers poll; a broadcast has no EOF
+        at the transport level — the application layer defines an END
+        record).
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            if self._ready:
+                return self._ready.pop(0)
+            if self._closed:
+                raise ChannelClosed(f"{self.name}: receiver closed")
+            remain = None
+            if deadline is not None:
+                remain = deadline - time.monotonic()
+                if remain <= 0:
+                    return None
+            if self.mode == "udp":
+                self._pump_udp(remain)
+            else:
+                self._pump_stream(remain)
+
+    def _pump_stream(self, remain: Optional[float]) -> None:
+        slice_s = 0.1 if remain is None else max(0.0, min(0.1, remain))
+        try:
+            msg = self._control.recv(timeout=slice_s)
+        except ChannelTimeout:
+            return
+        self._on_control(msg)
+
+    def _pump_udp(self, remain: Optional[float]) -> None:
+        assert self._rx is not None
+        self._renack()
+        slice_s = 0.05 if remain is None else max(0.0, min(0.05, remain))
+        socks = [self._rx, self._control.sock]
+        try:
+            readable, _, _ = select.select(socks, [], [], slice_s)
+        except (OSError, ValueError) as exc:
+            raise ChannelClosed(f"{self.name}: receive sockets gone: {exc}") from exc
+        if self._rx in readable:
+            try:
+                while True:
+                    data, _ = self._rx.recvfrom(65536)
+                    self._on_datagram(data)
+            except BlockingIOError:
+                pass
+        if self._control.sock in readable:
+            # select() saw bytes on the raw socket; a small positive budget
+            # lets Channel._fill actually read them (timeout=0 would raise
+            # before the first recv call).
+            try:
+                msg = self._control.recv(timeout=0.2)
+            except ChannelTimeout:
+                return
+            self._on_control(msg)
+
+    def _on_control(self, msg) -> None:
+        if msg.type == BC_DATA:
+            self._admit(decode_record(msg.payload), repaired=self.mode == "udp")
+        elif msg.type == BC_GAP:
+            seqs = json.loads(msg.payload.decode("utf-8"))["seqs"]
+            self._give_up([int(s) for s in seqs])
+
+    def _on_datagram(self, data: bytes) -> None:
+        if len(data) < DATAGRAM_HEADER_SIZE:
+            return
+        seq, frag, nfrags = struct.unpack_from(DATAGRAM_FMT, data)
+        if seq < self._next and seq not in self._nacked:
+            self.stats.duplicates += 1
+            return
+        chunk = data[DATAGRAM_HEADER_SIZE:]
+        if nfrags == 1:
+            self._admit(decode_record(chunk), repaired=seq in self._nacked)
+            return
+        if seq not in self._frags:
+            self._frags[seq] = [None] * nfrags
+            self._frag_t0[seq] = time.monotonic()
+        slots = self._frags[seq]
+        if frag >= len(slots) or slots[frag] is not None:
+            self.stats.duplicates += 1
+            return
+        slots[frag] = chunk
+        if all(s is not None for s in slots):
+            del self._frags[seq]
+            self._frag_t0.pop(seq, None)
+            self._admit(
+                decode_record(b"".join(slots)), repaired=seq in self._nacked
+            )
+
+    def _admit(self, rec: BroadcastRecord, repaired: bool = False) -> None:
+        """Sequence-order release with tile filtering and gap NACKing."""
+        self.stats.received += 1
+        self.stats.received_bytes += RECORD_HEADER_SIZE + len(rec.payload)
+        if repaired and rec.seq in self._nacked:
+            self._nacked.pop(rec.seq, None)
+            self._frags.pop(rec.seq, None)
+            self._frag_t0.pop(rec.seq, None)
+            self.stats.repaired += 1
+        if rec.seq < self._next:
+            # Sticky catch-up replayed during the handshake: deliver
+            # immediately, it predates our live window by design.
+            if rec.sticky:
+                self._release(rec)
+            else:
+                self.stats.duplicates += 1
+            return
+        self._pending[rec.seq] = rec
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        while self._next in self._pending:
+            rec = self._pending.pop(self._next)
+            self._next += 1
+            self._release(rec)
+        if self._pending and self.mode == "udp":
+            missing = [
+                s
+                for s in range(self._next, max(self._pending))
+                if s not in self._pending and s not in self._nacked
+            ]
+            if missing:
+                self._send_nack(missing)
+        elif self._pending and self.mode == "stream":
+            # A stream socket cannot reorder; a forward jump means the
+            # sender resynced us past a gap (should not happen today).
+            lo = self._next
+            hi = min(self._pending)
+            self._give_up(list(range(lo, hi)))
+
+    def _release(self, rec: BroadcastRecord) -> None:
+        if rec.tiles & self.mask:
+            self._ready.append(rec)
+        else:
+            self.stats.filtered += 1
+
+    def _send_nack(self, seqs: List[int]) -> None:
+        now = time.monotonic()
+        for s in seqs:
+            self._nacked[s] = now
+        try:
+            self._control.send(BC_NACK, json.dumps({"seqs": seqs}).encode("utf-8"))
+            self.stats.nacks += 1
+        except ChannelError:
+            pass
+
+    def _renack(self) -> None:
+        now = time.monotonic()
+        # A reassembly that has been incomplete longer than the NACK delay
+        # lost fragments; ask for the whole record over the control path.
+        hung = [
+            s
+            for s, t in self._frag_t0.items()
+            if now - t > self.nack_delay and s not in self._nacked and s >= self._next
+        ]
+        if hung:
+            self._send_nack(hung)
+        if not self._nacked:
+            return
+        stale = [s for s, t in self._nacked.items() if now - t > self.nack_delay * 4]
+        if stale:
+            for s in stale:
+                self._nacked[s] = now
+            try:
+                self._control.send(
+                    BC_NACK, json.dumps({"seqs": stale}).encode("utf-8")
+                )
+                self.stats.nacks += 1
+            except ChannelError:
+                pass
+
+    def _give_up(self, seqs: List[int]) -> None:
+        gone = []
+        for s in seqs:
+            if s >= self._next:
+                gone.append(s)
+            self._nacked.pop(s, None)
+            self._frags.pop(s, None)
+            self._frag_t0.pop(s, None)
+        if not gone:
+            return
+        self.stats.lost += len(gone)
+        self._ready.append(GapNotice(seqs=tuple(sorted(gone))))
+        # Advance past the hole so buffered successors can release.
+        self._next = max(self._next, max(gone) + 1)
+        self._drain_pending()
+
+    # ------------------------------- control -------------------------------- #
+
+    def report(self, extra: Optional[Dict[str, object]] = None) -> None:
+        """Ship the receiver ledger to the sender (BC_STAT)."""
+        body: Dict[str, object] = {"name": self.name, **self.stats.to_dict()}
+        if extra:
+            body.update(extra)
+        try:
+            self._control.send(BC_STAT, json.dumps(body).encode("utf-8"))
+        except ChannelError:
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._control.send(BC_BYE)
+        except ChannelError:
+            pass
+        self._control.close()
+        if self._rx is not None:
+            self._rx.close()
+
+    def __enter__(self) -> "BroadcastReceiver":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _mask_tiles(mask: int) -> List[int]:
+    return [t for t in range(MAX_TILES) if mask & (1 << t)]

@@ -56,7 +56,38 @@ _SESSION_HEADER = [
 ]
 
 
-def _daemon_lines(name: str, snap: Dict[str, Any], rows: List[List[Any]]) -> str:
+def _wall_row(rep: Dict[str, Any], daemon: str) -> List[Any]:
+    drops = (
+        int(rep.get("dropped_tuning", 0))
+        + int(rep.get("dropped_gap", 0))
+        + int(rep.get("dropped_late", 0))
+    )
+    return [
+        rep.get("tile", "?"),
+        daemon,
+        str(rep.get("name", "?"))[:14],
+        rep.get("state", "?"),
+        rep.get("tuned_at", "-"),
+        rep.get("decoded", 0),
+        rep.get("displayed", 0),
+        drops,
+        f"{float(rep.get('lag_s', 0.0) or 0.0) * 1e3:.1f}",
+        rep.get("retunes", 0),
+    ]
+
+
+_WALL_HEADER = [
+    "tile", "daemon", "name", "state", "tuned@", "dec", "disp",
+    "drops", "lag_ms", "retunes",
+]
+
+
+def _daemon_lines(
+    name: str,
+    snap: Dict[str, Any],
+    rows: List[List[Any]],
+    wall_rows: List[List[Any]],
+) -> str:
     adm = snap.get("admission", {})
     slo = snap.get("slo", {})
     flags = "draining" if snap.get("draining") else "up"
@@ -71,6 +102,8 @@ def _daemon_lines(name: str, snap: Dict[str, Any], rows: List[List[Any]]) -> str
     )
     for row in snap.get("sessions", []):
         rows.append(_session_row(row, name))
+    for rep in snap.get("wall", {}).get("receivers", []):
+        wall_rows.append(_wall_row(rep, name))
     return line
 
 
@@ -81,6 +114,7 @@ def render(reply: Dict[str, Any]) -> str:
     role = snap.get("role", "?")
     stamp = time.strftime("%H:%M:%S")
     rows: List[List[Any]] = []
+    wall_rows: List[List[Any]] = []
     if role == "gateway":
         fleet = snap.get("fleet", {})
         L.append(
@@ -92,11 +126,14 @@ def render(reply: Dict[str, Any]) -> str:
             f"worst burn {float(fleet.get('worst_burn', 0.0)):.2f}x"
         )
         for name in sorted(snap.get("daemons", {})):
-            L.append("  " + _daemon_lines(name, snap["daemons"][name], rows))
+            L.append(
+                "  "
+                + _daemon_lines(name, snap["daemons"][name], rows, wall_rows)
+            )
     else:
         name = snap.get("name", "daemon")
         L.append(f"repro top @ {stamp} — single daemon")
-        L.append("  " + _daemon_lines(name, snap, rows))
+        L.append("  " + _daemon_lines(name, snap, rows, wall_rows))
     if snap.get("telemetry") is False:
         L.append("  (telemetry disabled: obs plane reports empty snapshots)")
     L.append("")
@@ -104,6 +141,9 @@ def render(reply: Dict[str, Any]) -> str:
         L += _fmt_table(_SESSION_HEADER, rows)
     else:
         L.append("(no sessions)")
+    if wall_rows:
+        L.append("")
+        L += _fmt_table(_WALL_HEADER, wall_rows)
     return "\n".join(L)
 
 

@@ -1,0 +1,176 @@
+"""Broadcast sessions: the daemon as a wall publisher.
+
+A ``submit`` with ``kind="broadcast"`` does not join the decode pool at
+all — the daemon opens a :class:`~repro.wall.broadcast.WallBroadcaster`
+on its own control socket in the run directory and pushes the coded
+stream to whoever subscribes.  The session object mirrors just enough of
+the decode :class:`~repro.service.session.Session` surface (state
+machine, ``summary``/``live_stats``, ``cancel``) for the daemon's verb
+table, drain logic, and trace plumbing to treat both kinds uniformly,
+while staying out of admission pricing: broadcasting costs one encode
+and N socket writes, not pool decode capacity, so it claims no
+``demand_mpps`` from the pool view.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from repro.service.session import SessionState
+from repro.wall.broadcast import WallBroadcaster
+from repro.wall.config import WallSpec
+
+
+class BroadcastSession:
+    """One wall broadcast being served by the daemon.
+
+    Lifecycle: QUEUED at construction, RUNNING once :meth:`start` spawns
+    the publisher thread, then COMPLETED (stream fully published),
+    CANCELLED (client verb or daemon drain/stop), or FAILED (publisher
+    raised).  ``on_finish`` is the daemon's retire hook; it fires exactly
+    once, from the publisher thread, after the terminal state is set.
+    """
+
+    kind = "broadcast"
+
+    def __init__(
+        self,
+        sid: int,
+        name: str,
+        stream: bytes,
+        wall: WallSpec,
+        control,
+        mode: str = "stream",
+        rate_fps: Optional[float] = None,
+        fps: float = 30.0,
+        repair_window: int = 512,
+        on_finish=None,
+    ):
+        self.sid = sid
+        self.name = name
+        self.rate_fps = rate_fps
+        self.state = SessionState.QUEUED
+        self.reason = ""
+        self.in_flight = False  # never mid-picture on a pool worker
+        self.submitted_at = time.time()
+        self.started_mono: Optional[float] = None
+        self.finished_mono: Optional[float] = None
+        self.on_finish = on_finish
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self.broadcaster = WallBroadcaster(
+            stream,
+            wall,
+            control,
+            mode=mode,
+            fps=fps,
+            name=name,
+            repair_window=repair_window,
+        )
+
+    @property
+    def control_address(self):
+        return self.broadcaster.control_address
+
+    # ----------------------------- lifecycle -------------------------- #
+
+    def start(self) -> None:
+        self.state = SessionState.RUNNING
+        self.started_mono = time.monotonic()
+        self._thread = threading.Thread(
+            target=self._run, name=f"bcast-{self.sid}", daemon=True
+        )
+        self._thread.start()
+
+    def _run(self) -> None:
+        error = ""
+        try:
+            self.broadcaster.run(rate_fps=self.rate_fps, stop=self._stop)
+        except Exception as exc:  # noqa: BLE001 - report, don't kill the daemon
+            error = f"{type(exc).__name__}: {exc}"
+        finally:
+            with self._lock:
+                if self.state is SessionState.RUNNING:
+                    if error:
+                        self.state = SessionState.FAILED
+                        self.reason = error
+                    elif self._stop.is_set():
+                        self.state = SessionState.CANCELLED
+                    else:
+                        self.state = SessionState.COMPLETED
+                self.finished_mono = time.monotonic()
+            self.broadcaster.close()
+            if self.on_finish is not None:
+                self.on_finish(self)
+
+    def cancel(self, reason: str = "cancelled by client") -> bool:
+        with self._lock:
+            if self.state in (
+                SessionState.COMPLETED,
+                SessionState.CANCELLED,
+                SessionState.FAILED,
+            ):
+                return False
+            self.state = SessionState.CANCELLED
+            self.reason = reason
+        self._stop.set()
+        # A QUEUED session has no publisher thread to observe the stop
+        # event; close the sender here so subscribers see EOF.
+        if self._thread is None:
+            self.broadcaster.close()
+        return True
+
+    def join(self, timeout: float = 30.0) -> None:
+        if self._thread is not None:
+            self._thread.join(timeout=timeout)
+
+    # ----------------------------- inspection ------------------------- #
+
+    def playout_remaining_s(self) -> float:
+        bc = self.broadcaster
+        left = len(bc.pictures) - max(bc.stats()["cursor"], 0)
+        fps = self.rate_fps or bc.fps or 30.0
+        return left / fps
+
+    def receiver_reports(self) -> List[Dict]:
+        return self.broadcaster.receiver_reports()
+
+    def summary(self) -> Dict:
+        s = self.broadcaster.stats()
+        dur = None
+        if self.started_mono is not None:
+            end = self.finished_mono or time.monotonic()
+            dur = round(end - self.started_mono, 6)
+        return {
+            "sid": self.sid,
+            "name": self.name,
+            "kind": self.kind,
+            "state": self.state.value,
+            "reason": self.reason,
+            "pictures": s["n_pictures"],
+            "processed": s["cursor"] + 1,
+            "anchors": s["anchors"],
+            "subscribers": s["subscribers"],
+            "encodes": s["encodes"],
+            "fanout_sends": s["fanout_sends"],
+            "fanout_bytes": s["fanout_bytes"],
+            "repairs": s["repairs"],
+            "gaps": s["gaps"],
+            "duration_s": dur,
+        }
+
+    def live_stats(self, now: Optional[float] = None) -> Dict:
+        s = self.summary()
+        s["receivers"] = self.receiver_reports()
+        return s
+
+
+def broadcast_control_address(rundir: Path, sid: int, transport: str):
+    """Where a daemon-owned broadcast binds its control socket."""
+    if transport == "unix":
+        return ("unix", str(Path(rundir) / f"bcast-{sid}.sock"))
+    return ("tcp", "127.0.0.1", 0)

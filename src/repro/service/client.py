@@ -214,10 +214,22 @@ class ServiceClient:
         slowdown_s: float = 0.0,
         n_frames: Optional[int] = None,
         start_at: int = 0,
+        kind: str = "decode",
+        wall: Optional[Dict[str, Any]] = None,
+        bcast_mode: str = "stream",
+        rate_fps: Optional[float] = None,
     ) -> Dict[str, Any]:
         """Submit a session; returns ``{"sid": ..., "admission": {...}}``
         (no ``sid`` when admission rejected).  ``start_at`` resumes the
-        decode at a mid-stream I-picture (failover replay)."""
+        decode at a mid-stream I-picture (failover replay).
+
+        ``kind="broadcast"`` asks the daemon to publish the stream on a
+        wall fan-out channel instead of decoding it on the pool; the
+        reply carries a ``broadcast`` section with the control address
+        receivers subscribe to.  ``wall`` is a
+        :class:`~repro.wall.config.WallSpec` dict; ``rate_fps`` paces the
+        publish loop (None free-runs).
+        """
         fields: Dict[str, Any] = {
             "spec": spec.to_dict(),
             "weight": weight,
@@ -229,6 +241,13 @@ class ServiceClient:
             fields["n_frames"] = n_frames
         if start_at:
             fields["start_at"] = start_at
+        if kind != "decode":
+            fields["kind"] = kind
+            fields["bcast_mode"] = bcast_mode
+            if wall is not None:
+                fields["wall"] = wall
+            if rate_fps is not None:
+                fields["rate_fps"] = rate_fps
         return self.request(VERB_SUBMIT, fields, stream)
 
     def status(self, sid: int) -> Dict[str, Any]:

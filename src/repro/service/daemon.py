@@ -170,6 +170,7 @@ class WallService:
         self._lock = threading.Lock()
         self._next_sid = 1 + self.config.sid_offset
         self._links: Dict[str, ReliableEndpoint] = {}  # reliable gateway links
+        self._wall_drop_seen: Dict[tuple, float] = {}  # (tile, reason) → total
         self._links_lock = threading.Lock()
         self._stop = threading.Event()
         self._stop_done = threading.Event()  # cleanup actually finished
@@ -301,8 +302,13 @@ class WallService:
     # ------------------------------------------------------------------ #
 
     def _pool_view(self) -> PoolView:
+        # Broadcast sessions never claim pool decode capacity: only the
+        # decode kind counts toward admission demand.
         running = [
-            s for s in self.sessions.values() if s.state is SessionState.RUNNING
+            s
+            for s in self.sessions.values()
+            if s.state is SessionState.RUNNING
+            and getattr(s, "kind", "decode") == "decode"
         ]
         soonest = min(
             (s.playout_remaining_s() for s in running), default=None
@@ -338,6 +344,7 @@ class WallService:
                 s.spec.demand_mpps
                 for s in self.sessions.values()
                 if s.state is SessionState.RUNNING
+                and getattr(s, "kind", "decode") == "decode"
             )
             if active + head.spec.demand_mpps > self.config.capacity_mpps:
                 break
@@ -622,7 +629,11 @@ class WallService:
                 f"link-{token[:8]}": link.stats_dict()
                 for token, link in self._links.items()
             }
-        worst = max((r["slo"]["worst_burn"] for r in rows), default=0.0)
+        worst = max(
+            (r["slo"]["worst_burn"] for r in rows if "slo" in r), default=0.0
+        )
+        wall_rows = [r for r in rows if r.get("kind") == "broadcast"]
+        receivers = [rep for r in wall_rows for rep in r.get("receivers", [])]
         adm = self.admission.export_state(view)
         fam = families()
         fam.gauge(
@@ -644,6 +655,34 @@ class WallService:
             "repro_link_retransmits",
             "reliable-link frames retransmitted after reconnect (live links)",
         ).set(sum(s["retransmits"] for s in links.values()))
+        # Daemon-side mirror of the wall receiver reports (the receiver
+        # process owns the authoritative per-tile gauges; these let one
+        # scrape of the daemon see the whole wall).
+        lag_g = fam.gauge(
+            "repro_wall_receiver_lag_s",
+            "wall receiver lag behind the presentation timeline",
+            labelnames=("tile",),
+        )
+        drop_c = fam.counter(
+            "repro_wall_frames_dropped",
+            "wall receiver frames not displayed, by reason",
+            labelnames=("tile", "reason"),
+        )
+        for rep in receivers:
+            tile = str(rep.get("tile", "?"))
+            lag_g.set(float(rep.get("lag_s", 0.0) or 0.0), tile=tile)
+            # Reports carry cumulative totals; the counter family wants
+            # increments, so track what each tile last reported.
+            for reason, field in (
+                ("tuning", "dropped_tuning"),
+                ("gap", "dropped_gap"),
+                ("late", "dropped_late"),
+            ):
+                total = float(rep.get(field, 0) or 0)
+                seen = self._wall_drop_seen.get((tile, reason), 0.0)
+                if total > seen:
+                    drop_c.inc(total - seen, tile=tile, reason=reason)
+                    self._wall_drop_seen[(tile, reason)] = total
         return obs_snapshot(
             extra={
                 "role": "daemon",
@@ -654,6 +693,10 @@ class WallService:
                 "sessions": rows,
                 "links": links,
                 "slo": {"worst_burn": round(worst, 4)},
+                "wall": {
+                    "broadcasts": len(wall_rows),
+                    "receivers": receivers,
+                },
             }
         )
 
@@ -671,6 +714,8 @@ class WallService:
     def _do_submit(self, fields: dict, blob: bytes) -> bytes:
         if "spec" not in fields:
             raise ProtocolError("submit needs a 'spec' field")
+        if fields.get("kind", "decode") == "broadcast":
+            return self._do_submit_broadcast(fields, blob)
         spec = StreamSpec.from_dict(fields["spec"])
         weight = float(fields.get("weight", 1.0))
         slowdown = float(fields.get("slowdown_s", 0.0))
@@ -751,6 +796,83 @@ class WallService:
                     )
         return encode_response(
             True, {"sid": sid, "admission": decision.to_dict()}
+        )
+
+    def _do_submit_broadcast(self, fields: dict, blob: bytes) -> bytes:
+        """``kind="broadcast"``: publish the stream on a fan-out channel.
+
+        Broadcasts bypass admission *pricing* — they cost one encode plus
+        socket writes, not pool decode capacity — but still respect the
+        drain switch: a draining daemon starts no new publishers.
+        """
+        from repro.service.broadcast import (
+            BroadcastSession,
+            broadcast_control_address,
+        )
+        from repro.wall.config import WallSpec
+
+        spec = StreamSpec.from_dict(fields["spec"])
+        name = str(fields.get("name", spec.name))
+        wall = WallSpec.from_dict(fields.get("wall", {"cols": 1, "rows": 1}))
+        rate_fps = fields.get("rate_fps")
+        if len(blob) > self.config.max_blob_bytes:
+            raise ProtocolError(
+                f"bitstream blob exceeds {self.config.max_blob_bytes} bytes"
+            )
+        with self._lock:
+            if self.draining:
+                decision = AdmissionDecision(
+                    action="reject",
+                    reason=REJECT_DRAINING,
+                    detail="daemon is draining: not accepting new sessions",
+                    demand_mpps=0.0,
+                )
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        "admission_reject", name=name, **decision.to_dict()
+                    )
+                return encode_response(True, {"admission": decision.to_dict()})
+        stream = blob if blob else self._synthesize(spec, fields)
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+            session = BroadcastSession(
+                sid=sid,
+                name=name,
+                stream=stream,
+                wall=wall,
+                control=broadcast_control_address(
+                    self.rundir, sid, self.config.transport
+                ),
+                mode=str(fields.get("bcast_mode", "stream")),
+                rate_fps=float(rate_fps) if rate_fps is not None else None,
+                fps=spec.fps,
+                repair_window=int(fields.get("repair_window", 512)),
+                on_finish=self._retire,
+            )
+            self.sessions[sid] = session
+            session.start()
+        if self.tracer is not None:
+            self.tracer.emit(
+                "broadcast_start",
+                sid=sid,
+                name=name,
+                pictures=len(session.broadcaster.pictures),
+                anchors=len(session.broadcaster.anchors),
+                control=list(session.control_address),
+            )
+        return encode_response(
+            True,
+            {
+                "sid": sid,
+                "admission": {"action": "accept", "reason": "broadcast"},
+                "broadcast": {
+                    "control": list(session.control_address),
+                    "anchors": session.broadcaster.anchors,
+                    "n_pictures": len(session.broadcaster.pictures),
+                    "wall": wall.to_dict(),
+                },
+            },
         )
 
     def _synthesize(self, spec: StreamSpec, fields: dict) -> bytes:

@@ -260,6 +260,8 @@ class SessionCounters:
 class Session:
     """One admitted stream working its way through the pool."""
 
+    kind = "decode"  # vs. service.broadcast.BroadcastSession
+
     def __init__(
         self,
         sid: int,

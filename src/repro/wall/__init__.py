@@ -1,6 +1,24 @@
-"""Tiled display-wall substrate: geometry, assembly, and edge blending."""
+"""Tiled display-wall substrate: geometry, assembly, blending, presentation.
+
+Geometry (:mod:`~repro.wall.layout`) and assembly (:mod:`~repro.wall.display`)
+are the correctness core; :mod:`~repro.wall.config`,
+:mod:`~repro.wall.clock`, :mod:`~repro.wall.broadcast`, and
+:mod:`~repro.wall.receiver` form the presentation plane: one broadcast
+stream in, N tune-in-capable tile receivers releasing frames on a shared
+clock.
+"""
 
 from repro.wall.layout import TileLayout, Tile
 from repro.wall.display import assemble_wall, edge_blend_weights
+from repro.wall.config import TileCrop, WallSpec
+from repro.wall.clock import PresentationClock
 
-__all__ = ["TileLayout", "Tile", "assemble_wall", "edge_blend_weights"]
+__all__ = [
+    "TileLayout",
+    "Tile",
+    "assemble_wall",
+    "edge_blend_weights",
+    "TileCrop",
+    "WallSpec",
+    "PresentationClock",
+]

@@ -1,0 +1,91 @@
+"""Presentation clock: release decoded frames on a shared wall timeline.
+
+Every receiver of one broadcast derives the same frame-due times from the
+broadcast epoch (shipped in the SUBSCRIBE handshake) and the stream frame
+rate, so N projectors release frame k at the same wall-clock instant
+without talking to each other — the decode plane is asynchronous, the
+presentation plane is synchronous.
+
+A frame that decodes before its due time is held (the clock sleeps); a
+frame that decodes after ``due + late_tolerance_s`` is *dropped from
+display* and accounted in the ledger.  Dropping happens strictly on the
+presentation side: the decode plane has already produced (and digested)
+the frame, so presentation drops never disturb bit-exactness checks —
+the same rule edge blending follows.
+
+``fps=None`` free-runs (every frame releases immediately, nothing is
+late), which keeps deterministic tests independent of scheduler jitter.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class PresentationClock:
+    """PTS-derived release gate for one receiver.
+
+    ``epoch`` is the shared wall-clock origin (broadcast sender's clock);
+    ``latency_s`` is the fixed decode/startup allowance added to every due
+    time so the first frames are not born late.
+    """
+
+    def __init__(
+        self,
+        fps: Optional[float] = None,
+        epoch: Optional[float] = None,
+        latency_s: float = 0.25,
+        late_tolerance_s: float = 0.0,
+        time_fn: Callable[[], float] = time.time,
+        sleep_fn: Callable[[float], None] = time.sleep,
+    ):
+        if fps is not None and fps <= 0:
+            raise ValueError("fps must be positive")
+        self.fps = fps
+        self.time_fn = time_fn
+        self.sleep_fn = sleep_fn
+        self.epoch = time_fn() if epoch is None else epoch
+        self.latency_s = latency_s
+        self.late_tolerance_s = late_tolerance_s
+        self.released = 0
+        self.dropped_late = 0
+        self.last_lag_s = 0.0
+        self.max_lag_s = 0.0
+
+    def due(self, display_index: int) -> float:
+        """Wall-clock instant frame ``display_index`` should hit the glass."""
+        if self.fps is None:
+            return self.epoch
+        return self.epoch + self.latency_s + display_index / self.fps
+
+    def offer(self, display_index: int) -> bool:
+        """Gate one decoded frame; True = release now, False = drop (late).
+
+        Blocks until the frame's due time when it is early; records the
+        lag (how far past due the frame arrived) either way.
+        """
+        if self.fps is None:
+            self.released += 1
+            return True
+        now = self.time_fn()
+        due = self.due(display_index)
+        lag = now - due
+        self.last_lag_s = lag
+        if lag > self.max_lag_s:
+            self.max_lag_s = lag
+        if lag > self.late_tolerance_s:
+            self.dropped_late += 1
+            return False
+        if lag < 0:
+            self.sleep_fn(-lag)
+        self.released += 1
+        return True
+
+    def to_dict(self) -> Dict[str, float]:
+        return {
+            "released": self.released,
+            "dropped_late": self.dropped_late,
+            "last_lag_s": round(self.last_lag_s, 6),
+            "max_lag_s": round(self.max_lag_s, 6),
+        }

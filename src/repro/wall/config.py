@@ -1,0 +1,146 @@
+"""Wall configuration: shared JSON geometry for CLI, broadcaster, receivers.
+
+A :class:`WallSpec` is the *installation* description — how many projector
+columns and rows, how wide the optical overlap band is, how thick the
+physical bezels are, and any per-tile crop insets (a projector whose edge
+pixels are masked off by the frame it sits in).  It deliberately excludes
+the video raster: the same wall plays many streams, so the raster-specific
+:class:`~repro.wall.layout.TileLayout` is derived per stream via
+:meth:`WallSpec.to_layout`.
+
+Bezels and crops are **presentation-only**: they choose which decoded
+pixels reach the glass, never which pixels get decoded, so they can never
+participate in bit-exactness checks (same rule as edge blending).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Union
+
+from repro.mpeg2.motion import Rect
+from repro.wall.layout import TileLayout
+
+
+@dataclass(frozen=True)
+class TileCrop:
+    """Per-tile display inset in pixels (presentation-only)."""
+
+    left: int = 0
+    top: int = 0
+    right: int = 0
+    bottom: int = 0
+
+    def __post_init__(self) -> None:
+        if min(self.left, self.top, self.right, self.bottom) < 0:
+            raise ValueError("crop insets must be non-negative")
+
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "left": self.left,
+            "top": self.top,
+            "right": self.right,
+            "bottom": self.bottom,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, int]) -> "TileCrop":
+        return cls(
+            left=int(d.get("left", 0)),
+            top=int(d.get("top", 0)),
+            right=int(d.get("right", 0)),
+            bottom=int(d.get("bottom", 0)),
+        )
+
+
+@dataclass
+class WallSpec:
+    """An m x n projector wall: geometry plus presentation trim.
+
+    ``cols``/``rows`` count projectors, ``overlap`` is the blending band
+    along each interior edge in pixels, ``bezel_px`` the physical bezel
+    thickness (display-time gap; decoded pixels under a bezel exist but
+    never reach the glass), ``crops`` optional per-tile insets keyed by
+    tile id.
+    """
+
+    cols: int
+    rows: int
+    overlap: int = 0
+    bezel_px: int = 0
+    name: str = "wall"
+    crops: Dict[int, TileCrop] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.cols < 1 or self.rows < 1:
+            raise ValueError("wall needs at least one projector")
+        if self.overlap < 0:
+            raise ValueError("negative overlap")
+        if self.bezel_px < 0:
+            raise ValueError("negative bezel")
+        for tid in self.crops:
+            if not 0 <= tid < self.n_tiles:
+                raise ValueError(f"crop for tile {tid} outside the wall")
+
+    @property
+    def n_tiles(self) -> int:
+        return self.cols * self.rows
+
+    def tile_crop(self, tid: int) -> TileCrop:
+        return self.crops.get(tid, TileCrop())
+
+    # ------------------------------- layout -------------------------------- #
+
+    def to_layout(self, width: int, height: int) -> TileLayout:
+        """Raster-specific tile geometry for one video stream."""
+        return TileLayout(width, height, self.cols, self.rows, self.overlap)
+
+    def display_rect(self, layout: TileLayout, tid: int) -> Rect:
+        """Tile ``tid``'s display rect after its presentation crop.
+
+        This is what the projector actually lights up; it must stay inside
+        the decoded rect but takes no part in correctness checks.
+        """
+        r = layout.tile(tid).rect
+        c = self.tile_crop(tid)
+        out = Rect(r.x0 + c.left, r.y0 + c.top, r.x1 - c.right, r.y1 - c.bottom)
+        if out.is_empty():
+            raise ValueError(f"crop empties tile {tid}'s display rect")
+        return out
+
+    # -------------------------------- JSON --------------------------------- #
+
+    def to_dict(self) -> Dict:
+        d: Dict = {
+            "name": self.name,
+            "cols": self.cols,
+            "rows": self.rows,
+            "overlap": self.overlap,
+            "bezel_px": self.bezel_px,
+        }
+        if self.crops:
+            d["crops"] = {str(t): c.to_dict() for t, c in self.crops.items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "WallSpec":
+        crops = {
+            int(t): TileCrop.from_dict(c) for t, c in d.get("crops", {}).items()
+        }
+        return cls(
+            cols=int(d["cols"]),
+            rows=int(d["rows"]),
+            overlap=int(d.get("overlap", 0)),
+            bezel_px=int(d.get("bezel_px", 0)),
+            name=str(d.get("name", "wall")),
+            crops=crops,
+        )
+
+    def save(self, path: Union[str, Path]) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "WallSpec":
+        return cls.from_dict(json.loads(Path(path).read_text()))

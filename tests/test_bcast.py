@@ -1,0 +1,269 @@
+"""Broadcast channel: one encode, N receivers, NACK repair, tune-in."""
+
+import threading
+import time
+
+import pytest
+
+from repro.net.bcast import (
+    ALL_TILES,
+    BroadcastReceiver,
+    BroadcastRecord,
+    BroadcastSender,
+    GapNotice,
+    RECORD_STICKY,
+    decode_record,
+    encode_record,
+    multicast_available,
+    tile_mask,
+)
+from repro.net.channel import ChannelTimeout
+
+UDP_OK = multicast_available()
+needs_multicast = pytest.mark.skipif(
+    not UDP_OK, reason="UDP multicast loopback unavailable in this environment"
+)
+
+
+def unix_addr(tmp_path, name="bc.sock"):
+    return ("unix", str(tmp_path / name))
+
+
+def drain(rx, n, timeout=10.0):
+    """Collect the next n records/notices from a receiver."""
+    out = []
+    deadline = time.monotonic() + timeout
+    while len(out) < n and time.monotonic() < deadline:
+        rec = rx.recv(timeout=0.5)
+        if rec is not None:
+            out.append(rec)
+    return out
+
+
+class TestRecordCodec:
+    def test_roundtrip(self):
+        wire = encode_record(7, b"payload", seq=42, picture=3, tiles=0b1010)
+        rec = decode_record(wire)
+        assert rec == BroadcastRecord(
+            kind=7, seq=42, picture=3, tiles=0b1010, flags=0, payload=b"payload"
+        )
+        assert not rec.sticky
+
+    def test_sticky_flag(self):
+        wire = encode_record(1, b"x", seq=0, flags=RECORD_STICKY)
+        assert decode_record(wire).sticky
+
+    def test_tile_mask(self):
+        assert tile_mask(None) == ALL_TILES
+        assert tile_mask([0, 2]) == 0b101
+        with pytest.raises(ValueError):
+            tile_mask([64])
+
+    def test_truncated_record_rejected(self):
+        from repro.net.channel import ChannelError
+
+        wire = encode_record(1, b"0123456789", seq=0)
+        with pytest.raises(ChannelError):
+            decode_record(wire[:-3])
+
+
+class TestStreamFanout:
+    def test_single_encode_many_receivers(self, tmp_path):
+        sender = BroadcastSender(unix_addr(tmp_path), mode="stream")
+        try:
+            rxs = [
+                BroadcastReceiver(sender.control_address, name=f"r{i}")
+                for i in range(3)
+            ]
+            sender.wait_subscribers(3)
+            for i in range(4):
+                sender.publish(2, b"pic%d" % i, picture=i)
+            for rx in rxs:
+                got = drain(rx, 4)
+                assert [r.payload for r in got] == [b"pic0", b"pic1", b"pic2", b"pic3"]
+            # the one-encode property: 4 encodes regardless of 3 receivers
+            assert sender.stats.encodes == 4
+            assert sender.stats.fanout_sends == 12
+            for rx in rxs:
+                rx.close()
+        finally:
+            sender.close()
+
+    def test_tile_filtering_on_receive(self, tmp_path):
+        sender = BroadcastSender(unix_addr(tmp_path), mode="stream")
+        try:
+            rx = BroadcastReceiver(
+                sender.control_address, tiles=[1], name="tile1"
+            )
+            sender.wait_subscribers(1)
+            sender.publish(2, b"for-t0", tiles=tile_mask([0]))
+            sender.publish(2, b"for-t1", tiles=tile_mask([1]))
+            sender.publish(2, b"for-all", tiles=ALL_TILES)
+            got = drain(rx, 2)
+            assert [r.payload for r in got] == [b"for-t1", b"for-all"]
+            assert rx.stats.filtered == 1
+            rx.close()
+        finally:
+            sender.close()
+
+    def test_sticky_replay_and_tune_in(self, tmp_path):
+        anchors = iter([12, 18])
+        sender = BroadcastSender(
+            unix_addr(tmp_path),
+            mode="stream",
+            meta={"clip": "t"},
+            anchor_fn=lambda: next(anchors),
+        )
+        try:
+            sender.publish(1, b"seq-header", sticky=True)
+            sender.publish(2, b"pic0")
+            late = BroadcastReceiver(sender.control_address, name="late")
+            assert late.start_at == 12
+            assert late.meta == {"clip": "t"}
+            # the sticky record arrives even though it predates the join
+            got = drain(late, 1)
+            assert got[0].payload == b"seq-header"
+            assert got[0].sticky
+            later = BroadcastReceiver(sender.control_address, name="later")
+            assert later.start_at == 18
+            late.close()
+            later.close()
+        finally:
+            sender.close()
+
+    def test_receiver_reports_reach_sender(self, tmp_path):
+        sender = BroadcastSender(unix_addr(tmp_path), mode="stream")
+        try:
+            rx = BroadcastReceiver(sender.control_address, name="reporter")
+            sender.wait_subscribers(1)
+            rx.report({"decoded": 5})
+            deadline = time.monotonic() + 5.0
+            reports = []
+            while not reports and time.monotonic() < deadline:
+                reports = sender.receiver_reports()
+                time.sleep(0.01)
+            assert reports and reports[0]["decoded"] == 5
+            assert reports[0]["name"] == "reporter"
+            rx.close()
+            # final reports survive the disconnect
+            time.sleep(0.1)
+            assert sender.receiver_reports()
+        finally:
+            sender.close()
+
+    def test_wait_subscribers_timeout(self, tmp_path):
+        sender = BroadcastSender(unix_addr(tmp_path), mode="stream")
+        try:
+            with pytest.raises(ChannelTimeout):
+                sender.wait_subscribers(1, timeout=0.1)
+        finally:
+            sender.close()
+
+
+@needs_multicast
+class TestUdpFanout:
+    def test_datagram_delivery(self, tmp_path):
+        sender = BroadcastSender(unix_addr(tmp_path), mode="udp")
+        try:
+            rx = BroadcastReceiver(sender.control_address, name="u0")
+            for i in range(6):
+                sender.publish(2, b"p%d" % i, picture=i)
+            got = drain(rx, 6)
+            assert [r.payload for r in got] == [b"p%d" % i for i in range(6)]
+            assert sender.stats.datagrams >= 6
+            rx.close()
+        finally:
+            sender.close()
+
+    def test_fragmentation_reassembly(self, tmp_path):
+        sender = BroadcastSender(unix_addr(tmp_path), mode="udp")
+        try:
+            rx = BroadcastReceiver(sender.control_address, name="ufrag")
+            big = bytes(range(256)) * 1024  # 256 KiB -> 5 fragments
+            sender.publish(2, big)
+            got = drain(rx, 1)
+            assert got and got[0].payload == big
+            rx.close()
+        finally:
+            sender.close()
+
+    def test_nack_repair(self, tmp_path):
+        dropped = []
+
+        def loss(seq, frag):
+            # lose the first fragment of record 2 exactly once
+            if seq == 2 and frag == 0 and not dropped:
+                dropped.append((seq, frag))
+                return True
+            return False
+
+        sender = BroadcastSender(unix_addr(tmp_path), mode="udp", loss_fn=loss)
+        try:
+            rx = BroadcastReceiver(
+                sender.control_address, name="urep", nack_delay=0.05
+            )
+            for i in range(5):
+                sender.publish(2, b"r%d" % i, picture=i)
+            got = drain(rx, 5)
+            assert [r.payload for r in got] == [b"r%d" % i for i in range(5)]
+            assert dropped, "loss hook never fired"
+            assert rx.stats.repaired >= 1
+            assert sender.stats.repairs >= 1
+            rx.close()
+        finally:
+            sender.close()
+
+    def test_window_overflow_becomes_gap(self, tmp_path):
+        def loss(seq, frag):
+            return seq == 1  # record 1 never arrives
+
+        sender = BroadcastSender(
+            unix_addr(tmp_path), mode="udp", repair_window=2, loss_fn=loss
+        )
+        try:
+            rx = BroadcastReceiver(
+                sender.control_address, name="ugap", nack_delay=0.02
+            )
+            for i in range(8):
+                sender.publish(2, b"g%d" % i, picture=i)
+                time.sleep(0.02)  # let the window slide past seq 1
+            got = drain(rx, 8)
+            gaps = [g for g in got if isinstance(g, GapNotice)]
+            recs = [r for r in got if isinstance(r, BroadcastRecord)]
+            assert gaps and 1 in gaps[0].seqs
+            assert b"g0" in [r.payload for r in recs]
+            assert b"g7" in [r.payload for r in recs]
+            rx.close()
+        finally:
+            sender.close()
+
+
+class TestConcurrency:
+    def test_publish_during_subscribe_churn(self, tmp_path):
+        """Joins racing live publishes must never corrupt the sequence."""
+        sender = BroadcastSender(unix_addr(tmp_path), mode="stream")
+        stop = threading.Event()
+        seqs = []
+
+        def pump():
+            i = 0
+            while not stop.is_set():
+                seqs.append(sender.publish(2, b"c%d" % i, picture=i))
+                i += 1
+                time.sleep(0.002)
+
+        t = threading.Thread(target=pump, daemon=True)
+        t.start()
+        try:
+            for round_ in range(4):
+                rx = BroadcastReceiver(sender.control_address, name=f"churn{round_}")
+                got = drain(rx, 3)
+                assert len(got) == 3
+                rec_seqs = [r.seq for r in got]
+                assert rec_seqs == sorted(rec_seqs)
+                rx.close()
+        finally:
+            stop.set()
+            t.join(timeout=5)
+            sender.close()
+        assert seqs == list(range(len(seqs)))

@@ -2,9 +2,11 @@
 
 import numpy as np
 import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.mpeg2.frames import Frame
 from repro.mpeg2.motion import Rect
+from repro.wall.config import TileCrop, WallSpec
 from repro.wall.display import (
     assemble_wall,
     check_overlap_consistency,
@@ -75,6 +77,76 @@ class TestLayoutGeometry:
             TileLayout(128, 64, 2, 1, x_bounds=[0, 0, 128])  # not increasing
         with pytest.raises(ValueError):
             TileLayout(128, 64, 2, 1, x_bounds=[0, 64, 120])  # wrong span
+
+
+# Raster dims are MB multiples; overlap stays under the tightest tile
+# extent the dimension strategies can produce (16*8 px / 4 tiles = 32).
+_dims = st.integers(min_value=8, max_value=24).map(lambda k: k * 16)
+_grid = st.integers(min_value=1, max_value=4)
+_overlap = st.integers(min_value=0, max_value=30)
+
+
+class TestLayoutInvariants:
+    """Property-based: the geometry contracts every layout must honour."""
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(width=_dims, height=_dims, m=_grid, n=_grid, overlap=_overlap)
+    def test_partitions_tile_raster_exactly(self, width, height, m, n, overlap):
+        layout = TileLayout(width, height, m, n, overlap=overlap)
+        covered = np.zeros((height, width), dtype=np.int32)
+        for t in layout:
+            p = t.partition
+            covered[p.y0 : p.y1, p.x0 : p.x1] += 1
+        assert (covered == 1).all()
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(width=_dims, height=_dims, m=_grid, n=_grid, overlap=_overlap)
+    def test_coverage_contains_rect_contains_partition(
+        self, width, height, m, n, overlap
+    ):
+        layout = TileLayout(width, height, m, n, overlap=overlap)
+        for t in layout:
+            assert t.rect.x0 <= t.partition.x0 <= t.partition.x1 <= t.rect.x1
+            assert t.rect.y0 <= t.partition.y0 <= t.partition.y1 <= t.rect.y1
+            assert t.coverage.contains(t.rect)
+            # coverage never spills off the raster
+            assert 0 <= t.coverage.x0 and t.coverage.x1 <= width
+            assert 0 <= t.coverage.y0 and t.coverage.y1 <= height
+
+    @settings(
+        max_examples=40, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(width=_dims, height=_dims, m=_grid, n=_grid, overlap=_overlap)
+    def test_coverage_is_mb_aligned(self, width, height, m, n, overlap):
+        layout = TileLayout(width, height, m, n, overlap=overlap)
+        for t in layout:
+            c = t.coverage
+            assert c.x0 % 16 == 0 and c.y0 % 16 == 0
+            assert c.x1 % 16 == 0 and c.y1 % 16 == 0
+
+    @settings(
+        max_examples=25, deadline=None,
+        suppress_health_check=[HealthCheck.too_slow],
+    )
+    @given(width=_dims, height=_dims, m=_grid, n=_grid, overlap=_overlap)
+    def test_interior_overlap_width_is_parameter(
+        self, width, height, m, n, overlap
+    ):
+        layout = TileLayout(width, height, m, n, overlap=overlap)
+        for t in layout:
+            if t.col + 1 < m:
+                right = layout.tile(t.tid + 1)
+                assert t.rect.intersect(right.rect).width == overlap
+            if t.row + 1 < n:
+                below = layout.tile(t.tid + m)
+                assert t.rect.intersect(below.rect).height == overlap
 
 
 class TestMacroblockAssignment:
@@ -156,8 +228,85 @@ class TestEdgeBlending:
         band1 = w1[:, :16]
         assert np.allclose(band0 + band1, 1.0)
 
+    def test_vertical_ramps_sum_to_one(self):
+        layout = TileLayout(64, 128, 1, 2, overlap=16)
+        top = edge_blend_weights(layout, 0)
+        bot = edge_blend_weights(layout, 1)
+        assert np.allclose(top[-16:, :] + bot[:16, :], 1.0)
+
+    def test_every_overlap_column_and_row_sums_to_one(self):
+        """2x2 with overlap: light from all contributing tiles is unity on
+        every column/row of every band (corners get four contributions)."""
+        layout = TileLayout(96, 96, 2, 2, overlap=16)
+        acc = np.zeros((96, 96), dtype=np.float64)
+        for t in layout:
+            r = t.rect
+            acc[r.y0 : r.y1, r.x0 : r.x1] += edge_blend_weights(layout, t.tid)
+        assert np.allclose(acc, 1.0)
+
+    def test_blending_never_in_bit_exactness(self):
+        """Blending happens in projected light: the exact assembly of
+        blended-weight content must stay byte-identical to the owners'
+        decoded pixels (weights never touch assemble_wall)."""
+        layout = TileLayout(64, 64, 2, 1, overlap=16)
+        frames = {t.tid: Frame.blank(64, 64, y=7 + t.tid) for t in layout}
+        wall = assemble_wall(layout, frames)
+        for t in layout:
+            p = t.partition
+            assert (wall.y[p.y0 : p.y1, p.x0 : p.x1] == 7 + t.tid).all()
+
     def test_projection_of_uniform_content_is_uniform(self):
         layout = TileLayout(64, 64, 2, 2, overlap=8)
         frames = {t.tid: Frame.blank(64, 64, y=120) for t in layout}
         img = projected_wall_luma(layout, frames)
         assert (np.abs(img.astype(int) - 120) <= 1).all()
+
+
+class TestWallSpec:
+    def test_json_roundtrip(self, tmp_path):
+        spec = WallSpec(
+            cols=3,
+            rows=2,
+            overlap=16,
+            bezel_px=4,
+            name="lab-wall",
+            crops={1: TileCrop(left=2, top=1), 5: TileCrop(bottom=3)},
+        )
+        path = tmp_path / "wall.json"
+        spec.save(path)
+        back = WallSpec.load(path)
+        assert back == spec
+        assert back.tile_crop(1).left == 2
+        assert back.tile_crop(0) == TileCrop()  # untouched tiles: no inset
+
+    def test_layout_derivation_is_raster_specific(self):
+        spec = WallSpec(cols=2, rows=2, overlap=8)
+        a = spec.to_layout(128, 96)
+        b = spec.to_layout(64, 64)
+        assert (a.width, a.height) == (128, 96)
+        assert (b.width, b.height) == (64, 64)
+        assert a.n_tiles == b.n_tiles == 4
+
+    def test_display_rect_applies_crop_inside_decoded_rect(self):
+        spec = WallSpec(cols=2, rows=1, crops={0: TileCrop(left=4, bottom=2)})
+        layout = spec.to_layout(128, 64)
+        disp = spec.display_rect(layout, 0)
+        rect = layout.tile(0).rect
+        assert disp == Rect(rect.x0 + 4, rect.y0, rect.x1, rect.y1 - 2)
+        assert rect.contains(disp)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WallSpec(cols=0, rows=1)
+        with pytest.raises(ValueError):
+            WallSpec(cols=1, rows=1, overlap=-1)
+        with pytest.raises(ValueError):
+            WallSpec(cols=2, rows=1, crops={5: TileCrop()})
+        with pytest.raises(ValueError):
+            TileCrop(left=-1)
+
+    def test_overcrop_rejected_at_display_time(self):
+        spec = WallSpec(cols=1, rows=1, crops={0: TileCrop(left=64, right=64)})
+        layout = spec.to_layout(64, 64)
+        with pytest.raises(ValueError):
+            spec.display_rect(layout, 0)
